@@ -1,0 +1,61 @@
+//! Criterion benches for the simulator primitives themselves: cache
+//! accesses, instruction-fetch streaming, and data-access routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uarch_sim::cache::Cache;
+use uarch_sim::config::CacheGeometry;
+use uarch_sim::{MachineConfig, ModuleSpec, Sim};
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    let mut cache = Cache::new(CacheGeometry::new(32 << 10, 64, 8));
+    let mut line = 0u64;
+    group.bench_function("l1_sized_access", |b| {
+        b.iter(|| {
+            line = (line + 97) % 4096;
+            std::hint::black_box(cache.access(line))
+        })
+    });
+    let mut llc = Cache::new(CacheGeometry::new(16 << 20, 64, 16));
+    group.bench_function("llc_sized_access", |b| {
+        b.iter(|| {
+            line = (line + 48_271) % (1 << 22);
+            std::hint::black_box(llc.access(line))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fetch_code(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    let sim = Sim::new(MachineConfig::ivy_bridge(1));
+    let tight = sim.register_module(ModuleSpec::new("tight", 8 << 10).reuse(4.0));
+    let fat = sim.register_module(
+        ModuleSpec::new("fat", 256 << 10).reuse(1.3).branchiness(0.25),
+    );
+    let mem_tight = sim.mem(0).with_module(tight);
+    let mem_fat = sim.mem(0).with_module(fat);
+    group.bench_function("fetch_10k_instr_tight", |b| b.iter(|| mem_tight.exec(10_000)));
+    group.bench_function("fetch_10k_instr_fat", |b| b.iter(|| mem_fat.exec(10_000)));
+
+    let region = sim.alloc(64 << 20, 64);
+    let mem = sim.mem(0);
+    let mut off = 0u64;
+    group.bench_function("data_access_random", |b| {
+        b.iter(|| {
+            off = (off + 4_193_803) % (64 << 20);
+            mem.read(region + off, 8)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_cache_access, bench_fetch_code
+}
+criterion_main!(benches);

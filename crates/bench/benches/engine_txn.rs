@@ -1,0 +1,47 @@
+//! Criterion benches: wall-clock cost of one fully-simulated transaction
+//! on each engine archetype (simulator throughput, not simulated cycles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engines::{build_system, SystemKind};
+use uarch_sim::{MachineConfig, Sim};
+use workloads::{DbSize, MicroBench, TpcB, Workload};
+
+fn bench_micro_txn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_txn");
+    group.sample_size(30);
+    for kind in SystemKind::ALL {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(kind, &sim, 1);
+        let mut w = MicroBench::new(DbSize::Mb1).with_rows(100_000);
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| w.exec(db.as_mut(), 0).expect("txn"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tpcb_txn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpcb_txn");
+    group.sample_size(30);
+    for kind in [SystemKind::ShoreMt, SystemKind::HyPer] {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(kind, &sim, 1);
+        let mut w = TpcB::with_branches(1);
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| w.exec(db.as_mut(), 0).expect("txn"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_micro_txn, bench_tpcb_txn
+}
+criterion_main!(benches);

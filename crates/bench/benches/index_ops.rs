@@ -1,0 +1,97 @@
+//! Criterion benches for the four index structures (real wall-clock
+//! performance of this library, not simulated cycles).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use indexes::{Art, CcBTree, DiskBTree, HashIndex, Index};
+use uarch_sim::{MachineConfig, Mem, Sim};
+
+const N: u64 = 100_000;
+
+fn mem() -> Mem {
+    Sim::new(MachineConfig::ivy_bridge(1)).mem(0)
+}
+
+fn loaded(mk: &dyn Fn(&Mem) -> Box<dyn Index>) -> (Mem, Box<dyn Index>) {
+    let mem = mem();
+    let mut idx = mk(&mem);
+    mem.sim().set_offline(true); // measure index code, not the simulator
+    for i in 0..N {
+        idx.insert(&mem, i * 7, i);
+    }
+    (mem, idx)
+}
+
+type Maker = Box<dyn Fn(&Mem) -> Box<dyn Index>>;
+
+fn structures() -> Vec<(&'static str, Maker)> {
+    vec![
+        ("disk_btree", Box::new(|m: &Mem| Box::new(DiskBTree::new(m)) as _)),
+        ("cc_btree", Box::new(|m: &Mem| Box::new(CcBTree::new(m)) as _)),
+        ("art", Box::new(|m: &Mem| Box::new(Art::new(m)) as _)),
+        ("hash", Box::new(|m: &Mem| Box::new(HashIndex::with_capacity(m, N)) as _)),
+    ]
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_get_100k");
+    for (name, mk) in &structures() {
+        let (mem, mut idx) = loaded(mk.as_ref());
+        let mut k = 0u64;
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                k = (k + 48_271) % N;
+                std::hint::black_box(idx.get(&mem, k * 7))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_insert_10k");
+    group.sample_size(20);
+    for (name, mk) in &structures() {
+        group.bench_function(*name, |b| {
+            b.iter_batched(
+                || {
+                    let mem = mem();
+                    mem.sim().set_offline(true);
+                    (mk(&mem), mem)
+                },
+                |(mut idx, mem)| {
+                    for i in 0..10_000u64 {
+                        idx.insert(&mem, i.wrapping_mul(0x9E37_79B9), i);
+                    }
+                    idx
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_instrumented_get(c: &mut Criterion) {
+    // Same probe with full cache simulation on: measures simulator cost.
+    let mut group = c.benchmark_group("index_get_simulated");
+    let (mem, mut idx) = loaded(&|m: &Mem| Box::new(CcBTree::new(m)) as _);
+    mem.sim().set_offline(false);
+    let mut k = 0u64;
+    group.bench_function("cc_btree", |b| {
+        b.iter(|| {
+            k = (k + 48_271) % N;
+            std::hint::black_box(idx.get(&mem, k * 7))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_get, bench_insert, bench_instrumented_get
+}
+criterion_main!(benches);

@@ -1,0 +1,276 @@
+//! Ablations beyond the paper's figures — the what-ifs its §8 discussion
+//! raises, made measurable:
+//!
+//! * [`llc_sweep`] — "whatever the size of the LLC is, megabytes of LLC
+//!   will not be enough": grow the LLC and watch who benefits.
+//! * [`prefetch`] — a next-line L1I prefetcher: why instruction stalls
+//!   persist for branchy legacy code but would vanish for compiled code.
+//! * [`simple_core`] — §8's energy argument: a 1-wide core loses little
+//!   time on these stall-dominated workloads.
+//! * [`voltdb_multi_partition`] — §7's side note: without the single-site
+//!   guarantee VoltDB's instruction stalls rise by ~60%.
+//! * [`overlap_sensitivity`] — how robust the IPC conclusions are to the
+//!   cycle model's LLC-miss overlap weight.
+
+use engines::{build_system, SystemKind, VoltDb};
+use microarch::{measure, Measurement, WindowSpec};
+use oltp::Db;
+use uarch_sim::{MachineConfig, Sim};
+use workloads::{DbSize, MicroBench, Workload};
+
+use crate::figures::systems;
+use crate::scale_factor;
+
+fn window() -> WindowSpec {
+    WindowSpec { warmup: 2500, measured: 5000, reps: 2 }.scaled(scale_factor())
+}
+
+/// Run the 100 GB read-only micro-benchmark on `system` under `cfg`.
+fn run_micro(system: SystemKind, cfg: MachineConfig, multi_partition: bool) -> Measurement {
+    let sim = Sim::new(cfg);
+    let mut db: Box<dyn Db> = match system {
+        SystemKind::VoltDb if multi_partition => {
+            let mut v = VoltDb::new(&sim, 1);
+            v.set_single_sited(false);
+            Box::new(v)
+        }
+        k => build_system(k, &sim, 1),
+    };
+    let mut w = MicroBench::new(DbSize::Gb100);
+    sim.offline(|| w.setup(db.as_mut(), 1));
+    sim.warm_data();
+    measure(&sim, 0, window(), |_| w.exec(db.as_mut(), 0).expect("txn"))
+}
+
+fn i_spki(m: &Measurement) -> f64 {
+    m.spki[..3].iter().sum()
+}
+
+/// Instruction stall cycles per transaction.
+fn i_spt(m: &Measurement) -> f64 {
+    m.spt[..3].iter().sum()
+}
+
+/// LLC capacity sweep.
+pub fn llc_sweep() -> String {
+    let mut out = String::from(
+        "## ablation: LLC capacity (read-only micro-benchmark, 100GB)\n\
+         system      llc      IPC    LLCD/kI\n\
+         -------------------------------------\n",
+    );
+    for &sys in &systems() {
+        for &mb in &[4u64, 16, 64, 256] {
+            let mut cfg = MachineConfig::ivy_bridge(1);
+            cfg.llc = uarch_sim::config::CacheGeometry::new(mb << 20, 64, 16);
+            let m = run_micro(sys, cfg, false);
+            out.push_str(&format!(
+                "{:<11} {:>4}MB {:>6.2} {:>8.0}\n",
+                sys.label(),
+                mb,
+                m.ipc,
+                m.spki[5]
+            ));
+        }
+    }
+    out.push_str(
+        "\nEven a 16x larger LLC leaves the working set uncached — the paper's\n\
+         \"megabytes of LLC will not be enough\" argument.\n",
+    );
+    out
+}
+
+/// Next-line instruction prefetcher on/off.
+pub fn prefetch() -> String {
+    let mut out = String::from(
+        "## ablation: next-line L1I prefetcher (read-only micro-benchmark, 100GB)\n\
+         system      prefetch   IPC   L1I/kI   I-total/kI\n\
+         ------------------------------------------------\n",
+    );
+    for &sys in &systems() {
+        for &pf in &[false, true] {
+            let mut cfg = MachineConfig::ivy_bridge(1);
+            cfg.i_prefetch_next_line = pf;
+            let m = run_micro(sys, cfg, false);
+            out.push_str(&format!(
+                "{:<11} {:>8} {:>6.2} {:>7.0} {:>11.0}\n",
+                sys.label(),
+                if pf { "on" } else { "off" },
+                m.ipc,
+                m.spki[0],
+                i_spki(&m)
+            ));
+        }
+    }
+    out.push_str(
+        "\nSequential stretches prefetch well; the branchy frontends keep missing\n\
+         — why L1I stalls persist on real hardware despite aggressive fetch\n\
+         engines.\n",
+    );
+    out
+}
+
+/// 4-wide out-of-order vs a simple 1-wide core (§8's implication).
+pub fn simple_core() -> String {
+    let mut out = String::from(
+        "## ablation: simple core (1-wide) vs 4-wide OOO (micro, 100GB)\n\
+         system      core     IPC   cycles/txn   slowdown\n\
+         --------------------------------------------------\n",
+    );
+    for &sys in &systems() {
+        let wide = run_micro(sys, MachineConfig::ivy_bridge(1), false);
+        let mut cfg = MachineConfig::ivy_bridge(1);
+        cfg.ideal_ipc = 1.0;
+        cfg.retire_width = 1;
+        // A simple in-order core hides nothing.
+        cfg.overlap.l1d = 1.0;
+        cfg.overlap.l2d = 1.0;
+        cfg.overlap.llc_d = 1.35;
+        let narrow = run_micro(sys, cfg, false);
+        let wide_cpt = wide.cycles / wide.txns as f64;
+        let narrow_cpt = narrow.cycles / narrow.txns as f64;
+        out.push_str(&format!(
+            "{:<11} 4-wide {:>6.2} {:>11.0} {:>9}\n{:<11} 1-wide {:>6.2} {:>11.0} {:>8.2}x\n",
+            sys.label(),
+            wide.ipc,
+            wide_cpt,
+            "-",
+            "",
+            narrow.ipc,
+            narrow_cpt,
+            narrow_cpt / wide_cpt
+        ));
+    }
+    out.push_str(
+        "\nStall-dominated workloads lose far less than 4x on a 1-wide core —\n\
+         the paper's case for simpler, more energy-efficient cores.\n",
+    );
+    out
+}
+
+/// VoltDB with and without the single-site guarantee.
+pub fn voltdb_multi_partition() -> String {
+    let single = run_micro(SystemKind::VoltDb, MachineConfig::ivy_bridge(1), false);
+    let multi = run_micro(SystemKind::VoltDb, MachineConfig::ivy_bridge(1), true);
+    let rise = (i_spt(&multi) / i_spt(&single) - 1.0) * 100.0;
+    format!(
+        "## ablation: VoltDB single-site guarantee (micro, 100GB)\n\
+         config              IPC   instr/txn   I-stalls/txn\n\
+         --------------------------------------------------\n\
+         single-sited     {:>6.2} {:>11.0} {:>14.0}\n\
+         multi-partition  {:>6.2} {:>11.0} {:>14.0}\n\
+         \nInstruction stalls per transaction rise by {:.0}% without the\n\
+         single-site guarantee (the paper reports ~60%).\n",
+        single.ipc,
+        single.instr_per_txn,
+        i_spt(&single),
+        multi.ipc,
+        multi.instr_per_txn,
+        i_spt(&multi),
+        rise
+    )
+}
+
+/// Sensitivity of IPC to the LLC-miss overlap weight.
+pub fn overlap_sensitivity() -> String {
+    let mut out = String::from(
+        "## ablation: cycle-model sensitivity to the LLC-miss weight\n\
+         weight   Shore-MT   HyPer   (IPC at 100GB; ordering must not flip)\n\
+         -------------------------------------------------------------------\n",
+    );
+    let mut ordering_stable = true;
+    for &w in &[0.7, 1.0, 1.35, 1.7] {
+        let mut cfg = MachineConfig::ivy_bridge(1);
+        cfg.overlap.llc_d = w;
+        let shore = run_micro(SystemKind::ShoreMt, cfg.clone(), false);
+        let hyper = run_micro(SystemKind::HyPer, cfg, false);
+        ordering_stable &= hyper.ipc < shore.ipc;
+        out.push_str(&format!("{w:>6.2} {:>10.2} {:>7.2}\n", shore.ipc, hyper.ipc));
+    }
+    out.push_str(&format!(
+        "\nHyPer stays the slowest at 100GB across the whole weight range: {}\n",
+        if ordering_stable { "yes" } else { "NO (model fragile!)" }
+    ));
+    out
+}
+
+/// TPC-E-like vs TPC-C: the similarity claim the paper cites to justify
+/// omitting TPC-E ("recent workload characterization studies demonstrate
+/// that TPC-E exhibits similar micro-architectural behavior", §3).
+pub fn tpce_similarity() -> String {
+    use crate::{run_points, Point, WorkloadCfg};
+    use engines::SystemKind;
+
+    let sys: Vec<SystemKind> = systems()
+        .into_iter()
+        .map(|s| match s {
+            SystemKind::DbmsM { .. } => SystemKind::dbms_m_for_tpcc(),
+            other => other,
+        })
+        .collect();
+    let mut points = Vec::new();
+    for &s in &sys {
+        points.push(Point::new(s, WorkloadCfg::TpcC));
+        points.push(Point::new(s, WorkloadCfg::TpcE));
+    }
+    let ms = run_points(&points);
+    let mut out = String::from(
+        "## extension: TPC-E-like vs TPC-C (the paper's omission argument)\n\
+         system      wk     IPC   I-stalls/kI  D-stalls/kI  I-fraction\n\
+         ------------------------------------------------------------\n",
+    );
+    let mut similar = true;
+    for (i, &s) in sys.iter().enumerate() {
+        let c = &ms[2 * i];
+        let e = &ms[2 * i + 1];
+        for (wk, m) in [("tpcc", c), ("tpce", e)] {
+            out.push_str(&format!(
+                "{:<11} {:<5} {:>6.2} {:>12.0} {:>12.0} {:>11.2}\n",
+                s.label(),
+                wk,
+                m.ipc,
+                i_spki(m),
+                m.spki[3..].iter().sum::<f64>(),
+                m.instruction_stall_fraction(),
+            ));
+        }
+        similar &= (c.instruction_stall_fraction() - e.instruction_stall_fraction()).abs() < 0.35
+            && (c.ipc - e.ipc).abs() < 0.45;
+    }
+    out.push_str(&format!(
+        "\nProfiles similar enough to justify the paper's omission of TPC-E: {}\n",
+        if similar { "yes" } else { "NO" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltdb_mp_path_charges_more_instructions() {
+        // Shrunk inline version of the ablation (full windows are for the
+        // binary): multi-partition VoltDB must retire more instructions
+        // and stall more on the instruction side.
+        let run = |mp: bool| {
+            let sim = Sim::new(MachineConfig::ivy_bridge(1));
+            let mut v = VoltDb::new(&sim, 1);
+            v.set_single_sited(!mp);
+            let mut db: Box<dyn Db> = Box::new(v);
+            let mut w = MicroBench::new(DbSize::Mb1).with_rows(20_000);
+            sim.offline(|| w.setup(db.as_mut(), 1));
+            sim.warm_data();
+            let spec = WindowSpec { warmup: 400, measured: 800, reps: 1 };
+            measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).unwrap())
+        };
+        let single = run(false);
+        let multi = run(true);
+        assert!(multi.instr_per_txn > single.instr_per_txn * 1.2);
+        assert!(
+            i_spt(&multi) > i_spt(&single) * 1.3,
+            "mp={:.0} single={:.0}",
+            i_spt(&multi),
+            i_spt(&single)
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! # bench — experiment runner behind the `figures` binary
+//!
+//! [`run_point`] builds a fresh simulated machine, an engine, and a
+//! workload; bulk-loads offline; then measures with the §3 methodology
+//! (warm-up window, measured window, repetition averaging, per-worker
+//! filtering). [`run_points`] fans experiment points out over OS threads —
+//! every point owns its own simulator, so they are independent.
+
+use std::env;
+
+use engines::{build_system, SystemKind};
+use microarch::{measure, measure_multi, Measurement, WindowSpec};
+use uarch_sim::{MachineConfig, Sim};
+use workloads::tpce::TpcEScale;
+use workloads::{DbSize, MicroBench, TpcB, TpcC, TpcE, Workload};
+use workloads::tpcc::TpcCScale;
+
+pub mod ablations;
+pub mod figures;
+pub mod modules_report;
+pub mod suite;
+
+/// Which workload a point runs.
+#[derive(Clone, Debug)]
+pub enum WorkloadCfg {
+    /// The §4 micro-benchmark.
+    Micro {
+        /// Database size.
+        size: DbSize,
+        /// Rows probed per transaction.
+        rows_per_txn: u32,
+        /// Read-only vs read-write.
+        read_only: bool,
+        /// Two 50-byte String columns instead of Longs (§6.2).
+        strings: bool,
+    },
+    /// TPC-B at the paper's (scaled) 100 GB.
+    TpcB,
+    /// TPC-C at the paper's (scaled) 100 GB.
+    TpcC,
+    /// TPC-E-like brokerage mix (extension).
+    TpcE,
+}
+
+impl WorkloadCfg {
+    fn build(&self) -> Box<dyn Workload> {
+        match self {
+            WorkloadCfg::Micro { size, rows_per_txn, read_only, strings } => {
+                let mut w = MicroBench::new(*size).rows_per_txn(*rows_per_txn);
+                if !read_only {
+                    w = w.read_write();
+                }
+                if *strings {
+                    w = w.string_columns();
+                }
+                Box::new(w)
+            }
+            WorkloadCfg::TpcB => Box::new(TpcB::new()),
+            WorkloadCfg::TpcC => Box::new(TpcC::with_scale(tpcc_scale())),
+            WorkloadCfg::TpcE => Box::new(TpcE::with_scale(tpce_scale())),
+        }
+    }
+
+    /// Default measurement window; heavier workloads use smaller windows.
+    pub fn window(&self) -> WindowSpec {
+        let base = match self {
+            WorkloadCfg::Micro { rows_per_txn, .. } if *rows_per_txn >= 100 => {
+                WindowSpec { warmup: 300, measured: 500, reps: 3 }
+            }
+            WorkloadCfg::Micro { rows_per_txn, .. } if *rows_per_txn >= 10 => {
+                WindowSpec { warmup: 1000, measured: 2000, reps: 3 }
+            }
+            WorkloadCfg::Micro { .. } => WindowSpec { warmup: 3000, measured: 6000, reps: 3 },
+            WorkloadCfg::TpcB => WindowSpec { warmup: 2000, measured: 4000, reps: 3 },
+            WorkloadCfg::TpcC => WindowSpec { warmup: 400, measured: 800, reps: 3 },
+            WorkloadCfg::TpcE => WindowSpec { warmup: 800, measured: 1600, reps: 3 },
+        };
+        base.scaled(scale_factor())
+    }
+}
+
+/// TPC-E scale, shrunk when `IMOLTP_SCALE` < 0.3 (smoke runs).
+fn tpce_scale() -> TpcEScale {
+    if scale_factor() < 0.3 {
+        TpcEScale { customers: 8_000, securities: 4_000, initial_trades: 3 }
+    } else {
+        TpcEScale::large()
+    }
+}
+
+/// TPC-C scale, shrunk when `IMOLTP_SCALE` < 0.3 (smoke runs).
+fn tpcc_scale() -> TpcCScale {
+    if scale_factor() < 0.3 {
+        TpcCScale { warehouses: 2, customers_per_district: 600, items: 10_000, initial_orders: 120 }
+    } else {
+        TpcCScale::paper_100gb()
+    }
+}
+
+/// Global intensity factor from `IMOLTP_SCALE` (default 1.0).
+pub fn scale_factor() -> f64 {
+    env::var("IMOLTP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// One experiment point.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// System under test.
+    pub system: SystemKind,
+    /// Workload configuration.
+    pub workload: WorkloadCfg,
+    /// Worker threads (1 = the paper's single-threaded methodology).
+    pub workers: usize,
+}
+
+impl Point {
+    /// Single-worker point.
+    pub fn new(system: SystemKind, workload: WorkloadCfg) -> Self {
+        Point { system, workload, workers: 1 }
+    }
+
+    /// Multi-worker point (§7).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// Run one experiment point to a [`Measurement`].
+pub fn run_point(point: &Point) -> Measurement {
+    let workers = point.workers;
+    let sim = Sim::new(MachineConfig::ivy_bridge(workers));
+    let mut db = build_system(point.system, &sim, workers);
+    let mut w = point.workload.build();
+    sim.offline(|| w.setup(db.as_mut(), workers));
+    sim.warm_data();
+    let window = point.workload.window();
+    if workers == 1 {
+        db.set_core(0);
+        measure(&sim, 0, window, |_| {
+            w.exec(db.as_mut(), 0).expect("benchmark transaction failed");
+        })
+    } else {
+        let cores: Vec<usize> = (0..workers).collect();
+        measure_multi(&sim, &cores, window, |_, worker| {
+            db.set_core(worker);
+            w.exec(db.as_mut(), worker).expect("benchmark transaction failed");
+        })
+    }
+}
+
+/// Run many points in parallel across OS threads (each point owns its own
+/// simulator; results return in input order).
+pub fn run_points(points: &[Point]) -> Vec<Measurement> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut results: Vec<Option<Measurement>> = vec![None; points.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mx = std::sync::Mutex::new(&mut results);
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(points.len()) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let m = run_point(&points[i]);
+                results_mx.lock().unwrap()[i] = Some(m);
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+    results.into_iter().map(|m| m.expect("all points completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_micro(system: SystemKind) -> Measurement {
+        let p = Point::new(
+            system,
+            WorkloadCfg::Micro {
+                size: DbSize::Mb1,
+                rows_per_txn: 1,
+                read_only: true,
+                strings: false,
+            },
+        );
+        // Shrink the window directly for test speed.
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(p.system, &sim, 1);
+        let mut w = p.workload.build();
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        let window = WindowSpec { warmup: 300, measured: 500, reps: 2 };
+        measure(&sim, 0, window, |_| {
+            w.exec(db.as_mut(), 0).unwrap();
+        })
+    }
+
+    #[test]
+    fn measurement_is_sane_for_every_system() {
+        for kind in SystemKind::ALL {
+            let m = quick_micro(kind);
+            assert!(m.ipc > 0.05 && m.ipc <= 4.0, "{kind:?}: ipc={}", m.ipc);
+            assert!(m.instr_per_txn > 500.0, "{kind:?}: instr={}", m.instr_per_txn);
+            assert!(m.tps > 0.0);
+        }
+    }
+
+    #[test]
+    fn multi_worker_point_runs() {
+        let p = Point::new(
+            SystemKind::VoltDb,
+            WorkloadCfg::Micro {
+                size: DbSize::Mb1,
+                rows_per_txn: 1,
+                read_only: true,
+                strings: false,
+            },
+        )
+        .with_workers(2);
+        let sim = Sim::new(MachineConfig::ivy_bridge(2));
+        let mut db = build_system(p.system, &sim, 2);
+        let mut w = p.workload.build();
+        sim.offline(|| w.setup(db.as_mut(), 2));
+        let window = WindowSpec { warmup: 100, measured: 200, reps: 1 };
+        let m = measure_multi(&sim, &[0, 1], window, |_, worker| {
+            db.set_core(worker);
+            w.exec(db.as_mut(), worker).unwrap();
+        });
+        assert!(m.ipc > 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! `figures` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures all            # every figure + results/*.csv + EXPERIMENTS.md
+//! figures fig1 ... fig27 # one figure as a text table
+//! figures calibrate      # quick per-(system,size) metric dump
+//! ```
+//!
+//! Set `IMOLTP_SCALE=<f64>` to scale measurement windows (e.g. `0.2` for a
+//! smoke run).
+
+use std::path::PathBuf;
+
+use bench::figures::{Fig, Figures};
+use bench::suite;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "help".into());
+    let mut f = Figures::new();
+    let fig: Option<Fig> = match arg.as_str() {
+        "all" => {
+            let root = repo_root();
+            let failed = suite::run_all(&root);
+            std::process::exit(if failed == 0 { 0 } else { 1 });
+        }
+        "calibrate" => {
+            calibrate();
+            return;
+        }
+        "fig1" => Some(Fig::Scalar(f.fig_ipc_vs_size(true))),
+        "fig2" => Some(Fig::Stall(f.fig_spki_vs_size(true))),
+        "fig3" => Some(Fig::Stall(f.fig_spt_100gb(true))),
+        "fig4" => Some(Fig::Scalar(f.fig_ipc_vs_rows(true))),
+        "fig5" => Some(Fig::Stall(f.fig_spki_vs_rows(true))),
+        "fig6" => Some(Fig::Stall(f.fig_spt_vs_rows(true))),
+        "fig7" => Some(Fig::Scalar(f.fig_engine_share())),
+        "fig8" => Some(Fig::Scalar(f.fig_tpcb_ipc())),
+        "fig9" => Some(Fig::Stall(f.fig_tpcb_spki())),
+        "fig10" => Some(Fig::Scalar(f.fig_tpcc_ipc())),
+        "fig11" => Some(Fig::Stall(f.fig_tpcc_spki())),
+        "fig12" => Some(Fig::Stall(f.fig_tpcc_spt())),
+        "fig13" => Some(Fig::Stall(f.fig_index_compilation_micro(true))),
+        "fig14" => Some(Fig::Stall(f.fig_index_compilation_tpcc())),
+        "fig15" => Some(Fig::Stall(f.fig_data_types(true))),
+        "fig16" => Some(Fig::Scalar(f.fig_mt_ipc(false))),
+        "fig17" => Some(Fig::Scalar(f.fig_mt_ipc(true))),
+        "fig18" => Some(Fig::Stall(f.fig_mt_spki(false))),
+        "fig19" => Some(Fig::Stall(f.fig_mt_spki(true))),
+        "fig20" => Some(Fig::Scalar(f.fig_ipc_vs_size(false))),
+        "fig21" => Some(Fig::Stall(f.fig_spki_vs_size(false))),
+        "fig22" => Some(Fig::Stall(f.fig_spt_100gb(false))),
+        "fig23" => Some(Fig::Scalar(f.fig_ipc_vs_rows(false))),
+        "fig24" => Some(Fig::Stall(f.fig_spki_vs_rows(false))),
+        "fig25" => Some(Fig::Stall(f.fig_spt_vs_rows(false))),
+        "fig26" => Some(Fig::Stall(f.fig_index_compilation_micro(false))),
+        "fig27" => Some(Fig::Stall(f.fig_data_types(false))),
+        "ablations" => {
+            print!("{}", bench::ablations::llc_sweep());
+            print!("{}", bench::ablations::prefetch());
+            print!("{}", bench::ablations::simple_core());
+            print!("{}", bench::ablations::voltdb_multi_partition());
+            print!("{}", bench::ablations::overlap_sensitivity());
+            return;
+        }
+        "tpce" => {
+            print!("{}", bench::ablations::tpce_similarity());
+            return;
+        }
+        "ablation-llc" => {
+            print!("{}", bench::ablations::llc_sweep());
+            return;
+        }
+        "ablation-prefetch" => {
+            print!("{}", bench::ablations::prefetch());
+            return;
+        }
+        "ablation-simplecore" => {
+            print!("{}", bench::ablations::simple_core());
+            return;
+        }
+        "ablation-voltdb-mp" => {
+            print!("{}", bench::ablations::voltdb_multi_partition());
+            return;
+        }
+        "ablation-overlap" => {
+            print!("{}", bench::ablations::overlap_sensitivity());
+            return;
+        }
+        "modules" => {
+            let workload = std::env::args().nth(2).unwrap_or_else(|| "micro".into());
+            for sys in bench::figures::systems() {
+                let sys = match sys {
+                    engines::SystemKind::DbmsM { .. } if workload == "tpcc" => {
+                        engines::SystemKind::dbms_m_for_tpcc()
+                    }
+                    s => s,
+                };
+                let b = bench::modules_report::module_breakdown(sys, &workload);
+                print!("{}", bench::modules_report::render(&b));
+                println!();
+            }
+            return;
+        }
+        "checks" => {
+            for c in f.checks() {
+                println!(
+                    "[{}] {}: {} ({})",
+                    if c.pass { "PASS" } else { "FAIL" },
+                    c.figure,
+                    c.claim,
+                    c.detail
+                );
+            }
+            return;
+        }
+        other => {
+            if other != "help" {
+                eprintln!("unknown subcommand: {other}");
+            }
+            eprintln!(
+                "usage: figures <all|fig1..fig27|checks|calibrate|modules [micro|tpcb|tpcc]|tpce|ablations|ablation-{llc,prefetch,simplecore,voltdb-mp,overlap}>"
+            );
+            std::process::exit(if other == "help" { 0 } else { 2 });
+        }
+    };
+    if let Some(fig) = fig {
+        print!("{}", fig.render_text());
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // Walk up from the executable's cwd until Cargo.toml with [workspace].
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("cwd");
+        }
+    }
+}
+
+/// Quick calibration dump: one line per (system, size) with the key
+/// metrics, for tuning engine constants against the paper's shapes.
+fn calibrate() {
+    use bench::figures::systems;
+    use bench::{run_points, Point, WorkloadCfg};
+    use workloads::DbSize;
+
+    let mut points = Vec::new();
+    for &sys in &systems() {
+        for &size in &DbSize::ALL {
+            points.push(Point::new(
+                sys,
+                WorkloadCfg::Micro { size, rows_per_txn: 1, read_only: true, strings: false },
+            ));
+        }
+    }
+    let ms = run_points(&points);
+    println!(
+        "{:<10} {:>6} {:>6} {:>9} {:>8} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "system", "size", "IPC", "instr/txn", "tps", "L1I", "L2I", "LLCI", "L1D", "L2D", "LLCD"
+    );
+    for (p, m) in points.iter().zip(&ms) {
+        let WorkloadCfg::Micro { size, .. } = p.workload else { unreachable!() };
+        println!(
+            "{:<10} {:>6} {:>6.2} {:>9.0} {:>8.0} | {:>6.0} {:>6.0} {:>6.0} {:>6.0} {:>6.0} {:>6.0}",
+            p.system.label(),
+            size.label(),
+            m.ipc,
+            m.instr_per_txn,
+            m.tps,
+            m.spki[0],
+            m.spki[1],
+            m.spki[2],
+            m.spki[3],
+            m.spki[4],
+            m.spki[5],
+        );
+    }
+}

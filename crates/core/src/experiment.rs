@@ -1,0 +1,160 @@
+//! Experiment methodology: warm-up / measurement windows and repetition
+//! averaging, mirroring §3 of the paper (60 s warm-up, middle-30 s
+//! sampling, three repetitions, per-worker filtering) in deterministic
+//! transaction-count terms.
+
+use uarch_sim::Sim;
+
+use crate::metrics::Measurement;
+use crate::profiler::Profiler;
+
+/// Window specification for one experiment point.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowSpec {
+    /// Transactions executed (and discarded) to warm caches and structures.
+    pub warmup: u64,
+    /// Transactions measured per repetition.
+    pub measured: u64,
+    /// Number of measured repetitions averaged (the paper uses 3).
+    pub reps: u32,
+}
+
+impl Default for WindowSpec {
+    fn default() -> Self {
+        WindowSpec { warmup: 2_000, measured: 5_000, reps: 3 }
+    }
+}
+
+impl WindowSpec {
+    /// A spec scaled by an intensity factor (used by the figure harness to
+    /// trade accuracy for wall-clock time via `IMOLTP_SCALE`).
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        let s = |v: u64| ((v as f64 * factor).round() as u64).max(50);
+        WindowSpec { warmup: s(self.warmup), measured: s(self.measured), reps: self.reps }
+    }
+}
+
+/// Run a single-worker experiment: `step(i)` must execute exactly one
+/// transaction on the engine under test, which must emit all its simulated
+/// activity on `core`.
+pub fn measure<F: FnMut(u64)>(
+    sim: &Sim,
+    core: usize,
+    spec: WindowSpec,
+    mut step: F,
+) -> Measurement {
+    let cfg = sim.config();
+    let mut txn_no = 0u64;
+    for _ in 0..spec.warmup {
+        step(txn_no);
+        txn_no += 1;
+    }
+    let mut runs = Vec::with_capacity(spec.reps as usize);
+    for _ in 0..spec.reps.max(1) {
+        let profiler = Profiler::attach(sim, core);
+        for _ in 0..spec.measured {
+            step(txn_no);
+            txn_no += 1;
+        }
+        runs.push(Measurement::from_sample(&cfg, &profiler.sample(), spec.measured));
+    }
+    Measurement::average(&runs)
+}
+
+/// Run a multi-worker experiment: `step(i, w)` executes one transaction on
+/// worker `w` (whose activity lands on core `cores[w]`). Workers are
+/// interleaved round-robin at transaction granularity; the result averages
+/// per-worker measurements, as the paper does ("we filter hardware counter
+/// results for each worker thread separately and report their average").
+pub fn measure_multi<F: FnMut(u64, usize)>(
+    sim: &Sim,
+    cores: &[usize],
+    spec: WindowSpec,
+    mut step: F,
+) -> Measurement {
+    assert!(!cores.is_empty());
+    let cfg = sim.config();
+    let mut txn_no = 0u64;
+    for _ in 0..spec.warmup {
+        for w in 0..cores.len() {
+            step(txn_no, w);
+            txn_no += 1;
+        }
+    }
+    let mut runs = Vec::new();
+    for _ in 0..spec.reps.max(1) {
+        let profilers: Vec<Profiler> =
+            cores.iter().map(|&c| Profiler::attach(sim, c)).collect();
+        for _ in 0..spec.measured {
+            for w in 0..cores.len() {
+                step(txn_no, w);
+                txn_no += 1;
+            }
+        }
+        let per_worker: Vec<Measurement> = profilers
+            .iter()
+            .map(|p| Measurement::from_sample(&cfg, &p.sample(), spec.measured))
+            .collect();
+        runs.push(Measurement::average(&per_worker));
+    }
+    Measurement::average(&runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_sim::{MachineConfig, ModuleSpec};
+
+    #[test]
+    fn measure_counts_only_measured_window() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let m = sim.register_module(ModuleSpec::new("txn", 4096));
+        let mem = sim.mem(0).with_module(m);
+        let spec = WindowSpec { warmup: 10, measured: 100, reps: 2 };
+        let result = measure(&sim, 0, spec, |_| mem.exec(1000));
+        // Each rep measures 100 txns x 1000 instructions.
+        assert_eq!(result.counts.instructions, 2 * 100 * 1000);
+        assert_eq!(result.txns, 200);
+        assert!((result.instr_per_txn - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_lowers_measured_misses() {
+        // With warmup, the compulsory misses of a small loop are excluded.
+        let cold = {
+            let sim = Sim::new(MachineConfig::ivy_bridge(1));
+            let m = sim.register_module(ModuleSpec::new("txn", 16 << 10).reuse(1.0));
+            let mem = sim.mem(0).with_module(m);
+            let spec = WindowSpec { warmup: 0, measured: 1, reps: 1 };
+            measure(&sim, 0, spec, |_| mem.exec(4096)).counts.total_misses()
+        };
+        let warm = {
+            let sim = Sim::new(MachineConfig::ivy_bridge(1));
+            let m = sim.register_module(ModuleSpec::new("txn", 16 << 10).reuse(1.0));
+            let mem = sim.mem(0).with_module(m);
+            let spec = WindowSpec { warmup: 50, measured: 1, reps: 1 };
+            measure(&sim, 0, spec, |_| mem.exec(4096)).counts.total_misses()
+        };
+        assert!(warm < cold, "warm={warm} cold={cold}");
+    }
+
+    #[test]
+    fn measure_multi_averages_workers() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(2));
+        let m = sim.register_module(ModuleSpec::new("txn", 4096));
+        let spec = WindowSpec { warmup: 0, measured: 10, reps: 1 };
+        let result = measure_multi(&sim, &[0, 1], spec, |_, w| {
+            sim.mem(w).with_module(m).exec(if w == 0 { 1000 } else { 3000 });
+        });
+        // Average of 1000 and 3000 instructions per txn.
+        assert!((result.instr_per_txn - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_window_clamps_to_minimum() {
+        let spec = WindowSpec { warmup: 100, measured: 100, reps: 3 }.scaled(0.001);
+        assert_eq!(spec.warmup, 50);
+        assert_eq!(spec.measured, 50);
+    }
+}

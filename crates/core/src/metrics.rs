@@ -1,0 +1,246 @@
+//! Derived metrics: IPC, SPKI, SPT, throughput, and code-module shares.
+
+use serde::Serialize;
+use uarch_sim::{EventCounts, MachineConfig, StallEvent};
+
+use crate::profiler::Sample;
+
+/// Cycle share of one code module within a measurement window.
+#[derive(Clone, Debug, Serialize)]
+pub struct ModuleShare {
+    /// Module name.
+    pub name: String,
+    /// Estimated cycles attributed to the module.
+    pub cycles: f64,
+    /// Fraction of total window cycles (0..=1).
+    pub share: f64,
+    /// Whether the module counts as "inside the OLTP engine".
+    pub engine_side: bool,
+}
+
+/// All metrics the paper reports, for one measurement window.
+#[derive(Clone, Debug, Serialize)]
+pub struct Measurement {
+    /// Transactions completed in the window.
+    pub txns: u64,
+    /// Raw counter deltas.
+    pub counts: EventCounts,
+    /// Estimated execution cycles (cycle model of the machine config).
+    pub cycles: f64,
+    /// Instructions retired per cycle.
+    pub ipc: f64,
+    /// Stall cycles per 1000 instructions, per miss class
+    /// (`misses x penalty`, indexed by `StallEvent as usize`).
+    pub spki: [f64; 6],
+    /// Stall cycles per transaction, per miss class.
+    pub spt: [f64; 6],
+    /// Instructions per transaction.
+    pub instr_per_txn: f64,
+    /// Simulated throughput (transactions per simulated second).
+    pub tps: f64,
+    /// Per-module cycle attribution.
+    pub modules: Vec<ModuleShare>,
+}
+
+impl Measurement {
+    /// Derive a measurement from a profiler sample.
+    pub fn from_sample(cfg: &MachineConfig, sample: &Sample, txns: u64) -> Self {
+        let c = &sample.counts;
+        let cycles = cfg.cycles(c);
+        let stalls = cfg.stall_cycles(c);
+        let kinstr = (c.instructions as f64 / 1000.0).max(f64::MIN_POSITIVE);
+        let per_txn = (txns as f64).max(1.0);
+        let mut spki = [0.0; 6];
+        let mut spt = [0.0; 6];
+        for e in StallEvent::ALL {
+            spki[e as usize] = stalls[e as usize] / kinstr;
+            spt[e as usize] = stalls[e as usize] / per_txn;
+        }
+        let modules = sample
+            .modules
+            .iter()
+            .filter(|m| m.counts.instructions > 0 || m.counts.total_misses() > 0)
+            .map(|m| {
+                let mc = cfg.cycles(&m.counts);
+                ModuleShare {
+                    name: m.name.clone(),
+                    cycles: mc,
+                    share: if cycles > 0.0 { mc / cycles } else { 0.0 },
+                    engine_side: m.engine_side,
+                }
+            })
+            .collect();
+        Measurement {
+            txns,
+            counts: c.clone(),
+            cycles,
+            ipc: cfg.ipc(c),
+            spki,
+            spt,
+            instr_per_txn: c.instructions as f64 / per_txn,
+            tps: if cycles > 0.0 {
+                txns as f64 / (cycles / (cfg.clock_ghz * 1e9))
+            } else {
+                0.0
+            },
+            modules,
+        }
+    }
+
+    /// Total stall cycles per 1000 instructions.
+    pub fn spki_total(&self) -> f64 {
+        self.spki.iter().sum()
+    }
+
+    /// Total stall cycles per transaction.
+    pub fn spt_total(&self) -> f64 {
+        self.spt.iter().sum()
+    }
+
+    /// Instruction-side share of the stall cycles (0..=1).
+    pub fn instruction_stall_fraction(&self) -> f64 {
+        let total = self.spki_total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        StallEvent::ALL
+            .iter()
+            .filter(|e| e.is_instruction())
+            .map(|&e| self.spki[e as usize])
+            .sum::<f64>()
+            / total
+    }
+
+    /// Fraction of estimated cycles spent stalled rather than retiring.
+    /// Computed from the raw counts so it is invariant under repetition
+    /// averaging (where `counts` sums repetitions but `cycles` averages).
+    pub fn stall_cycle_fraction(&self, cfg: &MachineConfig) -> f64 {
+        let total = cfg.cycles(&self.counts);
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let retire = self.counts.instructions as f64 / cfg.ideal_ipc;
+        (total - retire).max(0.0) / total
+    }
+
+    /// Fraction of window cycles spent in engine-side (storage manager)
+    /// modules — the paper's Figure 7 metric.
+    pub fn engine_share(&self) -> f64 {
+        self.modules.iter().filter(|m| m.engine_side).map(|m| m.share).sum()
+    }
+
+    /// Numeric average of several measurements (the paper averages three
+    /// repetitions). Panics on an empty slice.
+    pub fn average(runs: &[Measurement]) -> Measurement {
+        assert!(!runs.is_empty(), "cannot average zero runs");
+        let n = runs.len() as f64;
+        let mut avg = runs[0].clone();
+        for r in &runs[1..] {
+            avg.cycles += r.cycles;
+            avg.ipc += r.ipc;
+            avg.instr_per_txn += r.instr_per_txn;
+            avg.tps += r.tps;
+            for i in 0..6 {
+                avg.spki[i] += r.spki[i];
+                avg.spt[i] += r.spt[i];
+            }
+            avg.txns += r.txns;
+            avg.counts.add(&r.counts);
+            for m in &r.modules {
+                if let Some(mine) = avg.modules.iter_mut().find(|x| x.name == m.name) {
+                    mine.cycles += m.cycles;
+                    mine.share += m.share;
+                } else {
+                    avg.modules.push(m.clone());
+                }
+            }
+        }
+        avg.cycles /= n;
+        avg.ipc /= n;
+        avg.instr_per_txn /= n;
+        avg.tps /= n;
+        for i in 0..6 {
+            avg.spki[i] /= n;
+            avg.spt[i] /= n;
+        }
+        for m in &mut avg.modules {
+            m.cycles /= n;
+            m.share /= n;
+        }
+        avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{ModuleSample, Sample};
+
+    fn sample_with(instr: u64, llcd: u64) -> Sample {
+        let mut counts = EventCounts::default();
+        counts.instructions = instr;
+        counts.misses[StallEvent::LlcD as usize] = llcd;
+        Sample { counts, modules: vec![] }
+    }
+
+    #[test]
+    fn spki_and_spt_use_paper_arithmetic() {
+        let cfg = MachineConfig::ivy_bridge(1);
+        let m = Measurement::from_sample(&cfg, &sample_with(10_000, 20), 10);
+        // 20 misses x 167 cycles = 3340 stall cycles over 10 k-instr.
+        assert!((m.spki[StallEvent::LlcD as usize] - 334.0).abs() < 1e-9);
+        assert!((m.spt[StallEvent::LlcD as usize] - 334.0).abs() < 1e-9);
+        assert!((m.instr_per_txn - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_free_window_has_ideal_ipc_and_no_stalls() {
+        let cfg = MachineConfig::ivy_bridge(1);
+        let m = Measurement::from_sample(&cfg, &sample_with(9000, 0), 3);
+        assert!((m.ipc - 3.0).abs() < 1e-9);
+        assert_eq!(m.spki_total(), 0.0);
+        assert_eq!(m.stall_cycle_fraction(&cfg), 0.0);
+    }
+
+    #[test]
+    fn engine_share_sums_engine_modules() {
+        let cfg = MachineConfig::ivy_bridge(1);
+        let mut inside = EventCounts::default();
+        inside.instructions = 3000;
+        let mut outside = EventCounts::default();
+        outside.instructions = 7000;
+        let mut counts = EventCounts::default();
+        counts.instructions = 10_000;
+        let s = Sample {
+            counts,
+            modules: vec![
+                ModuleSample { name: "index".into(), counts: inside, engine_side: true },
+                ModuleSample { name: "parser".into(), counts: outside, engine_side: false },
+            ],
+        };
+        let m = Measurement::from_sample(&cfg, &s, 10);
+        assert!((m.engine_share() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_of_identical_runs_is_identity() {
+        let cfg = MachineConfig::ivy_bridge(1);
+        let m = Measurement::from_sample(&cfg, &sample_with(10_000, 20), 10);
+        let avg = Measurement::average(&[m.clone(), m.clone(), m.clone()]);
+        assert!((avg.ipc - m.ipc).abs() < 1e-12);
+        assert!((avg.spki_total() - m.spki_total()).abs() < 1e-9);
+        assert_eq!(avg.txns, 30);
+    }
+
+    #[test]
+    fn instruction_stall_fraction_splits_i_vs_d() {
+        let cfg = MachineConfig::ivy_bridge(1);
+        let mut counts = EventCounts::default();
+        counts.instructions = 1000;
+        counts.misses[StallEvent::L1i as usize] = 100; // 800 cycles
+        counts.misses[StallEvent::L1d as usize] = 100; // 800 cycles
+        let s = Sample { counts, modules: vec![] };
+        let m = Measurement::from_sample(&cfg, &s, 1);
+        assert!((m.instruction_stall_fraction() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Counter-window profiler — the VTune-attach analogue.
+
+use uarch_sim::{EventCounts, Sim};
+
+/// Per-module sample entry: name, window delta, and whether the module is
+/// part of the OLTP engine (storage manager) for Figure 7 attribution.
+#[derive(Clone, Debug)]
+pub struct ModuleSample {
+    /// Module name as registered by the engine.
+    pub name: String,
+    /// Counter delta within the window.
+    pub counts: EventCounts,
+    /// True if the module was registered `engine_side`.
+    pub engine_side: bool,
+}
+
+/// A counter-window delta for one core.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Aggregate delta.
+    pub counts: EventCounts,
+    /// Per-module deltas.
+    pub modules: Vec<ModuleSample>,
+}
+
+impl Sample {
+    /// Merge another sample (e.g. a second worker thread) into this one.
+    pub fn merge(&mut self, other: &Sample) {
+        self.counts.add(&other.counts);
+        for m in &other.modules {
+            if let Some(mine) = self.modules.iter_mut().find(|x| x.name == m.name) {
+                mine.counts.add(&m.counts);
+            } else {
+                self.modules.push(m.clone());
+            }
+        }
+    }
+}
+
+/// Attaches to one simulated core and produces [`Sample`] deltas, like
+/// VTune attaching to the database server process and filtering for a
+/// specific worker thread.
+pub struct Profiler {
+    sim: Sim,
+    core: usize,
+    start: EventCounts,
+    start_modules: Vec<EventCounts>,
+}
+
+impl Profiler {
+    /// Start a counter window on `core` now.
+    pub fn attach(sim: &Sim, core: usize) -> Self {
+        Profiler {
+            sim: sim.clone(),
+            core,
+            start: sim.counters(core),
+            start_modules: sim.module_counters(core),
+        }
+    }
+
+    /// Restart the window at the current counter values (used to discard a
+    /// warm-up phase).
+    pub fn reset(&mut self) {
+        self.start = self.sim.counters(self.core);
+        self.start_modules = self.sim.module_counters(self.core);
+    }
+
+    /// Delta since attach/reset.
+    pub fn sample(&self) -> Sample {
+        let now = self.sim.counters(self.core);
+        let now_modules = self.sim.module_counters(self.core);
+        let specs = self.sim.module_specs();
+        let modules = now_modules
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let earlier =
+                    self.start_modules.get(i).cloned().unwrap_or_default();
+                ModuleSample {
+                    name: specs[i].name.clone(),
+                    counts: c.delta(&earlier),
+                    engine_side: specs[i].engine_side,
+                }
+            })
+            .collect();
+        Sample { counts: now.delta(&self.start), modules }
+    }
+
+    /// The core this profiler watches.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_sim::{MachineConfig, ModuleSpec};
+
+    #[test]
+    fn window_sees_only_activity_after_attach() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let m = sim.register_module(ModuleSpec::new("m", 4096));
+        sim.mem(0).with_module(m).exec(5000);
+        let p = Profiler::attach(&sim, 0);
+        sim.mem(0).with_module(m).exec(1234);
+        let s = p.sample();
+        assert_eq!(s.counts.instructions, 1234);
+    }
+
+    #[test]
+    fn reset_discards_warmup() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let m = sim.register_module(ModuleSpec::new("m", 4096));
+        let mut p = Profiler::attach(&sim, 0);
+        sim.mem(0).with_module(m).exec(9999); // warmup
+        p.reset();
+        sim.mem(0).with_module(m).exec(100);
+        assert_eq!(p.sample().counts.instructions, 100);
+    }
+
+    #[test]
+    fn module_samples_partition_the_total() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let a = sim.register_module(ModuleSpec::new("a", 4096).engine_side(true));
+        let b = sim.register_module(ModuleSpec::new("b", 4096));
+        let p = Profiler::attach(&sim, 0);
+        sim.mem(0).with_module(a).exec(300);
+        sim.mem(0).with_module(b).exec(700);
+        let s = p.sample();
+        let sum: u64 = s.modules.iter().map(|m| m.counts.instructions).sum();
+        assert_eq!(sum, s.counts.instructions);
+        let a_entry = s.modules.iter().find(|m| m.name == "a").unwrap();
+        assert!(a_entry.engine_side);
+        assert_eq!(a_entry.counts.instructions, 300);
+    }
+
+    #[test]
+    fn merge_accumulates_by_name() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(2));
+        let a = sim.register_module(ModuleSpec::new("a", 4096));
+        let p0 = Profiler::attach(&sim, 0);
+        let p1 = Profiler::attach(&sim, 1);
+        sim.mem(0).with_module(a).exec(10);
+        sim.mem(1).with_module(a).exec(20);
+        let mut s = p0.sample();
+        s.merge(&p1.sample());
+        assert_eq!(s.counts.instructions, 30);
+        let a_entry = s.modules.iter().find(|m| m.name == "a").unwrap();
+        assert_eq!(a_entry.counts.instructions, 30);
+    }
+}

@@ -1,0 +1,118 @@
+//! Engine factory and shared helpers.
+
+use oltp::Db;
+use uarch_sim::Sim;
+
+use crate::dbms_d::DbmsD;
+use crate::dbms_m::{DbmsM, DbmsMOptions};
+use crate::hyper::HyPer;
+use crate::shore_mt::ShoreMt;
+use crate::voltdb::VoltDb;
+
+/// Index choice for DBMS M (§6.1: "hash index and a variant of
+/// cache-conscious B-tree index").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DbmsMIndex {
+    /// Hash index (used for the micro-benchmark and TPC-B).
+    Hash,
+    /// Cache-conscious B-tree (used for TPC-C and range scans).
+    BTree,
+}
+
+/// Which system archetype to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Shore-MT: open-source disk-based storage manager.
+    ShoreMt,
+    /// DBMS D: commercial disk-based system.
+    DbmsD,
+    /// VoltDB CE 4.8.
+    VoltDb,
+    /// HyPer.
+    HyPer,
+    /// DBMS M with configurable index / compilation (§6).
+    DbmsM {
+        /// Index structure.
+        index: DbmsMIndex,
+        /// Transaction-compilation optimizations on/off.
+        compiled: bool,
+    },
+}
+
+impl SystemKind {
+    /// The five defaults in the paper's figure order (DBMS M in its
+    /// default micro-benchmark configuration: hash + compilation).
+    pub const ALL: [SystemKind; 5] = [
+        SystemKind::ShoreMt,
+        SystemKind::DbmsD,
+        SystemKind::VoltDb,
+        SystemKind::HyPer,
+        SystemKind::DbmsM { index: DbmsMIndex::Hash, compiled: true },
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::ShoreMt => "Shore-MT",
+            SystemKind::DbmsD => "DBMS D",
+            SystemKind::VoltDb => "VoltDB",
+            SystemKind::HyPer => "HyPer",
+            SystemKind::DbmsM { .. } => "DBMS M",
+        }
+    }
+
+    /// Whether the system is an in-memory design.
+    pub fn in_memory(self) -> bool {
+        !matches!(self, SystemKind::ShoreMt | SystemKind::DbmsD)
+    }
+
+    /// DBMS M configured as the paper does for a range-scanning workload
+    /// (TPC-C): cc-B-tree index.
+    pub fn dbms_m_for_tpcc() -> SystemKind {
+        SystemKind::DbmsM { index: DbmsMIndex::BTree, compiled: true }
+    }
+}
+
+/// Build a system on `sim` with `partitions` data partitions (partitioned
+/// engines route by core; the others ignore the count beyond sizing).
+pub fn build_system(kind: SystemKind, sim: &Sim, partitions: usize) -> Box<dyn Db> {
+    match kind {
+        SystemKind::ShoreMt => Box::new(ShoreMt::new(sim)),
+        SystemKind::DbmsD => Box::new(DbmsD::new(sim)),
+        SystemKind::VoltDb => Box::new(VoltDb::new(sim, partitions)),
+        SystemKind::HyPer => Box::new(HyPer::new(sim, partitions)),
+        SystemKind::DbmsM { index, compiled } => {
+            Box::new(DbmsM::new(sim, DbmsMOptions { index, compiled }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_sim::MachineConfig;
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<_> = SystemKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels, ["Shore-MT", "DBMS D", "VoltDB", "HyPer", "DBMS M"]);
+    }
+
+    #[test]
+    fn in_memory_classification() {
+        assert!(!SystemKind::ShoreMt.in_memory());
+        assert!(!SystemKind::DbmsD.in_memory());
+        assert!(SystemKind::VoltDb.in_memory());
+        assert!(SystemKind::HyPer.in_memory());
+        assert!(SystemKind::dbms_m_for_tpcc().in_memory());
+    }
+
+    #[test]
+    fn factory_builds_every_system() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        for kind in SystemKind::ALL {
+            let db = build_system(kind, &sim, 1);
+            assert_eq!(db.name(), kind.label());
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! DBMS D archetype: a commercial disk-based DBMS with the full software
+//! stack.
+//!
+//! Where Shore-MT is *only* a storage manager, DBMS D carries everything
+//! around it: network/session handling, SQL parsing (stored procedures
+//! still enter through the frontend), a plan-cache/optimizer layer, an
+//! interpreted executor, and a decades-old codebase — the paper blames
+//! this large, branchy instruction footprint for DBMS D having the highest
+//! instruction stalls of all five systems (Figures 2, 3, 9, 12). The
+//! storage side is the classical stack: buffer pool, hierarchical 2PL,
+//! WAL, 8 KB-page B+tree ("page size of 8KB ... we could not find any
+//! publicly available information about tuning the node size", §4.1.3).
+
+use indexes::{DiskBTreePacked, Index};
+use oltp::{tuple, Db, OltpError, OltpResult, Row, TableDef, TableId, Value};
+use storage::{
+    lock::LockOutcome, BufferPool, HeapFile, LockManager, LockMode, LockTarget, LogKind, Rid,
+    TxnId, TxnManager, Wal,
+};
+use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
+
+/// Instruction budgets (see EXPERIMENTS.md for the calibration).
+mod cost {
+    // Frontend, charged per transaction.
+    pub const NET_RECV: u64 = 5200;
+    pub const PARSE: u64 = 4300;
+    pub const OPTIMIZE: u64 = 3800; // plan-cache probe + validation
+    pub const NET_REPLY: u64 = 2200;
+    // Frontend, charged per statement/operation.
+    pub const EXEC_OP: u64 = 5600; // interpreted executor: statement entry
+    pub const EXEC_OP_NEXT: u64 = 1500; // iterator next() within a statement
+    pub const CATALOG_NEXT: u64 = 150;
+    pub const CATALOG: u64 = 800;
+    // Storage manager.
+    pub const BEGIN: u64 = 2600;
+    pub const COMMIT: u64 = 2400;
+    pub const ABORT: u64 = 1900;
+    pub const LOCK_WRAP: u64 = 1200;
+    pub const RELEASE: u64 = 1600;
+    pub const INDEX_WRAP: u64 = 1400;
+    pub const HEAP_WRAP: u64 = 1000;
+    pub const LOG_COMMIT: u64 = 2600;
+    pub const LOG_UPDATE: u64 = 1200;
+    pub const SCAN_NEXT: u64 = 220;
+}
+
+struct Mods {
+    net: ModuleId,
+    parser: ModuleId,
+    optimizer: ModuleId,
+    executor: ModuleId,
+    catalog: ModuleId,
+    txn: ModuleId,
+    lock: ModuleId,
+    btree: ModuleId,
+    bpool: ModuleId,
+    heap: ModuleId,
+    log: ModuleId,
+}
+
+struct Table {
+    def: TableDef,
+    heap: HeapFile,
+    index: DiskBTreePacked,
+}
+
+/// The DBMS D engine. See the module docs.
+pub struct DbmsD {
+    sim: Sim,
+    core: usize,
+    m: Mods,
+    pool: BufferPool,
+    locks: LockManager,
+    wal: Wal,
+    tm: TxnManager,
+    tables: Vec<Table>,
+    cur: Option<TxnId>,
+    ops_in_txn: u32,
+}
+
+const POOL_FRAMES: usize = 96 * 1024;
+
+impl DbmsD {
+    /// Build the engine on a simulator.
+    pub fn new(sim: &Sim) -> Self {
+        // Legacy code: large footprints, low dynamic reuse, many branches.
+        let m = Mods {
+            net: sim.register_module(
+                ModuleSpec::new("dbmsd/network", 48 << 10).reuse(1.5).branchiness(0.24),
+            ),
+            parser: sim.register_module(
+                ModuleSpec::new("dbmsd/parser", 64 << 10).reuse(1.35).branchiness(0.28),
+            ),
+            optimizer: sim.register_module(
+                ModuleSpec::new("dbmsd/optimizer", 64 << 10).reuse(1.3).branchiness(0.28),
+            ),
+            executor: sim.register_module(
+                ModuleSpec::new("dbmsd/executor", 56 << 10).reuse(1.5).branchiness(0.26),
+            ),
+            catalog: sim.register_module(
+                ModuleSpec::new("dbmsd/catalog", 16 << 10).reuse(1.8).branchiness(0.20),
+            ),
+            txn: sim.register_module(
+                ModuleSpec::new("dbmsd/txn-mgmt", 24 << 10)
+                    .reuse(1.8)
+                    .branchiness(0.20)
+                    .engine_side(true),
+            ),
+            lock: sim.register_module(
+                ModuleSpec::new("dbmsd/lock-mgr", 16 << 10)
+                    .reuse(2.0)
+                    .branchiness(0.15)
+                    .engine_side(true),
+            ),
+            btree: sim.register_module(
+                ModuleSpec::new("dbmsd/btree", 16 << 10)
+                    .reuse(2.2)
+                    .branchiness(0.10)
+                    .engine_side(true),
+            ),
+            bpool: sim.register_module(
+                ModuleSpec::new("dbmsd/bufferpool", 20 << 10)
+                    .reuse(2.2)
+                    .branchiness(0.10)
+                    .engine_side(true),
+            ),
+            heap: sim.register_module(
+                ModuleSpec::new("dbmsd/heap", 12 << 10)
+                    .reuse(2.2)
+                    .branchiness(0.10)
+                    .engine_side(true),
+            ),
+            log: sim.register_module(
+                ModuleSpec::new("dbmsd/log", 16 << 10)
+                    .reuse(2.0)
+                    .branchiness(0.12)
+                    .engine_side(true),
+            ),
+        };
+        let mem = sim.mem(0);
+        DbmsD {
+            core: 0,
+            m,
+            pool: BufferPool::new(&mem, POOL_FRAMES),
+            locks: LockManager::new(&mem, 64 * 1024),
+            wal: Wal::new(&mem, 1 << 20, 8),
+            tm: TxnManager::new(),
+            tables: Vec::new(),
+            cur: None,
+            ops_in_txn: 0,
+            sim: sim.clone(),
+        }
+    }
+
+    fn mem(&self, module: ModuleId) -> Mem {
+        self.sim.mem(self.core).with_module(module)
+    }
+
+    /// Enable durable-log record retention (for crash-replay testing).
+    pub fn retain_log(&mut self) {
+        self.wal.retain_records(true);
+    }
+
+    /// The retained log records (see [`storage::recovery`]).
+    pub fn log_records(&self) -> &[storage::wal::LogRecord] {
+        self.wal.records()
+    }
+
+    fn txn(&self) -> OltpResult<TxnId> {
+        self.cur.ok_or(OltpError::NoActiveTxn)
+    }
+
+    /// Interpreted value processing proportional to row bytes (§6.2).
+    fn value_work(&self, bytes: usize) {
+        self.mem(self.m.executor).exec(bytes as u64 * 8);
+    }
+
+    fn table(&self, t: TableId) -> OltpResult<usize> {
+        if (t.0 as usize) < self.tables.len() {
+            Ok(t.0 as usize)
+        } else {
+            Err(OltpError::NoSuchTable(t))
+        }
+    }
+
+    /// Per-statement frontend work: full executor dispatch + catalog
+    /// resolution for the first operation of a transaction, iterator
+    /// `next()` glue for subsequent ones.
+    fn frontend_op(&mut self) {
+        if self.ops_in_txn == 0 {
+            self.mem(self.m.executor).exec(cost::EXEC_OP);
+            self.mem(self.m.catalog).exec(cost::CATALOG);
+        } else {
+            self.mem(self.m.executor).exec(cost::EXEC_OP_NEXT);
+            self.mem(self.m.catalog).exec(cost::CATALOG_NEXT);
+        }
+        self.ops_in_txn += 1;
+    }
+
+    fn acquire(&mut self, target: LockTarget, mode: LockMode) -> OltpResult<()> {
+        let txn = self.txn()?;
+        let mem = self.mem(self.m.lock);
+        mem.exec(cost::LOCK_WRAP);
+        match self.locks.lock(&mem, txn, target, mode) {
+            LockOutcome::Granted => Ok(()),
+            LockOutcome::Conflict => Err(OltpError::Aborted("lock conflict")),
+        }
+    }
+
+    fn lock_pair(&mut self, t: TableId, key: u64, write: bool) -> OltpResult<()> {
+        let (tm, rm) =
+            if write { (LockMode::Ix, LockMode::X) } else { (LockMode::Is, LockMode::S) };
+        self.acquire(LockTarget::Table(t.0), tm)?;
+        self.acquire(LockTarget::Row(t.0, key), rm)
+    }
+}
+
+impl Db for DbmsD {
+    fn name(&self) -> &'static str {
+        "DBMS D"
+    }
+
+    fn set_core(&mut self, core: usize) {
+        assert!(core < self.sim.cores());
+        self.core = core;
+    }
+
+    fn core(&self) -> usize {
+        self.core
+    }
+
+    fn create_table(&mut self, def: TableDef) -> TableId {
+        let mem = self.mem(self.m.btree);
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(Table { def, heap: HeapFile::new(), index: DiskBTreePacked::new(&mem) });
+        id
+    }
+
+    fn begin(&mut self) {
+        assert!(self.cur.is_none(), "transaction already active");
+        let (txn, _) = self.tm.begin();
+        self.cur = Some(txn);
+        self.ops_in_txn = 0;
+        // The request travels the whole frontend before the SM sees it.
+        self.mem(self.m.net).exec(cost::NET_RECV);
+        self.mem(self.m.parser).exec(cost::PARSE);
+        self.mem(self.m.optimizer).exec(cost::OPTIMIZE);
+        self.mem(self.m.txn).exec(cost::BEGIN);
+        let mem = self.mem(self.m.log);
+        self.wal.append(&mem, txn, LogKind::Begin, 0);
+    }
+
+    fn commit(&mut self) -> OltpResult<()> {
+        let txn = self.txn()?;
+        self.mem(self.m.txn).exec(cost::COMMIT);
+        let mem = self.mem(self.m.log);
+        mem.exec(cost::LOG_COMMIT);
+        self.wal.append(&mem, txn, LogKind::Commit, 16);
+        let mem = self.mem(self.m.lock);
+        mem.exec(cost::RELEASE);
+        self.locks.release_all(&mem, txn);
+        self.mem(self.m.net).exec(cost::NET_REPLY);
+        self.cur = None;
+        Ok(())
+    }
+
+    fn abort(&mut self) {
+        if let Some(txn) = self.cur.take() {
+            self.mem(self.m.txn).exec(cost::ABORT);
+            let mem = self.mem(self.m.log);
+            self.wal.append(&mem, txn, LogKind::Abort, 0);
+            let mem = self.mem(self.m.lock);
+            self.locks.release_all(&mem, txn);
+            self.mem(self.m.net).exec(cost::NET_REPLY);
+        }
+    }
+
+    fn insert(&mut self, t: TableId, key: u64, row: &[Value]) -> OltpResult<()> {
+        let ti = self.table(t)?;
+        let txn = self.txn()?;
+        debug_assert!(self.tables[ti].def.schema.check(row), "row/schema mismatch");
+        self.frontend_op();
+        self.lock_pair(t, key, true)?;
+        let data = tuple::encode(row);
+        self.value_work(data.len());
+        let len = data.len() as u32;
+        let redo = data.clone();
+        let mem = self.mem(self.m.heap);
+        mem.exec(cost::HEAP_WRAP);
+        let rid = self.tables[ti].heap.insert(&mut self.pool, &mem, data);
+        let mem = self.mem(self.m.btree);
+        mem.exec(cost::INDEX_WRAP);
+        if !self.tables[ti].index.insert(&mem, key, rid.to_u64()) {
+            let mem = self.mem(self.m.heap);
+            self.tables[ti].heap.delete(&mut self.pool, &mem, rid);
+            return Err(OltpError::DuplicateKey { table: t, key });
+        }
+        let mem = self.mem(self.m.log);
+        mem.exec(cost::LOG_UPDATE);
+        self.wal.append_data(&mem, txn, LogKind::Insert, t.0, key, Some(&redo), len);
+        Ok(())
+    }
+
+    fn read_with(
+        &mut self,
+        t: TableId,
+        key: u64,
+        f: &mut dyn FnMut(&[Value]),
+    ) -> OltpResult<bool> {
+        let ti = self.table(t)?;
+        self.frontend_op();
+        self.lock_pair(t, key, false)?;
+        let mem = self.mem(self.m.btree);
+        mem.exec(cost::INDEX_WRAP);
+        let Some(payload) = self.tables[ti].index.get(&mem, key) else {
+            return Ok(false);
+        };
+        let mem = self.mem(self.m.bpool);
+        mem.exec(cost::HEAP_WRAP);
+        let mut decoded: Option<Row> = None;
+        self.tables[ti].heap.read(&mut self.pool, &mem, Rid::from_u64(payload), &mut |d| {
+            decoded = tuple::decode(d).ok();
+        });
+        match decoded {
+            Some(row) => {
+                self.value_work(tuple::encoded_len(&row));
+                f(&row);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn update(
+        &mut self,
+        t: TableId,
+        key: u64,
+        f: &mut dyn FnMut(&mut Row),
+    ) -> OltpResult<bool> {
+        let ti = self.table(t)?;
+        let txn = self.txn()?;
+        self.frontend_op();
+        self.lock_pair(t, key, true)?;
+        let mem = self.mem(self.m.btree);
+        mem.exec(cost::INDEX_WRAP);
+        let Some(payload) = self.tables[ti].index.get(&mem, key) else {
+            return Ok(false);
+        };
+        let rid = Rid::from_u64(payload);
+        let mem = self.mem(self.m.bpool);
+        mem.exec(cost::HEAP_WRAP);
+        let mut row: Option<Row> = None;
+        self.tables[ti].heap.read(&mut self.pool, &mem, rid, &mut |d| {
+            row = tuple::decode(d).ok();
+        });
+        let Some(mut row) = row else { return Ok(false) };
+        f(&mut row);
+        debug_assert!(self.tables[ti].def.schema.check(&row), "row/schema mismatch");
+        let data = tuple::encode(&row);
+        self.value_work(data.len() * 2);
+        let len = data.len() as u32;
+        let redo = data.clone();
+        let new_rid = self
+            .tables[ti]
+            .heap
+            .update(&mut self.pool, &mem, rid, data)
+            .expect("row vanished mid-update");
+        if new_rid != rid {
+            let mem = self.mem(self.m.btree);
+            self.tables[ti].index.replace(&mem, key, new_rid.to_u64());
+        }
+        let mem = self.mem(self.m.log);
+        mem.exec(cost::LOG_UPDATE);
+        self.wal.append_data(&mem, txn, LogKind::Update, t.0, key, Some(&redo), len * 2);
+        Ok(true)
+    }
+
+    fn scan(
+        &mut self,
+        t: TableId,
+        lo: u64,
+        hi: u64,
+        f: &mut dyn FnMut(u64, &[Value]) -> bool,
+    ) -> OltpResult<u64> {
+        let ti = self.table(t)?;
+        self.frontend_op();
+        self.acquire(LockTarget::Table(t.0), LockMode::S)?;
+        let mem_btree = self.mem(self.m.btree);
+        mem_btree.exec(cost::INDEX_WRAP);
+        let mem_pool = self.mem(self.m.bpool);
+        let mut rids: Vec<(u64, u64)> = Vec::new();
+        self.tables[ti].index.scan(&mem_btree, lo, hi, &mut |k, p| {
+            rids.push((k, p));
+            true
+        });
+        let mut visited = 0;
+        for (k, p) in rids {
+            mem_pool.exec(cost::SCAN_NEXT);
+            let mut keep = true;
+            let mut decoded: Option<Row> = None;
+            self.tables[ti].heap.read(&mut self.pool, &mem_pool, Rid::from_u64(p), &mut |d| {
+                decoded = tuple::decode(d).ok();
+            });
+            if let Some(row) = decoded {
+                self.value_work(tuple::encoded_len(&row));
+                visited += 1;
+                keep = f(k, &row);
+            }
+            if !keep {
+                break;
+            }
+        }
+        Ok(visited)
+    }
+
+    fn delete(&mut self, t: TableId, key: u64) -> OltpResult<bool> {
+        let ti = self.table(t)?;
+        let txn = self.txn()?;
+        self.frontend_op();
+        self.lock_pair(t, key, true)?;
+        let mem = self.mem(self.m.btree);
+        mem.exec(cost::INDEX_WRAP);
+        let Some(payload) = self.tables[ti].index.remove(&mem, key) else {
+            return Ok(false);
+        };
+        let mem = self.mem(self.m.heap);
+        mem.exec(cost::HEAP_WRAP);
+        self.tables[ti].heap.delete(&mut self.pool, &mem, Rid::from_u64(payload));
+        let mem = self.mem(self.m.log);
+        mem.exec(cost::LOG_UPDATE);
+        self.wal.append_data(&mem, txn, LogKind::Delete, t.0, key, None, 16);
+        Ok(true)
+    }
+
+    fn row_count(&self, t: TableId) -> u64 {
+        self.tables.get(t.0 as usize).map_or(0, |tb| tb.heap.rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oltp::{Column, DataType, Schema};
+    use uarch_sim::MachineConfig;
+
+    fn setup() -> DbmsD {
+        DbmsD::new(&Sim::new(MachineConfig::ivy_bridge(1)))
+    }
+
+    fn micro_table(db: &mut DbmsD) -> TableId {
+        db.create_table(TableDef::new(
+            "t",
+            Schema::new(vec![
+                Column::new("key", DataType::Long),
+                Column::new("val", DataType::Long),
+            ]),
+            1000,
+        ))
+    }
+
+    #[test]
+    fn crud_round_trip() {
+        let mut db = setup();
+        let t = micro_table(&mut db);
+        db.begin();
+        for k in 0..100u64 {
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)]).unwrap();
+        }
+        db.commit().unwrap();
+        db.begin();
+        assert!(db.update(t, 42, &mut |r| r[1] = Value::Long(7)).unwrap());
+        assert_eq!(db.read(t, 42).unwrap().unwrap()[1], Value::Long(7));
+        assert!(db.delete(t, 42).unwrap());
+        assert!(db.read(t, 42).unwrap().is_none());
+        db.commit().unwrap();
+        assert_eq!(db.row_count(t), 99);
+    }
+
+    #[test]
+    fn frontend_instruction_footprint_exceeds_shore_mt() {
+        // The paper's central Shore-MT vs DBMS D contrast: same storage
+        // architecture, very different instruction counts per transaction.
+        use crate::shore_mt::ShoreMt;
+        let run = |mk: &dyn Fn(&Sim) -> Box<dyn Db>| {
+            let sim = Sim::new(MachineConfig::ivy_bridge(1));
+            let mut db = mk(&sim);
+            let t = db.create_table(TableDef::new(
+                "t",
+                Schema::new(vec![
+                    Column::new("key", DataType::Long),
+                    Column::new("val", DataType::Long),
+                ]),
+                1000,
+            ));
+            db.begin();
+            for k in 0..500u64 {
+                db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)]).unwrap();
+            }
+            db.commit().unwrap();
+            let before = sim.counters(0).instructions;
+            for k in 0..100u64 {
+                db.begin();
+                let _ = db.read(t, k * 3 % 500).unwrap();
+                db.commit().unwrap();
+            }
+            (sim.counters(0).instructions - before) / 100
+        };
+        let shore = run(&|s| Box::new(ShoreMt::new(s)));
+        let dbmsd = run(&|s| Box::new(DbmsD::new(s)));
+        assert!(
+            dbmsd as f64 > shore as f64 * 1.2,
+            "DBMS D should retire clearly more instructions/txn: dbmsd={dbmsd} shore={shore}"
+        );
+    }
+
+    #[test]
+    fn scan_and_locks() {
+        let mut db = setup();
+        let t = micro_table(&mut db);
+        db.begin();
+        for k in 0..30u64 {
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)]).unwrap();
+        }
+        db.commit().unwrap();
+        db.begin();
+        let n = db.scan(t, 5, 14, &mut |_, _| true).unwrap();
+        assert_eq!(n, 10);
+        db.commit().unwrap();
+        assert_eq!(db.locks.entries(), 0);
+    }
+}

@@ -1,0 +1,541 @@
+//! Shore-MT archetype: an open-source disk-based *storage manager*.
+//!
+//! §3/§4.1.2: "Shore-MT is a storage manager and does not include the
+//! layers outside the storage manager component of an OLTP system such as
+//! query parser, query optimizer, and communication facilities. It
+//! hard-codes the query plan of the transaction in C++." Consequently its
+//! instruction stalls are clearly lower than DBMS D's — but it pays the
+//! full disk-based storage tax: buffer-pool indirection on every tuple,
+//! hierarchical 2PL, WAL, and a non-cache-conscious 8 KB-page B+tree
+//! (the source of its high LLC data stalls, §4.1.3).
+
+use oltp::{tuple, Db, OltpError, OltpResult, Row, TableDef, TableId, Value};
+use storage::{
+    lock::LockOutcome, BufferPool, HeapFile, LockManager, LockMode, LockTarget, LogKind, Rid,
+    TxnId, TxnManager, Wal,
+};
+use indexes::{DiskBTree, Index};
+use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
+
+/// Per-operation instruction budgets (tuned against the paper's Shore-MT
+/// bars; see EXPERIMENTS.md).
+mod cost {
+    pub const BEGIN: u64 = 5200;
+    pub const COMMIT: u64 = 4200;
+    pub const ABORT: u64 = 2800;
+    pub const LOG_COMMIT: u64 = 3600;
+    pub const LOG_UPDATE: u64 = 1800;
+    pub const EXEC_OP: u64 = 5600; // plan setup for the first operation
+    pub const EXEC_OP_NEXT: u64 = 1000; // plan-loop glue for later operations
+    pub const LOCK_WRAP: u64 = 1800; // per lock acquisition
+    pub const RELEASE: u64 = 2300;
+    pub const INDEX_WRAP: u64 = 2300; // latch/SMO checks around descent
+    pub const HEAP_WRAP: u64 = 1500;
+    pub const SCAN_NEXT: u64 = 220; // per scanned row
+}
+
+struct Mods {
+    kits: ModuleId, // Shore-Kits hard-coded plans (outside the SM)
+    txn: ModuleId,
+    lock: ModuleId,
+    btree: ModuleId,
+    bpool: ModuleId,
+    heap: ModuleId,
+    log: ModuleId,
+}
+
+struct Table {
+    def: TableDef,
+    heap: HeapFile,
+    index: DiskBTree,
+}
+
+/// The Shore-MT engine. See the module docs.
+pub struct ShoreMt {
+    sim: Sim,
+    core: usize,
+    m: Mods,
+    pool: BufferPool,
+    locks: LockManager,
+    wal: Wal,
+    tm: TxnManager,
+    tables: Vec<Table>,
+    cur: Option<TxnId>,
+    ops_in_txn: u32,
+}
+
+/// Buffer-pool frames: sized to keep every experiment memory-resident
+/// (the paper's setup; eviction is still exercised by dedicated tests).
+const POOL_FRAMES: usize = 96 * 1024;
+
+impl ShoreMt {
+    /// Build the engine on a simulator.
+    pub fn new(sim: &Sim) -> Self {
+        let m = Mods {
+            kits: sim.register_module(
+                ModuleSpec::new("shore/kits-plans", 40 << 10).reuse(2.7).branchiness(0.24),
+            ),
+            txn: sim.register_module(
+                ModuleSpec::new("shore/txn-mgmt", 28 << 10)
+                    .reuse(2.5)
+                    .branchiness(0.22)
+                    .engine_side(true),
+            ),
+            lock: sim.register_module(
+                ModuleSpec::new("shore/lock-mgr", 24 << 10)
+                    .reuse(2.6)
+                    .branchiness(0.22)
+                    .engine_side(true),
+            ),
+            btree: sim.register_module(
+                ModuleSpec::new("shore/btree", 24 << 10)
+                    .reuse(2.9)
+                    .branchiness(0.16)
+                    .engine_side(true),
+            ),
+            bpool: sim.register_module(
+                ModuleSpec::new("shore/bufferpool", 24 << 10)
+                    .reuse(2.9)
+                    .branchiness(0.16)
+                    .engine_side(true),
+            ),
+            heap: sim.register_module(
+                ModuleSpec::new("shore/heap", 16 << 10)
+                    .reuse(2.8)
+                    .branchiness(0.16)
+                    .engine_side(true),
+            ),
+            log: sim.register_module(
+                ModuleSpec::new("shore/log", 20 << 10)
+                    .reuse(2.4)
+                    .branchiness(0.18)
+                    .engine_side(true),
+            ),
+        };
+        let mem = sim.mem(0);
+        ShoreMt {
+            core: 0,
+            m,
+            pool: BufferPool::new(&mem, POOL_FRAMES),
+            locks: LockManager::new(&mem, 64 * 1024),
+            wal: Wal::new(&mem, 1 << 20, 8),
+            tm: TxnManager::new(),
+            tables: Vec::new(),
+            cur: None,
+            ops_in_txn: 0,
+            sim: sim.clone(),
+        }
+    }
+
+    /// Statement dispatch: the hard-coded plan sets up once per
+    /// transaction; subsequent operations run inside its loop.
+    fn exec_op(&mut self) {
+        let n = if self.ops_in_txn == 0 { cost::EXEC_OP } else { cost::EXEC_OP_NEXT };
+        self.ops_in_txn += 1;
+        self.mem(self.m.kits).exec(n);
+    }
+
+    fn mem(&self, module: ModuleId) -> Mem {
+        self.sim.mem(self.core).with_module(module)
+    }
+
+    /// Enable durable-log record retention (for crash-replay testing).
+    pub fn retain_log(&mut self) {
+        self.wal.retain_records(true);
+    }
+
+    /// The retained log records (see [`storage::recovery`]).
+    pub fn log_records(&self) -> &[storage::wal::LogRecord] {
+        self.wal.records()
+    }
+
+    fn txn(&self) -> OltpResult<TxnId> {
+        self.cur.ok_or(OltpError::NoActiveTxn)
+    }
+
+    /// Interpreted value processing proportional to row bytes (§6.2).
+    fn value_work(&self, bytes: usize) {
+        self.mem(self.m.kits).exec(bytes as u64 * 7);
+    }
+
+    fn table(&self, t: TableId) -> OltpResult<usize> {
+        if (t.0 as usize) < self.tables.len() {
+            Ok(t.0 as usize)
+        } else {
+            Err(OltpError::NoSuchTable(t))
+        }
+    }
+
+    fn acquire(&mut self, target: LockTarget, mode: LockMode) -> OltpResult<()> {
+        let txn = self.txn()?;
+        let mem = self.mem(self.m.lock);
+        mem.exec(cost::LOCK_WRAP);
+        match self.locks.lock(&mem, txn, target, mode) {
+            LockOutcome::Granted => Ok(()),
+            LockOutcome::Conflict => Err(OltpError::Aborted("lock conflict")),
+        }
+    }
+
+    fn lock_pair(&mut self, t: TableId, key: u64, write: bool) -> OltpResult<()> {
+        let (tm, rm) =
+            if write { (LockMode::Ix, LockMode::X) } else { (LockMode::Is, LockMode::S) };
+        self.acquire(LockTarget::Table(t.0), tm)?;
+        self.acquire(LockTarget::Row(t.0, key), rm)
+    }
+}
+
+impl Db for ShoreMt {
+    fn name(&self) -> &'static str {
+        "Shore-MT"
+    }
+
+    fn set_core(&mut self, core: usize) {
+        assert!(core < self.sim.cores());
+        self.core = core;
+    }
+
+    fn core(&self) -> usize {
+        self.core
+    }
+
+    fn create_table(&mut self, def: TableDef) -> TableId {
+        let mem = self.mem(self.m.btree);
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(Table { def, heap: HeapFile::new(), index: DiskBTree::new(&mem) });
+        id
+    }
+
+    fn begin(&mut self) {
+        assert!(self.cur.is_none(), "transaction already active");
+        let (txn, _) = self.tm.begin();
+        self.cur = Some(txn);
+        self.ops_in_txn = 0;
+        self.mem(self.m.txn).exec(cost::BEGIN);
+        let mem = self.mem(self.m.log);
+        self.wal.append(&mem, txn, LogKind::Begin, 0);
+    }
+
+    fn commit(&mut self) -> OltpResult<()> {
+        let txn = self.txn()?;
+        self.mem(self.m.txn).exec(cost::COMMIT);
+        let mem = self.mem(self.m.log);
+        mem.exec(cost::LOG_COMMIT);
+        self.wal.append(&mem, txn, LogKind::Commit, 16);
+        let mem = self.mem(self.m.lock);
+        mem.exec(cost::RELEASE);
+        self.locks.release_all(&mem, txn);
+        self.cur = None;
+        Ok(())
+    }
+
+    fn abort(&mut self) {
+        if let Some(txn) = self.cur.take() {
+            self.mem(self.m.txn).exec(cost::ABORT);
+            let mem = self.mem(self.m.log);
+            self.wal.append(&mem, txn, LogKind::Abort, 0);
+            let mem = self.mem(self.m.lock);
+            self.locks.release_all(&mem, txn);
+        }
+    }
+
+    fn insert(&mut self, t: TableId, key: u64, row: &[Value]) -> OltpResult<()> {
+        let ti = self.table(t)?;
+        let txn = self.txn()?;
+        debug_assert!(self.tables[ti].def.schema.check(row), "row/schema mismatch");
+        self.exec_op();
+        self.lock_pair(t, key, true)?;
+        let data = tuple::encode(row);
+        self.value_work(data.len());
+        let len = data.len() as u32;
+        let redo = data.clone();
+        let mem = self.mem(self.m.heap);
+        mem.exec(cost::HEAP_WRAP);
+        let rid = self.tables[ti].heap.insert(&mut self.pool, &mem, data);
+        let mem = self.mem(self.m.btree);
+        mem.exec(cost::INDEX_WRAP);
+        if !self.tables[ti].index.insert(&mem, key, rid.to_u64()) {
+            // Undo the heap insert (simplified physical undo).
+            let mem = self.mem(self.m.heap);
+            self.tables[ti].heap.delete(&mut self.pool, &mem, rid);
+            return Err(OltpError::DuplicateKey { table: t, key });
+        }
+        let mem = self.mem(self.m.log);
+        mem.exec(cost::LOG_UPDATE);
+        self.wal.append_data(&mem, txn, LogKind::Insert, t.0, key, Some(&redo), len);
+        Ok(())
+    }
+
+    fn read_with(
+        &mut self,
+        t: TableId,
+        key: u64,
+        f: &mut dyn FnMut(&[Value]),
+    ) -> OltpResult<bool> {
+        let ti = self.table(t)?;
+        self.exec_op();
+        self.lock_pair(t, key, false)?;
+        let mem = self.mem(self.m.btree);
+        mem.exec(cost::INDEX_WRAP);
+        let Some(payload) = self.tables[ti].index.get(&mem, key) else {
+            return Ok(false);
+        };
+        let mem = self.mem(self.m.bpool);
+        mem.exec(cost::HEAP_WRAP);
+        let mut ok = false;
+        let mut decoded: Option<Row> = None;
+        self.tables[ti].heap.read(&mut self.pool, &mem, Rid::from_u64(payload), &mut |d| {
+            decoded = tuple::decode(d).ok();
+            ok = true;
+        });
+        if let Some(row) = decoded {
+            self.value_work(tuple::encoded_len(&row));
+            f(&row);
+        }
+        Ok(ok)
+    }
+
+    fn update(
+        &mut self,
+        t: TableId,
+        key: u64,
+        f: &mut dyn FnMut(&mut Row),
+    ) -> OltpResult<bool> {
+        let ti = self.table(t)?;
+        let txn = self.txn()?;
+        self.exec_op();
+        self.lock_pair(t, key, true)?;
+        let mem = self.mem(self.m.btree);
+        mem.exec(cost::INDEX_WRAP);
+        let Some(payload) = self.tables[ti].index.get(&mem, key) else {
+            return Ok(false);
+        };
+        let rid = Rid::from_u64(payload);
+        let mem = self.mem(self.m.bpool);
+        mem.exec(cost::HEAP_WRAP);
+        let mut row: Option<Row> = None;
+        self.tables[ti].heap.read(&mut self.pool, &mem, rid, &mut |d| {
+            row = tuple::decode(d).ok();
+        });
+        let Some(mut row) = row else { return Ok(false) };
+        f(&mut row);
+        debug_assert!(self.tables[ti].def.schema.check(&row), "row/schema mismatch");
+        let data = tuple::encode(&row);
+        self.value_work(data.len() * 2);
+        let len = data.len() as u32;
+        let redo = data.clone();
+        let new_rid = self
+            .tables[ti]
+            .heap
+            .update(&mut self.pool, &mem, rid, data)
+            .expect("row vanished mid-update");
+        if new_rid != rid {
+            let mem = self.mem(self.m.btree);
+            self.tables[ti].index.replace(&mem, key, new_rid.to_u64());
+        }
+        let mem = self.mem(self.m.log);
+        mem.exec(cost::LOG_UPDATE);
+        self.wal.append_data(&mem, txn, LogKind::Update, t.0, key, Some(&redo), len * 2);
+        Ok(true)
+    }
+
+    fn scan(
+        &mut self,
+        t: TableId,
+        lo: u64,
+        hi: u64,
+        f: &mut dyn FnMut(u64, &[Value]) -> bool,
+    ) -> OltpResult<u64> {
+        let ti = self.table(t)?;
+        self.exec_op();
+        // Range scans take a table-level S lock (no next-key locking).
+        self.acquire(LockTarget::Table(t.0), LockMode::S)?;
+        let mem_btree = self.mem(self.m.btree);
+        mem_btree.exec(cost::INDEX_WRAP);
+        let mem_pool = self.mem(self.m.bpool);
+        let mut rids: Vec<(u64, u64)> = Vec::new();
+        self.tables[ti].index.scan(&mem_btree, lo, hi, &mut |k, p| {
+            rids.push((k, p));
+            true
+        });
+        let mut visited = 0;
+        for (k, p) in rids {
+            mem_pool.exec(cost::SCAN_NEXT);
+            let mut keep = true;
+            let mut decoded: Option<Row> = None;
+            self.tables[ti].heap.read(&mut self.pool, &mem_pool, Rid::from_u64(p), &mut |d| {
+                decoded = tuple::decode(d).ok();
+            });
+            if let Some(row) = decoded {
+                self.value_work(tuple::encoded_len(&row));
+                visited += 1;
+                keep = f(k, &row);
+            }
+            if !keep {
+                break;
+            }
+        }
+        Ok(visited)
+    }
+
+    fn delete(&mut self, t: TableId, key: u64) -> OltpResult<bool> {
+        let ti = self.table(t)?;
+        let txn = self.txn()?;
+        self.exec_op();
+        self.lock_pair(t, key, true)?;
+        let mem = self.mem(self.m.btree);
+        mem.exec(cost::INDEX_WRAP);
+        let Some(payload) = self.tables[ti].index.remove(&mem, key) else {
+            return Ok(false);
+        };
+        let mem = self.mem(self.m.heap);
+        mem.exec(cost::HEAP_WRAP);
+        self.tables[ti].heap.delete(&mut self.pool, &mem, Rid::from_u64(payload));
+        let mem = self.mem(self.m.log);
+        mem.exec(cost::LOG_UPDATE);
+        self.wal.append_data(&mem, txn, LogKind::Delete, t.0, key, None, 16);
+        Ok(true)
+    }
+
+    fn row_count(&self, t: TableId) -> u64 {
+        self.tables.get(t.0 as usize).map_or(0, |tb| tb.heap.rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oltp::{Column, DataType, Schema};
+    use uarch_sim::MachineConfig;
+
+    fn setup() -> ShoreMt {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        ShoreMt::new(&sim)
+    }
+
+    fn micro_table(db: &mut ShoreMt) -> TableId {
+        db.create_table(TableDef::new(
+            "t",
+            Schema::new(vec![
+                Column::new("key", DataType::Long),
+                Column::new("val", DataType::Long),
+            ]),
+            1000,
+        ))
+    }
+
+    #[test]
+    fn crud_round_trip() {
+        let mut db = setup();
+        let t = micro_table(&mut db);
+        db.begin();
+        db.insert(t, 1, &[Value::Long(1), Value::Long(100)]).unwrap();
+        db.commit().unwrap();
+
+        db.begin();
+        assert_eq!(db.read(t, 1).unwrap().unwrap()[1], Value::Long(100));
+        assert!(db.update(t, 1, &mut |r| r[1] = Value::Long(200)).unwrap());
+        assert_eq!(db.read(t, 1).unwrap().unwrap()[1], Value::Long(200));
+        assert!(db.delete(t, 1).unwrap());
+        assert!(db.read(t, 1).unwrap().is_none());
+        db.commit().unwrap();
+        assert_eq!(db.row_count(t), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_fails_cleanly() {
+        let mut db = setup();
+        let t = micro_table(&mut db);
+        db.begin();
+        db.insert(t, 5, &[Value::Long(5), Value::Long(1)]).unwrap();
+        let err = db.insert(t, 5, &[Value::Long(5), Value::Long(2)]).unwrap_err();
+        assert!(matches!(err, OltpError::DuplicateKey { .. }));
+        db.commit().unwrap();
+        assert_eq!(db.row_count(t), 1);
+        db.begin();
+        assert_eq!(db.read(t, 5).unwrap().unwrap()[1], Value::Long(1));
+        db.commit().unwrap();
+    }
+
+    #[test]
+    fn scan_in_key_order() {
+        let mut db = setup();
+        let t = micro_table(&mut db);
+        db.begin();
+        for k in (0..50u64).rev() {
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64 * 10)]).unwrap();
+        }
+        db.commit().unwrap();
+        db.begin();
+        let mut seen = Vec::new();
+        db.scan(t, 10, 19, &mut |k, row| {
+            seen.push((k, row[1].long()));
+            true
+        })
+        .unwrap();
+        db.commit().unwrap();
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen[0], (10, 100));
+        assert!(seen.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn ops_outside_txn_rejected() {
+        let mut db = setup();
+        let t = micro_table(&mut db);
+        assert_eq!(
+            db.insert(t, 1, &[Value::Long(1), Value::Long(1)]).unwrap_err(),
+            OltpError::NoActiveTxn
+        );
+        assert_eq!(db.commit().unwrap_err(), OltpError::NoActiveTxn);
+        db.abort(); // no-op without a txn
+    }
+
+    #[test]
+    fn locks_released_at_commit() {
+        let mut db = setup();
+        let t = micro_table(&mut db);
+        db.begin();
+        db.insert(t, 1, &[Value::Long(1), Value::Long(1)]).unwrap();
+        db.commit().unwrap();
+        assert_eq!(db.locks.entries(), 0);
+        db.begin();
+        let _ = db.read(t, 1).unwrap();
+        assert!(db.locks.entries() > 0);
+        db.commit().unwrap();
+        assert_eq!(db.locks.entries(), 0);
+    }
+
+    #[test]
+    fn wal_sees_commit_records() {
+        let mut db = setup();
+        let t = micro_table(&mut db);
+        db.wal.retain_records(true);
+        db.begin();
+        db.insert(t, 9, &[Value::Long(9), Value::Long(9)]).unwrap();
+        db.commit().unwrap();
+        let kinds: Vec<LogKind> = db.wal.records().iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, [LogKind::Begin, LogKind::Insert, LogKind::Commit]);
+    }
+
+    #[test]
+    fn activity_is_attributed_to_engine_modules() {
+        let mut db = setup();
+        let t = micro_table(&mut db);
+        db.begin();
+        db.insert(t, 1, &[Value::Long(1), Value::Long(1)]).unwrap();
+        db.commit().unwrap();
+        let counters = db.sim.module_counters(0);
+        let names = db.sim.module_names();
+        let active: Vec<&str> = names
+            .iter()
+            .zip(&counters)
+            .filter(|(_, c)| c.instructions > 0)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        for required in
+            ["shore/kits-plans", "shore/txn-mgmt", "shore/lock-mgr", "shore/btree", "shore/log"]
+        {
+            assert!(active.contains(&required), "missing activity in {required}: {active:?}");
+        }
+    }
+}

@@ -1,0 +1,908 @@
+//! Adaptive radix tree (ART) — HyPer's index (Leis et al., ICDE'13).
+//!
+//! Keys are treated as 8 big-endian bytes. Inner nodes adapt their layout
+//! to their fanout (Node4 / Node16 / Node48 / Node256), paths with single
+//! children are compressed into node prefixes, and single keys are stored
+//! as lazy leaves. The paper credits this structure ("adaptive radix tree
+//! with adaptive compact node sizes") for HyPer's low data stalls *per
+//! transaction* despite very high stalls *per 1000 instructions*.
+
+use uarch_sim::Mem;
+
+use crate::traits::{Index, IndexKind, IndexStats};
+
+/// Reference to a child: none, leaf, or inner node (arena indices).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NodeRef {
+    None,
+    Leaf(u32),
+    Inner(u32),
+}
+
+struct Leaf {
+    key: u64,
+    payload: u64,
+    addr: u64,
+}
+
+const LEAF_BYTES: u64 = 24;
+
+enum Variant {
+    Node4 { keys: [u8; 4], children: [NodeRef; 4] },
+    Node16 { keys: [u8; 16], children: [NodeRef; 16] },
+    Node48 { index: Box<[u8; 256]>, children: Box<[NodeRef; 48]> },
+    Node256 { children: Box<[NodeRef; 256]> },
+}
+
+impl Variant {
+    fn simulated_bytes(&self) -> u64 {
+        match self {
+            Variant::Node4 { .. } => 64,
+            Variant::Node16 { .. } => 192,
+            Variant::Node48 { .. } => 704,
+            Variant::Node256 { .. } => 2112,
+        }
+    }
+
+    fn visit_instr(&self) -> u64 {
+        match self {
+            Variant::Node4 { .. } => 18,
+            Variant::Node16 { .. } => 22,
+            Variant::Node48 { .. } => 24,
+            Variant::Node256 { .. } => 20,
+        }
+    }
+}
+
+struct Inner {
+    prefix: [u8; 8],
+    prefix_len: u8,
+    count: u16,
+    variant: Variant,
+    addr: u64,
+}
+
+/// The adaptive radix tree. See the module docs.
+pub struct Art {
+    root: NodeRef,
+    inners: Vec<Inner>,
+    leaves: Vec<Leaf>,
+    len: u64,
+    bytes: u64,
+}
+
+const IDX48_EMPTY: u8 = 0xFF;
+
+impl Art {
+    /// Create an empty tree.
+    pub fn new(_mem: &Mem) -> Self {
+        Art { root: NodeRef::None, inners: Vec::new(), leaves: Vec::new(), len: 0, bytes: 0 }
+    }
+
+    fn new_leaf(&mut self, mem: &Mem, key: u64, payload: u64) -> NodeRef {
+        let addr = mem.alloc(LEAF_BYTES, 8);
+        mem.write(addr, 16);
+        self.leaves.push(Leaf { key, payload, addr });
+        self.bytes += LEAF_BYTES;
+        NodeRef::Leaf((self.leaves.len() - 1) as u32)
+    }
+
+    fn new_node4(&mut self, mem: &Mem, prefix: &[u8]) -> u32 {
+        let variant = Variant::Node4 { keys: [0; 4], children: [NodeRef::None; 4] };
+        let addr = mem.alloc(variant.simulated_bytes(), 64);
+        mem.write(addr, 32);
+        self.bytes += variant.simulated_bytes();
+        let mut p = [0u8; 8];
+        p[..prefix.len()].copy_from_slice(prefix);
+        self.inners.push(Inner {
+            prefix: p,
+            prefix_len: prefix.len() as u8,
+            count: 0,
+            variant,
+            addr,
+        });
+        (self.inners.len() - 1) as u32
+    }
+
+    /// Touch + account an inner-node visit; returns the child for `byte`.
+    fn find_child(&self, mem: &Mem, id: u32, byte: u8) -> NodeRef {
+        let n = &self.inners[id as usize];
+        mem.exec(n.variant.visit_instr());
+        mem.read(n.addr, 16); // header: prefix + counts
+        match &n.variant {
+            Variant::Node4 { keys, children } => {
+                for i in 0..n.count as usize {
+                    if keys[i] == byte {
+                        return children[i];
+                    }
+                }
+                NodeRef::None
+            }
+            Variant::Node16 { keys, children } => {
+                // One extra line: the key vector + child pointers.
+                mem.read(n.addr + 16, 16);
+                for i in 0..n.count as usize {
+                    if keys[i] == byte {
+                        mem.read(n.addr + 32 + i as u64 * 8, 8);
+                        return children[i];
+                    }
+                }
+                NodeRef::None
+            }
+            Variant::Node48 { index, children } => {
+                mem.read(n.addr + 16 + u64::from(byte), 1); // index byte
+                let slot = index[byte as usize];
+                if slot == IDX48_EMPTY {
+                    NodeRef::None
+                } else {
+                    mem.read(n.addr + 272 + u64::from(slot) * 8, 8);
+                    children[slot as usize]
+                }
+            }
+            Variant::Node256 { children } => {
+                mem.read(n.addr + 16 + u64::from(byte) * 8, 8);
+                children[byte as usize]
+            }
+        }
+    }
+
+    /// Add a child, growing the node variant if needed. `id` may change
+    /// identity of variant but not arena index.
+    fn add_child(&mut self, mem: &Mem, id: u32, byte: u8, child: NodeRef) {
+        let need_grow = {
+            let n = &self.inners[id as usize];
+            match &n.variant {
+                Variant::Node4 { .. } => n.count >= 4,
+                Variant::Node16 { .. } => n.count >= 16,
+                Variant::Node48 { .. } => n.count >= 48,
+                Variant::Node256 { .. } => false,
+            }
+        };
+        if need_grow {
+            self.grow(mem, id);
+        }
+        let n = &mut self.inners[id as usize];
+        mem.exec(12);
+        mem.write(n.addr, 16);
+        match &mut n.variant {
+            Variant::Node4 { keys, children } => {
+                // Keep keys sorted for ordered scans.
+                let mut pos = n.count as usize;
+                while pos > 0 && keys[pos - 1] > byte {
+                    keys[pos] = keys[pos - 1];
+                    children[pos] = children[pos - 1];
+                    pos -= 1;
+                }
+                keys[pos] = byte;
+                children[pos] = child;
+            }
+            Variant::Node16 { keys, children } => {
+                mem.write(n.addr + 16, 24);
+                let mut pos = n.count as usize;
+                while pos > 0 && keys[pos - 1] > byte {
+                    keys[pos] = keys[pos - 1];
+                    children[pos] = children[pos - 1];
+                    pos -= 1;
+                }
+                keys[pos] = byte;
+                children[pos] = child;
+            }
+            Variant::Node48 { index, children } => {
+                mem.write(n.addr + 16 + u64::from(byte), 1);
+                // Slots are not compacted on removal: find a free one.
+                let slot = children
+                    .iter()
+                    .position(|c| matches!(c, NodeRef::None))
+                    .expect("Node48 grows before filling");
+                index[byte as usize] = slot as u8;
+                children[slot] = child;
+                mem.write(n.addr + 272 + slot as u64 * 8, 8);
+            }
+            Variant::Node256 { children } => {
+                children[byte as usize] = child;
+                mem.write(n.addr + 16 + u64::from(byte) * 8, 8);
+            }
+        }
+        n.count += 1;
+    }
+
+    fn grow(&mut self, mem: &Mem, id: u32) {
+        let n = &mut self.inners[id as usize];
+        let new_variant = match &n.variant {
+            Variant::Node4 { keys, children } => {
+                let mut k = [0u8; 16];
+                let mut c = [NodeRef::None; 16];
+                k[..4].copy_from_slice(keys);
+                c[..4].copy_from_slice(children);
+                Variant::Node16 { keys: k, children: c }
+            }
+            Variant::Node16 { keys, children } => {
+                let mut index = Box::new([IDX48_EMPTY; 256]);
+                let mut c = Box::new([NodeRef::None; 48]);
+                for i in 0..16 {
+                    index[keys[i] as usize] = i as u8;
+                    c[i] = children[i];
+                }
+                Variant::Node48 { index, children: c }
+            }
+            Variant::Node48 { index, children } => {
+                let mut c = Box::new([NodeRef::None; 256]);
+                for b in 0..256 {
+                    if index[b] != IDX48_EMPTY {
+                        c[b] = children[index[b] as usize];
+                    }
+                }
+                Variant::Node256 { children: c }
+            }
+            Variant::Node256 { .. } => unreachable!("Node256 never grows"),
+        };
+        // Reallocate at a new simulated address and copy.
+        let new_bytes = new_variant.simulated_bytes();
+        let old_bytes = n.variant.simulated_bytes();
+        let new_addr = mem.alloc(new_bytes, 64);
+        mem.exec(40 + 4 * u64::from(n.count));
+        mem.read(n.addr, old_bytes.min(512) as u32);
+        mem.write(new_addr, new_bytes.min(512) as u32);
+        n.addr = new_addr;
+        n.variant = new_variant;
+        self.bytes += new_bytes;
+    }
+
+    #[inline]
+    fn prefix_of(n: &Inner) -> &[u8] {
+        &n.prefix[..n.prefix_len as usize]
+    }
+
+    /// Length of the common prefix between the node prefix and the key
+    /// suffix at `depth`.
+    fn prefix_match(n: &Inner, key_bytes: &[u8; 8], depth: usize) -> usize {
+        let p = Self::prefix_of(n);
+        let mut i = 0;
+        while i < p.len() && depth + i < 8 && p[i] == key_bytes[depth + i] {
+            i += 1;
+        }
+        i
+    }
+}
+
+impl Index for Art {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Art
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn get(&mut self, mem: &Mem, key: u64) -> Option<u64> {
+        let kb = key.to_be_bytes();
+        let mut node = self.root;
+        let mut depth = 0usize;
+        mem.exec(10);
+        loop {
+            match node {
+                NodeRef::None => return None,
+                NodeRef::Leaf(l) => {
+                    let leaf = &self.leaves[l as usize];
+                    mem.exec(8);
+                    mem.read(leaf.addr, 16);
+                    return (leaf.key == key).then_some(leaf.payload);
+                }
+                NodeRef::Inner(id) => {
+                    let n = &self.inners[id as usize];
+                    let m = Self::prefix_match(n, &kb, depth);
+                    if m < n.prefix_len as usize {
+                        return None;
+                    }
+                    depth += m;
+                    if depth >= 8 {
+                        return None;
+                    }
+                    node = self.find_child(mem, id, kb[depth]);
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, mem: &Mem, key: u64, payload: u64) -> bool {
+        let kb = key.to_be_bytes();
+        mem.exec(14);
+        if matches!(self.root, NodeRef::None) {
+            self.root = self.new_leaf(mem, key, payload);
+            self.len = 1;
+            return true;
+        }
+        // Descend, remembering the parent link so we can splice.
+        let mut parent: Option<(u32, u8)> = None; // (inner id, byte)
+        let mut node = self.root;
+        let mut depth = 0usize;
+        loop {
+            match node {
+                NodeRef::None => unreachable!("handled via add_child"),
+                NodeRef::Leaf(l) => {
+                    let (old_key, leaf_addr) = {
+                        let leaf = &self.leaves[l as usize];
+                        (leaf.key, leaf.addr)
+                    };
+                    mem.exec(10);
+                    mem.read(leaf_addr, 16);
+                    if old_key == key {
+                        return false; // duplicate
+                    }
+                    // Split: new Node4 with the common prefix of both keys.
+                    let ob = old_key.to_be_bytes();
+                    let mut common = 0usize;
+                    while depth + common < 8 && ob[depth + common] == kb[depth + common] {
+                        common += 1;
+                    }
+                    debug_assert!(depth + common < 8, "distinct keys must diverge");
+                    let n4 = self.new_node4(mem, &kb[depth..depth + common]);
+                    let new_leaf = self.new_leaf(mem, key, payload);
+                    self.add_child(mem, n4, ob[depth + common], NodeRef::Leaf(l));
+                    self.add_child(mem, n4, kb[depth + common], new_leaf);
+                    self.splice(parent, NodeRef::Inner(n4), mem);
+                    self.len += 1;
+                    return true;
+                }
+                NodeRef::Inner(id) => {
+                    let (prefix_len, m) = {
+                        let n = &self.inners[id as usize];
+                        (n.prefix_len as usize, Self::prefix_match(n, &kb, depth))
+                    };
+                    if m < prefix_len {
+                        // Prefix mismatch: split the prefix at m.
+                        let n4 = self.new_node4(mem, &kb[depth..depth + m]);
+                        let (old_byte, new_byte) = {
+                            let n = &mut self.inners[id as usize];
+                            let old_byte = n.prefix[m];
+                            // Truncate the old node's prefix past the split.
+                            let rest: Vec<u8> =
+                                Self::prefix_of(n)[m + 1..].to_vec();
+                            n.prefix[..rest.len()].copy_from_slice(&rest);
+                            n.prefix_len = rest.len() as u8;
+                            (old_byte, kb[depth + m])
+                        };
+                        let new_leaf = self.new_leaf(mem, key, payload);
+                        self.add_child(mem, n4, old_byte, NodeRef::Inner(id));
+                        self.add_child(mem, n4, new_byte, new_leaf);
+                        self.splice(parent, NodeRef::Inner(n4), mem);
+                        self.len += 1;
+                        return true;
+                    }
+                    depth += m;
+                    debug_assert!(depth < 8);
+                    let byte = kb[depth];
+                    let child = self.find_child(mem, id, byte);
+                    if matches!(child, NodeRef::None) {
+                        let new_leaf = self.new_leaf(mem, key, payload);
+                        self.add_child(mem, id, byte, new_leaf);
+                        self.len += 1;
+                        return true;
+                    }
+                    parent = Some((id, byte));
+                    node = child;
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, mem: &Mem, key: u64) -> Option<u64> {
+        let kb = key.to_be_bytes();
+        mem.exec(14);
+        let mut parent: Option<(u32, u8)> = None;
+        let mut node = self.root;
+        let mut depth = 0usize;
+        loop {
+            match node {
+                NodeRef::None => return None,
+                NodeRef::Leaf(l) => {
+                    let leaf = &self.leaves[l as usize];
+                    mem.read(leaf.addr, 16);
+                    if leaf.key != key {
+                        return None;
+                    }
+                    let payload = leaf.payload;
+                    match parent {
+                        None => self.root = NodeRef::None,
+                        Some((id, byte)) => self.remove_child(mem, id, byte),
+                    }
+                    self.len -= 1;
+                    return Some(payload);
+                }
+                NodeRef::Inner(id) => {
+                    let n = &self.inners[id as usize];
+                    let m = Self::prefix_match(n, &kb, depth);
+                    if m < n.prefix_len as usize {
+                        return None;
+                    }
+                    depth += m;
+                    if depth >= 8 {
+                        return None;
+                    }
+                    let byte = kb[depth];
+                    let child = self.find_child(mem, id, byte);
+                    parent = Some((id, byte));
+                    node = child;
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    fn replace(&mut self, mem: &Mem, key: u64, payload: u64) -> Option<u64> {
+        let kb = key.to_be_bytes();
+        let mut node = self.root;
+        let mut depth = 0usize;
+        mem.exec(10);
+        loop {
+            match node {
+                NodeRef::None => return None,
+                NodeRef::Leaf(l) => {
+                    let leaf = &mut self.leaves[l as usize];
+                    mem.read(leaf.addr, 16);
+                    if leaf.key != key {
+                        return None;
+                    }
+                    let old = leaf.payload;
+                    leaf.payload = payload;
+                    mem.write(leaf.addr + 8, 8);
+                    return Some(old);
+                }
+                NodeRef::Inner(id) => {
+                    let n = &self.inners[id as usize];
+                    let m = Self::prefix_match(n, &kb, depth);
+                    if m < n.prefix_len as usize {
+                        return None;
+                    }
+                    depth += m;
+                    if depth >= 8 {
+                        return None;
+                    }
+                    node = self.find_child(mem, id, kb[depth]);
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    fn scan(
+        &mut self,
+        mem: &Mem,
+        lo: u64,
+        hi: u64,
+        f: &mut dyn FnMut(u64, u64) -> bool,
+    ) -> Option<u64> {
+        if lo > hi {
+            return Some(0);
+        }
+        let mut visited = 0u64;
+        let root = self.root;
+        self.scan_rec(mem, root, lo, hi, f, &mut visited);
+        Some(visited)
+    }
+
+    fn supports_range(&self) -> bool {
+        true
+    }
+
+    fn stats(&self) -> IndexStats {
+        // Height: walk the leftmost path.
+        let mut h = 0u32;
+        let mut node = self.root;
+        loop {
+            match node {
+                NodeRef::None => break,
+                NodeRef::Leaf(_) => {
+                    h += 1;
+                    break;
+                }
+                NodeRef::Inner(id) => {
+                    h += 1;
+                    node = self.first_child(id);
+                }
+            }
+        }
+        IndexStats {
+            entries: self.len,
+            nodes: (self.inners.len() + self.leaves.len()) as u64,
+            height: h,
+            bytes: self.bytes,
+        }
+    }
+}
+
+impl Art {
+    fn splice(&mut self, parent: Option<(u32, u8)>, new_child: NodeRef, mem: &Mem) {
+        match parent {
+            None => self.root = new_child,
+            Some((id, byte)) => {
+                let n = &mut self.inners[id as usize];
+                mem.write(n.addr, 16);
+                match &mut n.variant {
+                    Variant::Node4 { keys, children } => {
+                        for i in 0..n.count as usize {
+                            if keys[i] == byte {
+                                children[i] = new_child;
+                                return;
+                            }
+                        }
+                        unreachable!("parent lost child during splice");
+                    }
+                    Variant::Node16 { keys, children } => {
+                        for i in 0..n.count as usize {
+                            if keys[i] == byte {
+                                children[i] = new_child;
+                                return;
+                            }
+                        }
+                        unreachable!("parent lost child during splice");
+                    }
+                    Variant::Node48 { index, children } => {
+                        let slot = index[byte as usize];
+                        debug_assert_ne!(slot, IDX48_EMPTY);
+                        children[slot as usize] = new_child;
+                    }
+                    Variant::Node256 { children } => {
+                        children[byte as usize] = new_child;
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove_child(&mut self, mem: &Mem, id: u32, byte: u8) {
+        self.remove_child_inner(mem, id, byte);
+        self.maybe_shrink(mem, id);
+    }
+
+    fn remove_child_inner(&mut self, mem: &Mem, id: u32, byte: u8) {
+        let n = &mut self.inners[id as usize];
+        mem.exec(14);
+        mem.write(n.addr, 16);
+        match &mut n.variant {
+            Variant::Node4 { keys, children } => {
+                let count = n.count as usize;
+                if let Some(pos) = keys[..count].iter().position(|&k| k == byte) {
+                    for i in pos..count - 1 {
+                        keys[i] = keys[i + 1];
+                        children[i] = children[i + 1];
+                    }
+                    children[count - 1] = NodeRef::None;
+                    n.count -= 1;
+                }
+            }
+            Variant::Node16 { keys, children } => {
+                let count = n.count as usize;
+                if let Some(pos) = keys[..count].iter().position(|&k| k == byte) {
+                    for i in pos..count - 1 {
+                        keys[i] = keys[i + 1];
+                        children[i] = children[i + 1];
+                    }
+                    children[count - 1] = NodeRef::None;
+                    n.count -= 1;
+                }
+            }
+            Variant::Node48 { index, children } => {
+                let slot = index[byte as usize];
+                if slot != IDX48_EMPTY {
+                    children[slot as usize] = NodeRef::None;
+                    index[byte as usize] = IDX48_EMPTY;
+                    n.count -= 1;
+                }
+            }
+            Variant::Node256 { children } => {
+                if !matches!(children[byte as usize], NodeRef::None) {
+                    children[byte as usize] = NodeRef::None;
+                    n.count -= 1;
+                }
+            }
+        }
+    }
+
+    /// Adapt the node back down when occupancy drops well below the next
+    /// smaller variant's capacity (the "adaptive" in ART goes both ways).
+    fn maybe_shrink(&mut self, mem: &Mem, id: u32) {
+        let n = &mut self.inners[id as usize];
+        let new_variant = match &n.variant {
+            Variant::Node16 { keys, children } if n.count <= 3 => {
+                let mut k = [0u8; 4];
+                let mut c = [NodeRef::None; 4];
+                k[..n.count as usize].copy_from_slice(&keys[..n.count as usize]);
+                c[..n.count as usize].copy_from_slice(&children[..n.count as usize]);
+                Some(Variant::Node4 { keys: k, children: c })
+            }
+            Variant::Node48 { index, children } if n.count <= 12 => {
+                let mut k = [0u8; 16];
+                let mut c = [NodeRef::None; 16];
+                let mut i = 0;
+                for b in 0..256 {
+                    if index[b] != IDX48_EMPTY {
+                        k[i] = b as u8;
+                        c[i] = children[index[b] as usize];
+                        i += 1;
+                    }
+                }
+                Some(Variant::Node16 { keys: k, children: c })
+            }
+            Variant::Node256 { children } if n.count <= 36 => {
+                let mut index = Box::new([IDX48_EMPTY; 256]);
+                let mut c = Box::new([NodeRef::None; 48]);
+                let mut i = 0;
+                for b in 0..256 {
+                    if !matches!(children[b], NodeRef::None) {
+                        index[b] = i as u8;
+                        c[i as usize] = children[b];
+                        i += 1;
+                    }
+                }
+                Some(Variant::Node48 { index, children: c })
+            }
+            _ => None,
+        };
+        if let Some(v) = new_variant {
+            let bytes = v.simulated_bytes();
+            let new_addr = mem.alloc(bytes, 64);
+            mem.exec(30 + 3 * u64::from(n.count));
+            mem.read(n.addr, 128);
+            mem.write(new_addr, bytes.min(256) as u32);
+            n.addr = new_addr;
+            n.variant = v;
+            self.bytes += bytes;
+        }
+    }
+
+    fn first_child(&self, id: u32) -> NodeRef {
+        let n = &self.inners[id as usize];
+        match &n.variant {
+            Variant::Node4 { children, .. } => children[0],
+            Variant::Node16 { children, .. } => children[0],
+            Variant::Node48 { index, children } => {
+                for b in 0..256 {
+                    if index[b] != IDX48_EMPTY {
+                        return children[index[b] as usize];
+                    }
+                }
+                NodeRef::None
+            }
+            Variant::Node256 { children } => {
+                children.iter().copied().find(|c| !matches!(c, NodeRef::None)).unwrap_or(NodeRef::None)
+            }
+        }
+    }
+
+    /// Ordered DFS over `[lo, hi]`; returns false to stop.
+    fn scan_rec(
+        &self,
+        mem: &Mem,
+        node: NodeRef,
+        lo: u64,
+        hi: u64,
+        f: &mut dyn FnMut(u64, u64) -> bool,
+        visited: &mut u64,
+    ) -> bool {
+        match node {
+            NodeRef::None => true,
+            NodeRef::Leaf(l) => {
+                let leaf = &self.leaves[l as usize];
+                mem.exec(8);
+                mem.read(leaf.addr, 16);
+                if leaf.key >= lo && leaf.key <= hi {
+                    *visited += 1;
+                    f(leaf.key, leaf.payload)
+                } else {
+                    true
+                }
+            }
+            NodeRef::Inner(id) => {
+                let n = &self.inners[id as usize];
+                mem.exec(n.variant.visit_instr());
+                mem.read(n.addr, 16);
+                let children: Vec<NodeRef> = match &n.variant {
+                    Variant::Node4 { keys, children } => {
+                        let _ = keys;
+                        children[..n.count as usize].to_vec()
+                    }
+                    Variant::Node16 { keys, children } => {
+                        let _ = keys;
+                        mem.read(n.addr + 16, 16);
+                        children[..n.count as usize].to_vec()
+                    }
+                    Variant::Node48 { index, children } => {
+                        mem.read(n.addr + 16, 64);
+                        (0..256)
+                            .filter(|&b| index[b] != IDX48_EMPTY)
+                            .map(|b| children[index[b] as usize])
+                            .collect()
+                    }
+                    Variant::Node256 { children } => {
+                        mem.read(n.addr + 16, 128);
+                        children.iter().copied().filter(|c| !matches!(c, NodeRef::None)).collect()
+                    }
+                };
+                for c in children {
+                    // Subtree pruning happens naturally at leaves; radix
+                    // subtrees are narrow enough that the extra node visits
+                    // match real ART scan behaviour.
+                    if !self.scan_rec(mem, c, lo, hi, f, visited) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::mem;
+
+    #[test]
+    fn insert_get_dense_keys() {
+        let mem = mem();
+        let mut t = Art::new(&mem);
+        for k in 0..50_000u64 {
+            assert!(t.insert(&mem, k, k + 1));
+        }
+        assert_eq!(t.len(), 50_000);
+        for k in 0..50_000u64 {
+            assert_eq!(t.get(&mem, k), Some(k + 1), "key {k}");
+        }
+        assert_eq!(t.get(&mem, 50_000), None);
+    }
+
+    #[test]
+    fn insert_get_sparse_keys() {
+        let mem = mem();
+        let mut t = Art::new(&mem);
+        let keys: Vec<u64> = (0..20_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            assert!(t.insert(&mem, k, i as u64), "key {k:#x}");
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(t.get(&mem, k), Some(i as u64), "key {k:#x}");
+        }
+        assert_eq!(t.get(&mem, 1), None);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mem = mem();
+        let mut t = Art::new(&mem);
+        assert!(t.insert(&mem, 7, 1));
+        assert!(!t.insert(&mem, 7, 2));
+        assert_eq!(t.get(&mem, 7), Some(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mem = mem();
+        let mut t = Art::new(&mem);
+        for k in 0..1000u64 {
+            t.insert(&mem, k * 3, k);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(t.remove(&mem, k * 3), Some(k));
+            assert_eq!(t.get(&mem, k * 3), None);
+        }
+        assert_eq!(t.len(), 0);
+        for k in 0..1000u64 {
+            assert!(t.insert(&mem, k * 3, k + 7));
+            assert_eq!(t.get(&mem, k * 3), Some(k + 7));
+        }
+    }
+
+    #[test]
+    fn replace_payload() {
+        let mem = mem();
+        let mut t = Art::new(&mem);
+        t.insert(&mem, 11, 1);
+        assert_eq!(t.replace(&mem, 11, 2), Some(1));
+        assert_eq!(t.get(&mem, 11), Some(2));
+        assert_eq!(t.replace(&mem, 12, 2), None);
+    }
+
+    #[test]
+    fn ordered_scan() {
+        let mem = mem();
+        let mut t = Art::new(&mem);
+        let keys: Vec<u64> = (0..4000u64).map(|i| i * 17 + (i % 3)).collect();
+        for &k in keys.iter().rev() {
+            t.insert(&mem, k, k);
+        }
+        let mut seen = Vec::new();
+        let n = t
+            .scan(&mem, 100, 5000, &mut |k, v| {
+                assert_eq!(k, v);
+                seen.push(k);
+                true
+            })
+            .unwrap();
+        let expected: Vec<u64> =
+            keys.iter().copied().filter(|&k| (100..=5000).contains(&k)).collect();
+        let mut expected_sorted = expected.clone();
+        expected_sorted.sort_unstable();
+        assert_eq!(seen, expected_sorted);
+        assert_eq!(n, expected.len() as u64);
+    }
+
+    #[test]
+    fn scan_early_stop() {
+        let mem = mem();
+        let mut t = Art::new(&mem);
+        for k in 0..100u64 {
+            t.insert(&mem, k, k);
+        }
+        let mut count = 0;
+        t.scan(&mem, 0, 99, &mut |_, _| {
+            count += 1;
+            count < 5
+        });
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn prefix_compression_keeps_dense_tree_shallow() {
+        let mem = mem();
+        let mut t = Art::new(&mem);
+        for k in 0..1_000_000u64 {
+            t.insert(&mem, k, k);
+        }
+        let s = t.stats();
+        // Dense 0..1M keys use only the low 3 bytes: height <= 4.
+        assert!(s.height <= 4, "height={}", s.height);
+        assert_eq!(s.entries, 1_000_000);
+    }
+
+    #[test]
+    fn nodes_shrink_back_down_after_removals() {
+        let mem = mem();
+        let mut t = Art::new(&mem);
+        // Fill one node through Node256, then drain it back down.
+        for k in 0..300u64 {
+            t.insert(&mem, k, k);
+        }
+        assert!(t.inners.iter().any(|n| matches!(n.variant, Variant::Node256 { .. })));
+        for k in 4..300u64 {
+            assert_eq!(t.remove(&mem, k), Some(k));
+        }
+        // Remaining keys still reachable and the fat node adapted down.
+        for k in 0..4u64 {
+            assert_eq!(t.get(&mem, k), Some(k));
+        }
+        assert!(
+            !t.inners.iter().any(|n| n.count > 0 && matches!(n.variant, Variant::Node256 { .. })),
+            "Node256 should have shrunk"
+        );
+        // Scans stay ordered after shrinking.
+        let mut seen = Vec::new();
+        t.scan(&mem, 0, 10, &mut |k, _| {
+            seen.push(k);
+            true
+        });
+        assert_eq!(seen, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn node_growth_through_all_variants() {
+        let mem = mem();
+        let mut t = Art::new(&mem);
+        // 300 keys differing in the last byte + second-to-last byte force
+        // Node4 -> Node16 -> Node48 -> Node256 growth at one node.
+        for k in 0..300u64 {
+            t.insert(&mem, k, k);
+        }
+        for k in 0..300u64 {
+            assert_eq!(t.get(&mem, k), Some(k));
+        }
+        // At least one Node256 must exist now.
+        assert!(t
+            .inners
+            .iter()
+            .any(|n| matches!(n.variant, Variant::Node256 { .. })));
+    }
+}

@@ -1,0 +1,60 @@
+//! # indexes — the four index structures the paper contrasts
+//!
+//! §2.1 and §6 of Sirin et al. attribute the systems' data-stall behaviour
+//! to their index structures:
+//!
+//! * [`btree_disk::DiskBTree`] — a traditional disk-oriented B+tree with
+//!   8 KB pages (Shore-MT, DBMS D). Probing touches many lines per page
+//!   and is *not* cache-conscious: the paper blames it for Shore-MT's high
+//!   LLC data stalls.
+//! * [`btree_cc::CcBTree`] — a cache-conscious B+tree whose nodes span a
+//!   few cache lines (VoltDB "tunes the node size to the last-level cache
+//!   line size"; DBMS M's B-tree variant is similar to the Bw-tree).
+//! * [`art::Art`] — the adaptive radix tree with Node4/16/48/256 and path
+//!   compression (HyPer, per Leis et al. ICDE'13).
+//! * [`hash::HashIndex`] — a bucket-chained hash index (DBMS M's default
+//!   for the micro-benchmark and TPC-B): one directory probe plus a short
+//!   chain, i.e. the fewest random lines per lookup.
+//!
+//! All four implement [`Index`]. They are *real* data structures (fully
+//! functional over millions of keys) whose every node visit issues
+//! simulated instruction fetches and data-line touches through
+//! [`uarch_sim::Mem`], so their miss behaviour versus database size is
+//! emergent, not scripted.
+//!
+//! ```
+//! use indexes::{Art, Index};
+//! use uarch_sim::{MachineConfig, Sim};
+//!
+//! let mem = Sim::new(MachineConfig::ivy_bridge(1)).mem(0);
+//! let mut art = Art::new(&mem);
+//! assert!(art.insert(&mem, 42, 1000));
+//! assert_eq!(art.get(&mem, 42), Some(1000));
+//! let mut keys = Vec::new();
+//! art.insert(&mem, 7, 1);
+//! art.scan(&mem, 0, 100, &mut |k, _| { keys.push(k); true });
+//! assert_eq!(keys, [7, 42]); // ordered
+//! ```
+
+pub mod art;
+pub mod btree_cc;
+mod btree_core;
+pub mod btree_disk;
+pub mod hash;
+mod traits;
+
+pub use art::Art;
+pub use btree_cc::CcBTree;
+pub use btree_disk::{DiskBTree, DiskBTreePacked};
+pub use hash::HashIndex;
+pub use traits::{Index, IndexKind, IndexStats};
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use uarch_sim::{MachineConfig, Mem, Sim};
+
+    /// A one-core simulator and a memory port for index tests.
+    pub fn mem() -> Mem {
+        Sim::new(MachineConfig::ivy_bridge(1)).mem(0)
+    }
+}

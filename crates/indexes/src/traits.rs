@@ -1,0 +1,102 @@
+//! The common index interface.
+
+use uarch_sim::Mem;
+
+/// Which structure an [`Index`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// 8 KB-page disk-oriented B+tree.
+    DiskBTree,
+    /// Cache-line-node B+tree.
+    CcBTree,
+    /// Adaptive radix tree.
+    Art,
+    /// Bucket-chained hash index.
+    Hash,
+}
+
+impl IndexKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexKind::DiskBTree => "disk-btree",
+            IndexKind::CcBTree => "cc-btree",
+            IndexKind::Art => "art",
+            IndexKind::Hash => "hash",
+        }
+    }
+}
+
+/// Structural statistics (diagnostics and tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Entries stored.
+    pub entries: u64,
+    /// Internal + leaf nodes (hash: directory slots used + chain entries).
+    pub nodes: u64,
+    /// Height (root to leaf; hash: longest chain observed on last rebuild).
+    pub height: u32,
+    /// Total simulated bytes allocated for nodes.
+    pub bytes: u64,
+}
+
+/// A `u64 -> u64` ordered (or unordered, for hash) index whose node
+/// accesses are instrumented through the micro-architectural simulator.
+///
+/// Keys are unique; `insert` of an existing key fails with `false` and
+/// leaves the structure unchanged. Payloads are opaque to the index
+/// (engines store row handles).
+pub trait Index {
+    /// Which structure this is.
+    fn kind(&self) -> IndexKind;
+
+    /// Number of entries.
+    fn len(&self) -> u64;
+
+    /// True when no entries are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert `key -> payload`; `false` if the key already exists.
+    fn insert(&mut self, mem: &Mem, key: u64, payload: u64) -> bool;
+
+    /// Point lookup.
+    fn get(&mut self, mem: &Mem, key: u64) -> Option<u64>;
+
+    /// Remove a key, returning its payload.
+    fn remove(&mut self, mem: &Mem, key: u64) -> Option<u64>;
+
+    /// Replace the payload of an existing key; returns the old payload.
+    fn replace(&mut self, mem: &Mem, key: u64, payload: u64) -> Option<u64>;
+
+    /// Ordered scan over `[lo, hi]`; visitor returns `false` to stop.
+    /// Returns visited count, or `None` if the structure has no key order
+    /// (hash index).
+    fn scan(
+        &mut self,
+        mem: &Mem,
+        lo: u64,
+        hi: u64,
+        f: &mut dyn FnMut(u64, u64) -> bool,
+    ) -> Option<u64>;
+
+    /// Whether [`Index::scan`] is supported.
+    fn supports_range(&self) -> bool;
+
+    /// Structural statistics.
+    fn stats(&self) -> IndexStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(IndexKind::DiskBTree.name(), "disk-btree");
+        assert_eq!(IndexKind::CcBTree.name(), "cc-btree");
+        assert_eq!(IndexKind::Art.name(), "art");
+        assert_eq!(IndexKind::Hash.name(), "hash");
+    }
+}

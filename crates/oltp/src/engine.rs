@@ -1,0 +1,167 @@
+//! The engine interface the workloads drive.
+//!
+//! The paper's benchmarks are pre-determined stored procedures (§2.1); the
+//! operations they need are exactly: begin/commit/abort, key-based
+//! insert/read/update/delete, and ordered range scans. Each of the five
+//! engine archetypes implements this trait over its own storage,
+//! concurrency-control, and code-footprint model.
+
+use crate::schema::TableDef;
+use crate::value::Value;
+
+pub use crate::schema::TableId;
+
+/// A row as seen by workloads.
+pub type Row = Vec<Value>;
+
+/// Engine error type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OltpError {
+    /// Insert with an existing key.
+    DuplicateKey { table: TableId, key: u64 },
+    /// Operation referenced an unknown table.
+    NoSuchTable(TableId),
+    /// A data operation arrived outside a transaction.
+    NoActiveTxn,
+    /// The transaction was aborted (e.g. OCC validation failure).
+    Aborted(&'static str),
+    /// The engine does not support the operation (e.g. range scan on a
+    /// hash index).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for OltpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OltpError::DuplicateKey { table, key } => {
+                write!(f, "duplicate key {key} in table {}", table.0)
+            }
+            OltpError::NoSuchTable(t) => write!(f, "no such table {}", t.0),
+            OltpError::NoActiveTxn => write!(f, "no active transaction"),
+            OltpError::Aborted(why) => write!(f, "transaction aborted: {why}"),
+            OltpError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OltpError {}
+
+/// Engine result type.
+pub type OltpResult<T> = Result<T, OltpError>;
+
+/// The database-engine interface.
+///
+/// Implementations route all their simulated instruction fetches and data
+/// accesses to the core selected by [`Db::set_core`]; partitioned engines
+/// (VoltDB, HyPer) additionally map the core to a data partition, matching
+/// the paper's one-worker-per-partition deployment.
+pub trait Db {
+    /// Engine display name (as used in the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// Bind subsequent operations to a simulated core / worker thread.
+    fn set_core(&mut self, core: usize);
+
+    /// Currently bound core.
+    fn core(&self) -> usize;
+
+    /// Number of physical data partitions (1 for non-partitioned engines).
+    /// Loaders replicate read-only tables (TPC-C's ITEM) per partition,
+    /// as partitioned systems do.
+    fn partitions(&self) -> usize {
+        1
+    }
+
+    /// Create a table; must be called before any transaction touches it.
+    fn create_table(&mut self, def: TableDef) -> TableId;
+
+    /// Hook invoked once after bulk loading (compile procedures, settle
+    /// structures). Default: nothing.
+    fn finish_load(&mut self) {}
+
+    /// Begin a transaction on the bound core.
+    fn begin(&mut self);
+
+    /// Commit the active transaction.
+    fn commit(&mut self) -> OltpResult<()>;
+
+    /// Abort the active transaction. Engines without physical undo simply
+    /// discard transaction-local state; this suffices for the benchmarks,
+    /// which never abort after modifying data.
+    fn abort(&mut self);
+
+    /// Insert `row` under `key`.
+    fn insert(&mut self, table: TableId, key: u64, row: &[Value]) -> OltpResult<()>;
+
+    /// Visit the row stored under `key`; returns whether it existed.
+    fn read_with(
+        &mut self,
+        table: TableId,
+        key: u64,
+        f: &mut dyn FnMut(&[Value]),
+    ) -> OltpResult<bool>;
+
+    /// Update the row under `key` in place; returns whether it existed.
+    fn update(
+        &mut self,
+        table: TableId,
+        key: u64,
+        f: &mut dyn FnMut(&mut Row),
+    ) -> OltpResult<bool>;
+
+    /// Ordered scan of keys in `[lo, hi]`; the visitor returns `false` to
+    /// stop early. Returns the number of rows visited.
+    fn scan(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        f: &mut dyn FnMut(u64, &[Value]) -> bool,
+    ) -> OltpResult<u64>;
+
+    /// Delete the row under `key`; returns whether it existed.
+    fn delete(&mut self, table: TableId, key: u64) -> OltpResult<bool>;
+
+    /// Number of live rows in `table` (loading/diagnostics; not required to
+    /// be transactional).
+    fn row_count(&self, table: TableId) -> u64;
+
+    /// Convenience: read an owned copy of the row under `key`.
+    fn read(&mut self, table: TableId, key: u64) -> OltpResult<Option<Row>> {
+        let mut out = None;
+        self.read_with(table, key, &mut |r| out = Some(r.to_vec()))?;
+        Ok(out)
+    }
+}
+
+/// Run one transaction as a closure with automatic commit (the benchmarks'
+/// happy path). On closure error the transaction is aborted and the error
+/// propagated.
+pub fn run_txn<T>(
+    db: &mut dyn Db,
+    body: impl FnOnce(&mut dyn Db) -> OltpResult<T>,
+) -> OltpResult<T> {
+    db.begin();
+    match body(db) {
+        Ok(v) => {
+            db.commit()?;
+            Ok(v)
+        }
+        Err(e) => {
+            db.abort();
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = OltpError::DuplicateKey { table: TableId(3), key: 9 };
+        assert_eq!(e.to_string(), "duplicate key 9 in table 3");
+        assert!(OltpError::Aborted("validation").to_string().contains("validation"));
+    }
+}

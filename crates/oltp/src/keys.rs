@@ -1,0 +1,90 @@
+//! Order-preserving composite-key packing.
+//!
+//! Every index in the workspace is keyed by `u64`. Multi-column primary
+//! keys (TPC-C's `(w_id, d_id, o_id, ol_number)` and friends) are packed
+//! into a `u64` most-significant-field-first, which preserves
+//! lexicographic order and therefore supports prefix range scans.
+
+/// Builder for packed composite keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KeyPack {
+    acc: u64,
+    used_bits: u32,
+}
+
+impl KeyPack {
+    /// Empty key.
+    pub fn new() -> Self {
+        KeyPack::default()
+    }
+
+    /// Append `v` in a field of `bits` bits (most significant first).
+    /// Panics if `v` does not fit or the key exceeds 64 bits — both are
+    /// schema bugs that must fail loudly.
+    #[must_use]
+    pub fn field(mut self, v: u64, bits: u32) -> Self {
+        assert!(bits >= 1 && bits <= 64, "field width out of range");
+        assert!(self.used_bits + bits <= 64, "key exceeds 64 bits");
+        assert!(bits == 64 || v < (1u64 << bits), "value {v} does not fit in {bits} bits");
+        // `bits == 64` is only reachable with an empty accumulator (the
+        // 64-bit budget assert above); avoid the UB-checked full shift.
+        self.acc = if bits == 64 { v } else { (self.acc << bits) | v };
+        self.used_bits += bits;
+        self
+    }
+
+    /// Final packed key.
+    pub fn get(self) -> u64 {
+        self.acc
+    }
+
+    /// Inclusive range `[lo, hi]` of all keys that extend the current
+    /// prefix by `rest_bits` more bits — the scan range for a key prefix.
+    pub fn prefix_range(self, rest_bits: u32) -> (u64, u64) {
+        assert!(self.used_bits + rest_bits <= 64, "key exceeds 64 bits");
+        if rest_bits == 64 {
+            return (0, u64::MAX);
+        }
+        let lo = self.acc << rest_bits;
+        let hi = lo | ((1u64 << rest_bits) - 1);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_preserves_lexicographic_order() {
+        let k = |a: u64, b: u64| KeyPack::new().field(a, 16).field(b, 32).get();
+        assert!(k(1, 999_999) < k(2, 0));
+        assert!(k(5, 10) < k(5, 11));
+    }
+
+    #[test]
+    fn prefix_range_covers_exactly_the_prefix() {
+        let (lo, hi) = KeyPack::new().field(7, 16).prefix_range(48);
+        assert_eq!(lo, 7u64 << 48);
+        assert_eq!(hi, (7u64 << 48) | ((1u64 << 48) - 1));
+        // The next prefix starts right after.
+        assert_eq!(hi + 1, 8u64 << 48);
+    }
+
+    #[test]
+    fn full_width_field() {
+        assert_eq!(KeyPack::new().field(u64::MAX, 64).get(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflowing_value_rejected() {
+        let _ = KeyPack::new().field(256, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 64 bits")]
+    fn too_many_bits_rejected() {
+        let _ = KeyPack::new().field(0, 40).field(0, 32);
+    }
+}

@@ -1,0 +1,143 @@
+//! Table schemas and definitions.
+
+use crate::value::{DataType, Value};
+
+/// One column: name and type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl Column {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Column { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns; names must be unique.
+    pub fn new(columns: Vec<Column>) -> Self {
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].iter().any(|o| o.name == c.name),
+                "duplicate column name {:?}",
+                c.name
+            );
+        }
+        Schema { columns }
+    }
+
+    /// Columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Check that a row matches the schema (arity and types).
+    pub fn check(&self, row: &[Value]) -> bool {
+        row.len() == self.columns.len()
+            && row.iter().zip(&self.columns).all(|(v, c)| v.data_type() == c.ty)
+    }
+}
+
+/// Monotonically assigned per-engine table handle. Declared here (rather
+/// than in `engine`) because the schema layer also uses it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+/// Table definition handed to [`crate::engine::Db::create_table`].
+#[derive(Clone, Debug)]
+pub struct TableDef {
+    /// Table name (diagnostics only).
+    pub name: String,
+    /// Column layout.
+    pub schema: Schema,
+    /// Sizing hint: expected final row count. Engines use it to pre-size
+    /// hash directories and simulated address regions.
+    pub expected_rows: u64,
+    /// Access-path hint: the workload will run ordered range scans on
+    /// this table. Engines whose configured index cannot scan (DBMS M's
+    /// hash) pick an order-preserving index for such tables instead —
+    /// the per-table index choice a DBA would make.
+    pub needs_range: bool,
+}
+
+impl TableDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, schema: Schema, expected_rows: u64) -> Self {
+        TableDef {
+            name: name.into(),
+            schema,
+            expected_rows: expected_rows.max(1),
+            needs_range: false,
+        }
+    }
+
+    /// Mark the table as range-scanned (see `needs_range`).
+    #[must_use]
+    pub fn with_range_scans(mut self) -> Self {
+        self.needs_range = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col() -> Schema {
+        Schema::new(vec![
+            Column::new("key", DataType::Long),
+            Column::new("value", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn schema_checks_rows() {
+        let s = two_col();
+        assert!(s.check(&[Value::Long(1), Value::from("x")]));
+        assert!(!s.check(&[Value::Long(1)]));
+        assert!(!s.check(&[Value::from("x"), Value::Long(1)]));
+    }
+
+    #[test]
+    fn position_lookup() {
+        let s = two_col();
+        assert_eq!(s.position("value"), Some(1));
+        assert_eq!(s.position("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_rejected() {
+        let _ = Schema::new(vec![
+            Column::new("a", DataType::Long),
+            Column::new("a", DataType::Long),
+        ]);
+    }
+
+    #[test]
+    fn tabledef_clamps_expected_rows() {
+        let d = TableDef::new("t", two_col(), 0);
+        assert_eq!(d.expected_rows, 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Column values.
+//!
+//! The paper's micro-benchmark table has two columns of type `Long`
+//! (8 bytes), with a `String` (2 x 50 bytes) variant used in §6.2 to study
+//! the effect of the data type on spatial locality. TPC-B/TPC-C need both
+//! types as well, so `Long` and `Str` are the complete type system here.
+
+use std::fmt;
+
+/// Column data type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Long,
+    /// Variable-length UTF-8 string (up to 64 KB encoded).
+    Str,
+}
+
+impl DataType {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Long => "Long",
+            DataType::Str => "String",
+        }
+    }
+}
+
+/// A single column value.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Long(i64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Long(_) => DataType::Long,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Integer payload, or `None` for strings.
+    pub fn as_long(&self) -> Option<i64> {
+        match self {
+            Value::Long(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Integer payload; panics on strings (workload-internal use, where the
+    /// schema is known).
+    pub fn long(&self) -> i64 {
+        self.as_long().expect("expected Long value")
+    }
+
+    /// String payload, or `None` for longs.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Long(_) => None,
+        }
+    }
+
+    /// Bytes this value occupies in the encoded row format
+    /// (1 tag byte + payload; strings add a 2-byte length).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Long(_) => 1 + 8,
+            Value::Str(s) => 1 + 2 + s.len(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Long(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Long(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_introspection() {
+        assert_eq!(Value::Long(7).data_type(), DataType::Long);
+        assert_eq!(Value::from("x").data_type(), DataType::Str);
+        assert_eq!(DataType::Long.name(), "Long");
+        assert_eq!(DataType::Str.name(), "String");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Long(-3).as_long(), Some(-3));
+        assert_eq!(Value::Long(-3).as_str(), None);
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::from("hi").as_long(), None);
+    }
+
+    #[test]
+    fn encoded_len_matches_format() {
+        assert_eq!(Value::Long(0).encoded_len(), 9);
+        assert_eq!(Value::Str("abcd".into()).encoded_len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Long")]
+    fn long_on_string_panics() {
+        let _ = Value::from("nope").long();
+    }
+}

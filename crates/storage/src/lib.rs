@@ -1,0 +1,48 @@
+//! # storage — the storage-manager substrates under the five engines
+//!
+//! The paper's disk-based systems (Shore-MT, DBMS D) carry the classical
+//! storage-manager stack; its in-memory systems omit the buffer pool and
+//! centralized locking (§2.1). Both stacks are built here:
+//!
+//! **Disk-based substrate**
+//! * [`page::Page`] — 8 KB slotted pages;
+//! * [`bufferpool::BufferPool`] — frame table, hashed page table, clock
+//!   eviction, per-frame latch words (pages live at their frame's
+//!   simulated address, so re-placement changes cache behaviour exactly
+//!   like a real pool);
+//! * [`heap::HeapFile`] — slotted-page heap files with `Rid` addressing;
+//! * [`lock::LockManager`] — hierarchical two-phase locking (table
+//!   IS/IX + row S/X) with a hashed lock table;
+//! * [`wal::Wal`] — a log manager with asynchronous group commit (the
+//!   paper configures all systems with asynchronous logging, so commits
+//!   never stall on I/O).
+//!
+//! **In-memory substrate**
+//! * [`memstore::MemStore`] — direct heap row storage, no indirection;
+//! * [`mvcc::VersionStore`] — multi-version rows with begin/end
+//!   timestamps and first-writer-wins conflict detection (DBMS M's
+//!   optimistic multi-versioning);
+//! * [`txn::TxnManager`] — transaction ids and timestamps.
+//!
+//! Everything is instrumented: latch words, page-table probes, lock-table
+//! chains, log-buffer appends, and version-chain hops all touch simulated
+//! memory, because those touches are precisely what the paper measures.
+
+pub mod bufferpool;
+pub mod heap;
+pub mod lock;
+pub mod memstore;
+pub mod mvcc;
+pub mod page;
+pub mod recovery;
+pub mod txn;
+pub mod wal;
+
+pub use bufferpool::BufferPool;
+pub use heap::{HeapFile, Rid};
+pub use lock::{LockManager, LockMode, LockTarget};
+pub use memstore::{MemStore, RowId};
+pub use mvcc::VersionStore;
+pub use page::{Page, PageId, SlotId, PAGE_SIZE};
+pub use txn::{TxnId, TxnManager};
+pub use wal::{LogKind, Lsn, Wal};

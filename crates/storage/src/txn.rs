@@ -1,0 +1,60 @@
+//! Transaction identifiers and timestamps.
+
+/// Transaction identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+/// Allocates transaction ids and (for MVCC) begin/commit timestamps from a
+/// single logical clock, so timestamp order equals allocation order.
+#[derive(Debug)]
+pub struct TxnManager {
+    next: u64,
+}
+
+impl TxnManager {
+    /// Fresh manager; ids/timestamps start at 1 (0 is reserved as "never").
+    pub fn new() -> Self {
+        TxnManager { next: 1 }
+    }
+
+    /// Allocate a transaction id (which doubles as its begin timestamp).
+    pub fn begin(&mut self) -> (TxnId, u64) {
+        let ts = self.next;
+        self.next += 1;
+        (TxnId(ts), ts)
+    }
+
+    /// Allocate a commit timestamp.
+    pub fn commit_ts(&mut self) -> u64 {
+        let ts = self.next;
+        self.next += 1;
+        ts
+    }
+
+    /// Timestamps handed out so far.
+    pub fn issued(&self) -> u64 {
+        self.next - 1
+    }
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_timestamps() {
+        let mut tm = TxnManager::new();
+        let (t1, b1) = tm.begin();
+        let c1 = tm.commit_ts();
+        let (t2, b2) = tm.begin();
+        assert!(b1 < c1 && c1 < b2);
+        assert!(t1 < t2);
+        assert_eq!(tm.issued(), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Raw hardware-event counters — the simulator's analogue of the VTune
+//! event set the paper samples.
+
+use serde::{Deserialize, Serialize};
+
+/// The six miss classes the paper breaks stall time into (Figure 2 legend
+/// order): instruction misses per level, then data misses per level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum StallEvent {
+    /// L1 instruction-cache miss (hits further out).
+    L1i = 0,
+    /// Instruction fetch missing L2.
+    L2i = 1,
+    /// Instruction fetch missing the LLC.
+    LlcI = 2,
+    /// L1 data-cache miss.
+    L1d = 3,
+    /// Data access missing L2.
+    L2d = 4,
+    /// Data access missing the LLC (long-latency DRAM access).
+    LlcD = 5,
+}
+
+impl StallEvent {
+    /// All classes in display order.
+    pub const ALL: [StallEvent; 6] = [
+        StallEvent::L1i,
+        StallEvent::L2i,
+        StallEvent::LlcI,
+        StallEvent::L1d,
+        StallEvent::L2d,
+        StallEvent::LlcD,
+    ];
+
+    /// Label as printed in the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallEvent::L1i => "L1I",
+            StallEvent::L2i => "L2I",
+            StallEvent::LlcI => "LLC I",
+            StallEvent::L1d => "L1D",
+            StallEvent::L2d => "L2D",
+            StallEvent::LlcD => "LLC D",
+        }
+    }
+
+    /// True for the three instruction-side classes.
+    pub fn is_instruction(self) -> bool {
+        matches!(self, StallEvent::L1i | StallEvent::L2i | StallEvent::LlcI)
+    }
+}
+
+/// A snapshot (or delta) of raw event counts for one core or one
+/// (core, code-module) pair.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Instruction-cache line fetches issued (line granularity).
+    pub code_fetches: u64,
+    /// Data loads (line granularity).
+    pub loads: u64,
+    /// Data stores (line granularity).
+    pub stores: u64,
+    /// Misses per [`StallEvent`] class (indexed by `StallEvent as usize`).
+    pub misses: [u64; 6],
+    /// Branch mispredictions (far jumps in the fetch stream). Charged in
+    /// the cycle model but *not* in the six stall bars — the paper's bars
+    /// are cache-miss-only.
+    pub mispredicts: u64,
+    /// Store misses (write-allocate fills). Not part of the six stall
+    /// classes: stores retire into the store buffer without stalling, and
+    /// the paper's counters are load-retirement events. Tracked for
+    /// diagnostics and for a small cycle-model store-pressure term.
+    pub store_misses: u64,
+    /// Coherence invalidations received from other cores' writes.
+    pub invalidations: u64,
+}
+
+impl EventCounts {
+    /// Component-wise accumulation.
+    pub fn add(&mut self, other: &EventCounts) {
+        self.instructions += other.instructions;
+        self.code_fetches += other.code_fetches;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        for i in 0..6 {
+            self.misses[i] += other.misses[i];
+        }
+        self.mispredicts += other.mispredicts;
+        self.store_misses += other.store_misses;
+        self.invalidations += other.invalidations;
+    }
+
+    /// `self - earlier`, for window deltas. Panics (in debug builds) if the
+    /// counters ever ran backwards, which would indicate a harness bug.
+    pub fn delta(&self, earlier: &EventCounts) -> EventCounts {
+        debug_assert!(self.instructions >= earlier.instructions);
+        let mut misses = [0u64; 6];
+        for i in 0..6 {
+            misses[i] = self.misses[i] - earlier.misses[i];
+        }
+        EventCounts {
+            instructions: self.instructions - earlier.instructions,
+            code_fetches: self.code_fetches - earlier.code_fetches,
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+            misses,
+            mispredicts: self.mispredicts - earlier.mispredicts,
+            store_misses: self.store_misses - earlier.store_misses,
+            invalidations: self.invalidations - earlier.invalidations,
+        }
+    }
+
+    /// Total misses across all six classes.
+    pub fn total_misses(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+
+    /// Misses of one class.
+    pub fn miss(&self, e: StallEvent) -> u64 {
+        self.misses[e as usize]
+    }
+
+    /// Record a miss of one class.
+    pub fn record_miss(&mut self, e: StallEvent) {
+        self.misses[e as usize] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_figure_legend_order() {
+        let labels: Vec<_> = StallEvent::ALL.iter().map(|e| e.label()).collect();
+        assert_eq!(labels, ["L1I", "L2I", "LLC I", "L1D", "L2D", "LLC D"]);
+    }
+
+    #[test]
+    fn add_then_delta_round_trips() {
+        let mut a = EventCounts::default();
+        a.instructions = 100;
+        a.loads = 7;
+        a.misses[1] = 3;
+        let mut b = a.clone();
+        let mut extra = EventCounts::default();
+        extra.instructions = 50;
+        extra.stores = 2;
+        extra.misses[1] = 1;
+        extra.misses[5] = 4;
+        b.add(&extra);
+        assert_eq!(b.delta(&a), extra);
+    }
+
+    #[test]
+    fn instruction_classes() {
+        assert!(StallEvent::L1i.is_instruction());
+        assert!(StallEvent::LlcI.is_instruction());
+        assert!(!StallEvent::L1d.is_instruction());
+        assert!(!StallEvent::LlcD.is_instruction());
+    }
+}

@@ -1,0 +1,211 @@
+//! # uarch-sim — a software stand-in for the paper's Ivy Bridge server
+//!
+//! Sirin et al. (SIGMOD'16) measure OLTP systems with hardware counters on a
+//! two-socket Intel Xeon E5-2640 v2. Their metrics are pure functions of a
+//! handful of events — instructions retired, and instruction/data misses at
+//! L1, L2 and the shared LLC — combined with fixed per-level miss penalties
+//! (8 / 19 / 167 cycles, Table 1 of the paper).
+//!
+//! This crate simulates exactly that observable surface:
+//!
+//! * [`cache::Cache`] — set-associative, LRU, write-allocate caches;
+//! * [`machine::Machine`] — per-core L1I/L1D/L2 plus a shared LLC with
+//!   write-invalidation between cores, a 48-bit simulated address space, and
+//!   an instruction-fetch engine that walks per-module *code segments*;
+//! * [`counters::EventCounts`] — the VTune-like raw event set, attributable
+//!   per core and per code module;
+//! * [`config::MachineConfig`] — the Table 1 geometry, the miss penalties,
+//!   and the out-of-order cycle model (ideal IPC 3.0 — the paper's measured
+//!   no-miss loop — with per-event stall overlap factors).
+//!
+//! Database engines built on top of this crate do *real* work on real data
+//! structures; the simulator only observes the memory traffic they generate,
+//! the same way VTune observes a real server process.
+//!
+//! ```
+//! use uarch_sim::{Sim, config::MachineConfig, code::ModuleSpec};
+//!
+//! let sim = Sim::new(MachineConfig::ivy_bridge(1));
+//! let m = sim.register_module(ModuleSpec::new("txn_logic", 64 << 10).reuse(2.0));
+//! let buf = sim.alloc(4096, 64);
+//! let mut mem = sim.mem(0).with_module(m);
+//! mem.exec(10_000);          // retire 10k instructions from `txn_logic`
+//! mem.read(buf, 64);         // and touch one cache line of data
+//! let c = sim.counters(0);
+//! assert_eq!(c.instructions, 10_000);
+//! assert!(c.misses.iter().sum::<u64>() > 0); // cold caches miss
+//! ```
+
+pub mod addr;
+pub mod cache;
+pub mod code;
+pub mod config;
+pub mod counters;
+pub mod machine;
+pub mod rng;
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+pub use code::{ModuleId, ModuleSpec};
+pub use config::MachineConfig;
+pub use counters::{EventCounts, StallEvent};
+pub use machine::Machine;
+
+/// Cache-line size used throughout the simulator (bytes). Ivy Bridge uses
+/// 64-byte lines at every level.
+pub const LINE: u64 = 64;
+
+/// Shared handle to a simulated machine.
+///
+/// The simulator is single-threaded per experiment (experiments themselves
+/// can run on parallel OS threads, each with its own `Sim`), so a
+/// `Rc<RefCell<..>>` is sufficient and keeps the engine-side API free of
+/// lifetime plumbing.
+#[derive(Clone)]
+pub struct Sim(Rc<RefCell<Machine>>);
+
+impl Sim {
+    /// Build a fresh machine with cold caches.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Sim(Rc::new(RefCell::new(Machine::new(cfg))))
+    }
+
+    /// Borrow the underlying machine immutably.
+    pub fn machine(&self) -> Ref<'_, Machine> {
+        self.0.borrow()
+    }
+
+    /// Borrow the underlying machine mutably.
+    pub fn machine_mut(&self) -> RefMut<'_, Machine> {
+        self.0.borrow_mut()
+    }
+
+    /// Register a code module (allocates its code segment).
+    pub fn register_module(&self, spec: ModuleSpec) -> ModuleId {
+        self.0.borrow_mut().register_module(spec)
+    }
+
+    /// Allocate simulated data memory.
+    pub fn alloc(&self, size: u64, align: u64) -> u64 {
+        self.0.borrow_mut().alloc_data(size, align)
+    }
+
+    /// A memory port bound to `core` (and, initially, to no code module).
+    pub fn mem(&self, core: usize) -> Mem {
+        Mem { sim: self.clone(), core, module: ModuleId::UNATTRIBUTED }
+    }
+
+    /// Snapshot of the aggregate counters of `core`.
+    pub fn counters(&self, core: usize) -> EventCounts {
+        self.0.borrow().counters(core).clone()
+    }
+
+    /// Snapshot of per-module counters of `core` (index = `ModuleId.0`).
+    pub fn module_counters(&self, core: usize) -> Vec<EventCounts> {
+        self.0.borrow().module_counters(core).to_vec()
+    }
+
+    /// Human-readable module names in `ModuleId` order.
+    pub fn module_names(&self) -> Vec<String> {
+        self.0.borrow().module_names()
+    }
+
+    /// Full module specs in `ModuleId` order (for report attribution).
+    pub fn module_specs(&self) -> Vec<ModuleSpec> {
+        let m = self.0.borrow();
+        (0..m.module_names().len())
+            .map(|i| m.module(ModuleId(i as u16)).spec.clone())
+            .collect()
+    }
+
+    /// Machine configuration (cloned; it is small).
+    pub fn config(&self) -> MachineConfig {
+        self.0.borrow().config().clone()
+    }
+
+    /// Number of simulated cores.
+    pub fn cores(&self) -> usize {
+        self.0.borrow().cores()
+    }
+
+    /// Toggle offline (bulk-load) mode: suppresses all simulated traffic.
+    pub fn set_offline(&self, offline: bool) {
+        self.0.borrow_mut().set_offline(offline);
+    }
+
+    /// Run `f` with simulation suppressed (bulk loading).
+    pub fn offline<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.set_offline(true);
+        let r = f();
+        self.set_offline(false);
+        r
+    }
+
+    /// Prime the LLC with the allocated data region (post-load warm-up;
+    /// see [`Machine::warm_data`]).
+    pub fn warm_data(&self) {
+        self.0.borrow_mut().warm_data();
+    }
+}
+
+/// A memory/execution port: the handle engines use for every simulated
+/// instruction fetch and data access. Cheap to clone; carries the core it is
+/// bound to and the code module the activity is attributed to.
+#[derive(Clone)]
+pub struct Mem {
+    sim: Sim,
+    core: usize,
+    module: ModuleId,
+}
+
+impl Mem {
+    /// Rebind the port to a different code module (builder style).
+    #[must_use]
+    pub fn with_module(&self, module: ModuleId) -> Mem {
+        Mem { sim: self.sim.clone(), core: self.core, module }
+    }
+
+    /// Rebind the port to a different core (builder style).
+    #[must_use]
+    pub fn with_core(&self, core: usize) -> Mem {
+        Mem { sim: self.sim.clone(), core, module: self.module }
+    }
+
+    /// The core this port is bound to.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// The module this port attributes activity to.
+    pub fn module(&self) -> ModuleId {
+        self.module
+    }
+
+    /// The owning simulator handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Retire `n` instructions from this port's code module, streaming the
+    /// corresponding instruction-cache line fetches.
+    pub fn exec(&self, n: u64) {
+        self.sim.0.borrow_mut().fetch_code(self.core, self.module, n);
+    }
+
+    /// Simulated data load of `len` bytes at `addr` (touches every spanned
+    /// cache line).
+    pub fn read(&self, addr: u64, len: u32) {
+        self.sim.0.borrow_mut().data_access(self.core, self.module, addr, len, false);
+    }
+
+    /// Simulated data store of `len` bytes at `addr`.
+    pub fn write(&self, addr: u64, len: u32) {
+        self.sim.0.borrow_mut().data_access(self.core, self.module, addr, len, true);
+    }
+
+    /// Allocate simulated data memory (convenience passthrough).
+    pub fn alloc(&self, size: u64, align: u64) -> u64 {
+        self.sim.alloc(size, align)
+    }
+}

@@ -1,0 +1,35 @@
+//! The workload abstraction the experiment harness drives.
+
+use oltp::{Db, OltpResult};
+
+/// A benchmark: loads a database and generates one transaction at a time.
+///
+/// Loading is partition-aware: the workload is told how many workers will
+/// run and places each worker's data on that worker's core/partition, so
+/// partitioned engines (VoltDB, HyPer) see only single-site transactions —
+/// exactly the paper's configuration ("we also use multiple data
+/// partitions and ensure that all transactions access only a single
+/// partition", §3).
+pub trait Workload {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Create tables and bulk-load the database for `workers` workers.
+    /// Called exactly once, before any [`Workload::exec`].
+    fn setup(&mut self, db: &mut dyn Db, workers: usize);
+
+    /// Run one complete transaction on behalf of `worker`. The caller has
+    /// already bound the engine to the worker's core.
+    fn exec(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()>;
+}
+
+/// Run `n` transactions for `worker`, panicking on unexpected errors
+/// (aborts are unexpected in these benchmarks: single-site, no conflicts).
+pub fn run_txns(db: &mut dyn Db, workload: &mut dyn Workload, worker: usize, n: u64) {
+    db.set_core(worker);
+    for i in 0..n {
+        workload
+            .exec(db, worker)
+            .unwrap_or_else(|e| panic!("{} txn {i} failed on {}: {e}", workload.name(), db.name()));
+    }
+}

@@ -1,0 +1,336 @@
+//! TPC-B: the update-heavy banking benchmark (§5.1).
+//!
+//! One transaction type, `AccountUpdate`: add a delta to one branch, one
+//! teller, and one account balance, then append a row to History. The
+//! paper's data-locality argument for TPC-B's comparatively high IPC rests
+//! on the cardinality ratios (1 branch : 10 tellers : 100 000 accounts):
+//! branch and teller rows are cache-resident, History is append-only, and
+//! only the account probe is a cold random access. The ratios are
+//! preserved here; the branch count is scaled per DESIGN.md.
+
+use oltp::{Column, DataType, Db, KeyPack, OltpResult, Schema, TableDef, TableId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::driver::Workload;
+
+/// Tellers per branch (TPC-B standard).
+pub const TELLERS_PER_BRANCH: u64 = 10;
+/// Accounts per branch (TPC-B standard).
+pub const ACCOUNTS_PER_BRANCH: u64 = 100_000;
+
+struct Tables {
+    branch: TableId,
+    teller: TableId,
+    account: TableId,
+    history: TableId,
+}
+
+/// The TPC-B workload.
+pub struct TpcB {
+    branches: u64,
+    seed: u64,
+    tables: Option<Tables>,
+    workers: usize,
+    rngs: Vec<StdRng>,
+    /// Per-worker History sequence numbers.
+    hist_seq: Vec<u64>,
+    /// Committed AccountUpdate count (consistency checks).
+    committed: u64,
+}
+
+impl TpcB {
+    /// The paper's 100 GB configuration, scaled: 24 branches → 2.4 M
+    /// accounts (working set far beyond the LLC).
+    pub fn new() -> Self {
+        Self::with_branches(24)
+    }
+
+    /// Custom branch count (accounts scale along).
+    pub fn with_branches(branches: u64) -> Self {
+        assert!(branches >= 1);
+        TpcB {
+            branches,
+            seed: 0xB_5EED,
+            tables: None,
+            workers: 1,
+            rngs: Vec::new(),
+            hist_seq: Vec::new(),
+            committed: 0,
+        }
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Branches configured.
+    pub fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    /// Committed transactions so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Sum of all branch balances (consistency: must equal the sum of all
+    /// deltas applied — and the teller and account sums).
+    pub fn total_balance(&self, db: &mut dyn Db, table: &str) -> i64 {
+        let tables = self.tables.as_ref().expect("setup not called");
+        let (t, n) = match table {
+            "branch" => (tables.branch, self.branches),
+            "teller" => (tables.teller, self.branches * TELLERS_PER_BRANCH),
+            "account" => (tables.account, self.branches * ACCOUNTS_PER_BRANCH),
+            _ => panic!("unknown table {table}"),
+        };
+        let mut sum = 0i64;
+        db.begin();
+        for k in 0..n {
+            if let Some(row) = db.read(t, k).expect("consistency read") {
+                sum += row[1].long();
+            }
+        }
+        db.commit().expect("consistency commit");
+        sum
+    }
+
+    fn filler(n: usize) -> Value {
+        Value::Str("x".repeat(n))
+    }
+
+    /// Branch owned by `worker` for this request (single-site routing).
+    fn pick_branch(&mut self, worker: usize) -> u64 {
+        let w = self.workers as u64;
+        let per = (self.branches / w).max(1);
+        let r = self.rngs[worker].random_range(0..per);
+        (r * w + worker as u64) % self.branches
+    }
+}
+
+impl Default for TpcB {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for TpcB {
+    fn name(&self) -> &'static str {
+        "tpcb"
+    }
+
+    fn setup(&mut self, db: &mut dyn Db, workers: usize) {
+        assert!(self.tables.is_none(), "setup called twice");
+        self.workers = workers;
+        self.rngs = (0..workers)
+            .map(|w| StdRng::seed_from_u64(self.seed ^ (w as u64).wrapping_mul(0x51_7CC1)))
+            .collect();
+        self.hist_seq = vec![0; workers];
+
+        let long = |name: &str| Column::new(name, DataType::Long);
+        let branch = db.create_table(TableDef::new(
+            "branch",
+            Schema::new(vec![long("b_id"), long("b_balance"), Column::new("b_filler", DataType::Str)]),
+            self.branches,
+        ));
+        let teller = db.create_table(TableDef::new(
+            "teller",
+            Schema::new(vec![
+                long("t_id"),
+                long("t_balance"),
+                long("t_b_id"),
+                Column::new("t_filler", DataType::Str),
+            ]),
+            self.branches * TELLERS_PER_BRANCH,
+        ));
+        let account = db.create_table(TableDef::new(
+            "account",
+            Schema::new(vec![
+                long("a_id"),
+                long("a_balance"),
+                long("a_b_id"),
+                Column::new("a_filler", DataType::Str),
+            ]),
+            self.branches * ACCOUNTS_PER_BRANCH,
+        ));
+        let history = db.create_table(TableDef::new(
+            "history",
+            Schema::new(vec![
+                long("h_seq"),
+                long("h_t_id"),
+                long("h_b_id"),
+                long("h_a_id"),
+                long("h_delta"),
+                Column::new("h_filler", DataType::Str),
+            ]),
+            self.branches * ACCOUNTS_PER_BRANCH / 10,
+        ));
+
+        // Partition by branch: branch b and all its tellers/accounts live
+        // on worker (b % workers).
+        for b in 0..self.branches {
+            db.set_core((b % self.workers as u64) as usize);
+            db.begin();
+            db.insert(branch, b, &[Value::Long(b as i64), Value::Long(0), Self::filler(40)])
+                .expect("load branch");
+            db.commit().expect("load commit");
+        }
+        for b in 0..self.branches {
+            db.set_core((b % self.workers as u64) as usize);
+            db.begin();
+            for i in 0..TELLERS_PER_BRANCH {
+                let t_id = b * TELLERS_PER_BRANCH + i;
+                db.insert(
+                    teller,
+                    t_id,
+                    &[
+                        Value::Long(t_id as i64),
+                        Value::Long(0),
+                        Value::Long(b as i64),
+                        Self::filler(40),
+                    ],
+                )
+                .expect("load teller");
+            }
+            db.commit().expect("load commit");
+        }
+        for b in 0..self.branches {
+            db.set_core((b % self.workers as u64) as usize);
+            let mut in_txn = 0;
+            db.begin();
+            for i in 0..ACCOUNTS_PER_BRANCH {
+                let a_id = b * ACCOUNTS_PER_BRANCH + i;
+                db.insert(
+                    account,
+                    a_id,
+                    &[
+                        Value::Long(a_id as i64),
+                        Value::Long(0),
+                        Value::Long(b as i64),
+                        Self::filler(40),
+                    ],
+                )
+                .expect("load account");
+                in_txn += 1;
+                if in_txn == 5000 {
+                    db.commit().expect("load commit");
+                    db.begin();
+                    in_txn = 0;
+                }
+            }
+            db.commit().expect("load commit");
+        }
+        db.finish_load();
+        self.tables = Some(Tables { branch, teller, account, history });
+    }
+
+    fn exec(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let Tables { branch, teller, account, history } =
+            *self.tables.as_ref().expect("setup not called");
+        let b = self.pick_branch(worker);
+        let t_id = b * TELLERS_PER_BRANCH + self.rngs[worker].random_range(0..TELLERS_PER_BRANCH);
+        let a_id =
+            b * ACCOUNTS_PER_BRANCH + self.rngs[worker].random_range(0..ACCOUNTS_PER_BRANCH);
+        let delta: i64 = self.rngs[worker].random_range(-99_999..=99_999);
+
+        db.begin();
+        let found = db.update(account, a_id, &mut |row| {
+            row[1] = Value::Long(row[1].long() + delta);
+        })?;
+        debug_assert!(found, "account {a_id} missing");
+        let mut a_balance = 0i64;
+        db.read_with(account, a_id, &mut |row| a_balance = row[1].long())?;
+        let found = db.update(teller, t_id, &mut |row| {
+            row[1] = Value::Long(row[1].long() + delta);
+        })?;
+        debug_assert!(found, "teller {t_id} missing");
+        let found = db.update(branch, b, &mut |row| {
+            row[1] = Value::Long(row[1].long() + delta);
+        })?;
+        debug_assert!(found, "branch {b} missing");
+        let seq = self.hist_seq[worker];
+        self.hist_seq[worker] += 1;
+        let h_key = KeyPack::new().field(worker as u64, 8).field(seq, 40).get();
+        db.insert(
+            history,
+            h_key,
+            &[
+                Value::Long(seq as i64),
+                Value::Long(t_id as i64),
+                Value::Long(b as i64),
+                Value::Long(a_id as i64),
+                Value::Long(delta),
+                Self::filler(20),
+            ],
+        )?;
+        db.commit()?;
+        self.committed += 1;
+        let _ = a_balance; // returned to the "client", per the spec
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engines::{build_system, SystemKind};
+    use uarch_sim::{MachineConfig, Sim};
+
+    fn tiny() -> TpcB {
+        // 2 branches x 100k accounts would still be slow to load in tests;
+        // the consistency tests use a miniature bank via with_branches and
+        // a reduced accounts-per-branch is not part of the spec, so keep
+        // 1 branch.
+        TpcB::with_branches(1)
+    }
+
+    #[test]
+    fn balances_stay_consistent_on_every_engine() {
+        for kind in SystemKind::ALL {
+            let sim = Sim::new(MachineConfig::ivy_bridge(1));
+            let mut db = build_system(kind, &sim, 1);
+            let mut w = tiny();
+            sim.offline(|| w.setup(db.as_mut(), 1));
+            sim.offline(|| {
+                for _ in 0..30 {
+                    w.exec(db.as_mut(), 0).unwrap();
+                }
+            });
+            let b = w.total_balance(db.as_mut(), "branch");
+            let t = w.total_balance(db.as_mut(), "teller");
+            let a = w.total_balance(db.as_mut(), "account");
+            assert_eq!(b, t, "{kind:?}: branch vs teller");
+            assert_eq!(b, a, "{kind:?}: branch vs account");
+            assert_eq!(w.committed(), 30);
+        }
+    }
+
+    #[test]
+    fn history_grows_per_transaction() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(SystemKind::HyPer, &sim, 1);
+        let mut w = tiny();
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        sim.offline(|| {
+            for _ in 0..25 {
+                w.exec(db.as_mut(), 0).unwrap();
+            }
+        });
+        let history = w.tables.as_ref().unwrap().history;
+        assert_eq!(db.row_count(history), 25);
+    }
+
+    #[test]
+    fn cardinality_ratios_follow_spec() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(SystemKind::VoltDb, &sim, 1);
+        let mut w = TpcB::with_branches(2);
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        let t = w.tables.as_ref().unwrap();
+        assert_eq!(db.row_count(t.branch), 2);
+        assert_eq!(db.row_count(t.teller), 20);
+        assert_eq!(db.row_count(t.account), 200_000);
+    }
+}

@@ -1,0 +1,980 @@
+//! TPC-C: the wholesale-supplier benchmark (§5.2).
+//!
+//! Nine tables, five transaction types in the standard 45/43/4/4/4 mix
+//! (NewOrder / Payment / OrderStatus / Delivery / StockLevel), NURand
+//! input skew, 60 % customer-selection-by-last-name, and the index scans
+//! the paper credits for TPC-C's higher instruction/data locality.
+//!
+//! Adaptations (documented in DESIGN.md): all transactions are
+//! home-warehouse only (the paper itself "ensure\[s\] that all transactions
+//! access only a single partition" for the partitioned systems; we apply
+//! it uniformly), NewOrder's 1 % rollback aborts after its reads but
+//! before any write (real implementations validate the unused item id
+//! first), and warehouse count / initial order count scale down with the
+//! simulated-size substitution.
+//!
+//! Composite keys pack into `u64` via [`KeyPack`]; secondary access paths
+//! (customer-by-last-name, orders-by-customer) are separate key-ordered
+//! tables, as in index-organized systems.
+
+use oltp::{Column, DataType, Db, KeyPack, OltpError, OltpResult, Schema, TableDef, TableId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::driver::Workload;
+use crate::names::{c_last, name_hash, NuRand};
+
+/// Districts per warehouse (spec).
+pub const DISTRICTS: u64 = 10;
+
+// Key-field widths (bits).
+const W_BITS: u32 = 10;
+const D_BITS: u32 = 4;
+const C_BITS: u32 = 12;
+const O_BITS: u32 = 24;
+const OL_BITS: u32 = 5;
+const I_BITS: u32 = 17;
+const H16_BITS: u32 = 16;
+
+/// Scaled cardinalities.
+#[derive(Clone, Copy, Debug)]
+pub struct TpcCScale {
+    /// Warehouses.
+    pub warehouses: u64,
+    /// Customers per district (spec: 3000).
+    pub customers_per_district: u64,
+    /// Items in the catalog (spec: 100 000).
+    pub items: u64,
+    /// Initially loaded orders per district (spec: 3000; scaled down).
+    pub initial_orders: u64,
+}
+
+impl TpcCScale {
+    /// The paper's 100 GB configuration under the DESIGN.md substitution.
+    pub fn paper_100gb() -> Self {
+        TpcCScale {
+            warehouses: 10,
+            customers_per_district: 3000,
+            items: 100_000,
+            initial_orders: 900,
+        }
+    }
+
+    /// A miniature database for tests.
+    pub fn tiny() -> Self {
+        TpcCScale { warehouses: 1, customers_per_district: 60, items: 200, initial_orders: 12 }
+    }
+}
+
+struct Tables {
+    warehouse: TableId,
+    district: TableId,
+    customer: TableId,
+    history: TableId,
+    new_order: TableId,
+    orders: TableId,
+    order_line: TableId,
+    item: TableId,
+    stock: TableId,
+    /// Secondary: (w, d, hash16(c_last), c) -> c_id.
+    cust_by_name: TableId,
+    /// Secondary: (w, d, c, o) -> o_id.
+    cust_orders: TableId,
+}
+
+/// Per-transaction-type commit counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MixCounts {
+    /// NewOrder commits.
+    pub new_order: u64,
+    /// NewOrder rollbacks (the 1 % invalid-item case).
+    pub new_order_rollbacks: u64,
+    /// Payment commits.
+    pub payment: u64,
+    /// OrderStatus commits.
+    pub order_status: u64,
+    /// Delivery commits.
+    pub delivery: u64,
+    /// StockLevel commits.
+    pub stock_level: u64,
+}
+
+impl MixCounts {
+    /// Total committed transactions.
+    pub fn total(&self) -> u64 {
+        self.new_order + self.payment + self.order_status + self.delivery + self.stock_level
+    }
+}
+
+/// The TPC-C workload.
+pub struct TpcC {
+    scale: TpcCScale,
+    seed: u64,
+    tables: Option<Tables>,
+    workers: usize,
+    rngs: Vec<StdRng>,
+    nurand: Option<NuRand>,
+    /// Next order id per (w, d).
+    next_o_id: Vec<u64>,
+    /// Oldest undelivered new-order id per (w, d) (delivery cursor).
+    deliv_cursor: Vec<u64>,
+    /// Per-worker history sequence.
+    hist_seq: Vec<u64>,
+    /// Commit counters.
+    pub counts: MixCounts,
+}
+
+// Key builders.
+fn k_wd(w: u64, d: u64) -> KeyPack {
+    KeyPack::new().field(w, W_BITS).field(d, D_BITS)
+}
+fn key_district(w: u64, d: u64) -> u64 {
+    k_wd(w, d).get()
+}
+fn key_customer(w: u64, d: u64, c: u64) -> u64 {
+    k_wd(w, d).field(c, C_BITS).get()
+}
+fn key_order(w: u64, d: u64, o: u64) -> u64 {
+    k_wd(w, d).field(o, O_BITS).get()
+}
+fn key_order_line(w: u64, d: u64, o: u64, ol: u64) -> u64 {
+    k_wd(w, d).field(o, O_BITS).field(ol, OL_BITS).get()
+}
+fn key_stock(w: u64, i: u64) -> u64 {
+    KeyPack::new().field(w, W_BITS).field(i, I_BITS).get()
+}
+fn key_cust_name(w: u64, d: u64, h: u64, c: u64) -> u64 {
+    k_wd(w, d).field(h, H16_BITS).field(c, C_BITS).get()
+}
+fn key_cust_order(w: u64, d: u64, c: u64, o: u64) -> u64 {
+    k_wd(w, d).field(c, C_BITS).field(o, O_BITS).get()
+}
+
+impl TpcC {
+    /// The paper's configuration.
+    pub fn new() -> Self {
+        Self::with_scale(TpcCScale::paper_100gb())
+    }
+
+    /// Custom scale.
+    pub fn with_scale(scale: TpcCScale) -> Self {
+        assert!(scale.warehouses >= 1 && scale.warehouses < (1 << W_BITS));
+        assert!(scale.customers_per_district >= 3);
+        assert!(scale.items >= 100 && scale.items < (1 << I_BITS));
+        TpcC {
+            scale,
+            seed: 0xCC_5EED,
+            tables: None,
+            workers: 1,
+            rngs: Vec::new(),
+            nurand: None,
+            next_o_id: Vec::new(),
+            deliv_cursor: Vec::new(),
+            hist_seq: Vec::new(),
+            counts: MixCounts::default(),
+        }
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured scale.
+    pub fn scale(&self) -> TpcCScale {
+        self.scale
+    }
+
+    fn wd_index(&self, w: u64, d: u64) -> usize {
+        (w * DISTRICTS + d) as usize
+    }
+
+    /// A warehouse owned by `worker`.
+    fn pick_warehouse(&mut self, worker: usize) -> u64 {
+        let wk = self.workers as u64;
+        let per = (self.scale.warehouses / wk).max(1);
+        let r = self.rngs[worker].random_range(0..per);
+        (r * wk + worker as u64) % self.scale.warehouses
+    }
+
+    /// Customer selection: 60 % by last name, 40 % by id (spec §2.5.1.2).
+    /// Returns the customer id.
+    fn select_customer(
+        &mut self,
+        db: &mut dyn Db,
+        worker: usize,
+        w: u64,
+        d: u64,
+    ) -> OltpResult<u64> {
+        let tables = self.tables.as_ref().expect("setup");
+        let nurand = self.nurand.expect("setup");
+        let by_name = self.rngs[worker].random_range(0..100) < 60;
+        if by_name {
+            let num = nurand
+                .last_name_num(&mut self.rngs[worker], (self.scale.customers_per_district - 1).min(999));
+            let h = name_hash(&c_last(num));
+            let (lo, hi) = k_wd(w, d).field(h, H16_BITS).prefix_range(C_BITS);
+            let mut ids = Vec::new();
+            db.scan(tables.cust_by_name, lo, hi, &mut |_, row| {
+                ids.push(row[0].long() as u64);
+                true
+            })?;
+            if ids.is_empty() {
+                // Hash bucket may be empty at tiny scales; fall back to id.
+                return Ok(nurand.customer_id(&mut self.rngs[worker], self.scale.customers_per_district));
+            }
+            // Spec: position n/2 rounded up in the name-ordered set.
+            ids.sort_unstable();
+            Ok(ids[ids.len() / 2])
+        } else {
+            Ok(nurand.customer_id(&mut self.rngs[worker], self.scale.customers_per_district))
+        }
+    }
+
+    // ---- transaction bodies -------------------------------------------
+
+    fn new_order(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let w = self.pick_warehouse(worker);
+        let d = self.rngs[worker].random_range(0..DISTRICTS);
+        let c = self.select_customer_id_only(worker);
+        let ol_cnt = self.rngs[worker].random_range(5..=15u64);
+        let rollback = self.rngs[worker].random_range(0..100) == 0;
+        let nurand = self.nurand.expect("setup");
+        let items: Vec<(u64, u64)> = (0..ol_cnt)
+            .map(|_| {
+                (
+                    nurand.item_id(&mut self.rngs[worker], self.scale.items),
+                    self.rngs[worker].random_range(1..=10u64),
+                )
+            })
+            .collect();
+        let tables = self.tables.as_ref().expect("setup");
+        let t = Tables { ..*tables };
+
+        db.begin();
+        // Read warehouse (tax) and customer (discount, last, credit).
+        let mut found = false;
+        db.read_with(t.warehouse, w, &mut |_| found = true)?;
+        debug_assert!(found);
+        db.read_with(t.customer, key_customer(w, d, c), &mut |_| {})?;
+        // Validate items; an invalid id rolls the transaction back (1 %).
+        let mut prices = Vec::with_capacity(items.len());
+        for &(i_id, _) in &items {
+            let mut price = None;
+            db.read_with(t.item, i_id, &mut |row| price = Some(row[2].long()))?;
+            match price {
+                Some(p) => prices.push(p),
+                None => {
+                    db.abort();
+                    self.counts.new_order_rollbacks += 1;
+                    return Ok(());
+                }
+            }
+        }
+        if rollback {
+            // Simulated "unused item id" case, validated before writes.
+            db.abort();
+            self.counts.new_order_rollbacks += 1;
+            return Ok(());
+        }
+        // District: read + increment next_o_id.
+        let wd = self.wd_index(w, d);
+        let o = self.next_o_id[wd];
+        self.next_o_id[wd] += 1;
+        db.update(t.district, key_district(w, d), &mut |row| {
+            row[3] = Value::Long(row[3].long() + 1);
+        })?;
+        // Stock updates + order lines.
+        let mut total = 0i64;
+        for (ol, (&(i_id, qty), &price)) in items.iter().zip(&prices).enumerate() {
+            db.update(t.stock, key_stock(w, i_id), &mut |row| {
+                let q = row[2].long();
+                let newq = if q >= qty as i64 + 10 { q - qty as i64 } else { q - qty as i64 + 91 };
+                row[2] = Value::Long(newq);
+                row[3] = Value::Long(row[3].long() + qty as i64); // ytd
+                row[4] = Value::Long(row[4].long() + 1); // order_cnt
+            })?;
+            let amount = price * qty as i64;
+            total += amount;
+            db.insert(
+                t.order_line,
+                key_order_line(w, d, o, ol as u64 + 1),
+                &[
+                    Value::Long(o as i64),
+                    Value::Long(i_id as i64),
+                    Value::Long(qty as i64),
+                    Value::Long(amount),
+                    Value::Long(0), // delivery date (pending)
+                    Value::Str("DIST-INFO-123456789012345".into()),
+                ],
+            )?;
+        }
+        db.insert(
+            t.orders,
+            key_order(w, d, o),
+            &[
+                Value::Long(o as i64),
+                Value::Long(c as i64),
+                Value::Long(0),               // carrier (pending)
+                Value::Long(ol_cnt as i64),
+                Value::Long(total),
+            ],
+        )?;
+        db.insert(t.new_order, key_order(w, d, o), &[Value::Long(o as i64)])?;
+        db.insert(
+            t.cust_orders,
+            key_cust_order(w, d, c, o),
+            &[Value::Long(o as i64)],
+        )?;
+        db.commit()?;
+        self.counts.new_order += 1;
+        Ok(())
+    }
+
+    /// 40 %-branch customer id (NewOrder always selects by id, spec).
+    fn select_customer_id_only(&mut self, worker: usize) -> u64 {
+        let nurand = self.nurand.expect("setup");
+        nurand.customer_id(&mut self.rngs[worker], self.scale.customers_per_district)
+    }
+
+    fn payment(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let w = self.pick_warehouse(worker);
+        let d = self.rngs[worker].random_range(0..DISTRICTS);
+        let amount: i64 = self.rngs[worker].random_range(100..=500_000);
+
+        db.begin();
+        let c = self.select_customer(db, worker, w, d)?;
+        let t = Tables { ..*self.tables.as_ref().expect("setup") };
+        db.update(t.warehouse, w, &mut |row| {
+            row[1] = Value::Long(row[1].long() + amount); // w_ytd
+        })?;
+        db.update(t.district, key_district(w, d), &mut |row| {
+            row[2] = Value::Long(row[2].long() + amount); // d_ytd
+        })?;
+        let found = db.update(t.customer, key_customer(w, d, c), &mut |row| {
+            row[3] = Value::Long(row[3].long() - amount); // balance
+            row[4] = Value::Long(row[4].long() + amount); // ytd_payment
+            row[5] = Value::Long(row[5].long() + 1); // payment_cnt
+        })?;
+        debug_assert!(found, "customer {c} missing");
+        let seq = self.hist_seq[worker];
+        self.hist_seq[worker] += 1;
+        let h_key = KeyPack::new().field(worker as u64, 8).field(seq, 40).get();
+        db.insert(
+            t.history,
+            h_key,
+            &[
+                Value::Long(c as i64),
+                Value::Long(d as i64),
+                Value::Long(w as i64),
+                Value::Long(amount),
+                Value::Str("payment-history-data-----".into()),
+            ],
+        )?;
+        db.commit()?;
+        self.counts.payment += 1;
+        Ok(())
+    }
+
+    fn order_status(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let w = self.pick_warehouse(worker);
+        let d = self.rngs[worker].random_range(0..DISTRICTS);
+        db.begin();
+        let c = self.select_customer(db, worker, w, d)?;
+        let t = Tables { ..*self.tables.as_ref().expect("setup") };
+        db.read_with(t.customer, key_customer(w, d, c), &mut |_| {})?;
+        // Most recent order of the customer.
+        let (lo, hi) = k_wd(w, d).field(c, C_BITS).prefix_range(O_BITS);
+        let mut last_o = None;
+        db.scan(t.cust_orders, lo, hi, &mut |_, row| {
+            last_o = Some(row[0].long() as u64);
+            true
+        })?;
+        if let Some(o) = last_o {
+            db.read_with(t.orders, key_order(w, d, o), &mut |_| {})?;
+            let (lo, hi) = k_wd(w, d).field(o, O_BITS).prefix_range(OL_BITS);
+            db.scan(t.order_line, lo, hi, &mut |_, _| true)?;
+        }
+        db.commit()?;
+        self.counts.order_status += 1;
+        Ok(())
+    }
+
+    fn delivery(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let w = self.pick_warehouse(worker);
+        let carrier: i64 = self.rngs[worker].random_range(1..=10);
+        let t = Tables { ..*self.tables.as_ref().expect("setup") };
+        db.begin();
+        for d in 0..DISTRICTS {
+            // Oldest undelivered order for the district.
+            let cursor = self.deliv_cursor[self.wd_index(w, d)];
+            let (lo, hi) = k_wd(w, d).prefix_range(O_BITS);
+            let lo = lo.max(key_order(w, d, cursor));
+            let mut oldest = None;
+            db.scan(t.new_order, lo, hi, &mut |_, row| {
+                oldest = Some(row[0].long() as u64);
+                false // first = oldest (key order)
+            })?;
+            let Some(o) = oldest else { continue };
+            let wd = self.wd_index(w, d);
+            self.deliv_cursor[wd] = o + 1;
+            db.delete(t.new_order, key_order(w, d, o))?;
+            let mut c = 0u64;
+            db.read_with(t.orders, key_order(w, d, o), &mut |row| c = row[1].long() as u64)?;
+            db.update(t.orders, key_order(w, d, o), &mut |row| {
+                row[2] = Value::Long(carrier);
+            })?;
+            // Sum the order's lines and stamp their delivery date.
+            let (lo, hi) = k_wd(w, d).field(o, O_BITS).prefix_range(OL_BITS);
+            let mut keys = Vec::new();
+            let mut sum = 0i64;
+            db.scan(t.order_line, lo, hi, &mut |k, row| {
+                keys.push(k);
+                sum += row[3].long();
+                true
+            })?;
+            for k in keys {
+                db.update(t.order_line, k, &mut |row| row[4] = Value::Long(1))?;
+            }
+            db.update(t.customer, key_customer(w, d, c), &mut |row| {
+                row[3] = Value::Long(row[3].long() + sum); // balance
+                row[6] = Value::Long(row[6].long() + 1); // delivery_cnt
+            })?;
+        }
+        db.commit()?;
+        self.counts.delivery += 1;
+        Ok(())
+    }
+
+    fn stock_level(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let w = self.pick_warehouse(worker);
+        let d = self.rngs[worker].random_range(0..DISTRICTS);
+        let threshold: i64 = self.rngs[worker].random_range(10..=20);
+        let t = Tables { ..*self.tables.as_ref().expect("setup") };
+        db.begin();
+        let mut next_o = 0u64;
+        db.read_with(t.district, key_district(w, d), &mut |row| {
+            next_o = row[3].long() as u64;
+        })?;
+        // Items of the last 20 orders.
+        let first = next_o.saturating_sub(20);
+        let mut item_ids = Vec::new();
+        for o in first..next_o {
+            let (lo, hi) = k_wd(w, d).field(o, O_BITS).prefix_range(OL_BITS);
+            db.scan(t.order_line, lo, hi, &mut |_, row| {
+                item_ids.push(row[1].long() as u64);
+                true
+            })?;
+        }
+        item_ids.sort_unstable();
+        item_ids.dedup();
+        let mut low = 0u64;
+        for i in item_ids {
+            db.read_with(t.stock, key_stock(w, i), &mut |row| {
+                if row[2].long() < threshold {
+                    low += 1;
+                }
+            })?;
+        }
+        db.commit()?;
+        self.counts.stock_level += 1;
+        Ok(())
+    }
+
+    /// Consistency check (TPC-C §3.3.2.1/2 analogues): for every district,
+    /// `d_next_o_id - 1` equals the maximum order id, and `w_ytd` equals
+    /// the sum of its districts' `d_ytd`.
+    pub fn check_consistency(&self, db: &mut dyn Db) {
+        let t = self.tables.as_ref().expect("setup");
+        for w in 0..self.scale.warehouses {
+            db.set_core((w % self.workers as u64) as usize);
+            db.begin();
+            let mut w_ytd = 0;
+            db.read_with(t.warehouse, w, &mut |row| w_ytd = row[1].long())
+                .expect("warehouse read");
+            let mut d_ytd_sum = 0i64;
+            for d in 0..DISTRICTS {
+                let mut next = 0u64;
+                db.read_with(t.district, key_district(w, d), &mut |row| {
+                    d_ytd_sum += row[2].long();
+                    next = row[3].long() as u64;
+                })
+                .expect("district read");
+                assert_eq!(
+                    next,
+                    self.next_o_id[self.wd_index(w, d)],
+                    "d_next_o_id drifted for w={w} d={d}"
+                );
+                // Max order id must be next - 1.
+                let (lo, hi) = k_wd(w, d).prefix_range(O_BITS);
+                let mut max_o = None;
+                db.scan(t.orders, lo, hi, &mut |_, row| {
+                    max_o = Some(row[0].long() as u64);
+                    true
+                })
+                .expect("orders scan");
+                assert_eq!(max_o, Some(next - 1), "order-id chain broken for w={w} d={d}");
+            }
+            assert_eq!(w_ytd, d_ytd_sum, "w_ytd != sum(d_ytd) for w={w}");
+            db.commit().expect("consistency commit");
+        }
+    }
+}
+
+impl Default for TpcC {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for TpcC {
+    fn name(&self) -> &'static str {
+        "tpcc"
+    }
+
+    fn setup(&mut self, db: &mut dyn Db, workers: usize) {
+        assert!(self.tables.is_none(), "setup called twice");
+        self.workers = workers;
+        self.rngs = (0..workers)
+            .map(|w| StdRng::seed_from_u64(self.seed ^ (w as u64).wrapping_mul(0xC0FFEE)))
+            .collect();
+        self.nurand = Some(NuRand::new(&mut self.rngs[0]));
+        self.hist_seq = vec![0; workers];
+        let s = self.scale;
+        self.next_o_id = vec![s.initial_orders; (s.warehouses * DISTRICTS) as usize];
+        self.deliv_cursor = vec![0; (s.warehouses * DISTRICTS) as usize];
+
+        let long = |n: &str| Column::new(n, DataType::Long);
+        let str_ = |n: &str| Column::new(n, DataType::Str);
+        let t = Tables {
+            warehouse: db.create_table(TableDef::new(
+                "warehouse",
+                Schema::new(vec![long("w_id"), long("w_ytd"), str_("w_name"), str_("w_filler")]),
+                s.warehouses,
+            )),
+            district: db.create_table(TableDef::new(
+                "district",
+                Schema::new(vec![
+                    long("d_id"),
+                    long("d_w_id"),
+                    long("d_ytd"),
+                    long("d_next_o_id"),
+                    str_("d_filler"),
+                ]),
+                s.warehouses * DISTRICTS,
+            )),
+            customer: db.create_table(TableDef::new(
+                "customer",
+                Schema::new(vec![
+                    long("c_id"),
+                    long("c_d_w"),
+                    long("c_since"),
+                    long("c_balance"),
+                    long("c_ytd_payment"),
+                    long("c_payment_cnt"),
+                    long("c_delivery_cnt"),
+                    str_("c_last"),
+                    str_("c_credit"),
+                    str_("c_data"),
+                ]),
+                s.warehouses * DISTRICTS * s.customers_per_district,
+            )),
+            history: db.create_table(TableDef::new(
+                "history",
+                Schema::new(vec![
+                    long("h_c_id"),
+                    long("h_d_id"),
+                    long("h_w_id"),
+                    long("h_amount"),
+                    str_("h_data"),
+                ]),
+                s.warehouses * DISTRICTS * s.customers_per_district,
+            )),
+            new_order: db.create_table(
+                TableDef::new(
+                    "new_order",
+                    Schema::new(vec![long("no_o_id")]),
+                    s.warehouses * DISTRICTS * s.initial_orders / 3,
+                )
+                .with_range_scans(),
+            ),
+            orders: db.create_table(
+                TableDef::new(
+                    "orders",
+                    Schema::new(vec![
+                        long("o_id"),
+                        long("o_c_id"),
+                        long("o_carrier_id"),
+                        long("o_ol_cnt"),
+                        long("o_total"),
+                    ]),
+                    s.warehouses * DISTRICTS * s.initial_orders,
+                )
+                .with_range_scans(),
+            ),
+            order_line: db.create_table(
+                TableDef::new(
+                    "order_line",
+                    Schema::new(vec![
+                        long("ol_o_id"),
+                        long("ol_i_id"),
+                        long("ol_quantity"),
+                        long("ol_amount"),
+                        long("ol_delivery_d"),
+                        str_("ol_dist_info"),
+                    ]),
+                    s.warehouses * DISTRICTS * s.initial_orders * 10,
+                )
+                .with_range_scans(),
+            ),
+            item: db.create_table(TableDef::new(
+                "item",
+                Schema::new(vec![long("i_id"), long("i_im_id"), long("i_price"), str_("i_name"), str_("i_data")]),
+                s.items,
+            )),
+            stock: db.create_table(TableDef::new(
+                "stock",
+                Schema::new(vec![
+                    long("s_i_id"),
+                    long("s_w_id"),
+                    long("s_quantity"),
+                    long("s_ytd"),
+                    long("s_order_cnt"),
+                    str_("s_dist"),
+                    str_("s_data"),
+                ]),
+                s.warehouses * s.items,
+            )),
+            cust_by_name: db.create_table(
+                TableDef::new(
+                    "cust_by_name",
+                    Schema::new(vec![long("c_id")]),
+                    s.warehouses * DISTRICTS * s.customers_per_district,
+                )
+                .with_range_scans(),
+            ),
+            cust_orders: db.create_table(
+                TableDef::new(
+                    "cust_orders",
+                    Schema::new(vec![long("o_id")]),
+                    s.warehouses * DISTRICTS * s.initial_orders,
+                )
+                .with_range_scans(),
+            ),
+        };
+
+        let mut load_rng = StdRng::seed_from_u64(self.seed ^ 0x10AD);
+
+        // ITEM is read-only: replicate per partition (as VoltDB/HyPer do).
+        let item_copies = db.partitions().max(1).min(workers.max(1));
+        for copy in 0..item_copies {
+            db.set_core(copy);
+            db.begin();
+            for i in 1..=s.items {
+                db.insert(
+                    t.item,
+                    i,
+                    &[
+                        Value::Long(i as i64),
+                        Value::Long((i % 10_000) as i64),
+                        Value::Long(load_rng.random_range(100..=10_000)),
+                        Value::Str(format!("item-{i:08}")),
+                        Value::Str("original-item-data-xxxxxx".into()),
+                    ],
+                )
+                .expect("load item");
+                if i % 5000 == 0 {
+                    db.commit().expect("load commit");
+                    db.begin();
+                }
+            }
+            db.commit().expect("load commit");
+        }
+
+        for w in 0..s.warehouses {
+            db.set_core((w % workers as u64) as usize);
+            db.begin();
+            db.insert(
+                t.warehouse,
+                w,
+                &[
+                    Value::Long(w as i64),
+                    Value::Long(0),
+                    Value::Str(format!("wh-{w:04}")),
+                    Value::Str("w".repeat(40)),
+                ],
+            )
+            .expect("load warehouse");
+            // Stock.
+            let mut in_txn = 0;
+            for i in 1..=s.items {
+                db.insert(
+                    t.stock,
+                    key_stock(w, i),
+                    &[
+                        Value::Long(i as i64),
+                        Value::Long(w as i64),
+                        Value::Long(load_rng.random_range(10..=100)),
+                        Value::Long(0),
+                        Value::Long(0),
+                        Value::Str("s".repeat(24)),
+                        Value::Str("stock-data-original-xxxxxxxxxx".into()),
+                    ],
+                )
+                .expect("load stock");
+                in_txn += 1;
+                if in_txn == 5000 {
+                    db.commit().expect("load commit");
+                    db.begin();
+                    in_txn = 0;
+                }
+            }
+            db.commit().expect("load commit");
+
+            for d in 0..DISTRICTS {
+                db.begin();
+                db.insert(
+                    t.district,
+                    key_district(w, d),
+                    &[
+                        Value::Long(d as i64),
+                        Value::Long(w as i64),
+                        Value::Long(0),
+                        Value::Long(s.initial_orders as i64),
+                        Value::Str("d".repeat(40)),
+                    ],
+                )
+                .expect("load district");
+                // Customers.
+                for c in 1..=s.customers_per_district {
+                    let name_num = if c <= 1000 {
+                        (c - 1).min(999)
+                    } else {
+                        NuRand { c_last: 0, c_id: 0, ol_i_id: 0 }
+                            .last_name_num(&mut load_rng, 999)
+                    };
+                    let last = c_last(name_num % (s.customers_per_district.min(1000)));
+                    db.insert(
+                        t.customer,
+                        key_customer(w, d, c),
+                        &[
+                            Value::Long(c as i64),
+                            Value::Long((w * DISTRICTS + d) as i64),
+                            Value::Long(0),
+                            Value::Long(-1000), // c_balance starts at -10.00
+                            Value::Long(1000),
+                            Value::Long(1),
+                            Value::Long(0),
+                            Value::Str(last.clone()),
+                            Value::Str(if load_rng.random_range(0..10) == 0 {
+                                "BC".into()
+                            } else {
+                                "GC".into()
+                            }),
+                            Value::Str("c".repeat(200)),
+                        ],
+                    )
+                    .expect("load customer");
+                    db.insert(
+                        t.cust_by_name,
+                        key_cust_name(w, d, name_hash(&last), c),
+                        &[Value::Long(c as i64)],
+                    )
+                    .expect("load cust_by_name");
+                    if c % 2000 == 0 {
+                        db.commit().expect("load commit");
+                        db.begin();
+                    }
+                }
+                db.commit().expect("load commit");
+
+                // Initial orders: first 2/3 delivered, last 1/3 pending.
+                db.begin();
+                for o in 0..s.initial_orders {
+                    let c = load_rng.random_range(1..=s.customers_per_district);
+                    let ol_cnt = load_rng.random_range(5..=15u64);
+                    let delivered = o < s.initial_orders * 2 / 3;
+                    let mut total = 0i64;
+                    for ol in 1..=ol_cnt {
+                        let i_id = load_rng.random_range(1..=s.items);
+                        let amount = load_rng.random_range(10..=9_999);
+                        total += amount;
+                        db.insert(
+                            t.order_line,
+                            key_order_line(w, d, o, ol),
+                            &[
+                                Value::Long(o as i64),
+                                Value::Long(i_id as i64),
+                                Value::Long(5),
+                                Value::Long(amount),
+                                Value::Long(if delivered { 1 } else { 0 }),
+                                Value::Str("DIST-INFO-123456789012345".into()),
+                            ],
+                        )
+                        .expect("load order_line");
+                    }
+                    db.insert(
+                        t.orders,
+                        key_order(w, d, o),
+                        &[
+                            Value::Long(o as i64),
+                            Value::Long(c as i64),
+                            Value::Long(if delivered { load_rng.random_range(1..=10) } else { 0 }),
+                            Value::Long(ol_cnt as i64),
+                            Value::Long(total),
+                        ],
+                    )
+                    .expect("load orders");
+                    db.insert(t.cust_orders, key_cust_order(w, d, c, o), &[Value::Long(o as i64)])
+                        .expect("load cust_orders");
+                    if !delivered {
+                        db.insert(t.new_order, key_order(w, d, o), &[Value::Long(o as i64)])
+                            .expect("load new_order");
+                    } else if o % 50 == 0 {
+                        db.commit().expect("load commit");
+                        db.begin();
+                    }
+                }
+                db.commit().expect("load commit");
+                let wd = self.wd_index(w, d);
+                self.deliv_cursor[wd] = s.initial_orders * 2 / 3;
+            }
+        }
+        db.finish_load();
+        self.tables = Some(t);
+    }
+
+    fn exec(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let dice = self.rngs[worker].random_range(0..100);
+        let result = if dice < 45 {
+            self.new_order(db, worker)
+        } else if dice < 88 {
+            self.payment(db, worker)
+        } else if dice < 92 {
+            self.order_status(db, worker)
+        } else if dice < 96 {
+            self.delivery(db, worker)
+        } else {
+            self.stock_level(db, worker)
+        };
+        // Hash-indexed engines cannot run TPC-C (the paper switches DBMS M
+        // to its B-tree for exactly this reason); surface that clearly.
+        if let Err(OltpError::Unsupported(what)) = &result {
+            panic!("engine {} cannot run TPC-C: {what}", db.name());
+        }
+        result
+    }
+}
+
+// `Tables { ..*tables }` needs Copy.
+impl Copy for Tables {}
+impl Clone for Tables {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engines::{build_system, SystemKind};
+    use uarch_sim::{MachineConfig, Sim};
+
+    fn run_mix(kind: SystemKind, txns: u64) -> (TpcC, Box<dyn Db>) {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(kind, &sim, 1);
+        let mut w = TpcC::with_scale(TpcCScale::tiny()).seed(42);
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        sim.offline(|| {
+            for i in 0..txns {
+                w.exec(db.as_mut(), 0).unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
+            }
+        });
+        (w, db)
+    }
+
+    #[test]
+    fn mix_runs_on_tree_indexed_engines() {
+        for kind in [
+            SystemKind::ShoreMt,
+            SystemKind::DbmsD,
+            SystemKind::VoltDb,
+            SystemKind::HyPer,
+            SystemKind::dbms_m_for_tpcc(),
+        ] {
+            let (w, _) = run_mix(kind, 200);
+            assert_eq!(
+                w.counts.total() + w.counts.new_order_rollbacks,
+                200,
+                "{kind:?}: {:?}",
+                w.counts
+            );
+            // All five types occur in 200 transactions.
+            assert!(w.counts.new_order > 50, "{kind:?}: {:?}", w.counts);
+            assert!(w.counts.payment > 50, "{kind:?}: {:?}", w.counts);
+            assert!(w.counts.order_status > 0, "{kind:?}: {:?}", w.counts);
+            assert!(w.counts.delivery > 0, "{kind:?}: {:?}", w.counts);
+            assert!(w.counts.stock_level > 0, "{kind:?}: {:?}", w.counts);
+        }
+    }
+
+    #[test]
+    fn consistency_invariants_hold_after_mix() {
+        for kind in [SystemKind::HyPer, SystemKind::ShoreMt, SystemKind::dbms_m_for_tpcc()] {
+            let (w, mut db) = run_mix(kind, 300);
+            w.check_consistency(db.as_mut());
+        }
+    }
+
+    #[test]
+    fn new_order_grows_orders_and_lines() {
+        let (w, db) = run_mix(SystemKind::VoltDb, 150);
+        let t = w.tables.as_ref().unwrap();
+        let s = w.scale();
+        let initial_orders = s.warehouses * DISTRICTS * s.initial_orders;
+        assert_eq!(db.row_count(t.orders), initial_orders + w.counts.new_order);
+        assert!(db.row_count(t.order_line) > initial_orders * 5);
+        // History grows with payments.
+        assert_eq!(db.row_count(t.history), w.counts.payment);
+    }
+
+    #[test]
+    fn delivery_drains_new_orders() {
+        let (w, db) = run_mix(SystemKind::HyPer, 400);
+        let t = w.tables.as_ref().unwrap();
+        // new_order count = initial pending + created - delivered.
+        let s = w.scale();
+        let initial_pending =
+            s.warehouses * DISTRICTS * (s.initial_orders - s.initial_orders * 2 / 3);
+        // Each delivery processes up to DISTRICTS orders.
+        let no = db.row_count(t.new_order);
+        assert!(
+            no <= initial_pending + w.counts.new_order,
+            "new_order table should not exceed inserts"
+        );
+        assert!(w.counts.delivery > 0);
+    }
+
+    #[test]
+    fn dbms_m_hash_config_runs_tpcc_via_per_table_indexes() {
+        // The hash configuration keeps hash indexes on point tables but
+        // the range-scanned tables are marked `needs_range` and receive
+        // trees, so the full mix runs (the Figure 14 configuration).
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(
+            SystemKind::DbmsM { index: engines::DbmsMIndex::Hash, compiled: true },
+            &sim,
+            1,
+        );
+        let mut w = TpcC::with_scale(TpcCScale::tiny()).seed(11);
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        sim.offline(|| {
+            for i in 0..200 {
+                w.exec(db.as_mut(), 0).unwrap_or_else(|e| panic!("txn {i}: {e}"));
+            }
+        });
+        assert_eq!(w.counts.total() + w.counts.new_order_rollbacks, 200);
+        w.check_consistency(db.as_mut());
+    }
+}

@@ -1,0 +1,620 @@
+//! A TPC-E-like brokerage workload (extension).
+//!
+//! The paper omits TPC-E because prior characterizations (refs.\[6\], \[29\] in its bibliography) show it behaves like TPC-B/TPC-C at the
+//! micro-architectural level. This module provides a compact brokerage
+//! mix so the reproduction can *verify* that claim rather than assume it:
+//! six transaction types over customers, accounts, securities, trades and
+//! holdings, read-heavy (~77 % reads, mirroring TPC-E's 76.9 %), with the
+//! point lookups, prefix scans and queue-draining patterns of the real
+//! benchmark.
+//!
+//! Simplifications (this is an extension, not part of the paper's
+//! evaluation): securities are replicated per partition like TPC-C's ITEM
+//! (their last-trade price updates apply to the local copy), and the mix
+//! percentages are rounded. Routing is by customer, so every transaction
+//! is single-sited.
+
+use oltp::{Column, DataType, Db, KeyPack, OltpResult, Schema, TableDef, TableId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::driver::Workload;
+
+const C_BITS: u32 = 22;
+const ACC_BITS: u32 = 24; // customer << 2 | slot
+const SEC_BITS: u32 = 17;
+const SEQ_BITS: u32 = 24;
+
+/// Accounts per customer.
+pub const ACCOUNTS_PER_CUSTOMER: u64 = 2;
+/// Initial holdings per account.
+pub const HOLDINGS_PER_ACCOUNT: u64 = 4;
+
+/// Scaled cardinalities.
+#[derive(Clone, Copy, Debug)]
+pub struct TpcEScale {
+    /// Customers.
+    pub customers: u64,
+    /// Securities in the market.
+    pub securities: u64,
+    /// Initially loaded (completed) trades per account.
+    pub initial_trades: u64,
+}
+
+impl TpcEScale {
+    /// A working set well past the LLC, comparable to the TPC-C scale
+    /// used for the paper-sized runs.
+    pub fn large() -> Self {
+        TpcEScale { customers: 120_000, securities: 60_000, initial_trades: 4 }
+    }
+
+    /// Miniature scale for tests.
+    pub fn tiny() -> Self {
+        TpcEScale { customers: 300, securities: 200, initial_trades: 3 }
+    }
+}
+
+struct Tables {
+    customer: TableId,
+    account: TableId,
+    security: TableId,
+    broker: TableId,
+    trade: TableId,
+    holding: TableId,
+    /// Pending (unsettled) market orders: (worker, seq) -> trade key parts.
+    pending: TableId,
+}
+
+/// Commit counters per transaction type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TpcEMix {
+    /// TradeOrder commits.
+    pub trade_order: u64,
+    /// TradeResult commits.
+    pub trade_result: u64,
+    /// TradeStatus commits.
+    pub trade_status: u64,
+    /// CustomerPosition commits.
+    pub customer_position: u64,
+    /// MarketWatch commits.
+    pub market_watch: u64,
+    /// TradeLookup commits.
+    pub trade_lookup: u64,
+}
+
+impl TpcEMix {
+    /// Total commits.
+    pub fn total(&self) -> u64 {
+        self.trade_order
+            + self.trade_result
+            + self.trade_status
+            + self.customer_position
+            + self.market_watch
+            + self.trade_lookup
+    }
+}
+
+/// The TPC-E-like workload.
+pub struct TpcE {
+    scale: TpcEScale,
+    seed: u64,
+    tables: Option<Tables>,
+    workers: usize,
+    rngs: Vec<StdRng>,
+    /// Next trade sequence per account slot index.
+    trade_seq: Vec<u32>,
+    /// Pending-order queue cursors per worker: (next_seq, drain_cursor).
+    pend_head: Vec<u64>,
+    pend_tail: Vec<u64>,
+    /// Commit counters.
+    pub counts: TpcEMix,
+}
+
+fn key_account(c: u64, slot: u64) -> u64 {
+    (c << 2) | slot
+}
+fn key_trade(acc: u64, seq: u64) -> u64 {
+    KeyPack::new().field(acc, ACC_BITS).field(seq, SEQ_BITS).get()
+}
+fn key_holding(acc: u64, sec: u64) -> u64 {
+    KeyPack::new().field(acc, ACC_BITS).field(sec, SEC_BITS).get()
+}
+fn key_pending(worker: u64, seq: u64) -> u64 {
+    KeyPack::new().field(worker, 8).field(seq, 40).get()
+}
+
+impl TpcE {
+    /// The large configuration.
+    pub fn new() -> Self {
+        Self::with_scale(TpcEScale::large())
+    }
+
+    /// Custom scale.
+    pub fn with_scale(scale: TpcEScale) -> Self {
+        assert!(scale.customers >= 8 && scale.customers < (1 << C_BITS));
+        assert!(scale.securities >= 8 && scale.securities < (1 << SEC_BITS));
+        TpcE {
+            scale,
+            seed: 0xE_5EED,
+            tables: None,
+            workers: 1,
+            rngs: Vec::new(),
+            trade_seq: Vec::new(),
+            pend_head: Vec::new(),
+            pend_tail: Vec::new(),
+            counts: TpcEMix::default(),
+        }
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn pick_customer(&mut self, worker: usize) -> u64 {
+        let wk = self.workers as u64;
+        let per = (self.scale.customers / wk).max(1);
+        let r = self.rngs[worker].random_range(0..per);
+        (r * wk + worker as u64) % self.scale.customers
+    }
+
+    fn pick_security(&mut self, worker: usize) -> u64 {
+        self.rngs[worker].random_range(0..self.scale.securities)
+    }
+
+    fn next_trade_seq(&mut self, acc: u64) -> u64 {
+        let i = acc as usize;
+        let s = self.trade_seq[i];
+        self.trade_seq[i] += 1;
+        u64::from(s)
+    }
+
+    // ---- transactions --------------------------------------------------
+
+    /// Submit a market order: reads the customer context and the security,
+    /// inserts a pending trade, updates the account balance.
+    fn trade_order(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let c = self.pick_customer(worker);
+        let slot = self.rngs[worker].random_range(0..ACCOUNTS_PER_CUSTOMER);
+        let acc = key_account(c, slot);
+        let sec = self.pick_security(worker);
+        let qty: i64 = self.rngs[worker].random_range(1..=500);
+        let t = *self.tables.as_ref().expect("setup");
+        db.begin();
+        db.read_with(t.customer, c, &mut |_| {})?;
+        db.read_with(t.account, acc, &mut |_| {})?;
+        let mut price = 0;
+        db.read_with(t.security, sec, &mut |row| price = row[2].long())?;
+        db.read_with(t.broker, c % 64, &mut |_| {})?;
+        let seq = self.next_trade_seq(acc);
+        db.insert(
+            t.trade,
+            key_trade(acc, seq),
+            &[
+                Value::Long(seq as i64),
+                Value::Long(sec as i64),
+                Value::Long(qty),
+                Value::Long(price),
+                Value::Long(0), // status: pending
+            ],
+        )?;
+        let p_seq = self.pend_head[worker];
+        self.pend_head[worker] += 1;
+        db.insert(
+            t.pending,
+            key_pending(worker as u64, p_seq),
+            &[Value::Long(acc as i64), Value::Long(seq as i64)],
+        )?;
+        db.update(t.account, acc, &mut |row| {
+            row[2] = Value::Long(row[2].long() - qty * price);
+        })?;
+        db.commit()?;
+        self.counts.trade_order += 1;
+        Ok(())
+    }
+
+    /// Settle the oldest pending order of this worker (queue drain, like
+    /// TPC-C's Delivery): mark the trade completed, upsert the holding,
+    /// touch the security price.
+    fn trade_result(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let t = *self.tables.as_ref().expect("setup");
+        db.begin();
+        let (_, hi) = KeyPack::new().field(worker as u64, 8).prefix_range(40);
+        let lo = key_pending(worker as u64, self.pend_tail[worker]);
+        let mut oldest = None;
+        db.scan(t.pending, lo, hi, &mut |k, row| {
+            oldest = Some((k, row[0].long() as u64, row[1].long() as u64));
+            false
+        })?;
+        let Some((pk, acc, seq)) = oldest else {
+            db.commit()?;
+            self.counts.trade_result += 1;
+            return Ok(());
+        };
+        self.pend_tail[worker] = (pk & 0xFF_FFFF_FFFF) + 1;
+        db.delete(t.pending, pk)?;
+        let mut sec = 0u64;
+        let mut qty = 0i64;
+        db.update(t.trade, key_trade(acc, seq), &mut |row| {
+            sec = row[1].long() as u64;
+            qty = row[2].long();
+            row[4] = Value::Long(1); // status: completed
+        })?;
+        // Upsert the holding.
+        let hk = key_holding(acc, sec);
+        let existed = db.update(t.holding, hk, &mut |row| {
+            row[2] = Value::Long(row[2].long() + qty);
+        })?;
+        if !existed {
+            db.insert(
+                t.holding,
+                hk,
+                &[Value::Long(acc as i64), Value::Long(sec as i64), Value::Long(qty)],
+            )?;
+        }
+        // Last-trade price drifts.
+        db.update(t.security, sec, &mut |row| {
+            row[2] = Value::Long((row[2].long() + 1).max(1));
+        })?;
+        db.commit()?;
+        self.counts.trade_result += 1;
+        Ok(())
+    }
+
+    /// Status of the customer's recent trades (prefix scan).
+    fn trade_status(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let c = self.pick_customer(worker);
+        let slot = self.rngs[worker].random_range(0..ACCOUNTS_PER_CUSTOMER);
+        let acc = key_account(c, slot);
+        let t = *self.tables.as_ref().expect("setup");
+        db.begin();
+        db.read_with(t.account, acc, &mut |_| {})?;
+        let (lo, hi) = KeyPack::new().field(acc, ACC_BITS).prefix_range(SEQ_BITS);
+        let mut seen = 0;
+        db.scan(t.trade, lo, hi, &mut |_, _| {
+            seen += 1;
+            seen < 10
+        })?;
+        db.commit()?;
+        self.counts.trade_status += 1;
+        Ok(())
+    }
+
+    /// Full position of a customer: accounts, holdings, security prices.
+    fn customer_position(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let c = self.pick_customer(worker);
+        let t = *self.tables.as_ref().expect("setup");
+        db.begin();
+        db.read_with(t.customer, c, &mut |_| {})?;
+        for slot in 0..ACCOUNTS_PER_CUSTOMER {
+            let acc = key_account(c, slot);
+            db.read_with(t.account, acc, &mut |_| {})?;
+            let (lo, hi) = KeyPack::new().field(acc, ACC_BITS).prefix_range(SEC_BITS);
+            let mut secs = Vec::new();
+            db.scan(t.holding, lo, hi, &mut |_, row| {
+                secs.push(row[1].long() as u64);
+                true
+            })?;
+            for sec in secs {
+                db.read_with(t.security, sec, &mut |_| {})?;
+            }
+        }
+        db.commit()?;
+        self.counts.customer_position += 1;
+        Ok(())
+    }
+
+    /// Read ~20 securities of a synthetic watch list.
+    fn market_watch(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let base = self.pick_security(worker);
+        let t = *self.tables.as_ref().expect("setup");
+        db.begin();
+        for i in 0..20u64 {
+            let sec = (base + i * 37) % self.scale.securities;
+            db.read_with(t.security, sec, &mut |_| {})?;
+        }
+        db.commit()?;
+        self.counts.market_watch += 1;
+        Ok(())
+    }
+
+    /// Look up recent trades of one account and re-read their details.
+    fn trade_lookup(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let c = self.pick_customer(worker);
+        let slot = self.rngs[worker].random_range(0..ACCOUNTS_PER_CUSTOMER);
+        let acc = key_account(c, slot);
+        let t = *self.tables.as_ref().expect("setup");
+        db.begin();
+        let (lo, hi) = KeyPack::new().field(acc, ACC_BITS).prefix_range(SEQ_BITS);
+        let mut keys = Vec::new();
+        db.scan(t.trade, lo, hi, &mut |k, _| {
+            keys.push(k);
+            keys.len() < 8
+        })?;
+        for k in keys {
+            db.read_with(t.trade, k, &mut |_| {})?;
+        }
+        db.commit()?;
+        self.counts.trade_lookup += 1;
+        Ok(())
+    }
+}
+
+impl Default for TpcE {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for TpcE {
+    fn name(&self) -> &'static str {
+        "tpce-like"
+    }
+
+    fn setup(&mut self, db: &mut dyn Db, workers: usize) {
+        assert!(self.tables.is_none(), "setup called twice");
+        self.workers = workers;
+        self.rngs = (0..workers)
+            .map(|w| StdRng::seed_from_u64(self.seed ^ (w as u64).wrapping_mul(0xE11E)))
+            .collect();
+        self.pend_head = vec![0; workers];
+        self.pend_tail = vec![0; workers];
+        let s = self.scale;
+        self.trade_seq =
+            vec![0; (key_account(s.customers, 0) + ACCOUNTS_PER_CUSTOMER) as usize];
+
+        let long = |n: &str| Column::new(n, DataType::Long);
+        let str_ = |n: &str| Column::new(n, DataType::Str);
+        let t = Tables {
+            customer: db.create_table(TableDef::new(
+                "e_customer",
+                Schema::new(vec![long("c_id"), long("c_tier"), str_("c_name"), str_("c_data")]),
+                s.customers,
+            )),
+            account: db.create_table(TableDef::new(
+                "e_account",
+                Schema::new(vec![long("a_id"), long("a_c_id"), long("a_balance"), str_("a_name")]),
+                s.customers * ACCOUNTS_PER_CUSTOMER,
+            )),
+            security: db.create_table(TableDef::new(
+                "e_security",
+                Schema::new(vec![long("s_id"), long("s_ex"), long("s_last_price"), str_("s_symbol"), str_("s_name")]),
+                s.securities,
+            )),
+            broker: db.create_table(TableDef::new(
+                "e_broker",
+                Schema::new(vec![long("b_id"), long("b_trades"), str_("b_name")]),
+                64,
+            )),
+            trade: db.create_table(
+                TableDef::new(
+                    "e_trade",
+                    Schema::new(vec![
+                        long("t_seq"),
+                        long("t_s_id"),
+                        long("t_qty"),
+                        long("t_price"),
+                        long("t_status"),
+                    ]),
+                    s.customers * ACCOUNTS_PER_CUSTOMER * (s.initial_trades + 2),
+                )
+                .with_range_scans(),
+            ),
+            holding: db.create_table(
+                TableDef::new(
+                    "e_holding",
+                    Schema::new(vec![long("h_a_id"), long("h_s_id"), long("h_qty")]),
+                    s.customers * ACCOUNTS_PER_CUSTOMER * HOLDINGS_PER_ACCOUNT,
+                )
+                .with_range_scans(),
+            ),
+            pending: db.create_table(
+                TableDef::new(
+                    "e_pending",
+                    Schema::new(vec![long("p_a_id"), long("p_seq")]),
+                    s.customers,
+                )
+                .with_range_scans(),
+            ),
+        };
+
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xE10AD);
+        // Brokers + securities are replicated per partition (read-mostly).
+        let copies = db.partitions().max(1).min(workers.max(1));
+        for copy in 0..copies {
+            db.set_core(copy);
+            db.begin();
+            for b in 0..64u64 {
+                db.insert(
+                    t.broker,
+                    b,
+                    &[Value::Long(b as i64), Value::Long(0), Value::Str(format!("broker-{b:03}"))],
+                )
+                .expect("load broker");
+            }
+            db.commit().expect("load");
+            db.begin();
+            for sec in 0..s.securities {
+                db.insert(
+                    t.security,
+                    sec,
+                    &[
+                        Value::Long(sec as i64),
+                        Value::Long((sec % 3) as i64),
+                        Value::Long(rng.random_range(100..=90_000)),
+                        Value::Str(format!("SYM{sec:06}")),
+                        Value::Str("security-name-padding-data".into()),
+                    ],
+                )
+                .expect("load security");
+                if sec % 5000 == 4999 {
+                    db.commit().expect("load");
+                    db.begin();
+                }
+            }
+            db.commit().expect("load");
+        }
+
+        for c in 0..s.customers {
+            db.set_core((c % workers as u64) as usize);
+            db.begin();
+            db.insert(
+                t.customer,
+                c,
+                &[
+                    Value::Long(c as i64),
+                    Value::Long((c % 3) as i64),
+                    Value::Str(format!("customer-{c:09}")),
+                    Value::Str("c".repeat(80)),
+                ],
+            )
+            .expect("load customer");
+            for slot in 0..ACCOUNTS_PER_CUSTOMER {
+                let acc = key_account(c, slot);
+                db.insert(
+                    t.account,
+                    acc,
+                    &[
+                        Value::Long(acc as i64),
+                        Value::Long(c as i64),
+                        Value::Long(1_000_000),
+                        Value::Str(format!("acct-{acc:010}")),
+                    ],
+                )
+                .expect("load account");
+                for h in 0..HOLDINGS_PER_ACCOUNT {
+                    let sec = (c * 7 + slot * 13 + h * 31) % s.securities;
+                    let _ = db.insert(
+                        t.holding,
+                        key_holding(acc, sec),
+                        &[Value::Long(acc as i64), Value::Long(sec as i64), Value::Long(100)],
+                    );
+                }
+                for _ in 0..s.initial_trades {
+                    let seq = self.next_trade_seq(acc);
+                    db.insert(
+                        t.trade,
+                        key_trade(acc, seq),
+                        &[
+                            Value::Long(seq as i64),
+                            Value::Long(rng.random_range(0..s.securities) as i64),
+                            Value::Long(rng.random_range(1..=500)),
+                            Value::Long(rng.random_range(100..=90_000)),
+                            Value::Long(1),
+                        ],
+                    )
+                    .expect("load trade");
+                }
+            }
+            db.commit().expect("load");
+        }
+        db.finish_load();
+        self.tables = Some(t);
+    }
+
+    fn exec(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+        let dice = self.rngs[worker].random_range(0..100);
+        if dice < 20 {
+            self.trade_order(db, worker)
+        } else if dice < 38 {
+            self.trade_result(db, worker)
+        } else if dice < 58 {
+            self.trade_status(db, worker)
+        } else if dice < 72 {
+            self.customer_position(db, worker)
+        } else if dice < 86 {
+            self.market_watch(db, worker)
+        } else {
+            self.trade_lookup(db, worker)
+        }
+    }
+}
+
+// Tables is tiny and shared by value in the txn bodies.
+impl Copy for Tables {}
+impl Clone for Tables {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engines::{build_system, SystemKind};
+    use uarch_sim::{MachineConfig, Sim};
+
+    #[test]
+    fn mix_runs_on_every_tree_indexed_engine() {
+        for kind in [
+            SystemKind::ShoreMt,
+            SystemKind::DbmsD,
+            SystemKind::VoltDb,
+            SystemKind::HyPer,
+            SystemKind::dbms_m_for_tpcc(),
+        ] {
+            let sim = Sim::new(MachineConfig::ivy_bridge(1));
+            let mut db = build_system(kind, &sim, 1);
+            let mut w = TpcE::with_scale(TpcEScale::tiny()).seed(9);
+            sim.offline(|| w.setup(db.as_mut(), 1));
+            sim.offline(|| {
+                for i in 0..300 {
+                    w.exec(db.as_mut(), 0).unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
+                }
+            });
+            assert_eq!(w.counts.total(), 300, "{kind:?}: {:?}", w.counts);
+            assert!(w.counts.trade_order > 30, "{kind:?}: {:?}", w.counts);
+            assert!(w.counts.trade_status > 30, "{kind:?}: {:?}", w.counts);
+        }
+    }
+
+    #[test]
+    fn settled_trades_land_in_holdings() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(SystemKind::HyPer, &sim, 1);
+        let mut w = TpcE::with_scale(TpcEScale::tiny()).seed(4);
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        let holdings_before = db.row_count(w.tables.as_ref().unwrap().holding);
+        sim.offline(|| {
+            for _ in 0..400 {
+                w.exec(db.as_mut(), 0).unwrap();
+            }
+        });
+        let t = w.tables.as_ref().unwrap();
+        // Every settled order either bumped an existing holding or
+        // created one; pending queue drains towards empty.
+        assert!(db.row_count(t.holding) >= holdings_before);
+        assert!(
+            db.row_count(t.pending) <= w.counts.trade_order,
+            "pending queue should drain"
+        );
+        // Trades grow by the number of orders.
+        let s = w.scale;
+        let initial =
+            s.customers * ACCOUNTS_PER_CUSTOMER * s.initial_trades;
+        assert_eq!(db.row_count(t.trade), initial + w.counts.trade_order);
+    }
+
+    #[test]
+    fn read_heavy_mix() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(SystemKind::VoltDb, &sim, 1);
+        let mut w = TpcE::with_scale(TpcEScale::tiny()).seed(12);
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        sim.offline(|| {
+            for _ in 0..1000 {
+                w.exec(db.as_mut(), 0).unwrap();
+            }
+        });
+        let reads = w.counts.trade_status
+            + w.counts.customer_position
+            + w.counts.market_watch
+            + w.counts.trade_lookup;
+        let frac = reads as f64 / w.counts.total() as f64;
+        assert!(
+            (0.5..0.75).contains(&frac),
+            "read share {frac:.2} should approximate TPC-E's read-heaviness"
+        );
+    }
+}

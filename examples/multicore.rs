@@ -1,0 +1,62 @@
+//! The §7 multi-threading experiment in miniature: run the read-only
+//! micro-benchmark with several workers (one data partition per worker,
+//! single-site transactions) and compare against single-threaded.
+//!
+//! ```text
+//! cargo run --release --example multicore
+//! ```
+
+use imoltp::analysis::{measure, measure_multi, WindowSpec};
+use imoltp::bench::{DbSize, MicroBench, Workload};
+use imoltp::sim::{MachineConfig, Sim};
+use imoltp::systems::{build_system, SystemKind};
+
+fn run(kind: SystemKind, workers: usize) -> (f64, f64, u64) {
+    let sim = Sim::new(MachineConfig::ivy_bridge(workers));
+    let mut db = build_system(kind, &sim, workers);
+    let mut w = MicroBench::new(DbSize::Gb10);
+    sim.offline(|| w.setup(db.as_mut(), workers));
+    sim.warm_data();
+    let spec = WindowSpec { warmup: 1000, measured: 2000, reps: 2 };
+    let m = if workers == 1 {
+        db.set_core(0);
+        measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"))
+    } else {
+        let cores: Vec<usize> = (0..workers).collect();
+        measure_multi(&sim, &cores, spec, |_, worker| {
+            db.set_core(worker);
+            w.exec(db.as_mut(), worker).expect("txn");
+        })
+    };
+    (m.ipc, m.spki.iter().sum(), m.counts.invalidations)
+}
+
+fn main() {
+    println!(
+        "{:<10} {:>8} {:>8} {:>12} {:>14}",
+        "system", "workers", "IPC", "stalls/kI", "invalidations"
+    );
+    for kind in [
+        SystemKind::ShoreMt,
+        SystemKind::DbmsD,
+        SystemKind::VoltDb,
+        SystemKind::dbms_m_for_tpcc(),
+    ] {
+        for workers in [1usize, 4] {
+            let (ipc, spki, inval) = run(kind, workers);
+            println!(
+                "{:<10} {:>8} {:>8.2} {:>12.0} {:>14}",
+                kind.label(),
+                workers,
+                ipc,
+                spki,
+                inval
+            );
+        }
+    }
+    println!(
+        "\nThe paper's §7 conclusion: multi-threading does not change the\n\
+         micro-architectural picture — per-worker IPC and the stall breakdown\n\
+         stay essentially where the single-threaded experiments put them."
+    );
+}

@@ -1,0 +1,56 @@
+//! Reproducibility: identical seeds and configurations must produce
+//! bit-identical simulated measurements — the property that makes the
+//! figure tables in EXPERIMENTS.md stable across regenerations.
+
+use imoltp::analysis::{measure, Measurement, WindowSpec};
+use imoltp::bench::{DbSize, MicroBench, TpcB, Workload};
+use imoltp::sim::{MachineConfig, Sim};
+use imoltp::systems::{build_system, SystemKind};
+
+fn run_micro(kind: SystemKind, seed: u64) -> Measurement {
+    let sim = Sim::new(MachineConfig::ivy_bridge(1));
+    let mut db = build_system(kind, &sim, 1);
+    let mut w = MicroBench::new(DbSize::Mb1).with_rows(30_000).seed(seed);
+    sim.offline(|| w.setup(db.as_mut(), 1));
+    sim.warm_data();
+    let spec = WindowSpec { warmup: 300, measured: 800, reps: 2 };
+    measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).unwrap())
+}
+
+#[test]
+fn same_seed_same_counters() {
+    for kind in [SystemKind::ShoreMt, SystemKind::HyPer, SystemKind::dbms_m_for_tpcc()] {
+        let a = run_micro(kind, 1234);
+        let b = run_micro(kind, 1234);
+        assert_eq!(a.counts, b.counts, "{kind:?}: counters diverged across identical runs");
+        assert_eq!(a.cycles.to_bits(), b.cycles.to_bits(), "{kind:?}: cycles diverged");
+    }
+}
+
+#[test]
+fn different_seed_different_trace() {
+    let a = run_micro(SystemKind::VoltDb, 1);
+    let b = run_micro(SystemKind::VoltDb, 2);
+    // Same workload shape (instruction counts nearly equal) but a
+    // different access trace (miss counts differ).
+    assert!((a.instr_per_txn - b.instr_per_txn).abs() < a.instr_per_txn * 0.02);
+    assert_ne!(a.counts.misses, b.counts.misses);
+}
+
+#[test]
+fn tpcb_is_deterministic_end_to_end() {
+    let run = || {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(SystemKind::DbmsD, &sim, 1);
+        let mut w = TpcB::with_branches(1).seed(55);
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        sim.warm_data();
+        let spec = WindowSpec { warmup: 100, measured: 300, reps: 1 };
+        let m = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).unwrap());
+        (m.counts, w.total_balance(db.as_mut(), "account"))
+    };
+    let (c1, b1) = run();
+    let (c2, b2) = run();
+    assert_eq!(c1, c2);
+    assert_eq!(b1, b2);
+}

@@ -1,0 +1,128 @@
+//! Every engine vs. an in-memory oracle: random operation sequences must
+//! produce exactly the same visible database state on all five archetypes.
+
+use std::collections::BTreeMap;
+
+use imoltp::db::{Db, OltpError, Value};
+use imoltp::db::{Column, DataType, Schema, TableDef};
+use imoltp::sim::{MachineConfig, Sim};
+use imoltp::systems::{build_system, SystemKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn table(db: &mut dyn Db) -> imoltp::db::TableId {
+    db.create_table(TableDef::new(
+        "t",
+        Schema::new(vec![Column::new("k", DataType::Long), Column::new("v", DataType::Long)]),
+        10_000,
+    ))
+}
+
+fn run_sequence(kind: SystemKind, seed: u64, ops: usize) {
+    let sim = Sim::new(MachineConfig::ivy_bridge(1));
+    let mut db = build_system(kind, &sim, 1);
+    let t = table(db.as_mut());
+    let mut oracle: BTreeMap<u64, i64> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    sim.offline(|| {
+        for i in 0..ops {
+            let key = rng.random_range(0..500u64);
+            db.begin();
+            match rng.random_range(0..5) {
+                0 => {
+                    let val = rng.random_range(0..1_000_000i64);
+                    let r = db.insert(t, key, &[Value::Long(key as i64), Value::Long(val)]);
+                    match (r, oracle.contains_key(&key)) {
+                        (Ok(()), false) => {
+                            oracle.insert(key, val);
+                        }
+                        (Err(OltpError::DuplicateKey { .. }), true) => {}
+                        (r, had) => panic!("{kind:?} op {i}: insert {key} -> {r:?}, oracle had={had}"),
+                    }
+                }
+                1 => {
+                    let got = db.read(t, key).unwrap().map(|row| row[1].long());
+                    assert_eq!(got, oracle.get(&key).copied(), "{kind:?} op {i}: read {key}");
+                }
+                2 => {
+                    let val = rng.random_range(0..1_000_000i64);
+                    let updated = db.update(t, key, &mut |row| row[1] = Value::Long(val)).unwrap();
+                    assert_eq!(updated, oracle.contains_key(&key), "{kind:?} op {i}: update {key}");
+                    if updated {
+                        oracle.insert(key, val);
+                    }
+                }
+                3 => {
+                    let deleted = db.delete(t, key).unwrap();
+                    assert_eq!(deleted, oracle.remove(&key).is_some(), "{kind:?} op {i}: delete {key}");
+                }
+                _ => {
+                    let lo = key.saturating_sub(50);
+                    let hi = key + 50;
+                    match db.scan(t, lo, hi, &mut |k, row| {
+                        assert_eq!(
+                            oracle.get(&k).copied(),
+                            Some(row[1].long()),
+                            "{kind:?} op {i}: scan row {k}"
+                        );
+                        true
+                    }) {
+                        Ok(n) => {
+                            let expect = oracle.range(lo..=hi).count() as u64;
+                            assert_eq!(n, expect, "{kind:?} op {i}: scan [{lo},{hi}] count");
+                        }
+                        Err(OltpError::Unsupported(_)) => {} // hash index
+                        Err(e) => panic!("{kind:?} op {i}: scan failed {e}"),
+                    }
+                }
+            }
+            db.commit().unwrap();
+        }
+    });
+
+    // Final state: every oracle row readable, every other key absent.
+    sim.offline(|| {
+        db.begin();
+        for k in 0..500u64 {
+            let got = db.read(t, k).unwrap().map(|row| row[1].long());
+            assert_eq!(got, oracle.get(&k).copied(), "{kind:?} final state key {k}");
+        }
+        db.commit().unwrap();
+        assert_eq!(db.row_count(t), oracle.len() as u64, "{kind:?} row count");
+    });
+}
+
+#[test]
+fn shore_mt_matches_oracle() {
+    run_sequence(SystemKind::ShoreMt, 1, 3000);
+}
+
+#[test]
+fn dbms_d_matches_oracle() {
+    run_sequence(SystemKind::DbmsD, 2, 3000);
+}
+
+#[test]
+fn voltdb_matches_oracle() {
+    run_sequence(SystemKind::VoltDb, 3, 3000);
+}
+
+#[test]
+fn hyper_matches_oracle() {
+    run_sequence(SystemKind::HyPer, 4, 3000);
+}
+
+#[test]
+fn dbms_m_btree_matches_oracle() {
+    run_sequence(SystemKind::dbms_m_for_tpcc(), 5, 3000);
+}
+
+#[test]
+fn dbms_m_hash_matches_oracle() {
+    run_sequence(
+        SystemKind::DbmsM { index: imoltp::systems::DbmsMIndex::Hash, compiled: false },
+        6,
+        3000,
+    );
+}

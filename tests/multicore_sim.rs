@@ -1,0 +1,116 @@
+//! Multi-worker simulation effects: coherence invalidations on shared
+//! data, LLC capacity sharing, and partition isolation.
+
+use imoltp::analysis::{measure, measure_multi, WindowSpec};
+use imoltp::bench::{DbSize, MicroBench, Workload};
+use imoltp::db::{Column, DataType, Db, Schema, TableDef, Value};
+use imoltp::sim::{MachineConfig, Sim};
+use imoltp::systems::{build_system, ShoreMt, SystemKind};
+
+#[test]
+fn shared_row_writes_invalidate_the_other_core() {
+    // Two workers ping-pong updates to the same rows on a non-partitioned
+    // engine: each write must invalidate the line in the other core's
+    // private caches.
+    let sim = Sim::new(MachineConfig::ivy_bridge(2));
+    let mut db = ShoreMt::new(&sim);
+    let t = db.create_table(TableDef::new(
+        "t",
+        Schema::new(vec![Column::new("k", DataType::Long), Column::new("v", DataType::Long)]),
+        100,
+    ));
+    sim.offline(|| {
+        db.begin();
+        for k in 0..64u64 {
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)]).unwrap();
+        }
+        db.commit().unwrap();
+    });
+    for round in 0..200u64 {
+        for core in [0usize, 1] {
+            db.set_core(core);
+            db.begin();
+            db.update(t, round % 64, &mut |r| r[1] = Value::Long(round as i64)).unwrap();
+            db.commit().unwrap();
+        }
+    }
+    let inval0 = sim.counters(0).invalidations;
+    let inval1 = sim.counters(1).invalidations;
+    assert!(
+        inval0 > 50 && inval1 > 50,
+        "ping-pong writes must invalidate: core0={inval0} core1={inval1}"
+    );
+}
+
+#[test]
+fn partitioned_workers_do_not_invalidate_each_other() {
+    let workers = 2;
+    let sim = Sim::new(MachineConfig::ivy_bridge(workers));
+    let mut db = build_system(SystemKind::VoltDb, &sim, workers);
+    let mut w = MicroBench::new(DbSize::Mb1).with_rows(8000).read_write();
+    sim.offline(|| w.setup(db.as_mut(), workers));
+    for i in 0..400usize {
+        let worker = i % workers;
+        db.set_core(worker);
+        w.exec(db.as_mut(), worker).unwrap();
+    }
+    // Disjoint partitions: essentially no coherence traffic.
+    let total = sim.counters(0).invalidations + sim.counters(1).invalidations;
+    assert!(total < 10, "partitioned writes should not invalidate: {total}");
+}
+
+#[test]
+fn llc_sharing_raises_per_worker_misses() {
+    // One worker with a ~40 MB working set vs two workers with the same
+    // per-worker set sharing the 16 MB LLC: sharing must not *reduce*
+    // per-worker LLC misses, and typically raises them.
+    let run = |workers: usize| {
+        let sim = Sim::new(MachineConfig::ivy_bridge(workers));
+        let mut db = build_system(SystemKind::HyPer, &sim, workers);
+        let mut w = MicroBench::new(DbSize::Mb1).with_rows(600_000 * workers as u64);
+        sim.offline(|| w.setup(db.as_mut(), workers));
+        sim.warm_data();
+        let spec = WindowSpec { warmup: 1000, measured: 2000, reps: 1 };
+        let m = if workers == 1 {
+            measure(&sim, 0, spec, |_| {
+                db.set_core(0);
+                w.exec(db.as_mut(), 0).unwrap();
+            })
+        } else {
+            let cores: Vec<usize> = (0..workers).collect();
+            measure_multi(&sim, &cores, spec, |_, worker| {
+                db.set_core(worker);
+                w.exec(db.as_mut(), worker).unwrap();
+            })
+        };
+        m.spki[5] // LLC-D stalls per k-instr, per worker
+    };
+    let solo = run(1);
+    let shared = run(2);
+    assert!(
+        shared > solo * 0.9,
+        "sharing the LLC should not reduce per-worker misses: solo={solo:.0} shared={shared:.0}"
+    );
+}
+
+#[test]
+fn per_worker_measurements_are_balanced() {
+    let workers = 4;
+    let sim = Sim::new(MachineConfig::ivy_bridge(workers));
+    let mut db = build_system(SystemKind::VoltDb, &sim, workers);
+    let mut w = MicroBench::new(DbSize::Mb1).with_rows(64_000);
+    sim.offline(|| w.setup(db.as_mut(), workers));
+    let spec = WindowSpec { warmup: 200, measured: 600, reps: 1 };
+    let cores: Vec<usize> = (0..workers).collect();
+    let m = measure_multi(&sim, &cores, spec, |_, worker| {
+        db.set_core(worker);
+        w.exec(db.as_mut(), worker).unwrap();
+    });
+    // All four workers ran the same workload: the averaged per-worker
+    // instruction count matches the single-worker cost closely.
+    assert!(m.instr_per_txn > 10_000.0 && m.instr_per_txn < 60_000.0);
+    // And every core retired work.
+    for c in 0..workers {
+        assert!(sim.counters(c).instructions > 1_000_000, "core {c} idle");
+    }
+}

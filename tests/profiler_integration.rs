@@ -1,0 +1,90 @@
+//! Cross-crate profiler plumbing: module attribution, window arithmetic,
+//! and the cycle model must stay consistent through a full engine run.
+
+use imoltp::analysis::{measure, Profiler, WindowSpec};
+use imoltp::bench::{DbSize, MicroBench, Workload};
+use imoltp::sim::{EventCounts, MachineConfig, Sim};
+use imoltp::systems::{build_system, SystemKind};
+
+#[test]
+fn module_counters_partition_engine_activity() {
+    let sim = Sim::new(MachineConfig::ivy_bridge(1));
+    let mut db = build_system(SystemKind::ShoreMt, &sim, 1);
+    let mut w = MicroBench::new(DbSize::Mb1).with_rows(4000);
+    sim.offline(|| w.setup(db.as_mut(), 1));
+
+    let p = Profiler::attach(&sim, 0);
+    for _ in 0..200 {
+        w.exec(db.as_mut(), 0).unwrap();
+    }
+    let s = p.sample();
+
+    // Per-module deltas must sum exactly to the aggregate delta.
+    let mut sum = EventCounts::default();
+    for m in &s.modules {
+        sum.add(&m.counts);
+    }
+    assert_eq!(sum, s.counts);
+
+    // The engine-side modules did real work.
+    let engine_instr: u64 =
+        s.modules.iter().filter(|m| m.engine_side).map(|m| m.counts.instructions).sum();
+    assert!(engine_instr > 0);
+    assert!(engine_instr < s.counts.instructions, "frontend must also appear");
+}
+
+#[test]
+fn engine_share_is_a_valid_fraction_everywhere() {
+    for kind in SystemKind::ALL {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(kind, &sim, 1);
+        let mut w = MicroBench::new(DbSize::Mb1).with_rows(4000);
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        let spec = WindowSpec { warmup: 200, measured: 400, reps: 2 };
+        let m = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).unwrap());
+        let share = m.engine_share();
+        assert!(
+            (0.01..=1.0).contains(&share),
+            "{kind:?}: engine share {share:.3} out of range"
+        );
+        // Module shares sum to ~1 (every cycle is attributed somewhere).
+        let total: f64 = m.modules.iter().map(|x| x.share).sum();
+        assert!((total - 1.0).abs() < 0.05, "{kind:?}: module shares sum to {total:.3}");
+    }
+}
+
+#[test]
+fn windows_average_not_accumulate() {
+    let sim = Sim::new(MachineConfig::ivy_bridge(1));
+    let mut db = build_system(SystemKind::HyPer, &sim, 1);
+    let mut w = MicroBench::new(DbSize::Mb1).with_rows(4000);
+    sim.offline(|| w.setup(db.as_mut(), 1));
+    let one_rep = measure(
+        &sim,
+        0,
+        WindowSpec { warmup: 100, measured: 500, reps: 1 },
+        |_| w.exec(db.as_mut(), 0).unwrap(),
+    );
+    let three_reps = measure(
+        &sim,
+        0,
+        WindowSpec { warmup: 0, measured: 500, reps: 3 },
+        |_| w.exec(db.as_mut(), 0).unwrap(),
+    );
+    // Averaged metrics stay per-window regardless of repetition count.
+    let ratio = three_reps.instr_per_txn / one_rep.instr_per_txn;
+    assert!((0.9..1.1).contains(&ratio), "instr/txn drifted: {ratio:.3}");
+}
+
+#[test]
+fn offline_mode_is_invisible_to_counters() {
+    let sim = Sim::new(MachineConfig::ivy_bridge(1));
+    let mut db = build_system(SystemKind::VoltDb, &sim, 1);
+    let mut w = MicroBench::new(DbSize::Mb1).with_rows(2000);
+    let before = sim.counters(0);
+    sim.offline(|| w.setup(db.as_mut(), 1));
+    let after = sim.counters(0);
+    assert_eq!(before, after, "bulk load must not perturb counters");
+    // But the data structures are fully populated.
+    assert_eq!(db.row_count(imoltp::db::TableId(0)), 2000);
+}

@@ -1,0 +1,176 @@
+//! Property-based tests over the core data structures and codecs.
+
+use std::collections::BTreeMap;
+
+use imoltp::db::tuple;
+use imoltp::db::{KeyPack, Value};
+use imoltp::idx::{Art, CcBTree, DiskBTree, HashIndex, Index};
+use imoltp::sim::cache::Cache;
+use imoltp::sim::config::CacheGeometry;
+use imoltp::sim::{MachineConfig, Mem, Sim};
+use proptest::prelude::*;
+
+fn mem() -> Mem {
+    Sim::new(MachineConfig::ivy_bridge(1)).mem(0)
+}
+
+/// An arbitrary index operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u64),
+    Get(u64),
+    Remove(u64),
+    Replace(u64, u64),
+    Scan(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Small key space so operations collide often.
+    let key = 0u64..300;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.clone().prop_map(Op::Get),
+        key.clone().prop_map(Op::Remove),
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Replace(k, v)),
+        (key.clone(), key).prop_map(|(a, b)| Op::Scan(a.min(b), a.max(b))),
+    ]
+}
+
+fn check_against_model(index: &mut dyn Index, mem: &Mem, ops: &[Op]) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let inserted = index.insert(mem, k, v);
+                assert_eq!(inserted, !model.contains_key(&k), "insert {k}");
+                if inserted {
+                    model.insert(k, v);
+                }
+            }
+            Op::Get(k) => {
+                assert_eq!(index.get(mem, k), model.get(&k).copied(), "get {k}");
+            }
+            Op::Remove(k) => {
+                assert_eq!(index.remove(mem, k), model.remove(&k), "remove {k}");
+            }
+            Op::Replace(k, v) => {
+                let old = index.replace(mem, k, v);
+                assert_eq!(old, model.get(&k).copied(), "replace {k}");
+                if old.is_some() {
+                    model.insert(k, v);
+                }
+            }
+            Op::Scan(lo, hi) => {
+                if index.supports_range() {
+                    let mut got = Vec::new();
+                    index.scan(mem, lo, hi, &mut |k, v| {
+                        got.push((k, v));
+                        true
+                    });
+                    let expect: Vec<(u64, u64)> =
+                        model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                    assert_eq!(got, expect, "scan [{lo},{hi}]");
+                }
+            }
+        }
+        assert_eq!(index.len(), model.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn disk_btree_behaves_like_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mem = mem();
+        let mut idx = DiskBTree::new(&mem);
+        check_against_model(&mut idx, &mem, &ops);
+    }
+
+    #[test]
+    fn cc_btree_behaves_like_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mem = mem();
+        let mut idx = CcBTree::new(&mem);
+        check_against_model(&mut idx, &mem, &ops);
+    }
+
+    #[test]
+    fn art_behaves_like_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mem = mem();
+        let mut idx = Art::new(&mem);
+        check_against_model(&mut idx, &mem, &ops);
+    }
+
+    #[test]
+    fn hash_behaves_like_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mem = mem();
+        let mut idx = HashIndex::with_capacity(&mem, 64);
+        check_against_model(&mut idx, &mem, &ops);
+    }
+
+    #[test]
+    fn art_handles_arbitrary_u64_keys(keys in proptest::collection::btree_set(any::<u64>(), 1..300)) {
+        let mem = mem();
+        let mut idx = Art::new(&mem);
+        for (i, &k) in keys.iter().enumerate() {
+            prop_assert!(idx.insert(&mem, k, i as u64));
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            prop_assert_eq!(idx.get(&mem, k), Some(i as u64));
+        }
+        // Ordered scan over the full range yields the sorted key set.
+        let mut seen = Vec::new();
+        idx.scan(&mem, 0, u64::MAX, &mut |k, _| { seen.push(k); true });
+        let expect: Vec<u64> = keys.iter().copied().collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn tuple_codec_round_trips(row in proptest::collection::vec(
+        prop_oneof![
+            any::<i64>().prop_map(Value::Long),
+            "[a-zA-Z0-9 ]{0,80}".prop_map(Value::Str),
+        ],
+        0..12,
+    )) {
+        let encoded = tuple::encode(&row);
+        prop_assert_eq!(encoded.len(), tuple::encoded_len(&row));
+        prop_assert_eq!(tuple::decode(&encoded).unwrap(), row);
+    }
+
+    #[test]
+    fn tuple_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = tuple::decode(&bytes); // must return Err, not panic
+    }
+
+    #[test]
+    fn keypack_preserves_order(
+        a1 in 0u64..1024, b1 in 0u64..65536,
+        a2 in 0u64..1024, b2 in 0u64..65536,
+    ) {
+        let k1 = KeyPack::new().field(a1, 10).field(b1, 16).get();
+        let k2 = KeyPack::new().field(a2, 10).field(b2, 16).get();
+        prop_assert_eq!(k1.cmp(&k2), (a1, b1).cmp(&(a2, b2)));
+    }
+
+    #[test]
+    fn cache_hits_plus_misses_equals_accesses(lines in proptest::collection::vec(0u64..4096, 1..2000)) {
+        let mut c = Cache::new(CacheGeometry::new(8 << 10, 64, 4));
+        for &l in &lines {
+            c.access(l);
+        }
+        prop_assert_eq!(c.accesses(), lines.len() as u64);
+        prop_assert_eq!(c.hits() + c.misses(), c.accesses());
+        // Residency never exceeds capacity.
+        prop_assert!(c.resident_lines() <= c.capacity_lines());
+    }
+
+    #[test]
+    fn cache_single_line_rereference_always_hits(line in any::<u64>(), n in 1usize..50) {
+        let mut c = Cache::new(CacheGeometry::new(8 << 10, 64, 4));
+        c.access(line % (1 << 40));
+        for _ in 0..n {
+            prop_assert!(c.access(line % (1 << 40)).hit);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Cross-crate TPC-B / TPC-C correctness: the benchmarks' business
+//! invariants must hold on every engine after a committed mix.
+
+use imoltp::bench::tpcc::{TpcC, TpcCScale};
+use imoltp::bench::{TpcB, Workload};
+use imoltp::sim::{MachineConfig, Sim};
+use imoltp::systems::{build_system, SystemKind};
+
+#[test]
+fn tpcb_balance_invariant_every_engine() {
+    for kind in SystemKind::ALL {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(kind, &sim, 1);
+        let mut w = TpcB::with_branches(1).seed(99);
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        sim.offline(|| {
+            for i in 0..200 {
+                w.exec(db.as_mut(), 0).unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
+            }
+        });
+        // TPC-B's invariant: the sums of branch, teller, and account
+        // balances all equal the sum of applied deltas.
+        let b = w.total_balance(db.as_mut(), "branch");
+        let t = w.total_balance(db.as_mut(), "teller");
+        let a = w.total_balance(db.as_mut(), "account");
+        assert_eq!(b, t, "{kind:?}");
+        assert_eq!(b, a, "{kind:?}");
+        assert_eq!(w.committed(), 200, "{kind:?}");
+    }
+}
+
+#[test]
+fn tpcc_invariants_every_engine() {
+    for kind in [
+        SystemKind::ShoreMt,
+        SystemKind::DbmsD,
+        SystemKind::VoltDb,
+        SystemKind::HyPer,
+        SystemKind::dbms_m_for_tpcc(),
+        SystemKind::DbmsM { index: imoltp::systems::DbmsMIndex::Hash, compiled: true },
+    ] {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system(kind, &sim, 1);
+        let mut w = TpcC::with_scale(TpcCScale::tiny()).seed(5);
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        sim.offline(|| {
+            for i in 0..400 {
+                w.exec(db.as_mut(), 0).unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
+            }
+        });
+        assert_eq!(w.counts.total() + w.counts.new_order_rollbacks, 400, "{kind:?}");
+        // The 45/43/4/4/4 mix: NewOrder and Payment dominate.
+        assert!(w.counts.new_order > 120, "{kind:?}: {:?}", w.counts);
+        assert!(w.counts.payment > 120, "{kind:?}: {:?}", w.counts);
+        w.check_consistency(db.as_mut());
+    }
+}
+
+#[test]
+fn tpcc_multi_worker_partitions_stay_consistent() {
+    let workers = 2;
+    let sim = Sim::new(MachineConfig::ivy_bridge(workers));
+    let mut db = build_system(SystemKind::VoltDb, &sim, workers);
+    let mut w = TpcC::with_scale(TpcCScale {
+        warehouses: 2,
+        customers_per_district: 60,
+        items: 200,
+        initial_orders: 12,
+    })
+    .seed(77);
+    sim.offline(|| w.setup(db.as_mut(), workers));
+    sim.offline(|| {
+        for i in 0..300 {
+            let worker = i % workers;
+            db.set_core(worker);
+            w.exec(db.as_mut(), worker).unwrap_or_else(|e| panic!("txn {i}: {e}"));
+        }
+    });
+    w.check_consistency(db.as_mut());
+}
