@@ -31,11 +31,15 @@ fn bench_fetch_code(c: &mut Criterion) {
     let sim = Sim::new(MachineConfig::ivy_bridge(1));
     let tight = sim.register_module(ModuleSpec::new("tight", 8 << 10).reuse(4.0));
     let fat = sim.register_module(
-        ModuleSpec::new("fat", 256 << 10).reuse(1.3).branchiness(0.25),
+        ModuleSpec::new("fat", 256 << 10)
+            .reuse(1.3)
+            .branchiness(0.25),
     );
     let mem_tight = sim.mem(0).with_module(tight);
     let mem_fat = sim.mem(0).with_module(fat);
-    group.bench_function("fetch_10k_instr_tight", |b| b.iter(|| mem_tight.exec(10_000)));
+    group.bench_function("fetch_10k_instr_tight", |b| {
+        b.iter(|| mem_tight.exec(10_000))
+    });
     group.bench_function("fetch_10k_instr_fat", |b| b.iter(|| mem_fat.exec(10_000)));
 
     let region = sim.alloc(64 << 20, 64);

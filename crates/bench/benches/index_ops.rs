@@ -25,10 +25,19 @@ type Maker = Box<dyn Fn(&Mem) -> Box<dyn Index>>;
 
 fn structures() -> Vec<(&'static str, Maker)> {
     vec![
-        ("disk_btree", Box::new(|m: &Mem| Box::new(DiskBTree::new(m)) as _)),
-        ("cc_btree", Box::new(|m: &Mem| Box::new(CcBTree::new(m)) as _)),
+        (
+            "disk_btree",
+            Box::new(|m: &Mem| Box::new(DiskBTree::new(m)) as _),
+        ),
+        (
+            "cc_btree",
+            Box::new(|m: &Mem| Box::new(CcBTree::new(m)) as _),
+        ),
         ("art", Box::new(|m: &Mem| Box::new(Art::new(m)) as _)),
-        ("hash", Box::new(|m: &Mem| Box::new(HashIndex::with_capacity(m, N)) as _)),
+        (
+            "hash",
+            Box::new(|m: &Mem| Box::new(HashIndex::with_capacity(m, N)) as _),
+        ),
     ]
 }
 
@@ -37,7 +46,7 @@ fn bench_get(c: &mut Criterion) {
     for (name, mk) in &structures() {
         let (mem, mut idx) = loaded(mk.as_ref());
         let mut k = 0u64;
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 k = (k + 48_271) % N;
                 std::hint::black_box(idx.get(&mem, k * 7))
@@ -51,7 +60,7 @@ fn bench_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("index_insert_10k");
     group.sample_size(20);
     for (name, mk) in &structures() {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter_batched(
                 || {
                     let mem = mem();

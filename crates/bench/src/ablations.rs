@@ -22,7 +22,12 @@ use crate::figures::systems;
 use crate::scale_factor;
 
 fn window() -> WindowSpec {
-    WindowSpec { warmup: 2500, measured: 5000, reps: 2 }.scaled(scale_factor())
+    WindowSpec {
+        warmup: 2500,
+        measured: 5000,
+        reps: 2,
+    }
+    .scaled(scale_factor())
 }
 
 /// Run the 100 GB read-only micro-benchmark on `system` under `cfg`.
@@ -184,11 +189,18 @@ pub fn overlap_sensitivity() -> String {
         let shore = run_micro(SystemKind::ShoreMt, cfg.clone(), false);
         let hyper = run_micro(SystemKind::HyPer, cfg, false);
         ordering_stable &= hyper.ipc < shore.ipc;
-        out.push_str(&format!("{w:>6.2} {:>10.2} {:>7.2}\n", shore.ipc, hyper.ipc));
+        out.push_str(&format!(
+            "{w:>6.2} {:>10.2} {:>7.2}\n",
+            shore.ipc, hyper.ipc
+        ));
     }
     out.push_str(&format!(
         "\nHyPer stays the slowest at 100GB across the whole weight range: {}\n",
-        if ordering_stable { "yes" } else { "NO (model fragile!)" }
+        if ordering_stable {
+            "yes"
+        } else {
+            "NO (model fragile!)"
+        }
     ));
     out
 }
@@ -260,7 +272,11 @@ mod tests {
             let mut w = MicroBench::new(DbSize::Mb1).with_rows(20_000);
             sim.offline(|| w.setup(db.as_mut(), 1));
             sim.warm_data();
-            let spec = WindowSpec { warmup: 400, measured: 800, reps: 1 };
+            let spec = WindowSpec {
+                warmup: 400,
+                measured: 800,
+                reps: 1,
+            };
             measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).unwrap())
         };
         let single = run(false);

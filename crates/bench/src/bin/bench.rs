@@ -1,0 +1,68 @@
+//! `bench` — ad-hoc benchmarking front-end.
+//!
+//! ```text
+//! bench trace <system> <workload>   # traced run + Perfetto/JSONL export
+//! ```
+//!
+//! Systems: shore-mt, dbmsd, voltdb, hyper, dbmsm, dbmsm-interp,
+//! dbmsm-btree. Workloads: micro, micro-rw, tpcb, tpcc, tpce.
+//! Set `IMOLTP_SCALE=<f64>` to scale measurement windows (e.g. `0.2`).
+
+use std::path::PathBuf;
+
+use bench::trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("trace") => {
+            let (Some(sys_arg), Some(wl_arg)) = (args.get(2), args.get(3)) else {
+                usage(2);
+            };
+            let Some(system) = trace::parse_system(sys_arg) else {
+                eprintln!("unknown system: {sys_arg}");
+                usage(2);
+            };
+            let Some(workload) = trace::parse_workload(wl_arg) else {
+                eprintln!("unknown workload: {wl_arg}");
+                usage(2);
+            };
+            let out_dir = repo_root().join("results");
+            let art = trace::run_trace(system, &workload, wl_arg, &out_dir);
+            print!(
+                "{}",
+                trace::render(
+                    &art.measurement,
+                    &format!("{} / {}", system.label(), wl_arg)
+                )
+            );
+            println!(
+                "perfetto: {} (load in ui.perfetto.dev)",
+                art.perfetto.display()
+            );
+            println!("jsonl:    {}", art.jsonl.display());
+        }
+        Some("help") | None => usage(0),
+        Some(other) => {
+            eprintln!("unknown subcommand: {other}");
+            usage(2);
+        }
+    }
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!("usage: bench trace <shore-mt|dbmsd|voltdb|hyper|dbmsm|dbmsm-interp|dbmsm-btree> <micro|micro-rw|tpcb|tpcc|tpce>");
+    std::process::exit(code);
+}
+
+fn repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("cwd");
+        }
+    }
+}

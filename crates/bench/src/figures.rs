@@ -21,7 +21,10 @@ pub fn mt_systems() -> Vec<SystemKind> {
         SystemKind::ShoreMt,
         SystemKind::DbmsD,
         SystemKind::VoltDb,
-        SystemKind::DbmsM { index: DbmsMIndex::Hash, compiled: true },
+        SystemKind::DbmsM {
+            index: DbmsMIndex::Hash,
+            compiled: true,
+        },
     ]
 }
 
@@ -30,18 +33,44 @@ pub fn mt_systems() -> Vec<SystemKind> {
 pub const MT_WORKERS: usize = 4;
 
 fn micro(size: DbSize, rows: u32, read_only: bool) -> WorkloadCfg {
-    WorkloadCfg::Micro { size, rows_per_txn: rows, read_only, strings: false }
+    WorkloadCfg::Micro {
+        size,
+        rows_per_txn: rows,
+        read_only,
+        strings: false,
+    }
 }
 
 /// The §6 DBMS M configurations, in Figure 13/14 bar order.
 pub fn dbmsm_configs() -> Vec<(&'static str, SystemKind)> {
     vec![
-        ("Hash w/ compilation", SystemKind::DbmsM { index: DbmsMIndex::Hash, compiled: true }),
-        ("Hash w/o compilation", SystemKind::DbmsM { index: DbmsMIndex::Hash, compiled: false }),
-        ("B-tree w/ compilation", SystemKind::DbmsM { index: DbmsMIndex::BTree, compiled: true }),
+        (
+            "Hash w/ compilation",
+            SystemKind::DbmsM {
+                index: DbmsMIndex::Hash,
+                compiled: true,
+            },
+        ),
+        (
+            "Hash w/o compilation",
+            SystemKind::DbmsM {
+                index: DbmsMIndex::Hash,
+                compiled: false,
+            },
+        ),
+        (
+            "B-tree w/ compilation",
+            SystemKind::DbmsM {
+                index: DbmsMIndex::BTree,
+                compiled: true,
+            },
+        ),
         (
             "B-tree w/o compilation",
-            SystemKind::DbmsM { index: DbmsMIndex::BTree, compiled: false },
+            SystemKind::DbmsM {
+                index: DbmsMIndex::BTree,
+                compiled: false,
+            },
         ),
     ]
 }
@@ -103,7 +132,12 @@ pub struct Check {
 
 impl Check {
     fn new(figure: &str, claim: &str, pass: bool, detail: String) -> Self {
-        Check { figure: figure.into(), claim: claim.into(), pass, detail }
+        Check {
+            figure: figure.into(),
+            claim: claim.into(),
+            pass,
+            detail,
+        }
     }
 }
 
@@ -138,7 +172,11 @@ impl Figures {
     // ---- cached sweeps -------------------------------------------------
 
     fn sizes(&mut self, read_only: bool) -> &SizeSweep {
-        let slot = if read_only { &mut self.sizes_ro } else { &mut self.sizes_rw };
+        let slot = if read_only {
+            &mut self.sizes_ro
+        } else {
+            &mut self.sizes_rw
+        };
         if slot.is_none() {
             let mut points = Vec::new();
             for &sys in &systems() {
@@ -152,7 +190,9 @@ impl Figures {
                     .iter()
                     .zip(ms)
                     .map(|(p, m)| {
-                        let WorkloadCfg::Micro { size, .. } = p.workload else { unreachable!() };
+                        let WorkloadCfg::Micro { size, .. } = p.workload else {
+                            unreachable!()
+                        };
                         (p.system, size, m)
                     })
                     .collect(),
@@ -162,7 +202,11 @@ impl Figures {
     }
 
     fn rows(&mut self, read_only: bool) -> &RowSweep {
-        let slot = if read_only { &mut self.rows_ro } else { &mut self.rows_rw };
+        let slot = if read_only {
+            &mut self.rows_ro
+        } else {
+            &mut self.rows_rw
+        };
         if slot.is_none() {
             let mut points = Vec::new();
             for &sys in &systems() {
@@ -202,7 +246,14 @@ impl Figures {
             let points: Vec<Point> = sys
                 .iter()
                 .map(|&s| {
-                    Point::new(s, if tpcc { WorkloadCfg::TpcC } else { WorkloadCfg::TpcB })
+                    Point::new(
+                        s,
+                        if tpcc {
+                            WorkloadCfg::TpcC
+                        } else {
+                            WorkloadCfg::TpcB
+                        },
+                    )
                 })
                 .collect();
             let ms = run_points(&points);
@@ -212,8 +263,11 @@ impl Figures {
     }
 
     fn dbmsm_micro(&mut self, read_only: bool) -> &Vec<(&'static str, Measurement)> {
-        let slot =
-            if read_only { &mut self.dbmsm_micro_ro } else { &mut self.dbmsm_micro_rw };
+        let slot = if read_only {
+            &mut self.dbmsm_micro_ro
+        } else {
+            &mut self.dbmsm_micro_rw
+        };
         if slot.is_none() {
             // §6.1 uses 10 rows per transaction over the 100 GB dataset.
             let cfgs = dbmsm_configs();
@@ -230,8 +284,10 @@ impl Figures {
     fn dbmsm_tpcc_sweep(&mut self) -> &Vec<(&'static str, Measurement)> {
         if self.dbmsm_tpcc.is_none() {
             let cfgs = dbmsm_configs();
-            let points: Vec<Point> =
-                cfgs.iter().map(|&(_, s)| Point::new(s, WorkloadCfg::TpcC)).collect();
+            let points: Vec<Point> = cfgs
+                .iter()
+                .map(|&(_, s)| Point::new(s, WorkloadCfg::TpcC))
+                .collect();
             let ms = run_points(&points);
             self.dbmsm_tpcc = Some(cfgs.iter().map(|&(l, _)| l).zip(ms).collect());
         }
@@ -239,12 +295,19 @@ impl Figures {
     }
 
     fn strings(&mut self, read_only: bool) -> &Vec<(SystemKind, bool, Measurement)> {
-        let slot = if read_only { &mut self.strings_ro } else { &mut self.strings_rw };
+        let slot = if read_only {
+            &mut self.strings_ro
+        } else {
+            &mut self.strings_rw
+        };
         if slot.is_none() {
             let sys = [
                 SystemKind::VoltDb,
                 SystemKind::HyPer,
-                SystemKind::DbmsM { index: DbmsMIndex::Hash, compiled: true },
+                SystemKind::DbmsM {
+                    index: DbmsMIndex::Hash,
+                    compiled: true,
+                },
             ];
             let mut points = Vec::new();
             let mut meta = Vec::new();
@@ -264,14 +327,21 @@ impl Figures {
             }
             let ms = run_points(&points);
             *slot = Some(
-                meta.into_iter().zip(ms).map(|((s, st), m)| (s, st, m)).collect(),
+                meta.into_iter()
+                    .zip(ms)
+                    .map(|((s, st), m)| (s, st, m))
+                    .collect(),
             );
         }
         slot.as_ref().expect("just computed")
     }
 
     fn mt(&mut self, tpcc: bool) -> &Vec<(SystemKind, Measurement)> {
-        let slot = if tpcc { &mut self.mt_tpcc } else { &mut self.mt_micro };
+        let slot = if tpcc {
+            &mut self.mt_tpcc
+        } else {
+            &mut self.mt_micro
+        };
         if slot.is_none() {
             let sys: Vec<SystemKind> = mt_systems()
                 .into_iter()
@@ -428,7 +498,11 @@ impl Figures {
 
     /// Figure 1 / 20: IPC vs database size.
     pub fn fig_ipc_vs_size(&mut self, read_only: bool) -> ScalarFigure {
-        let (id, v) = if read_only { ("fig1-ro", "read-only") } else { ("fig20-rw", "read-write") };
+        let (id, v) = if read_only {
+            ("fig1-ro", "read-only")
+        } else {
+            ("fig20-rw", "read-write")
+        };
         Self::scalar_by_size(
             self.sizes(read_only),
             id,
@@ -440,7 +514,11 @@ impl Figures {
 
     /// Figure 2 / 21: SPKI vs database size.
     pub fn fig_spki_vs_size(&mut self, read_only: bool) -> StallFigure {
-        let (id, v) = if read_only { ("fig2-ro", "read-only") } else { ("fig21-rw", "read-write") };
+        let (id, v) = if read_only {
+            ("fig2-ro", "read-only")
+        } else {
+            ("fig21-rw", "read-write")
+        };
         Self::stall_by_size(
             self.sizes(read_only),
             id,
@@ -452,7 +530,11 @@ impl Figures {
 
     /// Figure 3 / 22: SPT at 100 GB.
     pub fn fig_spt_100gb(&mut self, read_only: bool) -> StallFigure {
-        let (id, v) = if read_only { ("fig3-ro", "read-only") } else { ("fig22-rw", "read-write") };
+        let (id, v) = if read_only {
+            ("fig3-ro", "read-only")
+        } else {
+            ("fig22-rw", "read-write")
+        };
         let data: Vec<(SystemKind, Measurement)> = self
             .sizes(read_only)
             .iter()
@@ -470,7 +552,11 @@ impl Figures {
 
     /// Figure 4 / 23: IPC vs rows per transaction.
     pub fn fig_ipc_vs_rows(&mut self, read_only: bool) -> ScalarFigure {
-        let (id, v) = if read_only { ("fig4-ro", "read") } else { ("fig23-rw", "updated") };
+        let (id, v) = if read_only {
+            ("fig4-ro", "read")
+        } else {
+            ("fig23-rw", "updated")
+        };
         let data = self.rows(read_only);
         ScalarFigure {
             id: id.into(),
@@ -497,7 +583,11 @@ impl Figures {
 
     /// Figure 5 / 24: SPKI vs rows per transaction.
     pub fn fig_spki_vs_rows(&mut self, read_only: bool) -> StallFigure {
-        let (id, v) = if read_only { ("fig5-ro", "read") } else { ("fig24-rw", "updated") };
+        let (id, v) = if read_only {
+            ("fig5-ro", "read")
+        } else {
+            ("fig24-rw", "updated")
+        };
         Self::stall_by_rows(
             self.rows(read_only),
             id,
@@ -509,7 +599,11 @@ impl Figures {
 
     /// Figure 6 / 25: SPT vs rows per transaction.
     pub fn fig_spt_vs_rows(&mut self, read_only: bool) -> StallFigure {
-        let (id, v) = if read_only { ("fig6-ro", "read") } else { ("fig25-rw", "updated") };
+        let (id, v) = if read_only {
+            ("fig6-ro", "read")
+        } else {
+            ("fig25-rw", "updated")
+        };
         Self::stall_by_rows(
             self.rows(read_only),
             id,
@@ -522,11 +616,14 @@ impl Figures {
     /// Figure 7: % of time inside the OLTP engine vs rows per transaction.
     pub fn fig_engine_share(&mut self) -> ScalarFigure {
         let data = self.rows(true);
-        let subset =
-            [SystemKind::DbmsD, SystemKind::VoltDb, SystemKind::DbmsM {
+        let subset = [
+            SystemKind::DbmsD,
+            SystemKind::VoltDb,
+            SystemKind::DbmsM {
                 index: DbmsMIndex::Hash,
                 compiled: true,
-            }];
+            },
+        ];
         ScalarFigure {
             id: "fig7".into(),
             title: "Percentage of execution time inside the OLTP engine (100GB)".into(),
@@ -552,9 +649,13 @@ impl Figures {
 
     /// Figure 8: TPC-B IPC.
     pub fn fig_tpcb_ipc(&mut self) -> ScalarFigure {
-        Self::scalar_flat(self.tpc(false), "fig8", "IPC while running TPC-B (100GB)", "IPC", |m| {
-            m.ipc
-        })
+        Self::scalar_flat(
+            self.tpc(false),
+            "fig8",
+            "IPC while running TPC-B (100GB)",
+            "IPC",
+            |m| m.ipc,
+        )
     }
 
     /// Figure 9: TPC-B SPKI.
@@ -570,9 +671,13 @@ impl Figures {
 
     /// Figure 10: TPC-C IPC.
     pub fn fig_tpcc_ipc(&mut self) -> ScalarFigure {
-        Self::scalar_flat(self.tpc(true), "fig10", "IPC while running TPC-C (100GB)", "IPC", |m| {
-            m.ipc
-        })
+        Self::scalar_flat(
+            self.tpc(true),
+            "fig10",
+            "IPC while running TPC-C (100GB)",
+            "IPC",
+            |m| m.ipc,
+        )
     }
 
     /// Figure 11: TPC-C SPKI.
@@ -599,7 +704,11 @@ impl Figures {
 
     /// Figure 13 / 26: DBMS M index x compilation, micro-benchmark.
     pub fn fig_index_compilation_micro(&mut self, read_only: bool) -> StallFigure {
-        let (id, v) = if read_only { ("fig13-ro", "read-only") } else { ("fig26-rw", "read-write") };
+        let (id, v) = if read_only {
+            ("fig13-ro", "read-only")
+        } else {
+            ("fig26-rw", "read-write")
+        };
         let data = self.dbmsm_micro(read_only).clone();
         StallFigure {
             id: id.into(),
@@ -628,12 +737,20 @@ impl Figures {
 
     /// Figure 15 / 27: String vs Long data types.
     pub fn fig_data_types(&mut self, read_only: bool) -> StallFigure {
-        let (id, v) = if read_only { ("fig15-ro", "read-only") } else { ("fig27-rw", "read-write") };
+        let (id, v) = if read_only {
+            ("fig15-ro", "read-only")
+        } else {
+            ("fig27-rw", "read-write")
+        };
         let data = self.strings(read_only).clone();
-        let groups: Vec<String> = [SystemKind::VoltDb, SystemKind::HyPer, SystemKind::DbmsM {
-            index: DbmsMIndex::Hash,
-            compiled: true,
-        }]
+        let groups: Vec<String> = [
+            SystemKind::VoltDb,
+            SystemKind::HyPer,
+            SystemKind::DbmsM {
+                index: DbmsMIndex::Hash,
+                compiled: true,
+            },
+        ]
         .iter()
         .map(|s| s.label().to_string())
         .collect();
@@ -645,10 +762,14 @@ impl Figures {
             unit: "stall cycles / k-instr".into(),
             groups,
             xlabels: vec!["String".into(), "Long".into()],
-            cells: [SystemKind::VoltDb, SystemKind::HyPer, SystemKind::DbmsM {
-                index: DbmsMIndex::Hash,
-                compiled: true,
-            }]
+            cells: [
+                SystemKind::VoltDb,
+                SystemKind::HyPer,
+                SystemKind::DbmsM {
+                    index: DbmsMIndex::Hash,
+                    compiled: true,
+                },
+            ]
             .iter()
             .map(|&sys| {
                 [true, false]
@@ -670,7 +791,10 @@ impl Figures {
         let (id, title) = if tpcc {
             ("fig17", "Multi-threaded IPC while running TPC-C")
         } else {
-            ("fig16", "Multi-threaded IPC while running the micro-benchmark (read-only, 100GB)")
+            (
+                "fig16",
+                "Multi-threaded IPC while running the micro-benchmark (read-only, 100GB)",
+            )
         };
         let data = self.mt(tpcc).clone();
         Self::scalar_flat(&data, id, title, "IPC", |m| m.ipc)
@@ -679,9 +803,15 @@ impl Figures {
     /// Figure 18 / 19: multi-threaded SPKI (micro / TPC-C).
     pub fn fig_mt_spki(&mut self, tpcc: bool) -> StallFigure {
         let (id, title) = if tpcc {
-            ("fig19", "Multi-threaded stall cycles per k-instruction, TPC-C")
+            (
+                "fig19",
+                "Multi-threaded stall cycles per k-instruction, TPC-C",
+            )
         } else {
-            ("fig18", "Multi-threaded stall cycles per k-instruction, micro-benchmark")
+            (
+                "fig18",
+                "Multi-threaded stall cycles per k-instruction, micro-benchmark",
+            )
         };
         let data = self.mt(tpcc).clone();
         Self::stall_flat(&data, id, title, |m| m.spki, "stall cycles / k-instr")
@@ -694,7 +824,10 @@ impl Figures {
         let mut out = Vec::new();
         let hyper = SystemKind::HyPer;
         let get_size = |data: &SizeSweep, s: SystemKind, z: DbSize| -> Measurement {
-            data.iter().find(|(x, y, _)| *x == s && *y == z).map(|(_, _, m)| m.clone()).unwrap()
+            data.iter()
+                .find(|(x, y, _)| *x == s && *y == z)
+                .map(|(_, _, m)| m.clone())
+                .unwrap()
         };
         let llcd = |m: &Measurement| m.spki[StallEvent::LlcD as usize];
 
@@ -717,7 +850,8 @@ impl Figures {
             out.push(Check::new(
                 "fig1",
                 "HyPer ~2x everyone when data fits LLC, lowest when it does not",
-                h_small > 1.5 && h_big <= big_ipcs.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min) + 1e-9,
+                h_small > 1.5
+                    && h_big <= big_ipcs.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min) + 1e-9,
                 format!("HyPer 1MB={h_small:.2}, 100GB={h_big:.2}"),
             ));
             let drops = systems().iter().all(|&s| {
@@ -769,16 +903,18 @@ impl Figures {
                 m.spt[0] + m.spt[1] + m.spt[2]
             };
             let spt_llcd = |s: SystemKind| get_size(&d, s, DbSize::Gb100).spt[5];
-            let dbmsd_max_i =
-                systems().iter().all(|&s| spt_i(SystemKind::DbmsD) >= spt_i(s) - 1.0);
+            let dbmsd_max_i = systems()
+                .iter()
+                .all(|&s| spt_i(SystemKind::DbmsD) >= spt_i(s) - 1.0);
             out.push(Check::new(
                 "fig3",
                 "DBMS D has the highest instruction stalls per transaction",
                 dbmsd_max_i,
                 format!("DBMS D I-SPT = {:.0}", spt_i(SystemKind::DbmsD)),
             ));
-            let shore_max_llcd =
-                systems().iter().all(|&s| spt_llcd(SystemKind::ShoreMt) >= spt_llcd(s) - 1.0);
+            let shore_max_llcd = systems()
+                .iter()
+                .all(|&s| spt_llcd(SystemKind::ShoreMt) >= spt_llcd(s) - 1.0);
             out.push(Check::new(
                 "fig3",
                 "Shore-MT has the highest LLC data stalls per transaction (non-cache-conscious index)",
@@ -790,7 +926,8 @@ impl Figures {
                 v.sort_by(f64::total_cmp);
                 // "Among the lowest": at or near the median and far below
                 // the non-cache-conscious disk index.
-                spt_llcd(hyper) <= v[2] * 1.1 && spt_llcd(hyper) < 0.6 * spt_llcd(SystemKind::ShoreMt)
+                spt_llcd(hyper) <= v[2] * 1.1
+                    && spt_llcd(hyper) < 0.6 * spt_llcd(SystemKind::ShoreMt)
             };
             out.push(Check::new(
                 "fig3",
@@ -804,7 +941,10 @@ impl Figures {
         {
             let d = self.rows(true).clone();
             let get = |s: SystemKind, r: u32| -> Measurement {
-                d.iter().find(|(x, n, _)| *x == s && *n == r).map(|(_, _, m)| m.clone()).unwrap()
+                d.iter()
+                    .find(|(x, n, _)| *x == s && *n == r)
+                    .map(|(_, _, m)| m.clone())
+                    .unwrap()
             };
             // The paper's disk-based rise is slight (~0.05-0.1 IPC); allow
             // a small modelling tolerance around flat.
@@ -826,8 +966,7 @@ impl Figures {
                     get(hyper, 100).ipc
                 ),
             ));
-            let i_spki =
-                |m: &Measurement| m.spki[0] + m.spki[1] + m.spki[2];
+            let i_spki = |m: &Measurement| m.spki[0] + m.spki[1] + m.spki[2];
             let i_down = systems()
                 .iter()
                 .all(|&s| i_spki(&get(s, 100)) <= i_spki(&get(s, 1)) + 1.0);
@@ -851,9 +990,9 @@ impl Figures {
                 linearish,
                 String::new(),
             ));
-            let shore_top = systems().iter().all(|&s| {
-                spt_llcd(SystemKind::ShoreMt, 100) >= spt_llcd(s, 100) - 1.0
-            });
+            let shore_top = systems()
+                .iter()
+                .all(|&s| spt_llcd(SystemKind::ShoreMt, 100) >= spt_llcd(s, 100) - 1.0);
             out.push(Check::new(
                 "fig6",
                 "Shore-MT has the largest LLC-D stalls per txn at 100 rows; HyPer/DBMS M lowest",
@@ -887,7 +1026,11 @@ impl Figures {
                 .map(|(s, _, m)| (*s, m.ipc))
                 .collect();
             let hyper_top = b.iter().all(|(_, m)| {
-                b.iter().find(|(s, _)| *s == hyper).map(|(_, h)| h.ipc).unwrap() >= m.ipc - 1e-9
+                b.iter()
+                    .find(|(s, _)| *s == hyper)
+                    .map(|(_, h)| h.ipc)
+                    .unwrap()
+                    >= m.ipc - 1e-9
             });
             out.push(Check::new(
                 "fig8",
@@ -898,7 +1041,11 @@ impl Figures {
             let higher_than_micro = b
                 .iter()
                 .filter(|(s, m)| {
-                    let mi = micro_big.iter().find(|(x, _)| x == s).map(|(_, v)| *v).unwrap_or(0.0);
+                    let mi = micro_big
+                        .iter()
+                        .find(|(x, _)| x == s)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(0.0);
                     m.ipc >= mi - 0.05
                 })
                 .count();
@@ -969,7 +1116,11 @@ impl Figures {
                 format!("{lower_i}/5 systems"),
             ));
             let hyper_llcd_high = {
-                let h = c.iter().find(|(s, _)| *s == hyper).map(|(_, m)| llcd(m)).unwrap();
+                let h = c
+                    .iter()
+                    .find(|(s, _)| *s == hyper)
+                    .map(|(_, m)| llcd(m))
+                    .unwrap();
                 c.iter().all(|(s, m)| *s == hyper || llcd(m) <= h + 1e-9)
             };
             out.push(Check::new(
@@ -984,7 +1135,8 @@ impl Figures {
                     .find(|(s, _)| matches!(s, SystemKind::DbmsD))
                     .map(|(_, m)| m.spt[0] + m.spt[1] + m.spt[2])
                     .unwrap();
-                c.iter().all(|(_, m)| dd >= m.spt[0] + m.spt[1] + m.spt[2] - 1.0)
+                c.iter()
+                    .all(|(_, m)| dd >= m.spt[0] + m.spt[1] + m.spt[2] - 1.0)
             };
             out.push(Check::new(
                 "fig12",
@@ -998,7 +1150,10 @@ impl Figures {
         {
             let d = self.dbmsm_micro(true).clone();
             let get = |label: &str| -> Measurement {
-                d.iter().find(|(l, _)| *l == label).map(|(_, m)| m.clone()).unwrap()
+                d.iter()
+                    .find(|(l, _)| *l == label)
+                    .map(|(_, m)| m.clone())
+                    .unwrap()
             };
             let i_spki = |m: &Measurement| m.spki[0] + m.spki[1] + m.spki[2];
             let comp_cuts = i_spki(&get("Hash w/ compilation"))
@@ -1027,7 +1182,10 @@ impl Figures {
             ));
             let t = self.dbmsm_tpcc_sweep().clone();
             let gett = |label: &str| -> Measurement {
-                t.iter().find(|(l, _)| *l == label).map(|(_, m)| m.clone()).unwrap()
+                t.iter()
+                    .find(|(l, _)| *l == label)
+                    .map(|(_, m)| m.clone())
+                    .unwrap()
             };
             let comp_cuts_tpcc = i_spki(&gett("B-tree w/ compilation"))
                 < 0.85 * i_spki(&gett("B-tree w/o compilation"));
@@ -1037,7 +1195,9 @@ impl Figures {
                 comp_cuts_tpcc,
                 String::new(),
             ));
-            let small_d = t.iter().all(|(_, m)| llcd(m) < 0.5 * m.spki_total().max(1.0));
+            let small_d = t
+                .iter()
+                .all(|(_, m)| llcd(m) < 0.5 * m.spki_total().max(1.0));
             out.push(Check::new(
                 "fig14",
                 "TPC-C shows no significant data stall time regardless of index type",
@@ -1050,7 +1210,10 @@ impl Figures {
         {
             let d = self.strings(true).clone();
             let get = |s: SystemKind, st: bool| -> Measurement {
-                d.iter().find(|(x, y, _)| *x == s && *y == st).map(|(_, _, m)| m.clone()).unwrap()
+                d.iter()
+                    .find(|(x, y, _)| *x == s && *y == st)
+                    .map(|(_, _, m)| m.clone())
+                    .unwrap()
             };
             let vol = llcd(&get(SystemKind::VoltDb, true)) < llcd(&get(SystemKind::VoltDb, false));
             let hyp = llcd(&get(hyper, true)) < llcd(&get(hyper, false));
@@ -1066,7 +1229,10 @@ impl Figures {
                     llcd(&get(hyper, false))
                 ),
             ));
-            let m_kind = SystemKind::DbmsM { index: DbmsMIndex::Hash, compiled: true };
+            let m_kind = SystemKind::DbmsM {
+                index: DbmsMIndex::Hash,
+                compiled: true,
+            };
             let m_similar = {
                 let a = llcd(&get(m_kind, true));
                 let b = llcd(&get(m_kind, false));
@@ -1101,18 +1267,28 @@ impl Figures {
                 "fig16",
                 "Multi-threaded IPC matches the single-threaded conclusions (all < ~1)",
                 similar && mt.iter().all(|(_, m)| m.ipc < 1.4),
-                format!("{:?}", mt.iter().map(|(s, m)| (s.label(), (m.ipc * 100.0).round() / 100.0)).collect::<Vec<_>>()),
+                format!(
+                    "{:?}",
+                    mt.iter()
+                        .map(|(s, m)| (s.label(), (m.ipc * 100.0).round() / 100.0))
+                        .collect::<Vec<_>>()
+                ),
             ));
             let mtc = self.mt(true).clone();
             out.push(Check::new(
                 "fig17",
                 "Multi-threaded TPC-C IPC stays near or below ~1 for all systems",
                 mtc.iter().all(|(_, m)| m.ipc < 1.6),
-                format!("{:?}", mtc.iter().map(|(s, m)| (s.label(), (m.ipc * 100.0).round() / 100.0)).collect::<Vec<_>>()),
+                format!(
+                    "{:?}",
+                    mtc.iter()
+                        .map(|(s, m)| (s.label(), (m.ipc * 100.0).round() / 100.0))
+                        .collect::<Vec<_>>()
+                ),
             ));
-            let mt_l1i_dominant = mt.iter().all(|(_, m)| {
-                m.spki[0] >= m.spki[1..].iter().copied().fold(0.0, f64::max) * 0.8
-            });
+            let mt_l1i_dominant = mt
+                .iter()
+                .all(|(_, m)| m.spki[0] >= m.spki[1..].iter().copied().fold(0.0, f64::max) * 0.8);
             out.push(Check::new(
                 "fig18",
                 "Multi-threaded stall breakdown resembles the single-threaded one (L1I-led)",

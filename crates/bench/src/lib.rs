@@ -11,14 +11,15 @@ use std::env;
 use engines::{build_system, SystemKind};
 use microarch::{measure, measure_multi, Measurement, WindowSpec};
 use uarch_sim::{MachineConfig, Sim};
+use workloads::tpcc::TpcCScale;
 use workloads::tpce::TpcEScale;
 use workloads::{DbSize, MicroBench, TpcB, TpcC, TpcE, Workload};
-use workloads::tpcc::TpcCScale;
 
 pub mod ablations;
 pub mod figures;
 pub mod modules_report;
 pub mod suite;
+pub mod trace;
 
 /// Which workload a point runs.
 #[derive(Clone, Debug)]
@@ -45,7 +46,12 @@ pub enum WorkloadCfg {
 impl WorkloadCfg {
     fn build(&self) -> Box<dyn Workload> {
         match self {
-            WorkloadCfg::Micro { size, rows_per_txn, read_only, strings } => {
+            WorkloadCfg::Micro {
+                size,
+                rows_per_txn,
+                read_only,
+                strings,
+            } => {
                 let mut w = MicroBench::new(*size).rows_per_txn(*rows_per_txn);
                 if !read_only {
                     w = w.read_write();
@@ -64,16 +70,36 @@ impl WorkloadCfg {
     /// Default measurement window; heavier workloads use smaller windows.
     pub fn window(&self) -> WindowSpec {
         let base = match self {
-            WorkloadCfg::Micro { rows_per_txn, .. } if *rows_per_txn >= 100 => {
-                WindowSpec { warmup: 300, measured: 500, reps: 3 }
-            }
-            WorkloadCfg::Micro { rows_per_txn, .. } if *rows_per_txn >= 10 => {
-                WindowSpec { warmup: 1000, measured: 2000, reps: 3 }
-            }
-            WorkloadCfg::Micro { .. } => WindowSpec { warmup: 3000, measured: 6000, reps: 3 },
-            WorkloadCfg::TpcB => WindowSpec { warmup: 2000, measured: 4000, reps: 3 },
-            WorkloadCfg::TpcC => WindowSpec { warmup: 400, measured: 800, reps: 3 },
-            WorkloadCfg::TpcE => WindowSpec { warmup: 800, measured: 1600, reps: 3 },
+            WorkloadCfg::Micro { rows_per_txn, .. } if *rows_per_txn >= 100 => WindowSpec {
+                warmup: 300,
+                measured: 500,
+                reps: 3,
+            },
+            WorkloadCfg::Micro { rows_per_txn, .. } if *rows_per_txn >= 10 => WindowSpec {
+                warmup: 1000,
+                measured: 2000,
+                reps: 3,
+            },
+            WorkloadCfg::Micro { .. } => WindowSpec {
+                warmup: 3000,
+                measured: 6000,
+                reps: 3,
+            },
+            WorkloadCfg::TpcB => WindowSpec {
+                warmup: 2000,
+                measured: 4000,
+                reps: 3,
+            },
+            WorkloadCfg::TpcC => WindowSpec {
+                warmup: 400,
+                measured: 800,
+                reps: 3,
+            },
+            WorkloadCfg::TpcE => WindowSpec {
+                warmup: 800,
+                measured: 1600,
+                reps: 3,
+            },
         };
         base.scaled(scale_factor())
     }
@@ -82,7 +108,11 @@ impl WorkloadCfg {
 /// TPC-E scale, shrunk when `IMOLTP_SCALE` < 0.3 (smoke runs).
 fn tpce_scale() -> TpcEScale {
     if scale_factor() < 0.3 {
-        TpcEScale { customers: 8_000, securities: 4_000, initial_trades: 3 }
+        TpcEScale {
+            customers: 8_000,
+            securities: 4_000,
+            initial_trades: 3,
+        }
     } else {
         TpcEScale::large()
     }
@@ -91,7 +121,12 @@ fn tpce_scale() -> TpcEScale {
 /// TPC-C scale, shrunk when `IMOLTP_SCALE` < 0.3 (smoke runs).
 fn tpcc_scale() -> TpcCScale {
     if scale_factor() < 0.3 {
-        TpcCScale { warehouses: 2, customers_per_district: 600, items: 10_000, initial_orders: 120 }
+        TpcCScale {
+            warehouses: 2,
+            customers_per_district: 600,
+            items: 10_000,
+            initial_orders: 120,
+        }
     } else {
         TpcCScale::paper_100gb()
     }
@@ -99,7 +134,10 @@ fn tpcc_scale() -> TpcCScale {
 
 /// Global intensity factor from `IMOLTP_SCALE` (default 1.0).
 pub fn scale_factor() -> f64 {
-    env::var("IMOLTP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    env::var("IMOLTP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// One experiment point.
@@ -116,7 +154,11 @@ pub struct Point {
 impl Point {
     /// Single-worker point.
     pub fn new(system: SystemKind, workload: WorkloadCfg) -> Self {
-        Point { system, workload, workers: 1 }
+        Point {
+            system,
+            workload,
+            workers: 1,
+        }
     }
 
     /// Multi-worker point (§7).
@@ -138,13 +180,15 @@ pub fn run_point(point: &Point) -> Measurement {
     if workers == 1 {
         db.set_core(0);
         measure(&sim, 0, window, |_| {
-            w.exec(db.as_mut(), 0).expect("benchmark transaction failed");
+            w.exec(db.as_mut(), 0)
+                .expect("benchmark transaction failed");
         })
     } else {
         let cores: Vec<usize> = (0..workers).collect();
         measure_multi(&sim, &cores, window, |_, worker| {
             db.set_core(worker);
-            w.exec(db.as_mut(), worker).expect("benchmark transaction failed");
+            w.exec(db.as_mut(), worker)
+                .expect("benchmark transaction failed");
         })
     }
 }
@@ -152,13 +196,15 @@ pub fn run_point(point: &Point) -> Measurement {
 /// Run many points in parallel across OS threads (each point owns its own
 /// simulator; results return in input order).
 pub fn run_points(points: &[Point]) -> Vec<Measurement> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut results: Vec<Option<Measurement>> = vec![None; points.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mx = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads.min(points.len()) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= points.len() {
                     break;
@@ -167,9 +213,11 @@ pub fn run_points(points: &[Point]) -> Vec<Measurement> {
                 results_mx.lock().unwrap()[i] = Some(m);
             });
         }
-    })
-    .expect("experiment thread panicked");
-    results.into_iter().map(|m| m.expect("all points completed")).collect()
+    });
+    results
+        .into_iter()
+        .map(|m| m.expect("all points completed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -191,7 +239,11 @@ mod tests {
         let mut db = build_system(p.system, &sim, 1);
         let mut w = p.workload.build();
         sim.offline(|| w.setup(db.as_mut(), 1));
-        let window = WindowSpec { warmup: 300, measured: 500, reps: 2 };
+        let window = WindowSpec {
+            warmup: 300,
+            measured: 500,
+            reps: 2,
+        };
         measure(&sim, 0, window, |_| {
             w.exec(db.as_mut(), 0).unwrap();
         })
@@ -202,7 +254,11 @@ mod tests {
         for kind in SystemKind::ALL {
             let m = quick_micro(kind);
             assert!(m.ipc > 0.05 && m.ipc <= 4.0, "{kind:?}: ipc={}", m.ipc);
-            assert!(m.instr_per_txn > 500.0, "{kind:?}: instr={}", m.instr_per_txn);
+            assert!(
+                m.instr_per_txn > 500.0,
+                "{kind:?}: instr={}",
+                m.instr_per_txn
+            );
             assert!(m.tps > 0.0);
         }
     }
@@ -223,7 +279,11 @@ mod tests {
         let mut db = build_system(p.system, &sim, 2);
         let mut w = p.workload.build();
         sim.offline(|| w.setup(db.as_mut(), 2));
-        let window = WindowSpec { warmup: 100, measured: 200, reps: 1 };
+        let window = WindowSpec {
+            warmup: 100,
+            measured: 200,
+            reps: 1,
+        };
         let m = measure_multi(&sim, &[0, 1], window, |_, worker| {
             db.set_core(worker);
             w.exec(db.as_mut(), worker).unwrap();

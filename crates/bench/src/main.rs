@@ -101,6 +101,11 @@ fn main() {
             }
             return;
         }
+        "phases" => {
+            let workload = std::env::args().nth(2).unwrap_or_else(|| "micro".into());
+            print!("{}", bench::trace::phases_table(&workload));
+            return;
+        }
         "checks" => {
             for c in f.checks() {
                 println!(
@@ -118,7 +123,7 @@ fn main() {
                 eprintln!("unknown subcommand: {other}");
             }
             eprintln!(
-                "usage: figures <all|fig1..fig27|checks|calibrate|modules [micro|tpcb|tpcc]|tpce|ablations|ablation-{llc,prefetch,simplecore,voltdb-mp,overlap}>"
+                "usage: figures <all|fig1..fig27|checks|calibrate|phases [micro|tpcb|tpcc]|modules [micro|tpcb|tpcc]|tpce|ablations|ablation-{{llc,prefetch,simplecore,voltdb-mp,overlap}}>"
             );
             std::process::exit(if other == "help" { 0 } else { 2 });
         }
@@ -153,7 +158,12 @@ fn calibrate() {
         for &size in &DbSize::ALL {
             points.push(Point::new(
                 sys,
-                WorkloadCfg::Micro { size, rows_per_txn: 1, read_only: true, strings: false },
+                WorkloadCfg::Micro {
+                    size,
+                    rows_per_txn: 1,
+                    read_only: true,
+                    strings: false,
+                },
             ));
         }
     }
@@ -163,7 +173,9 @@ fn calibrate() {
         "system", "size", "IPC", "instr/txn", "tps", "L1I", "L2I", "LLCI", "L1D", "L2D", "LLCD"
     );
     for (p, m) in points.iter().zip(&ms) {
-        let WorkloadCfg::Micro { size, .. } = p.workload else { unreachable!() };
+        let WorkloadCfg::Micro { size, .. } = p.workload else {
+            unreachable!()
+        };
         println!(
             "{:<10} {:>6} {:>6.2} {:>9.0} {:>8.0} | {:>6.0} {:>6.0} {:>6.0} {:>6.0} {:>6.0} {:>6.0}",
             p.system.label(),

@@ -8,8 +8,8 @@
 use engines::{build_system, SystemKind};
 use microarch::{measure, Measurement, WindowSpec};
 use uarch_sim::{MachineConfig, Sim, StallEvent};
-use workloads::{DbSize, MicroBench, TpcB, TpcC, Workload};
 use workloads::tpcc::TpcCScale;
+use workloads::{DbSize, MicroBench, TpcB, TpcC, Workload};
 
 use crate::scale_factor;
 
@@ -41,7 +41,12 @@ pub fn module_breakdown(system: SystemKind, workload: &str) -> ModuleBreakdown {
     };
     sim.offline(|| w.setup(db.as_mut(), 1));
     sim.warm_data();
-    let spec = WindowSpec { warmup: 1500, measured: 3000, reps: 2 }.scaled(scale_factor());
+    let spec = WindowSpec {
+        warmup: 1500,
+        measured: 3000,
+        reps: 2,
+    }
+    .scaled(scale_factor());
     let m = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"));
 
     // Raw per-module counters for the miss shares.

@@ -94,17 +94,58 @@ pub fn run_all(repo_root: &Path) -> usize {
     fs::write(repo_root.join("EXPERIMENTS.md"), md).expect("write EXPERIMENTS.md");
 
     let failed = checks.iter().filter(|c| !c.pass).count();
-    println!("== shape checks: {} passed, {failed} failed ==", checks.len() - failed);
+    println!(
+        "== shape checks: {} passed, {failed} failed ==",
+        checks.len() - failed
+    );
     for c in &checks {
         println!(
             "  [{}] {}: {} {}",
             if c.pass { "PASS" } else { "FAIL" },
             c.figure,
             c.claim,
-            if c.detail.is_empty() { String::new() } else { format!("({})", c.detail) }
+            if c.detail.is_empty() {
+                String::new()
+            } else {
+                format!("({})", c.detail)
+            }
         );
     }
+
+    // Machine-readable one-line summary (also written to
+    // results/summary.json) so CI and scripts can consume the outcome
+    // without scraping tables.
+    let summary = summary_json(figs.len(), &checks);
+    let line = summary.render();
+    println!("{line}");
+    fs::write(results.join("summary.json"), format!("{line}\n")).expect("write summary.json");
     failed
+}
+
+/// Structured run summary: figure and claim-check counts plus the names
+/// of any failing checks.
+pub fn summary_json(figures: usize, checks: &[Check]) -> obs::json::Json {
+    use obs::json::Json;
+    let failed: Vec<&Check> = checks.iter().filter(|c| !c.pass).collect();
+    Json::obj(vec![
+        ("figures", Json::u64(figures as u64)),
+        ("checks_total", Json::u64(checks.len() as u64)),
+        (
+            "checks_passed",
+            Json::u64((checks.len() - failed.len()) as u64),
+        ),
+        ("checks_failed", Json::u64(failed.len() as u64)),
+        (
+            "failed",
+            Json::Arr(
+                failed
+                    .iter()
+                    .map(|c| Json::str(&format!("{}: {}", c.figure, c.claim)))
+                    .collect(),
+            ),
+        ),
+        ("scale", Json::Num(crate::scale_factor())),
+    ])
 }
 
 /// Build the EXPERIMENTS.md document.

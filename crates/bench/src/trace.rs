@@ -1,0 +1,295 @@
+//! `bench trace` — run one (system, workload) point with the tracing
+//! layer enabled and export the span stream as Chrome/Perfetto trace JSON
+//! and JSONL, plus a per-phase breakdown table.
+//!
+//! This is the only place in the harness that installs a [`obs::Tracer`];
+//! every other path runs with tracing disabled and is bit-identical to a
+//! build without the `obs` crate wired in.
+
+use std::fs;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+
+use engines::{build_system, SystemKind};
+use microarch::{measure, Measurement};
+use obs::sink::{JsonlSink, PerfettoSink};
+use obs::{Phase, Tracer};
+use uarch_sim::{MachineConfig, Sim};
+use workloads::DbSize;
+
+use crate::WorkloadCfg;
+
+/// Parse a CLI system name (`shore-mt`, `dbmsd`, `voltdb`, `hyper`,
+/// `dbmsm`, `dbmsm-interp`, `dbmsm-btree`).
+pub fn parse_system(s: &str) -> Option<SystemKind> {
+    use engines::DbmsMIndex;
+    match s.to_ascii_lowercase().replace(['_', ' '], "-").as_str() {
+        "shore" | "shoremt" | "shore-mt" => Some(SystemKind::ShoreMt),
+        "dbmsd" | "dbms-d" => Some(SystemKind::DbmsD),
+        "voltdb" => Some(SystemKind::VoltDb),
+        "hyper" => Some(SystemKind::HyPer),
+        "dbmsm" | "dbms-m" => Some(SystemKind::DbmsM {
+            index: DbmsMIndex::Hash,
+            compiled: true,
+        }),
+        "dbmsm-interp" => Some(SystemKind::DbmsM {
+            index: DbmsMIndex::Hash,
+            compiled: false,
+        }),
+        "dbmsm-btree" => Some(SystemKind::dbms_m_for_tpcc()),
+        _ => None,
+    }
+}
+
+/// Parse a CLI workload name (`micro`, `micro-rw`, `tpcb`, `tpcc`,
+/// `tpce`).
+pub fn parse_workload(s: &str) -> Option<WorkloadCfg> {
+    match s.to_ascii_lowercase().replace(['_', ' '], "-").as_str() {
+        "micro" => Some(WorkloadCfg::Micro {
+            size: DbSize::Gb10,
+            rows_per_txn: 1,
+            read_only: true,
+            strings: false,
+        }),
+        "micro-rw" => Some(WorkloadCfg::Micro {
+            size: DbSize::Gb10,
+            rows_per_txn: 1,
+            read_only: false,
+            strings: false,
+        }),
+        "tpcb" => Some(WorkloadCfg::TpcB),
+        "tpcc" => Some(WorkloadCfg::TpcC),
+        "tpce" => Some(WorkloadCfg::TpcE),
+        _ => None,
+    }
+}
+
+/// File-name slug for a system label ("Shore-MT" -> "shore_mt").
+fn slug(label: &str) -> String {
+    label.to_ascii_lowercase().replace([' ', '-'], "_")
+}
+
+/// Result of a traced run: the measurement plus the export paths.
+pub struct TraceArtifacts {
+    /// The windowed measurement (includes the per-phase breakdown).
+    pub measurement: Measurement,
+    /// Chrome/Perfetto `trace_event` JSON (load in ui.perfetto.dev).
+    pub perfetto: PathBuf,
+    /// One span record per line.
+    pub jsonl: PathBuf,
+}
+
+/// Run one traced point on a single core. The tracer is installed only
+/// for the duration of the run; `Phase::Txn` root spans are opened by
+/// this driver around every transaction, and the engine opens the inner
+/// phase spans itself.
+pub fn run_trace(
+    system: SystemKind,
+    workload: &WorkloadCfg,
+    wl_name: &str,
+    out_dir: &Path,
+) -> TraceArtifacts {
+    fs::create_dir_all(out_dir).expect("create trace output dir");
+    let sys_slug = slug(system.label());
+    let perfetto = out_dir.join(format!("trace_{sys_slug}_{wl_name}.perfetto.json"));
+    let jsonl = out_dir.join(format!("trace_{sys_slug}_{wl_name}.jsonl"));
+
+    let sim = Sim::new(MachineConfig::ivy_bridge(1));
+    let mut db = build_system(system, &sim, 1);
+    let mut w = workload.build();
+    sim.offline(|| w.setup(db.as_mut(), 1));
+    sim.warm_data();
+    let engine: &'static str = db.name();
+
+    let tracer = Tracer::new(&sim);
+    let clock_ghz = sim.config().clock_ghz;
+    let pf = fs::File::create(&perfetto).expect("create perfetto file");
+    tracer.add_sink(Box::new(PerfettoSink::new(
+        Box::new(BufWriter::new(pf)),
+        clock_ghz,
+    )));
+    let jf = fs::File::create(&jsonl).expect("create jsonl file");
+    tracer.add_sink(Box::new(JsonlSink::new(Box::new(BufWriter::new(jf)))));
+    obs::install(tracer);
+
+    db.set_core(0);
+    let window = workload.window();
+    let measurement = measure(&sim, 0, window, |_| {
+        let _t = obs::span(engine, Phase::Txn, 0);
+        w.exec(db.as_mut(), 0).expect("trace transaction failed");
+    });
+
+    let tracer = obs::uninstall().expect("tracer still installed");
+    tracer.finish();
+    TraceArtifacts {
+        measurement,
+        perfetto,
+        jsonl,
+    }
+}
+
+/// Render the per-phase table + per-transaction histogram summary for one
+/// traced measurement.
+pub fn render(m: &Measurement, title: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== per-phase breakdown: {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>9} {:>11} {:>7} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}",
+        "phase", "spans", "instr", "share", "L1I", "L2I", "LLCI", "L1D", "L2D", "LLCD", "SPKI"
+    );
+    for p in &m.phases {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>9} {:>11} {:>6.1}% | {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>7.1}",
+            format!("{}:{}", p.engine, p.phase),
+            p.count,
+            p.counts.instructions,
+            p.share * 100.0,
+            p.spki[0],
+            p.spki[1],
+            p.spki[2],
+            p.spki[3],
+            p.spki[4],
+            p.spki[5],
+            p.spki.iter().sum::<f64>(),
+        );
+    }
+    let un = m.phase_unattributed();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>9} {:>11}   (driver glue outside any span)",
+        "<unattributed>", "-", un.instructions
+    );
+    if let Some(h) = &m.txn_hists {
+        let _ = writeln!(
+            out,
+            "-- per-transaction histograms (window of {} txns) --",
+            h.instructions.count()
+        );
+        let row = |name: &str, hist: &obs::hist::Histogram| {
+            format!(
+                "{:<22} {:>9.0} {:>9} {:>9} {:>9} {:>9}",
+                name,
+                hist.mean(),
+                hist.quantile(0.50),
+                hist.quantile(0.90),
+                hist.quantile(0.99),
+                hist.max()
+            )
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "metric", "mean", "p50", "p90", "p99", "max"
+        );
+        let _ = writeln!(out, "{}", row("instructions/txn", &h.instructions));
+        let _ = writeln!(out, "{}", row("cycles/txn", &h.cycles));
+        for (i, label) in obs::stall_labels().iter().enumerate() {
+            if h.misses[i].count() > 0 && h.misses[i].max() > 0 {
+                let _ = writeln!(out, "{}", row(&format!("{label} misses/txn"), &h.misses[i]));
+            }
+        }
+    }
+    out
+}
+
+/// `figures phases` — per-phase total SPKI for every system on one
+/// workload, as a compact grid. Runs sequentially because the tracer is
+/// thread-local.
+pub fn phases_table(workload: &str) -> String {
+    use std::fmt::Write as _;
+    let cfg = parse_workload(workload).unwrap_or_else(|| {
+        eprintln!("unknown workload {workload:?}, defaulting to micro");
+        parse_workload("micro").unwrap()
+    });
+    let phases = Phase::ALL;
+    let mut out = String::new();
+    let _ = writeln!(out, "== per-phase SPKI ({workload}; stall cycles per k-instr of the window attributed to each phase's own work) ==");
+    let _ = write!(out, "{:<10}", "system");
+    for p in phases {
+        let _ = write!(out, " {:>9}", p.label());
+    }
+    let _ = writeln!(out, " {:>9}", "<none>");
+    let tmp = std::env::temp_dir().join("imoltp_phases");
+    for sys in crate::figures::systems() {
+        let sys = match (sys, workload) {
+            (SystemKind::DbmsM { .. }, "tpcc" | "tpce") => SystemKind::dbms_m_for_tpcc(),
+            (s, _) => s,
+        };
+        let art = run_trace(sys, &cfg, workload, &tmp);
+        let m = &art.measurement;
+        let k_instr = m.counts.instructions as f64 / 1000.0;
+        let _ = write!(out, "{:<10}", sys.label());
+        for ph in phases {
+            let spki: f64 = m
+                .phases
+                .iter()
+                .filter(|b| b.phase == ph.label())
+                .map(|b| b.spki.iter().sum::<f64>())
+                .sum();
+            // `+ 0.0` normalizes the -0.0 an empty sum yields.
+            let _ = write!(out, " {:>9.1}", spki + 0.0);
+        }
+        // Stalls outside every span (driver glue), per k-instr.
+        let cfg_m = MachineConfig::ivy_bridge(1);
+        let un = m.phase_unattributed();
+        let un_spki: f64 = if k_instr > 0.0 {
+            cfg_m.stall_cycles(&un).iter().sum::<f64>() / k_instr
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, " {:>9.1}", un_spki);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(parse_system("voltdb"), Some(SystemKind::VoltDb));
+        assert_eq!(parse_system("Shore-MT"), Some(SystemKind::ShoreMt));
+        assert!(parse_system("oracle").is_none());
+        assert!(parse_workload("tpcc").is_some());
+        assert!(parse_workload("nope").is_none());
+    }
+
+    #[test]
+    fn traced_micro_run_produces_phases_and_files() {
+        let dir = std::env::temp_dir().join("imoltp_trace_test");
+        let cfg = WorkloadCfg::Micro {
+            size: DbSize::Mb1,
+            rows_per_txn: 1,
+            read_only: false,
+            strings: false,
+        };
+        let art = run_trace(SystemKind::HyPer, &cfg, "micro", &dir);
+        let m = &art.measurement;
+        assert!(
+            !m.phases.is_empty(),
+            "traced run must carry phase breakdowns"
+        );
+        // The span self-counts partition the window: phases + unattributed
+        // sum exactly to the window instruction total.
+        let span_instr: u64 = m.phases.iter().map(|p| p.counts.instructions).sum();
+        let total = span_instr + m.phase_unattributed().instructions;
+        assert_eq!(total, m.counts.instructions);
+        // A Txn root span exists and covers every measured transaction.
+        let txn = m
+            .phases
+            .iter()
+            .find(|p| p.phase == "txn")
+            .expect("txn phase");
+        assert_eq!(txn.count, m.txns);
+        // Exports exist and the Perfetto one parses as JSON.
+        let perfetto = std::fs::read_to_string(&art.perfetto).unwrap();
+        let doc = obs::json::parse(&perfetto).expect("perfetto JSON parses");
+        assert!(doc.get("traceEvents").is_some());
+        assert!(std::fs::metadata(&art.jsonl).unwrap().len() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

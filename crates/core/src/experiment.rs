@@ -21,7 +21,11 @@ pub struct WindowSpec {
 
 impl Default for WindowSpec {
     fn default() -> Self {
-        WindowSpec { warmup: 2_000, measured: 5_000, reps: 3 }
+        WindowSpec {
+            warmup: 2_000,
+            measured: 5_000,
+            reps: 3,
+        }
     }
 }
 
@@ -31,7 +35,11 @@ impl WindowSpec {
     #[must_use]
     pub fn scaled(self, factor: f64) -> Self {
         let s = |v: u64| ((v as f64 * factor).round() as u64).max(50);
-        WindowSpec { warmup: s(self.warmup), measured: s(self.measured), reps: self.reps }
+        WindowSpec {
+            warmup: s(self.warmup),
+            measured: s(self.measured),
+            reps: self.reps,
+        }
     }
 }
 
@@ -57,7 +65,11 @@ pub fn measure<F: FnMut(u64)>(
             step(txn_no);
             txn_no += 1;
         }
-        runs.push(Measurement::from_sample(&cfg, &profiler.sample(), spec.measured));
+        runs.push(Measurement::from_sample(
+            &cfg,
+            &profiler.sample(),
+            spec.measured,
+        ));
     }
     Measurement::average(&runs)
 }
@@ -84,8 +96,7 @@ pub fn measure_multi<F: FnMut(u64, usize)>(
     }
     let mut runs = Vec::new();
     for _ in 0..spec.reps.max(1) {
-        let profilers: Vec<Profiler> =
-            cores.iter().map(|&c| Profiler::attach(sim, c)).collect();
+        let profilers: Vec<Profiler> = cores.iter().map(|&c| Profiler::attach(sim, c)).collect();
         for _ in 0..spec.measured {
             for w in 0..cores.len() {
                 step(txn_no, w);
@@ -111,7 +122,11 @@ mod tests {
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
         let m = sim.register_module(ModuleSpec::new("txn", 4096));
         let mem = sim.mem(0).with_module(m);
-        let spec = WindowSpec { warmup: 10, measured: 100, reps: 2 };
+        let spec = WindowSpec {
+            warmup: 10,
+            measured: 100,
+            reps: 2,
+        };
         let result = measure(&sim, 0, spec, |_| mem.exec(1000));
         // Each rep measures 100 txns x 1000 instructions.
         assert_eq!(result.counts.instructions, 2 * 100 * 1000);
@@ -126,15 +141,27 @@ mod tests {
             let sim = Sim::new(MachineConfig::ivy_bridge(1));
             let m = sim.register_module(ModuleSpec::new("txn", 16 << 10).reuse(1.0));
             let mem = sim.mem(0).with_module(m);
-            let spec = WindowSpec { warmup: 0, measured: 1, reps: 1 };
-            measure(&sim, 0, spec, |_| mem.exec(4096)).counts.total_misses()
+            let spec = WindowSpec {
+                warmup: 0,
+                measured: 1,
+                reps: 1,
+            };
+            measure(&sim, 0, spec, |_| mem.exec(4096))
+                .counts
+                .total_misses()
         };
         let warm = {
             let sim = Sim::new(MachineConfig::ivy_bridge(1));
             let m = sim.register_module(ModuleSpec::new("txn", 16 << 10).reuse(1.0));
             let mem = sim.mem(0).with_module(m);
-            let spec = WindowSpec { warmup: 50, measured: 1, reps: 1 };
-            measure(&sim, 0, spec, |_| mem.exec(4096)).counts.total_misses()
+            let spec = WindowSpec {
+                warmup: 50,
+                measured: 1,
+                reps: 1,
+            };
+            measure(&sim, 0, spec, |_| mem.exec(4096))
+                .counts
+                .total_misses()
         };
         assert!(warm < cold, "warm={warm} cold={cold}");
     }
@@ -143,9 +170,15 @@ mod tests {
     fn measure_multi_averages_workers() {
         let sim = Sim::new(MachineConfig::ivy_bridge(2));
         let m = sim.register_module(ModuleSpec::new("txn", 4096));
-        let spec = WindowSpec { warmup: 0, measured: 10, reps: 1 };
+        let spec = WindowSpec {
+            warmup: 0,
+            measured: 10,
+            reps: 1,
+        };
         let result = measure_multi(&sim, &[0, 1], spec, |_, w| {
-            sim.mem(w).with_module(m).exec(if w == 0 { 1000 } else { 3000 });
+            sim.mem(w)
+                .with_module(m)
+                .exec(if w == 0 { 1000 } else { 3000 });
         });
         // Average of 1000 and 3000 instructions per txn.
         assert!((result.instr_per_txn - 2000.0).abs() < 1e-9);
@@ -153,7 +186,12 @@ mod tests {
 
     #[test]
     fn scaled_window_clamps_to_minimum() {
-        let spec = WindowSpec { warmup: 100, measured: 100, reps: 3 }.scaled(0.001);
+        let spec = WindowSpec {
+            warmup: 100,
+            measured: 100,
+            reps: 3,
+        }
+        .scaled(0.001);
         assert_eq!(spec.warmup, 50);
         assert_eq!(spec.measured, 50);
     }

@@ -1,5 +1,6 @@
 //! Derived metrics: IPC, SPKI, SPT, throughput, and code-module shares.
 
+use obs::hist::TxnHists;
 use serde::Serialize;
 use uarch_sim::{EventCounts, MachineConfig, StallEvent};
 
@@ -16,6 +17,29 @@ pub struct ModuleShare {
     pub share: f64,
     /// Whether the module counts as "inside the OLTP engine".
     pub engine_side: bool,
+}
+
+/// Per-phase breakdown row derived from span aggregates: the exclusive
+/// (self) counter delta of one (engine, phase) pair within the window.
+#[derive(Clone, Debug, Serialize)]
+pub struct PhaseBreakdown {
+    /// Engine that opened the spans.
+    pub engine: String,
+    /// Phase label (`txn`, `dispatch`, `index`, `cc`, `storage`, `log`,
+    /// `commit`).
+    pub phase: String,
+    /// Spans closed in the window.
+    pub count: u64,
+    /// Exclusive counter delta (self = inclusive minus children). Summing
+    /// these over all rows reproduces the traced portion of the window
+    /// total exactly.
+    pub counts: EventCounts,
+    /// Model cycles of the exclusive delta.
+    pub cycles: f64,
+    /// Stall cycles per 1000 phase instructions, per miss class.
+    pub spki: [f64; 6],
+    /// Fraction of total window cycles (0..=1).
+    pub share: f64,
 }
 
 /// All metrics the paper reports, for one measurement window.
@@ -40,6 +64,11 @@ pub struct Measurement {
     pub tps: f64,
     /// Per-module cycle attribution.
     pub modules: Vec<ModuleShare>,
+    /// Per-phase span breakdown (empty when tracing was off).
+    pub phases: Vec<PhaseBreakdown>,
+    /// Per-transaction distributions from `Txn` spans (`None` when
+    /// tracing was off or the driver opened no transaction spans).
+    pub txn_hists: Option<TxnHists>,
 }
 
 impl Measurement {
@@ -70,6 +99,32 @@ impl Measurement {
                 }
             })
             .collect();
+        let mut phases = Vec::new();
+        let mut txn_hists = None;
+        if let Some(spans) = &sample.spans {
+            for ((engine, phase), agg) in &spans.phases {
+                let pc = &agg.self_counts;
+                let pcycles = cfg.cycles(pc);
+                let pstalls = cfg.stall_cycles(pc);
+                let pkinstr = (pc.instructions as f64 / 1000.0).max(f64::MIN_POSITIVE);
+                let mut pspki = [0.0; 6];
+                for e in StallEvent::ALL {
+                    pspki[e as usize] = pstalls[e as usize] / pkinstr;
+                }
+                phases.push(PhaseBreakdown {
+                    engine: engine.to_string(),
+                    phase: phase.label().to_string(),
+                    count: agg.count,
+                    counts: pc.clone(),
+                    cycles: pcycles,
+                    spki: pspki,
+                    share: if cycles > 0.0 { pcycles / cycles } else { 0.0 },
+                });
+            }
+            if spans.hists.instructions.count() > 0 {
+                txn_hists = Some(spans.hists.clone());
+            }
+        }
         Measurement {
             txns,
             counts: c.clone(),
@@ -84,6 +139,33 @@ impl Measurement {
                 0.0
             },
             modules,
+            phases,
+            txn_hists,
+        }
+    }
+
+    /// Window counter activity not covered by any span's exclusive delta
+    /// (computed by saturating subtraction; zero when the driver wrapped
+    /// every transaction in a `Txn` span).
+    pub fn phase_unattributed(&self) -> EventCounts {
+        let mut attributed = EventCounts::default();
+        for p in &self.phases {
+            attributed.add(&p.counts);
+        }
+        let t = &self.counts;
+        let mut misses = [0u64; 6];
+        for (i, m) in misses.iter_mut().enumerate() {
+            *m = t.misses[i].saturating_sub(attributed.misses[i]);
+        }
+        EventCounts {
+            instructions: t.instructions.saturating_sub(attributed.instructions),
+            code_fetches: t.code_fetches.saturating_sub(attributed.code_fetches),
+            loads: t.loads.saturating_sub(attributed.loads),
+            stores: t.stores.saturating_sub(attributed.stores),
+            misses,
+            mispredicts: t.mispredicts.saturating_sub(attributed.mispredicts),
+            store_misses: t.store_misses.saturating_sub(attributed.store_misses),
+            invalidations: t.invalidations.saturating_sub(attributed.invalidations),
         }
     }
 
@@ -126,7 +208,11 @@ impl Measurement {
     /// Fraction of window cycles spent in engine-side (storage manager)
     /// modules — the paper's Figure 7 metric.
     pub fn engine_share(&self) -> f64 {
-        self.modules.iter().filter(|m| m.engine_side).map(|m| m.share).sum()
+        self.modules
+            .iter()
+            .filter(|m| m.engine_side)
+            .map(|m| m.share)
+            .sum()
     }
 
     /// Numeric average of several measurements (the paper averages three
@@ -154,6 +240,28 @@ impl Measurement {
                     avg.modules.push(m.clone());
                 }
             }
+            for p in &r.phases {
+                if let Some(mine) = avg
+                    .phases
+                    .iter_mut()
+                    .find(|x| x.engine == p.engine && x.phase == p.phase)
+                {
+                    mine.count += p.count;
+                    mine.counts.add(&p.counts);
+                    mine.cycles += p.cycles;
+                    mine.share += p.share;
+                    for i in 0..6 {
+                        mine.spki[i] += p.spki[i];
+                    }
+                } else {
+                    avg.phases.push(p.clone());
+                }
+            }
+            match (&mut avg.txn_hists, &r.txn_hists) {
+                (Some(mine), Some(theirs)) => mine.merge(theirs),
+                (mine @ None, Some(theirs)) => *mine = Some(theirs.clone()),
+                _ => {}
+            }
         }
         avg.cycles /= n;
         avg.ipc /= n;
@@ -167,6 +275,13 @@ impl Measurement {
             m.cycles /= n;
             m.share /= n;
         }
+        for p in &mut avg.phases {
+            p.cycles /= n;
+            p.share /= n;
+            for i in 0..6 {
+                p.spki[i] /= n;
+            }
+        }
         avg
     }
 }
@@ -177,10 +292,16 @@ mod tests {
     use crate::profiler::{ModuleSample, Sample};
 
     fn sample_with(instr: u64, llcd: u64) -> Sample {
-        let mut counts = EventCounts::default();
-        counts.instructions = instr;
+        let mut counts = EventCounts {
+            instructions: instr,
+            ..Default::default()
+        };
         counts.misses[StallEvent::LlcD as usize] = llcd;
-        Sample { counts, modules: vec![] }
+        Sample {
+            counts,
+            modules: vec![],
+            spans: None,
+        }
     }
 
     #[test]
@@ -205,18 +326,33 @@ mod tests {
     #[test]
     fn engine_share_sums_engine_modules() {
         let cfg = MachineConfig::ivy_bridge(1);
-        let mut inside = EventCounts::default();
-        inside.instructions = 3000;
-        let mut outside = EventCounts::default();
-        outside.instructions = 7000;
-        let mut counts = EventCounts::default();
-        counts.instructions = 10_000;
+        let inside = EventCounts {
+            instructions: 3000,
+            ..Default::default()
+        };
+        let outside = EventCounts {
+            instructions: 7000,
+            ..Default::default()
+        };
+        let counts = EventCounts {
+            instructions: 10_000,
+            ..Default::default()
+        };
         let s = Sample {
             counts,
             modules: vec![
-                ModuleSample { name: "index".into(), counts: inside, engine_side: true },
-                ModuleSample { name: "parser".into(), counts: outside, engine_side: false },
+                ModuleSample {
+                    name: "index".into(),
+                    counts: inside,
+                    engine_side: true,
+                },
+                ModuleSample {
+                    name: "parser".into(),
+                    counts: outside,
+                    engine_side: false,
+                },
             ],
+            spans: None,
         };
         let m = Measurement::from_sample(&cfg, &s, 10);
         assert!((m.engine_share() - 0.3).abs() < 1e-9);
@@ -235,11 +371,17 @@ mod tests {
     #[test]
     fn instruction_stall_fraction_splits_i_vs_d() {
         let cfg = MachineConfig::ivy_bridge(1);
-        let mut counts = EventCounts::default();
-        counts.instructions = 1000;
+        let mut counts = EventCounts {
+            instructions: 1000,
+            ..Default::default()
+        };
         counts.misses[StallEvent::L1i as usize] = 100; // 800 cycles
         counts.misses[StallEvent::L1d as usize] = 100; // 800 cycles
-        let s = Sample { counts, modules: vec![] };
+        let s = Sample {
+            counts,
+            modules: vec![],
+            spans: None,
+        };
         let m = Measurement::from_sample(&cfg, &s, 1);
         assert!((m.instruction_stall_fraction() - 0.5).abs() < 1e-9);
     }

@@ -1,5 +1,6 @@
 //! Counter-window profiler — the VTune-attach analogue.
 
+use obs::AggSnapshot;
 use uarch_sim::{EventCounts, Sim};
 
 /// Per-module sample entry: name, window delta, and whether the module is
@@ -21,6 +22,9 @@ pub struct Sample {
     pub counts: EventCounts,
     /// Per-module deltas.
     pub modules: Vec<ModuleSample>,
+    /// Per-(engine, phase) span aggregates and per-transaction histograms
+    /// for this core's window. `None` when no tracer was installed.
+    pub spans: Option<AggSnapshot>,
 }
 
 impl Sample {
@@ -34,6 +38,12 @@ impl Sample {
                 self.modules.push(m.clone());
             }
         }
+        // Span aggregates are per-core, so cross-core merge is a sum.
+        match (&mut self.spans, &other.spans) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (mine @ None, Some(theirs)) => *mine = Some(theirs.clone()),
+            _ => {}
+        }
     }
 }
 
@@ -45,6 +55,9 @@ pub struct Profiler {
     core: usize,
     start: EventCounts,
     start_modules: Vec<EventCounts>,
+    /// Span-aggregate baseline for this core (`None` when no tracer was
+    /// installed at attach/reset time).
+    start_spans: Option<AggSnapshot>,
 }
 
 impl Profiler {
@@ -55,6 +68,7 @@ impl Profiler {
             core,
             start: sim.counters(core),
             start_modules: sim.module_counters(core),
+            start_spans: obs::snapshot_installed_core(core),
         }
     }
 
@@ -63,6 +77,7 @@ impl Profiler {
     pub fn reset(&mut self) {
         self.start = self.sim.counters(self.core);
         self.start_modules = self.sim.module_counters(self.core);
+        self.start_spans = obs::snapshot_installed_core(self.core);
     }
 
     /// Delta since attach/reset.
@@ -70,20 +85,40 @@ impl Profiler {
         let now = self.sim.counters(self.core);
         let now_modules = self.sim.module_counters(self.core);
         let specs = self.sim.module_specs();
+        // The module list only grows, so the window can contain modules
+        // that did not exist at attach/reset time.
+        debug_assert!(
+            self.start_modules.len() <= now_modules.len(),
+            "module list shrank inside a profiler window"
+        );
         let modules = now_modules
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let earlier =
-                    self.start_modules.get(i).cloned().unwrap_or_default();
+                // A module registered after attach() has no baseline
+                // entry; its counters started from zero inside the
+                // window, so the full cumulative value IS the window
+                // delta. Handle the two cases explicitly.
+                let counts = match self.start_modules.get(i) {
+                    Some(earlier) => c.delta(earlier),
+                    None => c.clone(),
+                };
                 ModuleSample {
                     name: specs[i].name.clone(),
-                    counts: c.delta(&earlier),
+                    counts,
                     engine_side: specs[i].engine_side,
                 }
             })
             .collect();
-        Sample { counts: now.delta(&self.start), modules }
+        // Same convention for spans: a tracer installed after attach()
+        // deltas against an empty baseline, i.e. reports in full.
+        let spans = obs::snapshot_installed_core(self.core)
+            .map(|now| now.delta(self.start_spans.as_ref().unwrap_or(&AggSnapshot::default())));
+        Sample {
+            counts: now.delta(&self.start),
+            modules,
+            spans,
+        }
     }
 
     /// The core this profiler watches.
@@ -133,6 +168,58 @@ mod tests {
         let a_entry = s.modules.iter().find(|m| m.name == "a").unwrap();
         assert!(a_entry.engine_side);
         assert_eq!(a_entry.counts.instructions, 300);
+    }
+
+    #[test]
+    fn late_registered_modules_report_full_deltas() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let a = sim.register_module(ModuleSpec::new("a", 4096));
+        let p = Profiler::attach(&sim, 0);
+        sim.mem(0).with_module(a).exec(100);
+        // Registered inside the window: no baseline entry exists, so the
+        // module's full cumulative counts are the window delta.
+        let b = sim.register_module(ModuleSpec::new("b", 4096));
+        sim.mem(0).with_module(b).exec(250);
+        let s = p.sample();
+        let b_entry = s.modules.iter().find(|m| m.name == "b").unwrap();
+        assert_eq!(b_entry.counts.instructions, 250);
+        // The partition invariant still holds with the late module.
+        let sum: u64 = s.modules.iter().map(|m| m.counts.instructions).sum();
+        assert_eq!(sum, s.counts.instructions);
+    }
+
+    #[test]
+    fn sample_windows_span_aggregates() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let m = sim.register_module(ModuleSpec::new("m", 4096));
+        let tracer = obs::Tracer::new(&sim);
+        obs::install(tracer);
+        {
+            let _t = obs::span("X", obs::Phase::Txn, 0);
+            sim.mem(0).with_module(m).exec(500); // pre-window span
+        }
+        let p = Profiler::attach(&sim, 0);
+        {
+            let _t = obs::span("X", obs::Phase::Txn, 0);
+            sim.mem(0).with_module(m).exec(80);
+        }
+        let s = p.sample();
+        obs::uninstall();
+        let spans = s.spans.expect("tracer installed");
+        let txn = &spans.phases[&("X", obs::Phase::Txn)];
+        assert_eq!(txn.count, 1, "pre-window span must be excluded");
+        assert_eq!(txn.incl_counts.instructions, 80);
+        // Span self-deltas partition the window total exactly.
+        assert_eq!(spans.self_total().instructions, s.counts.instructions);
+        assert_eq!(spans.hists.instructions.count(), 1);
+    }
+
+    #[test]
+    fn sample_without_tracer_has_no_spans() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let p = Profiler::attach(&sim, 0);
+        sim.mem(0).exec(10);
+        assert!(p.sample().spans.is_none());
     }
 
     #[test]

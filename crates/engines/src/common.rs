@@ -47,7 +47,10 @@ impl SystemKind {
         SystemKind::DbmsD,
         SystemKind::VoltDb,
         SystemKind::HyPer,
-        SystemKind::DbmsM { index: DbmsMIndex::Hash, compiled: true },
+        SystemKind::DbmsM {
+            index: DbmsMIndex::Hash,
+            compiled: true,
+        },
     ];
 
     /// Display name as used in the paper's figures.
@@ -69,7 +72,10 @@ impl SystemKind {
     /// DBMS M configured as the paper does for a range-scanning workload
     /// (TPC-C): cc-B-tree index.
     pub fn dbms_m_for_tpcc() -> SystemKind {
-        SystemKind::DbmsM { index: DbmsMIndex::BTree, compiled: true }
+        SystemKind::DbmsM {
+            index: DbmsMIndex::BTree,
+            compiled: true,
+        }
     }
 }
 

@@ -12,12 +12,16 @@
 //! publicly available information about tuning the node size", §4.1.3).
 
 use indexes::{DiskBTreePacked, Index};
+use obs::Phase;
 use oltp::{tuple, Db, OltpError, OltpResult, Row, TableDef, TableId, Value};
 use storage::{
     lock::LockOutcome, BufferPool, HeapFile, LockManager, LockMode, LockTarget, LogKind, Rid,
     TxnId, TxnManager, Wal,
 };
 use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
+
+/// Engine name used for span attribution (matches [`Db::name`]).
+const ENGINE: &str = "DBMS D";
 
 /// Instruction budgets (see EXPERIMENTS.md for the calibration).
 mod cost {
@@ -86,19 +90,29 @@ impl DbmsD {
         // Legacy code: large footprints, low dynamic reuse, many branches.
         let m = Mods {
             net: sim.register_module(
-                ModuleSpec::new("dbmsd/network", 48 << 10).reuse(1.5).branchiness(0.24),
+                ModuleSpec::new("dbmsd/network", 48 << 10)
+                    .reuse(1.5)
+                    .branchiness(0.24),
             ),
             parser: sim.register_module(
-                ModuleSpec::new("dbmsd/parser", 64 << 10).reuse(1.35).branchiness(0.28),
+                ModuleSpec::new("dbmsd/parser", 64 << 10)
+                    .reuse(1.35)
+                    .branchiness(0.28),
             ),
             optimizer: sim.register_module(
-                ModuleSpec::new("dbmsd/optimizer", 64 << 10).reuse(1.3).branchiness(0.28),
+                ModuleSpec::new("dbmsd/optimizer", 64 << 10)
+                    .reuse(1.3)
+                    .branchiness(0.28),
             ),
             executor: sim.register_module(
-                ModuleSpec::new("dbmsd/executor", 56 << 10).reuse(1.5).branchiness(0.26),
+                ModuleSpec::new("dbmsd/executor", 56 << 10)
+                    .reuse(1.5)
+                    .branchiness(0.26),
             ),
             catalog: sim.register_module(
-                ModuleSpec::new("dbmsd/catalog", 16 << 10).reuse(1.8).branchiness(0.20),
+                ModuleSpec::new("dbmsd/catalog", 16 << 10)
+                    .reuse(1.8)
+                    .branchiness(0.20),
             ),
             txn: sim.register_module(
                 ModuleSpec::new("dbmsd/txn-mgmt", 24 << 10)
@@ -187,6 +201,7 @@ impl DbmsD {
     /// resolution for the first operation of a transaction, iterator
     /// `next()` glue for subsequent ones.
     fn frontend_op(&mut self) {
+        let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
         if self.ops_in_txn == 0 {
             self.mem(self.m.executor).exec(cost::EXEC_OP);
             self.mem(self.m.catalog).exec(cost::CATALOG);
@@ -199,6 +214,7 @@ impl DbmsD {
 
     fn acquire(&mut self, target: LockTarget, mode: LockMode) -> OltpResult<()> {
         let txn = self.txn()?;
+        let _cc = obs::span(ENGINE, Phase::Cc, self.core);
         let mem = self.mem(self.m.lock);
         mem.exec(cost::LOCK_WRAP);
         match self.locks.lock(&mem, txn, target, mode) {
@@ -208,8 +224,11 @@ impl DbmsD {
     }
 
     fn lock_pair(&mut self, t: TableId, key: u64, write: bool) -> OltpResult<()> {
-        let (tm, rm) =
-            if write { (LockMode::Ix, LockMode::X) } else { (LockMode::Is, LockMode::S) };
+        let (tm, rm) = if write {
+            (LockMode::Ix, LockMode::X)
+        } else {
+            (LockMode::Is, LockMode::S)
+        };
         self.acquire(LockTarget::Table(t.0), tm)?;
         self.acquire(LockTarget::Row(t.0, key), rm)
     }
@@ -232,7 +251,11 @@ impl Db for DbmsD {
     fn create_table(&mut self, def: TableDef) -> TableId {
         let mem = self.mem(self.m.btree);
         let id = TableId(self.tables.len() as u32);
-        self.tables.push(Table { def, heap: HeapFile::new(), index: DiskBTreePacked::new(&mem) });
+        self.tables.push(Table {
+            def,
+            heap: HeapFile::new(),
+            index: DiskBTreePacked::new(&mem),
+        });
         id
     }
 
@@ -242,23 +265,32 @@ impl Db for DbmsD {
         self.cur = Some(txn);
         self.ops_in_txn = 0;
         // The request travels the whole frontend before the SM sees it.
+        let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
         self.mem(self.m.net).exec(cost::NET_RECV);
         self.mem(self.m.parser).exec(cost::PARSE);
         self.mem(self.m.optimizer).exec(cost::OPTIMIZE);
         self.mem(self.m.txn).exec(cost::BEGIN);
+        let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.m.log);
         self.wal.append(&mem, txn, LogKind::Begin, 0);
     }
 
     fn commit(&mut self) -> OltpResult<()> {
         let txn = self.txn()?;
+        let _c = obs::span(ENGINE, Phase::Commit, self.core);
         self.mem(self.m.txn).exec(cost::COMMIT);
-        let mem = self.mem(self.m.log);
-        mem.exec(cost::LOG_COMMIT);
-        self.wal.append(&mem, txn, LogKind::Commit, 16);
-        let mem = self.mem(self.m.lock);
-        mem.exec(cost::RELEASE);
-        self.locks.release_all(&mem, txn);
+        {
+            let _l = obs::span(ENGINE, Phase::Log, self.core);
+            let mem = self.mem(self.m.log);
+            mem.exec(cost::LOG_COMMIT);
+            self.wal.append(&mem, txn, LogKind::Commit, 16);
+        }
+        {
+            let _cc = obs::span(ENGINE, Phase::Cc, self.core);
+            let mem = self.mem(self.m.lock);
+            mem.exec(cost::RELEASE);
+            self.locks.release_all(&mem, txn);
+        }
         self.mem(self.m.net).exec(cost::NET_REPLY);
         self.cur = None;
         Ok(())
@@ -266,11 +298,18 @@ impl Db for DbmsD {
 
     fn abort(&mut self) {
         if let Some(txn) = self.cur.take() {
+            let _c = obs::span(ENGINE, Phase::Commit, self.core);
             self.mem(self.m.txn).exec(cost::ABORT);
-            let mem = self.mem(self.m.log);
-            self.wal.append(&mem, txn, LogKind::Abort, 0);
-            let mem = self.mem(self.m.lock);
-            self.locks.release_all(&mem, txn);
+            {
+                let _l = obs::span(ENGINE, Phase::Log, self.core);
+                let mem = self.mem(self.m.log);
+                self.wal.append(&mem, txn, LogKind::Abort, 0);
+            }
+            {
+                let _cc = obs::span(ENGINE, Phase::Cc, self.core);
+                let mem = self.mem(self.m.lock);
+                self.locks.release_all(&mem, txn);
+            }
             self.mem(self.m.net).exec(cost::NET_REPLY);
         }
     }
@@ -285,42 +324,54 @@ impl Db for DbmsD {
         self.value_work(data.len());
         let len = data.len() as u32;
         let redo = data.clone();
-        let mem = self.mem(self.m.heap);
-        mem.exec(cost::HEAP_WRAP);
-        let rid = self.tables[ti].heap.insert(&mut self.pool, &mem, data);
-        let mem = self.mem(self.m.btree);
-        mem.exec(cost::INDEX_WRAP);
-        if !self.tables[ti].index.insert(&mem, key, rid.to_u64()) {
+        let rid = {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            let mem = self.mem(self.m.heap);
+            mem.exec(cost::HEAP_WRAP);
+            self.tables[ti].heap.insert(&mut self.pool, &mem, data)
+        };
+        let inserted = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            let mem = self.mem(self.m.btree);
+            mem.exec(cost::INDEX_WRAP);
+            self.tables[ti].index.insert(&mem, key, rid.to_u64())
+        };
+        if !inserted {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
             let mem = self.mem(self.m.heap);
             self.tables[ti].heap.delete(&mut self.pool, &mem, rid);
             return Err(OltpError::DuplicateKey { table: t, key });
         }
+        let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.m.log);
         mem.exec(cost::LOG_UPDATE);
-        self.wal.append_data(&mem, txn, LogKind::Insert, t.0, key, Some(&redo), len);
+        self.wal
+            .append_data(&mem, txn, LogKind::Insert, t.0, key, Some(&redo), len);
         Ok(())
     }
 
-    fn read_with(
-        &mut self,
-        t: TableId,
-        key: u64,
-        f: &mut dyn FnMut(&[Value]),
-    ) -> OltpResult<bool> {
+    fn read_with(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&[Value])) -> OltpResult<bool> {
         let ti = self.table(t)?;
         self.frontend_op();
         self.lock_pair(t, key, false)?;
-        let mem = self.mem(self.m.btree);
-        mem.exec(cost::INDEX_WRAP);
-        let Some(payload) = self.tables[ti].index.get(&mem, key) else {
+        let probe = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            let mem = self.mem(self.m.btree);
+            mem.exec(cost::INDEX_WRAP);
+            self.tables[ti].index.get(&mem, key)
+        };
+        let Some(payload) = probe else {
             return Ok(false);
         };
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mem = self.mem(self.m.bpool);
         mem.exec(cost::HEAP_WRAP);
         let mut decoded: Option<Row> = None;
-        self.tables[ti].heap.read(&mut self.pool, &mem, Rid::from_u64(payload), &mut |d| {
-            decoded = tuple::decode(d).ok();
-        });
+        self.tables[ti]
+            .heap
+            .read(&mut self.pool, &mem, Rid::from_u64(payload), &mut |d| {
+                decoded = tuple::decode(d).ok();
+            });
         match decoded {
             Some(row) => {
                 self.value_work(tuple::encoded_len(&row));
@@ -331,47 +382,59 @@ impl Db for DbmsD {
         }
     }
 
-    fn update(
-        &mut self,
-        t: TableId,
-        key: u64,
-        f: &mut dyn FnMut(&mut Row),
-    ) -> OltpResult<bool> {
+    fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
         let ti = self.table(t)?;
         let txn = self.txn()?;
         self.frontend_op();
         self.lock_pair(t, key, true)?;
-        let mem = self.mem(self.m.btree);
-        mem.exec(cost::INDEX_WRAP);
-        let Some(payload) = self.tables[ti].index.get(&mem, key) else {
+        let probe = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            let mem = self.mem(self.m.btree);
+            mem.exec(cost::INDEX_WRAP);
+            self.tables[ti].index.get(&mem, key)
+        };
+        let Some(payload) = probe else {
             return Ok(false);
         };
         let rid = Rid::from_u64(payload);
         let mem = self.mem(self.m.bpool);
-        mem.exec(cost::HEAP_WRAP);
         let mut row: Option<Row> = None;
-        self.tables[ti].heap.read(&mut self.pool, &mem, rid, &mut |d| {
-            row = tuple::decode(d).ok();
-        });
+        {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            mem.exec(cost::HEAP_WRAP);
+            self.tables[ti]
+                .heap
+                .read(&mut self.pool, &mem, rid, &mut |d| {
+                    row = tuple::decode(d).ok();
+                });
+        }
         let Some(mut row) = row else { return Ok(false) };
         f(&mut row);
-        debug_assert!(self.tables[ti].def.schema.check(&row), "row/schema mismatch");
+        debug_assert!(
+            self.tables[ti].def.schema.check(&row),
+            "row/schema mismatch"
+        );
         let data = tuple::encode(&row);
-        self.value_work(data.len() * 2);
         let len = data.len() as u32;
         let redo = data.clone();
-        let new_rid = self
-            .tables[ti]
-            .heap
-            .update(&mut self.pool, &mem, rid, data)
-            .expect("row vanished mid-update");
+        let new_rid = {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            self.value_work(data.len() * 2);
+            self.tables[ti]
+                .heap
+                .update(&mut self.pool, &mem, rid, data)
+                .expect("row vanished mid-update")
+        };
         if new_rid != rid {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
             let mem = self.mem(self.m.btree);
             self.tables[ti].index.replace(&mem, key, new_rid.to_u64());
         }
+        let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.m.log);
         mem.exec(cost::LOG_UPDATE);
-        self.wal.append_data(&mem, txn, LogKind::Update, t.0, key, Some(&redo), len * 2);
+        self.wal
+            .append_data(&mem, txn, LogKind::Update, t.0, key, Some(&redo), len * 2);
         Ok(true)
     }
 
@@ -386,21 +449,27 @@ impl Db for DbmsD {
         self.frontend_op();
         self.acquire(LockTarget::Table(t.0), LockMode::S)?;
         let mem_btree = self.mem(self.m.btree);
-        mem_btree.exec(cost::INDEX_WRAP);
         let mem_pool = self.mem(self.m.bpool);
         let mut rids: Vec<(u64, u64)> = Vec::new();
-        self.tables[ti].index.scan(&mem_btree, lo, hi, &mut |k, p| {
-            rids.push((k, p));
-            true
-        });
+        {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            mem_btree.exec(cost::INDEX_WRAP);
+            self.tables[ti].index.scan(&mem_btree, lo, hi, &mut |k, p| {
+                rids.push((k, p));
+                true
+            });
+        }
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mut visited = 0;
         for (k, p) in rids {
             mem_pool.exec(cost::SCAN_NEXT);
             let mut keep = true;
             let mut decoded: Option<Row> = None;
-            self.tables[ti].heap.read(&mut self.pool, &mem_pool, Rid::from_u64(p), &mut |d| {
-                decoded = tuple::decode(d).ok();
-            });
+            self.tables[ti]
+                .heap
+                .read(&mut self.pool, &mem_pool, Rid::from_u64(p), &mut |d| {
+                    decoded = tuple::decode(d).ok();
+                });
             if let Some(row) = decoded {
                 self.value_work(tuple::encoded_len(&row));
                 visited += 1;
@@ -418,17 +487,28 @@ impl Db for DbmsD {
         let txn = self.txn()?;
         self.frontend_op();
         self.lock_pair(t, key, true)?;
-        let mem = self.mem(self.m.btree);
-        mem.exec(cost::INDEX_WRAP);
-        let Some(payload) = self.tables[ti].index.remove(&mem, key) else {
+        let removed = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            let mem = self.mem(self.m.btree);
+            mem.exec(cost::INDEX_WRAP);
+            self.tables[ti].index.remove(&mem, key)
+        };
+        let Some(payload) = removed else {
             return Ok(false);
         };
-        let mem = self.mem(self.m.heap);
-        mem.exec(cost::HEAP_WRAP);
-        self.tables[ti].heap.delete(&mut self.pool, &mem, Rid::from_u64(payload));
+        {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            let mem = self.mem(self.m.heap);
+            mem.exec(cost::HEAP_WRAP);
+            self.tables[ti]
+                .heap
+                .delete(&mut self.pool, &mem, Rid::from_u64(payload));
+        }
+        let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.m.log);
         mem.exec(cost::LOG_UPDATE);
-        self.wal.append_data(&mem, txn, LogKind::Delete, t.0, key, None, 16);
+        self.wal
+            .append_data(&mem, txn, LogKind::Delete, t.0, key, None, 16);
         Ok(true)
     }
 
@@ -464,7 +544,8 @@ mod tests {
         let t = micro_table(&mut db);
         db.begin();
         for k in 0..100u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)]).unwrap();
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
+                .unwrap();
         }
         db.commit().unwrap();
         db.begin();
@@ -494,7 +575,8 @@ mod tests {
             ));
             db.begin();
             for k in 0..500u64 {
-                db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)]).unwrap();
+                db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
+                    .unwrap();
             }
             db.commit().unwrap();
             let before = sim.counters(0).instructions;
@@ -519,7 +601,8 @@ mod tests {
         let t = micro_table(&mut db);
         db.begin();
         for k in 0..30u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)]).unwrap();
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)])
+                .unwrap();
         }
         db.commit().unwrap();
         db.begin();

@@ -17,13 +17,15 @@
 
 use bytes::Bytes;
 use indexes::{CcBTree, HashIndex, Index};
+use obs::Phase;
 use oltp::{tuple, Db, OltpError, OltpResult, Row, TableDef, TableId, Value};
-use storage::{
-    mvcc::InstallOutcome, LogKind, RowId, TxnId, TxnManager, VersionStore, Wal,
-};
+use storage::{mvcc::InstallOutcome, LogKind, RowId, TxnId, TxnManager, VersionStore, Wal};
 use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
 
 pub use crate::common::DbmsMIndex;
+
+/// Engine name used for span attribution (matches [`Db::name`]).
+const ENGINE: &str = "DBMS M";
 
 /// Instruction budgets.
 mod cost {
@@ -36,7 +38,7 @@ mod cost {
     pub const EXEC_LEGACY_NEXT: u64 = 2600; // interpreted iterator glue
     pub const SM_COMPILED: u64 = 1350; // compiled txn fragment (plan + SM access)
     pub const SM_INTERP: u64 = 4600; // interpreted storage-manager path
-    // Commit.
+                                     // Commit.
     pub const VALIDATE: u64 = 1100;
     pub const INSTALL: u64 = 450; // per write installed
     pub const LOG_COMMIT: u64 = 1950;
@@ -61,7 +63,10 @@ pub struct DbmsMOptions {
 
 impl Default for DbmsMOptions {
     fn default() -> Self {
-        DbmsMOptions { index: DbmsMIndex::Hash, compiled: true }
+        DbmsMOptions {
+            index: DbmsMIndex::Hash,
+            compiled: true,
+        }
     }
 }
 
@@ -137,13 +142,19 @@ impl DbmsM {
     pub fn new(sim: &Sim, opts: DbmsMOptions) -> Self {
         let m = Mods {
             net: sim.register_module(
-                ModuleSpec::new("dbmsm/network", 36 << 10).reuse(1.5).branchiness(0.26),
+                ModuleSpec::new("dbmsm/network", 36 << 10)
+                    .reuse(1.5)
+                    .branchiness(0.26),
             ),
             session: sim.register_module(
-                ModuleSpec::new("dbmsm/session-legacy", 44 << 10).reuse(1.4).branchiness(0.32),
+                ModuleSpec::new("dbmsm/session-legacy", 44 << 10)
+                    .reuse(1.4)
+                    .branchiness(0.32),
             ),
             exec: sim.register_module(
-                ModuleSpec::new("dbmsm/executor-legacy", 36 << 10).reuse(1.6).branchiness(0.26),
+                ModuleSpec::new("dbmsm/executor-legacy", 36 << 10)
+                    .reuse(1.6)
+                    .branchiness(0.26),
             ),
             txn: sim.register_module(
                 ModuleSpec::new("dbmsm/txn-ts", 16 << 10)
@@ -224,10 +235,15 @@ impl DbmsM {
     /// code) runs as one compiled fragment; without it, the legacy
     /// interpreted executor drives an interpreted SM path.
     fn op_overhead(&mut self) {
+        let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
         if self.opts.compiled {
             self.mem(self.m.sm_compiled).exec(cost::SM_COMPILED);
         } else {
-            let n = if self.ops_in_txn == 0 { cost::EXEC_LEGACY } else { cost::EXEC_LEGACY_NEXT };
+            let n = if self.ops_in_txn == 0 {
+                cost::EXEC_LEGACY
+            } else {
+                cost::EXEC_LEGACY_NEXT
+            };
             self.mem(self.m.exec).exec(n);
             self.mem(self.m.sm_interp).exec(cost::SM_INTERP);
         }
@@ -242,9 +258,11 @@ impl DbmsM {
     /// compiled or interpreted SM fragment per configuration.
     fn value_work(&self, bytes: usize) {
         if self.opts.compiled {
-            self.mem(self.m.sm_compiled).exec(bytes as u64 * cost::VALUE_PER_BYTE_COMPILED);
+            self.mem(self.m.sm_compiled)
+                .exec(bytes as u64 * cost::VALUE_PER_BYTE_COMPILED);
         } else {
-            self.mem(self.m.sm_interp).exec(bytes as u64 * cost::VALUE_PER_BYTE_INTERP);
+            self.mem(self.m.sm_interp)
+                .exec(bytes as u64 * cost::VALUE_PER_BYTE_INTERP);
         }
     }
 
@@ -257,16 +275,21 @@ impl DbmsM {
             AnyIndex::Hash(_) => 2,
             AnyIndex::BTree(b) => u64::from(b.stats().height),
         };
-        self.mem(self.m.index).exec(levels * cost::STR_CMP_PER_LEVEL);
+        self.mem(self.m.index)
+            .exec(levels * cost::STR_CMP_PER_LEVEL);
     }
 
     /// Read-your-writes: check the transaction's own write set first.
     fn own_write(&self, ti: usize, key: u64) -> Option<Option<&Bytes>> {
         let txn = self.cur.as_ref()?;
-        txn.writes.iter().rev().find(|w| w.table == ti && w.key == key).map(|w| match &w.kind {
-            WriteKind::Insert(b) | WriteKind::Update(_, b) => Some(b),
-            WriteKind::Delete(_) => None,
-        })
+        txn.writes
+            .iter()
+            .rev()
+            .find(|w| w.table == ti && w.key == key)
+            .map(|w| match &w.kind {
+                WriteKind::Insert(b) | WriteKind::Update(_, b) => Some(b),
+                WriteKind::Delete(_) => None,
+            })
     }
 }
 
@@ -299,25 +322,40 @@ impl Db for DbmsM {
             def.schema.columns().first().map(|c| c.ty),
             Some(oltp::DataType::Str)
         );
-        self.tables.push(Table { def, index, versions: VersionStore::new(), str_key });
+        self.tables.push(Table {
+            def,
+            index,
+            versions: VersionStore::new(),
+            str_key,
+        });
         id
     }
 
     fn begin(&mut self) {
         assert!(self.cur.is_none(), "transaction already active");
+        let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
         self.mem(self.m.net).exec(cost::NET);
         self.mem(self.m.session).exec(cost::SESSION);
         self.mem(self.m.txn).exec(cost::TXN_BEGIN);
         let (id, snapshot) = self.tm.begin();
         self.ops_in_txn = 0;
+        let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.m.log);
         self.wal.append(&mem, id, LogKind::Begin, 0);
-        self.cur = Some(ActiveTxn { id, snapshot, writes: Vec::new() });
+        self.cur = Some(ActiveTxn {
+            id,
+            snapshot,
+            writes: Vec::new(),
+        });
     }
 
     fn commit(&mut self) -> OltpResult<()> {
         let txn = self.cur.take().ok_or(OltpError::NoActiveTxn)?;
-        self.mem(self.m.txn).exec(cost::VALIDATE);
+        let _c = obs::span(ENGINE, Phase::Commit, self.core);
+        {
+            let _v = obs::span(ENGINE, Phase::Cc, self.core);
+            self.mem(self.m.txn).exec(cost::VALIDATE);
+        }
         let commit_ts = self.tm.commit_ts();
         let mem_mvcc = self.mem(self.m.mvcc);
         let mem_index = self.mem(self.m.index);
@@ -326,48 +364,59 @@ impl Db for DbmsM {
         for w in &txn.writes {
             // Redo logging: in-memory engines recover from the redo
             // stream (there are no pages to replay into).
-            match &w.kind {
-                WriteKind::Insert(data) => {
-                    self.wal.append_data(
-                        &mem_log,
-                        txn.id,
-                        LogKind::Insert,
-                        w.table as u32,
-                        w.key,
-                        Some(data),
-                        data.len() as u32,
-                    );
-                }
-                WriteKind::Update(_, data) => {
-                    self.wal.append_data(
-                        &mem_log,
-                        txn.id,
-                        LogKind::Update,
-                        w.table as u32,
-                        w.key,
-                        Some(data),
-                        data.len() as u32,
-                    );
-                }
-                WriteKind::Delete(_) => {
-                    self.wal.append_data(
-                        &mem_log,
-                        txn.id,
-                        LogKind::Delete,
-                        w.table as u32,
-                        w.key,
-                        None,
-                        16,
-                    );
+            {
+                let _l = obs::span(ENGINE, Phase::Log, self.core);
+                match &w.kind {
+                    WriteKind::Insert(data) => {
+                        self.wal.append_data(
+                            &mem_log,
+                            txn.id,
+                            LogKind::Insert,
+                            w.table as u32,
+                            w.key,
+                            Some(data),
+                            data.len() as u32,
+                        );
+                    }
+                    WriteKind::Update(_, data) => {
+                        self.wal.append_data(
+                            &mem_log,
+                            txn.id,
+                            LogKind::Update,
+                            w.table as u32,
+                            w.key,
+                            Some(data),
+                            data.len() as u32,
+                        );
+                    }
+                    WriteKind::Delete(_) => {
+                        self.wal.append_data(
+                            &mem_log,
+                            txn.id,
+                            LogKind::Delete,
+                            w.table as u32,
+                            w.key,
+                            None,
+                            16,
+                        );
+                    }
                 }
             }
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
             self.mem(self.m.mvcc).exec(cost::INSTALL);
             let table = &mut self.tables[w.table];
             match &w.kind {
                 WriteKind::Insert(data) => {
                     log_bytes += data.len() as u32;
                     let id = table.versions.insert(&mem_mvcc, data.clone(), commit_ts);
-                    if !table.index.as_index().insert(&mem_index, w.key, id.to_u64()) {
+                    let inserted = {
+                        let _i = obs::span(ENGINE, Phase::Index, self.core);
+                        table
+                            .index
+                            .as_index()
+                            .insert(&mem_index, w.key, id.to_u64())
+                    };
+                    if !inserted {
                         // Duplicate created since our check: validation abort.
                         self.validation_aborts += 1;
                         return Err(OltpError::Aborted("duplicate key at validation"));
@@ -391,8 +440,12 @@ impl Db for DbmsM {
                 }
                 WriteKind::Delete(id) => {
                     log_bytes += 16;
-                    match table.versions.delete(&mem_mvcc, *id, txn.snapshot, commit_ts) {
+                    match table
+                        .versions
+                        .delete(&mem_mvcc, *id, txn.snapshot, commit_ts)
+                    {
                         InstallOutcome::Installed => {
+                            let _i = obs::span(ENGINE, Phase::Index, self.core);
                             table.index.as_index().remove(&mem_index, w.key);
                         }
                         InstallOutcome::WriteConflict => {
@@ -403,15 +456,20 @@ impl Db for DbmsM {
                 }
             }
         }
-        let mem = self.mem(self.m.log);
-        mem.exec(cost::LOG_COMMIT);
-        self.wal.append(&mem, txn.id, LogKind::Commit, 24 + log_bytes);
+        {
+            let _l = obs::span(ENGINE, Phase::Log, self.core);
+            let mem = self.mem(self.m.log);
+            mem.exec(cost::LOG_COMMIT);
+            self.wal
+                .append(&mem, txn.id, LogKind::Commit, 24 + log_bytes);
+        }
         self.mem(self.m.txn).exec(cost::TXN_END);
         Ok(())
     }
 
     fn abort(&mut self) {
         if self.cur.take().is_some() {
+            let _c = obs::span(ENGINE, Phase::Commit, self.core);
             self.mem(self.m.txn).exec(cost::ABORT);
         }
     }
@@ -427,35 +485,51 @@ impl Db for DbmsM {
             if own.is_some() {
                 return Err(OltpError::DuplicateKey { table: t, key });
             }
-        } else if self.tables[ti].index.as_index().get(&mem_index, key).is_some() {
-            // Visible committed entry?
-            let snapshot = self.active()?.snapshot;
-            let payload =
-                self.tables[ti].index.as_index().get(&mem_index, key).expect("just probed");
-            let mem_mvcc = self.mem(self.m.mvcc);
-            if self.tables[ti].versions.is_visible(&mem_mvcc, RowId::from_u64(payload), snapshot)
-            {
-                return Err(OltpError::DuplicateKey { table: t, key });
+        } else {
+            let probe = {
+                let _i = obs::span(ENGINE, Phase::Index, self.core);
+                self.tables[ti].index.as_index().get(&mem_index, key)
+            };
+            if let Some(payload) = probe {
+                // Visible committed entry?
+                let snapshot = self.active()?.snapshot;
+                let _s = obs::span(ENGINE, Phase::Storage, self.core);
+                let mem_mvcc = self.mem(self.m.mvcc);
+                if self.tables[ti].versions.is_visible(
+                    &mem_mvcc,
+                    RowId::from_u64(payload),
+                    snapshot,
+                ) {
+                    return Err(OltpError::DuplicateKey { table: t, key });
+                }
             }
         }
         let data = tuple::encode(row);
-        self.value_work(data.len());
-        self.key_work(ti);
+        {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            self.value_work(data.len());
+        }
+        {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            self.key_work(ti);
+        }
         let txn = self.cur.as_mut().expect("checked active");
-        txn.writes.push(WriteOp { table: ti, key, kind: WriteKind::Insert(data) });
+        txn.writes.push(WriteOp {
+            table: ti,
+            key,
+            kind: WriteKind::Insert(data),
+        });
         Ok(())
     }
 
-    fn read_with(
-        &mut self,
-        t: TableId,
-        key: u64,
-        f: &mut dyn FnMut(&[Value]),
-    ) -> OltpResult<bool> {
+    fn read_with(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&[Value])) -> OltpResult<bool> {
         let ti = self.table(t)?;
         let snapshot = self.active()?.snapshot;
         self.op_overhead();
-        self.key_work(ti);
+        {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            self.key_work(ti);
+        }
         // Own writes win.
         if let Some(own) = self.own_write(ti, key) {
             return match own {
@@ -468,18 +542,25 @@ impl Db for DbmsM {
             };
         }
         let mem_index = self.mem(self.m.index);
-        let Some(payload) = self.tables[ti].index.as_index().get(&mem_index, key) else {
+        let probe = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            self.tables[ti].index.as_index().get(&mem_index, key)
+        };
+        let Some(payload) = probe else {
             return Ok(false);
         };
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mem_mvcc = self.mem(self.m.mvcc);
         let mut decoded: Option<Row> = None;
         let mut bytes = 0;
-        self.tables[ti].versions.read(&mem_mvcc, RowId::from_u64(payload), snapshot, &mut |d| {
-            if !d.is_empty() {
-                bytes = d.len();
-                decoded = tuple::decode(d).ok();
-            }
-        });
+        self.tables[ti]
+            .versions
+            .read(&mem_mvcc, RowId::from_u64(payload), snapshot, &mut |d| {
+                if !d.is_empty() {
+                    bytes = d.len();
+                    decoded = tuple::decode(d).ok();
+                }
+            });
         self.value_work(bytes);
         match decoded {
             Some(row) => {
@@ -490,16 +571,14 @@ impl Db for DbmsM {
         }
     }
 
-    fn update(
-        &mut self,
-        t: TableId,
-        key: u64,
-        f: &mut dyn FnMut(&mut Row),
-    ) -> OltpResult<bool> {
+    fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
         let ti = self.table(t)?;
         let snapshot = self.active()?.snapshot;
         self.op_overhead();
-        self.key_work(ti);
+        {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            self.key_work(ti);
+        }
         // Updating an own write rewrites the buffered bytes.
         if let Some(own) = self.own_write(ti, key) {
             let Some(bytes) = own else { return Ok(false) };
@@ -520,24 +599,43 @@ impl Db for DbmsM {
             return Ok(true);
         }
         let mem_index = self.mem(self.m.index);
-        let Some(payload) = self.tables[ti].index.as_index().get(&mem_index, key) else {
+        let probe = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            self.tables[ti].index.as_index().get(&mem_index, key)
+        };
+        let Some(payload) = probe else {
             return Ok(false);
         };
         let id = RowId::from_u64(payload);
         let mem_mvcc = self.mem(self.m.mvcc);
         let mut row: Option<Row> = None;
-        self.tables[ti].versions.read(&mem_mvcc, id, snapshot, &mut |d| {
-            if !d.is_empty() {
-                row = tuple::decode(d).ok();
-            }
-        });
+        {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            self.tables[ti]
+                .versions
+                .read(&mem_mvcc, id, snapshot, &mut |d| {
+                    if !d.is_empty() {
+                        row = tuple::decode(d).ok();
+                    }
+                });
+        }
         let Some(mut row) = row else { return Ok(false) };
         f(&mut row);
-        debug_assert!(self.tables[ti].def.schema.check(&row), "row/schema mismatch");
+        debug_assert!(
+            self.tables[ti].def.schema.check(&row),
+            "row/schema mismatch"
+        );
         let data = tuple::encode(&row);
-        self.value_work(data.len() * 2);
+        {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            self.value_work(data.len() * 2);
+        }
         let txn = self.cur.as_mut().expect("active");
-        txn.writes.push(WriteOp { table: ti, key, kind: WriteKind::Update(id, data) });
+        txn.writes.push(WriteOp {
+            table: ti,
+            key,
+            kind: WriteKind::Update(id, data),
+        });
         Ok(true)
     }
 
@@ -553,17 +651,21 @@ impl Db for DbmsM {
         self.op_overhead();
         let mem_index = self.mem(self.m.index);
         let mut pairs: Vec<(u64, u64)> = Vec::new();
-        let supported = self.tables[ti]
-            .index
-            .as_index()
-            .scan(&mem_index, lo, hi, &mut |k, v| {
-                pairs.push((k, v));
-                true
-            })
-            .is_some();
+        let supported = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            self.tables[ti]
+                .index
+                .as_index()
+                .scan(&mem_index, lo, hi, &mut |k, v| {
+                    pairs.push((k, v));
+                    true
+                })
+                .is_some()
+        };
         if !supported {
             return Err(OltpError::Unsupported("range scan on hash index"));
         }
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mem_mvcc = self.mem(self.m.mvcc);
         let mut visited = 0;
         for (k, payload) in pairs {
@@ -620,21 +722,35 @@ impl Db for DbmsM {
             return Ok(true);
         }
         let mem_index = self.mem(self.m.index);
-        let Some(payload) = self.tables[ti].index.as_index().get(&mem_index, key) else {
+        let probe = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            self.tables[ti].index.as_index().get(&mem_index, key)
+        };
+        let Some(payload) = probe else {
             return Ok(false);
         };
         let id = RowId::from_u64(payload);
         let mem_mvcc = self.mem(self.m.mvcc);
-        if !self.tables[ti].versions.is_visible(&mem_mvcc, id, snapshot) {
+        let visible = {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            self.tables[ti].versions.is_visible(&mem_mvcc, id, snapshot)
+        };
+        if !visible {
             return Ok(false);
         }
         let txn = self.cur.as_mut().expect("active");
-        txn.writes.push(WriteOp { table: ti, key, kind: WriteKind::Delete(id) });
+        txn.writes.push(WriteOp {
+            table: ti,
+            key,
+            kind: WriteKind::Delete(id),
+        });
         Ok(true)
     }
 
     fn row_count(&self, t: TableId) -> u64 {
-        self.tables.get(t.0 as usize).map_or(0, |tb| tb.versions.live())
+        self.tables
+            .get(t.0 as usize)
+            .map_or(0, |tb| tb.versions.live())
     }
 }
 
@@ -712,7 +828,8 @@ mod tests {
         let t = micro_table(&mut db);
         db.begin();
         for k in 0..20u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)]).unwrap();
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)])
+                .unwrap();
         }
         db.commit().unwrap();
         db.begin();
@@ -724,11 +841,18 @@ mod tests {
     fn compilation_reduces_instructions() {
         let run = |compiled: bool| {
             let sim = Sim::new(MachineConfig::ivy_bridge(1));
-            let mut db = DbmsM::new(&sim, DbmsMOptions { index: DbmsMIndex::Hash, compiled });
+            let mut db = DbmsM::new(
+                &sim,
+                DbmsMOptions {
+                    index: DbmsMIndex::Hash,
+                    compiled,
+                },
+            );
             let t = micro_table(&mut db);
             db.begin();
             for k in 0..500u64 {
-                db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)]).unwrap();
+                db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
+                    .unwrap();
             }
             db.commit().unwrap();
             let before = sim.counters(0).instructions;
@@ -739,7 +863,10 @@ mod tests {
             }
             sim.counters(0).instructions - before
         };
-        assert!(run(true) < run(false), "compiled path should retire fewer instructions");
+        assert!(
+            run(true) < run(false),
+            "compiled path should retire fewer instructions"
+        );
     }
 
     #[test]
@@ -777,7 +904,8 @@ mod tests {
         let mut db = DbmsM::new(&sim, DbmsMOptions::default());
         let t = micro_table(&mut db);
         db.begin();
-        db.insert(t, 1, &[Value::Long(1), Value::Long(100)]).unwrap();
+        db.insert(t, 1, &[Value::Long(1), Value::Long(100)])
+            .unwrap();
         db.commit().unwrap();
 
         // T1 begins and reads.

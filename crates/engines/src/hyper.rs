@@ -12,9 +12,13 @@
 //! (Figure 3).
 
 use indexes::{Art, Index};
+use obs::Phase;
 use oltp::{tuple, Db, OltpError, OltpResult, Row, TableDef, TableId, Value};
 use storage::{LogKind, MemStore, RowId, TxnId, TxnManager, Wal};
 use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
+
+/// Engine label on trace spans.
+const ENGINE: &str = "HyPer";
 
 /// Instruction budgets: an order of magnitude below the other systems.
 mod cost {
@@ -66,7 +70,9 @@ impl HyPer {
         assert!(partitions >= 1);
         let m = Mods {
             runtime: sim.register_module(
-                ModuleSpec::new("hyper/runtime", 16 << 10).reuse(2.4).branchiness(0.08),
+                ModuleSpec::new("hyper/runtime", 16 << 10)
+                    .reuse(2.4)
+                    .branchiness(0.08),
             ),
             // The compiled stored procedures: tiny, loop-dense, almost
             // branch-free — the fruit of Neumann-style code generation.
@@ -77,7 +83,9 @@ impl HyPer {
                     .engine_side(true),
             ),
             log: sim.register_module(
-                ModuleSpec::new("hyper/redo-log", 8 << 10).reuse(2.6).branchiness(0.06),
+                ModuleSpec::new("hyper/redo-log", 8 << 10)
+                    .reuse(2.6)
+                    .branchiness(0.06),
             ),
         };
         let mem = sim.mem(0);
@@ -85,8 +93,12 @@ impl HyPer {
             core: 0,
             m,
             defs: Vec::new(),
-            partitions: (0..partitions).map(|_| Partition { tables: Vec::new() }).collect(),
-            wals: (0..partitions).map(|_| Wal::new(&mem, 1 << 20, 32)).collect(),
+            partitions: (0..partitions)
+                .map(|_| Partition { tables: Vec::new() })
+                .collect(),
+            wals: (0..partitions)
+                .map(|_| Wal::new(&mem, 1 << 20, 32))
+                .collect(),
             tm: TxnManager::new(),
             cur: None,
             sim: sim.clone(),
@@ -147,16 +159,25 @@ impl Db for HyPer {
         for (p, part) in self.partitions.iter_mut().enumerate() {
             let mem = self.sim.mem(p % self.sim.cores()).with_module(self.m.proc);
             let str_key = matches!(
-                self.defs[id.0 as usize].schema.columns().first().map(|c| c.ty),
+                self.defs[id.0 as usize]
+                    .schema
+                    .columns()
+                    .first()
+                    .map(|c| c.ty),
                 Some(oltp::DataType::Str)
             );
-            part.tables.push(PTable { store: MemStore::new(), index: Art::new(&mem), str_key });
+            part.tables.push(PTable {
+                store: MemStore::new(),
+                index: Art::new(&mem),
+                str_key,
+            });
         }
         id
     }
 
     fn begin(&mut self) {
         assert!(self.cur.is_none(), "transaction already active");
+        let _s = obs::span(ENGINE, Phase::Dispatch, self.core);
         let (txn, _) = self.tm.begin();
         self.cur = Some(txn);
         self.mem(self.m.runtime).exec(cost::RT_BEGIN);
@@ -164,17 +185,22 @@ impl Db for HyPer {
 
     fn commit(&mut self) -> OltpResult<()> {
         let txn = self.txn()?;
+        let _c = obs::span(ENGINE, Phase::Commit, self.core);
         self.mem(self.m.runtime).exec(cost::COMMIT);
-        let mem = self.mem(self.m.log);
-        mem.exec(cost::REDO);
-        let p = self.part();
-        self.wals[p].append(&mem, txn, LogKind::Commit, 24);
+        {
+            let _l = obs::span(ENGINE, Phase::Log, self.core);
+            let mem = self.mem(self.m.log);
+            mem.exec(cost::REDO);
+            let p = self.part();
+            self.wals[p].append(&mem, txn, LogKind::Commit, 24);
+        }
         self.cur = None;
         Ok(())
     }
 
     fn abort(&mut self) {
         if self.cur.take().is_some() {
+            let _s = obs::span(ENGINE, Phase::Commit, self.core);
             self.mem(self.m.runtime).exec(cost::ABORT);
         }
     }
@@ -184,31 +210,47 @@ impl Db for HyPer {
         self.txn()?;
         debug_assert!(self.defs[ti].schema.check(row), "row/schema mismatch");
         let mem = self.mem(self.m.proc);
-        mem.exec(cost::PROC_OP);
+        {
+            let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
+            mem.exec(cost::PROC_OP);
+        }
         let p = self.part();
         let encoded = tuple::encode(row);
-        self.value_work(p, ti, encoded.len());
+        let id = {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            self.value_work(p, ti, encoded.len());
+            self.partitions[p].tables[ti].store.insert(&mem, encoded)
+        };
         let table = &mut self.partitions[p].tables[ti];
-        let id = table.store.insert(&mem, encoded);
-        if !table.index.insert(&mem, key, id.to_u64()) {
+        let inserted = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            table.index.insert(&mem, key, id.to_u64())
+        };
+        if !inserted {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
             table.store.delete(&mem, id);
             return Err(OltpError::DuplicateKey { table: t, key });
         }
         Ok(())
     }
 
-    fn read_with(
-        &mut self,
-        t: TableId,
-        key: u64,
-        f: &mut dyn FnMut(&[Value]),
-    ) -> OltpResult<bool> {
+    fn read_with(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&[Value])) -> OltpResult<bool> {
         let ti = self.table(t)?;
         let mem = self.mem(self.m.proc);
-        mem.exec(cost::PROC_OP);
+        {
+            let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
+            mem.exec(cost::PROC_OP);
+        }
         let p = self.part();
         let table = &mut self.partitions[p].tables[ti];
-        let Some(payload) = table.index.get(&mem, key) else { return Ok(false) };
+        let probe = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            table.index.get(&mem, key)
+        };
+        let Some(payload) = probe else {
+            return Ok(false);
+        };
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mut decoded: Option<Row> = None;
         let mut bytes = 0;
         table.store.read(&mem, RowId::from_u64(payload), &mut |d| {
@@ -225,26 +267,36 @@ impl Db for HyPer {
         }
     }
 
-    fn update(
-        &mut self,
-        t: TableId,
-        key: u64,
-        f: &mut dyn FnMut(&mut Row),
-    ) -> OltpResult<bool> {
+    fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
         let ti = self.table(t)?;
         self.txn()?;
         let mem = self.mem(self.m.proc);
-        mem.exec(cost::PROC_OP);
+        {
+            let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
+            mem.exec(cost::PROC_OP);
+        }
         let p = self.part();
         let table = &mut self.partitions[p].tables[ti];
-        let Some(payload) = table.index.get(&mem, key) else { return Ok(false) };
+        let probe = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            table.index.get(&mem, key)
+        };
+        let Some(payload) = probe else {
+            return Ok(false);
+        };
         let id = RowId::from_u64(payload);
         let mut row: Option<Row> = None;
-        table.store.read(&mem, id, &mut |d| row = tuple::decode(d).ok());
+        {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            table
+                .store
+                .read(&mem, id, &mut |d| row = tuple::decode(d).ok());
+        }
         let Some(mut row) = row else { return Ok(false) };
         f(&mut row);
         debug_assert!(self.defs[ti].schema.check(&row), "row/schema mismatch");
         let encoded = tuple::encode(&row);
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         self.value_work(p, ti, encoded.len() * 2);
         let table = &mut self.partitions[p].tables[ti];
         table.store.update(&mem, id, encoded);
@@ -260,14 +312,21 @@ impl Db for HyPer {
     ) -> OltpResult<u64> {
         let ti = self.table(t)?;
         let mem = self.mem(self.m.proc);
-        mem.exec(cost::PROC_OP);
+        {
+            let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
+            mem.exec(cost::PROC_OP);
+        }
         let p = self.part();
         let table = &mut self.partitions[p].tables[ti];
         let mut pairs: Vec<(u64, u64)> = Vec::new();
-        table.index.scan(&mem, lo, hi, &mut |k, v| {
-            pairs.push((k, v));
-            true
-        });
+        {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            table.index.scan(&mem, lo, hi, &mut |k, v| {
+                pairs.push((k, v));
+                true
+            });
+        }
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mut visited = 0;
         for (k, payload) in pairs {
             mem.exec(cost::SCAN_NEXT);
@@ -292,10 +351,20 @@ impl Db for HyPer {
         let ti = self.table(t)?;
         self.txn()?;
         let mem = self.mem(self.m.proc);
-        mem.exec(cost::PROC_OP);
+        {
+            let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
+            mem.exec(cost::PROC_OP);
+        }
         let p = self.part();
         let table = &mut self.partitions[p].tables[ti];
-        let Some(payload) = table.index.remove(&mem, key) else { return Ok(false) };
+        let removed = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            table.index.remove(&mem, key)
+        };
+        let Some(payload) = removed else {
+            return Ok(false);
+        };
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         table.store.delete(&mem, RowId::from_u64(payload));
         Ok(true)
     }
@@ -332,7 +401,8 @@ mod tests {
         let t = db.create_table(table_def());
         db.begin();
         for k in 0..200u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)]).unwrap();
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
+                .unwrap();
         }
         assert!(db.update(t, 77, &mut |r| r[1] = Value::Long(1)).unwrap());
         assert_eq!(db.read(t, 77).unwrap().unwrap()[1], Value::Long(1));
@@ -351,7 +421,8 @@ mod tests {
         let t = db.create_table(table_def());
         db.begin();
         for k in 0..1000u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)]).unwrap();
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
+                .unwrap();
         }
         db.commit().unwrap();
         let before = sim.counters(0).instructions;
@@ -371,7 +442,8 @@ mod tests {
         let t = db.create_table(table_def());
         db.begin();
         for k in (0..100u64).rev() {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)]).unwrap();
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)])
+                .unwrap();
         }
         let mut seen = Vec::new();
         db.scan(t, 10, 20, &mut |k, _| {

@@ -9,13 +9,17 @@
 //! hierarchical 2PL, WAL, and a non-cache-conscious 8 KB-page B+tree
 //! (the source of its high LLC data stalls, §4.1.3).
 
+use indexes::{DiskBTree, Index};
+use obs::Phase;
 use oltp::{tuple, Db, OltpError, OltpResult, Row, TableDef, TableId, Value};
 use storage::{
     lock::LockOutcome, BufferPool, HeapFile, LockManager, LockMode, LockTarget, LogKind, Rid,
     TxnId, TxnManager, Wal,
 };
-use indexes::{DiskBTree, Index};
 use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
+
+/// Engine name used for span attribution (matches [`Db::name`]).
+const ENGINE: &str = "Shore-MT";
 
 /// Per-operation instruction budgets (tuned against the paper's Shore-MT
 /// bars; see EXPERIMENTS.md).
@@ -73,7 +77,9 @@ impl ShoreMt {
     pub fn new(sim: &Sim) -> Self {
         let m = Mods {
             kits: sim.register_module(
-                ModuleSpec::new("shore/kits-plans", 40 << 10).reuse(2.7).branchiness(0.24),
+                ModuleSpec::new("shore/kits-plans", 40 << 10)
+                    .reuse(2.7)
+                    .branchiness(0.24),
             ),
             txn: sim.register_module(
                 ModuleSpec::new("shore/txn-mgmt", 28 << 10)
@@ -130,7 +136,12 @@ impl ShoreMt {
     /// Statement dispatch: the hard-coded plan sets up once per
     /// transaction; subsequent operations run inside its loop.
     fn exec_op(&mut self) {
-        let n = if self.ops_in_txn == 0 { cost::EXEC_OP } else { cost::EXEC_OP_NEXT };
+        let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
+        let n = if self.ops_in_txn == 0 {
+            cost::EXEC_OP
+        } else {
+            cost::EXEC_OP_NEXT
+        };
         self.ops_in_txn += 1;
         self.mem(self.m.kits).exec(n);
     }
@@ -168,6 +179,7 @@ impl ShoreMt {
 
     fn acquire(&mut self, target: LockTarget, mode: LockMode) -> OltpResult<()> {
         let txn = self.txn()?;
+        let _cc = obs::span(ENGINE, Phase::Cc, self.core);
         let mem = self.mem(self.m.lock);
         mem.exec(cost::LOCK_WRAP);
         match self.locks.lock(&mem, txn, target, mode) {
@@ -177,8 +189,11 @@ impl ShoreMt {
     }
 
     fn lock_pair(&mut self, t: TableId, key: u64, write: bool) -> OltpResult<()> {
-        let (tm, rm) =
-            if write { (LockMode::Ix, LockMode::X) } else { (LockMode::Is, LockMode::S) };
+        let (tm, rm) = if write {
+            (LockMode::Ix, LockMode::X)
+        } else {
+            (LockMode::Is, LockMode::S)
+        };
         self.acquire(LockTarget::Table(t.0), tm)?;
         self.acquire(LockTarget::Row(t.0, key), rm)
     }
@@ -201,26 +216,37 @@ impl Db for ShoreMt {
     fn create_table(&mut self, def: TableDef) -> TableId {
         let mem = self.mem(self.m.btree);
         let id = TableId(self.tables.len() as u32);
-        self.tables.push(Table { def, heap: HeapFile::new(), index: DiskBTree::new(&mem) });
+        self.tables.push(Table {
+            def,
+            heap: HeapFile::new(),
+            index: DiskBTree::new(&mem),
+        });
         id
     }
 
     fn begin(&mut self) {
         assert!(self.cur.is_none(), "transaction already active");
+        let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
         let (txn, _) = self.tm.begin();
         self.cur = Some(txn);
         self.ops_in_txn = 0;
         self.mem(self.m.txn).exec(cost::BEGIN);
+        let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.m.log);
         self.wal.append(&mem, txn, LogKind::Begin, 0);
     }
 
     fn commit(&mut self) -> OltpResult<()> {
         let txn = self.txn()?;
+        let _c = obs::span(ENGINE, Phase::Commit, self.core);
         self.mem(self.m.txn).exec(cost::COMMIT);
-        let mem = self.mem(self.m.log);
-        mem.exec(cost::LOG_COMMIT);
-        self.wal.append(&mem, txn, LogKind::Commit, 16);
+        {
+            let _l = obs::span(ENGINE, Phase::Log, self.core);
+            let mem = self.mem(self.m.log);
+            mem.exec(cost::LOG_COMMIT);
+            self.wal.append(&mem, txn, LogKind::Commit, 16);
+        }
+        let _cc = obs::span(ENGINE, Phase::Cc, self.core);
         let mem = self.mem(self.m.lock);
         mem.exec(cost::RELEASE);
         self.locks.release_all(&mem, txn);
@@ -230,9 +256,14 @@ impl Db for ShoreMt {
 
     fn abort(&mut self) {
         if let Some(txn) = self.cur.take() {
+            let _c = obs::span(ENGINE, Phase::Commit, self.core);
             self.mem(self.m.txn).exec(cost::ABORT);
-            let mem = self.mem(self.m.log);
-            self.wal.append(&mem, txn, LogKind::Abort, 0);
+            {
+                let _l = obs::span(ENGINE, Phase::Log, self.core);
+                let mem = self.mem(self.m.log);
+                self.wal.append(&mem, txn, LogKind::Abort, 0);
+            }
+            let _cc = obs::span(ENGINE, Phase::Cc, self.core);
             let mem = self.mem(self.m.lock);
             self.locks.release_all(&mem, txn);
         }
@@ -248,45 +279,57 @@ impl Db for ShoreMt {
         self.value_work(data.len());
         let len = data.len() as u32;
         let redo = data.clone();
-        let mem = self.mem(self.m.heap);
-        mem.exec(cost::HEAP_WRAP);
-        let rid = self.tables[ti].heap.insert(&mut self.pool, &mem, data);
-        let mem = self.mem(self.m.btree);
-        mem.exec(cost::INDEX_WRAP);
-        if !self.tables[ti].index.insert(&mem, key, rid.to_u64()) {
+        let rid = {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            let mem = self.mem(self.m.heap);
+            mem.exec(cost::HEAP_WRAP);
+            self.tables[ti].heap.insert(&mut self.pool, &mem, data)
+        };
+        let inserted = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            let mem = self.mem(self.m.btree);
+            mem.exec(cost::INDEX_WRAP);
+            self.tables[ti].index.insert(&mem, key, rid.to_u64())
+        };
+        if !inserted {
             // Undo the heap insert (simplified physical undo).
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
             let mem = self.mem(self.m.heap);
             self.tables[ti].heap.delete(&mut self.pool, &mem, rid);
             return Err(OltpError::DuplicateKey { table: t, key });
         }
+        let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.m.log);
         mem.exec(cost::LOG_UPDATE);
-        self.wal.append_data(&mem, txn, LogKind::Insert, t.0, key, Some(&redo), len);
+        self.wal
+            .append_data(&mem, txn, LogKind::Insert, t.0, key, Some(&redo), len);
         Ok(())
     }
 
-    fn read_with(
-        &mut self,
-        t: TableId,
-        key: u64,
-        f: &mut dyn FnMut(&[Value]),
-    ) -> OltpResult<bool> {
+    fn read_with(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&[Value])) -> OltpResult<bool> {
         let ti = self.table(t)?;
         self.exec_op();
         self.lock_pair(t, key, false)?;
-        let mem = self.mem(self.m.btree);
-        mem.exec(cost::INDEX_WRAP);
-        let Some(payload) = self.tables[ti].index.get(&mem, key) else {
+        let probe = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            let mem = self.mem(self.m.btree);
+            mem.exec(cost::INDEX_WRAP);
+            self.tables[ti].index.get(&mem, key)
+        };
+        let Some(payload) = probe else {
             return Ok(false);
         };
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mem = self.mem(self.m.bpool);
         mem.exec(cost::HEAP_WRAP);
         let mut ok = false;
         let mut decoded: Option<Row> = None;
-        self.tables[ti].heap.read(&mut self.pool, &mem, Rid::from_u64(payload), &mut |d| {
-            decoded = tuple::decode(d).ok();
-            ok = true;
-        });
+        self.tables[ti]
+            .heap
+            .read(&mut self.pool, &mem, Rid::from_u64(payload), &mut |d| {
+                decoded = tuple::decode(d).ok();
+                ok = true;
+            });
         if let Some(row) = decoded {
             self.value_work(tuple::encoded_len(&row));
             f(&row);
@@ -294,47 +337,59 @@ impl Db for ShoreMt {
         Ok(ok)
     }
 
-    fn update(
-        &mut self,
-        t: TableId,
-        key: u64,
-        f: &mut dyn FnMut(&mut Row),
-    ) -> OltpResult<bool> {
+    fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
         let ti = self.table(t)?;
         let txn = self.txn()?;
         self.exec_op();
         self.lock_pair(t, key, true)?;
-        let mem = self.mem(self.m.btree);
-        mem.exec(cost::INDEX_WRAP);
-        let Some(payload) = self.tables[ti].index.get(&mem, key) else {
+        let probe = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            let mem = self.mem(self.m.btree);
+            mem.exec(cost::INDEX_WRAP);
+            self.tables[ti].index.get(&mem, key)
+        };
+        let Some(payload) = probe else {
             return Ok(false);
         };
         let rid = Rid::from_u64(payload);
         let mem = self.mem(self.m.bpool);
-        mem.exec(cost::HEAP_WRAP);
         let mut row: Option<Row> = None;
-        self.tables[ti].heap.read(&mut self.pool, &mem, rid, &mut |d| {
-            row = tuple::decode(d).ok();
-        });
+        {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            mem.exec(cost::HEAP_WRAP);
+            self.tables[ti]
+                .heap
+                .read(&mut self.pool, &mem, rid, &mut |d| {
+                    row = tuple::decode(d).ok();
+                });
+        }
         let Some(mut row) = row else { return Ok(false) };
         f(&mut row);
-        debug_assert!(self.tables[ti].def.schema.check(&row), "row/schema mismatch");
+        debug_assert!(
+            self.tables[ti].def.schema.check(&row),
+            "row/schema mismatch"
+        );
         let data = tuple::encode(&row);
-        self.value_work(data.len() * 2);
         let len = data.len() as u32;
         let redo = data.clone();
-        let new_rid = self
-            .tables[ti]
-            .heap
-            .update(&mut self.pool, &mem, rid, data)
-            .expect("row vanished mid-update");
+        let new_rid = {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            self.value_work(data.len() * 2);
+            self.tables[ti]
+                .heap
+                .update(&mut self.pool, &mem, rid, data)
+                .expect("row vanished mid-update")
+        };
         if new_rid != rid {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
             let mem = self.mem(self.m.btree);
             self.tables[ti].index.replace(&mem, key, new_rid.to_u64());
         }
+        let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.m.log);
         mem.exec(cost::LOG_UPDATE);
-        self.wal.append_data(&mem, txn, LogKind::Update, t.0, key, Some(&redo), len * 2);
+        self.wal
+            .append_data(&mem, txn, LogKind::Update, t.0, key, Some(&redo), len * 2);
         Ok(true)
     }
 
@@ -350,21 +405,27 @@ impl Db for ShoreMt {
         // Range scans take a table-level S lock (no next-key locking).
         self.acquire(LockTarget::Table(t.0), LockMode::S)?;
         let mem_btree = self.mem(self.m.btree);
-        mem_btree.exec(cost::INDEX_WRAP);
         let mem_pool = self.mem(self.m.bpool);
         let mut rids: Vec<(u64, u64)> = Vec::new();
-        self.tables[ti].index.scan(&mem_btree, lo, hi, &mut |k, p| {
-            rids.push((k, p));
-            true
-        });
+        {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            mem_btree.exec(cost::INDEX_WRAP);
+            self.tables[ti].index.scan(&mem_btree, lo, hi, &mut |k, p| {
+                rids.push((k, p));
+                true
+            });
+        }
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mut visited = 0;
         for (k, p) in rids {
             mem_pool.exec(cost::SCAN_NEXT);
             let mut keep = true;
             let mut decoded: Option<Row> = None;
-            self.tables[ti].heap.read(&mut self.pool, &mem_pool, Rid::from_u64(p), &mut |d| {
-                decoded = tuple::decode(d).ok();
-            });
+            self.tables[ti]
+                .heap
+                .read(&mut self.pool, &mem_pool, Rid::from_u64(p), &mut |d| {
+                    decoded = tuple::decode(d).ok();
+                });
             if let Some(row) = decoded {
                 self.value_work(tuple::encoded_len(&row));
                 visited += 1;
@@ -382,17 +443,28 @@ impl Db for ShoreMt {
         let txn = self.txn()?;
         self.exec_op();
         self.lock_pair(t, key, true)?;
-        let mem = self.mem(self.m.btree);
-        mem.exec(cost::INDEX_WRAP);
-        let Some(payload) = self.tables[ti].index.remove(&mem, key) else {
+        let removed = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            let mem = self.mem(self.m.btree);
+            mem.exec(cost::INDEX_WRAP);
+            self.tables[ti].index.remove(&mem, key)
+        };
+        let Some(payload) = removed else {
             return Ok(false);
         };
-        let mem = self.mem(self.m.heap);
-        mem.exec(cost::HEAP_WRAP);
-        self.tables[ti].heap.delete(&mut self.pool, &mem, Rid::from_u64(payload));
+        {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            let mem = self.mem(self.m.heap);
+            mem.exec(cost::HEAP_WRAP);
+            self.tables[ti]
+                .heap
+                .delete(&mut self.pool, &mem, Rid::from_u64(payload));
+        }
+        let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.m.log);
         mem.exec(cost::LOG_UPDATE);
-        self.wal.append_data(&mem, txn, LogKind::Delete, t.0, key, None, 16);
+        self.wal
+            .append_data(&mem, txn, LogKind::Delete, t.0, key, None, 16);
         Ok(true)
     }
 
@@ -428,7 +500,8 @@ mod tests {
         let mut db = setup();
         let t = micro_table(&mut db);
         db.begin();
-        db.insert(t, 1, &[Value::Long(1), Value::Long(100)]).unwrap();
+        db.insert(t, 1, &[Value::Long(1), Value::Long(100)])
+            .unwrap();
         db.commit().unwrap();
 
         db.begin();
@@ -447,7 +520,9 @@ mod tests {
         let t = micro_table(&mut db);
         db.begin();
         db.insert(t, 5, &[Value::Long(5), Value::Long(1)]).unwrap();
-        let err = db.insert(t, 5, &[Value::Long(5), Value::Long(2)]).unwrap_err();
+        let err = db
+            .insert(t, 5, &[Value::Long(5), Value::Long(2)])
+            .unwrap_err();
         assert!(matches!(err, OltpError::DuplicateKey { .. }));
         db.commit().unwrap();
         assert_eq!(db.row_count(t), 1);
@@ -462,7 +537,8 @@ mod tests {
         let t = micro_table(&mut db);
         db.begin();
         for k in (0..50u64).rev() {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64 * 10)]).unwrap();
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64 * 10)])
+                .unwrap();
         }
         db.commit().unwrap();
         db.begin();
@@ -483,7 +559,8 @@ mod tests {
         let mut db = setup();
         let t = micro_table(&mut db);
         assert_eq!(
-            db.insert(t, 1, &[Value::Long(1), Value::Long(1)]).unwrap_err(),
+            db.insert(t, 1, &[Value::Long(1), Value::Long(1)])
+                .unwrap_err(),
             OltpError::NoActiveTxn
         );
         assert_eq!(db.commit().unwrap_err(), OltpError::NoActiveTxn);
@@ -532,10 +609,17 @@ mod tests {
             .filter(|(_, c)| c.instructions > 0)
             .map(|(n, _)| n.as_str())
             .collect();
-        for required in
-            ["shore/kits-plans", "shore/txn-mgmt", "shore/lock-mgr", "shore/btree", "shore/log"]
-        {
-            assert!(active.contains(&required), "missing activity in {required}: {active:?}");
+        for required in [
+            "shore/kits-plans",
+            "shore/txn-mgmt",
+            "shore/lock-mgr",
+            "shore/btree",
+            "shore/log",
+        ] {
+            assert!(
+                active.contains(&required),
+                "missing activity in {required}: {active:?}"
+            );
         }
     }
 }

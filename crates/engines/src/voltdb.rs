@@ -10,9 +10,13 @@
 //! to the last-level cache line size", our [`CcBTree`].
 
 use indexes::{CcBTree, Index};
+use obs::Phase;
 use oltp::{tuple, Db, OltpError, OltpResult, Row, TableDef, TableId, Value};
 use storage::{LogKind, MemStore, RowId, TxnId, TxnManager, Wal};
 use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
+
+/// Engine name used for span attribution (matches [`Db::name`]).
+const ENGINE: &str = "VoltDB";
 
 /// Instruction budgets.
 mod cost {
@@ -84,16 +88,24 @@ impl VoltDb {
         assert!(partitions >= 1);
         let m = Mods {
             java_rt: sim.register_module(
-                ModuleSpec::new("voltdb/java-runtime", 56 << 10).reuse(1.9).branchiness(0.26),
+                ModuleSpec::new("voltdb/java-runtime", 56 << 10)
+                    .reuse(1.9)
+                    .branchiness(0.26),
             ),
             net: sim.register_module(
-                ModuleSpec::new("voltdb/network", 28 << 10).reuse(2.0).branchiness(0.20),
+                ModuleSpec::new("voltdb/network", 28 << 10)
+                    .reuse(2.0)
+                    .branchiness(0.20),
             ),
             dispatch: sim.register_module(
-                ModuleSpec::new("voltdb/proc-dispatch", 24 << 10).reuse(2.0).branchiness(0.20),
+                ModuleSpec::new("voltdb/proc-dispatch", 24 << 10)
+                    .reuse(2.0)
+                    .branchiness(0.20),
             ),
             plan: sim.register_module(
-                ModuleSpec::new("voltdb/plan-interp", 44 << 10).reuse(2.0).branchiness(0.26),
+                ModuleSpec::new("voltdb/plan-interp", 44 << 10)
+                    .reuse(2.0)
+                    .branchiness(0.26),
             ),
             ee: sim.register_module(
                 ModuleSpec::new("voltdb/exec-engine", 28 << 10)
@@ -114,10 +126,14 @@ impl VoltDb {
                     .engine_side(true),
             ),
             clog: sim.register_module(
-                ModuleSpec::new("voltdb/command-log", 14 << 10).reuse(2.2).branchiness(0.16),
+                ModuleSpec::new("voltdb/command-log", 14 << 10)
+                    .reuse(2.2)
+                    .branchiness(0.16),
             ),
             mp_coord: sim.register_module(
-                ModuleSpec::new("voltdb/mp-coordinator", 40 << 10).reuse(1.5).branchiness(0.24),
+                ModuleSpec::new("voltdb/mp-coordinator", 40 << 10)
+                    .reuse(1.5)
+                    .branchiness(0.24),
             ),
         };
         let mem = sim.mem(0);
@@ -125,8 +141,12 @@ impl VoltDb {
             core: 0,
             m,
             defs: Vec::new(),
-            partitions: (0..partitions).map(|_| Partition { tables: Vec::new() }).collect(),
-            wals: (0..partitions).map(|_| Wal::new(&mem, 1 << 20, 16)).collect(),
+            partitions: (0..partitions)
+                .map(|_| Partition { tables: Vec::new() })
+                .collect(),
+            wals: (0..partitions)
+                .map(|_| Wal::new(&mem, 1 << 20, 16))
+                .collect(),
             tm: TxnManager::new(),
             cur: None,
             single_sited: true,
@@ -166,7 +186,12 @@ impl VoltDb {
     /// Per-operation interpreted plan fragment + EE entry. The fragment
     /// is planned once per procedure; later operations iterate it.
     fn op_overhead(&mut self) {
-        let n = if self.ops_in_txn == 0 { cost::PLAN_OP } else { cost::PLAN_OP_NEXT };
+        let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
+        let n = if self.ops_in_txn == 0 {
+            cost::PLAN_OP
+        } else {
+            cost::PLAN_OP_NEXT
+        };
         self.ops_in_txn += 1;
         self.mem(self.m.plan).exec(n);
         self.mem(self.m.ee).exec(cost::EE_OP);
@@ -175,7 +200,8 @@ impl VoltDb {
     /// Value-processing instructions proportional to the row bytes
     /// (interpreted copy/compare loops; the §6.2 data-type effect).
     fn value_work(&self, bytes: usize) {
-        self.mem(self.m.ee).exec(bytes as u64 * cost::VALUE_PER_BYTE);
+        self.mem(self.m.ee)
+            .exec(bytes as u64 * cost::VALUE_PER_BYTE);
     }
 
     /// Extra key-comparison instructions for string-keyed tables: each
@@ -214,10 +240,18 @@ impl Db for VoltDb {
         for (p, part) in self.partitions.iter_mut().enumerate() {
             let mem = self.sim.mem(p % self.sim.cores()).with_module(self.m.index);
             let str_key = matches!(
-                self.defs[id.0 as usize].schema.columns().first().map(|c| c.ty),
+                self.defs[id.0 as usize]
+                    .schema
+                    .columns()
+                    .first()
+                    .map(|c| c.ty),
                 Some(oltp::DataType::Str)
             );
-            part.tables.push(PTable { store: MemStore::new(), index: CcBTree::new(&mem), str_key });
+            part.tables.push(PTable {
+                store: MemStore::new(),
+                index: CcBTree::new(&mem),
+                str_key,
+            });
         }
         id
     }
@@ -227,6 +261,7 @@ impl Db for VoltDb {
         let (txn, _) = self.tm.begin();
         self.cur = Some(txn);
         self.ops_in_txn = 0;
+        let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
         self.mem(self.m.net).exec(cost::NET_RECV);
         self.mem(self.m.java_rt).exec(cost::RT_BEGIN);
         self.mem(self.m.dispatch).exec(cost::DISPATCH);
@@ -237,10 +272,12 @@ impl Db for VoltDb {
 
     fn commit(&mut self) -> OltpResult<()> {
         let txn = self.txn()?;
+        let _c = obs::span(ENGINE, Phase::Commit, self.core);
         self.mem(self.m.java_rt).exec(cost::COMMIT);
         if !self.single_sited {
             self.mem(self.m.mp_coord).exec(cost::MP_COMMIT);
         }
+        let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.m.clog);
         mem.exec(cost::CLOG);
         let p = self.part();
@@ -251,6 +288,7 @@ impl Db for VoltDb {
 
     fn abort(&mut self) {
         if self.cur.take().is_some() {
+            let _c = obs::span(ENGINE, Phase::Commit, self.core);
             self.mem(self.m.java_rt).exec(cost::ABORT);
         }
     }
@@ -262,39 +300,60 @@ impl Db for VoltDb {
         self.op_overhead();
         let p = self.part();
         let encoded = tuple::encode(row);
-        self.value_work(encoded.len());
-        self.key_work(p, ti);
+        {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            self.value_work(encoded.len());
+        }
+        {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            self.key_work(p, ti);
+        }
         let mem_store = self.mem(self.m.store);
         let mem_index = self.mem(self.m.index);
         let table = &mut self.partitions[p].tables[ti];
-        let id = table.store.insert(&mem_store, encoded);
-        if !table.index.insert(&mem_index, key, id.to_u64()) {
+        let id = {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            table.store.insert(&mem_store, encoded)
+        };
+        let inserted = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            table.index.insert(&mem_index, key, id.to_u64())
+        };
+        if !inserted {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
             table.store.delete(&mem_store, id);
             return Err(OltpError::DuplicateKey { table: t, key });
         }
         Ok(())
     }
 
-    fn read_with(
-        &mut self,
-        t: TableId,
-        key: u64,
-        f: &mut dyn FnMut(&[Value]),
-    ) -> OltpResult<bool> {
+    fn read_with(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&[Value])) -> OltpResult<bool> {
         let ti = self.table(t)?;
         self.op_overhead();
         let p = self.part();
-        self.key_work(p, ti);
+        {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            self.key_work(p, ti);
+        }
         let mem_index = self.mem(self.m.index);
         let mem_store = self.mem(self.m.store);
         let table = &mut self.partitions[p].tables[ti];
-        let Some(payload) = table.index.get(&mem_index, key) else { return Ok(false) };
+        let probe = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            table.index.get(&mem_index, key)
+        };
+        let Some(payload) = probe else {
+            return Ok(false);
+        };
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mut decoded: Option<Row> = None;
         let mut bytes = 0;
-        table.store.read(&mem_store, RowId::from_u64(payload), &mut |d| {
-            bytes = d.len();
-            decoded = tuple::decode(d).ok();
-        });
+        table
+            .store
+            .read(&mem_store, RowId::from_u64(payload), &mut |d| {
+                bytes = d.len();
+                decoded = tuple::decode(d).ok();
+            });
         self.value_work(bytes);
         match decoded {
             Some(row) => {
@@ -305,28 +364,38 @@ impl Db for VoltDb {
         }
     }
 
-    fn update(
-        &mut self,
-        t: TableId,
-        key: u64,
-        f: &mut dyn FnMut(&mut Row),
-    ) -> OltpResult<bool> {
+    fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
         let ti = self.table(t)?;
         self.txn()?;
         self.op_overhead();
         let p = self.part();
-        self.key_work(p, ti);
+        {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            self.key_work(p, ti);
+        }
         let mem_index = self.mem(self.m.index);
         let mem_store = self.mem(self.m.store);
         let table = &mut self.partitions[p].tables[ti];
-        let Some(payload) = table.index.get(&mem_index, key) else { return Ok(false) };
+        let probe = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            table.index.get(&mem_index, key)
+        };
+        let Some(payload) = probe else {
+            return Ok(false);
+        };
         let id = RowId::from_u64(payload);
         let mut row: Option<Row> = None;
-        table.store.read(&mem_store, id, &mut |d| row = tuple::decode(d).ok());
+        {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            table
+                .store
+                .read(&mem_store, id, &mut |d| row = tuple::decode(d).ok());
+        }
         let Some(mut row) = row else { return Ok(false) };
         f(&mut row);
         debug_assert!(self.defs[ti].schema.check(&row), "row/schema mismatch");
         let encoded = tuple::encode(&row);
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         self.value_work(encoded.len() * 2);
         let table = &mut self.partitions[p].tables[ti];
         table.store.update(&mem_store, id, encoded);
@@ -347,23 +416,31 @@ impl Db for VoltDb {
         let mem_store = self.mem(self.m.store);
         let table = &mut self.partitions[p].tables[ti];
         let mut pairs: Vec<(u64, u64)> = Vec::new();
-        table.index.scan(&mem_index, lo, hi, &mut |k, v| {
-            pairs.push((k, v));
-            true
-        });
+        {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            table.index.scan(&mem_index, lo, hi, &mut |k, v| {
+                pairs.push((k, v));
+                true
+            });
+        }
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mut visited = 0;
         for (k, payload) in pairs {
             mem_store.exec(cost::SCAN_NEXT);
             let mut decoded: Option<Row> = None;
             let mut bytes = 0;
-            table.store.read(&mem_store, RowId::from_u64(payload), &mut |d| {
-                bytes = d.len();
-                decoded = tuple::decode(d).ok();
-            });
+            table
+                .store
+                .read(&mem_store, RowId::from_u64(payload), &mut |d| {
+                    bytes = d.len();
+                    decoded = tuple::decode(d).ok();
+                });
             // Value processing happens in the EE module, but `table` holds
             // a partition borrow — route via the store port's module
             // switch instead.
-            mem_store.with_module(self.m.ee).exec(bytes as u64 * cost::VALUE_PER_BYTE);
+            mem_store
+                .with_module(self.m.ee)
+                .exec(bytes as u64 * cost::VALUE_PER_BYTE);
             if let Some(row) = decoded {
                 visited += 1;
                 if !f(k, &row) {
@@ -382,7 +459,14 @@ impl Db for VoltDb {
         let mem_index = self.mem(self.m.index);
         let mem_store = self.mem(self.m.store);
         let table = &mut self.partitions[p].tables[ti];
-        let Some(payload) = table.index.remove(&mem_index, key) else { return Ok(false) };
+        let removed = {
+            let _i = obs::span(ENGINE, Phase::Index, self.core);
+            table.index.remove(&mem_index, key)
+        };
+        let Some(payload) = removed else {
+            return Ok(false);
+        };
+        let _s = obs::span(ENGINE, Phase::Storage, self.core);
         table.store.delete(&mem_store, RowId::from_u64(payload));
         Ok(true)
     }
@@ -434,11 +518,13 @@ mod tests {
         // Same key on two partitions: independent rows.
         db.set_core(0);
         db.begin();
-        db.insert(t, 7, &[Value::Long(7), Value::Long(100)]).unwrap();
+        db.insert(t, 7, &[Value::Long(7), Value::Long(100)])
+            .unwrap();
         db.commit().unwrap();
         db.set_core(1);
         db.begin();
-        db.insert(t, 7, &[Value::Long(7), Value::Long(200)]).unwrap();
+        db.insert(t, 7, &[Value::Long(7), Value::Long(200)])
+            .unwrap();
         assert_eq!(db.read(t, 7).unwrap().unwrap()[1], Value::Long(200));
         db.commit().unwrap();
         db.set_core(0);
@@ -455,7 +541,8 @@ mod tests {
         let t = db.create_table(table_def());
         db.begin();
         for k in 0..20u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)]).unwrap();
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)])
+                .unwrap();
         }
         db.commit().unwrap();
         db.begin();

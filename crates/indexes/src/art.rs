@@ -28,10 +28,21 @@ struct Leaf {
 const LEAF_BYTES: u64 = 24;
 
 enum Variant {
-    Node4 { keys: [u8; 4], children: [NodeRef; 4] },
-    Node16 { keys: [u8; 16], children: [NodeRef; 16] },
-    Node48 { index: Box<[u8; 256]>, children: Box<[NodeRef; 48]> },
-    Node256 { children: Box<[NodeRef; 256]> },
+    Node4 {
+        keys: [u8; 4],
+        children: [NodeRef; 4],
+    },
+    Node16 {
+        keys: [u8; 16],
+        children: [NodeRef; 16],
+    },
+    Node48 {
+        index: Box<[u8; 256]>,
+        children: Box<[NodeRef; 48]>,
+    },
+    Node256 {
+        children: Box<[NodeRef; 256]>,
+    },
 }
 
 impl Variant {
@@ -76,7 +87,13 @@ const IDX48_EMPTY: u8 = 0xFF;
 impl Art {
     /// Create an empty tree.
     pub fn new(_mem: &Mem) -> Self {
-        Art { root: NodeRef::None, inners: Vec::new(), leaves: Vec::new(), len: 0, bytes: 0 }
+        Art {
+            root: NodeRef::None,
+            inners: Vec::new(),
+            leaves: Vec::new(),
+            len: 0,
+            bytes: 0,
+        }
     }
 
     fn new_leaf(&mut self, mem: &Mem, key: u64, payload: u64) -> NodeRef {
@@ -88,7 +105,10 @@ impl Art {
     }
 
     fn new_node4(&mut self, mem: &Mem, prefix: &[u8]) -> u32 {
-        let variant = Variant::Node4 { keys: [0; 4], children: [NodeRef::None; 4] };
+        let variant = Variant::Node4 {
+            keys: [0; 4],
+            children: [NodeRef::None; 4],
+        };
         let addr = mem.alloc(variant.simulated_bytes(), 64);
         mem.write(addr, 32);
         self.bytes += variant.simulated_bytes();
@@ -214,7 +234,10 @@ impl Art {
                 let mut c = [NodeRef::None; 16];
                 k[..4].copy_from_slice(keys);
                 c[..4].copy_from_slice(children);
-                Variant::Node16 { keys: k, children: c }
+                Variant::Node16 {
+                    keys: k,
+                    children: c,
+                }
             }
             Variant::Node16 { keys, children } => {
                 let mut index = Box::new([IDX48_EMPTY; 256]);
@@ -357,8 +380,7 @@ impl Index for Art {
                             let n = &mut self.inners[id as usize];
                             let old_byte = n.prefix[m];
                             // Truncate the old node's prefix past the split.
-                            let rest: Vec<u8> =
-                                Self::prefix_of(n)[m + 1..].to_vec();
+                            let rest: Vec<u8> = Self::prefix_of(n)[m + 1..].to_vec();
                             n.prefix[..rest.len()].copy_from_slice(&rest);
                             n.prefix_len = rest.len() as u8;
                             (old_byte, kb[depth + m])
@@ -611,7 +633,10 @@ impl Art {
                 let mut c = [NodeRef::None; 4];
                 k[..n.count as usize].copy_from_slice(&keys[..n.count as usize]);
                 c[..n.count as usize].copy_from_slice(&children[..n.count as usize]);
-                Some(Variant::Node4 { keys: k, children: c })
+                Some(Variant::Node4 {
+                    keys: k,
+                    children: c,
+                })
             }
             Variant::Node48 { index, children } if n.count <= 12 => {
                 let mut k = [0u8; 16];
@@ -624,7 +649,10 @@ impl Art {
                         i += 1;
                     }
                 }
-                Some(Variant::Node16 { keys: k, children: c })
+                Some(Variant::Node16 {
+                    keys: k,
+                    children: c,
+                })
             }
             Variant::Node256 { children } if n.count <= 36 => {
                 let mut index = Box::new([IDX48_EMPTY; 256]);
@@ -666,9 +694,11 @@ impl Art {
                 }
                 NodeRef::None
             }
-            Variant::Node256 { children } => {
-                children.iter().copied().find(|c| !matches!(c, NodeRef::None)).unwrap_or(NodeRef::None)
-            }
+            Variant::Node256 { children } => children
+                .iter()
+                .copied()
+                .find(|c| !matches!(c, NodeRef::None))
+                .unwrap_or(NodeRef::None),
         }
     }
 
@@ -718,7 +748,11 @@ impl Art {
                     }
                     Variant::Node256 { children } => {
                         mem.read(n.addr + 16, 128);
-                        children.iter().copied().filter(|c| !matches!(c, NodeRef::None)).collect()
+                        children
+                            .iter()
+                            .copied()
+                            .filter(|c| !matches!(c, NodeRef::None))
+                            .collect()
                     }
                 };
                 for c in children {
@@ -758,7 +792,9 @@ mod tests {
     fn insert_get_sparse_keys() {
         let mem = mem();
         let mut t = Art::new(&mem);
-        let keys: Vec<u64> = (0..20_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let keys: Vec<u64> = (0..20_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         for (i, &k) in keys.iter().enumerate() {
             assert!(t.insert(&mem, k, i as u64), "key {k:#x}");
         }
@@ -822,8 +858,11 @@ mod tests {
                 true
             })
             .unwrap();
-        let expected: Vec<u64> =
-            keys.iter().copied().filter(|&k| (100..=5000).contains(&k)).collect();
+        let expected: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|&k| (100..=5000).contains(&k))
+            .collect();
         let mut expected_sorted = expected.clone();
         expected_sorted.sort_unstable();
         assert_eq!(seen, expected_sorted);
@@ -866,7 +905,10 @@ mod tests {
         for k in 0..300u64 {
             t.insert(&mem, k, k);
         }
-        assert!(t.inners.iter().any(|n| matches!(n.variant, Variant::Node256 { .. })));
+        assert!(t
+            .inners
+            .iter()
+            .any(|n| matches!(n.variant, Variant::Node256 { .. })));
         for k in 4..300u64 {
             assert_eq!(t.remove(&mem, k), Some(k));
         }
@@ -875,7 +917,9 @@ mod tests {
             assert_eq!(t.get(&mem, k), Some(k));
         }
         assert!(
-            !t.inners.iter().any(|n| n.count > 0 && matches!(n.variant, Variant::Node256 { .. })),
+            !t.inners
+                .iter()
+                .any(|n| n.count > 0 && matches!(n.variant, Variant::Node256 { .. })),
             "Node256 should have shrunk"
         );
         // Scans stay ordered after shrinking.

@@ -41,7 +41,9 @@ pub struct CcBTree {
 impl CcBTree {
     /// Create an empty tree.
     pub fn new(mem: &Mem) -> Self {
-        CcBTree { tree: BPlusTree::new(mem) }
+        CcBTree {
+            tree: BPlusTree::new(mem),
+        }
     }
 }
 
@@ -100,7 +102,8 @@ mod tests {
         let mem = mem();
         let mut t = CcBTree::new(&mem);
         for k in 0..5000u64 {
-            assert!(t.insert(&mem, k.wrapping_mul(2654435761) % 100_000, k) || true);
+            // Colliding keys make insert return false; only crashes matter here.
+            let _ = t.insert(&mem, k.wrapping_mul(2654435761) % 100_000, k);
         }
         t.insert(&mem, 200_001, 42);
         assert_eq!(t.get(&mem, 200_001), Some(42));

@@ -32,7 +32,10 @@ pub(crate) trait Layout {
     fn touch_search(mem: &Mem, addr: u64, probes: &[usize]) {
         mem.read(addr, 16); // node header
         for &idx in probes {
-            mem.read(addr + Self::HEADER_BYTES + idx as u64 * Self::ENTRY_BYTES, 16);
+            mem.read(
+                addr + Self::HEADER_BYTES + idx as u64 * Self::ENTRY_BYTES,
+                16,
+            );
         }
     }
 
@@ -96,7 +99,12 @@ fn binary_search_trace(keys: &[u64], key: u64, probes: &mut Vec<usize>) -> Resul
 impl<L: Layout> BPlusTree<L> {
     pub fn new(mem: &Mem) -> Self {
         let addr = mem.alloc(L::NODE_BYTES, 64);
-        let root = Leaf { keys: Vec::new(), vals: Vec::new(), next: NO_NODE, addr };
+        let root = Leaf {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            next: NO_NODE,
+            addr,
+        };
         BPlusTree {
             nodes: vec![Node::Leaf(root)],
             root: 0,
@@ -172,7 +180,9 @@ impl<L: Layout> BPlusTree<L> {
     pub fn get(&mut self, mem: &Mem, key: u64) -> Option<u64> {
         let leaf_id = self.descend(mem, key, None);
         let mut probes = Vec::with_capacity(16);
-        let Node::Leaf(leaf) = &self.nodes[leaf_id as usize] else { unreachable!() };
+        let Node::Leaf(leaf) = &self.nodes[leaf_id as usize] else {
+            unreachable!()
+        };
         mem.exec(L::LEAF_INSTR);
         let found = binary_search_trace(&leaf.keys, key, &mut probes);
         L::touch_search(mem, leaf.addr, &probes);
@@ -185,7 +195,9 @@ impl<L: Layout> BPlusTree<L> {
     pub fn replace(&mut self, mem: &Mem, key: u64, payload: u64) -> Option<u64> {
         let leaf_id = self.descend(mem, key, None);
         let mut probes = Vec::with_capacity(16);
-        let Node::Leaf(leaf) = &mut self.nodes[leaf_id as usize] else { unreachable!() };
+        let Node::Leaf(leaf) = &mut self.nodes[leaf_id as usize] else {
+            unreachable!()
+        };
         mem.exec(L::LEAF_INSTR);
         let found = binary_search_trace(&leaf.keys, key, &mut probes);
         L::touch_search(mem, leaf.addr, &probes);
@@ -193,7 +205,10 @@ impl<L: Layout> BPlusTree<L> {
             Ok(i) => {
                 let old = leaf.vals[i];
                 leaf.vals[i] = payload;
-                mem.write(leaf.addr + L::HEADER_BYTES + i as u64 * L::ENTRY_BYTES + 8, 8);
+                mem.write(
+                    leaf.addr + L::HEADER_BYTES + i as u64 * L::ENTRY_BYTES + 8,
+                    8,
+                );
                 Some(old)
             }
             Err(_) => None,
@@ -207,7 +222,9 @@ impl<L: Layout> BPlusTree<L> {
 
         // Insert into the leaf.
         let (split, leaf_addr) = {
-            let Node::Leaf(leaf) = &mut self.nodes[leaf_id as usize] else { unreachable!() };
+            let Node::Leaf(leaf) = &mut self.nodes[leaf_id as usize] else {
+                unreachable!()
+            };
             mem.exec(L::LEAF_INSTR + 20);
             let pos = match binary_search_trace(&leaf.keys, key, &mut probes) {
                 Ok(_) => {
@@ -233,13 +250,17 @@ impl<L: Layout> BPlusTree<L> {
         let (sep, new_addr) = {
             let (left_half, right_half);
             {
-                let Node::Leaf(leaf) = &mut self.nodes[leaf_id as usize] else { unreachable!() };
+                let Node::Leaf(leaf) = &mut self.nodes[leaf_id as usize] else {
+                    unreachable!()
+                };
                 let mid = leaf.keys.len() / 2;
                 right_half = (leaf.keys.split_off(mid), leaf.vals.split_off(mid));
                 left_half = leaf.next;
             }
             let sep = right_half.0[0];
-            let Node::Leaf(new_leaf) = &mut self.nodes[new_id as usize] else { unreachable!() };
+            let Node::Leaf(new_leaf) = &mut self.nodes[new_id as usize] else {
+                unreachable!()
+            };
             new_leaf.keys = right_half.0;
             new_leaf.vals = right_half.1;
             new_leaf.next = left_half;
@@ -247,7 +268,9 @@ impl<L: Layout> BPlusTree<L> {
             // Moving half the entries writes half of both nodes.
             mem.write(new_addr + L::HEADER_BYTES, (L::NODE_BYTES / 2) as u32);
             mem.write(leaf_addr, 16);
-            let Node::Leaf(leaf) = &mut self.nodes[leaf_id as usize] else { unreachable!() };
+            let Node::Leaf(leaf) = &mut self.nodes[leaf_id as usize] else {
+                unreachable!()
+            };
             leaf.next = new_id;
             (sep, new_addr)
         };
@@ -334,7 +357,9 @@ impl<L: Layout> BPlusTree<L> {
     pub fn remove(&mut self, mem: &Mem, key: u64) -> Option<u64> {
         let leaf_id = self.descend(mem, key, None);
         let mut probes = Vec::with_capacity(16);
-        let Node::Leaf(leaf) = &mut self.nodes[leaf_id as usize] else { unreachable!() };
+        let Node::Leaf(leaf) = &mut self.nodes[leaf_id as usize] else {
+            unreachable!()
+        };
         mem.exec(L::LEAF_INSTR + 15);
         let found = binary_search_trace(&leaf.keys, key, &mut probes);
         L::touch_search(mem, leaf.addr, &probes);
@@ -366,7 +391,9 @@ impl<L: Layout> BPlusTree<L> {
         let mut probes = Vec::with_capacity(16);
         let mut visited = 0u64;
         loop {
-            let Node::Leaf(leaf) = &self.nodes[leaf_id as usize] else { unreachable!() };
+            let Node::Leaf(leaf) = &self.nodes[leaf_id as usize] else {
+                unreachable!()
+            };
             mem.exec(L::LEAF_INSTR);
             let start = match binary_search_trace(&leaf.keys, lo, &mut probes) {
                 Ok(i) => i,
@@ -422,7 +449,11 @@ impl<L: Layout> BPlusTree<L> {
                     }
                     for (i, &c) in inner.children.iter().enumerate() {
                         let clo = if i == 0 { lo } else { Some(inner.keys[i - 1]) };
-                        let chi = if i == inner.keys.len() { hi } else { Some(inner.keys[i]) };
+                        let chi = if i == inner.keys.len() {
+                            hi
+                        } else {
+                            Some(inner.keys[i])
+                        };
                         walk(t, c, clo, chi, depth + 1, leaf_depth, count);
                     }
                 }

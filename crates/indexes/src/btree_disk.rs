@@ -34,7 +34,10 @@ impl Layout for DiskLayout {
         mem.read(addr, 16); // page header / latch word
         for &idx in probes {
             mem.read(addr + SLOT_AREA + idx as u64 * 4, 4);
-            mem.read(addr + Self::HEADER_BYTES + idx as u64 * Self::ENTRY_BYTES, 16);
+            mem.read(
+                addr + Self::HEADER_BYTES + idx as u64 * Self::ENTRY_BYTES,
+                16,
+            );
         }
     }
 }
@@ -48,7 +51,9 @@ impl DiskBTree {
     /// Create an empty tree; the root page is allocated in simulated
     /// memory immediately.
     pub fn new(mem: &Mem) -> Self {
-        DiskBTree { tree: BPlusTree::new(mem) }
+        DiskBTree {
+            tree: BPlusTree::new(mem),
+        }
     }
 
     /// Validate structural invariants (tests only).
@@ -102,7 +107,6 @@ impl Index for DiskBTree {
     }
 }
 
-
 /// Packed-key variant of the 8 KB-page B+tree.
 ///
 /// Binary search runs over a densely packed key array at the head of the
@@ -130,7 +134,9 @@ impl Layout for PackedLayout {
 impl DiskBTreePacked {
     /// Create an empty tree.
     pub fn new(mem: &Mem) -> Self {
-        DiskBTreePacked { tree: BPlusTree::new(mem) }
+        DiskBTreePacked {
+            tree: BPlusTree::new(mem),
+        }
     }
 }
 

@@ -158,7 +158,12 @@ impl Index for HashIndex {
         }
         self.touch_slot(mem, slot, true);
         let next = self.dir[slot].take();
-        self.dir[slot] = Some(Box::new(Entry { key, payload, addr, next }));
+        self.dir[slot] = Some(Box::new(Entry {
+            key,
+            payload,
+            addr,
+            next,
+        }));
         self.bytes += ENTRY_BYTES;
         self.len += 1;
         true

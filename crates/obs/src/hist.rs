@@ -1,0 +1,284 @@
+//! Log-bucketed histograms for per-transaction micro-architectural
+//! distributions (HDR-histogram style, 8 sub-buckets per power of two).
+//!
+//! Buckets are cumulative counters, so two snapshots of the same histogram
+//! can be subtracted elementwise to get the distribution of a measurement
+//! window — the same snapshot/delta discipline the profiler uses for raw
+//! event counts.
+
+/// Sub-bucket resolution: 2^3 = 8 linear sub-buckets per octave, bounding
+/// the relative quantization error at 12.5%.
+const SUB: usize = 8;
+/// Values 0..8 map to themselves; 61 further octaves cover the full u64
+/// range (top value has msb 63, octave 61).
+const BUCKETS: usize = SUB + 61 * SUB;
+
+/// A log-bucketed histogram over `u64` values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    /// Smallest / largest value ever recorded (lifetime, not per-window —
+    /// a windowed delta re-derives approximate bounds from its buckets).
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64; // >= 3
+    let octave = msb - 2;
+    let sub = (v >> (msb - 3)) & (SUB as u64 - 1);
+    (octave * SUB as u64 + sub) as usize
+}
+
+/// Lowest value mapping into bucket `idx`.
+fn bucket_low(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let octave = (idx / SUB) as u64;
+    let sub = (idx % SUB) as u64;
+    (SUB as u64 + sub) << (octave - 1)
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in [0, 1] (lower bound of the containing
+    /// bucket, so the result is exact for values below 8 and within 12.5%
+    /// above).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_low(idx);
+            }
+        }
+        self.max
+    }
+
+    /// `self - earlier`, for measurement windows. Bucket counts subtract
+    /// exactly; min/max are re-derived from the window's occupied buckets.
+    pub fn delta(&self, earlier: &Histogram) -> Histogram {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&earlier.counts)
+            .map(|(a, b)| a - b)
+            .collect();
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                min = min.min(bucket_low(idx));
+                max = max.max(bucket_low(idx));
+            }
+        }
+        Histogram {
+            counts,
+            total: self.total - earlier.total,
+            sum: self.sum - earlier.sum,
+            min,
+            max,
+        }
+    }
+
+    /// Accumulate another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(low_value, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| (bucket_low(idx), c))
+    }
+}
+
+/// The per-transaction distributions the tracer maintains: instructions,
+/// model cycles, and misses per stall class.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TxnHists {
+    pub instructions: Histogram,
+    pub cycles: Histogram,
+    pub misses: [Histogram; 6],
+}
+
+impl TxnHists {
+    pub fn delta(&self, earlier: &TxnHists) -> TxnHists {
+        TxnHists {
+            instructions: self.instructions.delta(&earlier.instructions),
+            cycles: self.cycles.delta(&earlier.cycles),
+            misses: std::array::from_fn(|i| self.misses[i].delta(&earlier.misses[i])),
+        }
+    }
+
+    pub fn merge(&mut self, other: &TxnHists) {
+        self.instructions.merge(&other.instructions);
+        self.cycles.merge(&other.cycles);
+        for i in 0..6 {
+            self.misses[i].merge(&other.misses[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut prev = 0;
+        for idx in 1..BUCKETS {
+            let low = bucket_low(idx);
+            assert!(low > prev, "bucket {idx} low {low} <= {prev}");
+            prev = low;
+        }
+        // Every value maps into the bucket whose range contains it.
+        for v in [
+            0u64,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            100,
+            1023,
+            1024,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(bucket_low(idx) <= v);
+            if idx + 1 < BUCKETS {
+                assert!(v < bucket_low(idx + 1), "v={v} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            (p50 as f64) >= 5000.0 * 0.875 && (p50 as f64) <= 5000.0 * 1.001,
+            "{p50}"
+        );
+        let p99 = h.quantile(0.99);
+        assert!(
+            (p99 as f64) >= 9900.0 * 0.875 && (p99 as f64) <= 9900.0 * 1.001,
+            "{p99}"
+        );
+    }
+
+    #[test]
+    fn delta_recovers_window() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(100);
+        let snap = h.clone();
+        h.record(7);
+        h.record(7);
+        h.record(2000);
+        let win = h.delta(&snap);
+        assert_eq!(win.count(), 3);
+        assert_eq!(win.quantile(0.0), 7);
+        assert!(win.max() >= 1792); // 2000's bucket low
+        let mean = win.mean();
+        assert!((mean - (7.0 + 7.0 + 2000.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        a.record(3);
+        let mut b = Histogram::new();
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 3);
+        assert!(a.max() >= 256);
+    }
+}

@@ -102,12 +102,8 @@ pub trait Db {
     ) -> OltpResult<bool>;
 
     /// Update the row under `key` in place; returns whether it existed.
-    fn update(
-        &mut self,
-        table: TableId,
-        key: u64,
-        f: &mut dyn FnMut(&mut Row),
-    ) -> OltpResult<bool>;
+    fn update(&mut self, table: TableId, key: u64, f: &mut dyn FnMut(&mut Row))
+        -> OltpResult<bool>;
 
     /// Ordered scan of keys in `[lo, hi]`; the visitor returns `false` to
     /// stop early. Returns the number of rows visited.
@@ -160,8 +156,13 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = OltpError::DuplicateKey { table: TableId(3), key: 9 };
+        let e = OltpError::DuplicateKey {
+            table: TableId(3),
+            key: 9,
+        };
         assert_eq!(e.to_string(), "duplicate key 9 in table 3");
-        assert!(OltpError::Aborted("validation").to_string().contains("validation"));
+        assert!(OltpError::Aborted("validation")
+            .to_string()
+            .contains("validation"));
     }
 }

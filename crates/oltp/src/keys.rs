@@ -23,12 +23,19 @@ impl KeyPack {
     /// schema bugs that must fail loudly.
     #[must_use]
     pub fn field(mut self, v: u64, bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 64, "field width out of range");
+        assert!((1..=64).contains(&bits), "field width out of range");
         assert!(self.used_bits + bits <= 64, "key exceeds 64 bits");
-        assert!(bits == 64 || v < (1u64 << bits), "value {v} does not fit in {bits} bits");
+        assert!(
+            bits == 64 || v < (1u64 << bits),
+            "value {v} does not fit in {bits} bits"
+        );
         // `bits == 64` is only reachable with an empty accumulator (the
         // 64-bit budget assert above); avoid the UB-checked full shift.
-        self.acc = if bits == 64 { v } else { (self.acc << bits) | v };
+        self.acc = if bits == 64 {
+            v
+        } else {
+            (self.acc << bits) | v
+        };
         self.used_bits += bits;
         self
     }

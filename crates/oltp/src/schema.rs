@@ -14,7 +14,10 @@ pub struct Column {
 impl Column {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: DataType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -55,7 +58,10 @@ impl Schema {
     /// Check that a row matches the schema (arity and types).
     pub fn check(&self, row: &[Value]) -> bool {
         row.len() == self.columns.len()
-            && row.iter().zip(&self.columns).all(|(v, c)| v.data_type() == c.ty)
+            && row
+                .iter()
+                .zip(&self.columns)
+                .all(|(v, c)| v.data_type() == c.ty)
     }
 }
 

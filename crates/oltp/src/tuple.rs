@@ -105,7 +105,11 @@ mod tests {
 
     #[test]
     fn round_trip_mixed_row() {
-        let row = vec![Value::Long(-42), Value::from("hello"), Value::Long(i64::MAX)];
+        let row = vec![
+            Value::Long(-42),
+            Value::from("hello"),
+            Value::Long(i64::MAX),
+        ];
         let bytes = encode(&row);
         assert_eq!(bytes.len(), encoded_len(&row));
         assert_eq!(decode(&bytes).unwrap(), row);

@@ -92,7 +92,8 @@ impl BufferPool {
 
     /// Touch the hashed page-table slot for `pid`.
     fn touch_table(&self, mem: &Mem, pid: PageId) {
-        let h = pid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - self.table_slots.trailing_zeros());
+        let h =
+            pid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - self.table_slots.trailing_zeros());
         mem.read(self.table_addr + h * 16, 16);
     }
 
@@ -110,8 +111,10 @@ impl BufferPool {
         // Miss: fetch from disk into a victim frame.
         self.fetches += 1;
         mem.exec(220); // miss path: I/O request setup (async, no latency)
-        let page =
-            self.disk.remove(&pid).unwrap_or_else(|| panic!("page {pid:?} does not exist"));
+        let page = self
+            .disk
+            .remove(&pid)
+            .unwrap_or_else(|| panic!("page {pid:?} does not exist"));
         let f = self.grab_frame(mem);
         self.install_with_id(mem, f, page, pid);
         f
@@ -168,15 +171,13 @@ impl BufferPool {
     }
 
     /// Access a page immutably.
-    pub fn with_page<R>(
-        &mut self,
-        mem: &Mem,
-        pid: PageId,
-        f: impl FnOnce(&Page, u64) -> R,
-    ) -> R {
+    pub fn with_page<R>(&mut self, mem: &Mem, pid: PageId, f: impl FnOnce(&Page, u64) -> R) -> R {
         let fr = self.frame_for(mem, pid);
         let frame = &self.frames[fr];
-        f(frame.page.as_ref().expect("just installed"), frame.data_addr)
+        f(
+            frame.page.as_ref().expect("just installed"),
+            frame.data_addr,
+        )
     }
 
     /// Access a page mutably (marks the frame dirty).
@@ -189,7 +190,10 @@ impl BufferPool {
         let fr = self.frame_for(mem, pid);
         let frame = &mut self.frames[fr];
         frame.dirty = true;
-        f(frame.page.as_mut().expect("just installed"), frame.data_addr)
+        f(
+            frame.page.as_mut().expect("just installed"),
+            frame.data_addr,
+        )
     }
 
     /// Number of resident pages.
@@ -221,7 +225,8 @@ mod tests {
             .map(|i| {
                 let pid = pool.new_page(&mem);
                 pool.with_page_mut(&mem, pid, |p, base| {
-                    p.insert(&mem, base, Bytes::from(vec![i as u8; 16])).unwrap()
+                    p.insert(&mem, base, Bytes::from(vec![i as u8; 16]))
+                        .unwrap()
                 });
                 pid
             })

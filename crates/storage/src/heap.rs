@@ -26,7 +26,10 @@ impl Rid {
 
     /// Unpack from an index payload.
     pub fn from_u64(v: u64) -> Self {
-        Rid { page: (v >> 16) as u32, slot: (v & 0xFFFF) as u16 }
+        Rid {
+            page: (v >> 16) as u32,
+            slot: (v & 0xFFFF) as u16,
+        }
     }
 }
 
@@ -41,7 +44,11 @@ pub struct HeapFile {
 impl HeapFile {
     /// An empty heap file (first page allocated lazily).
     pub fn new() -> Self {
-        HeapFile { pages: Vec::new(), insert_cursor: 0, rows: 0 }
+        HeapFile {
+            pages: Vec::new(),
+            insert_cursor: 0,
+            rows: 0,
+        }
     }
 
     /// Number of live rows.
@@ -68,12 +75,14 @@ impl HeapFile {
             }
             let page_ord = self.insert_cursor;
             let pid = self.pages[page_ord];
-            let slot =
-                pool.with_page_mut(mem, pid, |p, base| p.insert(mem, base, data.clone()));
+            let slot = pool.with_page_mut(mem, pid, |p, base| p.insert(mem, base, data.clone()));
             match slot {
                 Some(s) => {
                     self.rows += 1;
-                    return Rid { page: page_ord as u32, slot: s.0 };
+                    return Rid {
+                        page: page_ord as u32,
+                        slot: s.0,
+                    };
                 }
                 None => self.insert_cursor += 1,
             }
@@ -88,7 +97,9 @@ impl HeapFile {
         rid: Rid,
         f: &mut dyn FnMut(&Bytes),
     ) -> bool {
-        let Some(&pid) = self.pages.get(rid.page as usize) else { return false };
+        let Some(&pid) = self.pages.get(rid.page as usize) else {
+            return false;
+        };
         pool.with_page(mem, pid, |p, base| p.read(mem, base, SlotId(rid.slot), f))
     }
 
@@ -103,8 +114,9 @@ impl HeapFile {
         data: Bytes,
     ) -> Option<Rid> {
         let &pid = self.pages.get(rid.page as usize)?;
-        let ok =
-            pool.with_page_mut(mem, pid, |p, base| p.update(mem, base, SlotId(rid.slot), data.clone()));
+        let ok = pool.with_page_mut(mem, pid, |p, base| {
+            p.update(mem, base, SlotId(rid.slot), data.clone())
+        });
         if ok {
             return Some(rid);
         }
@@ -121,9 +133,12 @@ impl HeapFile {
 
     /// Delete the tuple at `rid`.
     pub fn delete(&mut self, pool: &mut BufferPool, mem: &Mem, rid: Rid) -> bool {
-        let Some(&pid) = self.pages.get(rid.page as usize) else { return false };
-        let gone =
-            pool.with_page_mut(mem, pid, |p, base| p.delete(mem, base, SlotId(rid.slot)).is_some());
+        let Some(&pid) = self.pages.get(rid.page as usize) else {
+            return false;
+        };
+        let gone = pool.with_page_mut(mem, pid, |p, base| {
+            p.delete(mem, base, SlotId(rid.slot)).is_some()
+        });
         if gone {
             self.rows -= 1;
             // Allow future inserts to refill earlier pages.
@@ -133,15 +148,18 @@ impl HeapFile {
     }
 
     /// Full scan in page order.
-    pub fn scan(
-        &self,
-        pool: &mut BufferPool,
-        mem: &Mem,
-        f: &mut dyn FnMut(Rid, &Bytes) -> bool,
-    ) {
+    pub fn scan(&self, pool: &mut BufferPool, mem: &Mem, f: &mut dyn FnMut(Rid, &Bytes) -> bool) {
         for (ord, &pid) in self.pages.iter().enumerate() {
             let keep_going = pool.with_page(mem, pid, |p, base| {
-                p.scan(mem, base, &mut |slot, d| f(Rid { page: ord as u32, slot: slot.0 }, d))
+                p.scan(mem, base, &mut |slot, d| {
+                    f(
+                        Rid {
+                            page: ord as u32,
+                            slot: slot.0,
+                        },
+                        d,
+                    )
+                })
             });
             if !keep_going {
                 return;
@@ -169,7 +187,10 @@ mod tests {
 
     #[test]
     fn rid_round_trips() {
-        let rid = Rid { page: 123_456, slot: 789 };
+        let rid = Rid {
+            page: 123_456,
+            slot: 789,
+        };
         assert_eq!(Rid::from_u64(rid.to_u64()), rid);
     }
 
@@ -199,9 +220,14 @@ mod tests {
         let _ = heap.insert(&mut pool, &mem, Bytes::from(vec![9u8; 600]));
         let rid = heap.insert(&mut pool, &mem, Bytes::from(vec![1u8; 16]));
         // Same-size update keeps the Rid.
-        assert_eq!(heap.update(&mut pool, &mem, rid, Bytes::from(vec![2u8; 16])), Some(rid));
+        assert_eq!(
+            heap.update(&mut pool, &mem, rid, Bytes::from(vec![2u8; 16])),
+            Some(rid)
+        );
         // An update that outgrows the page relocates to another page.
-        let new_rid = heap.update(&mut pool, &mem, rid, Bytes::from(vec![3u8; 8000])).unwrap();
+        let new_rid = heap
+            .update(&mut pool, &mem, rid, Bytes::from(vec![3u8; 8000]))
+            .unwrap();
         assert_ne!(new_rid, rid);
         let mut len = 0;
         heap.read(&mut pool, &mem, new_rid, &mut |d| len = d.len());
@@ -213,8 +239,9 @@ mod tests {
     fn delete_then_scan_skips() {
         let (mem, mut pool) = setup();
         let mut heap = HeapFile::new();
-        let rids: Vec<Rid> =
-            (0..10u8).map(|i| heap.insert(&mut pool, &mem, Bytes::from(vec![i; 8]))).collect();
+        let rids: Vec<Rid> = (0..10u8)
+            .map(|i| heap.insert(&mut pool, &mem, Bytes::from(vec![i; 8])))
+            .collect();
         assert!(heap.delete(&mut pool, &mem, rids[4]));
         assert!(!heap.delete(&mut pool, &mem, rids[4]));
         let mut seen = Vec::new();

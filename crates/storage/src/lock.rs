@@ -156,7 +156,9 @@ impl LockManager {
 
     /// Release everything `txn` holds (commit/abort).
     pub fn release_all(&mut self, mem: &Mem, txn: TxnId) {
-        let Some(targets) = self.held.remove(&txn) else { return };
+        let Some(targets) = self.held.remove(&txn) else {
+            return;
+        };
         mem.exec(20 + 12 * targets.len() as u64);
         for target in targets {
             self.touch_bucket(mem, target);
@@ -281,7 +283,10 @@ mod tests {
         assert_eq!(lm.lock(&mem, T1, tbl, LockMode::Is), LockOutcome::Granted);
         assert_eq!(lm.lock(&mem, T2, tbl, LockMode::Ix), LockOutcome::Granted);
         // A table X (e.g. DDL) conflicts with both intentions.
-        assert_eq!(lm.lock(&mem, TxnId(3), tbl, LockMode::X), LockOutcome::Conflict);
+        assert_eq!(
+            lm.lock(&mem, TxnId(3), tbl, LockMode::X),
+            LockOutcome::Conflict
+        );
     }
 
     #[test]

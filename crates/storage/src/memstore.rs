@@ -50,7 +50,13 @@ pub struct MemStore {
 impl MemStore {
     /// An empty store.
     pub fn new() -> Self {
-        MemStore { slots: Vec::new(), free: Vec::new(), live: 0, chunk_addr: 0, chunk_used: CHUNK_BYTES }
+        MemStore {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            chunk_addr: 0,
+            chunk_used: CHUNK_BYTES,
+        }
     }
 
     /// Bump-allocate `cap` bytes from the store's private arena.
@@ -106,7 +112,10 @@ impl MemStore {
 
     /// Simulated address of a row (for engines that touch sub-fields).
     pub fn addr(&self, id: RowId) -> Option<u64> {
-        self.slots.get(id.0 as usize).and_then(Option::as_ref).map(|s| s.addr)
+        self.slots
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .map(|s| s.addr)
     }
 
     /// Replace a row in place (reallocating its simulated bytes only when
@@ -121,12 +130,19 @@ impl MemStore {
         if needs_realloc {
             let cap = len.next_multiple_of(16);
             let addr = self.alloc_row(mem, cap);
-            let slot =
-                self.slots.get_mut(id.0 as usize).and_then(Option::as_mut).expect("checked");
+            let slot = self
+                .slots
+                .get_mut(id.0 as usize)
+                .and_then(Option::as_mut)
+                .expect("checked");
             slot.cap = cap;
             slot.addr = addr;
         }
-        let slot = self.slots.get_mut(id.0 as usize).and_then(Option::as_mut).expect("checked");
+        let slot = self
+            .slots
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("checked");
         mem.write(slot.addr, len);
         slot.data = data;
         true
@@ -190,11 +206,15 @@ mod tests {
     fn sequential_inserts_have_adjacent_addresses() {
         let mem = mem();
         let mut s = MemStore::new();
-        let ids: Vec<RowId> =
-            (0..10).map(|_| s.insert(&mem, Bytes::from(vec![0u8; 48]))).collect();
+        let ids: Vec<RowId> = (0..10)
+            .map(|_| s.insert(&mem, Bytes::from(vec![0u8; 48])))
+            .collect();
         let addrs: Vec<u64> = ids.iter().map(|&i| s.addr(i).unwrap()).collect();
         for w in addrs.windows(2) {
-            assert!(w[1] > w[0] && w[1] - w[0] <= 64, "addresses not adjacent: {w:?}");
+            assert!(
+                w[1] > w[0] && w[1] - w[0] <= 64,
+                "addresses not adjacent: {w:?}"
+            );
         }
     }
 

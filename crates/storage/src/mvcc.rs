@@ -50,7 +50,12 @@ pub struct VersionStore {
 impl VersionStore {
     /// An empty store.
     pub fn new() -> Self {
-        VersionStore { chains: Vec::new(), free: Vec::new(), live: 0, chain_hops: 0 }
+        VersionStore {
+            chains: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            chain_hops: 0,
+        }
     }
 
     /// Live chains (rows whose newest version is not a tombstone).
@@ -64,14 +69,22 @@ impl VersionStore {
         // Line-aligned: header + a small row share one cache line.
         let addr = mem.alloc(data.len().max(1) as u64 + 32, 64);
         mem.write(addr, data.len().max(1) as u32 + 24);
-        let version = Box::new(Version { begin: begin_ts, end: TS_INF, data, addr, prev: None });
+        let version = Box::new(Version {
+            begin: begin_ts,
+            end: TS_INF,
+            data,
+            addr,
+            prev: None,
+        });
         let id = match self.free.pop() {
             Some(i) => {
                 self.chains[i as usize].head = Some(version);
                 i
             }
             None => {
-                self.chains.push(Chain { head: Some(version) });
+                self.chains.push(Chain {
+                    head: Some(version),
+                });
                 (self.chains.len() - 1) as u32
             }
         };
@@ -82,7 +95,9 @@ impl VersionStore {
     /// Visit the version visible at `ts`; returns whether one exists.
     pub fn read(&mut self, mem: &Mem, id: RowId, ts: u64, f: &mut dyn FnMut(&Bytes)) -> bool {
         mem.exec(12);
-        let Some(chain) = self.chains.get(id.0 as usize) else { return false };
+        let Some(chain) = self.chains.get(id.0 as usize) else {
+            return false;
+        };
         let mut cur = chain.head.as_deref();
         while let Some(v) = cur {
             mem.exec(6);
@@ -101,7 +116,11 @@ impl VersionStore {
     /// Begin timestamp of the newest version (validation: a transaction
     /// that read at `ts` conflicts if this exceeds `ts`).
     pub fn newest_begin(&self, id: RowId) -> Option<u64> {
-        self.chains.get(id.0 as usize)?.head.as_ref().map(|v| v.begin)
+        self.chains
+            .get(id.0 as usize)?
+            .head
+            .as_ref()
+            .map(|v| v.begin)
     }
 
     /// Install a new version at commit time. `snapshot_ts` is the writer's
@@ -193,7 +212,10 @@ impl VersionStore {
     /// Length of a chain (tests).
     pub fn chain_len(&self, id: RowId) -> usize {
         let mut n = 0;
-        let mut cur = self.chains.get(id.0 as usize).and_then(|c| c.head.as_deref());
+        let mut cur = self
+            .chains
+            .get(id.0 as usize)
+            .and_then(|c| c.head.as_deref());
         while let Some(v) = cur {
             n += 1;
             cur = v.prev.as_deref();

@@ -48,7 +48,12 @@ pub struct Page {
 impl Page {
     /// A fresh empty page.
     pub fn new(id: PageId) -> Self {
-        Page { id, slots: Vec::new(), free_ptr: HEADER_BYTES, lsn: 0 }
+        Page {
+            id,
+            slots: Vec::new(),
+            free_ptr: HEADER_BYTES,
+            lsn: 0,
+        }
     }
 
     /// Page id.
@@ -88,7 +93,10 @@ impl Page {
         let slot_no = self.slots.len() as u16;
         let offset = self.free_ptr;
         self.free_ptr += len.max(8);
-        self.slots.push(Slot { offset, data: Some(data) });
+        self.slots.push(Slot {
+            offset,
+            data: Some(data),
+        });
         mem.exec(35);
         mem.write(base, 24); // header: free ptr, slot count, LSN
         mem.write(base + slot_dir_offset(slot_no), SLOT_BYTES);
@@ -101,7 +109,11 @@ impl Page {
         mem.exec(18);
         mem.read(base, 16); // header
         mem.read(base + slot_dir_offset(slot.0), SLOT_BYTES);
-        match self.slots.get(slot.0 as usize).and_then(|s| s.data.as_ref()) {
+        match self
+            .slots
+            .get(slot.0 as usize)
+            .and_then(|s| s.data.as_ref())
+        {
             Some(d) => {
                 let off = self.slots[slot.0 as usize].offset;
                 mem.read(base + u64::from(off), d.len().max(1) as u32);
@@ -119,7 +131,9 @@ impl Page {
         mem.exec(30);
         mem.read(base, 16);
         mem.read(base + slot_dir_offset(slot.0), SLOT_BYTES);
-        let Some(s) = self.slots.get_mut(slot.0 as usize) else { return false };
+        let Some(s) = self.slots.get_mut(slot.0 as usize) else {
+            return false;
+        };
         let Some(old) = &s.data else { return false };
         let new_len = data.len() as u32;
         if new_len > old.len() as u32 {
@@ -148,7 +162,9 @@ impl Page {
         mem.exec(20);
         mem.read(base, 16);
         mem.write(base + slot_dir_offset(slot.0), SLOT_BYTES);
-        self.slots.get_mut(slot.0 as usize).and_then(|s| s.data.take())
+        self.slots
+            .get_mut(slot.0 as usize)
+            .and_then(|s| s.data.take())
     }
 
     /// Visit every live tuple in slot order (sequential scan of the page).
@@ -220,8 +236,9 @@ mod tests {
     fn scan_visits_live_tuples_in_order() {
         let (mem, base) = setup();
         let mut p = Page::new(PageId(1));
-        let slots: Vec<SlotId> =
-            (0..10u8).map(|i| p.insert(&mem, base, Bytes::from(vec![i; 8])).unwrap()).collect();
+        let slots: Vec<SlotId> = (0..10u8)
+            .map(|i| p.insert(&mem, base, Bytes::from(vec![i; 8])).unwrap())
+            .collect();
         p.delete(&mem, base, slots[3]);
         let mut seen = Vec::new();
         p.scan(&mem, base, &mut |s, d| {

@@ -76,8 +76,11 @@ pub fn replay(records: &[LogRecord], db: &mut dyn Db) -> Result<ReplayStats, Rep
 
     // Pass 2: redo committed work in LSN order. Each committed transaction
     // is re-applied atomically.
-    let mut stats =
-        ReplayStats { txns: winners.len() as u64, losers: losers.len() as u64, applied: 0 };
+    let mut stats = ReplayStats {
+        txns: winners.len() as u64,
+        losers: losers.len() as u64,
+        applied: 0,
+    };
     let mut open: Option<TxnId> = None;
     for r in records {
         if !winners.contains(&r.txn) {
@@ -147,7 +150,6 @@ fn ensure_open(db: &mut dyn Db, open: &mut Option<TxnId>, txn: TxnId) {
 mod tests {
     use super::*;
     use crate::wal::Wal;
-    use bytes::Bytes;
     use oltp::Value;
     use uarch_sim::{MachineConfig, Mem, Sim};
 
@@ -160,7 +162,7 @@ mod tests {
     }
 
     fn rec(wal: &mut Wal, mem: &Mem, txn: u64, kind: LogKind, key: u64, v: Option<i64>) {
-        let redo = v.map(|x| Bytes::from(tuple::encode(&row(x))));
+        let redo = v.map(|x| tuple::encode(&row(x)));
         wal.append_data(mem, TxnId(txn), kind, 0, key, redo.as_ref(), 16);
     }
 
@@ -172,7 +174,10 @@ mod tests {
 
     impl MiniDb {
         fn new() -> Self {
-            MiniDb { rows: Default::default(), in_txn: false }
+            MiniDb {
+                rows: Default::default(),
+                in_txn: false,
+            }
         }
     }
 
@@ -201,7 +206,10 @@ mod tests {
         }
         fn insert(&mut self, _t: TableId, key: u64, r: &[Value]) -> oltp::OltpResult<()> {
             if self.rows.contains_key(&key) {
-                return Err(OltpError::DuplicateKey { table: TableId(0), key });
+                return Err(OltpError::DuplicateKey {
+                    table: TableId(0),
+                    key,
+                });
             }
             self.rows.insert(key, r.to_vec());
             Ok(())
@@ -296,6 +304,9 @@ mod tests {
         wal.append_data(&mem, TxnId(1), LogKind::Insert, 0, 9, None, 16);
         rec(&mut wal, &mem, 1, LogKind::Commit, 0, None);
         let mut db = MiniDb::new();
-        assert!(matches!(replay(wal.records(), &mut db), Err(ReplayError::MissingRedo(_))));
+        assert!(matches!(
+            replay(wal.records(), &mut db),
+            Err(ReplayError::MissingRedo(_))
+        ));
     }
 }

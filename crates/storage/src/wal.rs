@@ -117,6 +117,7 @@ impl Wal {
     /// Append a data record carrying its redo information (retained only
     /// when record retention is on; the simulated log-buffer traffic is
     /// identical either way).
+    #[allow(clippy::too_many_arguments)]
     pub fn append_data(
         &mut self,
         mem: &Mem,

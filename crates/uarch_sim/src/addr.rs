@@ -18,7 +18,11 @@ pub struct AddressSpace {
 impl AddressSpace {
     /// A region `[base, base + size)`.
     pub fn new(base: u64, size: u64) -> Self {
-        AddressSpace { base, next: base, limit: base.checked_add(size).expect("region overflow") }
+        AddressSpace {
+            base,
+            next: base,
+            limit: base.checked_add(size).expect("region overflow"),
+        }
     }
 
     /// Allocate `size` bytes aligned to `align` (a power of two).

@@ -58,7 +58,10 @@ impl Cache {
             if self.tags[idx] == line {
                 self.stamps[idx] = self.clock;
                 self.hits += 1;
-                return AccessOutcome { hit: true, evicted: None };
+                return AccessOutcome {
+                    hit: true,
+                    evicted: None,
+                };
             }
             if self.stamps[idx] < lru_stamp {
                 lru_stamp = self.stamps[idx];
@@ -67,10 +70,17 @@ impl Cache {
         }
         self.misses += 1;
         let idx = base + lru_way;
-        let evicted = if self.tags[idx] == EMPTY { None } else { Some(self.tags[idx]) };
+        let evicted = if self.tags[idx] == EMPTY {
+            None
+        } else {
+            Some(self.tags[idx])
+        };
         self.tags[idx] = line;
         self.stamps[idx] = self.clock;
-        AccessOutcome { hit: false, evicted }
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Non-destructive presence check (does not update LRU or stats).

@@ -119,7 +119,10 @@ pub const CODE_REGION_BASE_LINE: u64 = 0x0080_0000; // byte addr 0x2000_0000
 impl ModuleRegistry {
     /// Create a registry pre-populated with the `UNATTRIBUTED` module.
     pub fn new() -> Self {
-        let mut r = ModuleRegistry { modules: Vec::new(), next_line: CODE_REGION_BASE_LINE };
+        let mut r = ModuleRegistry {
+            modules: Vec::new(),
+            next_line: CODE_REGION_BASE_LINE,
+        };
         let id = r.register(ModuleSpec::new("(unattributed)", 4096).reuse(4.0));
         debug_assert_eq!(id, ModuleId::UNATTRIBUTED);
         r
@@ -159,7 +162,10 @@ impl ModuleRegistry {
 
     /// Iterate (id, module).
     pub fn iter(&self) -> impl Iterator<Item = (ModuleId, &Module)> {
-        self.modules.iter().enumerate().map(|(i, m)| (ModuleId(i as u16), m))
+        self.modules
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ModuleId(i as u16), m))
     }
 
     /// One line past the last code segment (start of free line space).

@@ -65,7 +65,14 @@ impl OverlapFactors {
     /// latency under row misses / remote-socket traffic exceeds the
     /// nominal figure the bars are charged with.
     pub const fn ivy_bridge() -> Self {
-        OverlapFactors { l1i: 1.0, l2i: 1.0, llc_i: 1.2, l1d: 0.5, l2d: 0.7, llc_d: 1.35 }
+        OverlapFactors {
+            l1i: 1.0,
+            l2i: 1.0,
+            llc_i: 1.2,
+            l1d: 0.5,
+            l2d: 0.7,
+            llc_d: 1.35,
+        }
     }
 
     /// Factor for one stall event class.
@@ -130,7 +137,7 @@ impl MachineConfig {
     /// 256 KB L2 (8-way), 20 MB shared LLC (20-way), 64 B lines,
     /// penalties 8 / 19 / 167 cycles, 2.0 GHz, 4-wide retire.
     pub fn ivy_bridge(cores: usize) -> Self {
-        assert!(cores >= 1 && cores <= 64, "1..=64 cores supported");
+        assert!((1..=64).contains(&cores), "1..=64 cores supported");
         MachineConfig {
             l1i: CacheGeometry::new(32 << 10, 64, 8),
             l1d: CacheGeometry::new(32 << 10, 64, 8),
@@ -184,9 +191,7 @@ impl MachineConfig {
         // retirement up; a small fraction of the DRAM latency on average.
         cy += c.store_misses as f64 * 12.0;
         for e in StallEvent::ALL {
-            cy += c.misses[e as usize] as f64
-                * f64::from(self.penalty(e))
-                * self.overlap.get(e);
+            cy += c.misses[e as usize] as f64 * f64::from(self.penalty(e)) * self.overlap.get(e);
         }
         cy
     }
@@ -240,8 +245,10 @@ mod tests {
     #[test]
     fn miss_free_stream_runs_at_ideal_ipc() {
         let cfg = MachineConfig::ivy_bridge(1);
-        let mut c = EventCounts::default();
-        c.instructions = 30_000;
+        let c = EventCounts {
+            instructions: 30_000,
+            ..Default::default()
+        };
         assert!((cfg.ipc(&c) - 3.0).abs() < 1e-9);
         assert_eq!(cfg.cycles(&c), 10_000.0);
     }
@@ -249,8 +256,10 @@ mod tests {
     #[test]
     fn stalls_lower_ipc() {
         let cfg = MachineConfig::ivy_bridge(1);
-        let mut c = EventCounts::default();
-        c.instructions = 1000;
+        let mut c = EventCounts {
+            instructions: 1000,
+            ..Default::default()
+        };
         c.misses[StallEvent::LlcD as usize] = 10;
         assert!(cfg.ipc(&c) < 1.0);
         let stalls = cfg.stall_cycles(&c);
@@ -261,8 +270,10 @@ mod tests {
     fn ipc_clamped_to_retire_width() {
         let mut cfg = MachineConfig::ivy_bridge(1);
         cfg.ideal_ipc = 10.0; // hypothetical
-        let mut c = EventCounts::default();
-        c.instructions = 1000;
+        let c = EventCounts {
+            instructions: 1000,
+            ..Default::default()
+        };
         assert_eq!(cfg.ipc(&c), 4.0);
     }
 }

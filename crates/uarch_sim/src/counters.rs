@@ -98,8 +98,8 @@ impl EventCounts {
     pub fn delta(&self, earlier: &EventCounts) -> EventCounts {
         debug_assert!(self.instructions >= earlier.instructions);
         let mut misses = [0u64; 6];
-        for i in 0..6 {
-            misses[i] = self.misses[i] - earlier.misses[i];
+        for (i, m) in misses.iter_mut().enumerate() {
+            *m = self.misses[i] - earlier.misses[i];
         }
         EventCounts {
             instructions: self.instructions - earlier.instructions,
@@ -141,14 +141,18 @@ mod tests {
 
     #[test]
     fn add_then_delta_round_trips() {
-        let mut a = EventCounts::default();
-        a.instructions = 100;
-        a.loads = 7;
+        let mut a = EventCounts {
+            instructions: 100,
+            loads: 7,
+            ..Default::default()
+        };
         a.misses[1] = 3;
         let mut b = a.clone();
-        let mut extra = EventCounts::default();
-        extra.instructions = 50;
-        extra.stores = 2;
+        let mut extra = EventCounts {
+            instructions: 50,
+            stores: 2,
+            ..Default::default()
+        };
         extra.misses[1] = 1;
         extra.misses[5] = 4;
         b.add(&extra);

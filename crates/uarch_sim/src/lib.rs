@@ -93,7 +93,11 @@ impl Sim {
 
     /// A memory port bound to `core` (and, initially, to no code module).
     pub fn mem(&self, core: usize) -> Mem {
-        Mem { sim: self.clone(), core, module: ModuleId::UNATTRIBUTED }
+        Mem {
+            sim: self.clone(),
+            core,
+            module: ModuleId::UNATTRIBUTED,
+        }
     }
 
     /// Snapshot of the aggregate counters of `core`.
@@ -163,13 +167,21 @@ impl Mem {
     /// Rebind the port to a different code module (builder style).
     #[must_use]
     pub fn with_module(&self, module: ModuleId) -> Mem {
-        Mem { sim: self.sim.clone(), core: self.core, module }
+        Mem {
+            sim: self.sim.clone(),
+            core: self.core,
+            module,
+        }
     }
 
     /// Rebind the port to a different core (builder style).
     #[must_use]
     pub fn with_core(&self, core: usize) -> Mem {
-        Mem { sim: self.sim.clone(), core, module: self.module }
+        Mem {
+            sim: self.sim.clone(),
+            core,
+            module: self.module,
+        }
     }
 
     /// The core this port is bound to.
@@ -190,18 +202,27 @@ impl Mem {
     /// Retire `n` instructions from this port's code module, streaming the
     /// corresponding instruction-cache line fetches.
     pub fn exec(&self, n: u64) {
-        self.sim.0.borrow_mut().fetch_code(self.core, self.module, n);
+        self.sim
+            .0
+            .borrow_mut()
+            .fetch_code(self.core, self.module, n);
     }
 
     /// Simulated data load of `len` bytes at `addr` (touches every spanned
     /// cache line).
     pub fn read(&self, addr: u64, len: u32) {
-        self.sim.0.borrow_mut().data_access(self.core, self.module, addr, len, false);
+        self.sim
+            .0
+            .borrow_mut()
+            .data_access(self.core, self.module, addr, len, false);
     }
 
     /// Simulated data store of `len` bytes at `addr`.
     pub fn write(&self, addr: u64, len: u32) {
-        self.sim.0.borrow_mut().data_access(self.core, self.module, addr, len, true);
+        self.sim
+            .0
+            .borrow_mut()
+            .data_access(self.core, self.module, addr, len, true);
     }
 
     /// Allocate simulated data memory (convenience passthrough).

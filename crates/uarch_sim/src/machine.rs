@@ -62,7 +62,9 @@ impl Machine {
     /// Build a machine with cold caches.
     pub fn new(cfg: MachineConfig) -> Self {
         let modules = ModuleRegistry::new();
-        let cores = (0..cfg.cores).map(|i| Core::new(&cfg, i, modules.len())).collect();
+        let cores = (0..cfg.cores)
+            .map(|i| Core::new(&cfg, i, modules.len()))
+            .collect();
         Machine {
             llc: Cache::new(cfg.llc),
             cores,
@@ -157,7 +159,12 @@ impl Machine {
         }
         let (base_line, seg_lines, reuse, branchiness) = {
             let m = self.modules.get(module);
-            (m.base_line, m.spec.lines(), m.spec.reuse, m.spec.branchiness)
+            (
+                m.base_line,
+                m.spec.lines(),
+                m.spec.reuse,
+                m.spec.branchiness,
+            )
         };
         let unique = (((n as f64) / (INSTRS_PER_LINE as f64 * reuse)).ceil() as u64).max(1);
 
@@ -167,8 +174,7 @@ impl Machine {
         // Branch mispredictions scale with how branchy the module is
         // (~0.12 mispredicted branches per branch-dense instruction).
         let expected_mp = n as f64 * branchiness * 0.12;
-        let mp = expected_mp as u64
-            + u64::from(c.rng.chance(expected_mp - expected_mp.floor()));
+        let mp = expected_mp as u64 + u64::from(c.rng.chance(expected_mp - expected_mp.floor()));
         c.counts.mispredicts += mp;
         let mc = &mut c.module_counts[module.0 as usize];
         mc.instructions += n;
@@ -378,14 +384,22 @@ mod tests {
         let d = m.counters(0).delta(&before);
         assert_eq!(d.instructions, 1_000_000);
         // 2 KB of code fits L1I: essentially no instruction misses.
-        assert!(d.miss(StallEvent::L1i) < 10, "l1i={}", d.miss(StallEvent::L1i));
+        assert!(
+            d.miss(StallEvent::L1i) < 10,
+            "l1i={}",
+            d.miss(StallEvent::L1i)
+        );
     }
 
     #[test]
     fn oversized_module_thrashes_l1i_but_fits_l2() {
         let mut m = machine(1);
         // 128 KB hot path: > 32 KB L1I, < 256 KB L2.
-        let id = m.register_module(ModuleSpec::new("fat", 128 << 10).reuse(1.0).branchiness(0.0));
+        let id = m.register_module(
+            ModuleSpec::new("fat", 128 << 10)
+                .reuse(1.0)
+                .branchiness(0.0),
+        );
         m.fetch_code(0, id, 200_000);
         let before = m.counters(0).clone();
         m.fetch_code(0, id, 1_000_000);
@@ -418,7 +432,11 @@ mod tests {
         }
         let d = m.counters(0).delta(&before);
         // Most random touches of a 4x-LLC working set miss the LLC.
-        assert!(d.miss(StallEvent::LlcD) > 50_000, "llcd={}", d.miss(StallEvent::LlcD));
+        assert!(
+            d.miss(StallEvent::LlcD) > 50_000,
+            "llcd={}",
+            d.miss(StallEvent::LlcD)
+        );
     }
 
     #[test]
@@ -439,7 +457,11 @@ mod tests {
         let d = m.counters(0).delta(&before);
         // A handful of compulsory misses may remain (lines never drawn during
         // warmup); anything more would mean the LLC is not retaining the set.
-        assert!(d.miss(StallEvent::LlcD) < 20, "llcd={}", d.miss(StallEvent::LlcD));
+        assert!(
+            d.miss(StallEvent::LlcD) < 20,
+            "llcd={}",
+            d.miss(StallEvent::LlcD)
+        );
     }
 
     #[test]
@@ -477,7 +499,9 @@ mod tests {
             // Sequential walk over a >L1I footprint: the prefetcher's
             // best case.
             let id = m.register_module(
-                ModuleSpec::new("seq", 128 << 10).reuse(1.0).branchiness(0.0),
+                ModuleSpec::new("seq", 128 << 10)
+                    .reuse(1.0)
+                    .branchiness(0.0),
             );
             m.fetch_code(0, id, 400_000);
             let before = m.counters(0).clone();
@@ -545,7 +569,11 @@ mod tests {
     fn code_and_data_share_l2() {
         let mut m = machine(1);
         // A 200 KB code path nearly fills L2...
-        let code = m.register_module(ModuleSpec::new("hot", 200 << 10).reuse(1.0).branchiness(0.0));
+        let code = m.register_module(
+            ModuleSpec::new("hot", 200 << 10)
+                .reuse(1.0)
+                .branchiness(0.0),
+        );
         for _ in 0..10 {
             m.fetch_code(0, code, 800_000);
         }

@@ -14,7 +14,13 @@ pub struct XorShift64 {
 impl XorShift64 {
     /// Seeded constructor; zero seeds are remapped to a fixed constant.
     pub fn new(seed: u64) -> Self {
-        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next 64-bit value.

@@ -154,7 +154,11 @@ impl Workload for MicroBench {
         self.rngs = (0..workers)
             .map(|w| StdRng::seed_from_u64(self.seed ^ (w as u64).wrapping_mul(0x9E37)))
             .collect();
-        let ty = if self.string_cols { DataType::Str } else { DataType::Long };
+        let ty = if self.string_cols {
+            DataType::Str
+        } else {
+            DataType::Long
+        };
         let t = db.create_table(TableDef::new(
             "micro",
             Schema::new(vec![Column::new("key", ty), Column::new("value", ty)]),
@@ -226,7 +230,8 @@ mod tests {
             let mut w = small().rows_per_txn(3);
             sim.offline(|| w.setup(db.as_mut(), 1));
             for _ in 0..20 {
-                w.exec(db.as_mut(), 0).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+                w.exec(db.as_mut(), 0)
+                    .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             }
         }
     }

@@ -4,8 +4,9 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 /// The ten syllables of TPC-C §4.3.2.3.
-pub const SYLLABLES: [&str; 10] =
-    ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+pub const SYLLABLES: [&str; 10] = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
 
 /// Customer last name for a number in 0..=999.
 pub fn c_last(num: u64) -> String {

@@ -132,7 +132,11 @@ impl Workload for TpcB {
         let long = |name: &str| Column::new(name, DataType::Long);
         let branch = db.create_table(TableDef::new(
             "branch",
-            Schema::new(vec![long("b_id"), long("b_balance"), Column::new("b_filler", DataType::Str)]),
+            Schema::new(vec![
+                long("b_id"),
+                long("b_balance"),
+                Column::new("b_filler", DataType::Str),
+            ]),
             self.branches,
         ));
         let teller = db.create_table(TableDef::new(
@@ -173,8 +177,12 @@ impl Workload for TpcB {
         for b in 0..self.branches {
             db.set_core((b % self.workers as u64) as usize);
             db.begin();
-            db.insert(branch, b, &[Value::Long(b as i64), Value::Long(0), Self::filler(40)])
-                .expect("load branch");
+            db.insert(
+                branch,
+                b,
+                &[Value::Long(b as i64), Value::Long(0), Self::filler(40)],
+            )
+            .expect("load branch");
             db.commit().expect("load commit");
         }
         for b in 0..self.branches {
@@ -223,16 +231,24 @@ impl Workload for TpcB {
             db.commit().expect("load commit");
         }
         db.finish_load();
-        self.tables = Some(Tables { branch, teller, account, history });
+        self.tables = Some(Tables {
+            branch,
+            teller,
+            account,
+            history,
+        });
     }
 
     fn exec(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
-        let Tables { branch, teller, account, history } =
-            *self.tables.as_ref().expect("setup not called");
+        let Tables {
+            branch,
+            teller,
+            account,
+            history,
+        } = *self.tables.as_ref().expect("setup not called");
         let b = self.pick_branch(worker);
         let t_id = b * TELLERS_PER_BRANCH + self.rngs[worker].random_range(0..TELLERS_PER_BRANCH);
-        let a_id =
-            b * ACCOUNTS_PER_BRANCH + self.rngs[worker].random_range(0..ACCOUNTS_PER_BRANCH);
+        let a_id = b * ACCOUNTS_PER_BRANCH + self.rngs[worker].random_range(0..ACCOUNTS_PER_BRANCH);
         let delta: i64 = self.rngs[worker].random_range(-99_999..=99_999);
 
         db.begin();

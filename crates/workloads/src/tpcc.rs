@@ -17,7 +17,9 @@
 //! (customer-by-last-name, orders-by-customer) are separate key-ordered
 //! tables, as in index-organized systems.
 
-use oltp::{Column, DataType, Db, KeyPack, OltpError, OltpResult, Schema, TableDef, TableId, Value};
+use oltp::{
+    Column, DataType, Db, KeyPack, OltpError, OltpResult, Schema, TableDef, TableId, Value,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -62,7 +64,12 @@ impl TpcCScale {
 
     /// A miniature database for tests.
     pub fn tiny() -> Self {
-        TpcCScale { warehouses: 1, customers_per_district: 60, items: 200, initial_orders: 12 }
+        TpcCScale {
+            warehouses: 1,
+            customers_per_district: 60,
+            items: 200,
+            initial_orders: 12,
+        }
     }
 }
 
@@ -211,8 +218,10 @@ impl TpcC {
         let nurand = self.nurand.expect("setup");
         let by_name = self.rngs[worker].random_range(0..100) < 60;
         if by_name {
-            let num = nurand
-                .last_name_num(&mut self.rngs[worker], (self.scale.customers_per_district - 1).min(999));
+            let num = nurand.last_name_num(
+                &mut self.rngs[worker],
+                (self.scale.customers_per_district - 1).min(999),
+            );
             let h = name_hash(&c_last(num));
             let (lo, hi) = k_wd(w, d).field(h, H16_BITS).prefix_range(C_BITS);
             let mut ids = Vec::new();
@@ -222,7 +231,9 @@ impl TpcC {
             })?;
             if ids.is_empty() {
                 // Hash bucket may be empty at tiny scales; fall back to id.
-                return Ok(nurand.customer_id(&mut self.rngs[worker], self.scale.customers_per_district));
+                return Ok(
+                    nurand.customer_id(&mut self.rngs[worker], self.scale.customers_per_district)
+                );
             }
             // Spec: position n/2 rounded up in the name-ordered set.
             ids.sort_unstable();
@@ -290,7 +301,11 @@ impl TpcC {
         for (ol, (&(i_id, qty), &price)) in items.iter().zip(&prices).enumerate() {
             db.update(t.stock, key_stock(w, i_id), &mut |row| {
                 let q = row[2].long();
-                let newq = if q >= qty as i64 + 10 { q - qty as i64 } else { q - qty as i64 + 91 };
+                let newq = if q >= qty as i64 + 10 {
+                    q - qty as i64
+                } else {
+                    q - qty as i64 + 91
+                };
                 row[2] = Value::Long(newq);
                 row[3] = Value::Long(row[3].long() + qty as i64); // ytd
                 row[4] = Value::Long(row[4].long() + 1); // order_cnt
@@ -316,7 +331,7 @@ impl TpcC {
             &[
                 Value::Long(o as i64),
                 Value::Long(c as i64),
-                Value::Long(0),               // carrier (pending)
+                Value::Long(0), // carrier (pending)
                 Value::Long(ol_cnt as i64),
                 Value::Long(total),
             ],
@@ -345,7 +360,9 @@ impl TpcC {
 
         db.begin();
         let c = self.select_customer(db, worker, w, d)?;
-        let t = Tables { ..*self.tables.as_ref().expect("setup") };
+        let t = Tables {
+            ..*self.tables.as_ref().expect("setup")
+        };
         db.update(t.warehouse, w, &mut |row| {
             row[1] = Value::Long(row[1].long() + amount); // w_ytd
         })?;
@@ -382,7 +399,9 @@ impl TpcC {
         let d = self.rngs[worker].random_range(0..DISTRICTS);
         db.begin();
         let c = self.select_customer(db, worker, w, d)?;
-        let t = Tables { ..*self.tables.as_ref().expect("setup") };
+        let t = Tables {
+            ..*self.tables.as_ref().expect("setup")
+        };
         db.read_with(t.customer, key_customer(w, d, c), &mut |_| {})?;
         // Most recent order of the customer.
         let (lo, hi) = k_wd(w, d).field(c, C_BITS).prefix_range(O_BITS);
@@ -404,7 +423,9 @@ impl TpcC {
     fn delivery(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
         let w = self.pick_warehouse(worker);
         let carrier: i64 = self.rngs[worker].random_range(1..=10);
-        let t = Tables { ..*self.tables.as_ref().expect("setup") };
+        let t = Tables {
+            ..*self.tables.as_ref().expect("setup")
+        };
         db.begin();
         for d in 0..DISTRICTS {
             // Oldest undelivered order for the district.
@@ -421,7 +442,9 @@ impl TpcC {
             self.deliv_cursor[wd] = o + 1;
             db.delete(t.new_order, key_order(w, d, o))?;
             let mut c = 0u64;
-            db.read_with(t.orders, key_order(w, d, o), &mut |row| c = row[1].long() as u64)?;
+            db.read_with(t.orders, key_order(w, d, o), &mut |row| {
+                c = row[1].long() as u64
+            })?;
             db.update(t.orders, key_order(w, d, o), &mut |row| {
                 row[2] = Value::Long(carrier);
             })?;
@@ -451,7 +474,9 @@ impl TpcC {
         let w = self.pick_warehouse(worker);
         let d = self.rngs[worker].random_range(0..DISTRICTS);
         let threshold: i64 = self.rngs[worker].random_range(10..=20);
-        let t = Tables { ..*self.tables.as_ref().expect("setup") };
+        let t = Tables {
+            ..*self.tables.as_ref().expect("setup")
+        };
         db.begin();
         let mut next_o = 0u64;
         db.read_with(t.district, key_district(w, d), &mut |row| {
@@ -514,7 +539,11 @@ impl TpcC {
                     true
                 })
                 .expect("orders scan");
-                assert_eq!(max_o, Some(next - 1), "order-id chain broken for w={w} d={d}");
+                assert_eq!(
+                    max_o,
+                    Some(next - 1),
+                    "order-id chain broken for w={w} d={d}"
+                );
             }
             assert_eq!(w_ytd, d_ytd_sum, "w_ytd != sum(d_ytd) for w={w}");
             db.commit().expect("consistency commit");
@@ -550,7 +579,12 @@ impl Workload for TpcC {
         let t = Tables {
             warehouse: db.create_table(TableDef::new(
                 "warehouse",
-                Schema::new(vec![long("w_id"), long("w_ytd"), str_("w_name"), str_("w_filler")]),
+                Schema::new(vec![
+                    long("w_id"),
+                    long("w_ytd"),
+                    str_("w_name"),
+                    str_("w_filler"),
+                ]),
                 s.warehouses,
             )),
             district: db.create_table(TableDef::new(
@@ -630,7 +664,13 @@ impl Workload for TpcC {
             ),
             item: db.create_table(TableDef::new(
                 "item",
-                Schema::new(vec![long("i_id"), long("i_im_id"), long("i_price"), str_("i_name"), str_("i_data")]),
+                Schema::new(vec![
+                    long("i_id"),
+                    long("i_im_id"),
+                    long("i_price"),
+                    str_("i_name"),
+                    str_("i_data"),
+                ]),
                 s.items,
             )),
             stock: db.create_table(TableDef::new(
@@ -751,8 +791,12 @@ impl Workload for TpcC {
                     let name_num = if c <= 1000 {
                         (c - 1).min(999)
                     } else {
-                        NuRand { c_last: 0, c_id: 0, ol_i_id: 0 }
-                            .last_name_num(&mut load_rng, 999)
+                        NuRand {
+                            c_last: 0,
+                            c_id: 0,
+                            ol_i_id: 0,
+                        }
+                        .last_name_num(&mut load_rng, 999)
                     };
                     let last = c_last(name_num % (s.customers_per_district.min(1000)));
                     db.insert(
@@ -820,14 +864,22 @@ impl Workload for TpcC {
                         &[
                             Value::Long(o as i64),
                             Value::Long(c as i64),
-                            Value::Long(if delivered { load_rng.random_range(1..=10) } else { 0 }),
+                            Value::Long(if delivered {
+                                load_rng.random_range(1..=10)
+                            } else {
+                                0
+                            }),
                             Value::Long(ol_cnt as i64),
                             Value::Long(total),
                         ],
                     )
                     .expect("load orders");
-                    db.insert(t.cust_orders, key_cust_order(w, d, c, o), &[Value::Long(o as i64)])
-                        .expect("load cust_orders");
+                    db.insert(
+                        t.cust_orders,
+                        key_cust_order(w, d, c, o),
+                        &[Value::Long(o as i64)],
+                    )
+                    .expect("load cust_orders");
                     if !delivered {
                         db.insert(t.new_order, key_order(w, d, o), &[Value::Long(o as i64)])
                             .expect("load new_order");
@@ -888,7 +940,8 @@ mod tests {
         sim.offline(|| w.setup(db.as_mut(), 1));
         sim.offline(|| {
             for i in 0..txns {
-                w.exec(db.as_mut(), 0).unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
+                w.exec(db.as_mut(), 0)
+                    .unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
             }
         });
         (w, db)
@@ -921,7 +974,11 @@ mod tests {
 
     #[test]
     fn consistency_invariants_hold_after_mix() {
-        for kind in [SystemKind::HyPer, SystemKind::ShoreMt, SystemKind::dbms_m_for_tpcc()] {
+        for kind in [
+            SystemKind::HyPer,
+            SystemKind::ShoreMt,
+            SystemKind::dbms_m_for_tpcc(),
+        ] {
             let (w, mut db) = run_mix(kind, 300);
             w.check_consistency(db.as_mut());
         }
@@ -963,7 +1020,10 @@ mod tests {
         // trees, so the full mix runs (the Figure 14 configuration).
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
         let mut db = build_system(
-            SystemKind::DbmsM { index: engines::DbmsMIndex::Hash, compiled: true },
+            SystemKind::DbmsM {
+                index: engines::DbmsMIndex::Hash,
+                compiled: true,
+            },
             &sim,
             1,
         );
@@ -971,7 +1031,8 @@ mod tests {
         sim.offline(|| w.setup(db.as_mut(), 1));
         sim.offline(|| {
             for i in 0..200 {
-                w.exec(db.as_mut(), 0).unwrap_or_else(|e| panic!("txn {i}: {e}"));
+                w.exec(db.as_mut(), 0)
+                    .unwrap_or_else(|e| panic!("txn {i}: {e}"));
             }
         });
         assert_eq!(w.counts.total() + w.counts.new_order_rollbacks, 200);

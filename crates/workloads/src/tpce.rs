@@ -45,12 +45,20 @@ impl TpcEScale {
     /// A working set well past the LLC, comparable to the TPC-C scale
     /// used for the paper-sized runs.
     pub fn large() -> Self {
-        TpcEScale { customers: 120_000, securities: 60_000, initial_trades: 4 }
+        TpcEScale {
+            customers: 120_000,
+            securities: 60_000,
+            initial_trades: 4,
+        }
     }
 
     /// Miniature scale for tests.
     pub fn tiny() -> Self {
-        TpcEScale { customers: 300, securities: 200, initial_trades: 3 }
+        TpcEScale {
+            customers: 300,
+            securities: 200,
+            initial_trades: 3,
+        }
     }
 }
 
@@ -114,10 +122,16 @@ fn key_account(c: u64, slot: u64) -> u64 {
     (c << 2) | slot
 }
 fn key_trade(acc: u64, seq: u64) -> u64 {
-    KeyPack::new().field(acc, ACC_BITS).field(seq, SEQ_BITS).get()
+    KeyPack::new()
+        .field(acc, ACC_BITS)
+        .field(seq, SEQ_BITS)
+        .get()
 }
 fn key_holding(acc: u64, sec: u64) -> u64 {
-    KeyPack::new().field(acc, ACC_BITS).field(sec, SEC_BITS).get()
+    KeyPack::new()
+        .field(acc, ACC_BITS)
+        .field(sec, SEC_BITS)
+        .get()
 }
 fn key_pending(worker: u64, seq: u64) -> u64 {
     KeyPack::new().field(worker, 8).field(seq, 40).get()
@@ -250,7 +264,11 @@ impl TpcE {
             db.insert(
                 t.holding,
                 hk,
-                &[Value::Long(acc as i64), Value::Long(sec as i64), Value::Long(qty)],
+                &[
+                    Value::Long(acc as i64),
+                    Value::Long(sec as i64),
+                    Value::Long(qty),
+                ],
             )?;
         }
         // Last-trade price drifts.
@@ -361,25 +379,40 @@ impl Workload for TpcE {
         self.pend_head = vec![0; workers];
         self.pend_tail = vec![0; workers];
         let s = self.scale;
-        self.trade_seq =
-            vec![0; (key_account(s.customers, 0) + ACCOUNTS_PER_CUSTOMER) as usize];
+        self.trade_seq = vec![0; (key_account(s.customers, 0) + ACCOUNTS_PER_CUSTOMER) as usize];
 
         let long = |n: &str| Column::new(n, DataType::Long);
         let str_ = |n: &str| Column::new(n, DataType::Str);
         let t = Tables {
             customer: db.create_table(TableDef::new(
                 "e_customer",
-                Schema::new(vec![long("c_id"), long("c_tier"), str_("c_name"), str_("c_data")]),
+                Schema::new(vec![
+                    long("c_id"),
+                    long("c_tier"),
+                    str_("c_name"),
+                    str_("c_data"),
+                ]),
                 s.customers,
             )),
             account: db.create_table(TableDef::new(
                 "e_account",
-                Schema::new(vec![long("a_id"), long("a_c_id"), long("a_balance"), str_("a_name")]),
+                Schema::new(vec![
+                    long("a_id"),
+                    long("a_c_id"),
+                    long("a_balance"),
+                    str_("a_name"),
+                ]),
                 s.customers * ACCOUNTS_PER_CUSTOMER,
             )),
             security: db.create_table(TableDef::new(
                 "e_security",
-                Schema::new(vec![long("s_id"), long("s_ex"), long("s_last_price"), str_("s_symbol"), str_("s_name")]),
+                Schema::new(vec![
+                    long("s_id"),
+                    long("s_ex"),
+                    long("s_last_price"),
+                    str_("s_symbol"),
+                    str_("s_name"),
+                ]),
                 s.securities,
             )),
             broker: db.create_table(TableDef::new(
@@ -429,7 +462,11 @@ impl Workload for TpcE {
                 db.insert(
                     t.broker,
                     b,
-                    &[Value::Long(b as i64), Value::Long(0), Value::Str(format!("broker-{b:03}"))],
+                    &[
+                        Value::Long(b as i64),
+                        Value::Long(0),
+                        Value::Str(format!("broker-{b:03}")),
+                    ],
                 )
                 .expect("load broker");
             }
@@ -488,7 +525,11 @@ impl Workload for TpcE {
                     let _ = db.insert(
                         t.holding,
                         key_holding(acc, sec),
-                        &[Value::Long(acc as i64), Value::Long(sec as i64), Value::Long(100)],
+                        &[
+                            Value::Long(acc as i64),
+                            Value::Long(sec as i64),
+                            Value::Long(100),
+                        ],
                     );
                 }
                 for _ in 0..s.initial_trades {
@@ -560,7 +601,8 @@ mod tests {
             sim.offline(|| w.setup(db.as_mut(), 1));
             sim.offline(|| {
                 for i in 0..300 {
-                    w.exec(db.as_mut(), 0).unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
+                    w.exec(db.as_mut(), 0)
+                        .unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
                 }
             });
             assert_eq!(w.counts.total(), 300, "{kind:?}: {:?}", w.counts);
@@ -591,8 +633,7 @@ mod tests {
         );
         // Trades grow by the number of orders.
         let s = w.scale;
-        let initial =
-            s.customers * ACCOUNTS_PER_CUSTOMER * s.initial_trades;
+        let initial = s.customers * ACCOUNTS_PER_CUSTOMER * s.initial_trades;
         assert_eq!(db.row_count(t.trade), initial + w.counts.trade_order);
     }
 

@@ -5,7 +5,7 @@
 //! cargo run --release --example compare_systems [1mb|10mb|10gb|100gb]
 //! ```
 
-use imoltp::analysis::{measure, markdown_table, WindowSpec};
+use imoltp::analysis::{markdown_table, measure, WindowSpec};
 use imoltp::bench::{DbSize, MicroBench, Workload};
 use imoltp::sim::{MachineConfig, Sim};
 use imoltp::systems::{build_system, SystemKind};
@@ -35,7 +35,11 @@ fn main() {
         let mut w = MicroBench::new(size);
         sim.offline(|| w.setup(db.as_mut(), 1));
         sim.warm_data();
-        let spec = WindowSpec { warmup: 1500, measured: 3000, reps: 3 };
+        let spec = WindowSpec {
+            warmup: 1500,
+            measured: 3000,
+            reps: 3,
+        };
         let m = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"));
         let i_stalls: f64 = m.spki[..3].iter().sum();
         let d_stalls: f64 = m.spki[3..].iter().sum();
@@ -51,7 +55,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["system", "IPC", "instr/txn", "I-stalls/kI", "D-stalls/kI", "txn/s"],
+            &[
+                "system",
+                "IPC",
+                "instr/txn",
+                "I-stalls/kI",
+                "D-stalls/kI",
+                "txn/s"
+            ],
             &rows
         )
     );

@@ -9,6 +9,8 @@
 use imoltp::idx::{Art, CcBTree, DiskBTree, HashIndex, Index};
 use imoltp::sim::{MachineConfig, Mem, Sim, StallEvent};
 
+type IndexMaker = Box<dyn Fn(&Mem) -> Box<dyn Index>>;
+
 fn run(name: &str, mk: &dyn Fn(&Mem) -> Box<dyn Index>, keys: u64) -> (f64, f64, u32) {
     let sim = Sim::new(MachineConfig::ivy_bridge(1));
     let mem = sim.mem(0);
@@ -42,12 +44,24 @@ fn run(name: &str, mk: &dyn Fn(&Mem) -> Box<dyn Index>, keys: u64) -> (f64, f64,
 }
 
 fn main() {
-    println!("{:<12} {:>10} {:>8} {:>14} {:>14}", "index", "keys", "height", "LLC-D/probe", "L1D/probe");
+    println!(
+        "{:<12} {:>10} {:>8} {:>14} {:>14}",
+        "index", "keys", "height", "LLC-D/probe", "L1D/probe"
+    );
     for &keys in &[100_000u64, 1_000_000, 3_000_000] {
-        let structures: Vec<(&str, Box<dyn Fn(&Mem) -> Box<dyn Index>>)> = vec![
-            ("disk-btree", Box::new(|m: &Mem| Box::new(DiskBTree::new(m)) as Box<dyn Index>)),
-            ("cc-btree", Box::new(|m: &Mem| Box::new(CcBTree::new(m)) as Box<dyn Index>)),
-            ("art", Box::new(|m: &Mem| Box::new(Art::new(m)) as Box<dyn Index>)),
+        let structures: Vec<(&str, IndexMaker)> = vec![
+            (
+                "disk-btree",
+                Box::new(|m: &Mem| Box::new(DiskBTree::new(m)) as Box<dyn Index>),
+            ),
+            (
+                "cc-btree",
+                Box::new(|m: &Mem| Box::new(CcBTree::new(m)) as Box<dyn Index>),
+            ),
+            (
+                "art",
+                Box::new(|m: &Mem| Box::new(Art::new(m)) as Box<dyn Index>),
+            ),
             (
                 "hash",
                 Box::new(move |m: &Mem| {

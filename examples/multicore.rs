@@ -17,7 +17,11 @@ fn run(kind: SystemKind, workers: usize) -> (f64, f64, u64) {
     let mut w = MicroBench::new(DbSize::Gb10);
     sim.offline(|| w.setup(db.as_mut(), workers));
     sim.warm_data();
-    let spec = WindowSpec { warmup: 1000, measured: 2000, reps: 2 };
+    let spec = WindowSpec {
+        warmup: 1000,
+        measured: 2000,
+        reps: 2,
+    };
     let m = if workers == 1 {
         db.set_core(0);
         measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"))

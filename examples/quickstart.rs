@@ -25,7 +25,11 @@ fn main() {
 
     // 4. Measure with the paper's methodology: warm-up window, measured
     //    window, three averaged repetitions.
-    let spec = WindowSpec { warmup: 2000, measured: 4000, reps: 3 };
+    let spec = WindowSpec {
+        warmup: 2000,
+        measured: 4000,
+        reps: 3,
+    };
     let m: Measurement = measure(&sim, 0, spec, |_| {
         workload.exec(db.as_mut(), 0).expect("txn");
     });

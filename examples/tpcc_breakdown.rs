@@ -6,8 +6,8 @@
 //! ```
 
 use imoltp::analysis::{measure, WindowSpec};
-use imoltp::bench::{TpcC, Workload};
 use imoltp::bench::tpcc::TpcCScale;
+use imoltp::bench::{TpcC, Workload};
 use imoltp::sim::{MachineConfig, Sim};
 use imoltp::systems::{build_system, SystemKind};
 
@@ -27,18 +27,35 @@ fn main() {
     let sim = Sim::new(MachineConfig::ivy_bridge(1));
     let mut db = build_system(kind, &sim, 1);
     // A reduced TPC-C so the example loads in a couple of seconds.
-    let scale =
-        TpcCScale { warehouses: 2, customers_per_district: 1000, items: 20_000, initial_orders: 300 };
+    let scale = TpcCScale {
+        warehouses: 2,
+        customers_per_district: 1000,
+        items: 20_000,
+        initial_orders: 300,
+    };
     let mut w = TpcC::with_scale(scale).seed(7);
-    print!("loading TPC-C (W={}) on {} ... ", scale.warehouses, db.name());
+    print!(
+        "loading TPC-C (W={}) on {} ... ",
+        scale.warehouses,
+        db.name()
+    );
     sim.offline(|| w.setup(db.as_mut(), 1));
     sim.warm_data();
     println!("done");
 
-    let spec = WindowSpec { warmup: 300, measured: 600, reps: 3 };
+    let spec = WindowSpec {
+        warmup: 300,
+        measured: 600,
+        reps: 3,
+    };
     let m = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"));
 
-    println!("\n{} on TPC-C: IPC {:.2}, {:.0} instructions/txn", db.name(), m.ipc, m.instr_per_txn);
+    println!(
+        "\n{} on TPC-C: IPC {:.2}, {:.0} instructions/txn",
+        db.name(),
+        m.ipc,
+        m.instr_per_txn
+    );
     println!("transaction mix so far: {:?}\n", w.counts);
     println!("{:<24} {:>8} {:>10}", "module", "share", "cycles/txn");
     let mut mods = m.modules.clone();
@@ -49,7 +66,11 @@ fn main() {
             md.name,
             md.share * 100.0,
             md.cycles / m.txns as f64,
-            if md.engine_side { "(inside OLTP engine)" } else { "" }
+            if md.engine_side {
+                "(inside OLTP engine)"
+            } else {
+                ""
+            }
         );
     }
     println!(

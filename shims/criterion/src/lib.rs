@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace ships this
+//! minimal harness implementing the subset the `benches/` targets use:
+//! `Criterion` builder config, `benchmark_group`, `bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros. It reports a mean
+//! wall-clock ns/iter per benchmark — no statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Which granularity `iter_batched` should batch setup at. The shim runs
+/// one setup per measured invocation regardless; the variants exist so
+/// call sites compile unchanged.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            id,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(
+            &full,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            samples,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    f: &mut F,
+) {
+    // Warm-up pass: run the routine until the warm-up budget elapses.
+    let warm_deadline = Instant::now() + warm_up;
+    let mut b = Bencher {
+        mode: Mode::Deadline(warm_deadline),
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+
+    // Measured pass: at least `sample_size` invocations, bounded by time.
+    let deadline = Instant::now() + measurement;
+    let mut total = Duration::ZERO;
+    let mut iters: u64 = 0;
+    let mut rounds = 0usize;
+    while rounds < sample_size && (rounds == 0 || Instant::now() < deadline) {
+        let mut b = Bencher {
+            mode: Mode::Fixed(1),
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        total += b.total;
+        iters += b.iters;
+        rounds += 1;
+    }
+    let ns = (total.as_nanos() as u64).checked_div(iters).unwrap_or(0);
+    println!("bench: {id:<40} {ns:>12} ns/iter ({iters} iters)");
+}
+
+enum Mode {
+    /// Keep re-running the routine until the deadline passes (warm-up).
+    Deadline(Instant),
+    /// Run the routine a fixed number of times (one measured sample).
+    Fixed(u64),
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput)
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Deadline(deadline) => loop {
+                let input = setup();
+                std::hint::black_box(routine(input));
+                if Instant::now() >= deadline {
+                    break;
+                }
+            },
+            Mode::Fixed(n) => {
+                for _ in 0..n {
+                    let input = setup();
+                    let start = Instant::now();
+                    std::hint::black_box(routine(input));
+                    self.total += start.elapsed();
+                    self.iters += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Build a function that runs the listed benchmark targets with a config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running each `criterion_group!`-defined group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1))
+            .sample_size(2);
+        targets = target
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+}

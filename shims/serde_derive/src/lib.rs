@@ -1,0 +1,17 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` traits are blanket-implemented for
+//! every type, so the derives have nothing to generate — they only need to
+//! exist so `#[derive(Serialize, Deserialize)]` parses.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -15,7 +15,9 @@
 //! * [`store`] — buffer pool, 2PL lock manager, WAL, MVCC version store;
 //! * [`systems`] — the five analyzed engine archetypes (Shore-MT, DBMS D,
 //!   VoltDB, HyPer, DBMS M);
-//! * [bench](crate::bench) — micro-benchmark, TPC-B and TPC-C workloads and drivers.
+//! * [bench](crate::bench) — micro-benchmark, TPC-B and TPC-C workloads and drivers;
+//! * [obs](crate::obs) — structured tracing: per-phase spans, counter-delta
+//!   sinks (ring buffer / JSONL / Perfetto), log-bucketed histograms.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and the
 //! `figures` binary (crate `bench`) for the full figure-reproduction
@@ -24,6 +26,7 @@
 pub use engines as systems;
 pub use indexes as idx;
 pub use microarch as analysis;
+pub use obs;
 pub use oltp as db;
 pub use storage as store;
 pub use uarch_sim as sim;

@@ -10,7 +10,10 @@ use imoltp::systems::ShoreMt;
 fn micro_table(db: &mut ShoreMt) -> imoltp::db::TableId {
     db.create_table(TableDef::new(
         "t",
-        Schema::new(vec![Column::new("k", DataType::Long), Column::new("v", DataType::Long)]),
+        Schema::new(vec![
+            Column::new("k", DataType::Long),
+            Column::new("v", DataType::Long),
+        ]),
         1000,
     ))
 }
@@ -44,7 +47,8 @@ fn replayed_database_matches_original() {
         }
         // "Crash": an in-flight transaction never commits.
         db.begin();
-        db.insert(t, 9999, &[Value::Long(9999), Value::Long(1)]).unwrap();
+        db.insert(t, 9999, &[Value::Long(9999), Value::Long(1)])
+            .unwrap();
         // (no commit)
     });
 
@@ -70,7 +74,10 @@ fn replayed_database_matches_original() {
             // keys < 97 must match exactly.
             assert_eq!(a, b, "key {k} diverged after replay");
         }
-        assert!(fresh.read(t2, 9999).unwrap().is_none(), "loser work must not survive");
+        assert!(
+            fresh.read(t2, 9999).unwrap().is_none(),
+            "loser work must not survive"
+        );
         db.commit().unwrap();
         fresh.commit().unwrap();
     });
@@ -108,12 +115,22 @@ fn tpcb_survives_crash_replay() {
     ));
     fresh.create_table(TableDef::new(
         "teller",
-        Schema::new(vec![long("t_id"), long("t_balance"), long("t_b_id"), strc("t_filler")]),
+        Schema::new(vec![
+            long("t_id"),
+            long("t_balance"),
+            long("t_b_id"),
+            strc("t_filler"),
+        ]),
         10,
     ));
     fresh.create_table(TableDef::new(
         "account",
-        Schema::new(vec![long("a_id"), long("a_balance"), long("a_b_id"), strc("a_filler")]),
+        Schema::new(vec![
+            long("a_id"),
+            long("a_balance"),
+            long("a_b_id"),
+            strc("a_filler"),
+        ]),
         100_000,
     ));
     fresh.create_table(TableDef::new(
@@ -129,7 +146,11 @@ fn tpcb_survives_crash_replay() {
         10_000,
     ));
     let stats = sim2.offline(|| replay(db.log_records(), &mut fresh).unwrap());
-    assert!(stats.applied > 100_000, "loader records replayed: {}", stats.applied);
+    assert!(
+        stats.applied > 100_000,
+        "loader records replayed: {}",
+        stats.applied
+    );
     let _ = &mut w2; // (workload object only provided the deterministic seed)
 
     // TPC-B invariant holds in the recovered database: account balances
@@ -159,7 +180,10 @@ fn dbms_m_recovers_from_its_redo_log() {
     db.retain_log();
     let t = db.create_table(TableDef::new(
         "t",
-        Schema::new(vec![Column::new("k", DataType::Long), Column::new("v", DataType::Long)]),
+        Schema::new(vec![
+            Column::new("k", DataType::Long),
+            Column::new("v", DataType::Long),
+        ]),
         1000,
     ));
     sim.offline(|| {
@@ -181,14 +205,18 @@ fn dbms_m_recovers_from_its_redo_log() {
         }
         // Crash with a buffered (never-committed) write.
         db.begin();
-        db.insert(t, 777, &[Value::Long(777), Value::Long(1)]).unwrap();
+        db.insert(t, 777, &[Value::Long(777), Value::Long(1)])
+            .unwrap();
     });
 
     let sim2 = Sim::new(MachineConfig::ivy_bridge(1));
     let mut fresh = DbmsM::new(&sim2, DbmsMOptions::default());
     let t2 = fresh.create_table(TableDef::new(
         "t",
-        Schema::new(vec![Column::new("k", DataType::Long), Column::new("v", DataType::Long)]),
+        Schema::new(vec![
+            Column::new("k", DataType::Long),
+            Column::new("v", DataType::Long),
+        ]),
         1000,
     ));
     sim2.offline(|| replay(db.log_records(), &mut fresh).unwrap());

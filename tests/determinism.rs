@@ -13,17 +13,32 @@ fn run_micro(kind: SystemKind, seed: u64) -> Measurement {
     let mut w = MicroBench::new(DbSize::Mb1).with_rows(30_000).seed(seed);
     sim.offline(|| w.setup(db.as_mut(), 1));
     sim.warm_data();
-    let spec = WindowSpec { warmup: 300, measured: 800, reps: 2 };
+    let spec = WindowSpec {
+        warmup: 300,
+        measured: 800,
+        reps: 2,
+    };
     measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).unwrap())
 }
 
 #[test]
 fn same_seed_same_counters() {
-    for kind in [SystemKind::ShoreMt, SystemKind::HyPer, SystemKind::dbms_m_for_tpcc()] {
+    for kind in [
+        SystemKind::ShoreMt,
+        SystemKind::HyPer,
+        SystemKind::dbms_m_for_tpcc(),
+    ] {
         let a = run_micro(kind, 1234);
         let b = run_micro(kind, 1234);
-        assert_eq!(a.counts, b.counts, "{kind:?}: counters diverged across identical runs");
-        assert_eq!(a.cycles.to_bits(), b.cycles.to_bits(), "{kind:?}: cycles diverged");
+        assert_eq!(
+            a.counts, b.counts,
+            "{kind:?}: counters diverged across identical runs"
+        );
+        assert_eq!(
+            a.cycles.to_bits(),
+            b.cycles.to_bits(),
+            "{kind:?}: cycles diverged"
+        );
     }
 }
 
@@ -45,7 +60,11 @@ fn tpcb_is_deterministic_end_to_end() {
         let mut w = TpcB::with_branches(1).seed(55);
         sim.offline(|| w.setup(db.as_mut(), 1));
         sim.warm_data();
-        let spec = WindowSpec { warmup: 100, measured: 300, reps: 1 };
+        let spec = WindowSpec {
+            warmup: 100,
+            measured: 300,
+            reps: 1,
+        };
         let m = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).unwrap());
         (m.counts, w.total_balance(db.as_mut(), "account"))
     };

@@ -3,8 +3,8 @@
 
 use std::collections::BTreeMap;
 
-use imoltp::db::{Db, OltpError, Value};
 use imoltp::db::{Column, DataType, Schema, TableDef};
+use imoltp::db::{Db, OltpError, Value};
 use imoltp::sim::{MachineConfig, Sim};
 use imoltp::systems::{build_system, SystemKind};
 use rand::rngs::StdRng;
@@ -13,7 +13,10 @@ use rand::{Rng, SeedableRng};
 fn table(db: &mut dyn Db) -> imoltp::db::TableId {
     db.create_table(TableDef::new(
         "t",
-        Schema::new(vec![Column::new("k", DataType::Long), Column::new("v", DataType::Long)]),
+        Schema::new(vec![
+            Column::new("k", DataType::Long),
+            Column::new("v", DataType::Long),
+        ]),
         10_000,
     ))
 }
@@ -38,24 +41,40 @@ fn run_sequence(kind: SystemKind, seed: u64, ops: usize) {
                             oracle.insert(key, val);
                         }
                         (Err(OltpError::DuplicateKey { .. }), true) => {}
-                        (r, had) => panic!("{kind:?} op {i}: insert {key} -> {r:?}, oracle had={had}"),
+                        (r, had) => {
+                            panic!("{kind:?} op {i}: insert {key} -> {r:?}, oracle had={had}")
+                        }
                     }
                 }
                 1 => {
                     let got = db.read(t, key).unwrap().map(|row| row[1].long());
-                    assert_eq!(got, oracle.get(&key).copied(), "{kind:?} op {i}: read {key}");
+                    assert_eq!(
+                        got,
+                        oracle.get(&key).copied(),
+                        "{kind:?} op {i}: read {key}"
+                    );
                 }
                 2 => {
                     let val = rng.random_range(0..1_000_000i64);
-                    let updated = db.update(t, key, &mut |row| row[1] = Value::Long(val)).unwrap();
-                    assert_eq!(updated, oracle.contains_key(&key), "{kind:?} op {i}: update {key}");
+                    let updated = db
+                        .update(t, key, &mut |row| row[1] = Value::Long(val))
+                        .unwrap();
+                    assert_eq!(
+                        updated,
+                        oracle.contains_key(&key),
+                        "{kind:?} op {i}: update {key}"
+                    );
                     if updated {
                         oracle.insert(key, val);
                     }
                 }
                 3 => {
                     let deleted = db.delete(t, key).unwrap();
-                    assert_eq!(deleted, oracle.remove(&key).is_some(), "{kind:?} op {i}: delete {key}");
+                    assert_eq!(
+                        deleted,
+                        oracle.remove(&key).is_some(),
+                        "{kind:?} op {i}: delete {key}"
+                    );
                 }
                 _ => {
                     let lo = key.saturating_sub(50);
@@ -121,7 +140,10 @@ fn dbms_m_btree_matches_oracle() {
 #[test]
 fn dbms_m_hash_matches_oracle() {
     run_sequence(
-        SystemKind::DbmsM { index: imoltp::systems::DbmsMIndex::Hash, compiled: false },
+        SystemKind::DbmsM {
+            index: imoltp::systems::DbmsMIndex::Hash,
+            compiled: false,
+        },
         6,
         3000,
     );

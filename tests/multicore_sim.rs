@@ -16,13 +16,17 @@ fn shared_row_writes_invalidate_the_other_core() {
     let mut db = ShoreMt::new(&sim);
     let t = db.create_table(TableDef::new(
         "t",
-        Schema::new(vec![Column::new("k", DataType::Long), Column::new("v", DataType::Long)]),
+        Schema::new(vec![
+            Column::new("k", DataType::Long),
+            Column::new("v", DataType::Long),
+        ]),
         100,
     ));
     sim.offline(|| {
         db.begin();
         for k in 0..64u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)]).unwrap();
+            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
+                .unwrap();
         }
         db.commit().unwrap();
     });
@@ -30,7 +34,8 @@ fn shared_row_writes_invalidate_the_other_core() {
         for core in [0usize, 1] {
             db.set_core(core);
             db.begin();
-            db.update(t, round % 64, &mut |r| r[1] = Value::Long(round as i64)).unwrap();
+            db.update(t, round % 64, &mut |r| r[1] = Value::Long(round as i64))
+                .unwrap();
             db.commit().unwrap();
         }
     }
@@ -56,7 +61,10 @@ fn partitioned_workers_do_not_invalidate_each_other() {
     }
     // Disjoint partitions: essentially no coherence traffic.
     let total = sim.counters(0).invalidations + sim.counters(1).invalidations;
-    assert!(total < 10, "partitioned writes should not invalidate: {total}");
+    assert!(
+        total < 10,
+        "partitioned writes should not invalidate: {total}"
+    );
 }
 
 #[test]
@@ -70,7 +78,11 @@ fn llc_sharing_raises_per_worker_misses() {
         let mut w = MicroBench::new(DbSize::Mb1).with_rows(600_000 * workers as u64);
         sim.offline(|| w.setup(db.as_mut(), workers));
         sim.warm_data();
-        let spec = WindowSpec { warmup: 1000, measured: 2000, reps: 1 };
+        let spec = WindowSpec {
+            warmup: 1000,
+            measured: 2000,
+            reps: 1,
+        };
         let m = if workers == 1 {
             measure(&sim, 0, spec, |_| {
                 db.set_core(0);
@@ -100,7 +112,11 @@ fn per_worker_measurements_are_balanced() {
     let mut db = build_system(SystemKind::VoltDb, &sim, workers);
     let mut w = MicroBench::new(DbSize::Mb1).with_rows(64_000);
     sim.offline(|| w.setup(db.as_mut(), workers));
-    let spec = WindowSpec { warmup: 200, measured: 600, reps: 1 };
+    let spec = WindowSpec {
+        warmup: 200,
+        measured: 600,
+        reps: 1,
+    };
     let cores: Vec<usize> = (0..workers).collect();
     let m = measure_multi(&sim, &cores, spec, |_, worker| {
         db.set_core(worker);

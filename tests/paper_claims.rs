@@ -11,10 +11,16 @@ use imoltp::systems::{build_system, DbmsMIndex, SystemKind};
 fn micro(kind: SystemKind, rows: u64, rows_per_txn: u32) -> Measurement {
     let sim = Sim::new(MachineConfig::ivy_bridge(1));
     let mut db = build_system(kind, &sim, 1);
-    let mut w = MicroBench::new(DbSize::Mb1).with_rows(rows).rows_per_txn(rows_per_txn);
+    let mut w = MicroBench::new(DbSize::Mb1)
+        .with_rows(rows)
+        .rows_per_txn(rows_per_txn);
     sim.offline(|| w.setup(db.as_mut(), 1));
     sim.warm_data();
-    let spec = WindowSpec { warmup: 1200, measured: 2000, reps: 1 };
+    let spec = WindowSpec {
+        warmup: 1200,
+        measured: 2000,
+        reps: 1,
+    };
     measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"))
 }
 
@@ -48,7 +54,10 @@ fn more_than_token_stall_time_everywhere() {
     for kind in SystemKind::ALL {
         let m = micro(kind, LARGE, 1);
         let frac = m.stall_cycle_fraction(&cfg);
-        assert!(frac > 0.4, "{kind:?}: stall fraction {frac:.2} — paper reports > 0.5");
+        assert!(
+            frac > 0.4,
+            "{kind:?}: stall fraction {frac:.2} — paper reports > 0.5"
+        );
     }
 }
 
@@ -111,7 +120,10 @@ fn dbms_d_has_the_heaviest_instruction_stream() {
             i_spki(&d),
             i_spki(&m)
         );
-        assert!(d.instr_per_txn > m.instr_per_txn, "DBMS D should retire the most instructions");
+        assert!(
+            d.instr_per_txn > m.instr_per_txn,
+            "DBMS D should retire the most instructions"
+        );
     }
 }
 
@@ -141,8 +153,22 @@ fn work_per_txn_moves_disk_and_memory_systems_in_opposite_directions() {
 #[test]
 fn compilation_cuts_instruction_stalls() {
     // §6.1 on DBMS M, 10 rows per transaction.
-    let on = micro(SystemKind::DbmsM { index: DbmsMIndex::Hash, compiled: true }, LARGE, 10);
-    let off = micro(SystemKind::DbmsM { index: DbmsMIndex::Hash, compiled: false }, LARGE, 10);
+    let on = micro(
+        SystemKind::DbmsM {
+            index: DbmsMIndex::Hash,
+            compiled: true,
+        },
+        LARGE,
+        10,
+    );
+    let off = micro(
+        SystemKind::DbmsM {
+            index: DbmsMIndex::Hash,
+            compiled: false,
+        },
+        LARGE,
+        10,
+    );
     assert!(
         i_spki(&on) < 0.8 * i_spki(&off),
         "compilation should cut I-stalls: {:.0} vs {:.0}",
@@ -159,8 +185,22 @@ fn btree_pays_more_llc_data_stalls_than_hash() {
     // LLC-boundary sizes the tree's upper levels stay cached and the two
     // structures converge), so this claim uses a deeper table.
     const DEEP: u64 = 2_000_000;
-    let hash = micro(SystemKind::DbmsM { index: DbmsMIndex::Hash, compiled: true }, DEEP, 10);
-    let btree = micro(SystemKind::DbmsM { index: DbmsMIndex::BTree, compiled: true }, DEEP, 10);
+    let hash = micro(
+        SystemKind::DbmsM {
+            index: DbmsMIndex::Hash,
+            compiled: true,
+        },
+        DEEP,
+        10,
+    );
+    let btree = micro(
+        SystemKind::DbmsM {
+            index: DbmsMIndex::BTree,
+            compiled: true,
+        },
+        DEEP,
+        10,
+    );
     // (The paper reports 2-4x at 2 billion rows; the gap scales with tree
     // depth, so the full-scale check asserts >1.35x at 3M rows and this
     // scaled-down canary a directional >1.2x at 2M.)
@@ -182,7 +222,11 @@ fn read_write_variant_has_larger_instruction_footprint() {
         let mut w = MicroBench::new(DbSize::Mb1).with_rows(LARGE).read_write();
         sim.offline(|| w.setup(db.as_mut(), 1));
         sim.warm_data();
-        let spec = WindowSpec { warmup: 1200, measured: 2000, reps: 1 };
+        let spec = WindowSpec {
+            warmup: 1200,
+            measured: 2000,
+            reps: 1,
+        };
         let rw = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"));
         let ro = micro(kind, LARGE, 1);
         assert!(

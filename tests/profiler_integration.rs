@@ -27,10 +27,17 @@ fn module_counters_partition_engine_activity() {
     assert_eq!(sum, s.counts);
 
     // The engine-side modules did real work.
-    let engine_instr: u64 =
-        s.modules.iter().filter(|m| m.engine_side).map(|m| m.counts.instructions).sum();
+    let engine_instr: u64 = s
+        .modules
+        .iter()
+        .filter(|m| m.engine_side)
+        .map(|m| m.counts.instructions)
+        .sum();
     assert!(engine_instr > 0);
-    assert!(engine_instr < s.counts.instructions, "frontend must also appear");
+    assert!(
+        engine_instr < s.counts.instructions,
+        "frontend must also appear"
+    );
 }
 
 #[test]
@@ -40,7 +47,11 @@ fn engine_share_is_a_valid_fraction_everywhere() {
         let mut db = build_system(kind, &sim, 1);
         let mut w = MicroBench::new(DbSize::Mb1).with_rows(4000);
         sim.offline(|| w.setup(db.as_mut(), 1));
-        let spec = WindowSpec { warmup: 200, measured: 400, reps: 2 };
+        let spec = WindowSpec {
+            warmup: 200,
+            measured: 400,
+            reps: 2,
+        };
         let m = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).unwrap());
         let share = m.engine_share();
         assert!(
@@ -49,7 +60,10 @@ fn engine_share_is_a_valid_fraction_everywhere() {
         );
         // Module shares sum to ~1 (every cycle is attributed somewhere).
         let total: f64 = m.modules.iter().map(|x| x.share).sum();
-        assert!((total - 1.0).abs() < 0.05, "{kind:?}: module shares sum to {total:.3}");
+        assert!(
+            (total - 1.0).abs() < 0.05,
+            "{kind:?}: module shares sum to {total:.3}"
+        );
     }
 }
 
@@ -62,13 +76,21 @@ fn windows_average_not_accumulate() {
     let one_rep = measure(
         &sim,
         0,
-        WindowSpec { warmup: 100, measured: 500, reps: 1 },
+        WindowSpec {
+            warmup: 100,
+            measured: 500,
+            reps: 1,
+        },
         |_| w.exec(db.as_mut(), 0).unwrap(),
     );
     let three_reps = measure(
         &sim,
         0,
-        WindowSpec { warmup: 0, measured: 500, reps: 3 },
+        WindowSpec {
+            warmup: 0,
+            measured: 500,
+            reps: 3,
+        },
         |_| w.exec(db.as_mut(), 0).unwrap(),
     );
     // Averaged metrics stay per-window regardless of repetition count.

@@ -1,6 +1,10 @@
 //! Property-based tests over the core data structures and codecs.
+//!
+//! Randomized with the workspace's deterministic `rand` shim instead of
+//! proptest (unavailable offline): each property runs a fixed number of
+//! seeded cases, so failures reproduce exactly from the printed seed.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use imoltp::db::tuple;
 use imoltp::db::{KeyPack, Value};
@@ -8,10 +12,25 @@ use imoltp::idx::{Art, CcBTree, DiskBTree, HashIndex, Index};
 use imoltp::sim::cache::Cache;
 use imoltp::sim::config::CacheGeometry;
 use imoltp::sim::{MachineConfig, Mem, Sim};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 64;
 
 fn mem() -> Mem {
     Sim::new(MachineConfig::ivy_bridge(1)).mem(0)
+}
+
+/// Run `CASES` independent cases, each with a fresh seeded RNG.
+fn for_each_case(property: &str, f: impl Fn(&mut StdRng)) {
+    for case in 0..CASES {
+        let seed = 0xD15C_0000 + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // The seed in scope makes any assert below reproducible; print it
+        // on the failure path only (panic output includes stdout).
+        println!("{property}: case seed {seed:#x}");
+        f(&mut rng);
+    }
 }
 
 /// An arbitrary index operation.
@@ -24,16 +43,24 @@ enum Op {
     Scan(u64, u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    // Small key space so operations collide often.
-    let key = 0u64..300;
-    prop_oneof![
-        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        key.clone().prop_map(Op::Get),
-        key.clone().prop_map(Op::Remove),
-        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Replace(k, v)),
-        (key.clone(), key).prop_map(|(a, b)| Op::Scan(a.min(b), a.max(b))),
-    ]
+fn random_ops(rng: &mut StdRng) -> Vec<Op> {
+    let n = rng.random_range(1usize..200);
+    (0..n)
+        .map(|_| {
+            // Small key space so operations collide often.
+            let k = rng.random_range(0u64..300);
+            match rng.random_range(0u8..5) {
+                0 => Op::Insert(k, rng.random_range(0u64..=u64::MAX)),
+                1 => Op::Get(k),
+                2 => Op::Remove(k),
+                3 => Op::Replace(k, rng.random_range(0u64..=u64::MAX)),
+                _ => {
+                    let b = rng.random_range(0u64..300);
+                    Op::Scan(k.min(b), k.max(b))
+                }
+            }
+        })
+        .collect()
 }
 
 fn check_against_model(index: &mut dyn Index, mem: &Mem, ops: &[Op]) {
@@ -77,100 +104,143 @@ fn check_against_model(index: &mut dyn Index, mem: &Mem, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn disk_btree_behaves_like_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn disk_btree_behaves_like_btreemap() {
+    for_each_case("disk_btree_behaves_like_btreemap", |rng| {
+        let ops = random_ops(rng);
         let mem = mem();
         let mut idx = DiskBTree::new(&mem);
         check_against_model(&mut idx, &mem, &ops);
-    }
+    });
+}
 
-    #[test]
-    fn cc_btree_behaves_like_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn cc_btree_behaves_like_btreemap() {
+    for_each_case("cc_btree_behaves_like_btreemap", |rng| {
+        let ops = random_ops(rng);
         let mem = mem();
         let mut idx = CcBTree::new(&mem);
         check_against_model(&mut idx, &mem, &ops);
-    }
+    });
+}
 
-    #[test]
-    fn art_behaves_like_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn art_behaves_like_btreemap() {
+    for_each_case("art_behaves_like_btreemap", |rng| {
+        let ops = random_ops(rng);
         let mem = mem();
         let mut idx = Art::new(&mem);
         check_against_model(&mut idx, &mem, &ops);
-    }
+    });
+}
 
-    #[test]
-    fn hash_behaves_like_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn hash_behaves_like_btreemap() {
+    for_each_case("hash_behaves_like_btreemap", |rng| {
+        let ops = random_ops(rng);
         let mem = mem();
         let mut idx = HashIndex::with_capacity(&mem, 64);
         check_against_model(&mut idx, &mem, &ops);
-    }
+    });
+}
 
-    #[test]
-    fn art_handles_arbitrary_u64_keys(keys in proptest::collection::btree_set(any::<u64>(), 1..300)) {
+#[test]
+fn art_handles_arbitrary_u64_keys() {
+    for_each_case("art_handles_arbitrary_u64_keys", |rng| {
+        let n = rng.random_range(1usize..300);
+        let keys: BTreeSet<u64> = (0..n).map(|_| rng.random_range(0u64..=u64::MAX)).collect();
         let mem = mem();
         let mut idx = Art::new(&mem);
         for (i, &k) in keys.iter().enumerate() {
-            prop_assert!(idx.insert(&mem, k, i as u64));
+            assert!(idx.insert(&mem, k, i as u64));
         }
         for (i, &k) in keys.iter().enumerate() {
-            prop_assert_eq!(idx.get(&mem, k), Some(i as u64));
+            assert_eq!(idx.get(&mem, k), Some(i as u64));
         }
         // Ordered scan over the full range yields the sorted key set.
         let mut seen = Vec::new();
-        idx.scan(&mem, 0, u64::MAX, &mut |k, _| { seen.push(k); true });
+        idx.scan(&mem, 0, u64::MAX, &mut |k, _| {
+            seen.push(k);
+            true
+        });
         let expect: Vec<u64> = keys.iter().copied().collect();
-        prop_assert_eq!(seen, expect);
-    }
+        assert_eq!(seen, expect);
+    });
+}
 
-    #[test]
-    fn tuple_codec_round_trips(row in proptest::collection::vec(
-        prop_oneof![
-            any::<i64>().prop_map(Value::Long),
-            "[a-zA-Z0-9 ]{0,80}".prop_map(Value::Str),
-        ],
-        0..12,
-    )) {
+fn random_row(rng: &mut StdRng) -> Vec<Value> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+    let cols = rng.random_range(0usize..12);
+    (0..cols)
+        .map(|_| {
+            if rng.random_range(0u8..2) == 0 {
+                Value::Long(rng.random_range(i64::MIN..=i64::MAX))
+            } else {
+                let len = rng.random_range(0usize..=80);
+                let s: String = (0..len)
+                    .map(|_| ALPHABET[rng.random_range(0usize..ALPHABET.len())] as char)
+                    .collect();
+                Value::Str(s)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn tuple_codec_round_trips() {
+    for_each_case("tuple_codec_round_trips", |rng| {
+        let row = random_row(rng);
         let encoded = tuple::encode(&row);
-        prop_assert_eq!(encoded.len(), tuple::encoded_len(&row));
-        prop_assert_eq!(tuple::decode(&encoded).unwrap(), row);
-    }
+        assert_eq!(encoded.len(), tuple::encoded_len(&row));
+        assert_eq!(tuple::decode(&encoded).unwrap(), row);
+    });
+}
 
-    #[test]
-    fn tuple_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn tuple_decode_never_panics_on_garbage() {
+    for_each_case("tuple_decode_never_panics_on_garbage", |rng| {
+        let len = rng.random_range(0usize..128);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.random_range(0u8..=u8::MAX)).collect();
         let _ = tuple::decode(&bytes); // must return Err, not panic
-    }
+    });
+}
 
-    #[test]
-    fn keypack_preserves_order(
-        a1 in 0u64..1024, b1 in 0u64..65536,
-        a2 in 0u64..1024, b2 in 0u64..65536,
-    ) {
+#[test]
+fn keypack_preserves_order() {
+    for_each_case("keypack_preserves_order", |rng| {
+        let (a1, b1) = (rng.random_range(0u64..1024), rng.random_range(0u64..65536));
+        let (a2, b2) = (rng.random_range(0u64..1024), rng.random_range(0u64..65536));
         let k1 = KeyPack::new().field(a1, 10).field(b1, 16).get();
         let k2 = KeyPack::new().field(a2, 10).field(b2, 16).get();
-        prop_assert_eq!(k1.cmp(&k2), (a1, b1).cmp(&(a2, b2)));
-    }
+        assert_eq!(k1.cmp(&k2), (a1, b1).cmp(&(a2, b2)));
+    });
+}
 
-    #[test]
-    fn cache_hits_plus_misses_equals_accesses(lines in proptest::collection::vec(0u64..4096, 1..2000)) {
+#[test]
+fn cache_hits_plus_misses_equals_accesses() {
+    for_each_case("cache_hits_plus_misses_equals_accesses", |rng| {
+        let n = rng.random_range(1usize..2000);
+        let lines: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..4096)).collect();
         let mut c = Cache::new(CacheGeometry::new(8 << 10, 64, 4));
         for &l in &lines {
             c.access(l);
         }
-        prop_assert_eq!(c.accesses(), lines.len() as u64);
-        prop_assert_eq!(c.hits() + c.misses(), c.accesses());
+        assert_eq!(c.accesses(), lines.len() as u64);
+        assert_eq!(c.hits() + c.misses(), c.accesses());
         // Residency never exceeds capacity.
-        prop_assert!(c.resident_lines() <= c.capacity_lines());
-    }
+        assert!(c.resident_lines() <= c.capacity_lines());
+    });
+}
 
-    #[test]
-    fn cache_single_line_rereference_always_hits(line in any::<u64>(), n in 1usize..50) {
+#[test]
+fn cache_single_line_rereference_always_hits() {
+    for_each_case("cache_single_line_rereference_always_hits", |rng| {
+        let line = rng.random_range(0u64..=u64::MAX) % (1 << 40);
+        let n = rng.random_range(1usize..50);
         let mut c = Cache::new(CacheGeometry::new(8 << 10, 64, 4));
-        c.access(line % (1 << 40));
+        c.access(line);
         for _ in 0..n {
-            prop_assert!(c.access(line % (1 << 40)).hit);
+            assert!(c.access(line).hit);
         }
-    }
+    });
 }

@@ -15,7 +15,8 @@ fn tpcb_balance_invariant_every_engine() {
         sim.offline(|| w.setup(db.as_mut(), 1));
         sim.offline(|| {
             for i in 0..200 {
-                w.exec(db.as_mut(), 0).unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
+                w.exec(db.as_mut(), 0)
+                    .unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
             }
         });
         // TPC-B's invariant: the sums of branch, teller, and account
@@ -37,7 +38,10 @@ fn tpcc_invariants_every_engine() {
         SystemKind::VoltDb,
         SystemKind::HyPer,
         SystemKind::dbms_m_for_tpcc(),
-        SystemKind::DbmsM { index: imoltp::systems::DbmsMIndex::Hash, compiled: true },
+        SystemKind::DbmsM {
+            index: imoltp::systems::DbmsMIndex::Hash,
+            compiled: true,
+        },
     ] {
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
         let mut db = build_system(kind, &sim, 1);
@@ -45,10 +49,15 @@ fn tpcc_invariants_every_engine() {
         sim.offline(|| w.setup(db.as_mut(), 1));
         sim.offline(|| {
             for i in 0..400 {
-                w.exec(db.as_mut(), 0).unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
+                w.exec(db.as_mut(), 0)
+                    .unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
             }
         });
-        assert_eq!(w.counts.total() + w.counts.new_order_rollbacks, 400, "{kind:?}");
+        assert_eq!(
+            w.counts.total() + w.counts.new_order_rollbacks,
+            400,
+            "{kind:?}"
+        );
         // The 45/43/4/4/4 mix: NewOrder and Payment dominate.
         assert!(w.counts.new_order > 120, "{kind:?}: {:?}", w.counts);
         assert!(w.counts.payment > 120, "{kind:?}: {:?}", w.counts);
@@ -73,7 +82,8 @@ fn tpcc_multi_worker_partitions_stay_consistent() {
         for i in 0..300 {
             let worker = i % workers;
             db.set_core(worker);
-            w.exec(db.as_mut(), worker).unwrap_or_else(|e| panic!("txn {i}: {e}"));
+            w.exec(db.as_mut(), worker)
+                .unwrap_or_else(|e| panic!("txn {i}: {e}"));
         }
     });
     w.check_consistency(db.as_mut());

@@ -1,0 +1,191 @@
+//! End-to-end tests for the structured tracing layer (`obs`): the span
+//! stream must form valid per-core trees, span counter deltas must
+//! partition the profiled window exactly, and the Perfetto export must be
+//! well-formed JSON with non-decreasing timestamps — across two cores.
+
+use std::collections::BTreeSet;
+
+use imoltp::analysis::Profiler;
+use imoltp::bench::{DbSize, MicroBench, Workload};
+use imoltp::obs::sink::{PerfettoSink, RingBufferSink, SharedBuf};
+use imoltp::obs::{self, AggSnapshot, Phase, SpanRecord, Tracer};
+use imoltp::sim::{EventCounts, MachineConfig, Sim};
+use imoltp::systems::{build_system, SystemKind};
+
+const CORES: usize = 2;
+const TXNS_PER_CORE: u64 = 30;
+
+/// Run a read-write micro-benchmark on two cores with the tracer
+/// installed. Returns the raw span records, the rendered Perfetto JSON
+/// document, and each core's (window counter delta, span aggregate).
+fn traced_two_core_run() -> (Vec<SpanRecord>, String, Vec<(EventCounts, AggSnapshot)>) {
+    let sim = Sim::new(MachineConfig::ivy_bridge(CORES));
+    let mut db = build_system(SystemKind::VoltDb, &sim, CORES);
+    let mut w = MicroBench::new(DbSize::Mb1).rows_per_txn(2).read_write();
+    sim.offline(|| w.setup(db.as_mut(), CORES));
+
+    let tracer = Tracer::new(&sim);
+    let ring = RingBufferSink::new(1 << 16);
+    tracer.add_sink(Box::new(ring.clone()));
+    let buf = SharedBuf::new();
+    let clock_ghz = sim.config().clock_ghz;
+    tracer.add_sink(Box::new(PerfettoSink::new(
+        Box::new(buf.clone()),
+        clock_ghz,
+    )));
+    obs::install(tracer);
+
+    let profilers: Vec<Profiler> = (0..CORES).map(|c| Profiler::attach(&sim, c)).collect();
+    let engine: &'static str = db.name();
+    for i in 0..TXNS_PER_CORE as usize * CORES {
+        let core = i % CORES;
+        db.set_core(core);
+        let _t = obs::span(engine, Phase::Txn, core);
+        w.exec(db.as_mut(), core)
+            .expect("traced transaction failed");
+    }
+    let per_core: Vec<(EventCounts, AggSnapshot)> = profilers
+        .iter()
+        .map(|p| {
+            let s = p.sample();
+            (
+                s.counts,
+                s.spans
+                    .expect("tracer installed, so samples carry span aggregates"),
+            )
+        })
+        .collect();
+
+    let tracer = obs::uninstall().expect("tracer still installed");
+    tracer.finish();
+    (ring.records(), buf.contents(), per_core)
+}
+
+#[test]
+fn span_stream_forms_valid_trees_on_both_cores() {
+    let (records, _, _) = traced_two_core_run();
+    assert!(!records.is_empty());
+
+    for core in 0..CORES {
+        let recs: Vec<&SpanRecord> = records.iter().filter(|r| r.core == core).collect();
+        assert!(!recs.is_empty(), "core {core} produced no spans");
+
+        // The driver's Txn spans are the only roots: one per transaction.
+        let roots: Vec<&&SpanRecord> = recs.iter().filter(|r| r.depth == 0).collect();
+        assert_eq!(
+            roots.len() as u64,
+            TXNS_PER_CORE,
+            "core {core}: one root per txn"
+        );
+        assert!(roots.iter().all(|r| r.phase == Phase::Txn));
+
+        for r in &recs {
+            assert!(
+                r.start_cycles <= r.end_cycles,
+                "core {core}: span {:?} runs backwards",
+                r.phase
+            );
+            assert!(
+                r.incl.instructions >= r.self_counts.instructions,
+                "core {core}: inclusive delta smaller than exclusive delta"
+            );
+        }
+
+        // Every non-root span nests inside some span exactly one level up
+        // that opened earlier (smaller seq) and encloses it in cycle time —
+        // i.e. the records reconstruct a valid forest of trees.
+        for r in recs.iter().filter(|r| r.depth > 0) {
+            let parent = recs.iter().find(|q| {
+                q.depth == r.depth - 1
+                    && q.seq < r.seq
+                    && q.start_cycles <= r.start_cycles
+                    && r.end_cycles <= q.end_cycles
+            });
+            assert!(
+                parent.is_some(),
+                "core {core}: span {:?} depth={} seq={} has no enclosing parent",
+                r.phase,
+                r.depth,
+                r.seq
+            );
+        }
+    }
+}
+
+#[test]
+fn per_phase_self_deltas_partition_each_cores_window_exactly() {
+    let (_, _, per_core) = traced_two_core_run();
+    for (core, (counts, spans)) in per_core.iter().enumerate() {
+        assert!(counts.instructions > 0, "core {core} executed instructions");
+        // The Txn root spans cover every transaction, and phase self
+        // deltas partition each root exactly — so the sum over all
+        // phases must reproduce the profiler's window delta bit-for-bit.
+        assert_eq!(
+            &spans.self_total(),
+            counts,
+            "core {core}: per-phase self deltas must sum to the window total"
+        );
+        // The engine opened nested phases (not just the driver's root).
+        let phases: BTreeSet<&str> = spans
+            .phases
+            .keys()
+            .map(|(_, phase)| phase.label())
+            .collect();
+        assert!(phases.contains("txn"));
+        assert!(
+            phases.len() > 1,
+            "core {core}: engine phases traced: {phases:?}"
+        );
+    }
+}
+
+#[test]
+fn perfetto_export_is_valid_json_with_monotone_timestamps() {
+    let (_, perfetto, _) = traced_two_core_run();
+    let doc = obs::json::parse(&perfetto).expect("perfetto export parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut spans = 0u64;
+    let mut counters = 0u64;
+    let mut tids: BTreeSet<u64> = BTreeSet::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("ph field");
+        if ph == "M" {
+            continue; // metadata records carry no timestamp
+        }
+        let ts = ev.get("ts").and_then(|t| t.as_f64()).expect("ts field");
+        assert!(ts >= 0.0);
+        assert!(
+            ts >= last_ts,
+            "timestamps must be non-decreasing: {ts} < {last_ts}"
+        );
+        last_ts = ts;
+        if let Some(tid) = ev.get("tid").and_then(|t| t.as_f64()) {
+            tids.insert(tid as u64);
+        }
+        match ph {
+            "X" => {
+                spans += 1;
+                let dur = ev.get("dur").and_then(|d| d.as_f64()).expect("dur field");
+                assert!(dur >= 0.0);
+            }
+            "C" => counters += 1,
+            other => panic!("unexpected event kind {other:?}"),
+        }
+    }
+    assert!(
+        spans >= TXNS_PER_CORE * CORES as u64,
+        "one X event per span at least"
+    );
+    assert!(counters > 0, "stall counter track present");
+    assert_eq!(
+        tids,
+        (0..CORES as u64).collect::<BTreeSet<u64>>(),
+        "both simulated cores appear as Perfetto threads"
+    );
+}
