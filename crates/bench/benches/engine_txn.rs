@@ -14,8 +14,9 @@ fn bench_micro_txn(c: &mut Criterion) {
         let mut db = build_system(kind, &sim, 1);
         let mut w = MicroBench::new(DbSize::Mb1).with_rows(100_000);
         sim.offline(|| w.setup(db.as_mut(), 1));
+        let mut s = db.session(0);
         group.bench_function(kind.label(), |b| {
-            b.iter(|| w.exec(db.as_mut(), 0).expect("txn"))
+            b.iter(|| w.exec(s.as_mut(), 0).expect("txn"))
         });
     }
     group.finish();
@@ -29,8 +30,9 @@ fn bench_tpcb_txn(c: &mut Criterion) {
         let mut db = build_system(kind, &sim, 1);
         let mut w = TpcB::with_branches(1);
         sim.offline(|| w.setup(db.as_mut(), 1));
+        let mut s = db.session(0);
         group.bench_function(kind.label(), |b| {
-            b.iter(|| w.exec(db.as_mut(), 0).expect("txn"))
+            b.iter(|| w.exec(s.as_mut(), 0).expect("txn"))
         });
     }
     group.finish();

@@ -44,7 +44,8 @@ fn run_micro(system: SystemKind, cfg: MachineConfig, multi_partition: bool) -> M
     let mut w = MicroBench::new(DbSize::Gb100);
     sim.offline(|| w.setup(db.as_mut(), 1));
     sim.warm_data();
-    measure(&sim, 0, window(), |_| w.exec(db.as_mut(), 0).expect("txn"))
+    let mut s = db.session(0);
+    measure(&sim, 0, window(), |_| w.exec(s.as_mut(), 0).expect("txn"))
 }
 
 fn i_spki(m: &Measurement) -> f64 {
@@ -272,12 +273,13 @@ mod tests {
             let mut w = MicroBench::new(DbSize::Mb1).with_rows(20_000);
             sim.offline(|| w.setup(db.as_mut(), 1));
             sim.warm_data();
+            let mut s = db.session(0);
             let spec = WindowSpec {
                 warmup: 400,
                 measured: 800,
                 reps: 1,
             };
-            measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).unwrap())
+            measure(&sim, 0, spec, |_| w.exec(s.as_mut(), 0).unwrap())
         };
         let single = run(false);
         let multi = run(true);

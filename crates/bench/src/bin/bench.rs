@@ -1,7 +1,7 @@
 //! `bench` — ad-hoc benchmarking front-end.
 //!
 //! ```text
-//! bench trace <system> <workload>   # traced run + Perfetto/JSONL export
+//! bench trace <system> <workload> [workers]   # traced run + Perfetto/JSONL export
 //! ```
 //!
 //! Systems: shore-mt, dbmsd, voltdb, hyper, dbmsm, dbmsm-interp,
@@ -27,13 +27,24 @@ fn main() {
                 eprintln!("unknown workload: {wl_arg}");
                 usage(2);
             };
+            let workers: usize = match args.get(4) {
+                Some(n) => match n.parse() {
+                    // The simulated machine models at most 64 cores.
+                    Ok(w) if (1..=64).contains(&w) => w,
+                    _ => {
+                        eprintln!("bad worker count: {n} (expected 1..=64)");
+                        usage(2);
+                    }
+                },
+                None => 1,
+            };
             let out_dir = repo_root().join("results");
-            let art = trace::run_trace(system, &workload, wl_arg, &out_dir);
+            let art = trace::run_trace_workers(system, &workload, wl_arg, &out_dir, workers);
             print!(
                 "{}",
                 trace::render(
                     &art.measurement,
-                    &format!("{} / {}", system.label(), wl_arg)
+                    &format!("{} / {} / {workers} worker(s)", system.label(), wl_arg)
                 )
             );
             println!(
@@ -51,7 +62,7 @@ fn main() {
 }
 
 fn usage(code: i32) -> ! {
-    eprintln!("usage: bench trace <shore-mt|dbmsd|voltdb|hyper|dbmsm|dbmsm-interp|dbmsm-btree> <micro|micro-rw|tpcb|tpcc|tpce>");
+    eprintln!("usage: bench trace <shore-mt|dbmsd|voltdb|hyper|dbmsm|dbmsm-interp|dbmsm-btree> <micro|micro-rw|tpcb|tpcc|tpce> [workers]");
     std::process::exit(code);
 }
 

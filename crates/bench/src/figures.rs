@@ -190,10 +190,10 @@ impl Figures {
                     .iter()
                     .zip(ms)
                     .map(|(p, m)| {
-                        let WorkloadCfg::Micro { size, .. } = p.workload else {
+                        let &WorkloadCfg::Micro { size, .. } = p.workload() else {
                             unreachable!()
                         };
-                        (p.system, size, m)
+                        (p.system(), size, m)
                     })
                     .collect(),
             );
@@ -220,10 +220,10 @@ impl Figures {
                     .iter()
                     .zip(ms)
                     .map(|(p, m)| {
-                        let WorkloadCfg::Micro { rows_per_txn, .. } = p.workload else {
+                        let &WorkloadCfg::Micro { rows_per_txn, .. } = p.workload() else {
                             unreachable!()
                         };
-                        (p.system, rows_per_txn, m)
+                        (p.system(), rows_per_txn, m)
                     })
                     .collect(),
             );
@@ -361,7 +361,7 @@ impl Figures {
                             micro(DbSize::Gb100, 1, true)
                         },
                     )
-                    .with_workers(MT_WORKERS)
+                    .workers(MT_WORKERS)
                 })
                 .collect();
             let ms = run_points(&points);

@@ -7,9 +7,10 @@
 //! every point owns its own simulator, so they are independent.
 
 use std::env;
+use std::sync::Mutex;
 
 use engines::{build_system, SystemKind};
-use microarch::{measure, measure_multi, Measurement, WindowSpec};
+use microarch::{measure, measure_workers, Measurement, Pacing, WindowSpec};
 use uarch_sim::{MachineConfig, Sim};
 use workloads::tpcc::TpcCScale;
 use workloads::tpce::TpcEScale;
@@ -18,6 +19,7 @@ use workloads::{DbSize, MicroBench, TpcB, TpcC, TpcE, Workload};
 pub mod ablations;
 pub mod figures;
 pub mod modules_report;
+pub mod scaling;
 pub mod suite;
 pub mod trace;
 
@@ -140,55 +142,134 @@ pub fn scale_factor() -> f64 {
         .unwrap_or(1.0)
 }
 
-/// One experiment point.
+/// One experiment point. Construct with [`Point::new`] and the builder
+/// methods; the fields are private so that invalid worker/partition
+/// combinations are rejected at construction time rather than deep inside
+/// an engine.
 #[derive(Clone, Debug)]
 pub struct Point {
-    /// System under test.
-    pub system: SystemKind,
-    /// Workload configuration.
-    pub workload: WorkloadCfg,
-    /// Worker threads (1 = the paper's single-threaded methodology).
-    pub workers: usize,
+    system: SystemKind,
+    workload: WorkloadCfg,
+    workers: usize,
+    partitions: Option<usize>,
+    window: Option<WindowSpec>,
 }
 
 impl Point {
-    /// Single-worker point.
+    /// Single-worker point (the paper's single-threaded methodology).
     pub fn new(system: SystemKind, workload: WorkloadCfg) -> Self {
         Point {
             system,
             workload,
             workers: 1,
+            partitions: None,
+            window: None,
         }
     }
 
-    /// Multi-worker point (§7).
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+    /// Multi-worker point (§7): one OS thread per simulated core.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a partitioned engine when `workers` exceeds the
+    /// configured partition count — those engines route each worker to its
+    /// own partition and cannot host more workers than partitions.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "a point needs at least one worker");
+        self.workers = workers;
+        self.validate();
         self
+    }
+
+    /// Override the partition count (default: one partition per worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a partitioned engine when the worker count exceeds
+    /// `partitions`.
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        assert!(partitions >= 1, "a point needs at least one partition");
+        self.partitions = Some(partitions);
+        self.validate();
+        self
+    }
+
+    /// Override the measurement window (default: the workload's).
+    pub fn window(mut self, window: WindowSpec) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    fn validate(&self) {
+        if self.system.partitioned() && self.workers > self.effective_partitions() {
+            panic!(
+                "{:?} is partitioned: {} workers cannot run on {} partition(s)",
+                self.system,
+                self.workers,
+                self.effective_partitions()
+            );
+        }
+    }
+
+    /// System under test.
+    pub fn system(&self) -> SystemKind {
+        self.system
+    }
+
+    /// Workload configuration.
+    pub fn workload(&self) -> &WorkloadCfg {
+        &self.workload
+    }
+
+    /// Worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Partition count the engine is built with.
+    pub fn effective_partitions(&self) -> usize {
+        self.partitions.unwrap_or(self.workers)
+    }
+
+    /// Measurement window the point runs with.
+    pub fn effective_window(&self) -> WindowSpec {
+        self.window.unwrap_or_else(|| self.workload.window())
     }
 }
 
 /// Run one experiment point to a [`Measurement`].
+///
+/// Single-worker points use the exact single-threaded measurement loop the
+/// paper's figures were calibrated on. Multi-worker points open one
+/// [`oltp::Session`] per worker and drive them from parallel OS threads in
+/// deterministic lockstep; per-worker counters are averaged and transaction
+/// counts summed, as in the paper's multi-threaded experiments.
 pub fn run_point(point: &Point) -> Measurement {
-    let workers = point.workers;
+    let workers = point.worker_count();
     let sim = Sim::new(MachineConfig::ivy_bridge(workers));
-    let mut db = build_system(point.system, &sim, workers);
-    let mut w = point.workload.build();
+    let mut db = build_system(point.system(), &sim, point.effective_partitions());
+    let mut w = point.workload().build();
     sim.offline(|| w.setup(db.as_mut(), workers));
     sim.warm_data();
-    let window = point.workload.window();
+    let window = point.effective_window();
     if workers == 1 {
-        db.set_core(0);
+        let mut s = db.session(0);
         measure(&sim, 0, window, |_| {
-            w.exec(db.as_mut(), 0)
-                .expect("benchmark transaction failed");
+            w.exec(s.as_mut(), 0).expect("benchmark transaction failed");
         })
     } else {
         let cores: Vec<usize> = (0..workers).collect();
-        measure_multi(&sim, &cores, window, |_, worker| {
-            db.set_core(worker);
-            w.exec(db.as_mut(), worker)
-                .expect("benchmark transaction failed");
+        let w = Mutex::new(w);
+        let db = &*db;
+        let w = &w;
+        measure_workers(&sim, &cores, window, Pacing::Lockstep, |worker| {
+            let mut s = db.session(worker);
+            move |_| {
+                w.lock()
+                    .unwrap()
+                    .exec(s.as_mut(), worker)
+                    .expect("benchmark transaction failed");
+            }
         })
     }
 }
@@ -235,18 +316,12 @@ mod tests {
             },
         );
         // Shrink the window directly for test speed.
-        let sim = Sim::new(MachineConfig::ivy_bridge(1));
-        let mut db = build_system(p.system, &sim, 1);
-        let mut w = p.workload.build();
-        sim.offline(|| w.setup(db.as_mut(), 1));
-        let window = WindowSpec {
+        let p = p.window(WindowSpec {
             warmup: 300,
             measured: 500,
             reps: 2,
-        };
-        measure(&sim, 0, window, |_| {
-            w.exec(db.as_mut(), 0).unwrap();
-        })
+        });
+        run_point(&p)
     }
 
     #[test]
@@ -274,20 +349,48 @@ mod tests {
                 strings: false,
             },
         )
-        .with_workers(2);
-        let sim = Sim::new(MachineConfig::ivy_bridge(2));
-        let mut db = build_system(p.system, &sim, 2);
-        let mut w = p.workload.build();
-        sim.offline(|| w.setup(db.as_mut(), 2));
-        let window = WindowSpec {
+        .workers(2)
+        .window(WindowSpec {
             warmup: 100,
             measured: 200,
             reps: 1,
-        };
-        let m = measure_multi(&sim, &[0, 1], window, |_, worker| {
-            db.set_core(worker);
-            w.exec(db.as_mut(), worker).unwrap();
         });
+        let m = run_point(&p);
         assert!(m.ipc > 0.0);
+        // Per-worker transaction counts sum across the two workers.
+        assert_eq!(m.txns, 2 * 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioned")]
+    fn partitioned_point_rejects_more_workers_than_partitions() {
+        let _ = Point::new(
+            SystemKind::VoltDb,
+            WorkloadCfg::Micro {
+                size: DbSize::Mb1,
+                rows_per_txn: 1,
+                read_only: true,
+                strings: false,
+            },
+        )
+        .partitions(2)
+        .workers(4);
+    }
+
+    #[test]
+    fn shared_everything_point_allows_more_workers_than_partitions() {
+        let p = Point::new(
+            SystemKind::ShoreMt,
+            WorkloadCfg::Micro {
+                size: DbSize::Mb1,
+                rows_per_txn: 1,
+                read_only: true,
+                strings: false,
+            },
+        )
+        .partitions(1)
+        .workers(4);
+        assert_eq!(p.worker_count(), 4);
+        assert_eq!(p.effective_partitions(), 1);
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! figures all            # every figure + results/*.csv + EXPERIMENTS.md
 //! figures fig1 ... fig27 # one figure as a text table
+//! figures scaling        # worker-count scaling grid + results/scaling.csv
 //! figures calibrate      # quick per-(system,size) metric dump
 //! ```
 //!
@@ -25,6 +26,11 @@ fn main() {
         }
         "calibrate" => {
             calibrate();
+            return;
+        }
+        "scaling" => {
+            let smoke = std::env::args().any(|a| a == "--smoke");
+            print!("{}", bench::scaling::run(&repo_root(), smoke));
             return;
         }
         "fig1" => Some(Fig::Scalar(f.fig_ipc_vs_size(true))),
@@ -123,7 +129,7 @@ fn main() {
                 eprintln!("unknown subcommand: {other}");
             }
             eprintln!(
-                "usage: figures <all|fig1..fig27|checks|calibrate|phases [micro|tpcb|tpcc]|modules [micro|tpcb|tpcc]|tpce|ablations|ablation-{{llc,prefetch,simplecore,voltdb-mp,overlap}}>"
+                "usage: figures <all|fig1..fig27|scaling [--smoke]|checks|calibrate|phases [micro|tpcb|tpcc]|modules [micro|tpcb|tpcc]|tpce|ablations|ablation-{{llc,prefetch,simplecore,voltdb-mp,overlap}}>"
             );
             std::process::exit(if other == "help" { 0 } else { 2 });
         }
@@ -173,12 +179,12 @@ fn calibrate() {
         "system", "size", "IPC", "instr/txn", "tps", "L1I", "L2I", "LLCI", "L1D", "L2D", "LLCD"
     );
     for (p, m) in points.iter().zip(&ms) {
-        let WorkloadCfg::Micro { size, .. } = p.workload else {
+        let &WorkloadCfg::Micro { size, .. } = p.workload() else {
             unreachable!()
         };
         println!(
             "{:<10} {:>6} {:>6.2} {:>9.0} {:>8.0} | {:>6.0} {:>6.0} {:>6.0} {:>6.0} {:>6.0} {:>6.0}",
-            p.system.label(),
+            p.system().label(),
             size.label(),
             m.ipc,
             m.instr_per_txn,

@@ -41,13 +41,14 @@ pub fn module_breakdown(system: SystemKind, workload: &str) -> ModuleBreakdown {
     };
     sim.offline(|| w.setup(db.as_mut(), 1));
     sim.warm_data();
+    let mut s = db.session(0);
     let spec = WindowSpec {
         warmup: 1500,
         measured: 3000,
         reps: 2,
     }
     .scaled(scale_factor());
-    let m = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"));
+    let m = measure(&sim, 0, spec, |_| w.exec(s.as_mut(), 0).expect("txn"));
 
     // Raw per-module counters for the miss shares.
     let specs = sim.module_specs();

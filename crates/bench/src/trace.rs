@@ -9,10 +9,11 @@
 use std::fs;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 use engines::{build_system, SystemKind};
-use microarch::{measure, Measurement};
-use obs::sink::{JsonlSink, PerfettoSink};
+use microarch::{measure, measure_workers, Measurement, Pacing};
+use obs::sink::{JsonlSink, PerfettoSink, VecSink};
 use obs::{Phase, Tracer};
 use uarch_sim::{MachineConfig, Sim};
 use workloads::DbSize;
@@ -89,38 +90,102 @@ pub fn run_trace(
     wl_name: &str,
     out_dir: &Path,
 ) -> TraceArtifacts {
+    run_trace_workers(system, workload, wl_name, out_dir, 1)
+}
+
+/// Run one traced point with `workers` parallel sessions. With one worker
+/// this is the exact single-threaded tracing path; with more, every worker
+/// thread installs its own thread-local [`Tracer`] feeding an in-memory
+/// sink, and after the workers join the per-thread span streams are merged
+/// by simulated timestamp and replayed through a harness tracer that owns
+/// the Perfetto/JSONL exports — one coherent trace file across all cores.
+pub fn run_trace_workers(
+    system: SystemKind,
+    workload: &WorkloadCfg,
+    wl_name: &str,
+    out_dir: &Path,
+    workers: usize,
+) -> TraceArtifacts {
     fs::create_dir_all(out_dir).expect("create trace output dir");
     let sys_slug = slug(system.label());
     let perfetto = out_dir.join(format!("trace_{sys_slug}_{wl_name}.perfetto.json"));
     let jsonl = out_dir.join(format!("trace_{sys_slug}_{wl_name}.jsonl"));
 
-    let sim = Sim::new(MachineConfig::ivy_bridge(1));
-    let mut db = build_system(system, &sim, 1);
+    let sim = Sim::new(MachineConfig::ivy_bridge(workers));
+    let mut db = build_system(system, &sim, workers);
     let mut w = workload.build();
-    sim.offline(|| w.setup(db.as_mut(), 1));
+    sim.offline(|| w.setup(db.as_mut(), workers));
     sim.warm_data();
     let engine: &'static str = db.name();
-
-    let tracer = Tracer::new(&sim);
-    let clock_ghz = sim.config().clock_ghz;
-    let pf = fs::File::create(&perfetto).expect("create perfetto file");
-    tracer.add_sink(Box::new(PerfettoSink::new(
-        Box::new(BufWriter::new(pf)),
-        clock_ghz,
-    )));
-    let jf = fs::File::create(&jsonl).expect("create jsonl file");
-    tracer.add_sink(Box::new(JsonlSink::new(Box::new(BufWriter::new(jf)))));
-    obs::install(tracer);
-
-    db.set_core(0);
     let window = workload.window();
-    let measurement = measure(&sim, 0, window, |_| {
-        let _t = obs::span(engine, Phase::Txn, 0);
-        w.exec(db.as_mut(), 0).expect("trace transaction failed");
-    });
+    let clock_ghz = sim.config().clock_ghz;
 
-    let tracer = obs::uninstall().expect("tracer still installed");
-    tracer.finish();
+    let file_sinks = |tracer: &Tracer| {
+        let pf = fs::File::create(&perfetto).expect("create perfetto file");
+        tracer.add_sink(Box::new(PerfettoSink::new(
+            Box::new(BufWriter::new(pf)),
+            clock_ghz,
+        )));
+        let jf = fs::File::create(&jsonl).expect("create jsonl file");
+        tracer.add_sink(Box::new(JsonlSink::new(Box::new(BufWriter::new(jf)))));
+    };
+
+    let measurement = if workers == 1 {
+        let tracer = Tracer::new(&sim);
+        file_sinks(&tracer);
+        obs::install(tracer);
+
+        let mut s = db.session(0);
+        let measurement = measure(&sim, 0, window, |_| {
+            let _t = obs::span(engine, Phase::Txn, 0);
+            w.exec(s.as_mut(), 0).expect("trace transaction failed");
+        });
+
+        drop(s);
+        let tracer = obs::uninstall().expect("tracer still installed");
+        tracer.finish();
+        measurement
+    } else {
+        let cores: Vec<usize> = (0..workers).collect();
+        let sinks: Vec<VecSink> = (0..workers).map(|_| VecSink::new()).collect();
+        let w = Mutex::new(w);
+        let measurement = {
+            let db = &*db;
+            let w = &w;
+            let sim_handle = &sim;
+            let sinks = &sinks;
+            measure_workers(&sim, &cores, window, Pacing::Lockstep, |worker| {
+                let mut s = db.session(worker);
+                let sink = sinks[worker].clone();
+                let sim = sim_handle.clone();
+                let mut installed = false;
+                move |_| {
+                    if !installed {
+                        // Tracers are thread-local; install this worker's on
+                        // its own thread, on the first turn it executes.
+                        let tracer = Tracer::new(&sim);
+                        tracer.add_sink(Box::new(sink.clone()));
+                        obs::install(tracer);
+                        installed = true;
+                    }
+                    let _t = obs::span(engine, Phase::Txn, worker);
+                    w.lock()
+                        .unwrap()
+                        .exec(s.as_mut(), worker)
+                        .expect("trace transaction failed");
+                }
+            })
+        };
+        let merged = obs::merge_span_streams(sinks.iter().map(|s| s.take()).collect());
+        let tracer = Tracer::new(&sim);
+        file_sinks(&tracer);
+        for rec in &merged {
+            tracer.ingest(rec);
+        }
+        tracer.finish();
+        measurement
+    };
+
     TraceArtifacts {
         measurement,
         perfetto,
@@ -290,6 +355,47 @@ mod tests {
         let doc = obs::json::parse(&perfetto).expect("perfetto JSON parses");
         assert!(doc.get("traceEvents").is_some());
         assert!(std::fs::metadata(&art.jsonl).unwrap().len() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multi_worker_trace_merges_per_thread_streams() {
+        let dir = std::env::temp_dir().join("imoltp_trace_mt_test");
+        let cfg = WorkloadCfg::Micro {
+            size: DbSize::Mb1,
+            rows_per_txn: 1,
+            read_only: false,
+            strings: false,
+        };
+        let art = run_trace_workers(SystemKind::VoltDb, &cfg, "micro_mt", &dir, 2);
+        let m = &art.measurement;
+        assert!(!m.phases.is_empty(), "merged run must carry phases");
+        let txn = m
+            .phases
+            .iter()
+            .find(|p| p.phase == "txn")
+            .expect("txn phase");
+        assert_eq!(txn.count, m.txns);
+        // The merged Perfetto document contains spans from both cores and
+        // stays timestamp-ordered despite interleaved per-thread streams.
+        let perfetto = std::fs::read_to_string(&art.perfetto).unwrap();
+        let doc = obs::json::parse(&perfetto).expect("perfetto JSON parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let mut cores = std::collections::BTreeSet::new();
+        let mut last_ts = f64::NEG_INFINITY;
+        for e in events {
+            if let Some(t) = e.get("tid").and_then(|t| t.as_f64()) {
+                cores.insert(t as u64);
+            }
+            if let Some(ts) = e.get("ts").and_then(|t| t.as_f64()) {
+                assert!(ts >= last_ts, "timestamps must be non-decreasing");
+                last_ts = ts;
+            }
+        }
+        assert!(
+            cores.contains(&0) && cores.contains(&1),
+            "spans from both cores: {cores:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -2,11 +2,25 @@
 //! averaging, mirroring §3 of the paper (60 s warm-up, middle-30 s
 //! sampling, three repetitions, per-worker filtering) in deterministic
 //! transaction-count terms.
+//!
+//! Multi-worker experiments run each worker on its own OS thread against
+//! the shared simulated machine. Two pacing disciplines are offered:
+//!
+//! * [`Pacing::Lockstep`] — a turn gate hands out global transaction
+//!   numbers round-robin, so the interleaving (and therefore every
+//!   counter) is bit-reproducible run over run. This is how the figure
+//!   harness runs; throughput scaling is read off the *simulated* cycle
+//!   counters, which the gate does not distort.
+//! * [`Pacing::Free`] — workers run unsynchronized between the window
+//!   barriers; the interleaving is real and nondeterministic (used by the
+//!   concurrency stress tests, not by the figures).
+
+use std::sync::{Condvar, Mutex};
 
 use uarch_sim::Sim;
 
 use crate::metrics::Measurement;
-use crate::profiler::Profiler;
+use crate::profiler::{Profiler, Sample};
 
 /// Window specification for one experiment point.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +57,16 @@ impl WindowSpec {
     }
 }
 
+/// How worker threads interleave between window barriers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pacing {
+    /// Transactions execute in a deterministic global round-robin order
+    /// (worker `w` runs global transactions `t` with `t % workers == w`).
+    Lockstep,
+    /// Workers run freely; only the window edges are barrier-aligned.
+    Free,
+}
+
 /// Run a single-worker experiment: `step(i)` must execute exactly one
 /// transaction on the engine under test, which must emit all its simulated
 /// activity on `core`.
@@ -74,42 +98,203 @@ pub fn measure<F: FnMut(u64)>(
     Measurement::average(&runs)
 }
 
-/// Run a multi-worker experiment: `step(i, w)` executes one transaction on
-/// worker `w` (whose activity lands on core `cores[w]`). Workers are
-/// interleaved round-robin at transaction granularity; the result averages
-/// per-worker measurements, as the paper does ("we filter hardware counter
-/// results for each worker thread separately and report their average").
-pub fn measure_multi<F: FnMut(u64, usize)>(
+/// A turn gate: hands the global transaction sequence to worker threads
+/// one turn at a time. Poisoned (waking every waiter into a panic) if the
+/// holder of a turn panics, so a failed worker cannot deadlock the rest.
+struct TurnGate {
+    cur: Mutex<(u64, bool)>,
+    cv: Condvar,
+}
+
+impl TurnGate {
+    fn new() -> Self {
+        TurnGate {
+            cur: Mutex::new((0, false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn run<R>(&self, turn: u64, f: impl FnOnce() -> R) -> R {
+        let mut cur = self.cur.lock().unwrap();
+        loop {
+            assert!(!cur.1, "turn gate poisoned by a worker panic");
+            if cur.0 == turn {
+                break;
+            }
+            cur = self.cv.wait(cur).unwrap();
+        }
+        drop(cur);
+        let r = f();
+        self.cur.lock().unwrap().0 += 1;
+        self.cv.notify_all();
+        r
+    }
+
+    fn poison(&self) {
+        if let Ok(mut cur) = self.cur.lock() {
+            cur.1 = true;
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// A reusable rendezvous like [`std::sync::Barrier`], but poisonable so a
+/// panicking worker releases (and fails) the others instead of hanging
+/// them.
+struct SyncPoint {
+    state: Mutex<(usize, u64, bool)>,
+    cv: Condvar,
+    n: usize,
+}
+
+impl SyncPoint {
+    fn new(n: usize) -> Self {
+        SyncPoint {
+            state: Mutex::new((0, 0, false)),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    fn wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        assert!(!st.2, "sync point poisoned by a worker panic");
+        st.0 += 1;
+        if st.0 == self.n {
+            st.0 = 0;
+            st.1 += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let generation = st.1;
+        while st.1 == generation {
+            assert!(!st.2, "sync point poisoned by a worker panic");
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn poison(&self) {
+        if let Ok(mut st) = self.state.lock() {
+            st.2 = true;
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Poisons the gate and sync point if the owning worker thread unwinds.
+struct PanicFence<'a> {
+    gate: &'a TurnGate,
+    barrier: &'a SyncPoint,
+}
+
+impl Drop for PanicFence<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.gate.poison();
+            self.barrier.poison();
+        }
+    }
+}
+
+/// Run a multi-worker experiment with one OS thread per worker. `make(w)`
+/// builds worker `w`'s step closure on the calling thread; each closure is
+/// then moved to its worker thread and invoked once per transaction with a
+/// globally unique transaction number. Worker `w`'s simulated activity
+/// must land on `cores[w]`.
+///
+/// The measured windows are barrier-delimited: all workers finish warm-up,
+/// then every repetition attaches per-worker profilers, runs
+/// `spec.measured` transactions per worker, and samples — so each window
+/// covers exactly the same transactions on every run. The result averages
+/// the per-worker measurements, as the paper does ("we filter hardware
+/// counter results for each worker thread separately and report their
+/// average").
+pub fn measure_workers<F, G>(
     sim: &Sim,
     cores: &[usize],
     spec: WindowSpec,
-    mut step: F,
-) -> Measurement {
+    pacing: Pacing,
+    mut make: G,
+) -> Measurement
+where
+    F: FnMut(u64) + Send,
+    G: FnMut(usize) -> F,
+{
     assert!(!cores.is_empty());
+    let n = cores.len() as u64;
     let cfg = sim.config();
-    let mut txn_no = 0u64;
-    for _ in 0..spec.warmup {
-        for w in 0..cores.len() {
-            step(txn_no, w);
-            txn_no += 1;
-        }
-    }
-    let mut runs = Vec::new();
-    for _ in 0..spec.reps.max(1) {
-        let profilers: Vec<Profiler> = cores.iter().map(|&c| Profiler::attach(sim, c)).collect();
-        for _ in 0..spec.measured {
-            for w in 0..cores.len() {
-                step(txn_no, w);
-                txn_no += 1;
-            }
-        }
-        let per_worker: Vec<Measurement> = profilers
-            .iter()
-            .map(|p| Measurement::from_sample(&cfg, &p.sample(), spec.measured))
+    let reps = spec.reps.max(1);
+    let steps: Vec<F> = (0..cores.len()).map(&mut make).collect();
+    let gate = TurnGate::new();
+    let barrier = SyncPoint::new(cores.len());
+
+    let per_worker: Vec<Vec<Sample>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = steps
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut step)| {
+                let (gate, barrier) = (&gate, &barrier);
+                let core = cores[w];
+                scope.spawn(move || {
+                    let _fence = PanicFence { gate, barrier };
+                    let run_segment = |step: &mut F, base: u64, count: u64| match pacing {
+                        Pacing::Lockstep => {
+                            for i in 0..count {
+                                let t = base + i * n + w as u64;
+                                gate.run(t, || step(t));
+                            }
+                        }
+                        Pacing::Free => {
+                            for i in 0..count {
+                                step(base + i * n + w as u64);
+                            }
+                        }
+                    };
+                    run_segment(&mut step, 0, spec.warmup);
+                    barrier.wait();
+                    let mut samples = Vec::with_capacity(reps as usize);
+                    for rep in 0..reps as u64 {
+                        let profiler = Profiler::attach(sim, core);
+                        barrier.wait(); // all attached before anyone steps
+                        let base = (spec.warmup + rep * spec.measured) * n;
+                        run_segment(&mut step, base, spec.measured);
+                        barrier.wait(); // all done before anyone samples
+                        samples.push(profiler.sample());
+                        barrier.wait();
+                    }
+                    samples
+                })
+            })
             .collect();
-        runs.push(Measurement::average(&per_worker));
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut runs = Vec::with_capacity(reps as usize);
+    for rep in 0..reps as usize {
+        let per_rep: Vec<Measurement> = per_worker
+            .iter()
+            .map(|samples| Measurement::from_sample(&cfg, &samples[rep], spec.measured))
+            .collect();
+        runs.push(Measurement::average(&per_rep));
     }
     Measurement::average(&runs)
+}
+
+/// Run a multi-worker experiment from a single shared step function:
+/// `step(t, w)` executes global transaction `t` on worker `w` (whose
+/// activity lands on core `cores[w]`). Workers run on their own OS
+/// threads, interleaved in deterministic lockstep; the shared closure is
+/// serialized behind a lock, which the lockstep order makes contention-free.
+pub fn measure_multi<F: FnMut(u64, usize) + Send>(
+    sim: &Sim,
+    cores: &[usize],
+    spec: WindowSpec,
+    step: F,
+) -> Measurement {
+    let step = &Mutex::new(step);
+    measure_workers(sim, cores, spec, Pacing::Lockstep, |w| {
+        move |t| (step.lock().unwrap())(t, w)
+    })
 }
 
 #[cfg(test)]
@@ -182,6 +367,71 @@ mod tests {
         });
         // Average of 1000 and 3000 instructions per txn.
         assert!((result.instr_per_txn - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_workers_runs_threads_with_own_state() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(4));
+        let m = sim.register_module(ModuleSpec::new("txn", 4096));
+        let spec = WindowSpec {
+            warmup: 5,
+            measured: 20,
+            reps: 2,
+        };
+        let result = measure_workers(&sim, &[0, 1, 2, 3], spec, Pacing::Lockstep, |w| {
+            let mem = sim.mem(w).with_module(m);
+            let mut local = 0u64; // per-worker state lives on its thread
+            move |_t| {
+                local += 1;
+                mem.exec(500);
+                std::hint::black_box(local);
+            }
+        });
+        // txns and counts sum across workers and reps; ratios average.
+        assert_eq!(result.txns, 4 * 20 * 2);
+        assert!((result.instr_per_txn - 500.0).abs() < 1e-9);
+        // All four cores saw warmup + measured work.
+        for c in 0..4 {
+            assert_eq!(sim.counters(c).instructions, (5 + 2 * 20) * 500);
+        }
+    }
+
+    #[test]
+    fn lockstep_is_deterministic_and_ordered() {
+        // The gate must hand out turns in strict global order; record the
+        // observed order and check it equals 0..N with worker t % n.
+        let sim = Sim::new(MachineConfig::ivy_bridge(2));
+        let spec = WindowSpec {
+            warmup: 3,
+            measured: 4,
+            reps: 1,
+        };
+        let order = Mutex::new(Vec::new());
+        measure_multi(&sim, &[0, 1], spec, |t, w| {
+            order.lock().unwrap().push((t, w));
+        });
+        let order = order.into_inner().unwrap();
+        let expected: Vec<(u64, usize)> = (0..(3 + 4) * 2).map(|t| (t, (t % 2) as usize)).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn free_pacing_completes_all_transactions() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(2));
+        let m = sim.register_module(ModuleSpec::new("txn", 4096));
+        let spec = WindowSpec {
+            warmup: 0,
+            measured: 50,
+            reps: 1,
+        };
+        let result = measure_workers(&sim, &[0, 1], spec, Pacing::Free, |w| {
+            let mem = sim.mem(w).with_module(m);
+            move |_t| mem.exec(100)
+        });
+        assert_eq!(result.counts.instructions, 2 * 50 * 100); // summed across workers
+        for c in 0..2 {
+            assert_eq!(sim.counters(c).instructions, 50 * 100);
+        }
     }
 
     #[test]

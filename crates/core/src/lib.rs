@@ -24,7 +24,7 @@ pub mod metrics;
 pub mod profiler;
 pub mod report;
 
-pub use experiment::{measure, measure_multi, WindowSpec};
+pub use experiment::{measure, measure_multi, measure_workers, Pacing, WindowSpec};
 pub use metrics::{Measurement, ModuleShare};
 pub use profiler::{Profiler, Sample};
 pub use report::{markdown_table, ScalarFigure, StallFigure};

@@ -69,6 +69,13 @@ impl SystemKind {
         !matches!(self, SystemKind::ShoreMt | SystemKind::DbmsD)
     }
 
+    /// Whether the system physically partitions its data and executes
+    /// serially per partition (one worker per partition, §2.2). Worker
+    /// counts beyond the partition count violate that deployment model.
+    pub fn partitioned(self) -> bool {
+        matches!(self, SystemKind::VoltDb | SystemKind::HyPer)
+    }
+
     /// DBMS M configured as the paper does for a range-scanning workload
     /// (TPC-C): cc-B-tree index.
     pub fn dbms_m_for_tpcc() -> SystemKind {

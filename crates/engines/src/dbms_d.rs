@@ -10,10 +10,17 @@
 //! storage side is the classical stack: buffer pool, hierarchical 2PL,
 //! WAL, 8 KB-page B+tree ("page size of 8KB ... we could not find any
 //! publicly available information about tuning the node size", §4.1.3).
+//!
+//! Shared-everything concurrency mirrors [`crate::shore_mt`]: one
+//! engine-wide mutex around the storage structures, per-worker
+//! [`Session`] handles, and 2PL locks that persist across operations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use indexes::{DiskBTreePacked, Index};
 use obs::Phase;
-use oltp::{tuple, Db, OltpError, OltpResult, Row, TableDef, TableId, Value};
+use oltp::{tuple, Db, OltpError, OltpResult, Row, Session, TableDef, TableId, Value};
 use storage::{
     lock::LockOutcome, BufferPool, HeapFile, LockManager, LockMode, LockTarget, LogKind, Rid,
     TxnId, TxnManager, Wal,
@@ -46,6 +53,10 @@ mod cost {
     pub const LOG_COMMIT: u64 = 2600;
     pub const LOG_UPDATE: u64 = 1200;
     pub const SCAN_NEXT: u64 = 220;
+    // Latch spin per other open session on each serialized engine entry
+    // (lock buckets, txn manager, log tail). Higher than Shore-MT's: the
+    // legacy storage manager holds its latches across longer code paths.
+    pub const LATCH_SPIN: u64 = 260;
 }
 
 struct Mods {
@@ -68,16 +79,32 @@ struct Table {
     index: DiskBTreePacked,
 }
 
-/// The DBMS D engine. See the module docs.
-pub struct DbmsD {
-    sim: Sim,
-    core: usize,
-    m: Mods,
+/// Mutable engine state shared by all sessions.
+struct Inner {
     pool: BufferPool,
     locks: LockManager,
     wal: Wal,
     tm: TxnManager,
     tables: Vec<Table>,
+}
+
+struct Shared {
+    sim: Sim,
+    m: Mods,
+    inner: Mutex<Inner>,
+    /// Open sessions; >1 means the engine's internal latches are contended.
+    open_sessions: AtomicUsize,
+}
+
+/// The DBMS D engine. See the module docs.
+pub struct DbmsD {
+    shared: Arc<Shared>,
+}
+
+/// One worker's connection to a [`DbmsD`] engine.
+pub struct DbmsDSession {
+    shared: Arc<Shared>,
+    core: usize,
     cur: Option<TxnId>,
     ops_in_txn: u32,
 }
@@ -152,32 +179,50 @@ impl DbmsD {
             ),
         };
         let mem = sim.mem(0);
-        DbmsD {
-            core: 0,
-            m,
+        let inner = Inner {
             pool: BufferPool::new(&mem, POOL_FRAMES),
             locks: LockManager::new(&mem, 64 * 1024),
             wal: Wal::new(&mem, 1 << 20, 8),
             tm: TxnManager::new(),
             tables: Vec::new(),
-            cur: None,
-            ops_in_txn: 0,
-            sim: sim.clone(),
+        };
+        DbmsD {
+            shared: Arc::new(Shared {
+                sim: sim.clone(),
+                m,
+                inner: Mutex::new(inner),
+                open_sessions: AtomicUsize::new(0),
+            }),
         }
-    }
-
-    fn mem(&self, module: ModuleId) -> Mem {
-        self.sim.mem(self.core).with_module(module)
     }
 
     /// Enable durable-log record retention (for crash-replay testing).
     pub fn retain_log(&mut self) {
-        self.wal.retain_records(true);
+        self.shared.inner.lock().unwrap().wal.retain_records(true);
     }
 
     /// The retained log records (see [`storage::recovery`]).
-    pub fn log_records(&self) -> &[storage::wal::LogRecord] {
-        self.wal.records()
+    pub fn log_records(&self) -> Vec<storage::wal::LogRecord> {
+        self.shared.inner.lock().unwrap().wal.records().to_vec()
+    }
+
+    #[cfg(test)]
+    fn lock_entries(&self) -> usize {
+        self.shared.inner.lock().unwrap().locks.entries()
+    }
+}
+
+fn table(inner: &Inner, t: TableId) -> OltpResult<usize> {
+    if (t.0 as usize) < inner.tables.len() {
+        Ok(t.0 as usize)
+    } else {
+        Err(OltpError::NoSuchTable(t))
+    }
+}
+
+impl DbmsDSession {
+    fn mem(&self, module: ModuleId) -> Mem {
+        self.shared.sim.mem(self.core).with_module(module)
     }
 
     fn txn(&self) -> OltpResult<TxnId> {
@@ -186,15 +231,7 @@ impl DbmsD {
 
     /// Interpreted value processing proportional to row bytes (§6.2).
     fn value_work(&self, bytes: usize) {
-        self.mem(self.m.executor).exec(bytes as u64 * 8);
-    }
-
-    fn table(&self, t: TableId) -> OltpResult<usize> {
-        if (t.0 as usize) < self.tables.len() {
-            Ok(t.0 as usize)
-        } else {
-            Err(OltpError::NoSuchTable(t))
-        }
+        self.mem(self.shared.m.executor).exec(bytes as u64 * 8);
     }
 
     /// Per-statement frontend work: full executor dispatch + catalog
@@ -203,34 +240,62 @@ impl DbmsD {
     fn frontend_op(&mut self) {
         let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
         if self.ops_in_txn == 0 {
-            self.mem(self.m.executor).exec(cost::EXEC_OP);
-            self.mem(self.m.catalog).exec(cost::CATALOG);
+            self.mem(self.shared.m.executor).exec(cost::EXEC_OP);
+            self.mem(self.shared.m.catalog).exec(cost::CATALOG);
         } else {
-            self.mem(self.m.executor).exec(cost::EXEC_OP_NEXT);
-            self.mem(self.m.catalog).exec(cost::CATALOG_NEXT);
+            self.mem(self.shared.m.executor).exec(cost::EXEC_OP_NEXT);
+            self.mem(self.shared.m.catalog).exec(cost::CATALOG_NEXT);
         }
         self.ops_in_txn += 1;
     }
 
-    fn acquire(&mut self, target: LockTarget, mode: LockMode) -> OltpResult<()> {
-        let txn = self.txn()?;
-        let _cc = obs::span(ENGINE, Phase::Cc, self.core);
-        let mem = self.mem(self.m.lock);
-        mem.exec(cost::LOCK_WRAP);
-        match self.locks.lock(&mem, txn, target, mode) {
-            LockOutcome::Granted => Ok(()),
-            LockOutcome::Conflict => Err(OltpError::Aborted("lock conflict")),
+    /// Spin on a contended internal latch: each concurrently open session
+    /// beyond this one costs a deterministic burst of spin instructions;
+    /// free with a single session open (single-worker runs unchanged).
+    fn latch_contention(&self, mem: &Mem) {
+        let others = self
+            .shared
+            .open_sessions
+            .load(Ordering::Relaxed)
+            .saturating_sub(1);
+        if others > 0 {
+            mem.exec(cost::LATCH_SPIN * others as u64);
         }
     }
 
-    fn lock_pair(&mut self, t: TableId, key: u64, write: bool) -> OltpResult<()> {
+    fn acquire(
+        &self,
+        inner: &mut Inner,
+        t: TableId,
+        key: u64,
+        target: LockTarget,
+        mode: LockMode,
+    ) -> OltpResult<()> {
+        let txn = self.txn()?;
+        let _cc = obs::span(ENGINE, Phase::Cc, self.core);
+        let mem = self.mem(self.shared.m.lock);
+        mem.exec(cost::LOCK_WRAP);
+        self.latch_contention(&mem);
+        match inner.locks.lock(&mem, txn, target, mode) {
+            LockOutcome::Granted => Ok(()),
+            LockOutcome::Conflict => Err(OltpError::Conflict { table: t, key }),
+        }
+    }
+
+    fn lock_pair(&self, inner: &mut Inner, t: TableId, key: u64, write: bool) -> OltpResult<()> {
         let (tm, rm) = if write {
             (LockMode::Ix, LockMode::X)
         } else {
             (LockMode::Is, LockMode::S)
         };
-        self.acquire(LockTarget::Table(t.0), tm)?;
-        self.acquire(LockTarget::Row(t.0, key), rm)
+        self.acquire(inner, t, key, LockTarget::Table(t.0), tm)?;
+        self.acquire(inner, t, key, LockTarget::Row(t.0, key), rm)
+    }
+}
+
+impl Drop for DbmsDSession {
+    fn drop(&mut self) {
+        self.shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -239,19 +304,11 @@ impl Db for DbmsD {
         "DBMS D"
     }
 
-    fn set_core(&mut self, core: usize) {
-        assert!(core < self.sim.cores());
-        self.core = core;
-    }
-
-    fn core(&self) -> usize {
-        self.core
-    }
-
     fn create_table(&mut self, def: TableDef) -> TableId {
-        let mem = self.mem(self.m.btree);
-        let id = TableId(self.tables.len() as u32);
-        self.tables.push(Table {
+        let mem = self.shared.sim.mem(0).with_module(self.shared.m.btree);
+        let inner = &mut *self.shared.inner.lock().unwrap();
+        let id = TableId(inner.tables.len() as u32);
+        inner.tables.push(Table {
             def,
             heap: HeapFile::new(),
             index: DiskBTreePacked::new(&mem),
@@ -259,117 +316,168 @@ impl Db for DbmsD {
         id
     }
 
+    fn row_count(&self, t: TableId) -> u64 {
+        self.shared
+            .inner
+            .lock()
+            .unwrap()
+            .tables
+            .get(t.0 as usize)
+            .map_or(0, |tb| tb.heap.rows())
+    }
+
+    fn session(&self, core: usize) -> Box<dyn Session> {
+        assert!(core < self.shared.sim.cores());
+        self.shared.open_sessions.fetch_add(1, Ordering::Relaxed);
+        Box::new(DbmsDSession {
+            shared: Arc::clone(&self.shared),
+            core,
+            cur: None,
+            ops_in_txn: 0,
+        })
+    }
+}
+
+impl Session for DbmsDSession {
+    fn name(&self) -> &'static str {
+        "DBMS D"
+    }
+
+    fn core(&self) -> usize {
+        self.core
+    }
+
     fn begin(&mut self) {
         assert!(self.cur.is_none(), "transaction already active");
-        let (txn, _) = self.tm.begin();
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let (txn, _) = inner.tm.begin();
         self.cur = Some(txn);
         self.ops_in_txn = 0;
         // The request travels the whole frontend before the SM sees it.
         let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
-        self.mem(self.m.net).exec(cost::NET_RECV);
-        self.mem(self.m.parser).exec(cost::PARSE);
-        self.mem(self.m.optimizer).exec(cost::OPTIMIZE);
-        self.mem(self.m.txn).exec(cost::BEGIN);
+        self.mem(self.shared.m.net).exec(cost::NET_RECV);
+        self.mem(self.shared.m.parser).exec(cost::PARSE);
+        self.mem(self.shared.m.optimizer).exec(cost::OPTIMIZE);
+        let mem = self.mem(self.shared.m.txn);
+        mem.exec(cost::BEGIN);
+        self.latch_contention(&mem);
         let _l = obs::span(ENGINE, Phase::Log, self.core);
-        let mem = self.mem(self.m.log);
-        self.wal.append(&mem, txn, LogKind::Begin, 0);
+        let mem = self.mem(self.shared.m.log);
+        inner.wal.append(&mem, txn, LogKind::Begin, 0);
     }
 
     fn commit(&mut self) -> OltpResult<()> {
         let txn = self.txn()?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
         let _c = obs::span(ENGINE, Phase::Commit, self.core);
-        self.mem(self.m.txn).exec(cost::COMMIT);
+        self.mem(self.shared.m.txn).exec(cost::COMMIT);
         {
             let _l = obs::span(ENGINE, Phase::Log, self.core);
-            let mem = self.mem(self.m.log);
+            let mem = self.mem(self.shared.m.log);
             mem.exec(cost::LOG_COMMIT);
-            self.wal.append(&mem, txn, LogKind::Commit, 16);
+            self.latch_contention(&mem);
+            inner.wal.append(&mem, txn, LogKind::Commit, 16);
         }
         {
             let _cc = obs::span(ENGINE, Phase::Cc, self.core);
-            let mem = self.mem(self.m.lock);
+            let mem = self.mem(self.shared.m.lock);
             mem.exec(cost::RELEASE);
-            self.locks.release_all(&mem, txn);
+            inner.locks.release_all(&mem, txn);
         }
-        self.mem(self.m.net).exec(cost::NET_REPLY);
+        self.mem(self.shared.m.net).exec(cost::NET_REPLY);
         self.cur = None;
         Ok(())
     }
 
     fn abort(&mut self) {
         if let Some(txn) = self.cur.take() {
+            let shared = Arc::clone(&self.shared);
+            let inner = &mut *shared.inner.lock().unwrap();
             let _c = obs::span(ENGINE, Phase::Commit, self.core);
-            self.mem(self.m.txn).exec(cost::ABORT);
+            self.mem(self.shared.m.txn).exec(cost::ABORT);
             {
                 let _l = obs::span(ENGINE, Phase::Log, self.core);
-                let mem = self.mem(self.m.log);
-                self.wal.append(&mem, txn, LogKind::Abort, 0);
+                let mem = self.mem(self.shared.m.log);
+                inner.wal.append(&mem, txn, LogKind::Abort, 0);
             }
             {
                 let _cc = obs::span(ENGINE, Phase::Cc, self.core);
-                let mem = self.mem(self.m.lock);
-                self.locks.release_all(&mem, txn);
+                let mem = self.mem(self.shared.m.lock);
+                inner.locks.release_all(&mem, txn);
             }
-            self.mem(self.m.net).exec(cost::NET_REPLY);
+            self.mem(self.shared.m.net).exec(cost::NET_REPLY);
         }
     }
 
     fn insert(&mut self, t: TableId, key: u64, row: &[Value]) -> OltpResult<()> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         let txn = self.txn()?;
-        debug_assert!(self.tables[ti].def.schema.check(row), "row/schema mismatch");
+        debug_assert!(
+            inner.tables[ti].def.schema.check(row),
+            "row/schema mismatch"
+        );
         self.frontend_op();
-        self.lock_pair(t, key, true)?;
+        self.lock_pair(inner, t, key, true)?;
         let data = tuple::encode(row);
         self.value_work(data.len());
         let len = data.len() as u32;
         let redo = data.clone();
         let rid = {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            let mem = self.mem(self.m.heap);
+            let mem = self.mem(self.shared.m.heap);
             mem.exec(cost::HEAP_WRAP);
-            self.tables[ti].heap.insert(&mut self.pool, &mem, data)
+            let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            tables[ti].heap.insert(pool, &mem, data)
         };
         let inserted = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            let mem = self.mem(self.m.btree);
+            let mem = self.mem(self.shared.m.btree);
             mem.exec(cost::INDEX_WRAP);
-            self.tables[ti].index.insert(&mem, key, rid.to_u64())
+            inner.tables[ti].index.insert(&mem, key, rid.to_u64())
         };
         if !inserted {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            let mem = self.mem(self.m.heap);
-            self.tables[ti].heap.delete(&mut self.pool, &mem, rid);
+            let mem = self.mem(self.shared.m.heap);
+            let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            tables[ti].heap.delete(pool, &mem, rid);
             return Err(OltpError::DuplicateKey { table: t, key });
         }
         let _l = obs::span(ENGINE, Phase::Log, self.core);
-        let mem = self.mem(self.m.log);
+        let mem = self.mem(self.shared.m.log);
         mem.exec(cost::LOG_UPDATE);
-        self.wal
+        inner
+            .wal
             .append_data(&mem, txn, LogKind::Insert, t.0, key, Some(&redo), len);
         Ok(())
     }
 
     fn read_with(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&[Value])) -> OltpResult<bool> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         self.frontend_op();
-        self.lock_pair(t, key, false)?;
+        self.lock_pair(inner, t, key, false)?;
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            let mem = self.mem(self.m.btree);
+            let mem = self.mem(self.shared.m.btree);
             mem.exec(cost::INDEX_WRAP);
-            self.tables[ti].index.get(&mem, key)
+            inner.tables[ti].index.get(&mem, key)
         };
         let Some(payload) = probe else {
             return Ok(false);
         };
         let _s = obs::span(ENGINE, Phase::Storage, self.core);
-        let mem = self.mem(self.m.bpool);
+        let mem = self.mem(self.shared.m.bpool);
         mem.exec(cost::HEAP_WRAP);
         let mut decoded: Option<Row> = None;
-        self.tables[ti]
+        let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+        tables[ti]
             .heap
-            .read(&mut self.pool, &mem, Rid::from_u64(payload), &mut |d| {
+            .read(pool, &mem, Rid::from_u64(payload), &mut |d| {
                 decoded = tuple::decode(d).ok();
             });
         match decoded {
@@ -383,35 +491,36 @@ impl Db for DbmsD {
     }
 
     fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         let txn = self.txn()?;
         self.frontend_op();
-        self.lock_pair(t, key, true)?;
+        self.lock_pair(inner, t, key, true)?;
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            let mem = self.mem(self.m.btree);
+            let mem = self.mem(self.shared.m.btree);
             mem.exec(cost::INDEX_WRAP);
-            self.tables[ti].index.get(&mem, key)
+            inner.tables[ti].index.get(&mem, key)
         };
         let Some(payload) = probe else {
             return Ok(false);
         };
         let rid = Rid::from_u64(payload);
-        let mem = self.mem(self.m.bpool);
+        let mem = self.mem(self.shared.m.bpool);
         let mut row: Option<Row> = None;
         {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
             mem.exec(cost::HEAP_WRAP);
-            self.tables[ti]
-                .heap
-                .read(&mut self.pool, &mem, rid, &mut |d| {
-                    row = tuple::decode(d).ok();
-                });
+            let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            tables[ti].heap.read(pool, &mem, rid, &mut |d| {
+                row = tuple::decode(d).ok();
+            });
         }
         let Some(mut row) = row else { return Ok(false) };
         f(&mut row);
         debug_assert!(
-            self.tables[ti].def.schema.check(&row),
+            inner.tables[ti].def.schema.check(&row),
             "row/schema mismatch"
         );
         let data = tuple::encode(&row);
@@ -420,20 +529,22 @@ impl Db for DbmsD {
         let new_rid = {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
             self.value_work(data.len() * 2);
-            self.tables[ti]
+            let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            tables[ti]
                 .heap
-                .update(&mut self.pool, &mem, rid, data)
+                .update(pool, &mem, rid, data)
                 .expect("row vanished mid-update")
         };
         if new_rid != rid {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            let mem = self.mem(self.m.btree);
-            self.tables[ti].index.replace(&mem, key, new_rid.to_u64());
+            let mem = self.mem(self.shared.m.btree);
+            inner.tables[ti].index.replace(&mem, key, new_rid.to_u64());
         }
         let _l = obs::span(ENGINE, Phase::Log, self.core);
-        let mem = self.mem(self.m.log);
+        let mem = self.mem(self.shared.m.log);
         mem.exec(cost::LOG_UPDATE);
-        self.wal
+        inner
+            .wal
             .append_data(&mem, txn, LogKind::Update, t.0, key, Some(&redo), len * 2);
         Ok(true)
     }
@@ -445,19 +556,23 @@ impl Db for DbmsD {
         hi: u64,
         f: &mut dyn FnMut(u64, &[Value]) -> bool,
     ) -> OltpResult<u64> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         self.frontend_op();
-        self.acquire(LockTarget::Table(t.0), LockMode::S)?;
-        let mem_btree = self.mem(self.m.btree);
-        let mem_pool = self.mem(self.m.bpool);
+        self.acquire(inner, t, lo, LockTarget::Table(t.0), LockMode::S)?;
+        let mem_btree = self.mem(self.shared.m.btree);
+        let mem_pool = self.mem(self.shared.m.bpool);
         let mut rids: Vec<(u64, u64)> = Vec::new();
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             mem_btree.exec(cost::INDEX_WRAP);
-            self.tables[ti].index.scan(&mem_btree, lo, hi, &mut |k, p| {
-                rids.push((k, p));
-                true
-            });
+            inner.tables[ti]
+                .index
+                .scan(&mem_btree, lo, hi, &mut |k, p| {
+                    rids.push((k, p));
+                    true
+                });
         }
         let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mut visited = 0;
@@ -465,9 +580,10 @@ impl Db for DbmsD {
             mem_pool.exec(cost::SCAN_NEXT);
             let mut keep = true;
             let mut decoded: Option<Row> = None;
-            self.tables[ti]
+            let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            tables[ti]
                 .heap
-                .read(&mut self.pool, &mem_pool, Rid::from_u64(p), &mut |d| {
+                .read(pool, &mem_pool, Rid::from_u64(p), &mut |d| {
                     decoded = tuple::decode(d).ok();
                 });
             if let Some(row) = decoded {
@@ -483,37 +599,35 @@ impl Db for DbmsD {
     }
 
     fn delete(&mut self, t: TableId, key: u64) -> OltpResult<bool> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         let txn = self.txn()?;
         self.frontend_op();
-        self.lock_pair(t, key, true)?;
+        self.lock_pair(inner, t, key, true)?;
         let removed = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            let mem = self.mem(self.m.btree);
+            let mem = self.mem(self.shared.m.btree);
             mem.exec(cost::INDEX_WRAP);
-            self.tables[ti].index.remove(&mem, key)
+            inner.tables[ti].index.remove(&mem, key)
         };
         let Some(payload) = removed else {
             return Ok(false);
         };
         {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            let mem = self.mem(self.m.heap);
+            let mem = self.mem(self.shared.m.heap);
             mem.exec(cost::HEAP_WRAP);
-            self.tables[ti]
-                .heap
-                .delete(&mut self.pool, &mem, Rid::from_u64(payload));
+            let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            tables[ti].heap.delete(pool, &mem, Rid::from_u64(payload));
         }
         let _l = obs::span(ENGINE, Phase::Log, self.core);
-        let mem = self.mem(self.m.log);
+        let mem = self.mem(self.shared.m.log);
         mem.exec(cost::LOG_UPDATE);
-        self.wal
+        inner
+            .wal
             .append_data(&mem, txn, LogKind::Delete, t.0, key, None, 16);
         Ok(true)
-    }
-
-    fn row_count(&self, t: TableId) -> u64 {
-        self.tables.get(t.0 as usize).map_or(0, |tb| tb.heap.rows())
     }
 }
 
@@ -542,18 +656,19 @@ mod tests {
     fn crud_round_trip() {
         let mut db = setup();
         let t = micro_table(&mut db);
-        db.begin();
+        let mut s = db.session(0);
+        s.begin();
         for k in 0..100u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
+            s.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
                 .unwrap();
         }
-        db.commit().unwrap();
-        db.begin();
-        assert!(db.update(t, 42, &mut |r| r[1] = Value::Long(7)).unwrap());
-        assert_eq!(db.read(t, 42).unwrap().unwrap()[1], Value::Long(7));
-        assert!(db.delete(t, 42).unwrap());
-        assert!(db.read(t, 42).unwrap().is_none());
-        db.commit().unwrap();
+        s.commit().unwrap();
+        s.begin();
+        assert!(s.update(t, 42, &mut |r| r[1] = Value::Long(7)).unwrap());
+        assert_eq!(s.read(t, 42).unwrap().unwrap()[1], Value::Long(7));
+        assert!(s.delete(t, 42).unwrap());
+        assert!(s.read(t, 42).unwrap().is_none());
+        s.commit().unwrap();
         assert_eq!(db.row_count(t), 99);
     }
 
@@ -573,17 +688,18 @@ mod tests {
                 ]),
                 1000,
             ));
-            db.begin();
+            let mut s = db.session(0);
+            s.begin();
             for k in 0..500u64 {
-                db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
+                s.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
                     .unwrap();
             }
-            db.commit().unwrap();
+            s.commit().unwrap();
             let before = sim.counters(0).instructions;
             for k in 0..100u64 {
-                db.begin();
-                let _ = db.read(t, k * 3 % 500).unwrap();
-                db.commit().unwrap();
+                s.begin();
+                let _ = s.read(t, k * 3 % 500).unwrap();
+                s.commit().unwrap();
             }
             (sim.counters(0).instructions - before) / 100
         };
@@ -599,16 +715,17 @@ mod tests {
     fn scan_and_locks() {
         let mut db = setup();
         let t = micro_table(&mut db);
-        db.begin();
+        let mut s = db.session(0);
+        s.begin();
         for k in 0..30u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)])
+            s.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)])
                 .unwrap();
         }
-        db.commit().unwrap();
-        db.begin();
-        let n = db.scan(t, 5, 14, &mut |_, _| true).unwrap();
+        s.commit().unwrap();
+        s.begin();
+        let n = s.scan(t, 5, 14, &mut |_, _| true).unwrap();
         assert_eq!(n, 10);
-        db.commit().unwrap();
-        assert_eq!(db.locks.entries(), 0);
+        s.commit().unwrap();
+        assert_eq!(db.lock_entries(), 0);
     }
 }

@@ -14,11 +14,19 @@
 //!   "DBMS M incurs the highest number of instruction stalls among the
 //!   in-memory systems per transaction due to the large amount of legacy
 //!   code" (§8) — its frontend modules are sized and shaped accordingly.
+//!
+//! Concurrency model: the version store, indexes, and timestamp counter
+//! sit behind one engine mutex; each worker's [`Session`] buffers its
+//! write set privately and only takes the mutex per operation. Losing the
+//! first-writer-wins race surfaces as [`OltpError::Conflict`] at commit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use indexes::{CcBTree, HashIndex, Index};
 use obs::Phase;
-use oltp::{tuple, Db, OltpError, OltpResult, Row, TableDef, TableId, Value};
+use oltp::{tuple, Db, OltpError, OltpResult, Row, Session, TableDef, TableId, Value};
 use storage::{mvcc::InstallOutcome, LogKind, RowId, TxnId, TxnManager, VersionStore, Wal};
 use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
 
@@ -50,6 +58,11 @@ mod cost {
     pub const VALUE_PER_BYTE_COMPILED: u64 = 3;
     /// String-key comparison per tree level (or per hash-chain compare).
     pub const STR_CMP_PER_LEVEL: u64 = 520;
+    /// Latch spin per other open session at the serialized engine entries
+    /// (timestamp allocation, validation/install critical section, log
+    /// tail). Shorter than the disk-based engines' — OCC keeps its
+    /// critical sections small — but still a shared-everything tax.
+    pub const LATCH_SPIN: u64 = 150;
 }
 
 /// Configuration (§6 sweeps both axes).
@@ -116,25 +129,44 @@ struct WriteOp {
     kind: WriteKind,
 }
 
+/// Transaction-local state: the snapshot and the private write set. Lives
+/// in the session, NOT behind the engine mutex — buffering writes is the
+/// whole point of OCC.
 struct ActiveTxn {
     id: TxnId,
     snapshot: u64,
     writes: Vec<WriteOp>,
 }
 
-/// The DBMS M engine. See the module docs.
-pub struct DbmsM {
-    sim: Sim,
-    core: usize,
-    opts: DbmsMOptions,
-    m: Mods,
+/// Mutable engine state shared by all sessions.
+struct Inner {
     tables: Vec<Table>,
     tm: TxnManager,
     wal: Wal,
+    /// Transactions aborted by commit-time validation (diagnostics).
+    validation_aborts: u64,
+}
+
+struct Shared {
+    sim: Sim,
+    opts: DbmsMOptions,
+    m: Mods,
+    inner: Mutex<Inner>,
+    /// Open sessions; >1 means the engine's internal latches are contended.
+    open_sessions: AtomicUsize,
+}
+
+/// The DBMS M engine. See the module docs.
+pub struct DbmsM {
+    shared: Arc<Shared>,
+}
+
+/// One worker's connection to a [`DbmsM`] engine.
+pub struct DbmsMSession {
+    shared: Arc<Shared>,
+    core: usize,
     cur: Option<ActiveTxn>,
     ops_in_txn: u32,
-    /// Transactions aborted by commit-time validation (diagnostics).
-    pub validation_aborts: u64,
 }
 
 impl DbmsM {
@@ -194,39 +226,63 @@ impl DbmsM {
             ),
         };
         let mem = sim.mem(0);
-        DbmsM {
-            core: 0,
-            opts,
-            m,
+        let inner = Inner {
             tables: Vec::new(),
             tm: TxnManager::new(),
             wal: Wal::new(&mem, 1 << 20, 8),
-            cur: None,
-            ops_in_txn: 0,
             validation_aborts: 0,
-            sim: sim.clone(),
+        };
+        DbmsM {
+            shared: Arc::new(Shared {
+                opts,
+                m,
+                inner: Mutex::new(inner),
+                sim: sim.clone(),
+                open_sessions: AtomicUsize::new(0),
+            }),
         }
-    }
-
-    fn mem(&self, module: ModuleId) -> Mem {
-        self.sim.mem(self.core).with_module(module)
     }
 
     /// Enable durable-log record retention (for crash-replay testing).
     pub fn retain_log(&mut self) {
-        self.wal.retain_records(true);
+        self.shared.inner.lock().unwrap().wal.retain_records(true);
     }
 
     /// The retained log records (see [`storage::recovery`]).
-    pub fn log_records(&self) -> &[storage::wal::LogRecord] {
-        self.wal.records()
+    pub fn log_records(&self) -> Vec<storage::wal::LogRecord> {
+        self.shared.inner.lock().unwrap().wal.records().to_vec()
     }
 
-    fn table(&self, t: TableId) -> OltpResult<usize> {
-        if (t.0 as usize) < self.tables.len() {
-            Ok(t.0 as usize)
-        } else {
-            Err(OltpError::NoSuchTable(t))
+    /// Transactions aborted by commit-time validation (diagnostics).
+    pub fn validation_aborts(&self) -> u64 {
+        self.shared.inner.lock().unwrap().validation_aborts
+    }
+}
+
+fn table(inner: &Inner, t: TableId) -> OltpResult<usize> {
+    if (t.0 as usize) < inner.tables.len() {
+        Ok(t.0 as usize)
+    } else {
+        Err(OltpError::NoSuchTable(t))
+    }
+}
+
+impl DbmsMSession {
+    fn mem(&self, module: ModuleId) -> Mem {
+        self.shared.sim.mem(self.core).with_module(module)
+    }
+
+    /// Spin on a contended internal latch: each concurrently open session
+    /// beyond this one costs a deterministic burst of spin instructions;
+    /// free with a single session open (single-worker runs unchanged).
+    fn latch_contention(&self, mem: &Mem) {
+        let others = self
+            .shared
+            .open_sessions
+            .load(Ordering::Relaxed)
+            .saturating_sub(1);
+        if others > 0 {
+            mem.exec(cost::LATCH_SPIN * others as u64);
         }
     }
 
@@ -236,16 +292,16 @@ impl DbmsM {
     /// interpreted executor drives an interpreted SM path.
     fn op_overhead(&mut self) {
         let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
-        if self.opts.compiled {
-            self.mem(self.m.sm_compiled).exec(cost::SM_COMPILED);
+        if self.shared.opts.compiled {
+            self.mem(self.shared.m.sm_compiled).exec(cost::SM_COMPILED);
         } else {
             let n = if self.ops_in_txn == 0 {
                 cost::EXEC_LEGACY
             } else {
                 cost::EXEC_LEGACY_NEXT
             };
-            self.mem(self.m.exec).exec(n);
-            self.mem(self.m.sm_interp).exec(cost::SM_INTERP);
+            self.mem(self.shared.m.exec).exec(n);
+            self.mem(self.shared.m.sm_interp).exec(cost::SM_INTERP);
         }
         self.ops_in_txn += 1;
     }
@@ -257,25 +313,25 @@ impl DbmsM {
     /// Value processing proportional to row bytes (§6.2); runs in the
     /// compiled or interpreted SM fragment per configuration.
     fn value_work(&self, bytes: usize) {
-        if self.opts.compiled {
-            self.mem(self.m.sm_compiled)
+        if self.shared.opts.compiled {
+            self.mem(self.shared.m.sm_compiled)
                 .exec(bytes as u64 * cost::VALUE_PER_BYTE_COMPILED);
         } else {
-            self.mem(self.m.sm_interp)
+            self.mem(self.shared.m.sm_interp)
                 .exec(bytes as u64 * cost::VALUE_PER_BYTE_INTERP);
         }
     }
 
     /// Extra string-key comparison work during an index probe.
-    fn key_work(&mut self, ti: usize) {
-        if !self.tables[ti].str_key {
+    fn key_work(&self, inner: &Inner, ti: usize) {
+        if !inner.tables[ti].str_key {
             return;
         }
-        let levels = match &self.tables[ti].index {
+        let levels = match &inner.tables[ti].index {
             AnyIndex::Hash(_) => 2,
             AnyIndex::BTree(b) => u64::from(b.stats().height),
         };
-        self.mem(self.m.index)
+        self.mem(self.shared.m.index)
             .exec(levels * cost::STR_CMP_PER_LEVEL);
     }
 
@@ -293,24 +349,22 @@ impl DbmsM {
     }
 }
 
+impl Drop for DbmsMSession {
+    fn drop(&mut self) {
+        self.shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 impl Db for DbmsM {
     fn name(&self) -> &'static str {
         "DBMS M"
     }
 
-    fn set_core(&mut self, core: usize) {
-        assert!(core < self.sim.cores());
-        self.core = core;
-    }
-
-    fn core(&self) -> usize {
-        self.core
-    }
-
     fn create_table(&mut self, def: TableDef) -> TableId {
-        let mem = self.mem(self.m.index);
-        let id = TableId(self.tables.len() as u32);
-        let index = match self.opts.index {
+        let mem = self.shared.sim.mem(0).with_module(self.shared.m.index);
+        let inner = &mut *self.shared.inner.lock().unwrap();
+        let id = TableId(inner.tables.len() as u32);
+        let index = match self.shared.opts.index {
             // Range-scanned tables get the tree even in the hash
             // configuration (per-table index choice, as a DBA would).
             DbmsMIndex::Hash if !def.needs_range => {
@@ -322,7 +376,7 @@ impl Db for DbmsM {
             def.schema.columns().first().map(|c| c.ty),
             Some(oltp::DataType::Str)
         );
-        self.tables.push(Table {
+        inner.tables.push(Table {
             def,
             index,
             versions: VersionStore::new(),
@@ -331,17 +385,51 @@ impl Db for DbmsM {
         id
     }
 
+    fn row_count(&self, t: TableId) -> u64 {
+        self.shared
+            .inner
+            .lock()
+            .unwrap()
+            .tables
+            .get(t.0 as usize)
+            .map_or(0, |tb| tb.versions.live())
+    }
+
+    fn session(&self, core: usize) -> Box<dyn Session> {
+        assert!(core < self.shared.sim.cores());
+        self.shared.open_sessions.fetch_add(1, Ordering::Relaxed);
+        Box::new(DbmsMSession {
+            shared: Arc::clone(&self.shared),
+            core,
+            cur: None,
+            ops_in_txn: 0,
+        })
+    }
+}
+
+impl Session for DbmsMSession {
+    fn name(&self) -> &'static str {
+        "DBMS M"
+    }
+
+    fn core(&self) -> usize {
+        self.core
+    }
+
     fn begin(&mut self) {
         assert!(self.cur.is_none(), "transaction already active");
+        let shared = Arc::clone(&self.shared);
         let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
-        self.mem(self.m.net).exec(cost::NET);
-        self.mem(self.m.session).exec(cost::SESSION);
-        self.mem(self.m.txn).exec(cost::TXN_BEGIN);
-        let (id, snapshot) = self.tm.begin();
+        self.mem(self.shared.m.net).exec(cost::NET);
+        self.mem(self.shared.m.session).exec(cost::SESSION);
+        self.mem(self.shared.m.txn).exec(cost::TXN_BEGIN);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let (id, snapshot) = inner.tm.begin();
+        self.latch_contention(&self.mem(self.shared.m.txn));
         self.ops_in_txn = 0;
         let _l = obs::span(ENGINE, Phase::Log, self.core);
-        let mem = self.mem(self.m.log);
-        self.wal.append(&mem, id, LogKind::Begin, 0);
+        let mem = self.mem(self.shared.m.log);
+        inner.wal.append(&mem, id, LogKind::Begin, 0);
         self.cur = Some(ActiveTxn {
             id,
             snapshot,
@@ -351,15 +439,19 @@ impl Db for DbmsM {
 
     fn commit(&mut self) -> OltpResult<()> {
         let txn = self.cur.take().ok_or(OltpError::NoActiveTxn)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
         let _c = obs::span(ENGINE, Phase::Commit, self.core);
         {
             let _v = obs::span(ENGINE, Phase::Cc, self.core);
-            self.mem(self.m.txn).exec(cost::VALIDATE);
+            let mem = self.mem(self.shared.m.txn);
+            mem.exec(cost::VALIDATE);
+            self.latch_contention(&mem);
         }
-        let commit_ts = self.tm.commit_ts();
-        let mem_mvcc = self.mem(self.m.mvcc);
-        let mem_index = self.mem(self.m.index);
-        let mem_log = self.mem(self.m.log);
+        let commit_ts = inner.tm.commit_ts();
+        let mem_mvcc = self.mem(self.shared.m.mvcc);
+        let mem_index = self.mem(self.shared.m.index);
+        let mem_log = self.mem(self.shared.m.log);
         let mut log_bytes = 0u32;
         for w in &txn.writes {
             // Redo logging: in-memory engines recover from the redo
@@ -368,7 +460,7 @@ impl Db for DbmsM {
                 let _l = obs::span(ENGINE, Phase::Log, self.core);
                 match &w.kind {
                     WriteKind::Insert(data) => {
-                        self.wal.append_data(
+                        inner.wal.append_data(
                             &mem_log,
                             txn.id,
                             LogKind::Insert,
@@ -379,7 +471,7 @@ impl Db for DbmsM {
                         );
                     }
                     WriteKind::Update(_, data) => {
-                        self.wal.append_data(
+                        inner.wal.append_data(
                             &mem_log,
                             txn.id,
                             LogKind::Update,
@@ -390,7 +482,7 @@ impl Db for DbmsM {
                         );
                     }
                     WriteKind::Delete(_) => {
-                        self.wal.append_data(
+                        inner.wal.append_data(
                             &mem_log,
                             txn.id,
                             LogKind::Delete,
@@ -403,8 +495,8 @@ impl Db for DbmsM {
                 }
             }
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            self.mem(self.m.mvcc).exec(cost::INSTALL);
-            let table = &mut self.tables[w.table];
+            self.mem(self.shared.m.mvcc).exec(cost::INSTALL);
+            let table = &mut inner.tables[w.table];
             match &w.kind {
                 WriteKind::Insert(data) => {
                     log_bytes += data.len() as u32;
@@ -418,8 +510,11 @@ impl Db for DbmsM {
                     };
                     if !inserted {
                         // Duplicate created since our check: validation abort.
-                        self.validation_aborts += 1;
-                        return Err(OltpError::Aborted("duplicate key at validation"));
+                        inner.validation_aborts += 1;
+                        return Err(OltpError::Conflict {
+                            table: TableId(w.table as u32),
+                            key: w.key,
+                        });
                     }
                 }
                 WriteKind::Update(id, data) => {
@@ -433,8 +528,11 @@ impl Db for DbmsM {
                     ) {
                         InstallOutcome::Installed => {}
                         InstallOutcome::WriteConflict => {
-                            self.validation_aborts += 1;
-                            return Err(OltpError::Aborted("write-write conflict"));
+                            inner.validation_aborts += 1;
+                            return Err(OltpError::Conflict {
+                                table: TableId(w.table as u32),
+                                key: w.key,
+                            });
                         }
                     }
                 }
@@ -449,8 +547,11 @@ impl Db for DbmsM {
                             table.index.as_index().remove(&mem_index, w.key);
                         }
                         InstallOutcome::WriteConflict => {
-                            self.validation_aborts += 1;
-                            return Err(OltpError::Aborted("write-write conflict"));
+                            inner.validation_aborts += 1;
+                            return Err(OltpError::Conflict {
+                                table: TableId(w.table as u32),
+                                key: w.key,
+                            });
                         }
                     }
                 }
@@ -458,29 +559,35 @@ impl Db for DbmsM {
         }
         {
             let _l = obs::span(ENGINE, Phase::Log, self.core);
-            let mem = self.mem(self.m.log);
+            let mem = self.mem(self.shared.m.log);
             mem.exec(cost::LOG_COMMIT);
-            self.wal
+            inner
+                .wal
                 .append(&mem, txn.id, LogKind::Commit, 24 + log_bytes);
         }
-        self.mem(self.m.txn).exec(cost::TXN_END);
+        self.mem(self.shared.m.txn).exec(cost::TXN_END);
         Ok(())
     }
 
     fn abort(&mut self) {
         if self.cur.take().is_some() {
             let _c = obs::span(ENGINE, Phase::Commit, self.core);
-            self.mem(self.m.txn).exec(cost::ABORT);
+            self.mem(self.shared.m.txn).exec(cost::ABORT);
         }
     }
 
     fn insert(&mut self, t: TableId, key: u64, row: &[Value]) -> OltpResult<()> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         self.active()?;
-        debug_assert!(self.tables[ti].def.schema.check(row), "row/schema mismatch");
+        debug_assert!(
+            inner.tables[ti].def.schema.check(row),
+            "row/schema mismatch"
+        );
         self.op_overhead();
         // Duplicate check against the committed index + own writes.
-        let mem_index = self.mem(self.m.index);
+        let mem_index = self.mem(self.shared.m.index);
         if let Some(own) = self.own_write(ti, key) {
             if own.is_some() {
                 return Err(OltpError::DuplicateKey { table: t, key });
@@ -488,14 +595,14 @@ impl Db for DbmsM {
         } else {
             let probe = {
                 let _i = obs::span(ENGINE, Phase::Index, self.core);
-                self.tables[ti].index.as_index().get(&mem_index, key)
+                inner.tables[ti].index.as_index().get(&mem_index, key)
             };
             if let Some(payload) = probe {
                 // Visible committed entry?
                 let snapshot = self.active()?.snapshot;
                 let _s = obs::span(ENGINE, Phase::Storage, self.core);
-                let mem_mvcc = self.mem(self.m.mvcc);
-                if self.tables[ti].versions.is_visible(
+                let mem_mvcc = self.mem(self.shared.m.mvcc);
+                if inner.tables[ti].versions.is_visible(
                     &mem_mvcc,
                     RowId::from_u64(payload),
                     snapshot,
@@ -511,7 +618,7 @@ impl Db for DbmsM {
         }
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            self.key_work(ti);
+            self.key_work(inner, ti);
         }
         let txn = self.cur.as_mut().expect("checked active");
         txn.writes.push(WriteOp {
@@ -523,12 +630,14 @@ impl Db for DbmsM {
     }
 
     fn read_with(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&[Value])) -> OltpResult<bool> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         let snapshot = self.active()?.snapshot;
         self.op_overhead();
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            self.key_work(ti);
+            self.key_work(inner, ti);
         }
         // Own writes win.
         if let Some(own) = self.own_write(ti, key) {
@@ -541,19 +650,19 @@ impl Db for DbmsM {
                 None => Ok(false),
             };
         }
-        let mem_index = self.mem(self.m.index);
+        let mem_index = self.mem(self.shared.m.index);
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            self.tables[ti].index.as_index().get(&mem_index, key)
+            inner.tables[ti].index.as_index().get(&mem_index, key)
         };
         let Some(payload) = probe else {
             return Ok(false);
         };
         let _s = obs::span(ENGINE, Phase::Storage, self.core);
-        let mem_mvcc = self.mem(self.m.mvcc);
+        let mem_mvcc = self.mem(self.shared.m.mvcc);
         let mut decoded: Option<Row> = None;
         let mut bytes = 0;
-        self.tables[ti]
+        inner.tables[ti]
             .versions
             .read(&mem_mvcc, RowId::from_u64(payload), snapshot, &mut |d| {
                 if !d.is_empty() {
@@ -572,12 +681,14 @@ impl Db for DbmsM {
     }
 
     fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         let snapshot = self.active()?.snapshot;
         self.op_overhead();
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            self.key_work(ti);
+            self.key_work(inner, ti);
         }
         // Updating an own write rewrites the buffered bytes.
         if let Some(own) = self.own_write(ti, key) {
@@ -598,20 +709,20 @@ impl Db for DbmsM {
             }
             return Ok(true);
         }
-        let mem_index = self.mem(self.m.index);
+        let mem_index = self.mem(self.shared.m.index);
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            self.tables[ti].index.as_index().get(&mem_index, key)
+            inner.tables[ti].index.as_index().get(&mem_index, key)
         };
         let Some(payload) = probe else {
             return Ok(false);
         };
         let id = RowId::from_u64(payload);
-        let mem_mvcc = self.mem(self.m.mvcc);
+        let mem_mvcc = self.mem(self.shared.m.mvcc);
         let mut row: Option<Row> = None;
         {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            self.tables[ti]
+            inner.tables[ti]
                 .versions
                 .read(&mem_mvcc, id, snapshot, &mut |d| {
                     if !d.is_empty() {
@@ -622,7 +733,7 @@ impl Db for DbmsM {
         let Some(mut row) = row else { return Ok(false) };
         f(&mut row);
         debug_assert!(
-            self.tables[ti].def.schema.check(&row),
+            inner.tables[ti].def.schema.check(&row),
             "row/schema mismatch"
         );
         let data = tuple::encode(&row);
@@ -646,14 +757,16 @@ impl Db for DbmsM {
         hi: u64,
         f: &mut dyn FnMut(u64, &[Value]) -> bool,
     ) -> OltpResult<u64> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         let snapshot = self.active()?.snapshot;
         self.op_overhead();
-        let mem_index = self.mem(self.m.index);
+        let mem_index = self.mem(self.shared.m.index);
         let mut pairs: Vec<(u64, u64)> = Vec::new();
         let supported = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            self.tables[ti]
+            inner.tables[ti]
                 .index
                 .as_index()
                 .scan(&mem_index, lo, hi, &mut |k, v| {
@@ -666,13 +779,13 @@ impl Db for DbmsM {
             return Err(OltpError::Unsupported("range scan on hash index"));
         }
         let _s = obs::span(ENGINE, Phase::Storage, self.core);
-        let mem_mvcc = self.mem(self.m.mvcc);
+        let mem_mvcc = self.mem(self.shared.m.mvcc);
         let mut visited = 0;
         for (k, payload) in pairs {
-            self.mem(self.m.mvcc).exec(cost::SCAN_NEXT);
+            self.mem(self.shared.m.mvcc).exec(cost::SCAN_NEXT);
             let mut decoded: Option<Row> = None;
             let mut bytes = 0;
-            self.tables[ti].versions.read(
+            inner.tables[ti].versions.read(
                 &mem_mvcc,
                 RowId::from_u64(payload),
                 snapshot,
@@ -695,7 +808,9 @@ impl Db for DbmsM {
     }
 
     fn delete(&mut self, t: TableId, key: u64) -> OltpResult<bool> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         let snapshot = self.active()?.snapshot;
         self.op_overhead();
         if let Some(own) = self.own_write(ti, key) {
@@ -721,19 +836,21 @@ impl Db for DbmsM {
             }
             return Ok(true);
         }
-        let mem_index = self.mem(self.m.index);
+        let mem_index = self.mem(self.shared.m.index);
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            self.tables[ti].index.as_index().get(&mem_index, key)
+            inner.tables[ti].index.as_index().get(&mem_index, key)
         };
         let Some(payload) = probe else {
             return Ok(false);
         };
         let id = RowId::from_u64(payload);
-        let mem_mvcc = self.mem(self.m.mvcc);
+        let mem_mvcc = self.mem(self.shared.m.mvcc);
         let visible = {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            self.tables[ti].versions.is_visible(&mem_mvcc, id, snapshot)
+            inner.tables[ti]
+                .versions
+                .is_visible(&mem_mvcc, id, snapshot)
         };
         if !visible {
             return Ok(false);
@@ -745,12 +862,6 @@ impl Db for DbmsM {
             kind: WriteKind::Delete(id),
         });
         Ok(true)
-    }
-
-    fn row_count(&self, t: TableId) -> u64 {
-        self.tables
-            .get(t.0 as usize)
-            .map_or(0, |tb| tb.versions.live())
     }
 }
 
@@ -780,21 +891,22 @@ mod tests {
     fn crud_round_trip_hash() {
         let mut db = setup(DbmsMIndex::Hash, true);
         let t = micro_table(&mut db);
-        db.begin();
-        db.insert(t, 1, &[Value::Long(1), Value::Long(10)]).unwrap();
-        db.commit().unwrap();
-        db.begin();
-        assert!(db.update(t, 1, &mut |r| r[1] = Value::Long(20)).unwrap());
+        let mut s = db.session(0);
+        s.begin();
+        s.insert(t, 1, &[Value::Long(1), Value::Long(10)]).unwrap();
+        s.commit().unwrap();
+        s.begin();
+        assert!(s.update(t, 1, &mut |r| r[1] = Value::Long(20)).unwrap());
         // Read-your-writes before commit.
-        assert_eq!(db.read(t, 1).unwrap().unwrap()[1], Value::Long(20));
-        db.commit().unwrap();
-        db.begin();
-        assert_eq!(db.read(t, 1).unwrap().unwrap()[1], Value::Long(20));
-        assert!(db.delete(t, 1).unwrap());
-        db.commit().unwrap();
-        db.begin();
-        assert!(db.read(t, 1).unwrap().is_none());
-        db.commit().unwrap();
+        assert_eq!(s.read(t, 1).unwrap().unwrap()[1], Value::Long(20));
+        s.commit().unwrap();
+        s.begin();
+        assert_eq!(s.read(t, 1).unwrap().unwrap()[1], Value::Long(20));
+        assert!(s.delete(t, 1).unwrap());
+        s.commit().unwrap();
+        s.begin();
+        assert!(s.read(t, 1).unwrap().is_none());
+        s.commit().unwrap();
         assert_eq!(db.row_count(t), 0);
     }
 
@@ -802,39 +914,42 @@ mod tests {
     fn writes_invisible_until_commit_then_visible() {
         let mut db = setup(DbmsMIndex::Hash, true);
         let t = micro_table(&mut db);
-        db.begin();
-        db.insert(t, 5, &[Value::Long(5), Value::Long(1)]).unwrap();
+        let mut s = db.session(0);
+        s.begin();
+        s.insert(t, 5, &[Value::Long(5), Value::Long(1)]).unwrap();
         // Own write visible inside the txn.
-        assert!(db.read(t, 5).unwrap().is_some());
-        db.abort();
+        assert!(s.read(t, 5).unwrap().is_some());
+        s.abort();
         // Aborted: nothing committed.
-        db.begin();
-        assert!(db.read(t, 5).unwrap().is_none());
-        db.commit().unwrap();
+        s.begin();
+        assert!(s.read(t, 5).unwrap().is_none());
+        s.commit().unwrap();
     }
 
     #[test]
     fn scan_unsupported_on_hash_supported_on_btree() {
         let mut db = setup(DbmsMIndex::Hash, true);
         let t = micro_table(&mut db);
-        db.begin();
+        let mut s = db.session(0);
+        s.begin();
         assert!(matches!(
-            db.scan(t, 0, 10, &mut |_, _| true),
+            s.scan(t, 0, 10, &mut |_, _| true),
             Err(OltpError::Unsupported(_))
         ));
-        db.commit().unwrap();
+        s.commit().unwrap();
 
         let mut db = setup(DbmsMIndex::BTree, true);
         let t = micro_table(&mut db);
-        db.begin();
+        let mut s = db.session(0);
+        s.begin();
         for k in 0..20u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)])
+            s.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)])
                 .unwrap();
         }
-        db.commit().unwrap();
-        db.begin();
-        assert_eq!(db.scan(t, 3, 7, &mut |_, _| true).unwrap(), 5);
-        db.commit().unwrap();
+        s.commit().unwrap();
+        s.begin();
+        assert_eq!(s.scan(t, 3, 7, &mut |_, _| true).unwrap(), 5);
+        s.commit().unwrap();
     }
 
     #[test]
@@ -849,17 +964,18 @@ mod tests {
                 },
             );
             let t = micro_table(&mut db);
-            db.begin();
+            let mut s = db.session(0);
+            s.begin();
             for k in 0..500u64 {
-                db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
+                s.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
                     .unwrap();
             }
-            db.commit().unwrap();
+            s.commit().unwrap();
             let before = sim.counters(0).instructions;
             for k in 0..50u64 {
-                db.begin();
-                let _ = db.read(t, (k * 13) % 500).unwrap();
-                db.commit().unwrap();
+                s.begin();
+                let _ = s.read(t, (k * 13) % 500).unwrap();
+                s.commit().unwrap();
             }
             sim.counters(0).instructions - before
         };
@@ -873,11 +989,12 @@ mod tests {
     fn delete_of_own_insert_cancels_out() {
         let mut db = setup(DbmsMIndex::Hash, true);
         let t = micro_table(&mut db);
-        db.begin();
-        db.insert(t, 9, &[Value::Long(9), Value::Long(9)]).unwrap();
-        assert!(db.delete(t, 9).unwrap());
-        assert!(db.read(t, 9).unwrap().is_none());
-        db.commit().unwrap();
+        let mut s = db.session(0);
+        s.begin();
+        s.insert(t, 9, &[Value::Long(9), Value::Long(9)]).unwrap();
+        assert!(s.delete(t, 9).unwrap());
+        assert!(s.read(t, 9).unwrap().is_none());
+        s.commit().unwrap();
         assert_eq!(db.row_count(t), 0);
     }
 
@@ -885,55 +1002,47 @@ mod tests {
     fn duplicate_insert_detected_against_committed_data() {
         let mut db = setup(DbmsMIndex::Hash, true);
         let t = micro_table(&mut db);
-        db.begin();
-        db.insert(t, 3, &[Value::Long(3), Value::Long(1)]).unwrap();
-        db.commit().unwrap();
-        db.begin();
+        let mut s = db.session(0);
+        s.begin();
+        s.insert(t, 3, &[Value::Long(3), Value::Long(1)]).unwrap();
+        s.commit().unwrap();
+        s.begin();
         assert!(matches!(
-            db.insert(t, 3, &[Value::Long(3), Value::Long(2)]),
+            s.insert(t, 3, &[Value::Long(3), Value::Long(2)]),
             Err(OltpError::DuplicateKey { .. })
         ));
-        db.abort();
+        s.abort();
     }
 
     #[test]
-    fn snapshot_isolation_against_manual_interleaving() {
-        // Interleave two transactions through the public API: T1 snapshots,
-        // T2 commits an update, T1 must still see the old value.
+    fn snapshot_isolation_across_two_sessions() {
+        // T1 snapshots, T2 commits an update through its own session, T1
+        // must still see the old value — all through the public API.
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
         let mut db = DbmsM::new(&sim, DbmsMOptions::default());
         let t = micro_table(&mut db);
-        db.begin();
-        db.insert(t, 1, &[Value::Long(1), Value::Long(100)])
+        let mut s1 = db.session(0);
+        let mut s2 = db.session(0);
+        s1.begin();
+        s1.insert(t, 1, &[Value::Long(1), Value::Long(100)])
             .unwrap();
-        db.commit().unwrap();
+        s1.commit().unwrap();
 
         // T1 begins and reads.
-        db.begin();
-        let t1_snapshot_val = db.read(t, 1).unwrap().unwrap()[1].long();
-        // Simulate T2 by installing a newer version directly (the engine
-        // API is single-session; the version store is the isolation unit).
-        let mem = sim.mem(0);
-        let payload = match &mut db.tables[0].index {
-            AnyIndex::Hash(h) => h.get(&mem, 1).unwrap(),
-            AnyIndex::BTree(b) => b.get(&mem, 1).unwrap(),
-        };
-        let newer = tuple::encode(&[Value::Long(1), Value::Long(999)]);
-        let commit_ts = db.tm.commit_ts();
-        db.tables[0].versions.install(
-            &mem,
-            RowId::from_u64(payload),
-            newer,
-            commit_ts - 1,
-            commit_ts,
-        );
+        s1.begin();
+        let t1_snapshot_val = s1.read(t, 1).unwrap().unwrap()[1].long();
+        assert_eq!(t1_snapshot_val, 100);
+        // T2 commits a newer version while T1 is still open.
+        s2.begin();
+        s2.update(t, 1, &mut |r| r[1] = Value::Long(999)).unwrap();
+        s2.commit().unwrap();
         // T1 still sees its snapshot.
-        assert_eq!(db.read(t, 1).unwrap().unwrap()[1].long(), t1_snapshot_val);
-        db.commit().unwrap();
+        assert_eq!(s1.read(t, 1).unwrap().unwrap()[1].long(), t1_snapshot_val);
+        s1.commit().unwrap();
         // A fresh transaction sees the newer version.
-        db.begin();
-        assert_eq!(db.read(t, 1).unwrap().unwrap()[1].long(), 999);
-        db.commit().unwrap();
+        s1.begin();
+        assert_eq!(s1.read(t, 1).unwrap().unwrap()[1].long(), 999);
+        s1.commit().unwrap();
     }
 
     #[test]
@@ -941,29 +1050,23 @@ mod tests {
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
         let mut db = DbmsM::new(&sim, DbmsMOptions::default());
         let t = micro_table(&mut db);
-        db.begin();
-        db.insert(t, 1, &[Value::Long(1), Value::Long(1)]).unwrap();
-        db.commit().unwrap();
+        let mut s1 = db.session(0);
+        let mut s2 = db.session(0);
+        s1.begin();
+        s1.insert(t, 1, &[Value::Long(1), Value::Long(1)]).unwrap();
+        s1.commit().unwrap();
         // T1 buffers an update...
-        db.begin();
-        db.update(t, 1, &mut |r| r[1] = Value::Long(2)).unwrap();
-        // ...while "T2" installs a newer version first.
-        let mem = sim.mem(0);
-        let payload = match &mut db.tables[0].index {
-            AnyIndex::Hash(h) => h.get(&mem, 1).unwrap(),
-            AnyIndex::BTree(b) => b.get(&mem, 1).unwrap(),
-        };
-        let snap = db.cur.as_ref().unwrap().snapshot;
-        let c2 = db.tm.commit_ts();
-        db.tables[0].versions.install(
-            &mem,
-            RowId::from_u64(payload),
-            tuple::encode(&[Value::Long(1), Value::Long(3)]),
-            snap, // T2 read the same snapshot
-            c2,
-        );
+        s1.begin();
+        s1.update(t, 1, &mut |r| r[1] = Value::Long(2)).unwrap();
+        // ...while T2 installs a newer version first.
+        s2.begin();
+        s2.update(t, 1, &mut |r| r[1] = Value::Long(3)).unwrap();
+        s2.commit().unwrap();
         // T1's commit must now fail first-writer-wins validation.
-        assert!(matches!(db.commit(), Err(OltpError::Aborted(_))));
-        assert_eq!(db.validation_aborts, 1);
+        assert_eq!(
+            s1.commit().unwrap_err(),
+            OltpError::Conflict { table: t, key: 1 }
+        );
+        assert_eq!(db.validation_aborts(), 1);
     }
 }

@@ -10,10 +10,17 @@
 //! data stalls per 1000 instructions dwarf everyone else's (5–10x,
 //! Figure 2) while its stalls *per transaction* remain among the lowest
 //! (Figure 3).
+//!
+//! Concurrency model mirrors [`crate::voltdb`]: per-partition
+//! `Mutex`-guarded islands, one worker per partition in the paper's
+//! deployment, and a no-wait owner claim surfacing serial-execution
+//! violations as [`OltpError::Conflict`] when partitions are shared.
+
+use std::sync::{Arc, Mutex, RwLock};
 
 use indexes::{Art, Index};
 use obs::Phase;
-use oltp::{tuple, Db, OltpError, OltpResult, Row, TableDef, TableId, Value};
+use oltp::{tuple, Db, OltpError, OltpResult, Row, Session, TableDef, TableId, Value};
 use storage::{LogKind, MemStore, RowId, TxnId, TxnManager, Wal};
 use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
 
@@ -47,20 +54,33 @@ struct PTable {
     str_key: bool,
 }
 
-struct Partition {
+/// One partition's private state (see [`crate::voltdb::VoltDb`] for the
+/// owner-claim rules).
+struct PartState {
     tables: Vec<PTable>,
+    /// One command/redo log per partition (no shared log-buffer lines).
+    wal: Wal,
+    owner: Option<TxnId>,
+}
+
+struct Shared {
+    sim: Sim,
+    m: Mods,
+    defs: RwLock<Vec<TableDef>>,
+    parts: Vec<Mutex<PartState>>,
+    tm: Mutex<TxnManager>,
 }
 
 /// The HyPer engine. See the module docs.
 pub struct HyPer {
-    sim: Sim,
+    shared: Arc<Shared>,
+}
+
+/// One worker's connection to a [`HyPer`] engine, pinned to the partition
+/// `core % partitions`.
+pub struct HyPerSession {
+    shared: Arc<Shared>,
     core: usize,
-    m: Mods,
-    defs: Vec<TableDef>,
-    partitions: Vec<Partition>,
-    /// One command/redo log per partition (no shared log-buffer lines).
-    wals: Vec<Wal>,
-    tm: TxnManager,
     cur: Option<TxnId>,
 }
 
@@ -90,27 +110,32 @@ impl HyPer {
         };
         let mem = sim.mem(0);
         HyPer {
-            core: 0,
-            m,
-            defs: Vec::new(),
-            partitions: (0..partitions)
-                .map(|_| Partition { tables: Vec::new() })
-                .collect(),
-            wals: (0..partitions)
-                .map(|_| Wal::new(&mem, 1 << 20, 32))
-                .collect(),
-            tm: TxnManager::new(),
-            cur: None,
-            sim: sim.clone(),
+            shared: Arc::new(Shared {
+                m,
+                defs: RwLock::new(Vec::new()),
+                parts: (0..partitions)
+                    .map(|_| {
+                        Mutex::new(PartState {
+                            tables: Vec::new(),
+                            wal: Wal::new(&mem, 1 << 20, 32),
+                            owner: None,
+                        })
+                    })
+                    .collect(),
+                tm: Mutex::new(TxnManager::new()),
+                sim: sim.clone(),
+            }),
         }
     }
+}
 
+impl HyPerSession {
     fn mem(&self, module: ModuleId) -> Mem {
-        self.sim.mem(self.core).with_module(module)
+        self.shared.sim.mem(self.core).with_module(module)
     }
 
     fn part(&self) -> usize {
-        self.core % self.partitions.len()
+        self.core % self.shared.parts.len()
     }
 
     fn txn(&self) -> OltpResult<TxnId> {
@@ -118,18 +143,31 @@ impl HyPer {
     }
 
     fn table(&self, t: TableId) -> OltpResult<usize> {
-        if (t.0 as usize) < self.defs.len() {
+        if (t.0 as usize) < self.shared.defs.read().unwrap().len() {
             Ok(t.0 as usize)
         } else {
             Err(OltpError::NoSuchTable(t))
         }
     }
 
+    /// No-wait serial-execution claim (see [`crate::voltdb`]).
+    fn claim(&self, part: &mut PartState, t: TableId, key: u64) -> OltpResult<()> {
+        let Some(txn) = self.cur else { return Ok(()) };
+        match part.owner {
+            None => {
+                part.owner = Some(txn);
+                Ok(())
+            }
+            Some(o) if o == txn => Ok(()),
+            Some(_) => Err(OltpError::Conflict { table: t, key }),
+        }
+    }
+
     /// Compiled value processing + leaf string comparison (§6.2).
-    fn value_work(&self, p: usize, ti: usize, bytes: usize) {
-        let mem = self.mem(self.m.proc);
+    fn value_work(&self, part: &PartState, ti: usize, bytes: usize) {
+        let mem = self.mem(self.shared.m.proc);
         mem.exec(bytes as u64 * cost::VALUE_PER_BYTE);
-        if self.partitions[p].tables[ti].str_key {
+        if part.tables[ti].str_key {
             mem.exec(cost::STR_CMP);
         }
     }
@@ -140,33 +178,25 @@ impl Db for HyPer {
         "HyPer"
     }
 
-    fn set_core(&mut self, core: usize) {
-        assert!(core < self.sim.cores());
-        self.core = core;
-    }
-
-    fn core(&self) -> usize {
-        self.core
-    }
-
     fn partitions(&self) -> usize {
-        self.partitions.len()
+        self.shared.parts.len()
     }
 
     fn create_table(&mut self, def: TableDef) -> TableId {
-        let id = TableId(self.defs.len() as u32);
-        self.defs.push(def);
-        for (p, part) in self.partitions.iter_mut().enumerate() {
-            let mem = self.sim.mem(p % self.sim.cores()).with_module(self.m.proc);
-            let str_key = matches!(
-                self.defs[id.0 as usize]
-                    .schema
-                    .columns()
-                    .first()
-                    .map(|c| c.ty),
-                Some(oltp::DataType::Str)
-            );
-            part.tables.push(PTable {
+        let defs = &mut *self.shared.defs.write().unwrap();
+        let id = TableId(defs.len() as u32);
+        defs.push(def);
+        let str_key = matches!(
+            defs[id.0 as usize].schema.columns().first().map(|c| c.ty),
+            Some(oltp::DataType::Str)
+        );
+        for (p, part) in self.shared.parts.iter().enumerate() {
+            let mem = self
+                .shared
+                .sim
+                .mem(p % self.shared.sim.cores())
+                .with_module(self.shared.m.proc);
+            part.lock().unwrap().tables.push(PTable {
                 store: MemStore::new(),
                 index: Art::new(&mem),
                 str_key,
@@ -175,53 +205,99 @@ impl Db for HyPer {
         id
     }
 
+    fn row_count(&self, t: TableId) -> u64 {
+        self.shared
+            .parts
+            .iter()
+            .map(|p| {
+                p.lock()
+                    .unwrap()
+                    .tables
+                    .get(t.0 as usize)
+                    .map_or(0, |tb| tb.store.live())
+            })
+            .sum()
+    }
+
+    fn session(&self, core: usize) -> Box<dyn Session> {
+        assert!(core < self.shared.sim.cores());
+        Box::new(HyPerSession {
+            shared: Arc::clone(&self.shared),
+            core,
+            cur: None,
+        })
+    }
+}
+
+impl Session for HyPerSession {
+    fn name(&self) -> &'static str {
+        "HyPer"
+    }
+
+    fn core(&self) -> usize {
+        self.core
+    }
+
     fn begin(&mut self) {
         assert!(self.cur.is_none(), "transaction already active");
         let _s = obs::span(ENGINE, Phase::Dispatch, self.core);
-        let (txn, _) = self.tm.begin();
+        let (txn, _) = self.shared.tm.lock().unwrap().begin();
         self.cur = Some(txn);
-        self.mem(self.m.runtime).exec(cost::RT_BEGIN);
+        self.mem(self.shared.m.runtime).exec(cost::RT_BEGIN);
     }
 
     fn commit(&mut self) -> OltpResult<()> {
         let txn = self.txn()?;
         let _c = obs::span(ENGINE, Phase::Commit, self.core);
-        self.mem(self.m.runtime).exec(cost::COMMIT);
+        self.mem(self.shared.m.runtime).exec(cost::COMMIT);
         {
             let _l = obs::span(ENGINE, Phase::Log, self.core);
-            let mem = self.mem(self.m.log);
+            let mem = self.mem(self.shared.m.log);
             mem.exec(cost::REDO);
-            let p = self.part();
-            self.wals[p].append(&mem, txn, LogKind::Commit, 24);
+            let part = &mut *self.shared.parts[self.part()].lock().unwrap();
+            part.wal.append(&mem, txn, LogKind::Commit, 24);
+            if part.owner == Some(txn) {
+                part.owner = None;
+            }
         }
         self.cur = None;
         Ok(())
     }
 
     fn abort(&mut self) {
-        if self.cur.take().is_some() {
+        if let Some(txn) = self.cur.take() {
             let _s = obs::span(ENGINE, Phase::Commit, self.core);
-            self.mem(self.m.runtime).exec(cost::ABORT);
+            self.mem(self.shared.m.runtime).exec(cost::ABORT);
+            let part = &mut *self.shared.parts[self.part()].lock().unwrap();
+            if part.owner == Some(txn) {
+                part.owner = None;
+            }
         }
     }
 
     fn insert(&mut self, t: TableId, key: u64, row: &[Value]) -> OltpResult<()> {
+        let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
         self.txn()?;
-        debug_assert!(self.defs[ti].schema.check(row), "row/schema mismatch");
-        let mem = self.mem(self.m.proc);
+        debug_assert!(
+            shared.defs.read().unwrap()[ti].schema.check(row),
+            "row/schema mismatch"
+        );
+        let mem = self.mem(self.shared.m.proc);
         {
             let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
             mem.exec(cost::PROC_OP);
         }
         let p = self.part();
+        let part = &mut *shared.parts[p].lock().unwrap();
+        self.claim(part, t, key)?;
         let encoded = tuple::encode(row);
         let id = {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            self.value_work(p, ti, encoded.len());
-            self.partitions[p].tables[ti].store.insert(&mem, encoded)
+            self.value_work(part, ti, encoded.len());
+            part.tables[ti].store.insert(&mem, encoded)
         };
-        let table = &mut self.partitions[p].tables[ti];
+        let table = &mut part.tables[ti];
         let inserted = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             table.index.insert(&mem, key, id.to_u64())
@@ -235,17 +311,19 @@ impl Db for HyPer {
     }
 
     fn read_with(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&[Value])) -> OltpResult<bool> {
+        let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
-        let mem = self.mem(self.m.proc);
+        let mem = self.mem(self.shared.m.proc);
         {
             let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
             mem.exec(cost::PROC_OP);
         }
         let p = self.part();
-        let table = &mut self.partitions[p].tables[ti];
+        let part = &mut *shared.parts[p].lock().unwrap();
+        self.claim(part, t, key)?;
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            table.index.get(&mem, key)
+            part.tables[ti].index.get(&mem, key)
         };
         let Some(payload) = probe else {
             return Ok(false);
@@ -253,11 +331,13 @@ impl Db for HyPer {
         let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mut decoded: Option<Row> = None;
         let mut bytes = 0;
-        table.store.read(&mem, RowId::from_u64(payload), &mut |d| {
-            bytes = d.len();
-            decoded = tuple::decode(d).ok();
-        });
-        self.value_work(p, ti, bytes);
+        part.tables[ti]
+            .store
+            .read(&mem, RowId::from_u64(payload), &mut |d| {
+                bytes = d.len();
+                decoded = tuple::decode(d).ok();
+            });
+        self.value_work(part, ti, bytes);
         match decoded {
             Some(row) => {
                 f(&row);
@@ -268,18 +348,20 @@ impl Db for HyPer {
     }
 
     fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
+        let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
         self.txn()?;
-        let mem = self.mem(self.m.proc);
+        let mem = self.mem(self.shared.m.proc);
         {
             let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
             mem.exec(cost::PROC_OP);
         }
         let p = self.part();
-        let table = &mut self.partitions[p].tables[ti];
+        let part = &mut *shared.parts[p].lock().unwrap();
+        self.claim(part, t, key)?;
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            table.index.get(&mem, key)
+            part.tables[ti].index.get(&mem, key)
         };
         let Some(payload) = probe else {
             return Ok(false);
@@ -288,17 +370,20 @@ impl Db for HyPer {
         let mut row: Option<Row> = None;
         {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            table
+            part.tables[ti]
                 .store
                 .read(&mem, id, &mut |d| row = tuple::decode(d).ok());
         }
         let Some(mut row) = row else { return Ok(false) };
         f(&mut row);
-        debug_assert!(self.defs[ti].schema.check(&row), "row/schema mismatch");
+        debug_assert!(
+            shared.defs.read().unwrap()[ti].schema.check(&row),
+            "row/schema mismatch"
+        );
         let encoded = tuple::encode(&row);
         let _s = obs::span(ENGINE, Phase::Storage, self.core);
-        self.value_work(p, ti, encoded.len() * 2);
-        let table = &mut self.partitions[p].tables[ti];
+        self.value_work(part, ti, encoded.len() * 2);
+        let table = &mut part.tables[ti];
         table.store.update(&mem, id, encoded);
         Ok(true)
     }
@@ -310,14 +395,17 @@ impl Db for HyPer {
         hi: u64,
         f: &mut dyn FnMut(u64, &[Value]) -> bool,
     ) -> OltpResult<u64> {
+        let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
-        let mem = self.mem(self.m.proc);
+        let mem = self.mem(self.shared.m.proc);
         {
             let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
             mem.exec(cost::PROC_OP);
         }
         let p = self.part();
-        let table = &mut self.partitions[p].tables[ti];
+        let part = &mut *shared.parts[p].lock().unwrap();
+        self.claim(part, t, lo)?;
+        let table = &mut part.tables[ti];
         let mut pairs: Vec<(u64, u64)> = Vec::new();
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
@@ -348,15 +436,18 @@ impl Db for HyPer {
     }
 
     fn delete(&mut self, t: TableId, key: u64) -> OltpResult<bool> {
+        let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
         self.txn()?;
-        let mem = self.mem(self.m.proc);
+        let mem = self.mem(self.shared.m.proc);
         {
             let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
             mem.exec(cost::PROC_OP);
         }
         let p = self.part();
-        let table = &mut self.partitions[p].tables[ti];
+        let part = &mut *shared.parts[p].lock().unwrap();
+        self.claim(part, t, key)?;
+        let table = &mut part.tables[ti];
         let removed = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             table.index.remove(&mem, key)
@@ -367,13 +458,6 @@ impl Db for HyPer {
         let _s = obs::span(ENGINE, Phase::Storage, self.core);
         table.store.delete(&mem, RowId::from_u64(payload));
         Ok(true)
-    }
-
-    fn row_count(&self, t: TableId) -> u64 {
-        self.partitions
-            .iter()
-            .map(|p| p.tables.get(t.0 as usize).map_or(0, |tb| tb.store.live()))
-            .sum()
     }
 }
 
@@ -399,16 +483,17 @@ mod tests {
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
         let mut db = HyPer::new(&sim, 1);
         let t = db.create_table(table_def());
-        db.begin();
+        let mut s = db.session(0);
+        s.begin();
         for k in 0..200u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
+            s.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
                 .unwrap();
         }
-        assert!(db.update(t, 77, &mut |r| r[1] = Value::Long(1)).unwrap());
-        assert_eq!(db.read(t, 77).unwrap().unwrap()[1], Value::Long(1));
-        assert!(db.delete(t, 77).unwrap());
-        assert!(db.read(t, 77).unwrap().is_none());
-        db.commit().unwrap();
+        assert!(s.update(t, 77, &mut |r| r[1] = Value::Long(1)).unwrap());
+        assert_eq!(s.read(t, 77).unwrap().unwrap()[1], Value::Long(1));
+        assert!(s.delete(t, 77).unwrap());
+        assert!(s.read(t, 77).unwrap().is_none());
+        s.commit().unwrap();
         assert_eq!(db.row_count(t), 199);
     }
 
@@ -419,17 +504,18 @@ mod tests {
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
         let mut db = HyPer::new(&sim, 1);
         let t = db.create_table(table_def());
-        db.begin();
+        let mut s = db.session(0);
+        s.begin();
         for k in 0..1000u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
+            s.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
                 .unwrap();
         }
-        db.commit().unwrap();
+        s.commit().unwrap();
         let before = sim.counters(0).instructions;
         for k in 0..100u64 {
-            db.begin();
-            let _ = db.read(t, (k * 37) % 1000).unwrap();
-            db.commit().unwrap();
+            s.begin();
+            let _ = s.read(t, (k * 37) % 1000).unwrap();
+            s.commit().unwrap();
         }
         let per_txn = (sim.counters(0).instructions - before) / 100;
         assert!(per_txn < 6000, "per_txn={per_txn}");
@@ -440,18 +526,19 @@ mod tests {
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
         let mut db = HyPer::new(&sim, 1);
         let t = db.create_table(table_def());
-        db.begin();
+        let mut s = db.session(0);
+        s.begin();
         for k in (0..100u64).rev() {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)])
+            s.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)])
                 .unwrap();
         }
         let mut seen = Vec::new();
-        db.scan(t, 10, 20, &mut |k, _| {
+        s.scan(t, 10, 20, &mut |k, _| {
             seen.push(k);
             true
         })
         .unwrap();
-        db.commit().unwrap();
+        s.commit().unwrap();
         assert_eq!(seen, (10..=20).collect::<Vec<u64>>());
     }
 }

@@ -10,11 +10,13 @@
 //! | [`hyper`] | HyPer | per-partition row store | serial per partition | ART | transactions compiled to machine code (tiny instruction footprint) |
 //! | [`dbms_m`] | DBMS M (commercial in-memory) | multi-version store | optimistic MVCC | hash **or** cc-B+tree | compiled storage-manager ops under a large legacy frontend |
 //!
-//! Every engine implements [`oltp::Db`]. Each registers its code modules
-//! (footprint / reuse / branchiness per §2.1's characterization) with the
-//! simulator and charges every operation's instruction stream and data
-//! touches through them — the micro-architectural behaviour then *emerges*
-//! from the same design axes the paper identifies.
+//! Every engine implements [`oltp::Db`], and every worker drives an
+//! [`oltp::Session`] opened with [`oltp::Db::session`]. Each engine
+//! registers its code modules (footprint / reuse / branchiness per §2.1's
+//! characterization) with the simulator and charges every operation's
+//! instruction stream and data touches through them — the
+//! micro-architectural behaviour then *emerges* from the same design axes
+//! the paper identifies.
 //!
 //! [`SystemKind`] + [`build_system`] give the benchmark harness a uniform
 //! factory.
@@ -34,10 +36,11 @@
 //!     ]),
 //!     100,
 //! ));
-//! db.begin();
-//! db.insert(t, 1, &[Value::Long(1), Value::Long(500)]).unwrap();
-//! db.update(t, 1, &mut |row| row[1] = Value::Long(600)).unwrap();
-//! db.commit().unwrap();
+//! let mut s = db.session(0); // one per worker thread
+//! s.begin();
+//! s.insert(t, 1, &[Value::Long(1), Value::Long(500)]).unwrap();
+//! s.update(t, 1, &mut |row| row[1] = Value::Long(600)).unwrap();
+//! s.commit().unwrap();
 //! // The simulator observed every index node and row the engine touched.
 //! assert!(sim.counters(0).instructions > 0);
 //! ```

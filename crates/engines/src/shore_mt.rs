@@ -8,10 +8,20 @@
 //! full disk-based storage tax: buffer-pool indirection on every tuple,
 //! hierarchical 2PL, WAL, and a non-cache-conscious 8 KB-page B+tree
 //! (the source of its high LLC data stalls, §4.1.3).
+//!
+//! Shared-everything concurrency: the storage structures (buffer pool,
+//! lock table, WAL, heap/index) live behind one engine-wide mutex inside
+//! an `Arc`; every worker opens a [`Session`] bound to its core. Each
+//! operation holds the engine lock only for its own duration, while 2PL
+//! row/table locks persist across operations — so concurrent sessions
+//! conflict exactly where the lock manager says they do.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use indexes::{DiskBTree, Index};
 use obs::Phase;
-use oltp::{tuple, Db, OltpError, OltpResult, Row, TableDef, TableId, Value};
+use oltp::{tuple, Db, OltpError, OltpResult, Row, Session, TableDef, TableId, Value};
 use storage::{
     lock::LockOutcome, BufferPool, HeapFile, LockManager, LockMode, LockTarget, LogKind, Rid,
     TxnId, TxnManager, Wal,
@@ -36,6 +46,11 @@ mod cost {
     pub const INDEX_WRAP: u64 = 2300; // latch/SMO checks around descent
     pub const HEAP_WRAP: u64 = 1500;
     pub const SCAN_NEXT: u64 = 220; // per scanned row
+                                    // Latch spin per *other* open session on each serialized engine
+                                    // entry (lock-table bucket, txn manager, log tail): shared-everything
+                                    // engines pay this coherence/contention tax as workers are added,
+                                    // while the partitioned engines own their data outright.
+    pub const LATCH_SPIN: u64 = 220;
 }
 
 struct Mods {
@@ -54,16 +69,33 @@ struct Table {
     index: DiskBTree,
 }
 
-/// The Shore-MT engine. See the module docs.
-pub struct ShoreMt {
-    sim: Sim,
-    core: usize,
-    m: Mods,
+/// Mutable engine state shared by all sessions.
+struct Inner {
     pool: BufferPool,
     locks: LockManager,
     wal: Wal,
     tm: TxnManager,
     tables: Vec<Table>,
+}
+
+/// Immutable handle state + the engine-wide mutex.
+struct Shared {
+    sim: Sim,
+    m: Mods,
+    inner: Mutex<Inner>,
+    /// Open sessions; >1 means the engine's internal latches are contended.
+    open_sessions: AtomicUsize,
+}
+
+/// The Shore-MT engine. See the module docs.
+pub struct ShoreMt {
+    shared: Arc<Shared>,
+}
+
+/// One worker's connection to a [`ShoreMt`] engine.
+pub struct ShoreMtSession {
+    shared: Arc<Shared>,
+    core: usize,
     cur: Option<TxnId>,
     ops_in_txn: u32,
 }
@@ -119,17 +151,68 @@ impl ShoreMt {
             ),
         };
         let mem = sim.mem(0);
-        ShoreMt {
-            core: 0,
-            m,
+        let inner = Inner {
             pool: BufferPool::new(&mem, POOL_FRAMES),
             locks: LockManager::new(&mem, 64 * 1024),
             wal: Wal::new(&mem, 1 << 20, 8),
             tm: TxnManager::new(),
             tables: Vec::new(),
-            cur: None,
-            ops_in_txn: 0,
-            sim: sim.clone(),
+        };
+        ShoreMt {
+            shared: Arc::new(Shared {
+                sim: sim.clone(),
+                m,
+                inner: Mutex::new(inner),
+                open_sessions: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Enable durable-log record retention (for crash-replay testing).
+    pub fn retain_log(&mut self) {
+        self.shared.inner.lock().unwrap().wal.retain_records(true);
+    }
+
+    /// The retained log records (see [`storage::recovery`]).
+    pub fn log_records(&self) -> Vec<storage::wal::LogRecord> {
+        self.shared.inner.lock().unwrap().wal.records().to_vec()
+    }
+
+    #[cfg(test)]
+    fn lock_entries(&self) -> usize {
+        self.shared.inner.lock().unwrap().locks.entries()
+    }
+}
+
+fn table(inner: &Inner, t: TableId) -> OltpResult<usize> {
+    if (t.0 as usize) < inner.tables.len() {
+        Ok(t.0 as usize)
+    } else {
+        Err(OltpError::NoSuchTable(t))
+    }
+}
+
+impl ShoreMtSession {
+    fn mem(&self, module: ModuleId) -> Mem {
+        self.shared.sim.mem(self.core).with_module(module)
+    }
+
+    fn txn(&self) -> OltpResult<TxnId> {
+        self.cur.ok_or(OltpError::NoActiveTxn)
+    }
+
+    /// Spin on a contended internal latch: each concurrently open session
+    /// beyond this one costs a deterministic burst of spin instructions.
+    /// With a single session open this is free, so single-worker runs are
+    /// bit-identical to the pre-concurrency engine.
+    fn latch_contention(&self, mem: &Mem) {
+        let others = self
+            .shared
+            .open_sessions
+            .load(Ordering::Relaxed)
+            .saturating_sub(1);
+        if others > 0 {
+            mem.exec(cost::LATCH_SPIN * others as u64);
         }
     }
 
@@ -143,59 +226,47 @@ impl ShoreMt {
             cost::EXEC_OP_NEXT
         };
         self.ops_in_txn += 1;
-        self.mem(self.m.kits).exec(n);
-    }
-
-    fn mem(&self, module: ModuleId) -> Mem {
-        self.sim.mem(self.core).with_module(module)
-    }
-
-    /// Enable durable-log record retention (for crash-replay testing).
-    pub fn retain_log(&mut self) {
-        self.wal.retain_records(true);
-    }
-
-    /// The retained log records (see [`storage::recovery`]).
-    pub fn log_records(&self) -> &[storage::wal::LogRecord] {
-        self.wal.records()
-    }
-
-    fn txn(&self) -> OltpResult<TxnId> {
-        self.cur.ok_or(OltpError::NoActiveTxn)
+        self.mem(self.shared.m.kits).exec(n);
     }
 
     /// Interpreted value processing proportional to row bytes (§6.2).
     fn value_work(&self, bytes: usize) {
-        self.mem(self.m.kits).exec(bytes as u64 * 7);
+        self.mem(self.shared.m.kits).exec(bytes as u64 * 7);
     }
 
-    fn table(&self, t: TableId) -> OltpResult<usize> {
-        if (t.0 as usize) < self.tables.len() {
-            Ok(t.0 as usize)
-        } else {
-            Err(OltpError::NoSuchTable(t))
-        }
-    }
-
-    fn acquire(&mut self, target: LockTarget, mode: LockMode) -> OltpResult<()> {
+    fn acquire(
+        &self,
+        inner: &mut Inner,
+        t: TableId,
+        key: u64,
+        target: LockTarget,
+        mode: LockMode,
+    ) -> OltpResult<()> {
         let txn = self.txn()?;
         let _cc = obs::span(ENGINE, Phase::Cc, self.core);
-        let mem = self.mem(self.m.lock);
+        let mem = self.mem(self.shared.m.lock);
         mem.exec(cost::LOCK_WRAP);
-        match self.locks.lock(&mem, txn, target, mode) {
+        self.latch_contention(&mem);
+        match inner.locks.lock(&mem, txn, target, mode) {
             LockOutcome::Granted => Ok(()),
-            LockOutcome::Conflict => Err(OltpError::Aborted("lock conflict")),
+            LockOutcome::Conflict => Err(OltpError::Conflict { table: t, key }),
         }
     }
 
-    fn lock_pair(&mut self, t: TableId, key: u64, write: bool) -> OltpResult<()> {
+    fn lock_pair(&self, inner: &mut Inner, t: TableId, key: u64, write: bool) -> OltpResult<()> {
         let (tm, rm) = if write {
             (LockMode::Ix, LockMode::X)
         } else {
             (LockMode::Is, LockMode::S)
         };
-        self.acquire(LockTarget::Table(t.0), tm)?;
-        self.acquire(LockTarget::Row(t.0, key), rm)
+        self.acquire(inner, t, key, LockTarget::Table(t.0), tm)?;
+        self.acquire(inner, t, key, LockTarget::Row(t.0, key), rm)
+    }
+}
+
+impl Drop for ShoreMtSession {
+    fn drop(&mut self) {
+        self.shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -204,19 +275,11 @@ impl Db for ShoreMt {
         "Shore-MT"
     }
 
-    fn set_core(&mut self, core: usize) {
-        assert!(core < self.sim.cores());
-        self.core = core;
-    }
-
-    fn core(&self) -> usize {
-        self.core
-    }
-
     fn create_table(&mut self, def: TableDef) -> TableId {
-        let mem = self.mem(self.m.btree);
-        let id = TableId(self.tables.len() as u32);
-        self.tables.push(Table {
+        let mem = self.shared.sim.mem(0).with_module(self.shared.m.btree);
+        let inner = &mut *self.shared.inner.lock().unwrap();
+        let id = TableId(inner.tables.len() as u32);
+        inner.tables.push(Table {
             def,
             heap: HeapFile::new(),
             index: DiskBTree::new(&mem),
@@ -224,109 +287,160 @@ impl Db for ShoreMt {
         id
     }
 
+    fn row_count(&self, t: TableId) -> u64 {
+        self.shared
+            .inner
+            .lock()
+            .unwrap()
+            .tables
+            .get(t.0 as usize)
+            .map_or(0, |tb| tb.heap.rows())
+    }
+
+    fn session(&self, core: usize) -> Box<dyn Session> {
+        assert!(core < self.shared.sim.cores());
+        self.shared.open_sessions.fetch_add(1, Ordering::Relaxed);
+        Box::new(ShoreMtSession {
+            shared: Arc::clone(&self.shared),
+            core,
+            cur: None,
+            ops_in_txn: 0,
+        })
+    }
+}
+
+impl Session for ShoreMtSession {
+    fn name(&self) -> &'static str {
+        "Shore-MT"
+    }
+
+    fn core(&self) -> usize {
+        self.core
+    }
+
     fn begin(&mut self) {
         assert!(self.cur.is_none(), "transaction already active");
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
         let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
-        let (txn, _) = self.tm.begin();
+        let (txn, _) = inner.tm.begin();
         self.cur = Some(txn);
         self.ops_in_txn = 0;
-        self.mem(self.m.txn).exec(cost::BEGIN);
+        let mem = self.mem(self.shared.m.txn);
+        mem.exec(cost::BEGIN);
+        self.latch_contention(&mem);
         let _l = obs::span(ENGINE, Phase::Log, self.core);
-        let mem = self.mem(self.m.log);
-        self.wal.append(&mem, txn, LogKind::Begin, 0);
+        let mem = self.mem(self.shared.m.log);
+        inner.wal.append(&mem, txn, LogKind::Begin, 0);
     }
 
     fn commit(&mut self) -> OltpResult<()> {
         let txn = self.txn()?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
         let _c = obs::span(ENGINE, Phase::Commit, self.core);
-        self.mem(self.m.txn).exec(cost::COMMIT);
+        self.mem(self.shared.m.txn).exec(cost::COMMIT);
         {
             let _l = obs::span(ENGINE, Phase::Log, self.core);
-            let mem = self.mem(self.m.log);
+            let mem = self.mem(self.shared.m.log);
             mem.exec(cost::LOG_COMMIT);
-            self.wal.append(&mem, txn, LogKind::Commit, 16);
+            self.latch_contention(&mem);
+            inner.wal.append(&mem, txn, LogKind::Commit, 16);
         }
         let _cc = obs::span(ENGINE, Phase::Cc, self.core);
-        let mem = self.mem(self.m.lock);
+        let mem = self.mem(self.shared.m.lock);
         mem.exec(cost::RELEASE);
-        self.locks.release_all(&mem, txn);
+        inner.locks.release_all(&mem, txn);
         self.cur = None;
         Ok(())
     }
 
     fn abort(&mut self) {
         if let Some(txn) = self.cur.take() {
+            let shared = Arc::clone(&self.shared);
+            let inner = &mut *shared.inner.lock().unwrap();
             let _c = obs::span(ENGINE, Phase::Commit, self.core);
-            self.mem(self.m.txn).exec(cost::ABORT);
+            self.mem(self.shared.m.txn).exec(cost::ABORT);
             {
                 let _l = obs::span(ENGINE, Phase::Log, self.core);
-                let mem = self.mem(self.m.log);
-                self.wal.append(&mem, txn, LogKind::Abort, 0);
+                let mem = self.mem(self.shared.m.log);
+                inner.wal.append(&mem, txn, LogKind::Abort, 0);
             }
             let _cc = obs::span(ENGINE, Phase::Cc, self.core);
-            let mem = self.mem(self.m.lock);
-            self.locks.release_all(&mem, txn);
+            let mem = self.mem(self.shared.m.lock);
+            inner.locks.release_all(&mem, txn);
         }
     }
 
     fn insert(&mut self, t: TableId, key: u64, row: &[Value]) -> OltpResult<()> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         let txn = self.txn()?;
-        debug_assert!(self.tables[ti].def.schema.check(row), "row/schema mismatch");
+        debug_assert!(
+            inner.tables[ti].def.schema.check(row),
+            "row/schema mismatch"
+        );
         self.exec_op();
-        self.lock_pair(t, key, true)?;
+        self.lock_pair(inner, t, key, true)?;
         let data = tuple::encode(row);
         self.value_work(data.len());
         let len = data.len() as u32;
         let redo = data.clone();
         let rid = {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            let mem = self.mem(self.m.heap);
+            let mem = self.mem(self.shared.m.heap);
             mem.exec(cost::HEAP_WRAP);
-            self.tables[ti].heap.insert(&mut self.pool, &mem, data)
+            let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            tables[ti].heap.insert(pool, &mem, data)
         };
         let inserted = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            let mem = self.mem(self.m.btree);
+            let mem = self.mem(self.shared.m.btree);
             mem.exec(cost::INDEX_WRAP);
-            self.tables[ti].index.insert(&mem, key, rid.to_u64())
+            inner.tables[ti].index.insert(&mem, key, rid.to_u64())
         };
         if !inserted {
             // Undo the heap insert (simplified physical undo).
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            let mem = self.mem(self.m.heap);
-            self.tables[ti].heap.delete(&mut self.pool, &mem, rid);
+            let mem = self.mem(self.shared.m.heap);
+            let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            tables[ti].heap.delete(pool, &mem, rid);
             return Err(OltpError::DuplicateKey { table: t, key });
         }
         let _l = obs::span(ENGINE, Phase::Log, self.core);
-        let mem = self.mem(self.m.log);
+        let mem = self.mem(self.shared.m.log);
         mem.exec(cost::LOG_UPDATE);
-        self.wal
+        inner
+            .wal
             .append_data(&mem, txn, LogKind::Insert, t.0, key, Some(&redo), len);
         Ok(())
     }
 
     fn read_with(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&[Value])) -> OltpResult<bool> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         self.exec_op();
-        self.lock_pair(t, key, false)?;
+        self.lock_pair(inner, t, key, false)?;
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            let mem = self.mem(self.m.btree);
+            let mem = self.mem(self.shared.m.btree);
             mem.exec(cost::INDEX_WRAP);
-            self.tables[ti].index.get(&mem, key)
+            inner.tables[ti].index.get(&mem, key)
         };
         let Some(payload) = probe else {
             return Ok(false);
         };
         let _s = obs::span(ENGINE, Phase::Storage, self.core);
-        let mem = self.mem(self.m.bpool);
+        let mem = self.mem(self.shared.m.bpool);
         mem.exec(cost::HEAP_WRAP);
         let mut ok = false;
         let mut decoded: Option<Row> = None;
-        self.tables[ti]
+        let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+        tables[ti]
             .heap
-            .read(&mut self.pool, &mem, Rid::from_u64(payload), &mut |d| {
+            .read(pool, &mem, Rid::from_u64(payload), &mut |d| {
                 decoded = tuple::decode(d).ok();
                 ok = true;
             });
@@ -338,35 +452,36 @@ impl Db for ShoreMt {
     }
 
     fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         let txn = self.txn()?;
         self.exec_op();
-        self.lock_pair(t, key, true)?;
+        self.lock_pair(inner, t, key, true)?;
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            let mem = self.mem(self.m.btree);
+            let mem = self.mem(self.shared.m.btree);
             mem.exec(cost::INDEX_WRAP);
-            self.tables[ti].index.get(&mem, key)
+            inner.tables[ti].index.get(&mem, key)
         };
         let Some(payload) = probe else {
             return Ok(false);
         };
         let rid = Rid::from_u64(payload);
-        let mem = self.mem(self.m.bpool);
+        let mem = self.mem(self.shared.m.bpool);
         let mut row: Option<Row> = None;
         {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
             mem.exec(cost::HEAP_WRAP);
-            self.tables[ti]
-                .heap
-                .read(&mut self.pool, &mem, rid, &mut |d| {
-                    row = tuple::decode(d).ok();
-                });
+            let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            tables[ti].heap.read(pool, &mem, rid, &mut |d| {
+                row = tuple::decode(d).ok();
+            });
         }
         let Some(mut row) = row else { return Ok(false) };
         f(&mut row);
         debug_assert!(
-            self.tables[ti].def.schema.check(&row),
+            inner.tables[ti].def.schema.check(&row),
             "row/schema mismatch"
         );
         let data = tuple::encode(&row);
@@ -375,20 +490,22 @@ impl Db for ShoreMt {
         let new_rid = {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
             self.value_work(data.len() * 2);
-            self.tables[ti]
+            let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            tables[ti]
                 .heap
-                .update(&mut self.pool, &mem, rid, data)
+                .update(pool, &mem, rid, data)
                 .expect("row vanished mid-update")
         };
         if new_rid != rid {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            let mem = self.mem(self.m.btree);
-            self.tables[ti].index.replace(&mem, key, new_rid.to_u64());
+            let mem = self.mem(self.shared.m.btree);
+            inner.tables[ti].index.replace(&mem, key, new_rid.to_u64());
         }
         let _l = obs::span(ENGINE, Phase::Log, self.core);
-        let mem = self.mem(self.m.log);
+        let mem = self.mem(self.shared.m.log);
         mem.exec(cost::LOG_UPDATE);
-        self.wal
+        inner
+            .wal
             .append_data(&mem, txn, LogKind::Update, t.0, key, Some(&redo), len * 2);
         Ok(true)
     }
@@ -400,20 +517,24 @@ impl Db for ShoreMt {
         hi: u64,
         f: &mut dyn FnMut(u64, &[Value]) -> bool,
     ) -> OltpResult<u64> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         self.exec_op();
         // Range scans take a table-level S lock (no next-key locking).
-        self.acquire(LockTarget::Table(t.0), LockMode::S)?;
-        let mem_btree = self.mem(self.m.btree);
-        let mem_pool = self.mem(self.m.bpool);
+        self.acquire(inner, t, lo, LockTarget::Table(t.0), LockMode::S)?;
+        let mem_btree = self.mem(self.shared.m.btree);
+        let mem_pool = self.mem(self.shared.m.bpool);
         let mut rids: Vec<(u64, u64)> = Vec::new();
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             mem_btree.exec(cost::INDEX_WRAP);
-            self.tables[ti].index.scan(&mem_btree, lo, hi, &mut |k, p| {
-                rids.push((k, p));
-                true
-            });
+            inner.tables[ti]
+                .index
+                .scan(&mem_btree, lo, hi, &mut |k, p| {
+                    rids.push((k, p));
+                    true
+                });
         }
         let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mut visited = 0;
@@ -421,9 +542,10 @@ impl Db for ShoreMt {
             mem_pool.exec(cost::SCAN_NEXT);
             let mut keep = true;
             let mut decoded: Option<Row> = None;
-            self.tables[ti]
+            let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            tables[ti]
                 .heap
-                .read(&mut self.pool, &mem_pool, Rid::from_u64(p), &mut |d| {
+                .read(pool, &mem_pool, Rid::from_u64(p), &mut |d| {
                     decoded = tuple::decode(d).ok();
                 });
             if let Some(row) = decoded {
@@ -439,37 +561,35 @@ impl Db for ShoreMt {
     }
 
     fn delete(&mut self, t: TableId, key: u64) -> OltpResult<bool> {
-        let ti = self.table(t)?;
+        let shared = Arc::clone(&self.shared);
+        let inner = &mut *shared.inner.lock().unwrap();
+        let ti = table(inner, t)?;
         let txn = self.txn()?;
         self.exec_op();
-        self.lock_pair(t, key, true)?;
+        self.lock_pair(inner, t, key, true)?;
         let removed = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            let mem = self.mem(self.m.btree);
+            let mem = self.mem(self.shared.m.btree);
             mem.exec(cost::INDEX_WRAP);
-            self.tables[ti].index.remove(&mem, key)
+            inner.tables[ti].index.remove(&mem, key)
         };
         let Some(payload) = removed else {
             return Ok(false);
         };
         {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            let mem = self.mem(self.m.heap);
+            let mem = self.mem(self.shared.m.heap);
             mem.exec(cost::HEAP_WRAP);
-            self.tables[ti]
-                .heap
-                .delete(&mut self.pool, &mem, Rid::from_u64(payload));
+            let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            tables[ti].heap.delete(pool, &mem, Rid::from_u64(payload));
         }
         let _l = obs::span(ENGINE, Phase::Log, self.core);
-        let mem = self.mem(self.m.log);
+        let mem = self.mem(self.shared.m.log);
         mem.exec(cost::LOG_UPDATE);
-        self.wal
+        inner
+            .wal
             .append_data(&mem, txn, LogKind::Delete, t.0, key, None, 16);
         Ok(true)
-    }
-
-    fn row_count(&self, t: TableId) -> u64 {
-        self.tables.get(t.0 as usize).map_or(0, |tb| tb.heap.rows())
     }
 }
 
@@ -479,9 +599,10 @@ mod tests {
     use oltp::{Column, DataType, Schema};
     use uarch_sim::MachineConfig;
 
-    fn setup() -> ShoreMt {
+    fn setup() -> (Sim, ShoreMt) {
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
-        ShoreMt::new(&sim)
+        let db = ShoreMt::new(&sim);
+        (sim, db)
     }
 
     fn micro_table(db: &mut ShoreMt) -> TableId {
@@ -497,58 +618,60 @@ mod tests {
 
     #[test]
     fn crud_round_trip() {
-        let mut db = setup();
+        let (_sim, mut db) = setup();
         let t = micro_table(&mut db);
-        db.begin();
-        db.insert(t, 1, &[Value::Long(1), Value::Long(100)])
-            .unwrap();
-        db.commit().unwrap();
+        let mut s = db.session(0);
+        s.begin();
+        s.insert(t, 1, &[Value::Long(1), Value::Long(100)]).unwrap();
+        s.commit().unwrap();
 
-        db.begin();
-        assert_eq!(db.read(t, 1).unwrap().unwrap()[1], Value::Long(100));
-        assert!(db.update(t, 1, &mut |r| r[1] = Value::Long(200)).unwrap());
-        assert_eq!(db.read(t, 1).unwrap().unwrap()[1], Value::Long(200));
-        assert!(db.delete(t, 1).unwrap());
-        assert!(db.read(t, 1).unwrap().is_none());
-        db.commit().unwrap();
+        s.begin();
+        assert_eq!(s.read(t, 1).unwrap().unwrap()[1], Value::Long(100));
+        assert!(s.update(t, 1, &mut |r| r[1] = Value::Long(200)).unwrap());
+        assert_eq!(s.read(t, 1).unwrap().unwrap()[1], Value::Long(200));
+        assert!(s.delete(t, 1).unwrap());
+        assert!(s.read(t, 1).unwrap().is_none());
+        s.commit().unwrap();
         assert_eq!(db.row_count(t), 0);
     }
 
     #[test]
     fn duplicate_insert_fails_cleanly() {
-        let mut db = setup();
+        let (_sim, mut db) = setup();
         let t = micro_table(&mut db);
-        db.begin();
-        db.insert(t, 5, &[Value::Long(5), Value::Long(1)]).unwrap();
-        let err = db
+        let mut s = db.session(0);
+        s.begin();
+        s.insert(t, 5, &[Value::Long(5), Value::Long(1)]).unwrap();
+        let err = s
             .insert(t, 5, &[Value::Long(5), Value::Long(2)])
             .unwrap_err();
         assert!(matches!(err, OltpError::DuplicateKey { .. }));
-        db.commit().unwrap();
+        s.commit().unwrap();
         assert_eq!(db.row_count(t), 1);
-        db.begin();
-        assert_eq!(db.read(t, 5).unwrap().unwrap()[1], Value::Long(1));
-        db.commit().unwrap();
+        s.begin();
+        assert_eq!(s.read(t, 5).unwrap().unwrap()[1], Value::Long(1));
+        s.commit().unwrap();
     }
 
     #[test]
     fn scan_in_key_order() {
-        let mut db = setup();
+        let (_sim, mut db) = setup();
         let t = micro_table(&mut db);
-        db.begin();
+        let mut s = db.session(0);
+        s.begin();
         for k in (0..50u64).rev() {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64 * 10)])
+            s.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64 * 10)])
                 .unwrap();
         }
-        db.commit().unwrap();
-        db.begin();
+        s.commit().unwrap();
+        s.begin();
         let mut seen = Vec::new();
-        db.scan(t, 10, 19, &mut |k, row| {
+        s.scan(t, 10, 19, &mut |k, row| {
             seen.push((k, row[1].long()));
             true
         })
         .unwrap();
-        db.commit().unwrap();
+        s.commit().unwrap();
         assert_eq!(seen.len(), 10);
         assert_eq!(seen[0], (10, 100));
         assert!(seen.windows(2).all(|w| w[0].0 < w[1].0));
@@ -556,53 +679,76 @@ mod tests {
 
     #[test]
     fn ops_outside_txn_rejected() {
-        let mut db = setup();
+        let (_sim, mut db) = setup();
         let t = micro_table(&mut db);
+        let mut s = db.session(0);
         assert_eq!(
-            db.insert(t, 1, &[Value::Long(1), Value::Long(1)])
+            s.insert(t, 1, &[Value::Long(1), Value::Long(1)])
                 .unwrap_err(),
             OltpError::NoActiveTxn
         );
-        assert_eq!(db.commit().unwrap_err(), OltpError::NoActiveTxn);
-        db.abort(); // no-op without a txn
+        assert_eq!(s.commit().unwrap_err(), OltpError::NoActiveTxn);
+        s.abort(); // no-op without a txn
     }
 
     #[test]
     fn locks_released_at_commit() {
-        let mut db = setup();
+        let (_sim, mut db) = setup();
         let t = micro_table(&mut db);
-        db.begin();
-        db.insert(t, 1, &[Value::Long(1), Value::Long(1)]).unwrap();
-        db.commit().unwrap();
-        assert_eq!(db.locks.entries(), 0);
-        db.begin();
-        let _ = db.read(t, 1).unwrap();
-        assert!(db.locks.entries() > 0);
-        db.commit().unwrap();
-        assert_eq!(db.locks.entries(), 0);
+        let mut s = db.session(0);
+        s.begin();
+        s.insert(t, 1, &[Value::Long(1), Value::Long(1)]).unwrap();
+        s.commit().unwrap();
+        assert_eq!(db.lock_entries(), 0);
+        s.begin();
+        let _ = s.read(t, 1).unwrap();
+        assert!(db.lock_entries() > 0);
+        s.commit().unwrap();
+        assert_eq!(db.lock_entries(), 0);
+    }
+
+    #[test]
+    fn concurrent_row_lock_conflicts_surface_as_conflict() {
+        let (_sim, mut db) = setup();
+        let t = micro_table(&mut db);
+        let mut a = db.session(0);
+        a.begin();
+        a.insert(t, 1, &[Value::Long(1), Value::Long(1)]).unwrap();
+        a.commit().unwrap();
+
+        let mut b = db.session(0);
+        a.begin();
+        b.begin();
+        assert!(a.update(t, 1, &mut |r| r[1] = Value::Long(2)).unwrap());
+        let err = b.update(t, 1, &mut |r| r[1] = Value::Long(3)).unwrap_err();
+        assert_eq!(err, OltpError::Conflict { table: t, key: 1 });
+        b.abort();
+        a.commit().unwrap();
     }
 
     #[test]
     fn wal_sees_commit_records() {
-        let mut db = setup();
+        let (_sim, mut db) = setup();
         let t = micro_table(&mut db);
-        db.wal.retain_records(true);
-        db.begin();
-        db.insert(t, 9, &[Value::Long(9), Value::Long(9)]).unwrap();
-        db.commit().unwrap();
-        let kinds: Vec<LogKind> = db.wal.records().iter().map(|r| r.kind).collect();
+        db.retain_log();
+        let mut s = db.session(0);
+        s.begin();
+        s.insert(t, 9, &[Value::Long(9), Value::Long(9)]).unwrap();
+        s.commit().unwrap();
+        let kinds: Vec<LogKind> = db.log_records().iter().map(|r| r.kind).collect();
         assert_eq!(kinds, [LogKind::Begin, LogKind::Insert, LogKind::Commit]);
     }
 
     #[test]
     fn activity_is_attributed_to_engine_modules() {
-        let mut db = setup();
+        let (sim, mut db) = setup();
         let t = micro_table(&mut db);
-        db.begin();
-        db.insert(t, 1, &[Value::Long(1), Value::Long(1)]).unwrap();
-        db.commit().unwrap();
-        let counters = db.sim.module_counters(0);
-        let names = db.sim.module_names();
+        let mut s = db.session(0);
+        s.begin();
+        s.insert(t, 1, &[Value::Long(1), Value::Long(1)]).unwrap();
+        s.commit().unwrap();
+        let counters = sim.module_counters(0);
+        let names = sim.module_names();
         let active: Vec<&str> = names
             .iter()
             .zip(&counters)

@@ -8,10 +8,22 @@
 //! instruction stalls sit well above HyPer's though below the disk-based
 //! systems'. Its tree index is "a traditional B-tree with node size tuned
 //! to the last-level cache line size", our [`CcBTree`].
+//!
+//! Concurrency model: each [`Session`] maps its core onto one data
+//! partition (`core % partitions`). Partitions are independent
+//! `Mutex`-guarded islands — in the paper's deployment (one worker per
+//! partition) the mutexes are uncontended and workers proceed fully in
+//! parallel. If more workers than partitions are opened, a no-wait
+//! owner-claim scheme makes the serial-execution rule visible: the first
+//! transaction to touch a partition owns it until commit/abort, and any
+//! other transaction's operation fails with [`OltpError::Conflict`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use indexes::{CcBTree, Index};
 use obs::Phase;
-use oltp::{tuple, Db, OltpError, OltpResult, Row, TableDef, TableId, Value};
+use oltp::{tuple, Db, OltpError, OltpResult, Row, Session, TableDef, TableId, Value};
 use storage::{LogKind, MemStore, RowId, TxnId, TxnManager, Wal};
 use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
 
@@ -61,22 +73,37 @@ struct PTable {
     str_key: bool,
 }
 
-struct Partition {
+/// One partition's private state: its table replicas, its command log, and
+/// the single-sited execution claim.
+struct PartState {
     tables: Vec<PTable>,
+    /// One command/redo log per partition (no shared log-buffer lines).
+    wal: Wal,
+    /// The transaction currently executing on this partition, if any
+    /// (serial execution: one transaction at a time per partition).
+    owner: Option<TxnId>,
+}
+
+struct Shared {
+    sim: Sim,
+    m: Mods,
+    defs: RwLock<Vec<TableDef>>,
+    parts: Vec<Mutex<PartState>>,
+    tm: Mutex<TxnManager>,
+    single_sited: AtomicBool,
 }
 
 /// The VoltDB engine. See the module docs.
 pub struct VoltDb {
-    sim: Sim,
+    shared: Arc<Shared>,
+}
+
+/// One worker's connection to a [`VoltDb`] engine, pinned to the partition
+/// `core % partitions`.
+pub struct VoltDbSession {
+    shared: Arc<Shared>,
     core: usize,
-    m: Mods,
-    defs: Vec<TableDef>,
-    partitions: Vec<Partition>,
-    /// One command/redo log per partition (no shared log-buffer lines).
-    wals: Vec<Wal>,
-    tm: TxnManager,
     cur: Option<TxnId>,
-    single_sited: bool,
     ops_in_txn: u32,
 }
 
@@ -138,20 +165,22 @@ impl VoltDb {
         };
         let mem = sim.mem(0);
         VoltDb {
-            core: 0,
-            m,
-            defs: Vec::new(),
-            partitions: (0..partitions)
-                .map(|_| Partition { tables: Vec::new() })
-                .collect(),
-            wals: (0..partitions)
-                .map(|_| Wal::new(&mem, 1 << 20, 16))
-                .collect(),
-            tm: TxnManager::new(),
-            cur: None,
-            single_sited: true,
-            ops_in_txn: 0,
-            sim: sim.clone(),
+            shared: Arc::new(Shared {
+                m,
+                defs: RwLock::new(Vec::new()),
+                parts: (0..partitions)
+                    .map(|_| {
+                        Mutex::new(PartState {
+                            tables: Vec::new(),
+                            wal: Wal::new(&mem, 1 << 20, 16),
+                            owner: None,
+                        })
+                    })
+                    .collect(),
+                tm: Mutex::new(TxnManager::new()),
+                single_sited: AtomicBool::new(true),
+                sim: sim.clone(),
+            }),
         }
     }
 
@@ -160,15 +189,17 @@ impl VoltDb {
     /// costing VoltDB ~60% more instruction stalls; `figures
     /// ablation-voltdb-mp` reproduces it.
     pub fn set_single_sited(&mut self, yes: bool) {
-        self.single_sited = yes;
+        self.shared.single_sited.store(yes, Ordering::Relaxed);
     }
+}
 
+impl VoltDbSession {
     fn mem(&self, module: ModuleId) -> Mem {
-        self.sim.mem(self.core).with_module(module)
+        self.shared.sim.mem(self.core).with_module(module)
     }
 
     fn part(&self) -> usize {
-        self.core % self.partitions.len()
+        self.core % self.shared.parts.len()
     }
 
     fn txn(&self) -> OltpResult<TxnId> {
@@ -176,10 +207,26 @@ impl VoltDb {
     }
 
     fn table(&self, t: TableId) -> OltpResult<usize> {
-        if (t.0 as usize) < self.defs.len() {
+        if (t.0 as usize) < self.shared.defs.read().unwrap().len() {
             Ok(t.0 as usize)
         } else {
             Err(OltpError::NoSuchTable(t))
+        }
+    }
+
+    /// Serial-execution claim: the first transaction to touch a partition
+    /// owns it until commit/abort; any other transaction's operation is a
+    /// no-wait [`OltpError::Conflict`]. Never fires in the paper's
+    /// one-worker-per-partition deployment.
+    fn claim(&self, part: &mut PartState, t: TableId, key: u64) -> OltpResult<()> {
+        let Some(txn) = self.cur else { return Ok(()) };
+        match part.owner {
+            None => {
+                part.owner = Some(txn);
+                Ok(())
+            }
+            Some(o) if o == txn => Ok(()),
+            Some(_) => Err(OltpError::Conflict { table: t, key }),
         }
     }
 
@@ -193,25 +240,26 @@ impl VoltDb {
             cost::PLAN_OP_NEXT
         };
         self.ops_in_txn += 1;
-        self.mem(self.m.plan).exec(n);
-        self.mem(self.m.ee).exec(cost::EE_OP);
+        self.mem(self.shared.m.plan).exec(n);
+        self.mem(self.shared.m.ee).exec(cost::EE_OP);
     }
 
     /// Value-processing instructions proportional to the row bytes
     /// (interpreted copy/compare loops; the §6.2 data-type effect).
     fn value_work(&self, bytes: usize) {
-        self.mem(self.m.ee)
+        self.mem(self.shared.m.ee)
             .exec(bytes as u64 * cost::VALUE_PER_BYTE);
     }
 
     /// Extra key-comparison instructions for string-keyed tables: each
     /// level of the descent compares ~50-byte keys in a tight loop that
     /// re-uses the lines the probe already touched.
-    fn key_work(&self, p: usize, ti: usize) {
-        let t = &self.partitions[p].tables[ti];
+    fn key_work(&self, part: &PartState, ti: usize) {
+        let t = &part.tables[ti];
         if t.str_key {
             let h = u64::from(t.index.stats().height);
-            self.mem(self.m.index).exec(h * cost::STR_CMP_PER_LEVEL);
+            self.mem(self.shared.m.index)
+                .exec(h * cost::STR_CMP_PER_LEVEL);
         }
     }
 }
@@ -221,33 +269,25 @@ impl Db for VoltDb {
         "VoltDB"
     }
 
-    fn set_core(&mut self, core: usize) {
-        assert!(core < self.sim.cores());
-        self.core = core;
-    }
-
-    fn core(&self) -> usize {
-        self.core
-    }
-
     fn partitions(&self) -> usize {
-        self.partitions.len()
+        self.shared.parts.len()
     }
 
     fn create_table(&mut self, def: TableDef) -> TableId {
-        let id = TableId(self.defs.len() as u32);
-        self.defs.push(def);
-        for (p, part) in self.partitions.iter_mut().enumerate() {
-            let mem = self.sim.mem(p % self.sim.cores()).with_module(self.m.index);
-            let str_key = matches!(
-                self.defs[id.0 as usize]
-                    .schema
-                    .columns()
-                    .first()
-                    .map(|c| c.ty),
-                Some(oltp::DataType::Str)
-            );
-            part.tables.push(PTable {
+        let defs = &mut *self.shared.defs.write().unwrap();
+        let id = TableId(defs.len() as u32);
+        defs.push(def);
+        let str_key = matches!(
+            defs[id.0 as usize].schema.columns().first().map(|c| c.ty),
+            Some(oltp::DataType::Str)
+        );
+        for (p, part) in self.shared.parts.iter().enumerate() {
+            let mem = self
+                .shared
+                .sim
+                .mem(p % self.shared.sim.cores())
+                .with_module(self.shared.m.index);
+            part.lock().unwrap().tables.push(PTable {
                 store: MemStore::new(),
                 index: CcBTree::new(&mem),
                 str_key,
@@ -256,49 +296,97 @@ impl Db for VoltDb {
         id
     }
 
+    fn row_count(&self, t: TableId) -> u64 {
+        self.shared
+            .parts
+            .iter()
+            .map(|p| {
+                p.lock()
+                    .unwrap()
+                    .tables
+                    .get(t.0 as usize)
+                    .map_or(0, |tb| tb.store.live())
+            })
+            .sum()
+    }
+
+    fn session(&self, core: usize) -> Box<dyn Session> {
+        assert!(core < self.shared.sim.cores());
+        Box::new(VoltDbSession {
+            shared: Arc::clone(&self.shared),
+            core,
+            cur: None,
+            ops_in_txn: 0,
+        })
+    }
+}
+
+impl Session for VoltDbSession {
+    fn name(&self) -> &'static str {
+        "VoltDB"
+    }
+
+    fn core(&self) -> usize {
+        self.core
+    }
+
     fn begin(&mut self) {
         assert!(self.cur.is_none(), "transaction already active");
-        let (txn, _) = self.tm.begin();
+        let (txn, _) = self.shared.tm.lock().unwrap().begin();
         self.cur = Some(txn);
         self.ops_in_txn = 0;
         let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
-        self.mem(self.m.net).exec(cost::NET_RECV);
-        self.mem(self.m.java_rt).exec(cost::RT_BEGIN);
-        self.mem(self.m.dispatch).exec(cost::DISPATCH);
-        if !self.single_sited {
-            self.mem(self.m.mp_coord).exec(cost::MP_COORD);
+        self.mem(self.shared.m.net).exec(cost::NET_RECV);
+        self.mem(self.shared.m.java_rt).exec(cost::RT_BEGIN);
+        self.mem(self.shared.m.dispatch).exec(cost::DISPATCH);
+        if !self.shared.single_sited.load(Ordering::Relaxed) {
+            self.mem(self.shared.m.mp_coord).exec(cost::MP_COORD);
         }
     }
 
     fn commit(&mut self) -> OltpResult<()> {
         let txn = self.txn()?;
+        let shared = Arc::clone(&self.shared);
         let _c = obs::span(ENGINE, Phase::Commit, self.core);
-        self.mem(self.m.java_rt).exec(cost::COMMIT);
-        if !self.single_sited {
-            self.mem(self.m.mp_coord).exec(cost::MP_COMMIT);
+        self.mem(self.shared.m.java_rt).exec(cost::COMMIT);
+        if !self.shared.single_sited.load(Ordering::Relaxed) {
+            self.mem(self.shared.m.mp_coord).exec(cost::MP_COMMIT);
         }
         let _l = obs::span(ENGINE, Phase::Log, self.core);
-        let mem = self.mem(self.m.clog);
+        let mem = self.mem(self.shared.m.clog);
         mem.exec(cost::CLOG);
-        let p = self.part();
-        self.wals[p].append(&mem, txn, LogKind::Commit, 32);
+        let part = &mut *shared.parts[self.part()].lock().unwrap();
+        part.wal.append(&mem, txn, LogKind::Commit, 32);
+        if part.owner == Some(txn) {
+            part.owner = None;
+        }
         self.cur = None;
         Ok(())
     }
 
     fn abort(&mut self) {
-        if self.cur.take().is_some() {
+        if let Some(txn) = self.cur.take() {
             let _c = obs::span(ENGINE, Phase::Commit, self.core);
-            self.mem(self.m.java_rt).exec(cost::ABORT);
+            self.mem(self.shared.m.java_rt).exec(cost::ABORT);
+            let part = &mut *self.shared.parts[self.part()].lock().unwrap();
+            if part.owner == Some(txn) {
+                part.owner = None;
+            }
         }
     }
 
     fn insert(&mut self, t: TableId, key: u64, row: &[Value]) -> OltpResult<()> {
+        let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
         self.txn()?;
-        debug_assert!(self.defs[ti].schema.check(row), "row/schema mismatch");
+        debug_assert!(
+            shared.defs.read().unwrap()[ti].schema.check(row),
+            "row/schema mismatch"
+        );
         self.op_overhead();
         let p = self.part();
+        let part = &mut *shared.parts[p].lock().unwrap();
+        self.claim(part, t, key)?;
         let encoded = tuple::encode(row);
         {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
@@ -306,11 +394,11 @@ impl Db for VoltDb {
         }
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            self.key_work(p, ti);
+            self.key_work(part, ti);
         }
-        let mem_store = self.mem(self.m.store);
-        let mem_index = self.mem(self.m.index);
-        let table = &mut self.partitions[p].tables[ti];
+        let mem_store = self.mem(self.shared.m.store);
+        let mem_index = self.mem(self.shared.m.index);
+        let table = &mut part.tables[ti];
         let id = {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
             table.store.insert(&mem_store, encoded)
@@ -328,16 +416,19 @@ impl Db for VoltDb {
     }
 
     fn read_with(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&[Value])) -> OltpResult<bool> {
+        let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
         self.op_overhead();
         let p = self.part();
+        let part = &mut *shared.parts[p].lock().unwrap();
+        self.claim(part, t, key)?;
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            self.key_work(p, ti);
+            self.key_work(part, ti);
         }
-        let mem_index = self.mem(self.m.index);
-        let mem_store = self.mem(self.m.store);
-        let table = &mut self.partitions[p].tables[ti];
+        let mem_index = self.mem(self.shared.m.index);
+        let mem_store = self.mem(self.shared.m.store);
+        let table = &mut part.tables[ti];
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             table.index.get(&mem_index, key)
@@ -365,17 +456,20 @@ impl Db for VoltDb {
     }
 
     fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
+        let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
         self.txn()?;
         self.op_overhead();
         let p = self.part();
+        let part = &mut *shared.parts[p].lock().unwrap();
+        self.claim(part, t, key)?;
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
-            self.key_work(p, ti);
+            self.key_work(part, ti);
         }
-        let mem_index = self.mem(self.m.index);
-        let mem_store = self.mem(self.m.store);
-        let table = &mut self.partitions[p].tables[ti];
+        let mem_index = self.mem(self.shared.m.index);
+        let mem_store = self.mem(self.shared.m.store);
+        let table = &mut part.tables[ti];
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             table.index.get(&mem_index, key)
@@ -393,11 +487,14 @@ impl Db for VoltDb {
         }
         let Some(mut row) = row else { return Ok(false) };
         f(&mut row);
-        debug_assert!(self.defs[ti].schema.check(&row), "row/schema mismatch");
+        debug_assert!(
+            shared.defs.read().unwrap()[ti].schema.check(&row),
+            "row/schema mismatch"
+        );
         let encoded = tuple::encode(&row);
         let _s = obs::span(ENGINE, Phase::Storage, self.core);
         self.value_work(encoded.len() * 2);
-        let table = &mut self.partitions[p].tables[ti];
+        let table = &mut part.tables[ti];
         table.store.update(&mem_store, id, encoded);
         Ok(true)
     }
@@ -409,12 +506,15 @@ impl Db for VoltDb {
         hi: u64,
         f: &mut dyn FnMut(u64, &[Value]) -> bool,
     ) -> OltpResult<u64> {
+        let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
         self.op_overhead();
         let p = self.part();
-        let mem_index = self.mem(self.m.index);
-        let mem_store = self.mem(self.m.store);
-        let table = &mut self.partitions[p].tables[ti];
+        let part = &mut *shared.parts[p].lock().unwrap();
+        self.claim(part, t, lo)?;
+        let mem_index = self.mem(self.shared.m.index);
+        let mem_store = self.mem(self.shared.m.store);
+        let table = &mut part.tables[ti];
         let mut pairs: Vec<(u64, u64)> = Vec::new();
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
@@ -435,11 +535,10 @@ impl Db for VoltDb {
                     bytes = d.len();
                     decoded = tuple::decode(d).ok();
                 });
-            // Value processing happens in the EE module, but `table` holds
-            // a partition borrow — route via the store port's module
-            // switch instead.
+            // Value processing happens in the EE module — route via the
+            // store port's module switch.
             mem_store
-                .with_module(self.m.ee)
+                .with_module(self.shared.m.ee)
                 .exec(bytes as u64 * cost::VALUE_PER_BYTE);
             if let Some(row) = decoded {
                 visited += 1;
@@ -452,13 +551,16 @@ impl Db for VoltDb {
     }
 
     fn delete(&mut self, t: TableId, key: u64) -> OltpResult<bool> {
+        let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
         self.txn()?;
         self.op_overhead();
         let p = self.part();
-        let mem_index = self.mem(self.m.index);
-        let mem_store = self.mem(self.m.store);
-        let table = &mut self.partitions[p].tables[ti];
+        let part = &mut *shared.parts[p].lock().unwrap();
+        self.claim(part, t, key)?;
+        let mem_index = self.mem(self.shared.m.index);
+        let mem_store = self.mem(self.shared.m.store);
+        let table = &mut part.tables[ti];
         let removed = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             table.index.remove(&mem_index, key)
@@ -469,13 +571,6 @@ impl Db for VoltDb {
         let _s = obs::span(ENGINE, Phase::Storage, self.core);
         table.store.delete(&mem_store, RowId::from_u64(payload));
         Ok(true)
-    }
-
-    fn row_count(&self, t: TableId) -> u64 {
-        self.partitions
-            .iter()
-            .map(|p| p.tables.get(t.0 as usize).map_or(0, |tb| tb.store.live()))
-            .sum()
     }
 }
 
@@ -501,13 +596,14 @@ mod tests {
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
         let mut db = VoltDb::new(&sim, 1);
         let t = db.create_table(table_def());
-        db.begin();
-        db.insert(t, 1, &[Value::Long(1), Value::Long(10)]).unwrap();
-        assert!(db.update(t, 1, &mut |r| r[1] = Value::Long(20)).unwrap());
-        assert_eq!(db.read(t, 1).unwrap().unwrap()[1], Value::Long(20));
-        assert!(db.delete(t, 1).unwrap());
-        assert!(!db.delete(t, 1).unwrap());
-        db.commit().unwrap();
+        let mut s = db.session(0);
+        s.begin();
+        s.insert(t, 1, &[Value::Long(1), Value::Long(10)]).unwrap();
+        assert!(s.update(t, 1, &mut |r| r[1] = Value::Long(20)).unwrap());
+        assert_eq!(s.read(t, 1).unwrap().unwrap()[1], Value::Long(20));
+        assert!(s.delete(t, 1).unwrap());
+        assert!(!s.delete(t, 1).unwrap());
+        s.commit().unwrap();
     }
 
     #[test]
@@ -516,21 +612,20 @@ mod tests {
         let mut db = VoltDb::new(&sim, 2);
         let t = db.create_table(table_def());
         // Same key on two partitions: independent rows.
-        db.set_core(0);
-        db.begin();
-        db.insert(t, 7, &[Value::Long(7), Value::Long(100)])
+        let mut s0 = db.session(0);
+        let mut s1 = db.session(1);
+        s0.begin();
+        s0.insert(t, 7, &[Value::Long(7), Value::Long(100)])
             .unwrap();
-        db.commit().unwrap();
-        db.set_core(1);
-        db.begin();
-        db.insert(t, 7, &[Value::Long(7), Value::Long(200)])
+        s0.commit().unwrap();
+        s1.begin();
+        s1.insert(t, 7, &[Value::Long(7), Value::Long(200)])
             .unwrap();
-        assert_eq!(db.read(t, 7).unwrap().unwrap()[1], Value::Long(200));
-        db.commit().unwrap();
-        db.set_core(0);
-        db.begin();
-        assert_eq!(db.read(t, 7).unwrap().unwrap()[1], Value::Long(100));
-        db.commit().unwrap();
+        assert_eq!(s1.read(t, 7).unwrap().unwrap()[1], Value::Long(200));
+        s1.commit().unwrap();
+        s0.begin();
+        assert_eq!(s0.read(t, 7).unwrap().unwrap()[1], Value::Long(100));
+        s0.commit().unwrap();
         assert_eq!(db.row_count(t), 2);
     }
 
@@ -539,15 +634,41 @@ mod tests {
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
         let mut db = VoltDb::new(&sim, 1);
         let t = db.create_table(table_def());
-        db.begin();
+        let mut s = db.session(0);
+        s.begin();
         for k in 0..20u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)])
+            s.insert(t, k, &[Value::Long(k as i64), Value::Long(k as i64)])
                 .unwrap();
         }
-        db.commit().unwrap();
-        db.begin();
-        let n = db.scan(t, 5, 9, &mut |_, _| true).unwrap();
-        db.commit().unwrap();
+        s.commit().unwrap();
+        s.begin();
+        let n = s.scan(t, 5, 9, &mut |_, _| true).unwrap();
+        s.commit().unwrap();
         assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn partition_sharing_conflicts_under_no_wait_rule() {
+        // Two workers forced onto one partition: the serial-execution
+        // owner claim rejects the second transaction without waiting.
+        let sim = Sim::new(MachineConfig::ivy_bridge(2));
+        let mut db = VoltDb::new(&sim, 1);
+        let t = db.create_table(table_def());
+        let mut s0 = db.session(0);
+        let mut s1 = db.session(1);
+        s0.begin();
+        s0.insert(t, 1, &[Value::Long(1), Value::Long(0)]).unwrap();
+        s1.begin();
+        let err = s1
+            .insert(t, 2, &[Value::Long(2), Value::Long(0)])
+            .unwrap_err();
+        assert_eq!(err, OltpError::Conflict { table: t, key: 2 });
+        s1.abort();
+        s0.commit().unwrap();
+        // Partition released: the second worker can now proceed.
+        s1.begin();
+        s1.insert(t, 2, &[Value::Long(2), Value::Long(0)]).unwrap();
+        s1.commit().unwrap();
+        assert_eq!(db.row_count(t), 2);
     }
 }

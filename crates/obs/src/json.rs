@@ -228,13 +228,25 @@ fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so boundaries
-                // are valid).
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
+            Some(&byte) if byte < 0x80 => {
+                out.push(byte as char);
+                *pos += 1;
+            }
+            Some(&byte) => {
+                // Decode exactly one multi-byte UTF-8 scalar. Validating
+                // only this scalar (not the whole remaining input) keeps
+                // string parsing linear in the document size.
+                let len = match byte {
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| "truncated UTF-8 sequence".to_string())?;
+                let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+                out.push(s.chars().next().unwrap());
+                *pos += len;
             }
         }
     }
@@ -346,6 +358,13 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("{\"a\" 1}").is_err());
         assert!(parse("12 34").is_err());
+    }
+
+    #[test]
+    fn parses_multibyte_strings() {
+        let v = parse("{\"label\":\"µ-arch — ключ\"}").unwrap();
+        assert_eq!(v.get("label").unwrap().as_str(), Some("µ-arch — ключ"));
+        assert!(parse("\"\u{1f600}\"").is_ok());
     }
 
     #[test]

@@ -275,6 +275,37 @@ impl Tracer {
         }
     }
 
+    /// Ingest a span record that was closed on another thread's tracer:
+    /// folds it into this tracer's per-core aggregates/histograms and
+    /// forwards it to the sinks, exactly as if the span had closed here.
+    /// The multi-worker harness uses this to merge per-worker-thread span
+    /// streams (pre-sorted with [`merge_span_streams`]) into one exported
+    /// stream.
+    pub fn ingest(&self, rec: &SpanRecord) {
+        let mut inner = self.inner.borrow_mut();
+        {
+            let agg = inner.agg[rec.core]
+                .entry((rec.engine, rec.phase))
+                .or_default();
+            agg.count += 1;
+            agg.self_counts.add(&rec.self_counts);
+            agg.incl_counts.add(&rec.incl);
+        }
+        if rec.phase == Phase::Txn {
+            let cycles = (rec.end_cycles - rec.start_cycles).round() as u64;
+            inner.hists[rec.core]
+                .instructions
+                .record(rec.incl.instructions);
+            inner.hists[rec.core].cycles.record(cycles);
+            for i in 0..6 {
+                inner.hists[rec.core].misses[i].record(rec.incl.misses[i]);
+            }
+        }
+        for sink in &mut inner.sinks {
+            sink.record(rec);
+        }
+    }
+
     fn open(&self, engine: &'static str, phase: Phase, core: usize) -> u64 {
         let mut inner = self.inner.borrow_mut();
         let start = inner.sim.counters(core);
@@ -403,6 +434,23 @@ impl Drop for SpanGuard {
     }
 }
 
+/// Merge per-worker-thread span streams into one stream ordered by
+/// simulated time: `(start_cycles, core, seq)`. Each worker thread traces
+/// into its own [`Tracer`] (tracers are thread-local), collects its
+/// records through a [`sink::RingBufferSink`], and the harness merges the
+/// streams after joining the threads — sequence numbers are per-tracer, so
+/// the deterministic cycle timestamps are the primary sort key.
+pub fn merge_span_streams(streams: Vec<Vec<SpanRecord>>) -> Vec<SpanRecord> {
+    let mut all: Vec<SpanRecord> = streams.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        a.start_cycles
+            .total_cmp(&b.start_cycles)
+            .then(a.core.cmp(&b.core))
+            .then(a.seq.cmp(&b.seq))
+    });
+    all
+}
+
 /// Render an [`EventCounts`] as a JSON object (shared by the sinks).
 pub fn counts_json(c: &EventCounts) -> Json {
     Json::obj(vec![
@@ -507,6 +555,47 @@ mod tests {
         assert_eq!(txn.count, 1);
         assert_eq!(txn.incl_counts.instructions, 70);
         assert_eq!(win.hists.instructions.count(), 1);
+    }
+
+    #[test]
+    fn ingest_reproduces_foreign_tracer_aggregates() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(2));
+        // Two "worker" tracers, as the threaded harness would create.
+        let mut streams = Vec::new();
+        for core in 0..2 {
+            let worker = Tracer::new(&sim);
+            let ring = sink::RingBufferSink::new(64);
+            worker.add_sink(Box::new(ring.clone()));
+            install(worker);
+            {
+                let _t = span("X", Phase::Txn, core);
+                sim.mem(core).exec(100 * (core as u64 + 1));
+            }
+            uninstall();
+            streams.push(ring.records());
+        }
+        let merged = merge_span_streams(streams);
+        assert_eq!(merged.len(), 2);
+        assert!(merged
+            .windows(2)
+            .all(|w| w[0].start_cycles <= w[1].start_cycles));
+
+        let main = Tracer::new(&sim);
+        for rec in &merged {
+            main.ingest(rec);
+        }
+        let snap = main.snapshot();
+        let txn = &snap.phases[&("X", Phase::Txn)];
+        assert_eq!(txn.count, 2);
+        assert_eq!(txn.incl_counts.instructions, 300);
+        assert_eq!(snap.hists.instructions.count(), 2);
+        // Per-core aggregates stayed separate.
+        assert_eq!(
+            main.snapshot_core(1).phases[&("X", Phase::Txn)]
+                .incl_counts
+                .instructions,
+            200
+        );
     }
 
     #[test]

@@ -210,6 +210,40 @@ impl TraceSink for PerfettoSink {
     }
 }
 
+/// Unbounded thread-safe record buffer — the [`RingBufferSink`]'s `Send`
+/// counterpart for per-worker tracers running on their own OS threads.
+/// Box one clone into the worker's tracer, keep another on the harness
+/// thread, and drain the records after the workers join.
+#[derive(Clone, Default)]
+pub struct VecSink {
+    buf: std::sync::Arc<std::sync::Mutex<Vec<SpanRecord>>>,
+}
+
+impl VecSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain all records captured so far, in close order.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.buf.lock().unwrap())
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().unwrap().is_empty()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, rec: &SpanRecord) {
+        self.buf.lock().unwrap().push(rec.clone());
+    }
+}
+
 /// An `io::Write` target backed by a shared byte buffer — lets callers
 /// keep a handle to output a boxed sink writes (tests, post-run parsing).
 #[derive(Clone, Default)]

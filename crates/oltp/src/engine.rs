@@ -3,8 +3,19 @@
 //! The paper's benchmarks are pre-determined stored procedures (§2.1); the
 //! operations they need are exactly: begin/commit/abort, key-based
 //! insert/read/update/delete, and ordered range scans. Each of the five
-//! engine archetypes implements this trait over its own storage,
+//! engine archetypes implements this interface over its own storage,
 //! concurrency-control, and code-footprint model.
+//!
+//! The interface is split in two, mirroring the paper's deployment model
+//! (one worker thread per core/partition, §2.2):
+//!
+//! * [`Db`] — the shared engine: schema definition and bulk loading
+//!   (`&mut self`, single-threaded setup phase), plus [`Db::session`] to
+//!   open per-worker handles.
+//! * [`Session`] — a per-worker connection bound to one simulated core.
+//!   Sessions are `Send`: each worker thread owns one and drives
+//!   begin/commit and all data operations through it concurrently with
+//!   the other workers.
 
 use crate::schema::TableDef;
 use crate::value::Value;
@@ -16,6 +27,7 @@ pub type Row = Vec<Value>;
 
 /// Engine error type.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum OltpError {
     /// Insert with an existing key.
     DuplicateKey { table: TableId, key: u64 },
@@ -23,8 +35,13 @@ pub enum OltpError {
     NoSuchTable(TableId),
     /// A data operation arrived outside a transaction.
     NoActiveTxn,
-    /// The transaction was aborted (e.g. OCC validation failure).
+    /// The transaction was aborted for a logical reason (explicit rollback,
+    /// engine-internal policy).
     Aborted(&'static str),
+    /// The transaction lost a concurrency-control race on `key`: a lock
+    /// held by another transaction, an OCC validation failure, or a
+    /// partition owned by another single-sited transaction. Retryable.
+    Conflict { table: TableId, key: u64 },
     /// The engine does not support the operation (e.g. range scan on a
     /// hash index).
     Unsupported(&'static str),
@@ -39,6 +56,9 @@ impl std::fmt::Display for OltpError {
             OltpError::NoSuchTable(t) => write!(f, "no such table {}", t.0),
             OltpError::NoActiveTxn => write!(f, "no active transaction"),
             OltpError::Aborted(why) => write!(f, "transaction aborted: {why}"),
+            OltpError::Conflict { table, key } => {
+                write!(f, "conflict on key {key} in table {}", table.0)
+            }
             OltpError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }
     }
@@ -49,21 +69,14 @@ impl std::error::Error for OltpError {}
 /// Engine result type.
 pub type OltpResult<T> = Result<T, OltpError>;
 
-/// The database-engine interface.
+/// The shared database engine: schema and loading.
 ///
-/// Implementations route all their simulated instruction fetches and data
-/// accesses to the core selected by [`Db::set_core`]; partitioned engines
-/// (VoltDB, HyPer) additionally map the core to a data partition, matching
-/// the paper's one-worker-per-partition deployment.
+/// `Db` methods run during the single-threaded setup phase; all
+/// transactional work goes through per-worker [`Session`] handles opened
+/// with [`Db::session`].
 pub trait Db {
     /// Engine display name (as used in the paper's figures).
     fn name(&self) -> &'static str;
-
-    /// Bind subsequent operations to a simulated core / worker thread.
-    fn set_core(&mut self, core: usize);
-
-    /// Currently bound core.
-    fn core(&self) -> usize;
 
     /// Number of physical data partitions (1 for non-partitioned engines).
     /// Loaders replicate read-only tables (TPC-C's ITEM) per partition,
@@ -79,7 +92,28 @@ pub trait Db {
     /// structures). Default: nothing.
     fn finish_load(&mut self) {}
 
-    /// Begin a transaction on the bound core.
+    /// Number of live rows in `table` (loading/diagnostics; not required to
+    /// be transactional).
+    fn row_count(&self, table: TableId) -> u64;
+
+    /// Open a worker connection bound to simulated core `core`.
+    /// Partitioned engines (VoltDB, HyPer) additionally map the core to a
+    /// data partition, matching the paper's one-worker-per-partition
+    /// deployment. Any number of sessions may be open concurrently, each
+    /// owned by one thread.
+    fn session(&self, core: usize) -> Box<dyn Session>;
+}
+
+/// A per-worker connection: transaction control and data operations, bound
+/// to one simulated core for its whole lifetime.
+pub trait Session: Send {
+    /// Engine display name (for error messages and span attribution).
+    fn name(&self) -> &'static str;
+
+    /// The simulated core this session is bound to.
+    fn core(&self) -> usize;
+
+    /// Begin a transaction.
     fn begin(&mut self);
 
     /// Commit the active transaction.
@@ -118,10 +152,6 @@ pub trait Db {
     /// Delete the row under `key`; returns whether it existed.
     fn delete(&mut self, table: TableId, key: u64) -> OltpResult<bool>;
 
-    /// Number of live rows in `table` (loading/diagnostics; not required to
-    /// be transactional).
-    fn row_count(&self, table: TableId) -> u64;
-
     /// Convenience: read an owned copy of the row under `key`.
     fn read(&mut self, table: TableId, key: u64) -> OltpResult<Option<Row>> {
         let mut out = None;
@@ -134,17 +164,17 @@ pub trait Db {
 /// happy path). On closure error the transaction is aborted and the error
 /// propagated.
 pub fn run_txn<T>(
-    db: &mut dyn Db,
-    body: impl FnOnce(&mut dyn Db) -> OltpResult<T>,
+    s: &mut dyn Session,
+    body: impl FnOnce(&mut dyn Session) -> OltpResult<T>,
 ) -> OltpResult<T> {
-    db.begin();
-    match body(db) {
+    s.begin();
+    match body(s) {
         Ok(v) => {
-            db.commit()?;
+            s.commit()?;
             Ok(v)
         }
         Err(e) => {
-            db.abort();
+            s.abort();
             Err(e)
         }
     }
@@ -164,5 +194,10 @@ mod tests {
         assert!(OltpError::Aborted("validation")
             .to_string()
             .contains("validation"));
+        let c = OltpError::Conflict {
+            table: TableId(1),
+            key: 7,
+        };
+        assert_eq!(c.to_string(), "conflict on key 7 in table 1");
     }
 }

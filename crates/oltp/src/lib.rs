@@ -9,9 +9,12 @@
 //!   simulated address space);
 //! * [`keys`] — order-preserving composite-key packing into `u64`
 //!   (TPC-C's multi-column primary keys);
-//! * [`engine::Db`] — the engine interface the workloads drive: explicit
-//!   transaction boundaries plus key-based insert/read/update/scan/delete,
-//!   i.e. the operation set of the paper's stored procedures.
+//! * [`engine::Db`] / [`engine::Session`] — the engine interface the
+//!   workloads drive: `Db` covers schema and bulk loading, and each worker
+//!   thread opens a [`engine::Session`] (bound to one simulated core) for
+//!   explicit transaction boundaries plus key-based
+//!   insert/read/update/scan/delete, i.e. the operation set of the paper's
+//!   stored procedures.
 
 //! ```
 //! use oltp::KeyPack;
@@ -27,7 +30,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use engine::{Db, OltpError, OltpResult, Row, TableId};
+pub use engine::{run_txn, Db, OltpError, OltpResult, Row, Session, TableId};
 pub use keys::KeyPack;
 pub use schema::{Column, Schema, TableDef};
 pub use value::{DataType, Value};

@@ -6,8 +6,8 @@
 //! 1. **Analysis** — collect the set of committed transactions (a record
 //!    stream may end mid-transaction after a "crash"); losers are skipped.
 //! 2. **Redo** — re-apply the committed transactions' data records in LSN
-//!    order against a freshly created database through the ordinary
-//!    [`Db`] interface.
+//!    order against a freshly created database through an ordinary
+//!    [`Session`] handle.
 //!
 //! The paper's systems all run with asynchronous logging, so recovery is
 //! off the measured path; this module exists to make the WAL a *real* log
@@ -16,7 +16,7 @@
 
 use std::collections::HashSet;
 
-use oltp::{tuple, Db, OltpError, TableId};
+use oltp::{tuple, OltpError, Session, TableId};
 
 use crate::txn::TxnId;
 use crate::wal::{LogKind, LogRecord};
@@ -59,9 +59,10 @@ impl From<OltpError> for ReplayError {
     }
 }
 
-/// Replay `records` into `db`. The target must already have the same
-/// tables created (matching [`TableId`] order) and be otherwise empty.
-pub fn replay(records: &[LogRecord], db: &mut dyn Db) -> Result<ReplayStats, ReplayError> {
+/// Replay `records` through `s`, a session on the target database. The
+/// target must already have the same tables created (matching [`TableId`]
+/// order) and be otherwise empty.
+pub fn replay(records: &[LogRecord], s: &mut dyn Session) -> Result<ReplayStats, ReplayError> {
     // Pass 1: analysis — who committed?
     let winners: HashSet<TxnId> = records
         .iter()
@@ -92,23 +93,23 @@ pub fn replay(records: &[LogRecord], db: &mut dyn Db) -> Result<ReplayStats, Rep
                     // Interleaved logs from a single-writer engine should
                     // not happen; be safe and close the previous txn.
                     let _ = prev;
-                    db.commit()?;
+                    s.commit()?;
                 }
-                db.begin();
+                s.begin();
                 open = Some(r.txn);
             }
             LogKind::Insert => {
-                ensure_open(db, &mut open, r.txn);
+                ensure_open(s, &mut open, r.txn);
                 let redo = r.redo.as_ref().ok_or(ReplayError::MissingRedo(r.txn))?;
                 let row = tuple::decode(redo).map_err(|_| ReplayError::MissingRedo(r.txn))?;
-                db.insert(TableId(r.table), r.key, &row)?;
+                s.insert(TableId(r.table), r.key, &row)?;
                 stats.applied += 1;
             }
             LogKind::Update => {
-                ensure_open(db, &mut open, r.txn);
+                ensure_open(s, &mut open, r.txn);
                 let redo = r.redo.as_ref().ok_or(ReplayError::MissingRedo(r.txn))?;
                 let row = tuple::decode(redo).map_err(|_| ReplayError::MissingRedo(r.txn))?;
-                let updated = db.update(TableId(r.table), r.key, &mut |target| {
+                let updated = s.update(TableId(r.table), r.key, &mut |target| {
                     target.clone_from(&row);
                 })?;
                 if !updated {
@@ -119,13 +120,13 @@ pub fn replay(records: &[LogRecord], db: &mut dyn Db) -> Result<ReplayStats, Rep
                 stats.applied += 1;
             }
             LogKind::Delete => {
-                ensure_open(db, &mut open, r.txn);
-                db.delete(TableId(r.table), r.key)?;
+                ensure_open(s, &mut open, r.txn);
+                s.delete(TableId(r.table), r.key)?;
                 stats.applied += 1;
             }
             LogKind::Commit => {
                 if open.take().is_some() {
-                    db.commit()?;
+                    s.commit()?;
                 }
             }
             LogKind::Abort => {}
@@ -134,14 +135,14 @@ pub fn replay(records: &[LogRecord], db: &mut dyn Db) -> Result<ReplayStats, Rep
     if open.take().is_some() {
         // A committed txn whose Commit record we already counted but whose
         // Begin/Commit bracketing was truncated: close it.
-        db.commit()?;
+        s.commit()?;
     }
     Ok(stats)
 }
 
-fn ensure_open(db: &mut dyn Db, open: &mut Option<TxnId>, txn: TxnId) {
+fn ensure_open(s: &mut dyn Session, open: &mut Option<TxnId>, txn: TxnId) {
     if open.is_none() {
-        db.begin();
+        s.begin();
         *open = Some(txn);
     }
 }
@@ -166,7 +167,7 @@ mod tests {
         wal.append_data(mem, TxnId(txn), kind, 0, key, redo.as_ref(), 16);
     }
 
-    /// Minimal Db for replay tests: a BTreeMap behind the trait.
+    /// Minimal Session for replay tests: a BTreeMap behind the trait.
     struct MiniDb {
         rows: std::collections::BTreeMap<u64, Vec<Value>>,
         in_txn: bool,
@@ -181,16 +182,12 @@ mod tests {
         }
     }
 
-    impl Db for MiniDb {
+    impl Session for MiniDb {
         fn name(&self) -> &'static str {
             "mini"
         }
-        fn set_core(&mut self, _c: usize) {}
         fn core(&self) -> usize {
             0
-        }
-        fn create_table(&mut self, _def: oltp::TableDef) -> TableId {
-            TableId(0)
         }
         fn begin(&mut self) {
             assert!(!self.in_txn);
@@ -259,9 +256,6 @@ mod tests {
         }
         fn delete(&mut self, _t: TableId, key: u64) -> oltp::OltpResult<bool> {
             Ok(self.rows.remove(&key).is_some())
-        }
-        fn row_count(&self, _t: TableId) -> u64 {
-            self.rows.len() as u64
         }
     }
 

@@ -44,8 +44,7 @@ pub mod counters;
 pub mod machine;
 pub mod rng;
 
-use std::cell::{Ref, RefCell, RefMut};
-use std::rc::Rc;
+use std::sync::Arc;
 
 pub use code::{ModuleId, ModuleSpec};
 pub use config::MachineConfig;
@@ -58,37 +57,32 @@ pub const LINE: u64 = 64;
 
 /// Shared handle to a simulated machine.
 ///
-/// The simulator is single-threaded per experiment (experiments themselves
-/// can run on parallel OS threads, each with its own `Sim`), so a
-/// `Rc<RefCell<..>>` is sufficient and keeps the engine-side API free of
-/// lifetime plumbing.
+/// The machine is internally synchronized (per-core mutexes plus a shared
+/// LLC lock — see [`machine`]), so `Sim` is `Send + Sync`: worker threads
+/// clone the handle and drive their own cores concurrently, sharing the
+/// LLC and coherence traffic exactly like threads of one server process.
 #[derive(Clone)]
-pub struct Sim(Rc<RefCell<Machine>>);
+pub struct Sim(Arc<Machine>);
 
 impl Sim {
     /// Build a fresh machine with cold caches.
     pub fn new(cfg: MachineConfig) -> Self {
-        Sim(Rc::new(RefCell::new(Machine::new(cfg))))
+        Sim(Arc::new(Machine::new(cfg)))
     }
 
-    /// Borrow the underlying machine immutably.
-    pub fn machine(&self) -> Ref<'_, Machine> {
-        self.0.borrow()
-    }
-
-    /// Borrow the underlying machine mutably.
-    pub fn machine_mut(&self) -> RefMut<'_, Machine> {
-        self.0.borrow_mut()
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.0
     }
 
     /// Register a code module (allocates its code segment).
     pub fn register_module(&self, spec: ModuleSpec) -> ModuleId {
-        self.0.borrow_mut().register_module(spec)
+        self.0.register_module(spec)
     }
 
     /// Allocate simulated data memory.
     pub fn alloc(&self, size: u64, align: u64) -> u64 {
-        self.0.borrow_mut().alloc_data(size, align)
+        self.0.alloc_data(size, align)
     }
 
     /// A memory port bound to `core` (and, initially, to no code module).
@@ -102,40 +96,44 @@ impl Sim {
 
     /// Snapshot of the aggregate counters of `core`.
     pub fn counters(&self, core: usize) -> EventCounts {
-        self.0.borrow().counters(core).clone()
+        self.0.counters(core)
     }
 
     /// Snapshot of per-module counters of `core` (index = `ModuleId.0`).
     pub fn module_counters(&self, core: usize) -> Vec<EventCounts> {
-        self.0.borrow().module_counters(core).to_vec()
+        self.0.module_counters(core)
     }
 
     /// Human-readable module names in `ModuleId` order.
     pub fn module_names(&self) -> Vec<String> {
-        self.0.borrow().module_names()
+        self.0.module_names()
+    }
+
+    /// Spec of one module (for report attribution).
+    pub fn module_spec(&self, id: ModuleId) -> ModuleSpec {
+        self.0.module(id).spec
     }
 
     /// Full module specs in `ModuleId` order (for report attribution).
     pub fn module_specs(&self) -> Vec<ModuleSpec> {
-        let m = self.0.borrow();
-        (0..m.module_names().len())
-            .map(|i| m.module(ModuleId(i as u16)).spec.clone())
+        (0..self.0.module_names().len())
+            .map(|i| self.0.module(ModuleId(i as u16)).spec)
             .collect()
     }
 
     /// Machine configuration (cloned; it is small).
     pub fn config(&self) -> MachineConfig {
-        self.0.borrow().config().clone()
+        self.0.config().clone()
     }
 
     /// Number of simulated cores.
     pub fn cores(&self) -> usize {
-        self.0.borrow().cores()
+        self.0.cores()
     }
 
     /// Toggle offline (bulk-load) mode: suppresses all simulated traffic.
     pub fn set_offline(&self, offline: bool) {
-        self.0.borrow_mut().set_offline(offline);
+        self.0.set_offline(offline);
     }
 
     /// Run `f` with simulation suppressed (bulk loading).
@@ -149,7 +147,7 @@ impl Sim {
     /// Prime the LLC with the allocated data region (post-load warm-up;
     /// see [`Machine::warm_data`]).
     pub fn warm_data(&self) {
-        self.0.borrow_mut().warm_data();
+        self.0.warm_data();
     }
 }
 
@@ -202,10 +200,7 @@ impl Mem {
     /// Retire `n` instructions from this port's code module, streaming the
     /// corresponding instruction-cache line fetches.
     pub fn exec(&self, n: u64) {
-        self.sim
-            .0
-            .borrow_mut()
-            .fetch_code(self.core, self.module, n);
+        self.sim.0.fetch_code(self.core, self.module, n);
     }
 
     /// Simulated data load of `len` bytes at `addr` (touches every spanned
@@ -213,7 +208,6 @@ impl Mem {
     pub fn read(&self, addr: u64, len: u32) {
         self.sim
             .0
-            .borrow_mut()
             .data_access(self.core, self.module, addr, len, false);
     }
 
@@ -221,7 +215,6 @@ impl Mem {
     pub fn write(&self, addr: u64, len: u32) {
         self.sim
             .0
-            .borrow_mut()
             .data_access(self.core, self.module, addr, len, true);
     }
 

@@ -1,5 +1,19 @@
 //! The simulated machine: private per-core caches, a shared LLC with
 //! write-invalidation, the instruction-fetch walker, and event accounting.
+//!
+//! The machine is internally synchronized so concurrent worker threads can
+//! drive different cores through a shared handle: each core's private state
+//! sits behind its own mutex, the shared LLC behind another. Lock discipline
+//! (no deadlocks by construction):
+//!
+//! * a thread holds at most one *core* lock at a time;
+//! * the LLC lock may be taken while holding a core lock (core → LLC), never
+//!   the other way around;
+//! * coherence walks ([`Machine::invalidate_others`], back-invalidation)
+//!   lock other cores strictly one at a time while holding no other lock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, RwLock};
 
 use crate::addr::AddressSpace;
 use crate::cache::Cache;
@@ -51,11 +65,11 @@ pub const DATA_REGION_SIZE: u64 = 0x0F00_0000_0000;
 /// The full simulated machine. See the crate docs for the model.
 pub struct Machine {
     cfg: MachineConfig,
-    cores: Vec<Core>,
-    llc: Cache,
-    modules: ModuleRegistry,
-    data: AddressSpace,
-    offline: bool,
+    cores: Vec<Mutex<Core>>,
+    llc: Mutex<Cache>,
+    modules: RwLock<ModuleRegistry>,
+    data: Mutex<AddressSpace>,
+    offline: AtomicBool,
 }
 
 impl Machine {
@@ -63,14 +77,14 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Self {
         let modules = ModuleRegistry::new();
         let cores = (0..cfg.cores)
-            .map(|i| Core::new(&cfg, i, modules.len()))
+            .map(|i| Mutex::new(Core::new(&cfg, i, modules.len())))
             .collect();
         Machine {
-            llc: Cache::new(cfg.llc),
+            llc: Mutex::new(Cache::new(cfg.llc)),
             cores,
-            modules,
-            data: AddressSpace::new(DATA_REGION_BASE, DATA_REGION_SIZE),
-            offline: false,
+            modules: RwLock::new(modules),
+            data: Mutex::new(AddressSpace::new(DATA_REGION_BASE, DATA_REGION_SIZE)),
+            offline: AtomicBool::new(false),
             cfg,
         }
     }
@@ -79,13 +93,13 @@ impl Machine {
     /// accesses (address allocation still works). Used for bulk loading:
     /// the paper populates databases before attaching the profiler, and a
     /// warm-up window re-establishes cache state afterwards.
-    pub fn set_offline(&mut self, offline: bool) {
-        self.offline = offline;
+    pub fn set_offline(&self, offline: bool) {
+        self.offline.store(offline, Ordering::Relaxed);
     }
 
     /// Whether the machine is in offline (bulk-load) mode.
     pub fn offline(&self) -> bool {
-        self.offline
+        self.offline.load(Ordering::Relaxed)
     }
 
     /// Machine configuration.
@@ -99,28 +113,31 @@ impl Machine {
     }
 
     /// Register a code module; all cores see it.
-    pub fn register_module(&mut self, spec: ModuleSpec) -> ModuleId {
-        let id = self.modules.register(spec);
-        let n = self.modules.len();
-        for c in &mut self.cores {
-            c.grow_modules(n);
+    pub fn register_module(&self, spec: ModuleSpec) -> ModuleId {
+        let mut reg = self.modules.write().unwrap();
+        let id = reg.register(spec);
+        let n = reg.len();
+        for c in &self.cores {
+            c.lock().unwrap().grow_modules(n);
         }
         id
     }
 
     /// Module names in id order.
     pub fn module_names(&self) -> Vec<String> {
-        self.modules.names()
+        self.modules.read().unwrap().names()
     }
 
-    /// Module spec lookup.
-    pub fn module(&self, id: ModuleId) -> &Module {
-        self.modules.get(id)
+    /// Module lookup (cloned; specs are small and read-mostly).
+    pub fn module(&self, id: ModuleId) -> Module {
+        self.modules.read().unwrap().get(id).clone()
     }
 
     /// Ids of modules flagged `engine_side`.
     pub fn engine_side_modules(&self) -> Vec<ModuleId> {
         self.modules
+            .read()
+            .unwrap()
             .iter()
             .filter(|(_, m)| m.spec.engine_side)
             .map(|(id, _)| id)
@@ -128,18 +145,18 @@ impl Machine {
     }
 
     /// Allocate simulated data memory.
-    pub fn alloc_data(&mut self, size: u64, align: u64) -> u64 {
-        self.data.alloc(size, align)
+    pub fn alloc_data(&self, size: u64, align: u64) -> u64 {
+        self.data.lock().unwrap().alloc(size, align)
     }
 
-    /// Aggregate counters of `core`.
-    pub fn counters(&self, core: usize) -> &EventCounts {
-        &self.cores[core].counts
+    /// Aggregate counters of `core` (snapshot).
+    pub fn counters(&self, core: usize) -> EventCounts {
+        self.cores[core].lock().unwrap().counts.clone()
     }
 
-    /// Per-module counters of `core`.
-    pub fn module_counters(&self, core: usize) -> &[EventCounts] {
-        &self.cores[core].module_counts
+    /// Per-module counters of `core` (snapshot).
+    pub fn module_counters(&self, core: usize) -> Vec<EventCounts> {
+        self.cores[core].lock().unwrap().module_counts.clone()
     }
 
     /// Retire `n` instructions of `module` on `core`, streaming the unique
@@ -153,12 +170,13 @@ impl Machine {
     /// property §4 of the paper measures. Far jumps (`branchiness`) break
     /// pure cyclic order so over-capacity footprints degrade smoothly
     /// instead of hitting the LRU cliff.
-    pub fn fetch_code(&mut self, core: usize, module: ModuleId, n: u64) {
-        if n == 0 || self.offline {
+    pub fn fetch_code(&self, core: usize, module: ModuleId, n: u64) {
+        if n == 0 || self.offline() {
             return;
         }
         let (base_line, seg_lines, reuse, branchiness) = {
-            let m = self.modules.get(module);
+            let reg = self.modules.read().unwrap();
+            let m = reg.get(module);
             (
                 m.base_line,
                 m.spec.lines(),
@@ -168,7 +186,8 @@ impl Machine {
         };
         let unique = (((n as f64) / (INSTRS_PER_LINE as f64 * reuse)).ceil() as u64).max(1);
 
-        let c = &mut self.cores[core];
+        let mut guard = self.cores[core].lock().unwrap();
+        let c = &mut *guard;
         c.counts.instructions += n;
         c.counts.code_fetches += n.div_ceil(INSTRS_PER_LINE);
         // Branch mispredictions scale with how branchy the module is
@@ -182,35 +201,33 @@ impl Machine {
         mc.mispredicts += mp;
 
         let prefetch = self.cfg.i_prefetch_next_line;
-        let mut cursor = self.cores[core].cursors[module.0 as usize] % seg_lines;
+        let mut cursor = c.cursors[module.0 as usize] % seg_lines;
         for _ in 0..unique {
             let line = base_line + cursor;
             // L1I -> L2 -> LLC
-            if !self.cores[core].l1i.access(line).hit {
-                Self::bump(&mut self.cores[core], module, StallEvent::L1i);
-                if !self.cores[core].l2.access(line).hit {
-                    Self::bump(&mut self.cores[core], module, StallEvent::L2i);
-                    if !self.llc.access(line).hit {
-                        Self::bump(&mut self.cores[core], module, StallEvent::LlcI);
+            if !c.l1i.access(line).hit {
+                Self::bump(c, module, StallEvent::L1i);
+                if !c.l2.access(line).hit {
+                    Self::bump(c, module, StallEvent::L2i);
+                    if !self.llc.lock().unwrap().access(line).hit {
+                        Self::bump(c, module, StallEvent::LlcI);
                     }
                 }
                 if prefetch && cursor + 1 < seg_lines {
                     // Pull the next line alongside the demand miss; no
                     // stall is charged for the prefetch itself.
-                    let c = &mut self.cores[core];
                     c.l1i.access(line + 1);
                     c.l2.access(line + 1);
-                    self.llc.access(line + 1);
+                    self.llc.lock().unwrap().access(line + 1);
                 }
             }
-            let c = &mut self.cores[core];
             if branchiness > 0.0 && c.rng.chance(branchiness) {
                 cursor = c.rng.next_below(seg_lines);
             } else {
                 cursor = (cursor + 1) % seg_lines;
             }
         }
-        self.cores[core].cursors[module.0 as usize] = cursor;
+        c.cursors[module.0 as usize] = cursor;
     }
 
     /// Perform a data access of `len` bytes at byte address `addr`
@@ -220,8 +237,8 @@ impl Machine {
     /// miss: the spatial/adjacent-line prefetcher of a real core streams
     /// the rest of a sequential object read behind it (they still fill the
     /// caches and count as prefetch fills, not stalls).
-    pub fn data_access(&mut self, core: usize, module: ModuleId, addr: u64, len: u32, store: bool) {
-        if self.offline {
+    pub fn data_access(&self, core: usize, module: ModuleId, addr: u64, len: u32, store: bool) {
+        if self.offline() {
             return;
         }
         let first = addr / LINE;
@@ -234,9 +251,10 @@ impl Machine {
 
     /// Fill `line` through the hierarchy without charging stall-class
     /// misses (hardware-prefetched trailing lines of a sequential read).
-    fn prefetch_line(&mut self, core: usize, module: ModuleId, line: u64, store: bool) {
+    fn prefetch_line(&self, core: usize, module: ModuleId, line: u64, store: bool) {
         {
-            let c = &mut self.cores[core];
+            let mut guard = self.cores[core].lock().unwrap();
+            let c = &mut *guard;
             if store {
                 c.counts.stores += 1;
                 c.module_counts[module.0 as usize].stores += 1;
@@ -244,20 +262,21 @@ impl Machine {
                 c.counts.loads += 1;
                 c.module_counts[module.0 as usize].loads += 1;
             }
-        }
-        let c = &mut self.cores[core];
-        if !c.l1d.access(line).hit {
-            c.l2.access(line);
-            self.llc.access(line);
+            if !c.l1d.access(line).hit {
+                c.l2.access(line);
+                self.llc.lock().unwrap().access(line);
+            }
         }
         if store && self.cores.len() > 1 {
             self.invalidate_others(core, line);
         }
     }
 
-    fn data_line(&mut self, core: usize, module: ModuleId, line: u64, store: bool) {
+    fn data_line(&self, core: usize, module: ModuleId, line: u64, store: bool) {
+        let mut victim = None;
         {
-            let c = &mut self.cores[core];
+            let mut guard = self.cores[core].lock().unwrap();
+            let c = &mut *guard;
             if store {
                 c.counts.stores += 1;
                 c.module_counts[module.0 as usize].stores += 1;
@@ -265,35 +284,37 @@ impl Machine {
                 c.counts.loads += 1;
                 c.module_counts[module.0 as usize].loads += 1;
             }
-        }
-        if store {
-            // Stores retire into the store buffer: the write-allocate fill
-            // updates the caches but produces no retirement stall, and the
-            // paper's counters are load events. Tracked separately.
-            let mut missed = false;
-            if !self.cores[core].l1d.access(line).hit {
-                missed = true;
-                if !self.cores[core].l2.access(line).hit && !self.llc.access(line).hit {}
-            }
-            if missed {
-                let c = &mut self.cores[core];
-                c.counts.store_misses += 1;
-                c.module_counts[module.0 as usize].store_misses += 1;
-            }
-        } else if !self.cores[core].l1d.access(line).hit {
-            Self::bump(&mut self.cores[core], module, StallEvent::L1d);
-            if !self.cores[core].l2.access(line).hit {
-                Self::bump(&mut self.cores[core], module, StallEvent::L2d);
-                let out = self.llc.access(line);
-                if !out.hit {
-                    Self::bump(&mut self.cores[core], module, StallEvent::LlcD);
-                    if self.cfg.inclusive_llc {
-                        if let Some(victim) = out.evicted {
-                            self.back_invalidate(victim);
+            if store {
+                // Stores retire into the store buffer: the write-allocate
+                // fill updates the caches but produces no retirement stall,
+                // and the paper's counters are load events. Tracked
+                // separately.
+                let mut missed = false;
+                if !c.l1d.access(line).hit {
+                    missed = true;
+                    if !c.l2.access(line).hit && !self.llc.lock().unwrap().access(line).hit {}
+                }
+                if missed {
+                    c.counts.store_misses += 1;
+                    c.module_counts[module.0 as usize].store_misses += 1;
+                }
+            } else if !c.l1d.access(line).hit {
+                Self::bump(c, module, StallEvent::L1d);
+                if !c.l2.access(line).hit {
+                    Self::bump(c, module, StallEvent::L2d);
+                    let out = self.llc.lock().unwrap().access(line);
+                    if !out.hit {
+                        Self::bump(c, module, StallEvent::LlcD);
+                        if self.cfg.inclusive_llc {
+                            victim = out.evicted;
                         }
                     }
                 }
             }
+        }
+        // Inclusive-LLC back-invalidation runs with no core lock held.
+        if let Some(v) = victim {
+            self.back_invalidate(v);
         }
         // Write-invalidation: a store by one core removes the line from
         // every other core's private caches (MESI downgrade-to-invalid).
@@ -302,12 +323,12 @@ impl Machine {
         }
     }
 
-    fn invalidate_others(&mut self, core: usize, line: u64) {
+    fn invalidate_others(&self, core: usize, line: u64) {
         for other in 0..self.cores.len() {
             if other == core {
                 continue;
             }
-            let oc = &mut self.cores[other];
+            let mut oc = self.cores[other].lock().unwrap();
             let invalidated = oc.l1d.invalidate(line) | oc.l2.invalidate(line);
             if invalidated {
                 oc.counts.invalidations += 1;
@@ -317,8 +338,9 @@ impl Machine {
 
     /// Inclusive-LLC back-invalidation: drop the victim line from every
     /// private cache.
-    fn back_invalidate(&mut self, line: u64) {
-        for c in &mut self.cores {
+    fn back_invalidate(&self, line: u64) {
+        for c in &self.cores {
+            let mut c = c.lock().unwrap();
             c.l1i.invalidate(line);
             c.l1d.invalidate(line);
             c.l2.invalidate(line);
@@ -337,31 +359,35 @@ impl Machine {
     /// this reproduces that starting state without charging any events.
     /// For working sets beyond LLC capacity only the most recently
     /// touched tail stays resident, as it would on real hardware.
-    pub fn warm_data(&mut self) {
+    pub fn warm_data(&self) {
+        let used = self.data.lock().unwrap().used();
         let base = DATA_REGION_BASE / crate::LINE;
-        let end = (DATA_REGION_BASE + self.data.used()).div_ceil(crate::LINE);
+        let end = (DATA_REGION_BASE + used).div_ceil(crate::LINE);
+        let mut llc = self.llc.lock().unwrap();
         for line in base..end {
-            self.llc.access(line);
+            llc.access(line);
         }
     }
 
     /// Flush all caches (cold restart) without resetting counters.
-    pub fn flush_caches(&mut self) {
-        for c in &mut self.cores {
+    pub fn flush_caches(&self) {
+        for c in &self.cores {
+            let mut c = c.lock().unwrap();
             c.l1i.flush();
             c.l1d.flush();
             c.l2.flush();
         }
-        self.llc.flush();
+        self.llc.lock().unwrap().flush();
     }
 
     /// Diagnostic: lifetime LLC miss ratio across all traffic.
     pub fn llc_miss_ratio(&self) -> f64 {
-        let acc = self.llc.accesses();
+        let llc = self.llc.lock().unwrap();
+        let acc = llc.accesses();
         if acc == 0 {
             0.0
         } else {
-            self.llc.misses() as f64 / acc as f64
+            llc.misses() as f64 / acc as f64
         }
     }
 }
@@ -376,10 +402,10 @@ mod tests {
 
     #[test]
     fn tiny_module_becomes_l1i_resident() {
-        let mut m = machine(1);
+        let m = machine(1);
         let id = m.register_module(ModuleSpec::new("tight_loop", 2048).reuse(8.0));
         m.fetch_code(0, id, 100_000); // warmup
-        let before = m.counters(0).clone();
+        let before = m.counters(0);
         m.fetch_code(0, id, 1_000_000);
         let d = m.counters(0).delta(&before);
         assert_eq!(d.instructions, 1_000_000);
@@ -393,7 +419,7 @@ mod tests {
 
     #[test]
     fn oversized_module_thrashes_l1i_but_fits_l2() {
-        let mut m = machine(1);
+        let m = machine(1);
         // 128 KB hot path: > 32 KB L1I, < 256 KB L2.
         let id = m.register_module(
             ModuleSpec::new("fat", 128 << 10)
@@ -401,7 +427,7 @@ mod tests {
                 .branchiness(0.0),
         );
         m.fetch_code(0, id, 200_000);
-        let before = m.counters(0).clone();
+        let before = m.counters(0);
         m.fetch_code(0, id, 1_000_000);
         let d = m.counters(0).delta(&before);
         let l1i = d.miss(StallEvent::L1i);
@@ -416,7 +442,7 @@ mod tests {
 
     #[test]
     fn data_working_set_larger_than_llc_misses_dram() {
-        let mut m = machine(1);
+        let m = machine(1);
         let region = 64u64 << 20; // 64 MB > 16 MB LLC
         let base = m.alloc_data(region, 64);
         let mut rng = XorShift64::new(99);
@@ -425,7 +451,7 @@ mod tests {
             let off = rng.next_below(region / 64) * 64;
             m.data_access(0, ModuleId::UNATTRIBUTED, base + off, 8, false);
         }
-        let before = m.counters(0).clone();
+        let before = m.counters(0);
         for _ in 0..100_000 {
             let off = rng.next_below(region / 64) * 64;
             m.data_access(0, ModuleId::UNATTRIBUTED, base + off, 8, false);
@@ -441,7 +467,7 @@ mod tests {
 
     #[test]
     fn small_data_working_set_stays_cached() {
-        let mut m = machine(1);
+        let m = machine(1);
         let region = 1u64 << 20; // 1 MB fits LLC (and mostly L2)
         let base = m.alloc_data(region, 64);
         let mut rng = XorShift64::new(7);
@@ -449,7 +475,7 @@ mod tests {
             let off = rng.next_below(region / 64) * 64;
             m.data_access(0, ModuleId::UNATTRIBUTED, base + off, 8, false);
         }
-        let before = m.counters(0).clone();
+        let before = m.counters(0);
         for _ in 0..50_000 {
             let off = rng.next_below(region / 64) * 64;
             m.data_access(0, ModuleId::UNATTRIBUTED, base + off, 8, false);
@@ -469,7 +495,7 @@ mod tests {
         let run = |inclusive: bool| {
             let mut cfg = MachineConfig::ivy_bridge(1);
             cfg.inclusive_llc = inclusive;
-            let mut m = Machine::new(cfg);
+            let m = Machine::new(cfg);
             // A hot line, then enough LLC pressure to evict it from LLC.
             let hot = m.alloc_data(64, 64);
             m.data_access(0, ModuleId::UNATTRIBUTED, hot, 8, false);
@@ -479,7 +505,7 @@ mod tests {
             }
             // Touch the hot line again: with an inclusive LLC it was
             // back-invalidated from L1D and must miss.
-            let before = m.counters(0).clone();
+            let before = m.counters(0);
             m.data_access(0, ModuleId::UNATTRIBUTED, hot, 8, false);
             m.counters(0).delta(&before).miss(StallEvent::L1d)
         };
@@ -495,7 +521,7 @@ mod tests {
         let run = |prefetch: bool| {
             let mut cfg = MachineConfig::ivy_bridge(1);
             cfg.i_prefetch_next_line = prefetch;
-            let mut m = Machine::new(cfg);
+            let m = Machine::new(cfg);
             // Sequential walk over a >L1I footprint: the prefetcher's
             // best case.
             let id = m.register_module(
@@ -504,7 +530,7 @@ mod tests {
                     .branchiness(0.0),
             );
             m.fetch_code(0, id, 400_000);
-            let before = m.counters(0).clone();
+            let before = m.counters(0);
             m.fetch_code(0, id, 1_000_000);
             m.counters(0).delta(&before).miss(StallEvent::L1i)
         };
@@ -518,16 +544,16 @@ mod tests {
 
     #[test]
     fn writes_invalidate_other_cores() {
-        let mut m = machine(2);
+        let m = machine(2);
         let addr = m.alloc_data(64, 64);
         // Core 1 caches the line.
         m.data_access(1, ModuleId::UNATTRIBUTED, addr, 8, false);
-        let before = m.counters(1).clone();
+        let before = m.counters(1);
         // Core 0 writes it -> core 1 loses it.
         m.data_access(0, ModuleId::UNATTRIBUTED, addr, 8, true);
         assert_eq!(m.counters(1).invalidations, before.invalidations + 1);
         // Core 1 re-reads: L1D miss again.
-        let before = m.counters(1).clone();
+        let before = m.counters(1);
         m.data_access(1, ModuleId::UNATTRIBUTED, addr, 8, false);
         let d = m.counters(1).delta(&before);
         assert_eq!(d.miss(StallEvent::L1d), 1);
@@ -535,7 +561,7 @@ mod tests {
 
     #[test]
     fn module_counters_sum_to_core_counters() {
-        let mut m = machine(1);
+        let m = machine(1);
         let a = m.register_module(ModuleSpec::new("a", 64 << 10));
         let b = m.register_module(ModuleSpec::new("b", 8 << 10));
         m.fetch_code(0, a, 50_000);
@@ -543,9 +569,9 @@ mod tests {
         let addr = m.alloc_data(4096, 64);
         m.data_access(0, a, addr, 64, false);
         m.data_access(0, b, addr + 2048, 64, true);
-        let total = m.counters(0).clone();
+        let total = m.counters(0);
         let mut sum = EventCounts::default();
-        for mc in m.module_counters(0) {
+        for mc in &m.module_counters(0) {
             sum.add(mc);
         }
         assert_eq!(sum, total);
@@ -553,21 +579,21 @@ mod tests {
 
     #[test]
     fn multi_byte_access_touches_all_spanned_lines() {
-        let mut m = machine(1);
+        let m = machine(1);
         let addr = m.alloc_data(8192, 64);
-        let before = m.counters(0).clone();
+        let before = m.counters(0);
         m.data_access(0, ModuleId::UNATTRIBUTED, addr, 200, false); // 4 lines
         let d = m.counters(0).delta(&before);
         assert_eq!(d.loads, 4);
         // Access straddling a line boundary:
-        let before = m.counters(0).clone();
+        let before = m.counters(0);
         m.data_access(0, ModuleId::UNATTRIBUTED, addr + 60, 8, false);
         assert_eq!(m.counters(0).delta(&before).loads, 2);
     }
 
     #[test]
     fn code_and_data_share_l2() {
-        let mut m = machine(1);
+        let m = machine(1);
         // A 200 KB code path nearly fills L2...
         let code = m.register_module(
             ModuleSpec::new("hot", 200 << 10)
@@ -577,7 +603,7 @@ mod tests {
         for _ in 0..10 {
             m.fetch_code(0, code, 800_000);
         }
-        let before = m.counters(0).clone();
+        let before = m.counters(0);
         m.fetch_code(0, code, 800_000);
         let quiet_l2i = m.counters(0).delta(&before).miss(StallEvent::L2i);
         // ...then a 200 KB data sweep evicts code from L2 and L2I misses rise.
@@ -589,7 +615,7 @@ mod tests {
             }
             m.fetch_code(0, code, 800_000);
         }
-        let before = m.counters(0).clone();
+        let before = m.counters(0);
         for off in (0..(200u64 << 10)).step_by(64) {
             m.data_access(0, ModuleId::UNATTRIBUTED, data + off, 8, false);
         }
@@ -599,5 +625,30 @@ mod tests {
             noisy_l2i > quiet_l2i + 100,
             "data pressure should evict code from L2: {noisy_l2i} vs {quiet_l2i}"
         );
+    }
+
+    #[test]
+    fn concurrent_cores_sum_like_serial_cores() {
+        // Thread-safety smoke: two threads hammering disjoint cores through
+        // a shared machine must retire exactly what they issued.
+        let m = std::sync::Arc::new(machine(2));
+        let id = m.register_module(ModuleSpec::new("par", 32 << 10));
+        let data = m.alloc_data(1 << 20, 64);
+        std::thread::scope(|s| {
+            for core in 0..2usize {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..20_000u64 {
+                        m.fetch_code(core, id, 50);
+                        m.data_access(core, id, data + (i % 1000) * 64, 8, core == 1);
+                    }
+                });
+            }
+        });
+        for core in 0..2 {
+            let c = m.counters(core);
+            assert_eq!(c.instructions, 1_000_000, "core {core}");
+            assert_eq!(c.loads + c.stores, 20_000, "core {core}");
+        }
     }
 }

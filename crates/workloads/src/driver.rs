@@ -1,16 +1,22 @@
 //! The workload abstraction the experiment harness drives.
 
-use oltp::{Db, OltpResult};
+use oltp::{Db, OltpResult, Session};
 
 /// A benchmark: loads a database and generates one transaction at a time.
 ///
 /// Loading is partition-aware: the workload is told how many workers will
-/// run and places each worker's data on that worker's core/partition, so
+/// run and places each worker's data on that worker's core/partition (by
+/// opening one [`Session`] per worker during [`Workload::setup`]), so
 /// partitioned engines (VoltDB, HyPer) see only single-site transactions —
 /// exactly the paper's configuration ("we also use multiple data
 /// partitions and ensure that all transactions access only a single
 /// partition", §3).
-pub trait Workload {
+///
+/// Execution is session-based: each worker thread owns a [`Session`] and
+/// passes it to [`Workload::exec`] together with its worker index (which
+/// selects the worker's request stream / RNG). Workloads are `Send` so the
+/// multi-worker harness can share one behind a lock across worker threads.
+pub trait Workload: Send {
     /// Display name.
     fn name(&self) -> &'static str;
 
@@ -18,18 +24,17 @@ pub trait Workload {
     /// Called exactly once, before any [`Workload::exec`].
     fn setup(&mut self, db: &mut dyn Db, workers: usize);
 
-    /// Run one complete transaction on behalf of `worker`. The caller has
-    /// already bound the engine to the worker's core.
-    fn exec(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()>;
+    /// Run one complete transaction for `worker` on its session `s`.
+    fn exec(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()>;
 }
 
-/// Run `n` transactions for `worker`, panicking on unexpected errors
-/// (aborts are unexpected in these benchmarks: single-site, no conflicts).
-pub fn run_txns(db: &mut dyn Db, workload: &mut dyn Workload, worker: usize, n: u64) {
-    db.set_core(worker);
+/// Run `n` transactions for `worker` on its session, panicking on
+/// unexpected errors (aborts are unexpected in these benchmarks:
+/// single-site, no conflicts).
+pub fn run_txns(s: &mut dyn Session, workload: &mut dyn Workload, worker: usize, n: u64) {
     for i in 0..n {
         workload
-            .exec(db, worker)
-            .unwrap_or_else(|e| panic!("{} txn {i} failed on {}: {e}", workload.name(), db.name()));
+            .exec(s, worker)
+            .unwrap_or_else(|e| panic!("{} txn {i} failed on {}: {e}", workload.name(), s.name()));
     }
 }

@@ -7,7 +7,7 @@
 //! operation on the randomly picked key value." §6.2 swaps the columns
 //! for two 50-byte Strings.
 
-use oltp::{Column, DataType, Db, OltpResult, Schema, TableDef, TableId, Value};
+use oltp::{Column, DataType, Db, OltpResult, Schema, Session, TableDef, TableId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -165,33 +165,36 @@ impl Workload for MicroBench {
             self.rows,
         ));
         self.table = Some(t);
-        // Bulk load, striping keys across workers so each worker's keys
-        // live in its partition (key % workers == worker).
+        // Bulk load through one session per worker, striping keys across
+        // workers so each worker's keys live in its partition
+        // (key % workers == worker).
+        let mut sessions: Vec<_> = (0..workers).map(|w| db.session(w)).collect();
         for k in 0..self.rows {
-            db.set_core((k % self.workers as u64) as usize);
-            db.begin();
+            let s = &mut sessions[(k % self.workers as u64) as usize];
+            s.begin();
             let row = self.make_row(k, 0);
-            db.insert(t, k * KEY_STRIDE, &row).expect("load insert");
-            db.commit().expect("load commit");
+            s.insert(t, k * KEY_STRIDE, &row).expect("load insert");
+            s.commit().expect("load commit");
         }
+        drop(sessions);
         db.finish_load();
     }
 
-    fn exec(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn exec(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let t = self.table.expect("setup not called");
-        db.begin();
+        s.begin();
         for _ in 0..self.rows_per_txn {
             let key = self.pick_key(worker);
             if self.read_only {
                 let mut sink = 0u64;
-                db.read_with(t, key, &mut |row| {
+                s.read_with(t, key, &mut |row| {
                     sink = sink.wrapping_add(row.len() as u64);
                 })?;
                 debug_assert!(sink > 0, "loaded key {key} must exist");
             } else {
                 let tag = self.rngs[worker].random_range(0..1_000_000);
                 let string_cols = self.string_cols;
-                let updated = db.update(t, key, &mut |row| {
+                let updated = s.update(t, key, &mut |row| {
                     if string_cols {
                         row[1] = Value::Str(format!("{:0>42}-{tag:0>7}", key ^ 0xABCD));
                     } else {
@@ -201,7 +204,7 @@ impl Workload for MicroBench {
                 debug_assert!(updated, "loaded key {key} must exist");
             }
         }
-        db.commit()
+        s.commit()
     }
 }
 
@@ -229,8 +232,9 @@ mod tests {
             let mut db = build_system(kind, &sim, 1);
             let mut w = small().rows_per_txn(3);
             sim.offline(|| w.setup(db.as_mut(), 1));
+            let mut s = db.session(0);
             for _ in 0..20 {
-                w.exec(db.as_mut(), 0)
+                w.exec(s.as_mut(), 0)
                     .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             }
         }
@@ -242,22 +246,23 @@ mod tests {
         let mut db = build_system(SystemKind::HyPer, &sim, 1);
         let mut w = small().read_write().seed(7);
         sim.offline(|| w.setup(db.as_mut(), 1));
+        let mut s = db.session(0);
         for _ in 0..50 {
-            w.exec(db.as_mut(), 0).unwrap();
+            w.exec(s.as_mut(), 0).unwrap();
         }
         // At least one row's value must differ from the loaded tag 0.
         let t = w.table.unwrap();
         let mut changed = false;
-        db.begin();
+        s.begin();
         for k in 0..2000u64 {
-            if let Some(row) = db.read(t, k * KEY_STRIDE).unwrap() {
+            if let Some(row) = s.read(t, k * KEY_STRIDE).unwrap() {
                 if row[1] != Value::Long(0) {
                     changed = true;
                     break;
                 }
             }
         }
-        db.commit().unwrap();
+        s.commit().unwrap();
         assert!(changed);
     }
 
@@ -267,15 +272,16 @@ mod tests {
         let mut db = build_system(SystemKind::VoltDb, &sim, 1);
         let mut w = small().string_columns().read_write();
         sim.offline(|| w.setup(db.as_mut(), 1));
+        let mut s = db.session(0);
         for _ in 0..20 {
-            w.exec(db.as_mut(), 0).unwrap();
+            w.exec(s.as_mut(), 0).unwrap();
         }
         let t = w.table.unwrap();
-        db.begin();
-        let row = db.read(t, 5 * KEY_STRIDE).unwrap().unwrap();
+        s.begin();
+        let row = s.read(t, 5 * KEY_STRIDE).unwrap().unwrap();
         assert_eq!(row[0].as_str().unwrap().len(), 50);
         assert_eq!(row[1].as_str().unwrap().len(), 50);
-        db.commit().unwrap();
+        s.commit().unwrap();
     }
 
     #[test]
@@ -286,9 +292,9 @@ mod tests {
         sim.offline(|| w.setup(db.as_mut(), 2));
         // Both workers can run against their own partitions.
         for worker in [0usize, 1] {
-            db.set_core(worker);
+            let mut s = db.session(worker);
             for _ in 0..20 {
-                w.exec(db.as_mut(), worker).unwrap();
+                w.exec(s.as_mut(), worker).unwrap();
             }
         }
     }

@@ -8,7 +8,7 @@
 //! only the account probe is a cold random access. The ratios are
 //! preserved here; the branch count is scaled per DESIGN.md.
 
-use oltp::{Column, DataType, Db, KeyPack, OltpResult, Schema, TableDef, TableId, Value};
+use oltp::{Column, DataType, Db, KeyPack, OltpResult, Schema, Session, TableDef, TableId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -77,23 +77,40 @@ impl TpcB {
     }
 
     /// Sum of all branch balances (consistency: must equal the sum of all
-    /// deltas applied — and the teller and account sums).
-    pub fn total_balance(&self, db: &mut dyn Db, table: &str) -> i64 {
+    /// deltas applied — and the teller and account sums). Partition-aware:
+    /// every key is read through the session of the worker that owns its
+    /// branch.
+    pub fn total_balance(&self, db: &dyn Db, table: &str) -> i64 {
         let tables = self.tables.as_ref().expect("setup not called");
-        let (t, n) = match table {
-            "branch" => (tables.branch, self.branches),
-            "teller" => (tables.teller, self.branches * TELLERS_PER_BRANCH),
-            "account" => (tables.account, self.branches * ACCOUNTS_PER_BRANCH),
+        let (t, n, per_branch) = match table {
+            "branch" => (tables.branch, self.branches, 1),
+            "teller" => (
+                tables.teller,
+                self.branches * TELLERS_PER_BRANCH,
+                TELLERS_PER_BRANCH,
+            ),
+            "account" => (
+                tables.account,
+                self.branches * ACCOUNTS_PER_BRANCH,
+                ACCOUNTS_PER_BRANCH,
+            ),
             _ => panic!("unknown table {table}"),
         };
         let mut sum = 0i64;
-        db.begin();
+        let mut sessions: Vec<_> = (0..self.workers).map(|w| db.session(w)).collect();
+        for s in &mut sessions {
+            s.begin();
+        }
         for k in 0..n {
-            if let Some(row) = db.read(t, k).expect("consistency read") {
+            let b = k / per_branch;
+            let s = &mut sessions[(b % self.workers as u64) as usize];
+            if let Some(row) = s.read(t, k).expect("consistency read") {
                 sum += row[1].long();
             }
         }
-        db.commit().expect("consistency commit");
+        for s in &mut sessions {
+            s.commit().expect("consistency commit");
+        }
         sum
     }
 
@@ -173,24 +190,25 @@ impl Workload for TpcB {
         ));
 
         // Partition by branch: branch b and all its tellers/accounts live
-        // on worker (b % workers).
+        // on worker (b % workers), loaded through that worker's session.
+        let mut sessions: Vec<_> = (0..workers).map(|w| db.session(w)).collect();
         for b in 0..self.branches {
-            db.set_core((b % self.workers as u64) as usize);
-            db.begin();
-            db.insert(
+            let s = &mut sessions[(b % workers as u64) as usize];
+            s.begin();
+            s.insert(
                 branch,
                 b,
                 &[Value::Long(b as i64), Value::Long(0), Self::filler(40)],
             )
             .expect("load branch");
-            db.commit().expect("load commit");
+            s.commit().expect("load commit");
         }
         for b in 0..self.branches {
-            db.set_core((b % self.workers as u64) as usize);
-            db.begin();
+            let s = &mut sessions[(b % workers as u64) as usize];
+            s.begin();
             for i in 0..TELLERS_PER_BRANCH {
                 let t_id = b * TELLERS_PER_BRANCH + i;
-                db.insert(
+                s.insert(
                     teller,
                     t_id,
                     &[
@@ -202,15 +220,15 @@ impl Workload for TpcB {
                 )
                 .expect("load teller");
             }
-            db.commit().expect("load commit");
+            s.commit().expect("load commit");
         }
         for b in 0..self.branches {
-            db.set_core((b % self.workers as u64) as usize);
+            let s = &mut sessions[(b % workers as u64) as usize];
             let mut in_txn = 0;
-            db.begin();
+            s.begin();
             for i in 0..ACCOUNTS_PER_BRANCH {
                 let a_id = b * ACCOUNTS_PER_BRANCH + i;
-                db.insert(
+                s.insert(
                     account,
                     a_id,
                     &[
@@ -223,13 +241,14 @@ impl Workload for TpcB {
                 .expect("load account");
                 in_txn += 1;
                 if in_txn == 5000 {
-                    db.commit().expect("load commit");
-                    db.begin();
+                    s.commit().expect("load commit");
+                    s.begin();
                     in_txn = 0;
                 }
             }
-            db.commit().expect("load commit");
+            s.commit().expect("load commit");
         }
+        drop(sessions);
         db.finish_load();
         self.tables = Some(Tables {
             branch,
@@ -239,7 +258,7 @@ impl Workload for TpcB {
         });
     }
 
-    fn exec(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn exec(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let Tables {
             branch,
             teller,
@@ -251,25 +270,25 @@ impl Workload for TpcB {
         let a_id = b * ACCOUNTS_PER_BRANCH + self.rngs[worker].random_range(0..ACCOUNTS_PER_BRANCH);
         let delta: i64 = self.rngs[worker].random_range(-99_999..=99_999);
 
-        db.begin();
-        let found = db.update(account, a_id, &mut |row| {
+        s.begin();
+        let found = s.update(account, a_id, &mut |row| {
             row[1] = Value::Long(row[1].long() + delta);
         })?;
         debug_assert!(found, "account {a_id} missing");
         let mut a_balance = 0i64;
-        db.read_with(account, a_id, &mut |row| a_balance = row[1].long())?;
-        let found = db.update(teller, t_id, &mut |row| {
+        s.read_with(account, a_id, &mut |row| a_balance = row[1].long())?;
+        let found = s.update(teller, t_id, &mut |row| {
             row[1] = Value::Long(row[1].long() + delta);
         })?;
         debug_assert!(found, "teller {t_id} missing");
-        let found = db.update(branch, b, &mut |row| {
+        let found = s.update(branch, b, &mut |row| {
             row[1] = Value::Long(row[1].long() + delta);
         })?;
         debug_assert!(found, "branch {b} missing");
         let seq = self.hist_seq[worker];
         self.hist_seq[worker] += 1;
         let h_key = KeyPack::new().field(worker as u64, 8).field(seq, 40).get();
-        db.insert(
+        s.insert(
             history,
             h_key,
             &[
@@ -281,7 +300,7 @@ impl Workload for TpcB {
                 Self::filler(20),
             ],
         )?;
-        db.commit()?;
+        s.commit()?;
         self.committed += 1;
         let _ = a_balance; // returned to the "client", per the spec
         Ok(())
@@ -309,14 +328,15 @@ mod tests {
             let mut db = build_system(kind, &sim, 1);
             let mut w = tiny();
             sim.offline(|| w.setup(db.as_mut(), 1));
+            let mut s = db.session(0);
             sim.offline(|| {
                 for _ in 0..30 {
-                    w.exec(db.as_mut(), 0).unwrap();
+                    w.exec(s.as_mut(), 0).unwrap();
                 }
             });
-            let b = w.total_balance(db.as_mut(), "branch");
-            let t = w.total_balance(db.as_mut(), "teller");
-            let a = w.total_balance(db.as_mut(), "account");
+            let b = w.total_balance(db.as_ref(), "branch");
+            let t = w.total_balance(db.as_ref(), "teller");
+            let a = w.total_balance(db.as_ref(), "account");
             assert_eq!(b, t, "{kind:?}: branch vs teller");
             assert_eq!(b, a, "{kind:?}: branch vs account");
             assert_eq!(w.committed(), 30);
@@ -329,9 +349,10 @@ mod tests {
         let mut db = build_system(SystemKind::HyPer, &sim, 1);
         let mut w = tiny();
         sim.offline(|| w.setup(db.as_mut(), 1));
+        let mut s = db.session(0);
         sim.offline(|| {
             for _ in 0..25 {
-                w.exec(db.as_mut(), 0).unwrap();
+                w.exec(s.as_mut(), 0).unwrap();
             }
         });
         let history = w.tables.as_ref().unwrap().history;

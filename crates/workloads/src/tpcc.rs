@@ -18,7 +18,7 @@
 //! tables, as in index-organized systems.
 
 use oltp::{
-    Column, DataType, Db, KeyPack, OltpError, OltpResult, Schema, TableDef, TableId, Value,
+    Column, DataType, Db, KeyPack, OltpError, OltpResult, Schema, Session, TableDef, TableId, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -209,7 +209,7 @@ impl TpcC {
     /// Returns the customer id.
     fn select_customer(
         &mut self,
-        db: &mut dyn Db,
+        s: &mut dyn Session,
         worker: usize,
         w: u64,
         d: u64,
@@ -225,7 +225,7 @@ impl TpcC {
             let h = name_hash(&c_last(num));
             let (lo, hi) = k_wd(w, d).field(h, H16_BITS).prefix_range(C_BITS);
             let mut ids = Vec::new();
-            db.scan(tables.cust_by_name, lo, hi, &mut |_, row| {
+            s.scan(tables.cust_by_name, lo, hi, &mut |_, row| {
                 ids.push(row[0].long() as u64);
                 true
             })?;
@@ -245,7 +245,7 @@ impl TpcC {
 
     // ---- transaction bodies -------------------------------------------
 
-    fn new_order(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn new_order(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let w = self.pick_warehouse(worker);
         let d = self.rngs[worker].random_range(0..DISTRICTS);
         let c = self.select_customer_id_only(worker);
@@ -263,21 +263,21 @@ impl TpcC {
         let tables = self.tables.as_ref().expect("setup");
         let t = Tables { ..*tables };
 
-        db.begin();
+        s.begin();
         // Read warehouse (tax) and customer (discount, last, credit).
         let mut found = false;
-        db.read_with(t.warehouse, w, &mut |_| found = true)?;
+        s.read_with(t.warehouse, w, &mut |_| found = true)?;
         debug_assert!(found);
-        db.read_with(t.customer, key_customer(w, d, c), &mut |_| {})?;
+        s.read_with(t.customer, key_customer(w, d, c), &mut |_| {})?;
         // Validate items; an invalid id rolls the transaction back (1 %).
         let mut prices = Vec::with_capacity(items.len());
         for &(i_id, _) in &items {
             let mut price = None;
-            db.read_with(t.item, i_id, &mut |row| price = Some(row[2].long()))?;
+            s.read_with(t.item, i_id, &mut |row| price = Some(row[2].long()))?;
             match price {
                 Some(p) => prices.push(p),
                 None => {
-                    db.abort();
+                    s.abort();
                     self.counts.new_order_rollbacks += 1;
                     return Ok(());
                 }
@@ -285,7 +285,7 @@ impl TpcC {
         }
         if rollback {
             // Simulated "unused item id" case, validated before writes.
-            db.abort();
+            s.abort();
             self.counts.new_order_rollbacks += 1;
             return Ok(());
         }
@@ -293,13 +293,13 @@ impl TpcC {
         let wd = self.wd_index(w, d);
         let o = self.next_o_id[wd];
         self.next_o_id[wd] += 1;
-        db.update(t.district, key_district(w, d), &mut |row| {
+        s.update(t.district, key_district(w, d), &mut |row| {
             row[3] = Value::Long(row[3].long() + 1);
         })?;
         // Stock updates + order lines.
         let mut total = 0i64;
         for (ol, (&(i_id, qty), &price)) in items.iter().zip(&prices).enumerate() {
-            db.update(t.stock, key_stock(w, i_id), &mut |row| {
+            s.update(t.stock, key_stock(w, i_id), &mut |row| {
                 let q = row[2].long();
                 let newq = if q >= qty as i64 + 10 {
                     q - qty as i64
@@ -312,7 +312,7 @@ impl TpcC {
             })?;
             let amount = price * qty as i64;
             total += amount;
-            db.insert(
+            s.insert(
                 t.order_line,
                 key_order_line(w, d, o, ol as u64 + 1),
                 &[
@@ -325,7 +325,7 @@ impl TpcC {
                 ],
             )?;
         }
-        db.insert(
+        s.insert(
             t.orders,
             key_order(w, d, o),
             &[
@@ -336,13 +336,13 @@ impl TpcC {
                 Value::Long(total),
             ],
         )?;
-        db.insert(t.new_order, key_order(w, d, o), &[Value::Long(o as i64)])?;
-        db.insert(
+        s.insert(t.new_order, key_order(w, d, o), &[Value::Long(o as i64)])?;
+        s.insert(
             t.cust_orders,
             key_cust_order(w, d, c, o),
             &[Value::Long(o as i64)],
         )?;
-        db.commit()?;
+        s.commit()?;
         self.counts.new_order += 1;
         Ok(())
     }
@@ -353,23 +353,23 @@ impl TpcC {
         nurand.customer_id(&mut self.rngs[worker], self.scale.customers_per_district)
     }
 
-    fn payment(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn payment(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let w = self.pick_warehouse(worker);
         let d = self.rngs[worker].random_range(0..DISTRICTS);
         let amount: i64 = self.rngs[worker].random_range(100..=500_000);
 
-        db.begin();
-        let c = self.select_customer(db, worker, w, d)?;
+        s.begin();
+        let c = self.select_customer(s, worker, w, d)?;
         let t = Tables {
             ..*self.tables.as_ref().expect("setup")
         };
-        db.update(t.warehouse, w, &mut |row| {
+        s.update(t.warehouse, w, &mut |row| {
             row[1] = Value::Long(row[1].long() + amount); // w_ytd
         })?;
-        db.update(t.district, key_district(w, d), &mut |row| {
+        s.update(t.district, key_district(w, d), &mut |row| {
             row[2] = Value::Long(row[2].long() + amount); // d_ytd
         })?;
-        let found = db.update(t.customer, key_customer(w, d, c), &mut |row| {
+        let found = s.update(t.customer, key_customer(w, d, c), &mut |row| {
             row[3] = Value::Long(row[3].long() - amount); // balance
             row[4] = Value::Long(row[4].long() + amount); // ytd_payment
             row[5] = Value::Long(row[5].long() + 1); // payment_cnt
@@ -378,7 +378,7 @@ impl TpcC {
         let seq = self.hist_seq[worker];
         self.hist_seq[worker] += 1;
         let h_key = KeyPack::new().field(worker as u64, 8).field(seq, 40).get();
-        db.insert(
+        s.insert(
             t.history,
             h_key,
             &[
@@ -389,97 +389,97 @@ impl TpcC {
                 Value::Str("payment-history-data-----".into()),
             ],
         )?;
-        db.commit()?;
+        s.commit()?;
         self.counts.payment += 1;
         Ok(())
     }
 
-    fn order_status(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn order_status(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let w = self.pick_warehouse(worker);
         let d = self.rngs[worker].random_range(0..DISTRICTS);
-        db.begin();
-        let c = self.select_customer(db, worker, w, d)?;
+        s.begin();
+        let c = self.select_customer(s, worker, w, d)?;
         let t = Tables {
             ..*self.tables.as_ref().expect("setup")
         };
-        db.read_with(t.customer, key_customer(w, d, c), &mut |_| {})?;
+        s.read_with(t.customer, key_customer(w, d, c), &mut |_| {})?;
         // Most recent order of the customer.
         let (lo, hi) = k_wd(w, d).field(c, C_BITS).prefix_range(O_BITS);
         let mut last_o = None;
-        db.scan(t.cust_orders, lo, hi, &mut |_, row| {
+        s.scan(t.cust_orders, lo, hi, &mut |_, row| {
             last_o = Some(row[0].long() as u64);
             true
         })?;
         if let Some(o) = last_o {
-            db.read_with(t.orders, key_order(w, d, o), &mut |_| {})?;
+            s.read_with(t.orders, key_order(w, d, o), &mut |_| {})?;
             let (lo, hi) = k_wd(w, d).field(o, O_BITS).prefix_range(OL_BITS);
-            db.scan(t.order_line, lo, hi, &mut |_, _| true)?;
+            s.scan(t.order_line, lo, hi, &mut |_, _| true)?;
         }
-        db.commit()?;
+        s.commit()?;
         self.counts.order_status += 1;
         Ok(())
     }
 
-    fn delivery(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn delivery(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let w = self.pick_warehouse(worker);
         let carrier: i64 = self.rngs[worker].random_range(1..=10);
         let t = Tables {
             ..*self.tables.as_ref().expect("setup")
         };
-        db.begin();
+        s.begin();
         for d in 0..DISTRICTS {
             // Oldest undelivered order for the district.
             let cursor = self.deliv_cursor[self.wd_index(w, d)];
             let (lo, hi) = k_wd(w, d).prefix_range(O_BITS);
             let lo = lo.max(key_order(w, d, cursor));
             let mut oldest = None;
-            db.scan(t.new_order, lo, hi, &mut |_, row| {
+            s.scan(t.new_order, lo, hi, &mut |_, row| {
                 oldest = Some(row[0].long() as u64);
                 false // first = oldest (key order)
             })?;
             let Some(o) = oldest else { continue };
             let wd = self.wd_index(w, d);
             self.deliv_cursor[wd] = o + 1;
-            db.delete(t.new_order, key_order(w, d, o))?;
+            s.delete(t.new_order, key_order(w, d, o))?;
             let mut c = 0u64;
-            db.read_with(t.orders, key_order(w, d, o), &mut |row| {
+            s.read_with(t.orders, key_order(w, d, o), &mut |row| {
                 c = row[1].long() as u64
             })?;
-            db.update(t.orders, key_order(w, d, o), &mut |row| {
+            s.update(t.orders, key_order(w, d, o), &mut |row| {
                 row[2] = Value::Long(carrier);
             })?;
             // Sum the order's lines and stamp their delivery date.
             let (lo, hi) = k_wd(w, d).field(o, O_BITS).prefix_range(OL_BITS);
             let mut keys = Vec::new();
             let mut sum = 0i64;
-            db.scan(t.order_line, lo, hi, &mut |k, row| {
+            s.scan(t.order_line, lo, hi, &mut |k, row| {
                 keys.push(k);
                 sum += row[3].long();
                 true
             })?;
             for k in keys {
-                db.update(t.order_line, k, &mut |row| row[4] = Value::Long(1))?;
+                s.update(t.order_line, k, &mut |row| row[4] = Value::Long(1))?;
             }
-            db.update(t.customer, key_customer(w, d, c), &mut |row| {
+            s.update(t.customer, key_customer(w, d, c), &mut |row| {
                 row[3] = Value::Long(row[3].long() + sum); // balance
                 row[6] = Value::Long(row[6].long() + 1); // delivery_cnt
             })?;
         }
-        db.commit()?;
+        s.commit()?;
         self.counts.delivery += 1;
         Ok(())
     }
 
-    fn stock_level(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn stock_level(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let w = self.pick_warehouse(worker);
         let d = self.rngs[worker].random_range(0..DISTRICTS);
         let threshold: i64 = self.rngs[worker].random_range(10..=20);
         let t = Tables {
             ..*self.tables.as_ref().expect("setup")
         };
-        db.begin();
+        s.begin();
         let mut next_o = 0u64;
-        db.read_with(t.district, key_district(w, d), &mut |row| {
+        s.read_with(t.district, key_district(w, d), &mut |row| {
             next_o = row[3].long() as u64;
         })?;
         // Items of the last 20 orders.
@@ -487,7 +487,7 @@ impl TpcC {
         let mut item_ids = Vec::new();
         for o in first..next_o {
             let (lo, hi) = k_wd(w, d).field(o, O_BITS).prefix_range(OL_BITS);
-            db.scan(t.order_line, lo, hi, &mut |_, row| {
+            s.scan(t.order_line, lo, hi, &mut |_, row| {
                 item_ids.push(row[1].long() as u64);
                 true
             })?;
@@ -496,13 +496,13 @@ impl TpcC {
         item_ids.dedup();
         let mut low = 0u64;
         for i in item_ids {
-            db.read_with(t.stock, key_stock(w, i), &mut |row| {
+            s.read_with(t.stock, key_stock(w, i), &mut |row| {
                 if row[2].long() < threshold {
                     low += 1;
                 }
             })?;
         }
-        db.commit()?;
+        s.commit()?;
         self.counts.stock_level += 1;
         Ok(())
     }
@@ -510,18 +510,18 @@ impl TpcC {
     /// Consistency check (TPC-C §3.3.2.1/2 analogues): for every district,
     /// `d_next_o_id - 1` equals the maximum order id, and `w_ytd` equals
     /// the sum of its districts' `d_ytd`.
-    pub fn check_consistency(&self, db: &mut dyn Db) {
+    pub fn check_consistency(&self, db: &dyn Db) {
         let t = self.tables.as_ref().expect("setup");
         for w in 0..self.scale.warehouses {
-            db.set_core((w % self.workers as u64) as usize);
-            db.begin();
+            let mut s = db.session((w % self.workers as u64) as usize);
+            s.begin();
             let mut w_ytd = 0;
-            db.read_with(t.warehouse, w, &mut |row| w_ytd = row[1].long())
+            s.read_with(t.warehouse, w, &mut |row| w_ytd = row[1].long())
                 .expect("warehouse read");
             let mut d_ytd_sum = 0i64;
             for d in 0..DISTRICTS {
                 let mut next = 0u64;
-                db.read_with(t.district, key_district(w, d), &mut |row| {
+                s.read_with(t.district, key_district(w, d), &mut |row| {
                     d_ytd_sum += row[2].long();
                     next = row[3].long() as u64;
                 })
@@ -534,7 +534,7 @@ impl TpcC {
                 // Max order id must be next - 1.
                 let (lo, hi) = k_wd(w, d).prefix_range(O_BITS);
                 let mut max_o = None;
-                db.scan(t.orders, lo, hi, &mut |_, row| {
+                s.scan(t.orders, lo, hi, &mut |_, row| {
                     max_o = Some(row[0].long() as u64);
                     true
                 })
@@ -546,7 +546,7 @@ impl TpcC {
                 );
             }
             assert_eq!(w_ytd, d_ytd_sum, "w_ytd != sum(d_ytd) for w={w}");
-            db.commit().expect("consistency commit");
+            s.commit().expect("consistency commit");
         }
     }
 }
@@ -708,11 +708,11 @@ impl Workload for TpcC {
 
         // ITEM is read-only: replicate per partition (as VoltDB/HyPer do).
         let item_copies = db.partitions().max(1).min(workers.max(1));
-        for copy in 0..item_copies {
-            db.set_core(copy);
-            db.begin();
+        let mut sessions: Vec<_> = (0..workers).map(|w| db.session(w)).collect();
+        for se in sessions.iter_mut().take(item_copies) {
+            se.begin();
             for i in 1..=s.items {
-                db.insert(
+                se.insert(
                     t.item,
                     i,
                     &[
@@ -725,17 +725,17 @@ impl Workload for TpcC {
                 )
                 .expect("load item");
                 if i % 5000 == 0 {
-                    db.commit().expect("load commit");
-                    db.begin();
+                    se.commit().expect("load commit");
+                    se.begin();
                 }
             }
-            db.commit().expect("load commit");
+            se.commit().expect("load commit");
         }
 
         for w in 0..s.warehouses {
-            db.set_core((w % workers as u64) as usize);
-            db.begin();
-            db.insert(
+            let se = &mut sessions[(w % workers as u64) as usize];
+            se.begin();
+            se.insert(
                 t.warehouse,
                 w,
                 &[
@@ -749,7 +749,7 @@ impl Workload for TpcC {
             // Stock.
             let mut in_txn = 0;
             for i in 1..=s.items {
-                db.insert(
+                se.insert(
                     t.stock,
                     key_stock(w, i),
                     &[
@@ -765,16 +765,16 @@ impl Workload for TpcC {
                 .expect("load stock");
                 in_txn += 1;
                 if in_txn == 5000 {
-                    db.commit().expect("load commit");
-                    db.begin();
+                    se.commit().expect("load commit");
+                    se.begin();
                     in_txn = 0;
                 }
             }
-            db.commit().expect("load commit");
+            se.commit().expect("load commit");
 
             for d in 0..DISTRICTS {
-                db.begin();
-                db.insert(
+                se.begin();
+                se.insert(
                     t.district,
                     key_district(w, d),
                     &[
@@ -799,7 +799,7 @@ impl Workload for TpcC {
                         .last_name_num(&mut load_rng, 999)
                     };
                     let last = c_last(name_num % (s.customers_per_district.min(1000)));
-                    db.insert(
+                    se.insert(
                         t.customer,
                         key_customer(w, d, c),
                         &[
@@ -820,21 +820,21 @@ impl Workload for TpcC {
                         ],
                     )
                     .expect("load customer");
-                    db.insert(
+                    se.insert(
                         t.cust_by_name,
                         key_cust_name(w, d, name_hash(&last), c),
                         &[Value::Long(c as i64)],
                     )
                     .expect("load cust_by_name");
                     if c % 2000 == 0 {
-                        db.commit().expect("load commit");
-                        db.begin();
+                        se.commit().expect("load commit");
+                        se.begin();
                     }
                 }
-                db.commit().expect("load commit");
+                se.commit().expect("load commit");
 
                 // Initial orders: first 2/3 delivered, last 1/3 pending.
-                db.begin();
+                se.begin();
                 for o in 0..s.initial_orders {
                     let c = load_rng.random_range(1..=s.customers_per_district);
                     let ol_cnt = load_rng.random_range(5..=15u64);
@@ -844,7 +844,7 @@ impl Workload for TpcC {
                         let i_id = load_rng.random_range(1..=s.items);
                         let amount = load_rng.random_range(10..=9_999);
                         total += amount;
-                        db.insert(
+                        se.insert(
                             t.order_line,
                             key_order_line(w, d, o, ol),
                             &[
@@ -858,7 +858,7 @@ impl Workload for TpcC {
                         )
                         .expect("load order_line");
                     }
-                    db.insert(
+                    se.insert(
                         t.orders,
                         key_order(w, d, o),
                         &[
@@ -874,46 +874,47 @@ impl Workload for TpcC {
                         ],
                     )
                     .expect("load orders");
-                    db.insert(
+                    se.insert(
                         t.cust_orders,
                         key_cust_order(w, d, c, o),
                         &[Value::Long(o as i64)],
                     )
                     .expect("load cust_orders");
                     if !delivered {
-                        db.insert(t.new_order, key_order(w, d, o), &[Value::Long(o as i64)])
+                        se.insert(t.new_order, key_order(w, d, o), &[Value::Long(o as i64)])
                             .expect("load new_order");
                     } else if o % 50 == 0 {
-                        db.commit().expect("load commit");
-                        db.begin();
+                        se.commit().expect("load commit");
+                        se.begin();
                     }
                 }
-                db.commit().expect("load commit");
+                se.commit().expect("load commit");
                 let wd = self.wd_index(w, d);
                 self.deliv_cursor[wd] = s.initial_orders * 2 / 3;
             }
         }
+        drop(sessions);
         db.finish_load();
         self.tables = Some(t);
     }
 
-    fn exec(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn exec(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let dice = self.rngs[worker].random_range(0..100);
         let result = if dice < 45 {
-            self.new_order(db, worker)
+            self.new_order(s, worker)
         } else if dice < 88 {
-            self.payment(db, worker)
+            self.payment(s, worker)
         } else if dice < 92 {
-            self.order_status(db, worker)
+            self.order_status(s, worker)
         } else if dice < 96 {
-            self.delivery(db, worker)
+            self.delivery(s, worker)
         } else {
-            self.stock_level(db, worker)
+            self.stock_level(s, worker)
         };
         // Hash-indexed engines cannot run TPC-C (the paper switches DBMS M
         // to its B-tree for exactly this reason); surface that clearly.
         if let Err(OltpError::Unsupported(what)) = &result {
-            panic!("engine {} cannot run TPC-C: {what}", db.name());
+            panic!("engine {} cannot run TPC-C: {what}", s.name());
         }
         result
     }
@@ -938,9 +939,10 @@ mod tests {
         let mut db = build_system(kind, &sim, 1);
         let mut w = TpcC::with_scale(TpcCScale::tiny()).seed(42);
         sim.offline(|| w.setup(db.as_mut(), 1));
+        let mut s = db.session(0);
         sim.offline(|| {
             for i in 0..txns {
-                w.exec(db.as_mut(), 0)
+                w.exec(s.as_mut(), 0)
                     .unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
             }
         });
@@ -979,8 +981,8 @@ mod tests {
             SystemKind::ShoreMt,
             SystemKind::dbms_m_for_tpcc(),
         ] {
-            let (w, mut db) = run_mix(kind, 300);
-            w.check_consistency(db.as_mut());
+            let (w, db) = run_mix(kind, 300);
+            w.check_consistency(db.as_ref());
         }
     }
 
@@ -1029,13 +1031,14 @@ mod tests {
         );
         let mut w = TpcC::with_scale(TpcCScale::tiny()).seed(11);
         sim.offline(|| w.setup(db.as_mut(), 1));
+        let mut s = db.session(0);
         sim.offline(|| {
             for i in 0..200 {
-                w.exec(db.as_mut(), 0)
+                w.exec(s.as_mut(), 0)
                     .unwrap_or_else(|e| panic!("txn {i}: {e}"));
             }
         });
         assert_eq!(w.counts.total() + w.counts.new_order_rollbacks, 200);
-        w.check_consistency(db.as_mut());
+        w.check_consistency(db.as_ref());
     }
 }

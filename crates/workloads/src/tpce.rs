@@ -14,7 +14,7 @@
 //! percentages are rounded. Routing is by customer, so every transaction
 //! is single-sited.
 
-use oltp::{Column, DataType, Db, KeyPack, OltpResult, Schema, TableDef, TableId, Value};
+use oltp::{Column, DataType, Db, KeyPack, OltpResult, Schema, Session, TableDef, TableId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -188,21 +188,21 @@ impl TpcE {
 
     /// Submit a market order: reads the customer context and the security,
     /// inserts a pending trade, updates the account balance.
-    fn trade_order(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn trade_order(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let c = self.pick_customer(worker);
         let slot = self.rngs[worker].random_range(0..ACCOUNTS_PER_CUSTOMER);
         let acc = key_account(c, slot);
         let sec = self.pick_security(worker);
         let qty: i64 = self.rngs[worker].random_range(1..=500);
         let t = *self.tables.as_ref().expect("setup");
-        db.begin();
-        db.read_with(t.customer, c, &mut |_| {})?;
-        db.read_with(t.account, acc, &mut |_| {})?;
+        s.begin();
+        s.read_with(t.customer, c, &mut |_| {})?;
+        s.read_with(t.account, acc, &mut |_| {})?;
         let mut price = 0;
-        db.read_with(t.security, sec, &mut |row| price = row[2].long())?;
-        db.read_with(t.broker, c % 64, &mut |_| {})?;
+        s.read_with(t.security, sec, &mut |row| price = row[2].long())?;
+        s.read_with(t.broker, c % 64, &mut |_| {})?;
         let seq = self.next_trade_seq(acc);
-        db.insert(
+        s.insert(
             t.trade,
             key_trade(acc, seq),
             &[
@@ -215,15 +215,15 @@ impl TpcE {
         )?;
         let p_seq = self.pend_head[worker];
         self.pend_head[worker] += 1;
-        db.insert(
+        s.insert(
             t.pending,
             key_pending(worker as u64, p_seq),
             &[Value::Long(acc as i64), Value::Long(seq as i64)],
         )?;
-        db.update(t.account, acc, &mut |row| {
+        s.update(t.account, acc, &mut |row| {
             row[2] = Value::Long(row[2].long() - qty * price);
         })?;
-        db.commit()?;
+        s.commit()?;
         self.counts.trade_order += 1;
         Ok(())
     }
@@ -231,37 +231,37 @@ impl TpcE {
     /// Settle the oldest pending order of this worker (queue drain, like
     /// TPC-C's Delivery): mark the trade completed, upsert the holding,
     /// touch the security price.
-    fn trade_result(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn trade_result(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let t = *self.tables.as_ref().expect("setup");
-        db.begin();
+        s.begin();
         let (_, hi) = KeyPack::new().field(worker as u64, 8).prefix_range(40);
         let lo = key_pending(worker as u64, self.pend_tail[worker]);
         let mut oldest = None;
-        db.scan(t.pending, lo, hi, &mut |k, row| {
+        s.scan(t.pending, lo, hi, &mut |k, row| {
             oldest = Some((k, row[0].long() as u64, row[1].long() as u64));
             false
         })?;
         let Some((pk, acc, seq)) = oldest else {
-            db.commit()?;
+            s.commit()?;
             self.counts.trade_result += 1;
             return Ok(());
         };
         self.pend_tail[worker] = (pk & 0xFF_FFFF_FFFF) + 1;
-        db.delete(t.pending, pk)?;
+        s.delete(t.pending, pk)?;
         let mut sec = 0u64;
         let mut qty = 0i64;
-        db.update(t.trade, key_trade(acc, seq), &mut |row| {
+        s.update(t.trade, key_trade(acc, seq), &mut |row| {
             sec = row[1].long() as u64;
             qty = row[2].long();
             row[4] = Value::Long(1); // status: completed
         })?;
         // Upsert the holding.
         let hk = key_holding(acc, sec);
-        let existed = db.update(t.holding, hk, &mut |row| {
+        let existed = s.update(t.holding, hk, &mut |row| {
             row[2] = Value::Long(row[2].long() + qty);
         })?;
         if !existed {
-            db.insert(
+            s.insert(
                 t.holding,
                 hk,
                 &[
@@ -272,88 +272,88 @@ impl TpcE {
             )?;
         }
         // Last-trade price drifts.
-        db.update(t.security, sec, &mut |row| {
+        s.update(t.security, sec, &mut |row| {
             row[2] = Value::Long((row[2].long() + 1).max(1));
         })?;
-        db.commit()?;
+        s.commit()?;
         self.counts.trade_result += 1;
         Ok(())
     }
 
     /// Status of the customer's recent trades (prefix scan).
-    fn trade_status(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn trade_status(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let c = self.pick_customer(worker);
         let slot = self.rngs[worker].random_range(0..ACCOUNTS_PER_CUSTOMER);
         let acc = key_account(c, slot);
         let t = *self.tables.as_ref().expect("setup");
-        db.begin();
-        db.read_with(t.account, acc, &mut |_| {})?;
+        s.begin();
+        s.read_with(t.account, acc, &mut |_| {})?;
         let (lo, hi) = KeyPack::new().field(acc, ACC_BITS).prefix_range(SEQ_BITS);
         let mut seen = 0;
-        db.scan(t.trade, lo, hi, &mut |_, _| {
+        s.scan(t.trade, lo, hi, &mut |_, _| {
             seen += 1;
             seen < 10
         })?;
-        db.commit()?;
+        s.commit()?;
         self.counts.trade_status += 1;
         Ok(())
     }
 
     /// Full position of a customer: accounts, holdings, security prices.
-    fn customer_position(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn customer_position(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let c = self.pick_customer(worker);
         let t = *self.tables.as_ref().expect("setup");
-        db.begin();
-        db.read_with(t.customer, c, &mut |_| {})?;
+        s.begin();
+        s.read_with(t.customer, c, &mut |_| {})?;
         for slot in 0..ACCOUNTS_PER_CUSTOMER {
             let acc = key_account(c, slot);
-            db.read_with(t.account, acc, &mut |_| {})?;
+            s.read_with(t.account, acc, &mut |_| {})?;
             let (lo, hi) = KeyPack::new().field(acc, ACC_BITS).prefix_range(SEC_BITS);
             let mut secs = Vec::new();
-            db.scan(t.holding, lo, hi, &mut |_, row| {
+            s.scan(t.holding, lo, hi, &mut |_, row| {
                 secs.push(row[1].long() as u64);
                 true
             })?;
             for sec in secs {
-                db.read_with(t.security, sec, &mut |_| {})?;
+                s.read_with(t.security, sec, &mut |_| {})?;
             }
         }
-        db.commit()?;
+        s.commit()?;
         self.counts.customer_position += 1;
         Ok(())
     }
 
     /// Read ~20 securities of a synthetic watch list.
-    fn market_watch(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn market_watch(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let base = self.pick_security(worker);
         let t = *self.tables.as_ref().expect("setup");
-        db.begin();
+        s.begin();
         for i in 0..20u64 {
             let sec = (base + i * 37) % self.scale.securities;
-            db.read_with(t.security, sec, &mut |_| {})?;
+            s.read_with(t.security, sec, &mut |_| {})?;
         }
-        db.commit()?;
+        s.commit()?;
         self.counts.market_watch += 1;
         Ok(())
     }
 
     /// Look up recent trades of one account and re-read their details.
-    fn trade_lookup(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn trade_lookup(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let c = self.pick_customer(worker);
         let slot = self.rngs[worker].random_range(0..ACCOUNTS_PER_CUSTOMER);
         let acc = key_account(c, slot);
         let t = *self.tables.as_ref().expect("setup");
-        db.begin();
+        s.begin();
         let (lo, hi) = KeyPack::new().field(acc, ACC_BITS).prefix_range(SEQ_BITS);
         let mut keys = Vec::new();
-        db.scan(t.trade, lo, hi, &mut |k, _| {
+        s.scan(t.trade, lo, hi, &mut |k, _| {
             keys.push(k);
             keys.len() < 8
         })?;
         for k in keys {
-            db.read_with(t.trade, k, &mut |_| {})?;
+            s.read_with(t.trade, k, &mut |_| {})?;
         }
-        db.commit()?;
+        s.commit()?;
         self.counts.trade_lookup += 1;
         Ok(())
     }
@@ -455,11 +455,11 @@ impl Workload for TpcE {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xE10AD);
         // Brokers + securities are replicated per partition (read-mostly).
         let copies = db.partitions().max(1).min(workers.max(1));
-        for copy in 0..copies {
-            db.set_core(copy);
-            db.begin();
+        let mut sessions: Vec<_> = (0..workers).map(|w| db.session(w)).collect();
+        for se in sessions.iter_mut().take(copies) {
+            se.begin();
             for b in 0..64u64 {
-                db.insert(
+                se.insert(
                     t.broker,
                     b,
                     &[
@@ -470,10 +470,10 @@ impl Workload for TpcE {
                 )
                 .expect("load broker");
             }
-            db.commit().expect("load");
-            db.begin();
+            se.commit().expect("load");
+            se.begin();
             for sec in 0..s.securities {
-                db.insert(
+                se.insert(
                     t.security,
                     sec,
                     &[
@@ -486,17 +486,17 @@ impl Workload for TpcE {
                 )
                 .expect("load security");
                 if sec % 5000 == 4999 {
-                    db.commit().expect("load");
-                    db.begin();
+                    se.commit().expect("load");
+                    se.begin();
                 }
             }
-            db.commit().expect("load");
+            se.commit().expect("load");
         }
 
         for c in 0..s.customers {
-            db.set_core((c % workers as u64) as usize);
-            db.begin();
-            db.insert(
+            let se = &mut sessions[(c % workers as u64) as usize];
+            se.begin();
+            se.insert(
                 t.customer,
                 c,
                 &[
@@ -509,7 +509,7 @@ impl Workload for TpcE {
             .expect("load customer");
             for slot in 0..ACCOUNTS_PER_CUSTOMER {
                 let acc = key_account(c, slot);
-                db.insert(
+                se.insert(
                     t.account,
                     acc,
                     &[
@@ -522,7 +522,7 @@ impl Workload for TpcE {
                 .expect("load account");
                 for h in 0..HOLDINGS_PER_ACCOUNT {
                     let sec = (c * 7 + slot * 13 + h * 31) % s.securities;
-                    let _ = db.insert(
+                    let _ = se.insert(
                         t.holding,
                         key_holding(acc, sec),
                         &[
@@ -534,7 +534,7 @@ impl Workload for TpcE {
                 }
                 for _ in 0..s.initial_trades {
                     let seq = self.next_trade_seq(acc);
-                    db.insert(
+                    se.insert(
                         t.trade,
                         key_trade(acc, seq),
                         &[
@@ -548,26 +548,27 @@ impl Workload for TpcE {
                     .expect("load trade");
                 }
             }
-            db.commit().expect("load");
+            se.commit().expect("load");
         }
+        drop(sessions);
         db.finish_load();
         self.tables = Some(t);
     }
 
-    fn exec(&mut self, db: &mut dyn Db, worker: usize) -> OltpResult<()> {
+    fn exec(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
         let dice = self.rngs[worker].random_range(0..100);
         if dice < 20 {
-            self.trade_order(db, worker)
+            self.trade_order(s, worker)
         } else if dice < 38 {
-            self.trade_result(db, worker)
+            self.trade_result(s, worker)
         } else if dice < 58 {
-            self.trade_status(db, worker)
+            self.trade_status(s, worker)
         } else if dice < 72 {
-            self.customer_position(db, worker)
+            self.customer_position(s, worker)
         } else if dice < 86 {
-            self.market_watch(db, worker)
+            self.market_watch(s, worker)
         } else {
-            self.trade_lookup(db, worker)
+            self.trade_lookup(s, worker)
         }
     }
 }
@@ -599,9 +600,10 @@ mod tests {
             let mut db = build_system(kind, &sim, 1);
             let mut w = TpcE::with_scale(TpcEScale::tiny()).seed(9);
             sim.offline(|| w.setup(db.as_mut(), 1));
+            let mut s = db.session(0);
             sim.offline(|| {
                 for i in 0..300 {
-                    w.exec(db.as_mut(), 0)
+                    w.exec(s.as_mut(), 0)
                         .unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
                 }
             });
@@ -618,9 +620,10 @@ mod tests {
         let mut w = TpcE::with_scale(TpcEScale::tiny()).seed(4);
         sim.offline(|| w.setup(db.as_mut(), 1));
         let holdings_before = db.row_count(w.tables.as_ref().unwrap().holding);
+        let mut s = db.session(0);
         sim.offline(|| {
             for _ in 0..400 {
-                w.exec(db.as_mut(), 0).unwrap();
+                w.exec(s.as_mut(), 0).unwrap();
             }
         });
         let t = w.tables.as_ref().unwrap();
@@ -643,9 +646,10 @@ mod tests {
         let mut db = build_system(SystemKind::VoltDb, &sim, 1);
         let mut w = TpcE::with_scale(TpcEScale::tiny()).seed(12);
         sim.offline(|| w.setup(db.as_mut(), 1));
+        let mut s = db.session(0);
         sim.offline(|| {
             for _ in 0..1000 {
-                w.exec(db.as_mut(), 0).unwrap();
+                w.exec(s.as_mut(), 0).unwrap();
             }
         });
         let reads = w.counts.trade_status

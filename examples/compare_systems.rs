@@ -40,7 +40,8 @@ fn main() {
             measured: 3000,
             reps: 3,
         };
-        let m = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"));
+        let mut s = db.session(0);
+        let m = measure(&sim, 0, spec, |_| w.exec(s.as_mut(), 0).expect("txn"));
         let i_stalls: f64 = m.spki[..3].iter().sum();
         let d_stalls: f64 = m.spki[3..].iter().sum();
         rows.push(vec![

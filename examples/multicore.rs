@@ -1,12 +1,15 @@
 //! The §7 multi-threading experiment in miniature: run the read-only
-//! micro-benchmark with several workers (one data partition per worker,
-//! single-site transactions) and compare against single-threaded.
+//! micro-benchmark with several workers — one data partition per worker,
+//! single-site transactions, one OS thread and one engine session per
+//! worker — and compare against single-threaded.
 //!
 //! ```text
 //! cargo run --release --example multicore
 //! ```
 
-use imoltp::analysis::{measure, measure_multi, WindowSpec};
+use std::sync::Mutex;
+
+use imoltp::analysis::{measure, measure_workers, Pacing, WindowSpec};
 use imoltp::bench::{DbSize, MicroBench, Workload};
 use imoltp::sim::{MachineConfig, Sim};
 use imoltp::systems::{build_system, SystemKind};
@@ -23,13 +26,16 @@ fn run(kind: SystemKind, workers: usize) -> (f64, f64, u64) {
         reps: 2,
     };
     let m = if workers == 1 {
-        db.set_core(0);
-        measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"))
+        let mut s = db.session(0);
+        measure(&sim, 0, spec, |_| w.exec(s.as_mut(), 0).expect("txn"))
     } else {
         let cores: Vec<usize> = (0..workers).collect();
-        measure_multi(&sim, &cores, spec, |_, worker| {
-            db.set_core(worker);
-            w.exec(db.as_mut(), worker).expect("txn");
+        let w = Mutex::new(w);
+        let db = &*db;
+        let w = &w;
+        measure_workers(&sim, &cores, spec, Pacing::Lockstep, |worker| {
+            let mut s = db.session(worker);
+            move |_| w.lock().unwrap().exec(s.as_mut(), worker).expect("txn")
         })
     };
     (m.ipc, m.spki.iter().sum(), m.counts.invalidations)

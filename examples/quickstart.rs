@@ -23,15 +23,17 @@ fn main() {
     sim.offline(|| workload.setup(db.as_mut(), 1)); // bulk load, unprofiled
     sim.warm_data();
 
-    // 4. Measure with the paper's methodology: warm-up window, measured
-    //    window, three averaged repetitions.
+    // 4. Open a session — the per-worker transaction handle — and measure
+    //    with the paper's methodology: warm-up window, measured window,
+    //    three averaged repetitions.
+    let mut session = db.session(0);
     let spec = WindowSpec {
         warmup: 2000,
         measured: 4000,
         reps: 3,
     };
     let m: Measurement = measure(&sim, 0, spec, |_| {
-        workload.exec(db.as_mut(), 0).expect("txn");
+        workload.exec(session.as_mut(), 0).expect("txn");
     });
 
     // 5. The paper's observables.

@@ -48,7 +48,9 @@ fn main() {
         measured: 600,
         reps: 3,
     };
-    let m = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"));
+    let mut s = db.session(0);
+    let m = measure(&sim, 0, spec, |_| w.exec(s.as_mut(), 0).expect("txn"));
+    drop(s);
 
     println!(
         "\n{} on TPC-C: IPC {:.2}, {:.0} instructions/txn",
@@ -77,6 +79,6 @@ fn main() {
         "\n=> {:.0}% of execution time inside the OLTP engine (storage manager).",
         m.engine_share() * 100.0
     );
-    w.check_consistency(db.as_mut());
+    w.check_consistency(db.as_ref());
     println!("TPC-C consistency checks passed.");
 }

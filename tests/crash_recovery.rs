@@ -25,29 +25,30 @@ fn replayed_database_matches_original() {
     db.retain_log();
     let t = micro_table(&mut db);
 
+    let mut s = db.session(0);
     sim.offline(|| {
         for i in 0..300u64 {
-            db.begin();
+            s.begin();
             let k = i % 97;
             match i % 4 {
                 0 => {
-                    let _ = db.insert(t, k, &[Value::Long(k as i64), Value::Long(i as i64)]);
+                    let _ = s.insert(t, k, &[Value::Long(k as i64), Value::Long(i as i64)]);
                 }
                 1 => {
-                    let _ = db.update(t, k, &mut |r| r[1] = Value::Long(-(i as i64)));
+                    let _ = s.update(t, k, &mut |r| r[1] = Value::Long(-(i as i64)));
                 }
                 2 => {
-                    let _ = db.delete(t, k);
+                    let _ = s.delete(t, k);
                 }
                 _ => {
-                    let _ = db.read(t, k);
+                    let _ = s.read(t, k);
                 }
             }
-            db.commit().unwrap();
+            s.commit().unwrap();
         }
         // "Crash": an in-flight transaction never commits.
-        db.begin();
-        db.insert(t, 9999, &[Value::Long(9999), Value::Long(1)])
+        s.begin();
+        s.insert(t, 9999, &[Value::Long(9999), Value::Long(1)])
             .unwrap();
         // (no commit)
     });
@@ -57,29 +58,31 @@ fn replayed_database_matches_original() {
     let mut fresh = ShoreMt::new(&sim2);
     let t2 = micro_table(&mut fresh);
     assert_eq!(t, t2);
-    let stats = sim2.offline(|| replay(db.log_records(), &mut fresh).unwrap());
+    let mut fs = fresh.session(0);
+    let records = db.log_records();
+    let stats = sim2.offline(|| replay(&records, fs.as_mut()).unwrap());
     assert!(stats.txns > 0);
     assert_eq!(stats.losers, 1, "the in-flight transaction is a loser");
 
     // Same visible state everywhere. (Close the crashed transaction on
     // the original first; its uncommitted insert stays local to it.)
-    db.abort();
+    s.abort();
     sim2.offline(|| {
-        fresh.begin();
-        db.begin();
+        fs.begin();
+        s.begin();
         for k in 0..100u64 {
-            let a = db.read(t, k).unwrap();
-            let b = fresh.read(t2, k).unwrap();
+            let a = s.read(t, k).unwrap();
+            let b = fs.read(t2, k).unwrap();
             // The original still holds its uncommitted insert; committed
             // keys < 97 must match exactly.
             assert_eq!(a, b, "key {k} diverged after replay");
         }
         assert!(
-            fresh.read(t2, 9999).unwrap().is_none(),
+            fs.read(t2, 9999).unwrap().is_none(),
             "loser work must not survive"
         );
-        db.commit().unwrap();
-        fresh.commit().unwrap();
+        s.commit().unwrap();
+        fs.commit().unwrap();
     });
 }
 
@@ -91,11 +94,12 @@ fn tpcb_survives_crash_replay() {
     let mut w = TpcB::with_branches(1).seed(321);
     sim.offline(|| w.setup(&mut db, 1));
     sim.offline(|| {
+        let mut s = db.session(0);
         for _ in 0..60 {
-            w.exec(&mut db, 0).unwrap();
+            w.exec(s.as_mut(), 0).unwrap();
         }
     });
-    let expected = w.total_balance(&mut db, "account");
+    let expected = w.total_balance(&db, "account");
 
     // Replay the log (load + 60 transactions) into a fresh engine with the
     // same table layout.
@@ -145,7 +149,9 @@ fn tpcb_survives_crash_replay() {
         ]),
         10_000,
     ));
-    let stats = sim2.offline(|| replay(db.log_records(), &mut fresh).unwrap());
+    let mut fs = fresh.session(0);
+    let records = db.log_records();
+    let stats = sim2.offline(|| replay(&records, fs.as_mut()).unwrap());
     assert!(
         stats.applied > 100_000,
         "loader records replayed: {}",
@@ -158,13 +164,13 @@ fn tpcb_survives_crash_replay() {
     let account = imoltp::db::TableId(2);
     let mut recovered = 0i64;
     sim2.offline(|| {
-        fresh.begin();
+        fs.begin();
         for k in 0..100_000u64 {
-            if let Some(row) = fresh.read(account, k).unwrap() {
+            if let Some(row) = fs.read(account, k).unwrap() {
                 recovered += row[1].long();
             }
         }
-        fresh.commit().unwrap();
+        fs.commit().unwrap();
     });
     assert_eq!(recovered, expected);
 }
@@ -186,26 +192,27 @@ fn dbms_m_recovers_from_its_redo_log() {
         ]),
         1000,
     ));
+    let mut s = db.session(0);
     sim.offline(|| {
         for i in 0..200u64 {
-            db.begin();
+            s.begin();
             let k = i % 61;
             match i % 3 {
                 0 => {
-                    let _ = db.insert(t, k, &[Value::Long(k as i64), Value::Long(i as i64)]);
+                    let _ = s.insert(t, k, &[Value::Long(k as i64), Value::Long(i as i64)]);
                 }
                 1 => {
-                    let _ = db.update(t, k, &mut |r| r[1] = Value::Long(i as i64 * 2));
+                    let _ = s.update(t, k, &mut |r| r[1] = Value::Long(i as i64 * 2));
                 }
                 _ => {
-                    let _ = db.delete(t, k);
+                    let _ = s.delete(t, k);
                 }
             }
-            db.commit().unwrap();
+            s.commit().unwrap();
         }
         // Crash with a buffered (never-committed) write.
-        db.begin();
-        db.insert(t, 777, &[Value::Long(777), Value::Long(1)])
+        s.begin();
+        s.insert(t, 777, &[Value::Long(777), Value::Long(1)])
             .unwrap();
     });
 
@@ -219,21 +226,23 @@ fn dbms_m_recovers_from_its_redo_log() {
         ]),
         1000,
     ));
-    sim2.offline(|| replay(db.log_records(), &mut fresh).unwrap());
+    let mut fs = fresh.session(0);
+    let records = db.log_records();
+    sim2.offline(|| replay(&records, fs.as_mut()).unwrap());
 
-    db.abort();
+    s.abort();
     sim2.offline(|| {
-        db.begin();
-        fresh.begin();
+        s.begin();
+        fs.begin();
         for k in 0..61u64 {
             assert_eq!(
-                db.read(t, k).unwrap(),
-                fresh.read(t2, k).unwrap(),
+                s.read(t, k).unwrap(),
+                fs.read(t2, k).unwrap(),
                 "key {k} diverged"
             );
         }
-        assert!(fresh.read(t2, 777).unwrap().is_none());
-        db.commit().unwrap();
-        fresh.commit().unwrap();
+        assert!(fs.read(t2, 777).unwrap().is_none());
+        s.commit().unwrap();
+        fs.commit().unwrap();
     });
 }

@@ -28,14 +28,15 @@ fn run_sequence(kind: SystemKind, seed: u64, ops: usize) {
     let mut oracle: BTreeMap<u64, i64> = BTreeMap::new();
     let mut rng = StdRng::seed_from_u64(seed);
 
+    let mut s = db.session(0);
     sim.offline(|| {
         for i in 0..ops {
             let key = rng.random_range(0..500u64);
-            db.begin();
+            s.begin();
             match rng.random_range(0..5) {
                 0 => {
                     let val = rng.random_range(0..1_000_000i64);
-                    let r = db.insert(t, key, &[Value::Long(key as i64), Value::Long(val)]);
+                    let r = s.insert(t, key, &[Value::Long(key as i64), Value::Long(val)]);
                     match (r, oracle.contains_key(&key)) {
                         (Ok(()), false) => {
                             oracle.insert(key, val);
@@ -47,7 +48,7 @@ fn run_sequence(kind: SystemKind, seed: u64, ops: usize) {
                     }
                 }
                 1 => {
-                    let got = db.read(t, key).unwrap().map(|row| row[1].long());
+                    let got = s.read(t, key).unwrap().map(|row| row[1].long());
                     assert_eq!(
                         got,
                         oracle.get(&key).copied(),
@@ -56,7 +57,7 @@ fn run_sequence(kind: SystemKind, seed: u64, ops: usize) {
                 }
                 2 => {
                     let val = rng.random_range(0..1_000_000i64);
-                    let updated = db
+                    let updated = s
                         .update(t, key, &mut |row| row[1] = Value::Long(val))
                         .unwrap();
                     assert_eq!(
@@ -69,7 +70,7 @@ fn run_sequence(kind: SystemKind, seed: u64, ops: usize) {
                     }
                 }
                 3 => {
-                    let deleted = db.delete(t, key).unwrap();
+                    let deleted = s.delete(t, key).unwrap();
                     assert_eq!(
                         deleted,
                         oracle.remove(&key).is_some(),
@@ -79,7 +80,7 @@ fn run_sequence(kind: SystemKind, seed: u64, ops: usize) {
                 _ => {
                     let lo = key.saturating_sub(50);
                     let hi = key + 50;
-                    match db.scan(t, lo, hi, &mut |k, row| {
+                    match s.scan(t, lo, hi, &mut |k, row| {
                         assert_eq!(
                             oracle.get(&k).copied(),
                             Some(row[1].long()),
@@ -96,18 +97,18 @@ fn run_sequence(kind: SystemKind, seed: u64, ops: usize) {
                     }
                 }
             }
-            db.commit().unwrap();
+            s.commit().unwrap();
         }
     });
 
     // Final state: every oracle row readable, every other key absent.
     sim.offline(|| {
-        db.begin();
+        s.begin();
         for k in 0..500u64 {
-            let got = db.read(t, k).unwrap().map(|row| row[1].long());
+            let got = s.read(t, k).unwrap().map(|row| row[1].long());
             assert_eq!(got, oracle.get(&k).copied(), "{kind:?} final state key {k}");
         }
-        db.commit().unwrap();
+        s.commit().unwrap();
         assert_eq!(db.row_count(t), oracle.len() as u64, "{kind:?} row count");
     });
 }

@@ -23,20 +23,22 @@ fn shared_row_writes_invalidate_the_other_core() {
         100,
     ));
     sim.offline(|| {
-        db.begin();
+        let mut s = db.session(0);
+        s.begin();
         for k in 0..64u64 {
-            db.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
+            s.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])
                 .unwrap();
         }
-        db.commit().unwrap();
+        s.commit().unwrap();
     });
+    let mut sessions: Vec<_> = (0..2).map(|c| db.session(c)).collect();
     for round in 0..200u64 {
         for core in [0usize, 1] {
-            db.set_core(core);
-            db.begin();
-            db.update(t, round % 64, &mut |r| r[1] = Value::Long(round as i64))
+            let s = sessions[core].as_mut();
+            s.begin();
+            s.update(t, round % 64, &mut |r| r[1] = Value::Long(round as i64))
                 .unwrap();
-            db.commit().unwrap();
+            s.commit().unwrap();
         }
     }
     let inval0 = sim.counters(0).invalidations;
@@ -54,10 +56,10 @@ fn partitioned_workers_do_not_invalidate_each_other() {
     let mut db = build_system(SystemKind::VoltDb, &sim, workers);
     let mut w = MicroBench::new(DbSize::Mb1).with_rows(8000).read_write();
     sim.offline(|| w.setup(db.as_mut(), workers));
+    let mut sessions: Vec<_> = (0..workers).map(|c| db.session(c)).collect();
     for i in 0..400usize {
         let worker = i % workers;
-        db.set_core(worker);
-        w.exec(db.as_mut(), worker).unwrap();
+        w.exec(sessions[worker].as_mut(), worker).unwrap();
     }
     // Disjoint partitions: essentially no coherence traffic.
     let total = sim.counters(0).invalidations + sim.counters(1).invalidations;
@@ -84,15 +86,15 @@ fn llc_sharing_raises_per_worker_misses() {
             reps: 1,
         };
         let m = if workers == 1 {
+            let mut s = db.session(0);
             measure(&sim, 0, spec, |_| {
-                db.set_core(0);
-                w.exec(db.as_mut(), 0).unwrap();
+                w.exec(s.as_mut(), 0).unwrap();
             })
         } else {
             let cores: Vec<usize> = (0..workers).collect();
+            let mut sessions: Vec<_> = cores.iter().map(|&c| db.session(c)).collect();
             measure_multi(&sim, &cores, spec, |_, worker| {
-                db.set_core(worker);
-                w.exec(db.as_mut(), worker).unwrap();
+                w.exec(sessions[worker].as_mut(), worker).unwrap();
             })
         };
         m.spki[5] // LLC-D stalls per k-instr, per worker
@@ -118,9 +120,9 @@ fn per_worker_measurements_are_balanced() {
         reps: 1,
     };
     let cores: Vec<usize> = (0..workers).collect();
+    let mut sessions: Vec<_> = cores.iter().map(|&c| db.session(c)).collect();
     let m = measure_multi(&sim, &cores, spec, |_, worker| {
-        db.set_core(worker);
-        w.exec(db.as_mut(), worker).unwrap();
+        w.exec(sessions[worker].as_mut(), worker).unwrap();
     });
     // All four workers ran the same workload: the averaged per-worker
     // instruction count matches the single-worker cost closely.

@@ -16,12 +16,13 @@ fn micro(kind: SystemKind, rows: u64, rows_per_txn: u32) -> Measurement {
         .rows_per_txn(rows_per_txn);
     sim.offline(|| w.setup(db.as_mut(), 1));
     sim.warm_data();
+    let mut s = db.session(0);
     let spec = WindowSpec {
         warmup: 1200,
         measured: 2000,
         reps: 1,
     };
-    measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"))
+    measure(&sim, 0, spec, |_| w.exec(s.as_mut(), 0).expect("txn"))
 }
 
 const SMALL: u64 = 16 * 1024; // fits every cache level that matters
@@ -222,12 +223,13 @@ fn read_write_variant_has_larger_instruction_footprint() {
         let mut w = MicroBench::new(DbSize::Mb1).with_rows(LARGE).read_write();
         sim.offline(|| w.setup(db.as_mut(), 1));
         sim.warm_data();
+        let mut s = db.session(0);
         let spec = WindowSpec {
             warmup: 1200,
             measured: 2000,
             reps: 1,
         };
-        let rw = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).expect("txn"));
+        let rw = measure(&sim, 0, spec, |_| w.exec(s.as_mut(), 0).expect("txn"));
         let ro = micro(kind, LARGE, 1);
         assert!(
             rw.instr_per_txn > ro.instr_per_txn,

@@ -13,9 +13,10 @@ fn module_counters_partition_engine_activity() {
     let mut w = MicroBench::new(DbSize::Mb1).with_rows(4000);
     sim.offline(|| w.setup(db.as_mut(), 1));
 
+    let mut s = db.session(0);
     let p = Profiler::attach(&sim, 0);
     for _ in 0..200 {
-        w.exec(db.as_mut(), 0).unwrap();
+        w.exec(s.as_mut(), 0).unwrap();
     }
     let s = p.sample();
 
@@ -47,12 +48,13 @@ fn engine_share_is_a_valid_fraction_everywhere() {
         let mut db = build_system(kind, &sim, 1);
         let mut w = MicroBench::new(DbSize::Mb1).with_rows(4000);
         sim.offline(|| w.setup(db.as_mut(), 1));
+        let mut s = db.session(0);
         let spec = WindowSpec {
             warmup: 200,
             measured: 400,
             reps: 2,
         };
-        let m = measure(&sim, 0, spec, |_| w.exec(db.as_mut(), 0).unwrap());
+        let m = measure(&sim, 0, spec, |_| w.exec(s.as_mut(), 0).unwrap());
         let share = m.engine_share();
         assert!(
             (0.01..=1.0).contains(&share),
@@ -73,6 +75,7 @@ fn windows_average_not_accumulate() {
     let mut db = build_system(SystemKind::HyPer, &sim, 1);
     let mut w = MicroBench::new(DbSize::Mb1).with_rows(4000);
     sim.offline(|| w.setup(db.as_mut(), 1));
+    let mut s = db.session(0);
     let one_rep = measure(
         &sim,
         0,
@@ -81,7 +84,7 @@ fn windows_average_not_accumulate() {
             measured: 500,
             reps: 1,
         },
-        |_| w.exec(db.as_mut(), 0).unwrap(),
+        |_| w.exec(s.as_mut(), 0).unwrap(),
     );
     let three_reps = measure(
         &sim,
@@ -91,7 +94,7 @@ fn windows_average_not_accumulate() {
             measured: 500,
             reps: 3,
         },
-        |_| w.exec(db.as_mut(), 0).unwrap(),
+        |_| w.exec(s.as_mut(), 0).unwrap(),
     );
     // Averaged metrics stay per-window regardless of repetition count.
     let ratio = three_reps.instr_per_txn / one_rep.instr_per_txn;

@@ -14,16 +14,17 @@ fn tpcb_balance_invariant_every_engine() {
         let mut w = TpcB::with_branches(1).seed(99);
         sim.offline(|| w.setup(db.as_mut(), 1));
         sim.offline(|| {
+            let mut s = db.session(0);
             for i in 0..200 {
-                w.exec(db.as_mut(), 0)
+                w.exec(s.as_mut(), 0)
                     .unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
             }
         });
         // TPC-B's invariant: the sums of branch, teller, and account
         // balances all equal the sum of applied deltas.
-        let b = w.total_balance(db.as_mut(), "branch");
-        let t = w.total_balance(db.as_mut(), "teller");
-        let a = w.total_balance(db.as_mut(), "account");
+        let b = w.total_balance(db.as_ref(), "branch");
+        let t = w.total_balance(db.as_ref(), "teller");
+        let a = w.total_balance(db.as_ref(), "account");
         assert_eq!(b, t, "{kind:?}");
         assert_eq!(b, a, "{kind:?}");
         assert_eq!(w.committed(), 200, "{kind:?}");
@@ -48,8 +49,9 @@ fn tpcc_invariants_every_engine() {
         let mut w = TpcC::with_scale(TpcCScale::tiny()).seed(5);
         sim.offline(|| w.setup(db.as_mut(), 1));
         sim.offline(|| {
+            let mut s = db.session(0);
             for i in 0..400 {
-                w.exec(db.as_mut(), 0)
+                w.exec(s.as_mut(), 0)
                     .unwrap_or_else(|e| panic!("{kind:?} txn {i}: {e}"));
             }
         });
@@ -61,7 +63,7 @@ fn tpcc_invariants_every_engine() {
         // The 45/43/4/4/4 mix: NewOrder and Payment dominate.
         assert!(w.counts.new_order > 120, "{kind:?}: {:?}", w.counts);
         assert!(w.counts.payment > 120, "{kind:?}: {:?}", w.counts);
-        w.check_consistency(db.as_mut());
+        w.check_consistency(db.as_ref());
     }
 }
 
@@ -79,12 +81,12 @@ fn tpcc_multi_worker_partitions_stay_consistent() {
     .seed(77);
     sim.offline(|| w.setup(db.as_mut(), workers));
     sim.offline(|| {
+        let mut sessions: Vec<_> = (0..workers).map(|c| db.session(c)).collect();
         for i in 0..300 {
             let worker = i % workers;
-            db.set_core(worker);
-            w.exec(db.as_mut(), worker)
+            w.exec(sessions[worker].as_mut(), worker)
                 .unwrap_or_else(|e| panic!("txn {i}: {e}"));
         }
     });
-    w.check_consistency(db.as_mut());
+    w.check_consistency(db.as_ref());
 }

@@ -37,11 +37,11 @@ fn traced_two_core_run() -> (Vec<SpanRecord>, String, Vec<(EventCounts, AggSnaps
 
     let profilers: Vec<Profiler> = (0..CORES).map(|c| Profiler::attach(&sim, c)).collect();
     let engine: &'static str = db.name();
+    let mut sessions: Vec<_> = (0..CORES).map(|c| db.session(c)).collect();
     for i in 0..TXNS_PER_CORE as usize * CORES {
         let core = i % CORES;
-        db.set_core(core);
         let _t = obs::span(engine, Phase::Txn, core);
-        w.exec(db.as_mut(), core)
+        w.exec(sessions[core].as_mut(), core)
             .expect("traced transaction failed");
     }
     let per_core: Vec<(EventCounts, AggSnapshot)> = profilers
