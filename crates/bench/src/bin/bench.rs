@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench trace <system> <workload> [workers]   # traced run + Perfetto/JSONL export
+//! bench perf [--smoke] [--check <baseline>]   # simulator micro-benchmark -> results/perf.json
 //! ```
 //!
 //! Systems: shore-mt, dbmsd, voltdb, hyper, dbmsm, dbmsm-interp,
@@ -53,6 +54,39 @@ fn main() {
             );
             println!("jsonl:    {}", art.jsonl.display());
         }
+        Some("perf") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let check = args
+                .iter()
+                .position(|a| a == "--check")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from);
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from)
+                .unwrap_or_else(|| repo_root().join("results").join("perf.json"));
+            let report = bench::perf::run(smoke);
+            print!("{}", report.render());
+            if let Some(dir) = out.parent() {
+                std::fs::create_dir_all(dir).expect("create results dir");
+            }
+            std::fs::write(&out, report.to_json()).expect("write perf.json");
+            println!("wrote {}", out.display());
+            if let Some(baseline) = check {
+                // CI gate: fail on a >30% throughput regression vs the
+                // checked-in baseline.
+                let bad = bench::perf::regressions(&report, &baseline, 0.7);
+                if !bad.is_empty() {
+                    for b in &bad {
+                        eprintln!("perf regression: {b}");
+                    }
+                    std::process::exit(1);
+                }
+                println!("no perf regressions vs {}", baseline.display());
+            }
+        }
         Some("help") | None => usage(0),
         Some(other) => {
             eprintln!("unknown subcommand: {other}");
@@ -63,6 +97,7 @@ fn main() {
 
 fn usage(code: i32) -> ! {
     eprintln!("usage: bench trace <shore-mt|dbmsd|voltdb|hyper|dbmsm|dbmsm-interp|dbmsm-btree> <micro|micro-rw|tpcb|tpcc|tpce> [workers]");
+    eprintln!("       bench perf [--smoke] [--check <baseline.json>] [--out <path>]");
     std::process::exit(code);
 }
 

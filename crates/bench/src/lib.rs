@@ -19,6 +19,7 @@ use workloads::{DbSize, MicroBench, TpcB, TpcC, TpcE, Workload};
 pub mod ablations;
 pub mod figures;
 pub mod modules_report;
+pub mod perf;
 pub mod scaling;
 pub mod suite;
 pub mod trace;

@@ -1,0 +1,324 @@
+//! `bench perf` — wall-clock micro-benchmark of the simulator itself.
+//!
+//! Every experiment in this repo is bounded by how fast [`uarch_sim`]
+//! retires simulated accesses, so this benchmark times the simulator's own
+//! hot paths (not any engine): pure L1-hit loads on one core, a mixed
+//! transaction-like shape (instruction fetch + reads + a store), and the
+//! same mixed shape on every core concurrently. Results go to
+//! `results/perf.json`; `--check <baseline.json>` fails the process when
+//! throughput regresses more than 30% against a recorded baseline, which
+//! is how CI guards the fast path.
+//!
+//! The simulated work per iteration is fixed and deterministic — only the
+//! wall-clock time varies between runs — so numbers are comparable across
+//! commits as long as the shapes below stay untouched.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use uarch_sim::rng::XorShift64;
+use uarch_sim::{BatchOp, MachineConfig, ModuleSpec, Sim};
+
+/// Cores exercised by the multi-core section.
+const MULTI_CORES: usize = 4;
+
+/// One timed section of the benchmark.
+#[derive(Clone, Debug)]
+pub struct Section {
+    pub name: &'static str,
+    /// Simulated data accesses (loads + stores) issued.
+    pub accesses: u64,
+    /// Simulated instructions retired.
+    pub instructions: u64,
+    pub wall_secs: f64,
+}
+
+impl Section {
+    pub fn accesses_per_sec(&self) -> f64 {
+        self.accesses as f64 / self.wall_secs
+    }
+
+    pub fn instr_per_sec(&self) -> f64 {
+        self.instructions as f64 / self.wall_secs
+    }
+}
+
+/// Full benchmark result.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    pub sections: Vec<Section>,
+}
+
+impl PerfReport {
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Render as JSON (hand-rolled; schema is flat and stable).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"sections\": [\n");
+        for (i, s) in self.sections.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"accesses\": {}, \"instructions\": {}, \
+                 \"wall_secs\": {:.6}, \"accesses_per_sec\": {:.1}, \"instr_per_sec\": {:.1}}}{}",
+                s.name,
+                s.accesses,
+                s.instructions,
+                s.wall_secs,
+                s.accesses_per_sec(),
+                s.instr_per_sec(),
+                if i + 1 == self.sections.len() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<18} {:>14} {:>16} {:>10}",
+            "section", "accesses/sec", "instr/sec", "wall"
+        );
+        for s in &self.sections {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>14.0} {:>16.0} {:>9.0}ms",
+                s.name,
+                s.accesses_per_sec(),
+                s.instr_per_sec(),
+                s.wall_secs * 1e3
+            );
+        }
+        out
+    }
+}
+
+fn time_section(name: &'static str, accesses: u64, instructions: u64, f: impl FnOnce()) -> Section {
+    let t0 = Instant::now();
+    f();
+    Section {
+        name,
+        accesses,
+        instructions,
+        wall_secs: t0.elapsed().as_secs_f64().max(1e-9),
+    }
+}
+
+/// Pure L1-hit loads on one core: a 16 KB buffer that stays L1D-resident,
+/// read one line at a time. This is the simulator's absolute fast path.
+fn l1_hit_loads(iters: u64) -> Section {
+    let sim = Sim::new(MachineConfig::ivy_bridge(1));
+    // Hold the core's port, as engine sessions do: the timed loop runs on
+    // the lock-free ported path.
+    let _port = sim.checkout(0);
+    let buf = sim.alloc(16 << 10, 64);
+    let mem = sim.mem(0);
+    // Warm the buffer so the timed loop only ever hits.
+    for off in (0..(16u64 << 10)).step_by(64) {
+        mem.read(buf + off, 8);
+    }
+    let lines = (16u64 << 10) / 64;
+    time_section("l1_hit_loads", iters, 0, || {
+        let mut off = 0u64;
+        for _ in 0..iters {
+            mem.read(buf + off * 64, 8);
+            off += 1;
+            if off == lines {
+                off = 0;
+            }
+        }
+    })
+}
+
+/// Transaction-like mix on one core: per iteration, one `exec` burst on a
+/// 24 KB module, four random reads over 1 MB, and one store over 64 KB.
+fn mixed_shape(sim: &Sim, core: usize, iters: u64, seed: u64) -> (u64, u64) {
+    // Engine sessions hold their core's port; measure the same path.
+    let _port = sim.try_checkout(core);
+    let module = sim.register_module(
+        ModuleSpec::new(format!("perf/mix-{core}"), 24 << 10)
+            .reuse(2.5)
+            .branchiness(0.1),
+    );
+    let read_region = sim.alloc(1 << 20, 64);
+    let write_region = sim.alloc(64 << 10, 64);
+    let mem = sim.mem(core).with_module(module);
+    let mut rng = XorShift64::new(seed);
+    for _ in 0..iters {
+        // One transaction = one batched commit: a single core acquisition
+        // (and coherence-queue drain) covers all six ops, the way engine
+        // hot loops are expected to use the simulator. Event accounting is
+        // identical to issuing the ops separately.
+        let r = |rng: &mut XorShift64| read_region + rng.next_below((1 << 20) / 64) * 64;
+        let ops = [
+            BatchOp::Exec(60),
+            BatchOp::Read {
+                addr: r(&mut rng),
+                len: 8,
+            },
+            BatchOp::Read {
+                addr: r(&mut rng),
+                len: 8,
+            },
+            BatchOp::Read {
+                addr: r(&mut rng),
+                len: 8,
+            },
+            BatchOp::Read {
+                addr: r(&mut rng),
+                len: 8,
+            },
+            BatchOp::Write {
+                addr: write_region + rng.next_below((64 << 10) / 64) * 64,
+                len: 8,
+            },
+        ];
+        mem.run_ops(&ops);
+    }
+    (iters * 5, iters * 60)
+}
+
+fn mixed_single(iters: u64) -> Section {
+    let sim = Sim::new(MachineConfig::ivy_bridge(1));
+    let mut work = (0, 0);
+    let mut run = || work = mixed_shape(&sim, 0, iters, 0x5EED);
+    let t0 = Instant::now();
+    run();
+    Section {
+        name: "mixed_1core",
+        accesses: work.0,
+        instructions: work.1,
+        wall_secs: t0.elapsed().as_secs_f64().max(1e-9),
+    }
+}
+
+/// The mixed shape on [`MULTI_CORES`] cores concurrently, sharing one
+/// machine: exercises LLC sharing and store-driven coherence.
+fn mixed_multi(iters_per_core: u64) -> Section {
+    let sim = Sim::new(MachineConfig::ivy_bridge(MULTI_CORES));
+    let t0 = Instant::now();
+    let per_core: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..MULTI_CORES)
+            .map(|core| {
+                let sim = sim.clone();
+                scope.spawn(move || mixed_shape(&sim, core, iters_per_core, 0x5EED + core as u64))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    Section {
+        name: "mixed_multicore",
+        accesses: per_core.iter().map(|w| w.0).sum(),
+        instructions: per_core.iter().map(|w| w.1).sum(),
+        wall_secs: wall,
+    }
+}
+
+/// Run the benchmark. Smoke mode shrinks every section ~20x so CI finishes
+/// in well under a second.
+pub fn run(smoke: bool) -> PerfReport {
+    let scale = if smoke { 20 } else { 1 };
+    let sections = vec![
+        l1_hit_loads(20_000_000 / scale),
+        mixed_single(1_500_000 / scale),
+        mixed_multi(600_000 / scale),
+    ];
+    PerfReport { sections }
+}
+
+/// Extract `"<name>" ... "accesses_per_sec": <num>` pairs from a perf JSON
+/// file written by [`PerfReport::to_json`]. Minimal by design — the schema
+/// is ours and flat.
+fn parse_rates(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = rest[..name_end].to_string();
+        let Some(rate_at) = line.find("\"accesses_per_sec\": ") else {
+            continue;
+        };
+        let tail = &line[rate_at + 20..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// Compare `report` against a baseline JSON on disk. Returns the list of
+/// sections whose accesses/sec dropped below `floor` (e.g. 0.7 = fail on a
+/// >30% regression). A missing baseline section is ignored.
+pub fn regressions(report: &PerfReport, baseline_path: &Path, floor: f64) -> Vec<String> {
+    let Ok(json) = std::fs::read_to_string(baseline_path) else {
+        return vec![format!(
+            "baseline not readable: {}",
+            baseline_path.display()
+        )];
+    };
+    let mut bad = Vec::new();
+    for (name, base_rate) in parse_rates(&json) {
+        let Some(sec) = report.section(&name) else {
+            continue;
+        };
+        let now = sec.accesses_per_sec();
+        if base_rate > 0.0 && now < base_rate * floor {
+            bad.push(format!(
+                "{name}: {now:.0} accesses/sec < {:.0}% of baseline {base_rate:.0}",
+                floor * 100.0
+            ));
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_round_trips_rates() {
+        let r = PerfReport {
+            sections: vec![Section {
+                name: "l1_hit_loads",
+                accesses: 1000,
+                instructions: 0,
+                wall_secs: 0.5,
+            }],
+        };
+        let rates = parse_rates(&r.to_json());
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, "l1_hit_loads");
+        assert!((rates[0].1 - 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn smoke_run_produces_all_sections() {
+        let r = run(true);
+        assert!(r.section("l1_hit_loads").is_some());
+        assert!(r.section("mixed_1core").is_some());
+        assert!(r.section("mixed_multicore").is_some());
+        for s in &r.sections {
+            assert!(s.accesses_per_sec() > 0.0);
+        }
+    }
+}

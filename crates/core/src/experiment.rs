@@ -202,6 +202,13 @@ impl Drop for PanicFence<'_> {
 /// globally unique transaction number. Worker `w`'s simulated activity
 /// must land on `cores[w]`.
 ///
+/// Building a closure (and the engine session inside it, which holds its
+/// core's exclusive `uarch_sim::CorePort`) on this thread and moving it to
+/// the worker is the supported pattern: the port's core is claimed by
+/// whichever thread issues the first access, and re-claimed after a move.
+/// The thread-safety contract is only that one thread at a time drives a
+/// given core — which the one-worker-per-core layout guarantees.
+///
 /// The measured windows are barrier-delimited: all workers finish warm-up,
 /// then every repetition attaches per-worker profilers, runs
 /// `spec.measured` transactions per worker, and samples — so each window

@@ -25,7 +25,7 @@ use storage::{
     lock::LockOutcome, BufferPool, HeapFile, LockManager, LockMode, LockTarget, LogKind, Rid,
     TxnId, TxnManager, Wal,
 };
-use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
+use uarch_sim::{CorePort, Mem, ModuleId, ModuleSpec, Sim};
 
 /// Engine name used for span attribution (matches [`Db::name`]).
 const ENGINE: &str = "DBMS D";
@@ -107,6 +107,10 @@ pub struct DbmsDSession {
     core: usize,
     cur: Option<TxnId>,
     ops_in_txn: u32,
+    /// Exclusive port to this session's simulated core: enables the
+    /// simulator's lock-free access path. `None` if another session on
+    /// the same core already holds it (accesses then use the fallback).
+    _port: Option<CorePort>,
 }
 
 const POOL_FRAMES: usize = 96 * 1024;
@@ -334,6 +338,7 @@ impl Db for DbmsD {
             core,
             cur: None,
             ops_in_txn: 0,
+            _port: self.shared.sim.try_checkout(core),
         })
     }
 }

@@ -28,7 +28,7 @@ use indexes::{CcBTree, HashIndex, Index};
 use obs::Phase;
 use oltp::{tuple, Db, OltpError, OltpResult, Row, Session, TableDef, TableId, Value};
 use storage::{mvcc::InstallOutcome, LogKind, RowId, TxnId, TxnManager, VersionStore, Wal};
-use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
+use uarch_sim::{CorePort, Mem, ModuleId, ModuleSpec, Sim};
 
 pub use crate::common::DbmsMIndex;
 
@@ -167,6 +167,10 @@ pub struct DbmsMSession {
     core: usize,
     cur: Option<ActiveTxn>,
     ops_in_txn: u32,
+    /// Exclusive port to this session's simulated core: enables the
+    /// simulator's lock-free access path. `None` if another session on
+    /// the same core already holds it (accesses then use the fallback).
+    _port: Option<CorePort>,
 }
 
 impl DbmsM {
@@ -403,6 +407,7 @@ impl Db for DbmsM {
             core,
             cur: None,
             ops_in_txn: 0,
+            _port: self.shared.sim.try_checkout(core),
         })
     }
 }

@@ -22,7 +22,7 @@ use indexes::{Art, Index};
 use obs::Phase;
 use oltp::{tuple, Db, OltpError, OltpResult, Row, Session, TableDef, TableId, Value};
 use storage::{LogKind, MemStore, RowId, TxnId, TxnManager, Wal};
-use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
+use uarch_sim::{CorePort, Mem, ModuleId, ModuleSpec, Sim};
 
 /// Engine label on trace spans.
 const ENGINE: &str = "HyPer";
@@ -82,6 +82,10 @@ pub struct HyPerSession {
     shared: Arc<Shared>,
     core: usize,
     cur: Option<TxnId>,
+    /// Exclusive port to this session's simulated core: enables the
+    /// simulator's lock-free access path. `None` if another session on
+    /// the same core already holds it (accesses then use the fallback).
+    _port: Option<CorePort>,
 }
 
 impl HyPer {
@@ -225,6 +229,7 @@ impl Db for HyPer {
             shared: Arc::clone(&self.shared),
             core,
             cur: None,
+            _port: self.shared.sim.try_checkout(core),
         })
     }
 }
@@ -417,15 +422,20 @@ impl Session for HyPerSession {
         let _s = obs::span(ENGINE, Phase::Storage, self.core);
         let mut visited = 0;
         for (k, payload) in pairs {
-            mem.exec(cost::SCAN_NEXT);
-            let mut decoded: Option<Row> = None;
-            let mut bytes = 0;
-            table.store.read(&mem, RowId::from_u64(payload), &mut |d| {
-                bytes = d.len();
-                decoded = tuple::decode(d).ok();
-            });
-            mem.exec(bytes as u64 * cost::VALUE_PER_BYTE);
-            if let Some(row) = decoded {
+            // One batched commit per row: the scan step, the row
+            // dereference, the row load, and the per-byte value work ride
+            // a single core acquisition. Event accounting is identical to
+            // issuing the ops separately (and the early-exit contract of
+            // `f` is unchanged — later rows issue nothing).
+            let slot = table.store.slot(RowId::from_u64(payload));
+            let mut b = mem.batch();
+            b.exec(cost::SCAN_NEXT).exec(storage::ROW_READ_INSTRS);
+            if let Some((addr, data)) = slot {
+                b.read(addr, data.len().max(1) as u32)
+                    .exec(data.len() as u64 * cost::VALUE_PER_BYTE);
+            }
+            b.commit();
+            if let Some(row) = slot.and_then(|(_, d)| tuple::decode(d).ok()) {
                 visited += 1;
                 if !f(k, &row) {
                     break;

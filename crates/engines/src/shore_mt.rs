@@ -26,7 +26,7 @@ use storage::{
     lock::LockOutcome, BufferPool, HeapFile, LockManager, LockMode, LockTarget, LogKind, Rid,
     TxnId, TxnManager, Wal,
 };
-use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
+use uarch_sim::{CorePort, Mem, ModuleId, ModuleSpec, Sim};
 
 /// Engine name used for span attribution (matches [`Db::name`]).
 const ENGINE: &str = "Shore-MT";
@@ -98,6 +98,10 @@ pub struct ShoreMtSession {
     core: usize,
     cur: Option<TxnId>,
     ops_in_txn: u32,
+    /// Exclusive port to this session's simulated core: enables the
+    /// simulator's lock-free access path. `None` if another session on
+    /// the same core already holds it (accesses then use the fallback).
+    _port: Option<CorePort>,
 }
 
 /// Buffer-pool frames: sized to keep every experiment memory-resident
@@ -305,6 +309,7 @@ impl Db for ShoreMt {
             core,
             cur: None,
             ops_in_txn: 0,
+            _port: self.shared.sim.try_checkout(core),
         })
     }
 }

@@ -25,7 +25,7 @@ use indexes::{CcBTree, Index};
 use obs::Phase;
 use oltp::{tuple, Db, OltpError, OltpResult, Row, Session, TableDef, TableId, Value};
 use storage::{LogKind, MemStore, RowId, TxnId, TxnManager, Wal};
-use uarch_sim::{Mem, ModuleId, ModuleSpec, Sim};
+use uarch_sim::{CorePort, Mem, ModuleId, ModuleSpec, Sim};
 
 /// Engine name used for span attribution (matches [`Db::name`]).
 const ENGINE: &str = "VoltDB";
@@ -105,6 +105,10 @@ pub struct VoltDbSession {
     core: usize,
     cur: Option<TxnId>,
     ops_in_txn: u32,
+    /// Exclusive port to this session's simulated core: enables the
+    /// simulator's lock-free access path. `None` if another session on
+    /// the same core already holds it (accesses then use the fallback).
+    _port: Option<CorePort>,
 }
 
 impl VoltDb {
@@ -317,6 +321,7 @@ impl Db for VoltDb {
             core,
             cur: None,
             ops_in_txn: 0,
+            _port: self.shared.sim.try_checkout(core),
         })
     }
 }

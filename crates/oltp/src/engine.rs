@@ -101,11 +101,22 @@ pub trait Db {
     /// data partition, matching the paper's one-worker-per-partition
     /// deployment. Any number of sessions may be open concurrently, each
     /// owned by one thread.
+    ///
+    /// The first session opened on a core checks out that core's exclusive
+    /// simulator port (`uarch_sim::CorePort`) and holds it for its
+    /// lifetime, enabling the simulator's lock-free access path; a second
+    /// session on the same core runs through the fallback path instead.
     fn session(&self, core: usize) -> Box<dyn Session>;
 }
 
 /// A per-worker connection: transaction control and data operations, bound
 /// to one simulated core for its whole lifetime.
+///
+/// Sessions are `Send` but must be driven by one thread at a time: a
+/// session (with the core port inside it) may be built on a coordinator
+/// thread and moved onto its worker, but two threads must never issue
+/// operations on the same session — or on two sessions bound to the same
+/// core — concurrently.
 pub trait Session: Send {
     /// Engine display name (for error messages and span attribution).
     fn name(&self) -> &'static str;

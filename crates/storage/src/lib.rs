@@ -41,7 +41,7 @@ pub mod wal;
 pub use bufferpool::BufferPool;
 pub use heap::{HeapFile, Rid};
 pub use lock::{LockManager, LockMode, LockTarget};
-pub use memstore::{MemStore, RowId};
+pub use memstore::{MemStore, RowId, ROW_READ_INSTRS};
 pub use mvcc::VersionStore;
 pub use page::{Page, PageId, SlotId, PAGE_SIZE};
 pub use txn::{TxnId, TxnManager};

@@ -38,6 +38,10 @@ struct Slot {
 /// allocators give each thread/partition its own slabs.
 const CHUNK_BYTES: u64 = 4096;
 
+/// Instruction cost of one row dereference ([`MemStore::read`]); public so
+/// batched scan loops using [`MemStore::slot`] charge the identical cost.
+pub const ROW_READ_INSTRS: u64 = 8;
+
 /// An in-memory row store.
 pub struct MemStore {
     slots: Vec<Option<Slot>>,
@@ -99,7 +103,7 @@ impl MemStore {
 
     /// Visit a row; returns whether it was live.
     pub fn read(&self, mem: &Mem, id: RowId, f: &mut dyn FnMut(&Bytes)) -> bool {
-        mem.exec(8);
+        mem.exec(ROW_READ_INSTRS);
         match self.slots.get(id.0 as usize).and_then(Option::as_ref) {
             Some(s) => {
                 mem.read(s.addr, s.data.len().max(1) as u32);
@@ -116,6 +120,18 @@ impl MemStore {
             .get(id.0 as usize)
             .and_then(Option::as_ref)
             .map(|s| s.addr)
+    }
+
+    /// Simulated address and payload of a row, with **no** simulated
+    /// traffic. For callers that batch their accesses (scan loops queue
+    /// the read alongside the surrounding instruction work and commit the
+    /// whole row as one [`uarch_sim::MemBatch`]); the caller is
+    /// responsible for charging the equivalent of [`MemStore::read`].
+    pub fn slot(&self, id: RowId) -> Option<(u64, &Bytes)> {
+        self.slots
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .map(|s| (s.addr, &s.data))
     }
 
     /// Replace a row in place (reallocating its simulated bytes only when

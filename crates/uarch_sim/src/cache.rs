@@ -8,15 +8,25 @@ use crate::config::CacheGeometry;
 
 const EMPTY: u64 = u64::MAX;
 
+/// One way of one set: the resident line's tag and its LRU stamp (larger =
+/// more recently used). Tag and stamp sit side by side so the hit-path scan
+/// walks one contiguous slice — this is the hottest loop in the simulator.
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    stamp: u64,
+}
+
 /// One set-associative cache level.
 #[derive(Clone, Debug)]
 pub struct Cache {
     sets: u64,
+    /// `sets - 1` when `sets` is a power of two (the usual geometry), so
+    /// the set index is a mask instead of a division; `u64::MAX` otherwise.
+    set_mask: u64,
     ways: usize,
-    /// `tags[set * ways + way]` = resident line number or `EMPTY`.
-    tags: Vec<u64>,
-    /// LRU stamps, same indexing; larger = more recently used.
-    stamps: Vec<u64>,
+    /// `slots[set * ways + way]`; `tag == EMPTY` marks an invalid way.
+    slots: Vec<Way>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -25,13 +35,29 @@ pub struct Cache {
 impl Cache {
     /// Build an empty cache with the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
-        let sets = geom.sets();
-        let ways = geom.ways as usize;
+        Self::with_sets(geom.sets(), geom.ways as usize)
+    }
+
+    /// Build an empty cache with an explicit set count — used for LLC lock
+    /// stripes, where each stripe holds `total_sets / stripes` sets and the
+    /// caller routes lines to (stripe, set) itself via [`Cache::access_at`].
+    pub fn with_sets(sets: u64, ways: usize) -> Self {
+        assert!(sets >= 1 && ways >= 1);
         Cache {
             sets,
+            set_mask: if sets.is_power_of_two() {
+                sets - 1
+            } else {
+                u64::MAX
+            },
             ways,
-            tags: vec![EMPTY; (sets as usize) * ways],
-            stamps: vec![0; (sets as usize) * ways],
+            slots: vec![
+                Way {
+                    tag: EMPTY,
+                    stamp: 0
+                };
+                (sets as usize) * ways
+            ],
             clock: 0,
             hits: 0,
             misses: 0,
@@ -40,43 +66,61 @@ impl Cache {
 
     #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line % self.sets) as usize
+        // `line & (sets - 1)` equals `line % sets` exactly when `sets` is a
+        // power of two, so the fast path changes no observable mapping.
+        if self.set_mask != u64::MAX {
+            (line & self.set_mask) as usize
+        } else {
+            (line % self.sets) as usize
+        }
     }
 
     /// Access `line`: returns `true` on hit. On miss the line is filled,
     /// evicting the LRU way of its set; the evicted line (if any) is
     /// returned through `evicted`.
+    #[inline]
     pub fn access(&mut self, line: u64) -> AccessOutcome {
+        self.access_at(self.set_of(line), line)
+    }
+
+    /// [`Cache::access`] with the set index chosen by the caller (LLC
+    /// stripes map the global set index onto (stripe, local set)).
+    #[inline]
+    pub fn access_at(&mut self, set: usize, line: u64) -> AccessOutcome {
         debug_assert_ne!(line, EMPTY);
+        debug_assert!((set as u64) < self.sets);
         self.clock += 1;
-        let set = self.set_of(line);
+        let clock = self.clock;
         let base = set * self.ways;
+        let set_ways = &mut self.slots[base..base + self.ways];
+        // Single pass: search for the tag while tracking the LRU victim, so
+        // a miss (the common case for the over-capacity footprints the
+        // paper studies) never rescans the set.
         let mut lru_way = 0;
         let mut lru_stamp = u64::MAX;
-        for w in 0..self.ways {
-            let idx = base + w;
-            if self.tags[idx] == line {
-                self.stamps[idx] = self.clock;
+        for (w, way) in set_ways.iter_mut().enumerate() {
+            if way.tag == line {
+                way.stamp = clock;
                 self.hits += 1;
                 return AccessOutcome {
                     hit: true,
                     evicted: None,
                 };
             }
-            if self.stamps[idx] < lru_stamp {
-                lru_stamp = self.stamps[idx];
+            if way.stamp < lru_stamp {
+                lru_stamp = way.stamp;
                 lru_way = w;
             }
         }
         self.misses += 1;
-        let idx = base + lru_way;
-        let evicted = if self.tags[idx] == EMPTY {
+        let way = &mut set_ways[lru_way];
+        let evicted = if way.tag == EMPTY {
             None
         } else {
-            Some(self.tags[idx])
+            Some(way.tag)
         };
-        self.tags[idx] = line;
-        self.stamps[idx] = self.clock;
+        way.tag = line;
+        way.stamp = clock;
         AccessOutcome {
             hit: false,
             evicted,
@@ -86,17 +130,19 @@ impl Cache {
     /// Non-destructive presence check (does not update LRU or stats).
     pub fn contains(&self, line: u64) -> bool {
         let base = self.set_of(line) * self.ways;
-        self.tags[base..base + self.ways].contains(&line)
+        self.slots[base..base + self.ways]
+            .iter()
+            .any(|w| w.tag == line)
     }
 
     /// Remove `line` if present; returns whether it was resident.
+    #[inline]
     pub fn invalidate(&mut self, line: u64) -> bool {
         let base = self.set_of(line) * self.ways;
-        for w in 0..self.ways {
-            let idx = base + w;
-            if self.tags[idx] == line {
-                self.tags[idx] = EMPTY;
-                self.stamps[idx] = 0;
+        for way in &mut self.slots[base..base + self.ways] {
+            if way.tag == line {
+                way.tag = EMPTY;
+                way.stamp = 0;
                 return true;
             }
         }
@@ -105,8 +151,10 @@ impl Cache {
 
     /// Drop all contents (cold restart) while keeping hit/miss statistics.
     pub fn flush(&mut self) {
-        self.tags.fill(EMPTY);
-        self.stamps.fill(0);
+        self.slots.fill(Way {
+            tag: EMPTY,
+            stamp: 0,
+        });
     }
 
     /// Lifetime hit count.
@@ -126,12 +174,12 @@ impl Cache {
 
     /// Number of currently valid lines (O(capacity); diagnostics only).
     pub fn resident_lines(&self) -> usize {
-        self.tags.iter().filter(|&&t| t != EMPTY).count()
+        self.slots.iter().filter(|w| w.tag != EMPTY).count()
     }
 
     /// Capacity in lines.
     pub fn capacity_lines(&self) -> usize {
-        self.tags.len()
+        self.slots.len()
     }
 }
 

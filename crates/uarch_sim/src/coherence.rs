@@ -1,0 +1,233 @@
+//! Queued coherence: per-core bounded MPSC invalidation queues.
+//!
+//! A store by one core must remove the written line from every other
+//! core's private caches (MESI downgrade-to-invalid), and an inclusive-LLC
+//! eviction must back-invalidate the victim everywhere. Walking the other
+//! cores' locks on every store serializes the whole machine; instead the
+//! writer *publishes* the invalidation onto each target core's queue and
+//! the target applies it at its next access boundary (its next simulated
+//! access, counter snapshot, or cache flush). Invalidations within one
+//! drain batch commute — applying a set of line removals in any order
+//! yields the same cache state — so the queue only has to be lossless,
+//! not ordered across producers.
+//!
+//! The ring is a bounded Vyukov-style MPMC buffer used with a single
+//! consumer (whoever currently holds access rights to the core — see
+//! [`crate::machine`]). When a storm overruns the ring, entries overflow
+//! into a mutex-protected vector: slower, but **never dropped** — the
+//! `pushed == applied` invariant is what the threaded stress tests pin.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Flag bit distinguishing an inclusive-LLC back-invalidation (drop the
+/// line from L1I/L1D/L2, no counter) from a store invalidation (drop from
+/// L1D/L2, count if resident). Simulated line numbers are < 2^44, so the
+/// top bit is free.
+pub const BACK_INVALIDATE: u64 = 1 << 63;
+
+/// Ring capacity (entries). Must be a power of two. Sized so that even a
+/// multi-line store burst between two access boundaries stays in the ring;
+/// overflow is correct but slow.
+const RING: usize = 1024;
+
+struct Cell {
+    seq: AtomicUsize,
+    val: UnsafeCell<u64>,
+}
+
+/// One core's inbound invalidation queue. Producers are any other cores'
+/// store paths; the consumer is whoever holds the core's access rights.
+pub struct InvalQueue {
+    cells: Box<[Cell]>,
+    mask: usize,
+    tail: AtomicUsize,
+    /// Consumer cursor. Not atomic: protected by the core's access rights
+    /// (exactly one thread may consume at a time).
+    head: UnsafeCell<usize>,
+    overflow: Mutex<Vec<u64>>,
+    overflow_pending: AtomicBool,
+    pushed: AtomicU64,
+    applied: AtomicU64,
+}
+
+// The `UnsafeCell`s are coordinated by the seq protocol (ring values) and
+// by the machine's core-access rights (head cursor).
+unsafe impl Send for InvalQueue {}
+unsafe impl Sync for InvalQueue {}
+
+impl Default for InvalQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InvalQueue {
+    pub fn new() -> Self {
+        InvalQueue {
+            cells: (0..RING)
+                .map(|i| Cell {
+                    seq: AtomicUsize::new(i),
+                    val: UnsafeCell::new(0),
+                })
+                .collect(),
+            mask: RING - 1,
+            tail: AtomicUsize::new(0),
+            head: UnsafeCell::new(0),
+            overflow: Mutex::new(Vec::new()),
+            overflow_pending: AtomicBool::new(false),
+            pushed: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish one invalidation. Lock-free unless the ring is full, in
+    /// which case the entry goes to the (lossless) overflow vector.
+    pub fn push(&self, v: u64) {
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.cells[pos & self.mask];
+            let seq = cell.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { *cell.val.get() = v };
+                        cell.seq.store(pos + 1, Ordering::Release);
+                        return;
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                // Ring full: fall back to the overflow vector.
+                self.overflow.lock().unwrap().push(v);
+                self.overflow_pending.store(true, Ordering::Release);
+                return;
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Cheap emptiness probe for the consumer's fast path.
+    ///
+    /// # Safety
+    /// Caller must hold the core's access rights (sole consumer).
+    #[inline]
+    pub unsafe fn has_pending(&self) -> bool {
+        let head = unsafe { *self.head.get() };
+        self.tail.load(Ordering::Relaxed) != head || self.overflow_pending.load(Ordering::Relaxed)
+    }
+
+    /// Apply every published invalidation through `f`. Entries a producer
+    /// has reserved but not yet published are picked up by the next drain.
+    ///
+    /// # Safety
+    /// Caller must hold the core's access rights (sole consumer).
+    pub unsafe fn drain(&self, mut f: impl FnMut(u64)) {
+        let head = unsafe { &mut *self.head.get() };
+        let mut n = 0u64;
+        loop {
+            let cell = &self.cells[*head & self.mask];
+            if cell.seq.load(Ordering::Acquire) != *head + 1 {
+                break;
+            }
+            let v = unsafe { *cell.val.get() };
+            cell.seq.store(*head + self.mask + 1, Ordering::Release);
+            *head += 1;
+            n += 1;
+            f(v);
+        }
+        if self.overflow_pending.swap(false, Ordering::Acquire) {
+            let spill: Vec<u64> = std::mem::take(&mut *self.overflow.lock().unwrap());
+            n += spill.len() as u64;
+            for v in spill {
+                f(v);
+            }
+        }
+        if n > 0 {
+            self.applied.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Lifetime (pushed, applied) counts — equal once the queue is
+    /// quiesced and drained; the no-lost-invalidation invariant.
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.pushed.load(Ordering::Relaxed),
+            self.applied.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_drain_round_trip() {
+        let q = InvalQueue::new();
+        for v in 0..10u64 {
+            q.push(v);
+        }
+        let mut got = Vec::new();
+        unsafe { q.drain(|v| got.push(v)) };
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(q.totals(), (10, 10));
+        assert!(unsafe { !q.has_pending() });
+    }
+
+    #[test]
+    fn overflow_is_lossless() {
+        let q = InvalQueue::new();
+        let n = (RING * 3) as u64;
+        for v in 0..n {
+            q.push(v);
+        }
+        let mut got = Vec::new();
+        unsafe { q.drain(|v| got.push(v)) };
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+        assert_eq!(q.totals(), (n, n));
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let q = std::sync::Arc::new(InvalQueue::new());
+        const PRODUCERS: u64 = 4;
+        const PER: u64 = 50_000;
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = std::sync::Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        q.push(p * PER + i);
+                    }
+                });
+            }
+            // One consumer drains concurrently (it holds the only rights).
+            let q2 = std::sync::Arc::clone(&q);
+            s.spawn(move || {
+                let mut seen = 0u64;
+                while seen < PRODUCERS * PER {
+                    let mut batch = 0;
+                    unsafe { q2.drain(|_| batch += 1) };
+                    seen += batch;
+                    if batch == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        let (pushed, applied) = q.totals();
+        assert_eq!(pushed, PRODUCERS * PER);
+        assert_eq!(applied, pushed, "queued invalidations were lost");
+    }
+}

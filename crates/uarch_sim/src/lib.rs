@@ -39,9 +39,11 @@
 pub mod addr;
 pub mod cache;
 pub mod code;
+pub mod coherence;
 pub mod config;
 pub mod counters;
 pub mod machine;
+pub mod port;
 pub mod rng;
 
 use std::sync::Arc;
@@ -49,7 +51,8 @@ use std::sync::Arc;
 pub use code::{ModuleId, ModuleSpec};
 pub use config::MachineConfig;
 pub use counters::{EventCounts, StallEvent};
-pub use machine::Machine;
+pub use machine::{BatchOp, CodeDesc, Machine};
+pub use port::CorePort;
 
 /// Cache-line size used throughout the simulator (bytes). Ivy Bridge uses
 /// 64-byte lines at every level.
@@ -91,7 +94,24 @@ impl Sim {
             sim: self.clone(),
             core,
             module: ModuleId::UNATTRIBUTED,
+            desc: self.0.code_desc(ModuleId::UNATTRIBUTED),
         }
+    }
+
+    /// Check out the exclusive [`CorePort`] of `core`, enabling the
+    /// lock-free access path for it. Returns `None` if the port is already
+    /// out (e.g. a second session opened on the same core — accesses then
+    /// ride the existing port's claim, or the spinlock fallback).
+    pub fn try_checkout(&self, core: usize) -> Option<CorePort> {
+        self.0
+            .try_checkout(core)
+            .then(|| CorePort::new(self.clone(), core))
+    }
+
+    /// [`Sim::try_checkout`] that panics when the port is already out.
+    pub fn checkout(&self, core: usize) -> CorePort {
+        self.try_checkout(core)
+            .unwrap_or_else(|| panic!("core {core} port already checked out"))
     }
 
     /// Snapshot of the aggregate counters of `core`.
@@ -136,12 +156,20 @@ impl Sim {
         self.0.set_offline(offline);
     }
 
-    /// Run `f` with simulation suppressed (bulk loading).
+    /// Run `f` with simulation suppressed (bulk loading). The machine is
+    /// brought back online even if `f` panics (drop guard), so a failing
+    /// loader inside a `catch_unwind` harness cannot leave the simulator
+    /// silently dead.
     pub fn offline<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Online<'a>(&'a Sim);
+        impl Drop for Online<'_> {
+            fn drop(&mut self) {
+                self.0.set_offline(false);
+            }
+        }
         self.set_offline(true);
-        let r = f();
-        self.set_offline(false);
-        r
+        let _guard = Online(self);
+        f()
     }
 
     /// Prime the LLC with the allocated data region (post-load warm-up;
@@ -153,12 +181,15 @@ impl Sim {
 
 /// A memory/execution port: the handle engines use for every simulated
 /// instruction fetch and data access. Cheap to clone; carries the core it is
-/// bound to and the code module the activity is attributed to.
+/// bound to, the code module the activity is attributed to, and a snapshot
+/// of that module's immutable fetch descriptor — so `exec` never takes the
+/// module registry's `RwLock`.
 #[derive(Clone)]
 pub struct Mem {
     sim: Sim,
     core: usize,
     module: ModuleId,
+    desc: CodeDesc,
 }
 
 impl Mem {
@@ -169,6 +200,7 @@ impl Mem {
             sim: self.sim.clone(),
             core: self.core,
             module,
+            desc: self.sim.0.code_desc(module),
         }
     }
 
@@ -179,6 +211,7 @@ impl Mem {
             sim: self.sim.clone(),
             core,
             module: self.module,
+            desc: self.desc,
         }
     }
 
@@ -199,12 +232,16 @@ impl Mem {
 
     /// Retire `n` instructions from this port's code module, streaming the
     /// corresponding instruction-cache line fetches.
+    #[inline]
     pub fn exec(&self, n: u64) {
-        self.sim.0.fetch_code(self.core, self.module, n);
+        self.sim
+            .0
+            .fetch_code_desc(self.core, self.module, n, &self.desc);
     }
 
     /// Simulated data load of `len` bytes at `addr` (touches every spanned
     /// cache line).
+    #[inline]
     pub fn read(&self, addr: u64, len: u32) {
         self.sim
             .0
@@ -212,6 +249,7 @@ impl Mem {
     }
 
     /// Simulated data store of `len` bytes at `addr`.
+    #[inline]
     pub fn write(&self, addr: u64, len: u32) {
         self.sim
             .0
@@ -221,5 +259,77 @@ impl Mem {
     /// Allocate simulated data memory (convenience passthrough).
     pub fn alloc(&self, size: u64, align: u64) -> u64 {
         self.sim.alloc(size, align)
+    }
+
+    /// Batched loads under a single core acquisition — one port-state check
+    /// and one coherence-queue drain amortized over the whole slice. Event
+    /// accounting is identical to issuing each [`Mem::read`] separately.
+    /// The natural fit is per-row scan loops.
+    pub fn read_batch(&self, reads: &[(u64, u32)]) {
+        self.sim.0.data_reads(self.core, self.module, reads);
+    }
+
+    /// Run a pre-built op slice under a single core acquisition — the
+    /// allocation-free form of [`Mem::batch`] for hot loops that can stage
+    /// ops in a stack array. Semantically identical to issuing the ops
+    /// one by one.
+    #[inline]
+    pub fn run_ops(&self, ops: &[BatchOp]) {
+        self.sim
+            .0
+            .run_batch(self.core, self.module, &self.desc, ops);
+    }
+
+    /// Start a batched op sequence (exec/read/write mixed) that commits
+    /// under a single core acquisition. Semantically identical to issuing
+    /// the ops one by one.
+    pub fn batch(&self) -> MemBatch<'_> {
+        MemBatch {
+            mem: self,
+            ops: Vec::new(),
+        }
+    }
+}
+
+/// Builder for a batched op sequence on one [`Mem`] port; see
+/// [`Mem::batch`]. Ops run in insertion order at [`MemBatch::commit`].
+pub struct MemBatch<'a> {
+    mem: &'a Mem,
+    ops: Vec<BatchOp>,
+}
+
+impl MemBatch<'_> {
+    /// Queue an instruction retirement (like [`Mem::exec`]).
+    pub fn exec(&mut self, n: u64) -> &mut Self {
+        self.ops.push(BatchOp::Exec(n));
+        self
+    }
+
+    /// Queue a data load (like [`Mem::read`]).
+    pub fn read(&mut self, addr: u64, len: u32) -> &mut Self {
+        self.ops.push(BatchOp::Read { addr, len });
+        self
+    }
+
+    /// Queue a data store (like [`Mem::write`]).
+    pub fn write(&mut self, addr: u64, len: u32) -> &mut Self {
+        self.ops.push(BatchOp::Write { addr, len });
+        self
+    }
+
+    /// Number of queued ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether any ops are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Run the queued ops under one core acquisition.
+    pub fn commit(self) {
+        let m = self.mem;
+        m.sim.0.run_batch(m.core, m.module, &m.desc, &self.ops);
     }
 }

@@ -1,25 +1,46 @@
 //! The simulated machine: private per-core caches, a shared LLC with
 //! write-invalidation, the instruction-fetch walker, and event accounting.
 //!
-//! The machine is internally synchronized so concurrent worker threads can
-//! drive different cores through a shared handle: each core's private state
-//! sits behind its own mutex, the shared LLC behind another. Lock discipline
-//! (no deadlocks by construction):
+//! # Synchronization: the lock-free fast path
 //!
-//! * a thread holds at most one *core* lock at a time;
-//! * the LLC lock may be taken while holding a core lock (core → LLC), never
-//!   the other way around;
-//! * coherence walks ([`Machine::invalidate_others`], back-invalidation)
-//!   lock other cores strictly one at a time while holding no other lock.
+//! The common case — an access on the calling core that hits L1 — touches
+//! no lock. Each core lives in a [`CoreSlot`] with a tiny state machine:
+//!
+//! * **Ported** — the core's [`crate::CorePort`] is checked out (sessions
+//!   hold one). Accesses from the claiming thread go straight to the core
+//!   state through an `UnsafeCell`; the only per-access synchronization is
+//!   one state load, one owner-token load, and an emptiness probe of the
+//!   core's coherence queue. Exactly one thread at a time may drive a
+//!   ported core (see [`crate::port`] for the migration contract).
+//! * **Free** — no port outstanding. Accesses serialize on a transient
+//!   per-core spinlock (`Free -> Locked -> Free`), which keeps every
+//!   legacy call pattern working: machine-level tests, cross-core setup
+//!   traffic, and a second session opened on an already-ported core.
+//!
+//! Cross-core effects never touch another core's state directly. A store
+//! *publishes* invalidations onto the other active cores' bounded MPSC
+//! queues ([`crate::coherence`]), and each core applies its pending
+//! invalidations at its next access boundary (access, counter snapshot, or
+//! flush). Cores that have never issued an access have empty caches, so
+//! stores skip their queues entirely — which is also what keeps 1-worker
+//! counter streams bit-identical to the pre-queue implementation.
+//!
+//! The shared LLC is sharded into lock stripes keyed by set index, so
+//! concurrent cores' misses only serialize when they land on the same
+//! stripe. Striping is invisible to the cache model: set contents and LRU
+//! order are per-set properties, and each set maps to exactly one stripe.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
 
 use crate::addr::AddressSpace;
-use crate::cache::Cache;
+use crate::cache::{AccessOutcome, Cache};
 use crate::code::{Module, ModuleId, ModuleRegistry, ModuleSpec, INSTRS_PER_LINE};
+use crate::coherence::{InvalQueue, BACK_INVALIDATE};
 use crate::config::MachineConfig;
 use crate::counters::{EventCounts, StallEvent};
+use crate::port::{thread_token, UNCLAIMED};
 use crate::rng::XorShift64;
 use crate::LINE;
 
@@ -29,7 +50,7 @@ struct Core {
     l1d: Cache,
     l2: Cache,
     counts: EventCounts,
-    /// Counters per module id.
+    /// Counters per module id (grown lazily; see [`Machine::module_counters`]).
     module_counts: Vec<EventCounts>,
     /// Fetch-walker cursor per module id (line offset within the segment).
     cursors: Vec<u64>,
@@ -57,32 +78,292 @@ impl Core {
     }
 }
 
+/// Core slot states (see the module docs).
+const FREE: u8 = 0;
+const LOCKED: u8 = 1;
+const PORTED: u8 = 2;
+
+/// One core's slot: the state machine, the owner token, the inbound
+/// coherence queue, and the core state itself.
+struct CoreSlot {
+    id: usize,
+    state: AtomicU8,
+    /// Thread token of the claiming thread while ported; [`UNCLAIMED`]
+    /// between checkout and the first access.
+    owner: AtomicU64,
+    /// Set on the core's first simulated access. Stores skip publishing
+    /// invalidations to inactive cores — their caches are empty, so the
+    /// invalidation would be a no-op anyway.
+    active: AtomicBool,
+    queue: InvalQueue,
+    cell: UnsafeCell<Core>,
+    /// Debug-build detector for the one forbidden pattern: two threads
+    /// driving the same ported core concurrently.
+    #[cfg(debug_assertions)]
+    busy: AtomicBool,
+}
+
+impl CoreSlot {
+    fn new(cfg: &MachineConfig, id: usize, modules: usize) -> Self {
+        CoreSlot {
+            id,
+            state: AtomicU8::new(FREE),
+            owner: AtomicU64::new(UNCLAIMED),
+            active: AtomicBool::new(false),
+            queue: InvalQueue::new(),
+            cell: UnsafeCell::new(Core::new(cfg, id, modules)),
+            #[cfg(debug_assertions)]
+            busy: AtomicBool::new(false),
+        }
+    }
+}
+
+/// RAII access to one core's state, acquired via [`Machine::core_enter`].
+struct CoreRef<'a> {
+    slot: &'a CoreSlot,
+    /// Whether we hold the transient spinlock (free path) and must release
+    /// it; ported-path access releases nothing.
+    locked: bool,
+}
+
+impl<'a> CoreRef<'a> {
+    fn new(slot: &'a CoreSlot, locked: bool) -> Self {
+        #[cfg(debug_assertions)]
+        assert!(
+            !slot.busy.swap(true, Ordering::Acquire),
+            "core {}: concurrent access to a ported core from two threads \
+             (a ported core may be driven by one thread at a time)",
+            slot.id
+        );
+        CoreRef { slot, locked }
+    }
+
+    /// The slot and the core state, borrowed together.
+    #[inline]
+    fn parts(&mut self) -> (&CoreSlot, &mut Core) {
+        // Sound: `self` holds the slot's access rights (ported-and-claimed
+        // or spin-locked), and the returned borrow is tied to `&mut self`.
+        (self.slot, unsafe { &mut *self.slot.cell.get() })
+    }
+}
+
+impl Drop for CoreRef<'_> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        self.slot.busy.store(false, Ordering::Release);
+        if self.locked {
+            self.slot.state.store(FREE, Ordering::Release);
+        }
+    }
+}
+
+/// Immutable fetch parameters of one code module, cached outside the
+/// registry lock. [`crate::Mem`] snapshots this at bind time so `exec`
+/// never touches the registry's `RwLock`.
+#[derive(Clone, Copy, Debug)]
+pub struct CodeDesc {
+    pub base_line: u64,
+    pub seg_lines: u64,
+    pub reuse: f64,
+    pub branchiness: f64,
+}
+
+impl CodeDesc {
+    fn of(m: &Module) -> Self {
+        CodeDesc {
+            base_line: m.base_line,
+            seg_lines: m.spec.lines(),
+            reuse: m.spec.reuse,
+            branchiness: m.spec.branchiness,
+        }
+    }
+}
+
+/// Modules a machine can hold descriptors for. Engines register a few
+/// dozen; the registry itself supports 65k.
+const MAX_MODULES: usize = 4096;
+
+/// Append-only, lock-free descriptor table: slots are published exactly
+/// once (under the registry write lock) and then immutable.
+struct DescTable {
+    slots: Box<[OnceLock<CodeDesc>]>,
+    len: AtomicUsize,
+}
+
+impl DescTable {
+    fn new() -> Self {
+        DescTable {
+            slots: (0..MAX_MODULES).map(|_| OnceLock::new()).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn publish(&self, id: ModuleId, d: CodeDesc) {
+        let i = id.0 as usize;
+        assert!(i < MAX_MODULES, "too many modules (raise MAX_MODULES)");
+        self.slots[i]
+            .set(d)
+            .expect("module descriptor published twice");
+        // Serialized by the registry write lock, so a plain store is a
+        // monotone append.
+        self.len.store(i + 1, Ordering::Release);
+    }
+
+    #[inline]
+    fn get(&self, id: ModuleId) -> Option<CodeDesc> {
+        let i = id.0 as usize;
+        if i < self.len.load(Ordering::Acquire) {
+            self.slots[i].get().copied()
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+}
+
 /// Base byte address of the simulated data region (code lives far below).
 pub const DATA_REGION_BASE: u64 = 0x0100_0000_0000;
 /// Size of the simulated data region (enough for any experiment).
 pub const DATA_REGION_SIZE: u64 = 0x0F00_0000_0000;
 
-/// The full simulated machine. See the crate docs for the model.
+/// Maximum LLC lock stripes (power of two; reduced until it divides the
+/// LLC set count).
+const MAX_LLC_STRIPES: usize = 64;
+
+/// One LLC lock stripe: a spinlock over a slice of the LLC's sets. A
+/// spinlock (not a `Mutex`) because the critical section is a handful of
+/// tag compares — nanoseconds — and striping keeps contention rare, so
+/// the uncontended cost is what matters.
+struct LlcStripe {
+    locked: AtomicBool,
+    cell: UnsafeCell<Cache>,
+}
+
+impl LlcStripe {
+    fn new(cache: Cache) -> Self {
+        LlcStripe {
+            locked: AtomicBool::new(false),
+            cell: UnsafeCell::new(cache),
+        }
+    }
+
+    #[inline]
+    fn lock(&self) -> LlcGuard<'_> {
+        let mut spins = 0u32;
+        while self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        LlcGuard { stripe: self }
+    }
+}
+
+struct LlcGuard<'a> {
+    stripe: &'a LlcStripe,
+}
+
+impl LlcGuard<'_> {
+    /// The stripe's cache; exclusive while the guard lives.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    fn cache(&mut self) -> &mut Cache {
+        // Sound: the spinlock is held and the borrow is tied to `&mut self`.
+        unsafe { &mut *self.stripe.cell.get() }
+    }
+}
+
+impl Drop for LlcGuard<'_> {
+    fn drop(&mut self) {
+        self.stripe.locked.store(false, Ordering::Release);
+    }
+}
+
+/// One operation of a batched access sequence (see [`crate::MemBatch`]).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchOp {
+    /// Retire `n` instructions of the batch's module.
+    Exec(u64),
+    /// Data load of `len` bytes at `addr`.
+    Read { addr: u64, len: u32 },
+    /// Data store of `len` bytes at `addr`.
+    Write { addr: u64, len: u32 },
+}
+
+/// The full simulated machine. See the module docs for the model and the
+/// synchronization scheme.
 pub struct Machine {
     cfg: MachineConfig,
-    cores: Vec<Mutex<Core>>,
-    llc: Mutex<Cache>,
+    cores: Vec<CoreSlot>,
+    /// LLC lock stripes. Stripe of global set `s` is `s % stripes`; the
+    /// local set index within the stripe is `s / stripes`.
+    llc: Vec<LlcStripe>,
+    llc_sets: u64,
+    /// `llc_sets - 1` when the set count is a power of two (the Table 1
+    /// geometry), `u64::MAX` otherwise — same mask trick as `Cache`.
+    llc_set_mask: u64,
+    llc_stripe_mask: usize,
+    llc_stripe_shift: u32,
     modules: RwLock<ModuleRegistry>,
+    descs: DescTable,
     data: Mutex<AddressSpace>,
     offline: AtomicBool,
 }
+
+// SAFETY: the `UnsafeCell<Core>`s are guarded by the slot state machine —
+// ported-and-claimed access is exclusive per the port contract, and free
+// slots serialize on the transient spinlock. Everything else is atomics,
+// mutexes, or immutable-after-publish data.
+unsafe impl Sync for Machine {}
 
 impl Machine {
     /// Build a machine with cold caches.
     pub fn new(cfg: MachineConfig) -> Self {
         let modules = ModuleRegistry::new();
+        let descs = DescTable::new();
+        for (id, m) in modules.iter() {
+            descs.publish(id, CodeDesc::of(m));
+        }
         let cores = (0..cfg.cores)
-            .map(|i| Mutex::new(Core::new(&cfg, i, modules.len())))
+            .map(|i| CoreSlot::new(&cfg, i, modules.len()))
+            .collect();
+        let llc_sets = cfg.llc.sets();
+        let mut stripes = MAX_LLC_STRIPES;
+        while stripes > 1 && !llc_sets.is_multiple_of(stripes as u64) {
+            stripes /= 2;
+        }
+        let llc = (0..stripes)
+            .map(|_| {
+                LlcStripe::new(Cache::with_sets(
+                    llc_sets / stripes as u64,
+                    cfg.llc.ways as usize,
+                ))
+            })
             .collect();
         Machine {
-            llc: Mutex::new(Cache::new(cfg.llc)),
+            llc,
+            llc_sets,
+            llc_set_mask: if llc_sets.is_power_of_two() {
+                llc_sets - 1
+            } else {
+                u64::MAX
+            },
+            llc_stripe_mask: stripes - 1,
+            llc_stripe_shift: stripes.trailing_zeros(),
             cores,
             modules: RwLock::new(modules),
+            descs,
             data: Mutex::new(AddressSpace::new(DATA_REGION_BASE, DATA_REGION_SIZE)),
             offline: AtomicBool::new(false),
             cfg,
@@ -112,14 +393,13 @@ impl Machine {
         self.cores.len()
     }
 
-    /// Register a code module; all cores see it.
+    /// Register a code module; all cores see it. Does not touch any core's
+    /// state (per-core counter vectors grow lazily on first use), so
+    /// registration is safe while ports are checked out.
     pub fn register_module(&self, spec: ModuleSpec) -> ModuleId {
         let mut reg = self.modules.write().unwrap();
         let id = reg.register(spec);
-        let n = reg.len();
-        for c in &self.cores {
-            c.lock().unwrap().grow_modules(n);
-        }
+        self.descs.publish(id, CodeDesc::of(reg.get(id)));
         id
     }
 
@@ -131,6 +411,11 @@ impl Machine {
     /// Module lookup (cloned; specs are small and read-mostly).
     pub fn module(&self, id: ModuleId) -> Module {
         self.modules.read().unwrap().get(id).clone()
+    }
+
+    /// Cached immutable fetch parameters of `id` (lock-free).
+    pub fn code_desc(&self, id: ModuleId) -> CodeDesc {
+        self.descs.get(id).expect("module not registered")
     }
 
     /// Ids of modules flagged `engine_side`.
@@ -149,14 +434,165 @@ impl Machine {
         self.data.lock().unwrap().alloc(size, align)
     }
 
-    /// Aggregate counters of `core` (snapshot).
-    pub fn counters(&self, core: usize) -> EventCounts {
-        self.cores[core].lock().unwrap().counts.clone()
+    /// Check out core `core`'s port: flips the slot to ported with no
+    /// claiming thread yet. Returns false when the port is already out.
+    pub(crate) fn try_checkout(&self, core: usize) -> bool {
+        let slot = &self.cores[core];
+        loop {
+            match slot.state.load(Ordering::Acquire) {
+                FREE => {
+                    if slot
+                        .state
+                        .compare_exchange(FREE, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        slot.owner.store(UNCLAIMED, Ordering::Relaxed);
+                        slot.state.store(PORTED, Ordering::Release);
+                        return true;
+                    }
+                }
+                // A transient free-path access holds the slot; wait for it.
+                LOCKED => std::hint::spin_loop(),
+                _ => return false,
+            }
+        }
     }
 
-    /// Per-module counters of `core` (snapshot).
+    /// Check a port back in (called from [`crate::CorePort::drop`]).
+    pub(crate) fn checkin(&self, core: usize) {
+        let prev = self.cores[core].state.swap(FREE, Ordering::Release);
+        debug_assert_eq!(prev, PORTED, "checkin without an outstanding port");
+    }
+
+    /// Acquire access rights to `core` (see the module docs). `activate`
+    /// marks the core as a target for future store invalidations and is
+    /// set by real accesses, not by counter snapshots.
+    #[inline]
+    fn core_enter(&self, core: usize, activate: bool) -> CoreRef<'_> {
+        let slot = &self.cores[core];
+        if activate && !slot.active.load(Ordering::Relaxed) {
+            slot.active.store(true, Ordering::Release);
+        }
+        let me = thread_token();
+        let mut spins = 0u32;
+        loop {
+            match slot.state.load(Ordering::Acquire) {
+                PORTED => {
+                    let owner = slot.owner.load(Ordering::Relaxed);
+                    if owner == me {
+                        return CoreRef::new(slot, false);
+                    }
+                    // First access after checkout, or the owning session
+                    // migrated to this thread: claim (or re-claim) the core.
+                    if slot
+                        .owner
+                        .compare_exchange(owner, me, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        return CoreRef::new(slot, false);
+                    }
+                }
+                FREE => {
+                    if slot
+                        .state
+                        .compare_exchange(FREE, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        return CoreRef::new(slot, true);
+                    }
+                }
+                _ => {
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Apply any pending queued invalidations to the core (access
+    /// boundary; see [`crate::coherence`]).
+    #[inline]
+    fn drain_pending(&self, slot: &CoreSlot, c: &mut Core) {
+        // SAFETY: we hold the core's access rights, so we are the sole
+        // consumer of its queue.
+        if unsafe { !slot.queue.has_pending() } {
+            return;
+        }
+        unsafe {
+            slot.queue.drain(|v| {
+                let line = v & !BACK_INVALIDATE;
+                if v & BACK_INVALIDATE != 0 {
+                    // Inclusive-LLC back-invalidation: drop everywhere,
+                    // charge nothing.
+                    c.l1i.invalidate(line);
+                    c.l1d.invalidate(line);
+                    c.l2.invalidate(line);
+                } else if c.l1d.invalidate(line) | c.l2.invalidate(line) {
+                    // MESI write-invalidation: count only if resident.
+                    c.counts.invalidations += 1;
+                }
+            });
+        }
+    }
+
+    /// Grow the core's per-module vectors if `module` is newer than they
+    /// are (modules registered after the machine's cores were built).
+    #[inline]
+    fn ensure_modules(&self, c: &mut Core, module: ModuleId) {
+        if module.0 as usize >= c.module_counts.len() {
+            c.grow_modules(self.descs.len());
+        }
+    }
+
+    /// Access the striped LLC: one spinlock per stripe, stripe keyed by the
+    /// global set index so each set lives in exactly one stripe.
+    #[inline]
+    fn llc_access(&self, line: u64) -> AccessOutcome {
+        let set = if self.llc_set_mask != u64::MAX {
+            (line & self.llc_set_mask) as usize
+        } else {
+            (line % self.llc_sets) as usize
+        };
+        let stripe = set & self.llc_stripe_mask;
+        let local = set >> self.llc_stripe_shift;
+        self.llc[stripe].lock().cache().access_at(local, line)
+    }
+
+    /// Aggregate counters of `core` (snapshot; applies pending queued
+    /// invalidations first so they are visible in the snapshot).
+    pub fn counters(&self, core: usize) -> EventCounts {
+        let mut g = self.core_enter(core, false);
+        let (slot, c) = g.parts();
+        self.drain_pending(slot, c);
+        c.counts.clone()
+    }
+
+    /// Per-module counters of `core` (snapshot), padded to the full module
+    /// registry length.
     pub fn module_counters(&self, core: usize) -> Vec<EventCounts> {
-        self.cores[core].lock().unwrap().module_counts.clone()
+        let n = self.descs.len();
+        let mut g = self.core_enter(core, false);
+        let (slot, c) = g.parts();
+        self.drain_pending(slot, c);
+        let mut v = c.module_counts.clone();
+        if v.len() < n {
+            v.resize_with(n, EventCounts::default);
+        }
+        v
+    }
+
+    /// Lifetime (published, applied) coherence-queue totals across all
+    /// cores. After quiescing (no stores in flight) and snapshotting every
+    /// core's counters, the two are equal — the queues are lossless.
+    pub fn coherence_totals(&self) -> (u64, u64) {
+        self.cores
+            .iter()
+            .map(|s| s.queue.totals())
+            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
     }
 
     /// Retire `n` instructions of `module` on `core`, streaming the unique
@@ -171,63 +607,73 @@ impl Machine {
     /// pure cyclic order so over-capacity footprints degrade smoothly
     /// instead of hitting the LRU cliff.
     pub fn fetch_code(&self, core: usize, module: ModuleId, n: u64) {
+        let d = self.code_desc(module);
+        self.fetch_code_desc(core, module, n, &d);
+    }
+
+    /// [`Machine::fetch_code`] with the module descriptor supplied by the
+    /// caller ([`crate::Mem`] caches it at bind time).
+    #[inline]
+    pub(crate) fn fetch_code_desc(&self, core: usize, module: ModuleId, n: u64, d: &CodeDesc) {
         if n == 0 || self.offline() {
             return;
         }
-        let (base_line, seg_lines, reuse, branchiness) = {
-            let reg = self.modules.read().unwrap();
-            let m = reg.get(module);
-            (
-                m.base_line,
-                m.spec.lines(),
-                m.spec.reuse,
-                m.spec.branchiness,
-            )
-        };
-        let unique = (((n as f64) / (INSTRS_PER_LINE as f64 * reuse)).ceil() as u64).max(1);
+        let mut g = self.core_enter(core, true);
+        let (slot, c) = g.parts();
+        self.drain_pending(slot, c);
+        self.ensure_modules(c, module);
+        self.fetch_code_in(c, module, d, n);
+    }
 
-        let mut guard = self.cores[core].lock().unwrap();
-        let c = &mut *guard;
+    /// The fetch walker proper; requires core access rights.
+    fn fetch_code_in(&self, c: &mut Core, module: ModuleId, d: &CodeDesc, n: u64) {
+        let unique = (((n as f64) / (INSTRS_PER_LINE as f64 * d.reuse)).ceil() as u64).max(1);
         c.counts.instructions += n;
         c.counts.code_fetches += n.div_ceil(INSTRS_PER_LINE);
         // Branch mispredictions scale with how branchy the module is
         // (~0.12 mispredicted branches per branch-dense instruction).
-        let expected_mp = n as f64 * branchiness * 0.12;
+        let expected_mp = n as f64 * d.branchiness * 0.12;
         let mp = expected_mp as u64 + u64::from(c.rng.chance(expected_mp - expected_mp.floor()));
         c.counts.mispredicts += mp;
-        let mc = &mut c.module_counts[module.0 as usize];
+        let mi = module.0 as usize;
+        let mc = &mut c.module_counts[mi];
         mc.instructions += n;
         mc.code_fetches += n.div_ceil(INSTRS_PER_LINE);
         mc.mispredicts += mp;
 
         let prefetch = self.cfg.i_prefetch_next_line;
-        let mut cursor = c.cursors[module.0 as usize] % seg_lines;
+        let mut cursor = c.cursors[mi] % d.seg_lines;
         for _ in 0..unique {
-            let line = base_line + cursor;
+            let line = d.base_line + cursor;
             // L1I -> L2 -> LLC
             if !c.l1i.access(line).hit {
                 Self::bump(c, module, StallEvent::L1i);
                 if !c.l2.access(line).hit {
                     Self::bump(c, module, StallEvent::L2i);
-                    if !self.llc.lock().unwrap().access(line).hit {
+                    if !self.llc_access(line).hit {
                         Self::bump(c, module, StallEvent::LlcI);
                     }
                 }
-                if prefetch && cursor + 1 < seg_lines {
+                if prefetch && cursor + 1 < d.seg_lines {
                     // Pull the next line alongside the demand miss; no
                     // stall is charged for the prefetch itself.
                     c.l1i.access(line + 1);
                     c.l2.access(line + 1);
-                    self.llc.lock().unwrap().access(line + 1);
+                    self.llc_access(line + 1);
                 }
             }
-            if branchiness > 0.0 && c.rng.chance(branchiness) {
-                cursor = c.rng.next_below(seg_lines);
+            if d.branchiness > 0.0 && c.rng.chance(d.branchiness) {
+                cursor = c.rng.next_below(d.seg_lines);
             } else {
-                cursor = (cursor + 1) % seg_lines;
+                // `cursor < seg_lines` always holds here, so the wrap is a
+                // compare instead of a modulo (identical result).
+                cursor += 1;
+                if cursor == d.seg_lines {
+                    cursor = 0;
+                }
             }
         }
-        c.cursors[module.0 as usize] = cursor;
+        c.cursors[mi] = cursor;
     }
 
     /// Perform a data access of `len` bytes at byte address `addr`
@@ -237,113 +683,168 @@ impl Machine {
     /// miss: the spatial/adjacent-line prefetcher of a real core streams
     /// the rest of a sequential object read behind it (they still fill the
     /// caches and count as prefetch fills, not stalls).
+    #[inline]
     pub fn data_access(&self, core: usize, module: ModuleId, addr: u64, len: u32, store: bool) {
         if self.offline() {
             return;
         }
+        let mut g = self.core_enter(core, true);
+        let (slot, c) = g.parts();
+        self.drain_pending(slot, c);
+        self.ensure_modules(c, module);
+        self.span_access(c, core, module, addr, len, store);
+    }
+
+    /// Run a batched op sequence under a single core acquisition: one
+    /// state check and one queue drain amortized over the whole batch,
+    /// with per-op semantics identical to issuing the ops separately.
+    pub(crate) fn run_batch(&self, core: usize, module: ModuleId, d: &CodeDesc, ops: &[BatchOp]) {
+        if ops.is_empty() || self.offline() {
+            return;
+        }
+        let mut g = self.core_enter(core, true);
+        let (slot, c) = g.parts();
+        self.drain_pending(slot, c);
+        self.ensure_modules(c, module);
+        for op in ops {
+            match *op {
+                BatchOp::Exec(n) => {
+                    if n > 0 {
+                        self.fetch_code_in(c, module, d, n);
+                    }
+                }
+                BatchOp::Read { addr, len } => self.span_access(c, core, module, addr, len, false),
+                BatchOp::Write { addr, len } => self.span_access(c, core, module, addr, len, true),
+            }
+        }
+    }
+
+    /// Batched loads under a single core acquisition (multi-line scans).
+    pub(crate) fn data_reads(&self, core: usize, module: ModuleId, reads: &[(u64, u32)]) {
+        if reads.is_empty() || self.offline() {
+            return;
+        }
+        let mut g = self.core_enter(core, true);
+        let (slot, c) = g.parts();
+        self.drain_pending(slot, c);
+        self.ensure_modules(c, module);
+        for &(addr, len) in reads {
+            self.span_access(c, core, module, addr, len, false);
+        }
+    }
+
+    /// One data access (all spanned lines); requires core access rights.
+    #[inline]
+    fn span_access(
+        &self,
+        c: &mut Core,
+        core: usize,
+        module: ModuleId,
+        addr: u64,
+        len: u32,
+        store: bool,
+    ) {
         let first = addr / LINE;
         let last = (addr + u64::from(len.max(1)) - 1) / LINE;
-        self.data_line(core, module, first, store);
+        self.line_demand(c, core, module, first, store);
         for line in first + 1..=last {
-            self.prefetch_line(core, module, line, store);
+            self.line_prefetch(c, core, module, line, store);
         }
     }
 
-    /// Fill `line` through the hierarchy without charging stall-class
-    /// misses (hardware-prefetched trailing lines of a sequential read).
-    fn prefetch_line(&self, core: usize, module: ModuleId, line: u64, store: bool) {
-        {
-            let mut guard = self.cores[core].lock().unwrap();
-            let c = &mut *guard;
-            if store {
-                c.counts.stores += 1;
-                c.module_counts[module.0 as usize].stores += 1;
-            } else {
-                c.counts.loads += 1;
-                c.module_counts[module.0 as usize].loads += 1;
-            }
+    /// Demand access to one line (the first line of an access).
+    #[inline]
+    fn line_demand(&self, c: &mut Core, core: usize, module: ModuleId, line: u64, store: bool) {
+        let mi = module.0 as usize;
+        if store {
+            c.counts.stores += 1;
+            c.module_counts[mi].stores += 1;
+            // Stores retire into the store buffer: the write-allocate
+            // fill updates the caches but produces no retirement stall,
+            // and the paper's counters are load events. Tracked
+            // separately. The LLC fill (write-allocate) happens on the
+            // L2-miss path; inclusive-victim handling is load-side only.
+            let mut missed = false;
             if !c.l1d.access(line).hit {
-                c.l2.access(line);
-                self.llc.lock().unwrap().access(line);
-            }
-        }
-        if store && self.cores.len() > 1 {
-            self.invalidate_others(core, line);
-        }
-    }
-
-    fn data_line(&self, core: usize, module: ModuleId, line: u64, store: bool) {
-        let mut victim = None;
-        {
-            let mut guard = self.cores[core].lock().unwrap();
-            let c = &mut *guard;
-            if store {
-                c.counts.stores += 1;
-                c.module_counts[module.0 as usize].stores += 1;
-            } else {
-                c.counts.loads += 1;
-                c.module_counts[module.0 as usize].loads += 1;
-            }
-            if store {
-                // Stores retire into the store buffer: the write-allocate
-                // fill updates the caches but produces no retirement stall,
-                // and the paper's counters are load events. Tracked
-                // separately.
-                let mut missed = false;
-                if !c.l1d.access(line).hit {
-                    missed = true;
-                    if !c.l2.access(line).hit && !self.llc.lock().unwrap().access(line).hit {}
+                missed = true;
+                if !c.l2.access(line).hit {
+                    self.llc_access(line);
                 }
-                if missed {
-                    c.counts.store_misses += 1;
-                    c.module_counts[module.0 as usize].store_misses += 1;
-                }
-            } else if !c.l1d.access(line).hit {
+            }
+            if missed {
+                c.counts.store_misses += 1;
+                c.module_counts[mi].store_misses += 1;
+            }
+            // Write-invalidation: a store by one core removes the line
+            // from every other core's private caches (MESI downgrade-to-
+            // invalid) — published to their queues, applied at their next
+            // access boundary.
+            if self.cores.len() > 1 {
+                self.publish_invalidate(core, line);
+            }
+        } else {
+            c.counts.loads += 1;
+            c.module_counts[mi].loads += 1;
+            if !c.l1d.access(line).hit {
                 Self::bump(c, module, StallEvent::L1d);
                 if !c.l2.access(line).hit {
                     Self::bump(c, module, StallEvent::L2d);
-                    let out = self.llc.lock().unwrap().access(line);
+                    let out = self.llc_access(line);
                     if !out.hit {
                         Self::bump(c, module, StallEvent::LlcD);
                         if self.cfg.inclusive_llc {
-                            victim = out.evicted;
+                            if let Some(v) = out.evicted {
+                                // Inclusive-LLC back-invalidation: this
+                                // core inline, the others via their queues.
+                                c.l1i.invalidate(v);
+                                c.l1d.invalidate(v);
+                                c.l2.invalidate(v);
+                                self.publish_back_invalidate(core, v);
+                            }
                         }
                     }
                 }
             }
         }
-        // Inclusive-LLC back-invalidation runs with no core lock held.
-        if let Some(v) = victim {
-            self.back_invalidate(v);
+    }
+
+    /// Fill `line` through the hierarchy without charging stall-class
+    /// misses (hardware-prefetched trailing lines of a sequential read).
+    #[inline]
+    fn line_prefetch(&self, c: &mut Core, core: usize, module: ModuleId, line: u64, store: bool) {
+        let mi = module.0 as usize;
+        if store {
+            c.counts.stores += 1;
+            c.module_counts[mi].stores += 1;
+        } else {
+            c.counts.loads += 1;
+            c.module_counts[mi].loads += 1;
         }
-        // Write-invalidation: a store by one core removes the line from
-        // every other core's private caches (MESI downgrade-to-invalid).
+        if !c.l1d.access(line).hit {
+            c.l2.access(line);
+            self.llc_access(line);
+        }
         if store && self.cores.len() > 1 {
-            self.invalidate_others(core, line);
+            self.publish_invalidate(core, line);
         }
     }
 
-    fn invalidate_others(&self, core: usize, line: u64) {
-        for other in 0..self.cores.len() {
-            if other == core {
-                continue;
-            }
-            let mut oc = self.cores[other].lock().unwrap();
-            let invalidated = oc.l1d.invalidate(line) | oc.l2.invalidate(line);
-            if invalidated {
-                oc.counts.invalidations += 1;
+    /// Publish a store invalidation to every other *active* core's queue.
+    fn publish_invalidate(&self, from: usize, line: u64) {
+        for slot in &self.cores {
+            if slot.id != from && slot.active.load(Ordering::Acquire) {
+                slot.queue.push(line);
             }
         }
     }
 
-    /// Inclusive-LLC back-invalidation: drop the victim line from every
-    /// private cache.
-    fn back_invalidate(&self, line: u64) {
-        for c in &self.cores {
-            let mut c = c.lock().unwrap();
-            c.l1i.invalidate(line);
-            c.l1d.invalidate(line);
-            c.l2.invalidate(line);
+    /// Publish an inclusive-LLC back-invalidation to the other active
+    /// cores (the evicting core applies it inline).
+    fn publish_back_invalidate(&self, from: usize, line: u64) {
+        for slot in &self.cores {
+            if slot.id != from && slot.active.load(Ordering::Acquire) {
+                slot.queue.push(line | BACK_INVALIDATE);
+            }
         }
     }
 
@@ -363,31 +864,60 @@ impl Machine {
         let used = self.data.lock().unwrap().used();
         let base = DATA_REGION_BASE / crate::LINE;
         let end = (DATA_REGION_BASE + used).div_ceil(crate::LINE);
-        let mut llc = self.llc.lock().unwrap();
-        for line in base..end {
-            llc.access(line);
+        // Walk stripe by stripe instead of line by line: one lock
+        // acquisition per stripe and a sequential sweep of that stripe's
+        // sets, instead of bouncing across all stripes every line. The
+        // lines of stripe `s` are exactly those with `line % stripes == s`
+        // (stripes divides the set count), and stepping by `stripes`
+        // preserves the within-set access order, so the resulting
+        // residency and LRU state are identical to the flat walk.
+        let stripes = self.llc.len() as u64;
+        for s in 0..stripes {
+            let mut guard = self.llc[s as usize].lock();
+            let cache = guard.cache();
+            let mut line = base + (s + stripes - base % stripes) % stripes;
+            while line < end {
+                let set = if self.llc_set_mask != u64::MAX {
+                    (line & self.llc_set_mask) as usize
+                } else {
+                    (line % self.llc_sets) as usize
+                };
+                debug_assert_eq!(set & self.llc_stripe_mask, s as usize);
+                cache.access_at(set >> self.llc_stripe_shift, line);
+                line += stripes;
+            }
         }
     }
 
-    /// Flush all caches (cold restart) without resetting counters.
+    /// Flush all caches (cold restart) without resetting counters. Pending
+    /// queued invalidations are applied first, preserving their
+    /// resident-at-arrival counting semantics.
     pub fn flush_caches(&self) {
-        for c in &self.cores {
-            let mut c = c.lock().unwrap();
+        for i in 0..self.cores.len() {
+            let mut g = self.core_enter(i, false);
+            let (slot, c) = g.parts();
+            self.drain_pending(slot, c);
             c.l1i.flush();
             c.l1d.flush();
             c.l2.flush();
         }
-        self.llc.lock().unwrap().flush();
+        for stripe in &self.llc {
+            stripe.lock().cache().flush();
+        }
     }
 
     /// Diagnostic: lifetime LLC miss ratio across all traffic.
     pub fn llc_miss_ratio(&self) -> f64 {
-        let llc = self.llc.lock().unwrap();
-        let acc = llc.accesses();
+        let (mut acc, mut miss) = (0u64, 0u64);
+        for stripe in &self.llc {
+            let mut s = stripe.lock();
+            acc += s.cache().accesses();
+            miss += s.cache().misses();
+        }
         if acc == 0 {
             0.0
         } else {
-            llc.misses() as f64 / acc as f64
+            miss as f64 / acc as f64
         }
     }
 }
@@ -549,7 +1079,8 @@ mod tests {
         // Core 1 caches the line.
         m.data_access(1, ModuleId::UNATTRIBUTED, addr, 8, false);
         let before = m.counters(1);
-        // Core 0 writes it -> core 1 loses it.
+        // Core 0 writes it -> core 1 loses it (the queued invalidation is
+        // applied at core 1's next access boundary — here, the snapshot).
         m.data_access(0, ModuleId::UNATTRIBUTED, addr, 8, true);
         assert_eq!(m.counters(1).invalidations, before.invalidations + 1);
         // Core 1 re-reads: L1D miss again.
@@ -557,6 +1088,19 @@ mod tests {
         m.data_access(1, ModuleId::UNATTRIBUTED, addr, 8, false);
         let d = m.counters(1).delta(&before);
         assert_eq!(d.miss(StallEvent::L1d), 1);
+    }
+
+    #[test]
+    fn stores_skip_inactive_cores_entirely() {
+        let m = machine(4);
+        let addr = m.alloc_data(64, 64);
+        // Only core 1 is active besides the writer.
+        m.data_access(1, ModuleId::UNATTRIBUTED, addr, 8, false);
+        m.data_access(0, ModuleId::UNATTRIBUTED, addr, 8, true);
+        let (pushed, _) = m.coherence_totals();
+        assert_eq!(pushed, 1, "cores 2 and 3 never ran: no queue traffic");
+        assert_eq!(m.counters(2).invalidations, 0);
+        assert_eq!(m.counters(3).invalidations, 0);
     }
 
     #[test]
@@ -650,5 +1194,67 @@ mod tests {
             assert_eq!(c.instructions, 1_000_000, "core {core}");
             assert_eq!(c.loads + c.stores, 20_000, "core {core}");
         }
+        let (pushed, applied) = m.coherence_totals();
+        assert_eq!(pushed, applied, "queued invalidations were lost");
+    }
+
+    #[test]
+    fn batched_ops_match_separate_calls() {
+        let run = |batched: bool| {
+            let m = machine(1);
+            let id = m.register_module(ModuleSpec::new("b", 24 << 10));
+            let d = m.code_desc(id);
+            let addr = m.alloc_data(1 << 16, 64);
+            if batched {
+                let ops: Vec<BatchOp> = (0..200u64)
+                    .flat_map(|i| {
+                        [
+                            BatchOp::Exec(100),
+                            BatchOp::Read {
+                                addr: addr + (i % 512) * 64,
+                                len: 96,
+                            },
+                            BatchOp::Write {
+                                addr: addr + (i % 64) * 64,
+                                len: 8,
+                            },
+                        ]
+                    })
+                    .collect();
+                m.run_batch(0, id, &d, &ops);
+            } else {
+                for i in 0..200u64 {
+                    m.fetch_code(0, id, 100);
+                    m.data_access(0, id, addr + (i % 512) * 64, 96, false);
+                    m.data_access(0, id, addr + (i % 64) * 64, 8, true);
+                }
+            }
+            (m.counters(0), m.module_counters(0))
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn llc_striping_is_observation_equivalent_to_single_lock() {
+        // The striped LLC must hit/miss/evict exactly like one monolithic
+        // cache: sets are independent, and each maps to one stripe.
+        let cfg = MachineConfig::ivy_bridge(1);
+        let mut mono = Cache::new(cfg.llc);
+        let m = Machine::new(cfg);
+        let mut rng = XorShift64::new(1234);
+        for _ in 0..200_000 {
+            // Random lines over 64 MB: deep LLC pressure with evictions.
+            let line = (DATA_REGION_BASE / 64) + rng.next_below(1 << 20);
+            let a = mono.access(line);
+            let b = m.llc_access(line);
+            assert_eq!(a, b);
+        }
+        assert_eq!(mono.misses(), {
+            let mut misses = 0;
+            for s in &m.llc {
+                misses += s.lock().cache().misses();
+            }
+            misses
+        });
     }
 }

@@ -1,0 +1,147 @@
+//! Per-core *and* per-module golden counter streams for fixed-seed
+//! single-worker runs, captured before the lock-free fast-path refactor
+//! (owned core ports, striped LLC, queued coherence). The refactor must be
+//! observation-equivalent: every event counter, per core and per module,
+//! stays bit-identical. The full counter state is folded into an FNV-1a
+//! hash so a drift anywhere — a module's store count, a single L2I miss —
+//! flips the digest.
+
+use imoltp::analysis::{measure, WindowSpec};
+use imoltp::bench::{DbSize, MicroBench, TpcB, Workload};
+use imoltp::sim::{EventCounts, MachineConfig, Sim};
+use imoltp::systems::{build_system, DbmsMIndex, SystemKind};
+
+/// FNV-1a over a stream of u64 words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn counts(&mut self, c: &EventCounts) {
+        self.word(c.instructions);
+        self.word(c.code_fetches);
+        self.word(c.loads);
+        self.word(c.stores);
+        for m in c.misses {
+            self.word(m);
+        }
+        self.word(c.mispredicts);
+        self.word(c.store_misses);
+        self.word(c.invalidations);
+    }
+}
+
+/// Hash the cumulative per-core counters plus every module's counters
+/// (with the module count, so a registry change also shows up).
+fn digest(sim: &Sim, core: usize) -> u64 {
+    let mut h = Fnv::new();
+    h.counts(&sim.counters(core));
+    let mods = sim.module_counters(core);
+    h.word(mods.len() as u64);
+    for mc in &mods {
+        h.counts(mc);
+    }
+    h.0
+}
+
+fn micro_digest(kind: SystemKind) -> u64 {
+    let sim = Sim::new(MachineConfig::ivy_bridge(1));
+    let mut db = build_system(kind, &sim, 1);
+    let mut w = MicroBench::new(DbSize::Mb1).with_rows(30_000).seed(4242);
+    sim.offline(|| w.setup(db.as_mut(), 1));
+    sim.warm_data();
+    let mut s = db.session(0);
+    let spec = WindowSpec {
+        warmup: 300,
+        measured: 800,
+        reps: 2,
+    };
+    let _ = measure(&sim, 0, spec, |_| w.exec(s.as_mut(), 0).unwrap());
+    drop(s);
+    digest(&sim, 0)
+}
+
+fn tpcb_digest(kind: SystemKind) -> u64 {
+    let sim = Sim::new(MachineConfig::ivy_bridge(1));
+    let mut db = build_system(kind, &sim, 1);
+    let mut w = TpcB::with_branches(1).seed(55);
+    sim.offline(|| w.setup(db.as_mut(), 1));
+    sim.warm_data();
+    let mut s = db.session(0);
+    let spec = WindowSpec {
+        warmup: 100,
+        measured: 300,
+        reps: 1,
+    };
+    let _ = measure(&sim, 0, spec, |_| w.exec(s.as_mut(), 0).unwrap());
+    drop(s);
+    digest(&sim, 0)
+}
+
+#[test]
+fn micro_per_module_counters_match_pre_refactor_golden() {
+    let golden: [(SystemKind, u64); 5] = [
+        (SystemKind::ShoreMt, 0x6ae751592cc8930c),
+        (SystemKind::DbmsD, 0x2d7dc538f56f5def),
+        (SystemKind::VoltDb, 0x6e18b160812ce719),
+        (SystemKind::HyPer, 0x4875208288f5e48b),
+        (
+            SystemKind::DbmsM {
+                index: DbmsMIndex::Hash,
+                compiled: true,
+            },
+            0x08cc8456c034ca2f,
+        ),
+    ];
+    for (kind, want) in golden {
+        let got = micro_digest(kind);
+        assert_eq!(
+            got, want,
+            "{kind:?}: per-module counter digest {got:#018x} != golden {want:#018x}"
+        );
+    }
+}
+
+#[test]
+fn tpcb_per_module_counters_match_pre_refactor_golden() {
+    let golden: [(SystemKind, u64); 2] = [
+        (SystemKind::DbmsD, 0x664ddb711f528efb),
+        (SystemKind::HyPer, 0xc3b92d3254a65068),
+    ];
+    for (kind, want) in golden {
+        let got = tpcb_digest(kind);
+        assert_eq!(
+            got, want,
+            "{kind:?}: per-module counter digest {got:#018x} != golden {want:#018x}"
+        );
+    }
+}
+
+#[test]
+#[ignore = "capture helper"]
+fn print_digests() {
+    for kind in [
+        SystemKind::ShoreMt,
+        SystemKind::DbmsD,
+        SystemKind::VoltDb,
+        SystemKind::HyPer,
+        SystemKind::DbmsM {
+            index: DbmsMIndex::Hash,
+            compiled: true,
+        },
+    ] {
+        println!("micro {kind:?}: {:#018x}", micro_digest(kind));
+    }
+    for kind in [SystemKind::DbmsD, SystemKind::HyPer] {
+        println!("tpcb {kind:?}: {:#018x}", tpcb_digest(kind));
+    }
+}
