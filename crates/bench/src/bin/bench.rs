@@ -3,6 +3,9 @@
 //! ```text
 //! bench trace <system> <workload> [workers]   # traced run + Perfetto/JSONL export
 //! bench perf [--smoke] [--check <baseline>]   # simulator micro-benchmark -> results/perf.json
+//! bench chaos <system> <workload> [--seed N] [--fault-rate R] [--workers W]
+//!             [--smoke] [--plan <manifest.json>] [--out <dir>]
+//!                                             # fault-injection run + replayable manifest
 //! ```
 //!
 //! Systems: shore-mt, dbmsd, voltdb, hyper, dbmsm, dbmsm-interp,
@@ -87,6 +90,7 @@ fn main() {
                 println!("no perf regressions vs {}", baseline.display());
             }
         }
+        Some("chaos") => run_chaos(&args),
         Some("help") | None => usage(0),
         Some(other) => {
             eprintln!("unknown subcommand: {other}");
@@ -95,9 +99,229 @@ fn main() {
     }
 }
 
+/// `bench chaos`: one fault-injection run under the retry/backoff policy,
+/// verified against the lost-update oracle; exits nonzero on any oracle
+/// violation (or digest mismatch when replaying a manifest).
+fn run_chaos(args: &[String]) -> ! {
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let parse_or = |name: &str, bad: &str| {
+        flag(name).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad {bad}: {v}");
+                usage(2);
+            })
+        })
+    };
+
+    // A replayed manifest supplies every knob; explicit CLI args win.
+    let replay = flag("--plan").map(|p| {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read plan {p}: {e}");
+            usage(2);
+        });
+        obs::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad plan JSON in {p}: {e}");
+            usage(2);
+        })
+    });
+    let rstr = |key: &str| {
+        replay
+            .as_ref()
+            .and_then(|m| m.get(key))
+            .and_then(|v| v.as_str())
+            .map(String::from)
+    };
+    let rnum = |key: &str| {
+        replay
+            .as_ref()
+            .and_then(|m| m.get(key))
+            .and_then(|v| v.as_f64())
+    };
+
+    // Positionals: everything after `chaos` that is neither a flag nor a
+    // flag's value.
+    let mut positionals = Vec::new();
+    let mut i = 2;
+    while let Some(a) = args.get(i) {
+        match a.as_str() {
+            "--seed" | "--fault-rate" | "--workers" | "--plan" | "--out" => i += 2,
+            _ if a.starts_with("--") => i += 1,
+            _ => {
+                positionals.push(a.clone());
+                i += 1;
+            }
+        }
+    }
+    let sys_arg = positionals
+        .first()
+        .cloned()
+        .or_else(|| rstr("system_cli").or_else(|| rstr("system")))
+        .unwrap_or_else(|| usage(2));
+    let wl_arg = positionals
+        .get(1)
+        .cloned()
+        .or_else(|| rstr("workload"))
+        .unwrap_or_else(|| usage(2));
+    let Some(system) = trace::parse_system(&sys_arg) else {
+        eprintln!("unknown system: {sys_arg}");
+        usage(2);
+    };
+    let Some(workload) = trace::parse_workload(&wl_arg) else {
+        eprintln!("unknown workload: {wl_arg}");
+        usage(2);
+    };
+
+    let mut cfg = bench::chaos::ChaosCfg::new(system, workload, &wl_arg);
+    if let Some(m) = &replay {
+        cfg.plan_override = Some(faults::FaultPlan::from_json(m).unwrap_or_else(|e| {
+            eprintln!("bad fault plan: {e}");
+            usage(2);
+        }));
+        cfg.seed = cfg.plan_override.as_ref().unwrap().seed;
+        cfg.fault_rate = cfg.plan_override.as_ref().unwrap().rate;
+        if let Some(w) = rnum("workers") {
+            cfg.workers = w as usize;
+        }
+        if let Some(win) = m.get("window") {
+            let f = |k: &str| win.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+            cfg.window = Some(microarch::WindowSpec {
+                warmup: f("warmup"),
+                measured: f("measured"),
+                reps: (f("reps") as u32).max(1),
+            });
+        }
+    }
+    if let Some(seed) = parse_or("--seed", "seed") {
+        cfg.seed = seed;
+        cfg.plan_override = None; // explicit knobs rebuild the plan
+    }
+    if let Some(rate) = flag("--fault-rate") {
+        cfg.fault_rate = rate.parse().unwrap_or_else(|_| {
+            eprintln!("bad fault rate: {rate}");
+            usage(2);
+        });
+        if !(0.0..=1.0).contains(&cfg.fault_rate) {
+            eprintln!("bad fault rate: {rate} (expected 0..=1)");
+            usage(2);
+        }
+        cfg.plan_override = None;
+    }
+    if let Some(w) = parse_or("--workers", "worker count") {
+        if !(1..=64).contains(&w) {
+            eprintln!("bad worker count: {w} (expected 1..=64)");
+            usage(2);
+        }
+        cfg.workers = w as usize;
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        cfg.window = Some(microarch::WindowSpec {
+            warmup: 40,
+            measured: 120,
+            reps: 1,
+        });
+    }
+
+    let report = bench::chaos::run(&cfg);
+    let out_dir = flag("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("results"));
+    let art = bench::chaos::write_artifacts(&report, &cfg, &out_dir);
+
+    let r = &report.outcomes.retry;
+    println!(
+        "chaos: {} / {} / {} worker(s), seed {}, rate {}",
+        system.label(),
+        wl_arg,
+        cfg.workers,
+        cfg.seed,
+        cfg.fault_rate
+    );
+    println!(
+        "  txns {}  commits {}  retries {} (conflict {}, abort {})  gave_up {}",
+        report.measurement.txns,
+        r.commits,
+        r.retries(),
+        r.conflict_retries,
+        r.abort_retries,
+        r.gave_up
+    );
+    println!(
+        "  latch_timeouts {}  log_failures {}  backoff_units {}",
+        r.latch_timeouts, r.log_failures, r.backoff_units
+    );
+    println!(
+        "  poisons {}  reopens {}  offline {} ({} txn slots)  ambiguous commits {}",
+        report.outcomes.poisons,
+        report.outcomes.reopens,
+        report.outcomes.offline_events,
+        report.outcomes.offline_txns,
+        report.outcomes.ambiguous_commits
+    );
+    println!(
+        "  faults fired {}  attempts p50/p95 {}/{}",
+        report.faults_fired,
+        report.retry_hist.quantile(0.5),
+        report.retry_hist.quantile(0.95)
+    );
+    for (core, d) in report.digests.iter().enumerate() {
+        println!("  core {core} digest {d:#018x}");
+    }
+    println!("  table digest {:#018x}", report.table_digest);
+    println!(
+        "  lost updates {}  phantom updates {}",
+        report.lost_updates, report.phantom_updates
+    );
+    println!("manifest: {}", art.manifest.display());
+    println!("jsonl:    {}", art.jsonl.display());
+
+    let mut failed = false;
+    if !report.consistent() {
+        eprintln!("FAIL: oracle violated (lost or phantom updates)");
+        failed = true;
+    }
+    // Digest comparison only applies to a faithful replay — overriding
+    // the seed or rate on the CLI deliberately departs from the manifest.
+    if let Some(m) = replay.as_ref().filter(|_| cfg.plan_override.is_some()) {
+        // Replays must reproduce the original run bit for bit.
+        let want: Vec<String> = m
+            .get("digests")
+            .and_then(|v| v.as_arr())
+            .map(|a| {
+                a.iter()
+                    .filter_map(|d| d.as_str().map(String::from))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let got: Vec<String> = report
+            .digests
+            .iter()
+            .map(|d| format!("{d:#018x}"))
+            .collect();
+        if !want.is_empty() && want != got {
+            eprintln!("FAIL: per-core digests differ from the replayed manifest");
+            failed = true;
+        }
+        if let Some(want_table) = m.get("table_digest").and_then(|v| v.as_str()) {
+            if want_table != format!("{:#018x}", report.table_digest) {
+                eprintln!("FAIL: table digest differs from the replayed manifest");
+                failed = true;
+            }
+        }
+        if !failed {
+            println!("replay matches the manifest");
+        }
+    }
+    std::process::exit(i32::from(failed));
+}
+
 fn usage(code: i32) -> ! {
     eprintln!("usage: bench trace <shore-mt|dbmsd|voltdb|hyper|dbmsm|dbmsm-interp|dbmsm-btree> <micro|micro-rw|tpcb|tpcc|tpce> [workers]");
     eprintln!("       bench perf [--smoke] [--check <baseline.json>] [--out <path>]");
+    eprintln!("       bench chaos <system> <workload> [--seed N] [--fault-rate R] [--workers W] [--smoke] [--plan <manifest.json>] [--out <dir>]");
     std::process::exit(code);
 }
 

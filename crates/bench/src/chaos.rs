@@ -1,0 +1,733 @@
+//! Chaos harness: drive an engine under deterministic fault injection
+//! with a real recovery policy, and verify nothing was lost.
+//!
+//! One chaos run installs a [`faults::FaultPlan`] (seed + per-site rates)
+//! and executes a lockstep multi-worker window in which every worker
+//! alternates between
+//!
+//! * a **verified counter increment** on its own worker-private rows of a
+//!   dedicated `chaos_counters` table (the lost-update oracle), and
+//! * a regular transaction of the configured workload (realistic traffic).
+//!
+//! Failures recover through [`oltp::retry`]: bounded exponential backoff
+//! with deterministic jitter for conflict-class errors, bounded plain
+//! retry for abort-class errors, session re-open on poison, and a
+//! `gave_up` record — never a panicked barrier — when the policy is
+//! exhausted. Backoff is charged to the worker's simulated core as
+//! retired instructions, so the recovery policy is visible in the counter
+//! profile exactly like a PAUSE loop would be on real hardware.
+//!
+//! **Fault sites.** Harness-level sites work in every build:
+//! `driver/conflict`, `driver/abort` (forced errors before dispatch),
+//! `driver/poison` (session poisoning; sticky until re-open), and
+//! `core/offline` (the worker's simulated core drops traffic for a fixed
+//! window — degraded placement à la Hardware Islands). Engine-internal
+//! sites (`shore_mt/latch`, `shore_mt/wal`, `dbms_d/latch`, `dbms_d/wal`,
+//! `voltdb/claim`, `voltdb/clog`, `hyper/claim`, `hyper/wal`,
+//! `dbms_m/latch`, `dbms_m/validate`) exist only under `--features
+//! faults`; in default builds those hooks compile to nothing.
+//!
+//! **Oracle under ambiguity.** In-place engines have no physical undo, so
+//! an error injected at the *commit* site leaves the increment possibly
+//! applied. The oracle therefore tracks confirmed commits exactly and
+//! counts ambiguous commit failures separately: the final value must lie
+//! in `[confirmed, confirmed + ambiguous]`. Anything below is a lost
+//! update; anything above is a phantom.
+//!
+//! **Determinism.** Fault decisions are a pure function of
+//! `(seed, site, core, ordinal)`, pacing is lockstep, and backoff jitter
+//! is seeded — so a run is a pure function of its manifest. At fault-rate
+//! 0 the run is byte-identical to a fault-free run of the same schedule
+//! (the per-core counter digests are reproduced exactly).
+
+use std::fs;
+use std::io::BufWriter;
+use std::path::Path;
+use std::sync::Mutex;
+
+use engines::{build_system, SystemKind};
+use faults::FaultPlan;
+use microarch::{measure_workers, Measurement, Pacing, WindowSpec};
+use obs::json::Json;
+use obs::sink::{JsonlSink, VecSink};
+use obs::{hist::Histogram, Phase, Tracer};
+use oltp::retry::{retry_txn, Backoff, RetryPolicy, RetryStats, TxnOutcome};
+use oltp::{Column, DataType, OltpError, OltpResult, Schema, Session, TableDef, TableId, Value};
+use uarch_sim::{EventCounts, MachineConfig, Sim};
+use workloads::Workload;
+
+use crate::{scale_factor, WorkloadCfg};
+
+/// Worker-private oracle rows per worker.
+const KEYS_PER_WORKER: u64 = 4;
+
+/// Fixed length (in transaction slots) of a core-offline window.
+const OFFLINE_TXNS: u64 = 8;
+
+/// Configuration of one chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosCfg {
+    /// Engine under test.
+    pub system: SystemKind,
+    /// Workload providing the realistic traffic half of the schedule.
+    pub workload: WorkloadCfg,
+    /// Workload CLI name (for manifests and file slugs).
+    pub workload_name: String,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Base firing rate for every site (poison/offline run at 1/8 of it).
+    pub fault_rate: f64,
+    /// Worker threads (= simulated cores = partitions).
+    pub workers: usize,
+    /// Measurement window; `None` uses the chaos default scaled by
+    /// `IMOLTP_SCALE`.
+    pub window: Option<WindowSpec>,
+    /// Retry/backoff policy.
+    pub policy: RetryPolicy,
+    /// Exact plan to install instead of the one derived from
+    /// `seed`/`fault_rate` — used when replaying a manifest whose plan may
+    /// carry site rules this builder doesn't produce.
+    pub plan_override: Option<FaultPlan>,
+}
+
+impl ChaosCfg {
+    /// Defaults for `bench chaos <system> <workload>`.
+    pub fn new(system: SystemKind, workload: WorkloadCfg, workload_name: &str) -> Self {
+        ChaosCfg {
+            system,
+            workload,
+            workload_name: workload_name.to_string(),
+            seed: 1,
+            fault_rate: 0.05,
+            workers: 2,
+            window: None,
+            policy: RetryPolicy::default(),
+            plan_override: None,
+        }
+    }
+
+    /// The plan this configuration installs.
+    pub fn plan(&self) -> FaultPlan {
+        if let Some(plan) = &self.plan_override {
+            return plan.clone();
+        }
+        FaultPlan::uniform(self.seed, self.fault_rate)
+            .site("driver/poison", self.fault_rate / 8.0)
+            .site("core/offline", self.fault_rate / 8.0)
+    }
+
+    fn effective_window(&self) -> WindowSpec {
+        self.window.unwrap_or_else(|| {
+            WindowSpec {
+                warmup: 100,
+                measured: 400,
+                reps: 1,
+            }
+            .scaled(scale_factor())
+        })
+    }
+}
+
+/// Aggregated outcome counters of one chaos run (the retry-layer stats
+/// plus the harness-level recovery events).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosOutcomes {
+    /// Retry-layer counters (commits, retries, give-ups, backoff units).
+    pub retry: RetryStats,
+    /// Forced `driver/conflict` faults fired.
+    pub driver_conflicts: u64,
+    /// Forced `driver/abort` faults fired.
+    pub driver_aborts: u64,
+    /// Sessions poisoned.
+    pub poisons: u64,
+    /// Sessions re-opened after poison.
+    pub reopens: u64,
+    /// Core-offline windows entered.
+    pub offline_events: u64,
+    /// Transaction slots idled while a core was offline.
+    pub offline_txns: u64,
+    /// Commit-stage failures with ambiguous durability (see module docs).
+    pub ambiguous_commits: u64,
+}
+
+/// Result of one chaos run.
+pub struct ChaosReport {
+    /// Aggregated counters.
+    pub outcomes: ChaosOutcomes,
+    /// Attempts-per-committed-transaction distribution (1 = first try).
+    pub retry_hist: Histogram,
+    /// Backoff-units-per-pause distribution.
+    pub backoff_hist: Histogram,
+    /// Per-core FNV digests over aggregate + per-module counters, taken
+    /// immediately after the measured window (before verification reads).
+    pub digests: Vec<u64>,
+    /// FNV digest over the final `(key, value)` contents of the oracle
+    /// table (read after the plan is disarmed).
+    pub table_digest: u64,
+    /// Oracle violations: committed increments missing from the table.
+    pub lost_updates: u64,
+    /// Oracle violations: increments beyond `confirmed + ambiguous`.
+    pub phantom_updates: u64,
+    /// Total faults fired (all sites).
+    pub faults_fired: u64,
+    /// The windowed measurement of the chaos run.
+    pub measurement: Measurement,
+    /// Merged per-worker span stream (simulated-timestamp order), for
+    /// export through the standard obs sinks.
+    pub spans: Vec<obs::SpanRecord>,
+    /// The replayable manifest (plan + schedule + outcomes + digests).
+    pub manifest: Json,
+}
+
+impl ChaosReport {
+    /// Whether the oracle held: every confirmed commit is in the table and
+    /// nothing beyond the ambiguity bound appeared.
+    pub fn consistent(&self) -> bool {
+        self.lost_updates == 0 && self.phantom_updates == 0
+    }
+}
+
+/// FNV-1a over a stream of u64 words (same digest the golden-counter
+/// tests use, so drift anywhere in the counter state flips it).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn counts(&mut self, c: &EventCounts) {
+        self.word(c.instructions);
+        self.word(c.code_fetches);
+        self.word(c.loads);
+        self.word(c.stores);
+        for m in c.misses {
+            self.word(m);
+        }
+        self.word(c.mispredicts);
+        self.word(c.store_misses);
+        self.word(c.invalidations);
+    }
+}
+
+fn core_digest(sim: &Sim, core: usize) -> u64 {
+    let mut h = Fnv::new();
+    h.counts(&sim.counters(core));
+    let mods = sim.module_counters(core);
+    h.word(mods.len() as u64);
+    for mc in &mods {
+        h.counts(mc);
+    }
+    h.0
+}
+
+/// Per-worker chaos state, kept in a `Mutex` slot so the step closure
+/// (running on the worker thread) and the post-run verifier can both
+/// reach it. Uncontended: only the owning worker locks it during the run.
+struct ChaosWorker {
+    worker: usize,
+    session: Option<Box<dyn Session>>,
+    keys: Vec<u64>,
+    /// Confirmed committed increments per key.
+    confirmed: Vec<u64>,
+    /// Commit-stage failures per key whose durability is unknown.
+    ambiguous: Vec<u64>,
+    stats: RetryStats,
+    out: ChaosOutcomes,
+    backoff: Backoff,
+    retry_hist: Histogram,
+    backoff_hist: Histogram,
+    txn_no: u64,
+    offline_until: Option<u64>,
+}
+
+/// Run one chaos point. Serializes against any other chaos run in the
+/// process (the fault injector is global), installs the plan for exactly
+/// the measured window, and verifies the oracle with faults disarmed.
+pub fn run(cfg: &ChaosCfg) -> ChaosReport {
+    let workers = cfg.workers.max(1);
+    let plan = cfg.plan();
+    let window = cfg.effective_window();
+
+    // Claim the process-global injector BEFORE loading: a concurrent
+    // chaos test must not have its plan armed while this run's load
+    // traffic passes the (feature-gated) engine hooks.
+    let quiesced = faults::quiesce();
+
+    let sim = Sim::new(MachineConfig::ivy_bridge(workers));
+    let mut db = build_system(cfg.system, &sim, workers);
+
+    // The oracle table: KEYS_PER_WORKER rows per worker, inserted through
+    // that worker's session so partitioned engines keep them single-site.
+    let ctable = db.create_table(TableDef::new(
+        "chaos_counters",
+        Schema::new(vec![
+            Column::new("key", DataType::Long),
+            Column::new("hits", DataType::Long),
+        ]),
+        workers as u64 * KEYS_PER_WORKER,
+    ));
+    let mut w = cfg.workload.build();
+    sim.offline(|| {
+        // Oracle rows go in first so the workload's `setup` (which ends
+        // with `finish_load`) still runs last, as every loader expects.
+        for worker in 0..workers {
+            let mut s = db.session(worker);
+            for k in 0..KEYS_PER_WORKER {
+                let key = oracle_key(worker, workers, k);
+                s.begin();
+                s.insert(ctable, key, &[Value::Long(key as i64), Value::Long(0)])
+                    .expect("oracle row insert");
+                s.commit().expect("oracle row commit");
+            }
+        }
+        w.setup(db.as_mut(), workers);
+    });
+    sim.warm_data();
+
+    let engine: &'static str = db.name();
+    let slots: Vec<Mutex<ChaosWorker>> = (0..workers)
+        .map(|worker| {
+            Mutex::new(ChaosWorker {
+                worker,
+                session: None,
+                keys: (0..KEYS_PER_WORKER)
+                    .map(|k| oracle_key(worker, workers, k))
+                    .collect(),
+                confirmed: vec![0; KEYS_PER_WORKER as usize],
+                ambiguous: vec![0; KEYS_PER_WORKER as usize],
+                stats: RetryStats::default(),
+                out: ChaosOutcomes::default(),
+                backoff: Backoff::new(cfg.policy, (cfg.seed ^ ((worker as u64) << 32)) | 1),
+                retry_hist: Histogram::new(),
+                backoff_hist: Histogram::new(),
+                txn_no: 0,
+                offline_until: None,
+            })
+        })
+        .collect();
+    let span_sinks: Vec<VecSink> = (0..workers).map(|_| VecSink::new()).collect();
+
+    // Arm the injector for exactly the measured window, carrying over the
+    // claim taken before the load.
+    let installed = quiesced.install(plan.clone());
+
+    let cores: Vec<usize> = (0..workers).collect();
+    let wl = Mutex::new(w);
+    let measurement = {
+        let db = &*db;
+        let wl = &wl;
+        let slots = &slots;
+        let sim_handle = &sim;
+        let span_sinks = &span_sinks;
+        let policy = cfg.policy;
+        measure_workers(&sim, &cores, window, Pacing::Lockstep, |worker| {
+            let mut session = Some(db.session(worker));
+            let sink = span_sinks[worker].clone();
+            let tracer_sim = sim_handle.clone();
+            let mut installed_tracer = false;
+            let mem = sim_handle.mem(worker);
+            move |_| {
+                if !installed_tracer {
+                    // Tracers are thread-local: install this worker's on
+                    // its own thread, on its first turn.
+                    let tracer = Tracer::new(&tracer_sim);
+                    tracer.add_sink(Box::new(sink.clone()));
+                    obs::install(tracer);
+                    installed_tracer = true;
+                }
+                let mut slot = slots[worker].lock().unwrap();
+                if slot.session.is_none() {
+                    slot.session = session.take();
+                }
+                let slot = &mut *slot;
+
+                // Core-offline window in force: the worker idles this slot.
+                if let Some(until) = slot.offline_until {
+                    if slot.txn_no < until {
+                        slot.out.offline_txns += 1;
+                        slot.txn_no += 1;
+                        return;
+                    }
+                    mem.sim().set_core_offline(worker, false);
+                    slot.offline_until = None;
+                }
+                if faults::fire("core/offline", worker) {
+                    mem.sim().set_core_offline(worker, true);
+                    slot.out.offline_events += 1;
+                    slot.offline_until = Some(slot.txn_no + OFFLINE_TXNS);
+                    slot.out.offline_txns += 1;
+                    slot.txn_no += 1;
+                    return;
+                }
+                if faults::fire("driver/poison", worker) {
+                    faults::poison(worker);
+                    slot.out.poisons += 1;
+                }
+
+                let mut outcome = run_one(slot, wl, ctable, engine, &policy, &mem);
+                if matches!(
+                    &outcome,
+                    TxnOutcome::GaveUp {
+                        error: OltpError::SessionPoisoned,
+                        ..
+                    }
+                ) {
+                    // Recovery: drop the wedged session (returns its core
+                    // port), open a fresh one, heal, and run the txn again.
+                    // The poison give-up was session loss, not txn loss —
+                    // take it back out of the gave_up count.
+                    slot.stats.gave_up -= 1;
+                    slot.session = None;
+                    slot.session = Some(db.session(worker));
+                    faults::heal(worker);
+                    slot.out.reopens += 1;
+                    outcome = run_one(slot, wl, ctable, engine, &policy, &mem);
+                }
+                slot.retry_hist.record(u64::from(outcome.attempts()));
+                slot.txn_no += 1;
+            }
+        })
+    };
+
+    // Digests first: they certify the measured window, not the
+    // verification reads below.
+    let digests: Vec<u64> = (0..workers).map(|c| core_digest(&sim, c)).collect();
+    let faults_fired = installed.fired_count();
+    let fired = installed.fired();
+    drop(installed); // disarm before verification
+
+    // Merge the per-thread span streams (by simulated timestamp) and
+    // export them through the standard obs sinks.
+    let merged = obs::merge_span_streams(span_sinks.iter().map(|s| s.take()).collect());
+    let span_count = merged.len() as u64;
+
+    // Verification: read the oracle table through fresh sessions with the
+    // injector disarmed. Any worker cores left offline come back first.
+    let mut lost = 0u64;
+    let mut phantom = 0u64;
+    let mut outcomes = ChaosOutcomes::default();
+    let mut retry_hist = Histogram::new();
+    let mut backoff_hist = Histogram::new();
+    let mut table_fnv = Fnv::new();
+    for slot in &slots {
+        let mut slot = slot.lock().unwrap();
+        sim.set_core_offline(slot.worker, false);
+        slot.session = None; // return the port before re-opening
+        let mut s = db.session(slot.worker);
+        for ki in 0..KEYS_PER_WORKER as usize {
+            let key = slot.keys[ki];
+            s.begin();
+            let row = s.read(ctable, key).expect("oracle read");
+            s.commit().expect("oracle read commit");
+            let Some(row) = row else {
+                panic!("oracle key {key} missing after the run")
+            };
+            let Value::Long(v) = row[1] else {
+                panic!("oracle value column changed type")
+            };
+            let actual = v as u64;
+            let lo = slot.confirmed[ki];
+            let hi = lo + slot.ambiguous[ki];
+            lost += lo.saturating_sub(actual);
+            phantom += actual.saturating_sub(hi);
+            table_fnv.word(key);
+            table_fnv.word(actual);
+        }
+        outcomes.retry.merge(&slot.stats);
+        outcomes.driver_conflicts += slot.out.driver_conflicts;
+        outcomes.driver_aborts += slot.out.driver_aborts;
+        outcomes.poisons += slot.out.poisons;
+        outcomes.reopens += slot.out.reopens;
+        outcomes.offline_events += slot.out.offline_events;
+        outcomes.offline_txns += slot.out.offline_txns;
+        outcomes.ambiguous_commits += slot.out.ambiguous_commits;
+        retry_hist.merge(&slot.retry_hist);
+        backoff_hist.merge(&slot.backoff_hist);
+    }
+
+    let manifest = manifest_json(
+        cfg,
+        &plan,
+        window,
+        &outcomes,
+        &retry_hist,
+        &backoff_hist,
+        &digests,
+        table_fnv.0,
+        lost,
+        phantom,
+        faults_fired,
+        span_count,
+        &fired,
+        &measurement,
+    );
+
+    ChaosReport {
+        outcomes,
+        retry_hist,
+        backoff_hist,
+        digests,
+        table_digest: table_fnv.0,
+        lost_updates: lost,
+        phantom_updates: phantom,
+        faults_fired,
+        measurement,
+        spans: merged,
+        manifest,
+    }
+}
+
+/// Stable oracle key for `(worker, k)`; strided so index structures see
+/// the same sparsity the workload tables do.
+fn oracle_key(worker: usize, workers: usize, k: u64) -> u64 {
+    (k * workers as u64 + worker as u64) * 64
+}
+
+/// CLI name for a system (the inverse of `trace::parse_system`), so a
+/// manifest replays through the same front-end that produced it.
+pub fn system_cli(kind: SystemKind) -> &'static str {
+    use engines::DbmsMIndex;
+    match kind {
+        SystemKind::ShoreMt => "shore-mt",
+        SystemKind::DbmsD => "dbmsd",
+        SystemKind::VoltDb => "voltdb",
+        SystemKind::HyPer => "hyper",
+        SystemKind::DbmsM {
+            index: DbmsMIndex::Hash,
+            compiled: true,
+        } => "dbmsm",
+        SystemKind::DbmsM {
+            index: DbmsMIndex::Hash,
+            compiled: false,
+        } => "dbmsm-interp",
+        SystemKind::DbmsM {
+            index: DbmsMIndex::BTree,
+            ..
+        } => "dbmsm-btree",
+    }
+}
+
+/// One logical transaction under the retry policy: even slots run the
+/// verified increment, odd slots run the workload. Backoff pauses retire
+/// instructions on the worker's core so recovery cost is observable.
+fn run_one(
+    slot: &mut ChaosWorker,
+    wl: &Mutex<Box<dyn Workload>>,
+    ctable: TableId,
+    engine: &'static str,
+    policy: &RetryPolicy,
+    mem: &uarch_sim::Mem,
+) -> TxnOutcome {
+    let worker = slot.worker;
+    let is_increment = slot.txn_no.is_multiple_of(2);
+    // Split the borrows: retry_txn's two closures each need slot state.
+    let ChaosWorker {
+        session,
+        stats,
+        backoff,
+        backoff_hist,
+        out,
+        keys,
+        confirmed,
+        ambiguous,
+        txn_no,
+        ..
+    } = slot;
+    let txn_no = *txn_no;
+    let mut attempt = |_k: u32| -> OltpResult<()> {
+        let _t = obs::span(engine, Phase::Txn, worker);
+        if faults::poisoned(worker) {
+            return Err(OltpError::SessionPoisoned);
+        }
+        if faults::fire("driver/conflict", worker) {
+            out.driver_conflicts += 1;
+            return Err(OltpError::Conflict {
+                table: ctable,
+                key: 0,
+            });
+        }
+        if faults::fire("driver/abort", worker) {
+            out.driver_aborts += 1;
+            return Err(OltpError::Aborted("injected driver abort"));
+        }
+        let s = session.as_mut().expect("session open").as_mut();
+        if is_increment {
+            let ki = (txn_no / 2 % KEYS_PER_WORKER) as usize;
+            let key = keys[ki];
+            s.begin();
+            match s.update(ctable, key, &mut |row| {
+                if let Value::Long(v) = &mut row[1] {
+                    *v += 1;
+                }
+            }) {
+                Ok(found) => {
+                    debug_assert!(found, "oracle key {key} vanished");
+                    match s.commit() {
+                        Ok(()) => {
+                            confirmed[ki] += 1;
+                            Ok(())
+                        }
+                        Err(e) => {
+                            s.abort();
+                            ambiguous[ki] += 1;
+                            out.ambiguous_commits += 1;
+                            Err(e)
+                        }
+                    }
+                }
+                Err(e) => {
+                    s.abort();
+                    Err(e)
+                }
+            }
+        } else {
+            let r = wl.lock().unwrap().exec(s, worker);
+            if r.is_err() {
+                // The workload propagates mid-txn errors without cleanup.
+                s.abort();
+            }
+            r
+        }
+    };
+    retry_txn(policy, backoff, stats, &mut attempt, |units| {
+        backoff_hist.record(units);
+        mem.exec(units);
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn manifest_json(
+    cfg: &ChaosCfg,
+    plan: &FaultPlan,
+    window: WindowSpec,
+    outcomes: &ChaosOutcomes,
+    retry_hist: &Histogram,
+    backoff_hist: &Histogram,
+    digests: &[u64],
+    table_digest: u64,
+    lost: u64,
+    phantom: u64,
+    faults_fired: u64,
+    span_count: u64,
+    fired: &[faults::Fired],
+    m: &Measurement,
+) -> Json {
+    let r = &outcomes.retry;
+    let mut site_counts: Vec<(&'static str, u64)> = Vec::new();
+    for f in fired {
+        match site_counts.iter_mut().find(|(s, _)| *s == f.site) {
+            Some((_, c)) => *c += 1,
+            None => site_counts.push((f.site, 1)),
+        }
+    }
+    Json::obj(vec![
+        ("kind", Json::str("chaos-manifest")),
+        ("system", Json::str(cfg.system.label())),
+        ("system_cli", Json::str(system_cli(cfg.system))),
+        ("workload", Json::str(&cfg.workload_name)),
+        ("workers", Json::u64(cfg.workers as u64)),
+        (
+            "window",
+            Json::obj(vec![
+                ("warmup", Json::u64(window.warmup)),
+                ("measured", Json::u64(window.measured)),
+                ("reps", Json::u64(u64::from(window.reps))),
+            ]),
+        ),
+        ("plan", plan.to_json()),
+        (
+            "outcomes",
+            Json::obj(vec![
+                ("commits", Json::u64(r.commits)),
+                ("gave_up", Json::u64(r.gave_up)),
+                ("conflict_retries", Json::u64(r.conflict_retries)),
+                ("abort_retries", Json::u64(r.abort_retries)),
+                ("latch_timeouts", Json::u64(r.latch_timeouts)),
+                ("log_failures", Json::u64(r.log_failures)),
+                ("backoff_units", Json::u64(r.backoff_units)),
+                ("driver_conflicts", Json::u64(outcomes.driver_conflicts)),
+                ("driver_aborts", Json::u64(outcomes.driver_aborts)),
+                ("poisons", Json::u64(outcomes.poisons)),
+                ("reopens", Json::u64(outcomes.reopens)),
+                ("offline_events", Json::u64(outcomes.offline_events)),
+                ("offline_txns", Json::u64(outcomes.offline_txns)),
+                ("ambiguous_commits", Json::u64(outcomes.ambiguous_commits)),
+            ]),
+        ),
+        ("retry_hist", retry_hist.to_json()),
+        ("backoff_hist", backoff_hist.to_json()),
+        (
+            "fired_by_site",
+            Json::Obj(
+                site_counts
+                    .into_iter()
+                    .map(|(s, c)| (s.to_string(), Json::u64(c)))
+                    .collect(),
+            ),
+        ),
+        ("faults_fired", Json::u64(faults_fired)),
+        ("spans", Json::u64(span_count)),
+        ("lost_updates", Json::u64(lost)),
+        ("phantom_updates", Json::u64(phantom)),
+        (
+            "digests",
+            Json::Arr(
+                digests
+                    .iter()
+                    .map(|d| Json::str(&format!("{d:#018x}")))
+                    .collect(),
+            ),
+        ),
+        ("table_digest", Json::str(&format!("{table_digest:#018x}"))),
+        ("tps", Json::Num(m.tps)),
+        ("txns", Json::u64(m.txns)),
+        (
+            "engine_sites_compiled",
+            Json::Bool(cfg!(feature = "faults")),
+        ),
+    ])
+}
+
+/// Paths of the files one chaos run leaves behind.
+pub struct ChaosArtifacts {
+    /// The replayable JSON manifest.
+    pub manifest: std::path::PathBuf,
+    /// Per-span JSONL stream (same format as `bench trace`).
+    pub jsonl: std::path::PathBuf,
+}
+
+/// Write the manifest plus the merged span stream under `dir`.
+pub fn write_artifacts(report: &ChaosReport, cfg: &ChaosCfg, dir: &Path) -> ChaosArtifacts {
+    fs::create_dir_all(dir).expect("create results dir");
+    let slug = |s: &str| s.to_ascii_lowercase().replace([' ', '-'], "_");
+    let base = format!(
+        "chaos_{}_{}",
+        slug(cfg.system.label()),
+        slug(&cfg.workload_name)
+    );
+    let manifest = dir.join(format!("{base}.json"));
+    fs::write(&manifest, report.manifest.render()).expect("write chaos manifest");
+    let jsonl = dir.join(format!("{base}.jsonl"));
+    export_spans(&report.spans, &jsonl);
+    ChaosArtifacts { manifest, jsonl }
+}
+
+/// Write `records` as JSONL at `path` through the standard obs sink (one
+/// span per line, same schema as `bench trace`).
+pub fn export_spans(records: &[obs::SpanRecord], path: &Path) {
+    use obs::sink::TraceSink;
+    let f = fs::File::create(path).expect("create chaos span file");
+    let mut sink = JsonlSink::new(Box::new(BufWriter::new(f)));
+    for rec in records {
+        sink.record(rec);
+    }
+    sink.finish();
+}

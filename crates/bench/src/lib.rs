@@ -17,6 +17,7 @@ use workloads::tpce::TpcEScale;
 use workloads::{DbSize, MicroBench, TpcB, TpcC, TpcE, Workload};
 
 pub mod ablations;
+pub mod chaos;
 pub mod figures;
 pub mod modules_report;
 pub mod perf;
@@ -47,7 +48,8 @@ pub enum WorkloadCfg {
 }
 
 impl WorkloadCfg {
-    fn build(&self) -> Box<dyn Workload> {
+    /// Instantiate the workload.
+    pub fn build(&self) -> Box<dyn Workload> {
         match self {
             WorkloadCfg::Micro {
                 size,

@@ -280,6 +280,11 @@ impl DbmsDSession {
         let mem = self.mem(self.shared.m.lock);
         mem.exec(cost::LOCK_WRAP);
         self.latch_contention(&mem);
+        faults::inject!(
+            "dbms_d/latch",
+            self.core,
+            OltpError::LatchTimeout("dbms_d/latch")
+        );
         match inner.locks.lock(&mem, txn, target, mode) {
             LockOutcome::Granted => Ok(()),
             LockOutcome::Conflict => Err(OltpError::Conflict { table: t, key }),
@@ -383,6 +388,13 @@ impl Session for DbmsDSession {
             let mem = self.mem(self.shared.m.log);
             mem.exec(cost::LOG_COMMIT);
             self.latch_contention(&mem);
+            // WAL write failure: txn stays open, caller aborts (undo is
+            // logged there), locks release on the abort path.
+            faults::inject!(
+                "dbms_d/wal",
+                self.core,
+                OltpError::LogWriteFailed("dbms_d/wal")
+            );
             inner.wal.append(&mem, txn, LogKind::Commit, 16);
         }
         {

@@ -452,6 +452,23 @@ impl Session for DbmsMSession {
             let mem = self.mem(self.shared.m.txn);
             mem.exec(cost::VALIDATE);
             self.latch_contention(&mem);
+            faults::inject!(
+                "dbms_m/latch",
+                self.core,
+                OltpError::LatchTimeout("dbms_m/latch")
+            );
+            // Forced OCC validation failure; `txn` was already taken from
+            // the session, so its buffered writes are simply discarded —
+            // exactly the clean-abort path. The victim table/key are
+            // synthetic (there is no real conflicting row).
+            faults::inject!(
+                "dbms_m/validate",
+                self.core,
+                OltpError::Conflict {
+                    table: TableId(0),
+                    key: 0,
+                }
+            );
         }
         let commit_ts = inner.tm.commit_ts();
         let mem_mvcc = self.mem(self.shared.m.mvcc);

@@ -157,6 +157,11 @@ impl HyPerSession {
     /// No-wait serial-execution claim (see [`crate::voltdb`]).
     fn claim(&self, part: &mut PartState, t: TableId, key: u64) -> OltpResult<()> {
         let Some(txn) = self.cur else { return Ok(()) };
+        faults::inject!(
+            "hyper/claim",
+            self.core,
+            OltpError::Conflict { table: t, key }
+        );
         match part.owner {
             None => {
                 part.owner = Some(txn);
@@ -259,6 +264,12 @@ impl Session for HyPerSession {
             let _l = obs::span(ENGINE, Phase::Log, self.core);
             let mem = self.mem(self.shared.m.log);
             mem.exec(cost::REDO);
+            // Redo-log write failure; the caller aborts, releasing the claim.
+            faults::inject!(
+                "hyper/wal",
+                self.core,
+                OltpError::LogWriteFailed("hyper/wal")
+            );
             let part = &mut *self.shared.parts[self.part()].lock().unwrap();
             part.wal.append(&mem, txn, LogKind::Commit, 24);
             if part.owner == Some(txn) {

@@ -251,6 +251,11 @@ impl ShoreMtSession {
         let mem = self.mem(self.shared.m.lock);
         mem.exec(cost::LOCK_WRAP);
         self.latch_contention(&mem);
+        faults::inject!(
+            "shore_mt/latch",
+            self.core,
+            OltpError::LatchTimeout("shore_mt/latch")
+        );
         match inner.locks.lock(&mem, txn, target, mode) {
             LockOutcome::Granted => Ok(()),
             LockOutcome::Conflict => Err(OltpError::Conflict { table: t, key }),
@@ -350,6 +355,13 @@ impl Session for ShoreMtSession {
             let mem = self.mem(self.shared.m.log);
             mem.exec(cost::LOG_COMMIT);
             self.latch_contention(&mem);
+            // WAL write failure: the txn stays open with its locks held;
+            // the caller aborts, which releases them.
+            faults::inject!(
+                "shore_mt/wal",
+                self.core,
+                OltpError::LogWriteFailed("shore_mt/wal")
+            );
             inner.wal.append(&mem, txn, LogKind::Commit, 16);
         }
         let _cc = obs::span(ENGINE, Phase::Cc, self.core);

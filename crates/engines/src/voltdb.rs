@@ -224,6 +224,11 @@ impl VoltDbSession {
     /// one-worker-per-partition deployment.
     fn claim(&self, part: &mut PartState, t: TableId, key: u64) -> OltpResult<()> {
         let Some(txn) = self.cur else { return Ok(()) };
+        faults::inject!(
+            "voltdb/claim",
+            self.core,
+            OltpError::Conflict { table: t, key }
+        );
         match part.owner {
             None => {
                 part.owner = Some(txn);
@@ -360,6 +365,13 @@ impl Session for VoltDbSession {
         let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.shared.m.clog);
         mem.exec(cost::CLOG);
+        // Command-log write failure: the txn stays open (writes may have
+        // applied); the caller aborts, releasing the partition claim.
+        faults::inject!(
+            "voltdb/clog",
+            self.core,
+            OltpError::LogWriteFailed("voltdb/clog")
+        );
         let part = &mut *shared.parts[self.part()].lock().unwrap();
         part.wal.append(&mem, txn, LogKind::Commit, 32);
         if part.owner == Some(txn) {

@@ -1,0 +1,210 @@
+//! The replayable fault schedule: a seed plus per-site rates.
+//!
+//! A [`FaultPlan`] is a *pure function* from `(site, core, n)` to
+//! fire/don't-fire, where `n` is the per-`(site, core)` evaluation ordinal.
+//! Nothing about the decision depends on wall-clock time, thread
+//! interleaving, or evaluation order across cores — two runs that evaluate
+//! the same sites in the same per-core order get byte-identical schedules,
+//! which is what makes a chaos run replayable from its manifest.
+
+use obs::json::{self, Json};
+
+/// FNV-1a over a byte string (site names are short; this is cold path
+/// relative to the simulated work around it).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer: one round is enough to decorrelate the packed
+/// `(seed, site, core, ordinal)` word into a uniform u64.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Per-site rate override inside a [`FaultPlan`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiteRule {
+    /// Site name (e.g. `"shore_mt/latch"`). Matched exactly.
+    pub site: String,
+    /// Firing probability in `[0, 1]` for this site, replacing the plan's
+    /// default rate.
+    pub rate: f64,
+}
+
+/// A deterministic, serializable fault schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Base seed; the same seed always yields the same schedule.
+    pub seed: u64,
+    /// Default firing probability for every site not listed in `sites`.
+    pub rate: f64,
+    /// Per-site overrides.
+    pub sites: Vec<SiteRule>,
+}
+
+impl FaultPlan {
+    /// A plan firing every site at `rate` under `seed`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+            sites: Vec::new(),
+        }
+    }
+
+    /// Override one site's rate (builder style).
+    #[must_use]
+    pub fn site(mut self, site: &str, rate: f64) -> Self {
+        self.sites.push(SiteRule {
+            site: site.to_string(),
+            rate: rate.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// The rate in force at `site`.
+    pub fn rate_at(&self, site: &str) -> f64 {
+        self.sites
+            .iter()
+            .find(|r| r.site == site)
+            .map_or(self.rate, |r| r.rate)
+    }
+
+    /// Whether the `n`-th evaluation of `site` on `core` fires. Pure:
+    /// depends only on `(seed, site, core, n)` and the site's rate.
+    pub fn fires(&self, site: &str, core: usize, n: u64) -> bool {
+        let rate = self.rate_at(site);
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let word = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(fnv1a(site.as_bytes()))
+            .wrapping_add((core as u64).wrapping_mul(0xd1b5_4a32_d192_ed03))
+            .wrapping_add(n.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        // 53 uniform mantissa bits -> [0, 1).
+        let u = (splitmix(word) >> 11) as f64 / (1u64 << 53) as f64;
+        u < rate
+    }
+
+    /// Serialize to the manifest JSON shape.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seed", Json::u64(self.seed)),
+            ("rate", Json::Num(self.rate)),
+            (
+                "sites",
+                Json::Arr(
+                    self.sites
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("site", Json::str(&r.site)),
+                                ("rate", Json::Num(r.rate)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a plan from JSON produced by [`FaultPlan::to_json`] — or from
+    /// a whole chaos manifest (the plan is looked up under a `"plan"` key
+    /// first, so a saved manifest replays directly).
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let doc = doc.get("plan").unwrap_or(doc);
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_f64)
+            .ok_or("fault plan: missing numeric \"seed\"")? as u64;
+        let rate = doc
+            .get("rate")
+            .and_then(Json::as_f64)
+            .ok_or("fault plan: missing numeric \"rate\"")?;
+        let mut sites = Vec::new();
+        if let Some(arr) = doc.get("sites").and_then(Json::as_arr) {
+            for s in arr {
+                let site = s
+                    .get("site")
+                    .and_then(Json::as_str)
+                    .ok_or("fault plan: site rule without \"site\"")?;
+                let r = s
+                    .get("rate")
+                    .and_then(Json::as_f64)
+                    .ok_or("fault plan: site rule without \"rate\"")?;
+                sites.push(SiteRule {
+                    site: site.to_string(),
+                    rate: r,
+                });
+            }
+        }
+        Ok(FaultPlan { seed, rate, sites })
+    }
+
+    /// Parse from a JSON string (plan or manifest; see
+    /// [`FaultPlan::from_json`]).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_pure_and_seed_sensitive() {
+        let p = FaultPlan::uniform(7, 0.1);
+        let q = FaultPlan::uniform(8, 0.1);
+        let a: Vec<bool> = (0..4096).map(|n| p.fires("x/y", 1, n)).collect();
+        let b: Vec<bool> = (0..4096).map(|n| p.fires("x/y", 1, n)).collect();
+        let c: Vec<bool> = (0..4096).map(|n| q.fires("x/y", 1, n)).collect();
+        assert_eq!(a, b, "same plan, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!(
+            (200..=600).contains(&hits),
+            "rate 0.1 over 4096 draws fired {hits} times"
+        );
+    }
+
+    #[test]
+    fn sites_and_cores_decorrelate() {
+        let p = FaultPlan::uniform(7, 0.5);
+        let a: Vec<bool> = (0..512).map(|n| p.fires("a", 0, n)).collect();
+        let b: Vec<bool> = (0..512).map(|n| p.fires("b", 0, n)).collect();
+        let c: Vec<bool> = (0..512).map(|n| p.fires("a", 1, n)).collect();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rate_bounds() {
+        let p = FaultPlan::uniform(1, 0.0).site("always", 1.0);
+        assert!((0..100).all(|n| !p.fires("quiet", 0, n)));
+        assert!((0..100).all(|n| p.fires("always", 0, n)));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = FaultPlan::uniform(42, 0.05).site("shore_mt/wal", 0.2);
+        let back = FaultPlan::parse(&p.to_json().render()).unwrap();
+        assert_eq!(p, back);
+        // A manifest wrapping the plan replays identically.
+        let manifest = Json::obj(vec![("plan", p.to_json()), ("other", Json::u64(1))]);
+        assert_eq!(FaultPlan::parse(&manifest.render()).unwrap(), p);
+    }
+}

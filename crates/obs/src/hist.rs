@@ -158,6 +158,28 @@ impl Histogram {
             .filter(|(_, &c)| c > 0)
             .map(|(idx, &c)| (bucket_low(idx), c))
     }
+
+    /// JSON summary for report manifests: count, mean, tail quantiles and
+    /// the non-empty `[low, count]` bucket pairs.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj(vec![
+            ("count", Json::u64(self.count())),
+            ("mean", Json::Num(self.mean())),
+            ("min", Json::u64(if self.total == 0 { 0 } else { self.min })),
+            ("max", Json::u64(self.max)),
+            ("p50", Json::u64(self.quantile(0.5))),
+            ("p95", Json::u64(self.quantile(0.95))),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets()
+                        .map(|(low, c)| Json::Arr(vec![Json::u64(low), Json::u64(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// The per-transaction distributions the tracer maintains: instructions,
@@ -190,6 +212,28 @@ impl TxnHists {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn to_json_summarizes_the_distribution() {
+        let mut h = Histogram::new();
+        for v in [1, 1, 2, 3, 50] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(|v| v.as_f64()), Some(5.0));
+        assert!(j.get("mean").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        let buckets = j.get("buckets").and_then(|v| v.as_arr()).unwrap();
+        assert!(!buckets.is_empty());
+        let total: f64 = buckets
+            .iter()
+            .map(|b| b.as_arr().unwrap()[1].as_f64().unwrap())
+            .sum();
+        assert_eq!(total, 5.0, "bucket counts sum to the record count");
+        // Empty histograms render without poisoned min/max sentinels.
+        let empty = Histogram::new().to_json();
+        assert_eq!(empty.get("count").and_then(|v| v.as_f64()), Some(0.0));
+        assert_eq!(empty.get("min").and_then(|v| v.as_f64()), Some(0.0));
+    }
 
     #[test]
     fn buckets_are_contiguous_and_monotone() {

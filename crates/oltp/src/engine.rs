@@ -45,6 +45,17 @@ pub enum OltpError {
     /// The engine does not support the operation (e.g. range scan on a
     /// hash index).
     Unsupported(&'static str),
+    /// An internal latch could not be acquired in time. Transient:
+    /// retryable with backoff, like [`OltpError::Conflict`].
+    LatchTimeout(&'static str),
+    /// A WAL / command-log write failed; the transaction's durability is
+    /// not established and it must be aborted. Retryable a bounded number
+    /// of times (the log device may recover).
+    LogWriteFailed(&'static str),
+    /// The session is wedged (e.g. its worker observed a fault that left
+    /// connection state inconsistent). Not retryable on this session: the
+    /// caller must drop it and open a fresh one.
+    SessionPoisoned,
 }
 
 impl std::fmt::Display for OltpError {
@@ -60,6 +71,9 @@ impl std::fmt::Display for OltpError {
                 write!(f, "conflict on key {key} in table {}", table.0)
             }
             OltpError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            OltpError::LatchTimeout(site) => write!(f, "latch acquire timed out at {site}"),
+            OltpError::LogWriteFailed(site) => write!(f, "log write failed at {site}"),
+            OltpError::SessionPoisoned => write!(f, "session poisoned; re-open required"),
         }
     }
 }
@@ -74,7 +88,12 @@ pub type OltpResult<T> = Result<T, OltpError>;
 /// `Db` methods run during the single-threaded setup phase; all
 /// transactional work goes through per-worker [`Session`] handles opened
 /// with [`Db::session`].
-pub trait Db {
+///
+/// `Db` is `Send + Sync`: engines keep all mutable state behind interior
+/// synchronization, so a worker thread may call [`Db::session`] through a
+/// shared reference — the chaos harness re-opens sessions from worker
+/// threads after a poison fault.
+pub trait Db: Send + Sync {
     /// Engine display name (as used in the paper's figures).
     fn name(&self) -> &'static str;
 

@@ -26,11 +26,13 @@
 
 pub mod engine;
 pub mod keys;
+pub mod retry;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
 pub use engine::{run_txn, Db, OltpError, OltpResult, Row, Session, TableId};
 pub use keys::KeyPack;
+pub use retry::{Backoff, ErrorClass, RetryPolicy, RetryStats, TxnOutcome};
 pub use schema::{Column, Schema, TableDef};
 pub use value::{DataType, Value};

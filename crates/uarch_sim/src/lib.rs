@@ -156,6 +156,19 @@ impl Sim {
         self.0.set_offline(offline);
     }
 
+    /// Take one core offline (or back online): that core's traffic is
+    /// dropped and its counters freeze, as if the core were parked or
+    /// failed; other cores are unaffected. Used by fault injection to
+    /// model degraded placement.
+    pub fn set_core_offline(&self, core: usize, offline: bool) {
+        self.0.set_core_offline(core, offline);
+    }
+
+    /// Whether `core` is individually offline.
+    pub fn core_offline(&self, core: usize) -> bool {
+        self.0.core_offline(core)
+    }
+
     /// Run `f` with simulation suppressed (bulk loading). The machine is
     /// brought back online even if `f` panics (drop guard), so a failing
     /// loader inside a `catch_unwind` harness cannot leave the simulator

@@ -319,6 +319,10 @@ pub struct Machine {
     descs: DescTable,
     data: Mutex<AddressSpace>,
     offline: AtomicBool,
+    /// Per-core offline flags (simulated core failure / parked core):
+    /// suppresses that core's traffic only, unlike the machine-wide
+    /// bulk-load `offline` switch.
+    core_offline: Vec<AtomicBool>,
 }
 
 // SAFETY: the `UnsafeCell<Core>`s are guarded by the slot state machine —
@@ -366,6 +370,7 @@ impl Machine {
             descs,
             data: Mutex::new(AddressSpace::new(DATA_REGION_BASE, DATA_REGION_SIZE)),
             offline: AtomicBool::new(false),
+            core_offline: (0..cfg.cores).map(|_| AtomicBool::new(false)).collect(),
             cfg,
         }
     }
@@ -381,6 +386,26 @@ impl Machine {
     /// Whether the machine is in offline (bulk-load) mode.
     pub fn offline(&self) -> bool {
         self.offline.load(Ordering::Relaxed)
+    }
+
+    /// Take one core offline (or back online). An offline core drops all
+    /// simulated traffic — no fetches, no data accesses, frozen counters —
+    /// as if the core were parked or failed; the other cores are
+    /// unaffected. Used by fault injection to model degraded placement.
+    pub fn set_core_offline(&self, core: usize, offline: bool) {
+        self.core_offline[core].store(offline, Ordering::Relaxed);
+    }
+
+    /// Whether `core` is individually offline.
+    pub fn core_offline(&self, core: usize) -> bool {
+        self.core_offline[core].load(Ordering::Relaxed)
+    }
+
+    /// Whether traffic on `core` is currently suppressed (machine-wide
+    /// bulk-load mode or an individual core-offline fault).
+    #[inline]
+    fn suppressed(&self, core: usize) -> bool {
+        self.offline() || self.core_offline[core].load(Ordering::Relaxed)
     }
 
     /// Machine configuration.
@@ -459,9 +484,25 @@ impl Machine {
     }
 
     /// Check a port back in (called from [`crate::CorePort::drop`]).
+    ///
+    /// The claiming-thread token is released *before* the slot goes FREE:
+    /// a port dropped during a worker's panic unwind would otherwise leave
+    /// the dead thread's token in the slot, and a later claimant racing
+    /// the state transition could adopt it while the slot is no longer
+    /// ported — an unstealable core. Clearing first means any observer of
+    /// the stale PORTED state sees an UNCLAIMED owner, which is always
+    /// safe to claim.
     pub(crate) fn checkin(&self, core: usize) {
-        let prev = self.cores[core].state.swap(FREE, Ordering::Release);
+        let slot = &self.cores[core];
+        slot.owner.store(UNCLAIMED, Ordering::Relaxed);
+        let prev = slot.state.swap(FREE, Ordering::Release);
         debug_assert_eq!(prev, PORTED, "checkin without an outstanding port");
+    }
+
+    /// Current owner token of `core`'s slot (tests only).
+    #[cfg(test)]
+    pub(crate) fn port_owner(&self, core: usize) -> u64 {
+        self.cores[core].owner.load(Ordering::Relaxed)
     }
 
     /// Acquire access rights to `core` (see the module docs). `activate`
@@ -615,7 +656,7 @@ impl Machine {
     /// caller ([`crate::Mem`] caches it at bind time).
     #[inline]
     pub(crate) fn fetch_code_desc(&self, core: usize, module: ModuleId, n: u64, d: &CodeDesc) {
-        if n == 0 || self.offline() {
+        if n == 0 || self.suppressed(core) {
             return;
         }
         let mut g = self.core_enter(core, true);
@@ -685,7 +726,7 @@ impl Machine {
     /// caches and count as prefetch fills, not stalls).
     #[inline]
     pub fn data_access(&self, core: usize, module: ModuleId, addr: u64, len: u32, store: bool) {
-        if self.offline() {
+        if self.suppressed(core) {
             return;
         }
         let mut g = self.core_enter(core, true);
@@ -699,7 +740,7 @@ impl Machine {
     /// state check and one queue drain amortized over the whole batch,
     /// with per-op semantics identical to issuing the ops separately.
     pub(crate) fn run_batch(&self, core: usize, module: ModuleId, d: &CodeDesc, ops: &[BatchOp]) {
-        if ops.is_empty() || self.offline() {
+        if ops.is_empty() || self.suppressed(core) {
             return;
         }
         let mut g = self.core_enter(core, true);
@@ -721,7 +762,7 @@ impl Machine {
 
     /// Batched loads under a single core acquisition (multi-line scans).
     pub(crate) fn data_reads(&self, core: usize, module: ModuleId, reads: &[(u64, u32)]) {
-        if reads.is_empty() || self.offline() {
+        if reads.is_empty() || self.suppressed(core) {
             return;
         }
         let mut g = self.core_enter(core, true);
@@ -928,6 +969,33 @@ mod tests {
 
     fn machine(cores: usize) -> Machine {
         Machine::new(MachineConfig::ivy_bridge(cores))
+    }
+
+    #[test]
+    fn core_offline_freezes_only_that_core() {
+        let m = machine(2);
+        let id = m.register_module(ModuleSpec::new("work", 4096).reuse(4.0));
+        let buf = m.alloc_data(4096, 64);
+        m.fetch_code(0, id, 1_000);
+        m.fetch_code(1, id, 1_000);
+
+        m.set_core_offline(0, true);
+        assert!(m.core_offline(0));
+        assert!(!m.core_offline(1));
+        let c0 = m.counters(0);
+        m.fetch_code(0, id, 5_000);
+        m.data_access(0, id, buf, 8, false);
+        m.fetch_code(1, id, 5_000);
+        m.data_access(1, id, buf, 8, true);
+        let d0 = m.counters(0).delta(&c0);
+        assert_eq!(d0.instructions, 0, "offline core's counters are frozen");
+        assert_eq!(d0.loads, 0);
+        assert_eq!(m.counters(1).instructions, 6_000, "core 1 unaffected");
+
+        m.set_core_offline(0, false);
+        m.fetch_code(0, id, 2_000);
+        let d0 = m.counters(0).delta(&c0);
+        assert_eq!(d0.instructions, 2_000, "traffic resumes once back online");
     }
 
     #[test]

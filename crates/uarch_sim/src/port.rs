@@ -138,6 +138,39 @@ mod tests {
     }
 
     #[test]
+    fn panicking_holder_releases_the_owner_token() {
+        // A worker that panics while holding a claimed port must leave the
+        // core fully reusable: the unwind drops the port, which has to
+        // clear both the slot state AND the claiming-thread token — a
+        // stale token from the dead thread could otherwise be adopted by a
+        // racing claimant after the slot was already freed.
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let buf = sim.alloc(4096, 64);
+        let handle = std::thread::spawn({
+            let sim = sim.clone();
+            move || {
+                let _port = sim.checkout(0);
+                sim.mem(0).read(buf, 8); // claim the core for this thread
+                panic!("worker dies holding the port");
+            }
+        });
+        assert!(handle.join().is_err(), "worker must have panicked");
+        assert_eq!(
+            sim.machine().port_owner(0),
+            UNCLAIMED,
+            "dropping the port during unwind must release the owner token"
+        );
+        // The core is reusable end to end: fresh checkout, fresh claim.
+        let port = sim.try_checkout(0).expect("port released by the unwind");
+        sim.mem(0).read(buf + 64, 8);
+        sim.mem(0).exec(500);
+        drop(port);
+        let c = sim.counters(0);
+        assert_eq!(c.loads, 2);
+        assert_eq!(c.instructions, 500);
+    }
+
+    #[test]
     fn port_migrates_across_threads() {
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
         let port = sim.checkout(0);

@@ -17,13 +17,19 @@
 //!   VoltDB, HyPer, DBMS M);
 //! * [bench](crate::bench) — micro-benchmark, TPC-B and TPC-C workloads and drivers;
 //! * [obs](crate::obs) — structured tracing: per-phase spans, counter-delta
-//!   sinks (ring buffer / JSONL / Perfetto), log-bucketed histograms.
+//!   sinks (ring buffer / JSONL / Perfetto), log-bucketed histograms;
+//! * [faults](crate::faults) — deterministic seed-driven fault injection
+//!   (replayable [`faults::FaultPlan`]s, named sites, the `inject!` hook);
+//! * [harness](crate::harness) — the experiment/figure harness library,
+//!   including the chaos runner ([`harness::chaos`]).
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and the
 //! `figures` binary (crate `bench`) for the full figure-reproduction
 //! harness.
 
 pub use engines as systems;
+pub use faults;
+pub use harness;
 pub use indexes as idx;
 pub use microarch as analysis;
 pub use obs;
