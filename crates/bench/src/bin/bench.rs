@@ -1,7 +1,11 @@
 //! `bench` — ad-hoc benchmarking front-end.
 //!
 //! ```text
-//! bench trace <system> <workload> [workers]   # traced run + Perfetto/JSONL export
+//! bench trace <system> <workload> [workers] [--flame [component]]
+//!                                             # traced run + Perfetto/JSONL export
+//!                                             # --flame adds a stall-weighted collapsed-stack
+//!                                             # file (component: total|instr|data|l1i|...)
+//! bench metrics [system] [workload] [--smoke] # metrics-registry run + Prometheus/JSON export
 //! bench perf [--smoke] [--check <baseline>]   # simulator micro-benchmark -> results/perf.json
 //! bench chaos <system> <workload> [--seed N] [--fault-rate R] [--workers W]
 //!             [--smoke] [--plan <manifest.json>] [--out <dir>]
@@ -31,7 +35,7 @@ fn main() {
                 eprintln!("unknown workload: {wl_arg}");
                 usage(2);
             };
-            let workers: usize = match args.get(4) {
+            let workers: usize = match args.get(4).filter(|a| !a.starts_with("--")) {
                 Some(n) => match n.parse() {
                     // The simulated machine models at most 64 cores.
                     Ok(w) if (1..=64).contains(&w) => w,
@@ -42,8 +46,18 @@ fn main() {
                 },
                 None => 1,
             };
+            let flame = args.iter().position(|a| a == "--flame").map(|i| {
+                // Optional component argument after the flag.
+                match args.get(i + 1).filter(|a| !a.starts_with("--")) {
+                    Some(name) => obs::flame::StallComponent::parse(name).unwrap_or_else(|| {
+                        eprintln!("bad stall component: {name} (total|instr|data|l1i|l2i|llc-i|l1d|l2d|llc-d)");
+                        usage(2);
+                    }),
+                    None => obs::flame::StallComponent::Total,
+                }
+            });
             let out_dir = repo_root().join("results");
-            let art = trace::run_trace_workers(system, &workload, wl_arg, &out_dir, workers);
+            let art = trace::run_trace_flame(system, &workload, wl_arg, &out_dir, workers, flame);
             print!(
                 "{}",
                 trace::render(
@@ -56,6 +70,57 @@ fn main() {
                 art.perfetto.display()
             );
             println!("jsonl:    {}", art.jsonl.display());
+            if let (Some(folded), Some(total)) = (&art.folded, art.flame_total) {
+                println!(
+                    "folded:   {} ({} stall cycles; feed to flamegraph.pl/inferno/speedscope)",
+                    folded.display(),
+                    total
+                );
+            }
+        }
+        Some("metrics") => {
+            let positionals: Vec<&String> =
+                args[2..].iter().filter(|a| !a.starts_with("--")).collect();
+            let system = match positionals.first() {
+                Some(s) => trace::parse_system(s).unwrap_or_else(|| {
+                    eprintln!("unknown system: {s}");
+                    usage(2);
+                }),
+                None => engines::SystemKind::VoltDb,
+            };
+            let workload = match positionals.get(1) {
+                Some(w) => trace::parse_workload(w).unwrap_or_else(|| {
+                    eprintln!("unknown workload: {w}");
+                    usage(2);
+                }),
+                None => trace::parse_workload("micro").unwrap(),
+            };
+            let mut cfg = bench::metrics_report::MetricsCfg::new(system, workload);
+            cfg.smoke = args.iter().any(|a| a == "--smoke");
+            if cfg.smoke {
+                cfg.report_every = 64;
+            }
+            let r = bench::metrics_report::run(&cfg);
+            for line in &r.periodic {
+                println!("{line}");
+            }
+            let out_dir = repo_root().join("results");
+            std::fs::create_dir_all(&out_dir).expect("create results dir");
+            let prom = out_dir.join("metrics.prom");
+            let json = out_dir.join("metrics.json");
+            std::fs::write(&prom, &r.prometheus).expect("write metrics.prom");
+            std::fs::write(&json, &r.json).expect("write metrics.json");
+            println!(
+                "txns {}  tps {:.0}  ipc {:.2}",
+                r.measurement.txns, r.measurement.tps, r.measurement.ipc
+            );
+            println!("prometheus: {}", prom.display());
+            println!("json:       {}", json.display());
+            if let Err(e) = bench::metrics_report::smoke_check(&r, system.label()) {
+                eprintln!("FAIL: {e}");
+                std::process::exit(1);
+            }
+            println!("metrics smoke OK");
         }
         Some("perf") => {
             let smoke = args.iter().any(|a| a == "--smoke");
@@ -319,7 +384,8 @@ fn run_chaos(args: &[String]) -> ! {
 }
 
 fn usage(code: i32) -> ! {
-    eprintln!("usage: bench trace <shore-mt|dbmsd|voltdb|hyper|dbmsm|dbmsm-interp|dbmsm-btree> <micro|micro-rw|tpcb|tpcc|tpce> [workers]");
+    eprintln!("usage: bench trace <shore-mt|dbmsd|voltdb|hyper|dbmsm|dbmsm-interp|dbmsm-btree> <micro|micro-rw|tpcb|tpcc|tpce> [workers] [--flame [total|instr|data|l1i|l2i|llc-i|l1d|l2d|llc-d]]");
+    eprintln!("       bench metrics [system] [workload] [--smoke]");
     eprintln!("       bench perf [--smoke] [--check <baseline.json>] [--out <path>]");
     eprintln!("       bench chaos <system> <workload> [--seed N] [--fault-rate R] [--workers W] [--smoke] [--plan <manifest.json>] [--out <dir>]");
     std::process::exit(code);

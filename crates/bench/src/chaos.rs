@@ -647,6 +647,7 @@ fn manifest_json(
             "outcomes",
             Json::obj(vec![
                 ("commits", Json::u64(r.commits)),
+                ("retries_total", Json::u64(r.retries())),
                 ("gave_up", Json::u64(r.gave_up)),
                 ("conflict_retries", Json::u64(r.conflict_retries)),
                 ("abort_retries", Json::u64(r.abort_retries)),

@@ -18,7 +18,9 @@ use workloads::{DbSize, MicroBench, TpcB, TpcC, TpcE, Workload};
 
 pub mod ablations;
 pub mod chaos;
+pub mod diff;
 pub mod figures;
+pub mod metrics_report;
 pub mod modules_report;
 pub mod perf;
 pub mod scaling;

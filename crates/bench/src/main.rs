@@ -5,6 +5,11 @@
 //! figures fig1 ... fig27 # one figure as a text table
 //! figures scaling        # worker-count scaling grid + results/scaling.csv
 //! figures calibrate      # quick per-(system,size) metric dump
+//! figures record <system> <workload> <out.json>
+//!                        # record one traced run for differential analysis
+//! figures diff <a.json> <b.json> [--threshold PCT]
+//!                        # decompose the throughput delta between two
+//!                        # recorded runs; exit 1 past the regression gate
 //! ```
 //!
 //! Set `IMOLTP_SCALE=<f64>` to scale measurement windows (e.g. `0.2` for a
@@ -112,6 +117,14 @@ fn main() {
             print!("{}", bench::trace::phases_table(&workload));
             return;
         }
+        "record" => {
+            record(&std::env::args().collect::<Vec<_>>());
+            return;
+        }
+        "diff" => {
+            diff(&std::env::args().collect::<Vec<_>>());
+            return;
+        }
         "checks" => {
             for c in f.checks() {
                 println!(
@@ -129,7 +142,7 @@ fn main() {
                 eprintln!("unknown subcommand: {other}");
             }
             eprintln!(
-                "usage: figures <all|fig1..fig27|scaling [--smoke]|checks|calibrate|phases [micro|tpcb|tpcc]|modules [micro|tpcb|tpcc]|tpce|ablations|ablation-{{llc,prefetch,simplecore,voltdb-mp,overlap}}>"
+                "usage: figures <all|fig1..fig27|scaling [--smoke]|checks|calibrate|phases [micro|tpcb|tpcc]|modules [micro|tpcb|tpcc]|tpce|ablations|ablation-{{llc,prefetch,simplecore,voltdb-mp,overlap}}|record <system> <workload> <out.json>|diff <a.json> <b.json> [--threshold PCT]>"
             );
             std::process::exit(if other == "help" { 0 } else { 2 });
         }
@@ -137,6 +150,80 @@ fn main() {
     if let Some(fig) = fig {
         print!("{}", fig.render_text());
     }
+}
+
+/// `figures record <system> <workload> <out.json>` — run one traced point
+/// and persist it as a [`bench::diff::RunRecord`].
+fn record(args: &[String]) {
+    let (Some(sys_arg), Some(wl_arg), Some(out)) = (args.get(2), args.get(3), args.get(4)) else {
+        eprintln!("usage: figures record <system> <workload> <out.json>");
+        std::process::exit(2);
+    };
+    let Some(system) = bench::trace::parse_system(sys_arg) else {
+        eprintln!("unknown system: {sys_arg}");
+        std::process::exit(2);
+    };
+    let Some(workload) = bench::trace::parse_workload(wl_arg) else {
+        eprintln!("unknown workload: {wl_arg}");
+        std::process::exit(2);
+    };
+    let rec = bench::diff::record_run(system, &workload, wl_arg);
+    let path = PathBuf::from(out);
+    rec.save(&path).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "recorded {}/{}: {} txns, {:.0} tps, {:.2} ipc, {:.1} cycles/txn -> {}",
+        rec.system,
+        rec.workload,
+        rec.txns,
+        rec.tps,
+        rec.ipc,
+        rec.cycles_per_txn(),
+        path.display()
+    );
+}
+
+/// `figures diff <a.json> <b.json> [--threshold PCT]` — differential
+/// top-down decomposition, with a CI regression gate on throughput.
+fn diff(args: &[String]) {
+    let (Some(a_path), Some(b_path)) = (args.get(2), args.get(3)) else {
+        eprintln!("usage: figures diff <a.json> <b.json> [--threshold PCT]");
+        std::process::exit(2);
+    };
+    let threshold: f64 = args
+        .iter()
+        .position(|a| a == "--threshold")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad threshold: {v}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(10.0);
+    let load = |p: &String| {
+        bench::diff::RunRecord::load(&PathBuf::from(p)).unwrap_or_else(|e| {
+            eprintln!("cannot load run record: {e}");
+            std::process::exit(2);
+        })
+    };
+    let a = load(a_path);
+    let b = load(b_path);
+    let report = bench::diff::diff_runs(&a, &b);
+    print!("{}", bench::diff::render(&report));
+    if report.regressed(threshold) {
+        eprintln!(
+            "FAIL: candidate throughput {:.2}% below baseline (threshold {threshold}%)",
+            -report.tps_change_pct()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "throughput change {:+.2}% within the {threshold}% regression gate",
+        report.tps_change_pct()
+    );
 }
 
 fn repo_root() -> PathBuf {

@@ -17,6 +17,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
+use obs::json::{self, Json};
 use uarch_sim::rng::XorShift64;
 use uarch_sim::{BatchOp, MachineConfig, ModuleSpec, Sim};
 
@@ -55,29 +56,28 @@ impl PerfReport {
         self.sections.iter().find(|s| s.name == name)
     }
 
-    /// Render as JSON (hand-rolled; schema is flat and stable).
+    /// Render as JSON via the shared [`obs::json`] writer (one schema,
+    /// one set of escaping/number rules across every artifact).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"sections\": [\n");
-        for (i, s) in self.sections.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "    {{\"name\": \"{}\", \"accesses\": {}, \"instructions\": {}, \
-                 \"wall_secs\": {:.6}, \"accesses_per_sec\": {:.1}, \"instr_per_sec\": {:.1}}}{}",
-                s.name,
-                s.accesses,
-                s.instructions,
-                s.wall_secs,
-                s.accesses_per_sec(),
-                s.instr_per_sec(),
-                if i + 1 == self.sections.len() {
-                    ""
-                } else {
-                    ","
-                }
-            );
-        }
-        out.push_str("  ]\n}\n");
-        out
+        Json::obj(vec![(
+            "sections",
+            Json::Arr(
+                self.sections
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("name", Json::str(s.name)),
+                            ("accesses", Json::u64(s.accesses)),
+                            ("instructions", Json::u64(s.instructions)),
+                            ("wall_secs", Json::Num(s.wall_secs)),
+                            ("accesses_per_sec", Json::Num(s.accesses_per_sec())),
+                            ("instr_per_sec", Json::Num(s.instr_per_sec())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+        .render()
     }
 
     /// Human-readable table.
@@ -236,33 +236,25 @@ pub fn run(smoke: bool) -> PerfReport {
     PerfReport { sections }
 }
 
-/// Extract `"<name>" ... "accesses_per_sec": <num>` pairs from a perf JSON
-/// file written by [`PerfReport::to_json`]. Minimal by design — the schema
-/// is ours and flat.
-fn parse_rates(json: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for line in json.lines() {
-        let Some(name_at) = line.find("\"name\": \"") else {
-            continue;
-        };
-        let rest = &line[name_at + 9..];
-        let Some(name_end) = rest.find('"') else {
-            continue;
-        };
-        let name = rest[..name_end].to_string();
-        let Some(rate_at) = line.find("\"accesses_per_sec\": ") else {
-            continue;
-        };
-        let tail = &line[rate_at + 20..];
-        let num: String = tail
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-            .collect();
-        if let Ok(v) = num.parse() {
-            out.push((name, v));
-        }
-    }
-    out
+/// Extract `(name, accesses_per_sec)` pairs from a perf JSON file written
+/// by [`PerfReport::to_json`] (or any earlier hand-rolled baseline — the
+/// schema is unchanged). A malformed document yields no rates, which the
+/// caller reports as a missing-section mismatch rather than a panic.
+fn parse_rates(text: &str) -> Vec<(String, f64)> {
+    let Ok(doc) = json::parse(text) else {
+        return Vec::new();
+    };
+    let Some(sections) = doc.get("sections").and_then(|s| s.as_arr()) else {
+        return Vec::new();
+    };
+    sections
+        .iter()
+        .filter_map(|s| {
+            let name = s.get("name")?.as_str()?.to_string();
+            let rate = s.get("accesses_per_sec")?.as_f64()?;
+            Some((name, rate))
+        })
+        .collect()
 }
 
 /// Compare `report` against a baseline JSON on disk. Returns the list of

@@ -148,6 +148,50 @@ pub fn summary_json(figures: usize, checks: &[Check]) -> obs::json::Json {
     ])
 }
 
+/// Worked `figures diff` example embedded in EXPERIMENTS.md. The numbers
+/// come from the two run records committed under `results/` (regenerate
+/// them with `figures record` if the engines or the cycle model change).
+pub fn diff_example_md() -> &'static str {
+    "## Differential top-down analysis\n\n\
+     `figures record <system> <workload> <out.json>` captures one traced run \
+     as a JSON `RunRecord`: per-phase hardware-event counts plus the cycle \
+     model's constants. `figures diff <a.json> <b.json> [--threshold PCT]` \
+     then decomposes the throughput delta between two records into per \
+     phase\u{d7}component cycles-per-transaction contributions and prints them \
+     ranked by magnitude. Because the cycle model is linear and the span \
+     tree partitions the measured window, the per-cell deltas sum exactly \
+     to the total cycles/txn delta; the command exits nonzero when the \
+     candidate's throughput falls more than the threshold below the \
+     baseline, which is the nightly regression gate.\n\n\
+     Worked example over the two records committed under `results/`:\n\n\
+     ```text\n\
+     $ figures diff results/run_voltdb_micro.json results/run_shore_mt_micro.json\n\
+     == differential top-down: VoltDB/micro (baseline) vs Shore-MT/micro (candidate) ==\n\
+     throughput:        94180 ->        76491 tps  (-18.78%)\n\
+     cycles/txn:      21235.9 ->      26150.4      (+4914.6)\n\
+     phase                         component |     baseline    candidate  delta c/txn\n\
+     VoltDB:dispatch              mispredict |       6958.7          0.0      -6958.7\n\
+     VoltDB:dispatch                  retire |       5900.0          0.0      -5900.0\n\
+     Shore-MT:dispatch            mispredict |          0.0       4179.8      +4179.8\n\
+     VoltDB:dispatch                     l1i |       3766.1          0.0      -3766.1\n\
+     Shore-MT:dispatch                retire |          0.0       3600.0      +3600.0\n\
+     Shore-MT:cc                  mispredict |          0.0       2237.5      +2237.5\n\
+     Shore-MT:cc                      retire |          0.0       2018.0      +2018.0\n\
+     Shore-MT:dispatch                   l1i |          0.0       1554.2      +1554.2\n\
+     ...\n\
+     (total)                                 |                                +4914.6\n\
+     ```\n\n\
+     Reading the table: comparing across engines, each engine's phases only \
+     appear on its own side, so the ranked rows show where each design \
+     spends its cycles. Shore-MT's extra ~4.9k cycles/txn come from its \
+     heavier dispatch front-end and the `cc` (centralized locking) and \
+     `log` phases that the partitioned, single-threaded VoltDB executor \
+     avoids \u{2014} the paper's \u{a7}5 argument, quantified per component. \
+     Comparing two records of the *same* system (e.g. before/after an \
+     optimization) attributes a regression to the exact phase and stall \
+     component that moved.\n\n"
+}
+
 /// Build the EXPERIMENTS.md document.
 pub fn experiments_md(figs: &[Fig], checks: &[Check]) -> String {
     let mut md = String::new();
@@ -201,6 +245,7 @@ pub fn experiments_md(figs: &[Fig], checks: &[Check]) -> String {
          | module breakdown | `figures modules [micro\\|tpcb\\|tpcc]` | per-module instruction/cycle/miss shares (DaMoN'13-style) |\n\
          | worker scaling grid | `figures scaling [--smoke]` | throughput/IPC/SPKI vs. worker count; the partitioned engines (VoltDB, HyPer) scale the partition-local micro-benchmark better than the shared-everything designs |\n\n",
     );
+    md.push_str(diff_example_md());
     md.push_str("## Shape checks\n\n");
     md.push_str("| status | figure | claim | measured |\n|---|---|---|---|\n");
     for c in checks {

@@ -13,9 +13,10 @@ use std::sync::Mutex;
 
 use engines::{build_system, SystemKind};
 use microarch::{measure, measure_workers, Measurement, Pacing};
+use obs::flame::StallComponent;
 use obs::sink::{JsonlSink, PerfettoSink, VecSink};
 use obs::{Phase, Tracer};
-use uarch_sim::{MachineConfig, Sim};
+use uarch_sim::{EventCounts, MachineConfig, Sim};
 use workloads::DbSize;
 
 use crate::WorkloadCfg;
@@ -78,6 +79,11 @@ pub struct TraceArtifacts {
     pub perfetto: PathBuf,
     /// One span record per line.
     pub jsonl: PathBuf,
+    /// Collapsed-stack flamegraph (`--flame` only).
+    pub folded: Option<PathBuf>,
+    /// Total weight of the folded stacks — by construction equal to the
+    /// selected component's stall cycles counted over the traced period.
+    pub flame_total: Option<u64>,
 }
 
 /// Run one traced point on a single core. The tracer is installed only
@@ -106,6 +112,23 @@ pub fn run_trace_workers(
     out_dir: &Path,
     workers: usize,
 ) -> TraceArtifacts {
+    run_trace_flame(system, workload, wl_name, out_dir, workers, None)
+}
+
+/// [`run_trace_workers`] that additionally folds the span stream into a
+/// stall-weighted collapsed-stack flamegraph when `flame` selects a
+/// component. The fold's weights plus per-core `(untraced)` residuals sum
+/// exactly to the component's stall cycles counted over the traced period
+/// (counters snapshotted around the run), which
+/// [`TraceArtifacts::flame_total`] reports.
+pub fn run_trace_flame(
+    system: SystemKind,
+    workload: &WorkloadCfg,
+    wl_name: &str,
+    out_dir: &Path,
+    workers: usize,
+    flame: Option<StallComponent>,
+) -> TraceArtifacts {
     fs::create_dir_all(out_dir).expect("create trace output dir");
     let sys_slug = slug(system.label());
     let perfetto = out_dir.join(format!("trace_{sys_slug}_{wl_name}.perfetto.json"));
@@ -130,9 +153,20 @@ pub fn run_trace_workers(
         tracer.add_sink(Box::new(JsonlSink::new(Box::new(BufWriter::new(jf)))));
     };
 
+    // Counter baseline for the flame window: every span the tracer will
+    // record falls between this snapshot and the one taken after the run,
+    // so the per-core residual (window minus span self weights) is the
+    // true untraced remainder.
+    let flame_start: Vec<EventCounts> = sim.counters_all();
+    let mut flame_records: Option<Vec<obs::SpanRecord>> = None;
+
     let measurement = if workers == 1 {
         let tracer = Tracer::new(&sim);
         file_sinks(&tracer);
+        let rec_sink = VecSink::new();
+        if flame.is_some() {
+            tracer.add_sink(Box::new(rec_sink.clone()));
+        }
         obs::install(tracer);
 
         let mut s = db.session(0);
@@ -144,6 +178,9 @@ pub fn run_trace_workers(
         drop(s);
         let tracer = obs::uninstall().expect("tracer still installed");
         tracer.finish();
+        if flame.is_some() {
+            flame_records = Some(rec_sink.take());
+        }
         measurement
     } else {
         let cores: Vec<usize> = (0..workers).collect();
@@ -183,13 +220,39 @@ pub fn run_trace_workers(
             tracer.ingest(rec);
         }
         tracer.finish();
+        if flame.is_some() {
+            flame_records = Some(merged);
+        }
         measurement
+    };
+
+    let (folded_path, flame_total) = match (flame, flame_records) {
+        (Some(comp), Some(records)) => {
+            let cfg = sim.config();
+            let mut folded = obs::flame::fold(&records, &cfg, comp);
+            let window_by_core: Vec<(usize, EventCounts)> = sim
+                .counters_all()
+                .into_iter()
+                .enumerate()
+                .map(|(core, end)| (core, end.delta(&flame_start[core])))
+                .collect();
+            obs::flame::add_untraced(&mut folded, &cfg, comp, &window_by_core);
+            let path = out_dir.join(format!(
+                "trace_{sys_slug}_{wl_name}.{}.folded",
+                comp.label()
+            ));
+            fs::write(&path, obs::flame::render(&folded)).expect("write folded stacks");
+            (Some(path), Some(obs::flame::total_weight(&folded)))
+        }
+        _ => (None, None),
     };
 
     TraceArtifacts {
         measurement,
         perfetto,
         jsonl,
+        folded: folded_path,
+        flame_total,
     }
 }
 
@@ -355,6 +418,37 @@ mod tests {
         let doc = obs::json::parse(&perfetto).expect("perfetto JSON parses");
         assert!(doc.get("traceEvents").is_some());
         assert!(std::fs::metadata(&art.jsonl).unwrap().len() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flame_export_total_matches_measured_stall_cycles() {
+        let dir = std::env::temp_dir().join("imoltp_trace_flame_test");
+        let cfg = WorkloadCfg::Micro {
+            size: DbSize::Mb1,
+            rows_per_txn: 1,
+            read_only: false,
+            strings: false,
+        };
+        let comp = StallComponent::Total;
+        let art = run_trace_flame(SystemKind::VoltDb, &cfg, "micro", &dir, 1, Some(comp));
+        let folded = art.folded.expect("folded path");
+        let total = art.flame_total.expect("flame total");
+        assert!(total > 0, "a traced run must accumulate stall cycles");
+        // The acceptance invariant: the collapsed-stack file's total
+        // weight equals the run's measured stall cycles for the selected
+        // component — every line parses and the weights sum back exactly.
+        let text = std::fs::read_to_string(&folded).unwrap();
+        let parsed: u64 = text
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(parsed, total);
+        // Span frames from the engine appear under the core root.
+        assert!(
+            text.lines().any(|l| l.starts_with("core0;VoltDB:txn")),
+            "folded stacks carry engine span frames:\n{text}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -94,6 +94,7 @@ struct Shared {
     inner: Mutex<Inner>,
     /// Open sessions; >1 means the engine's internal latches are contended.
     open_sessions: AtomicUsize,
+    metrics: obs::metrics::EngineMetrics,
 }
 
 /// The DBMS D engine. See the module docs.
@@ -196,6 +197,7 @@ impl DbmsD {
                 m,
                 inner: Mutex::new(inner),
                 open_sessions: AtomicUsize::new(0),
+                metrics: obs::metrics::EngineMetrics::new(ENGINE),
             }),
         }
     }
@@ -264,6 +266,7 @@ impl DbmsDSession {
             .saturating_sub(1);
         if others > 0 {
             mem.exec(cost::LATCH_SPIN * others as u64);
+            self.shared.metrics.latch_waits.inc(self.core);
         }
     }
 
@@ -287,7 +290,10 @@ impl DbmsDSession {
         );
         match inner.locks.lock(&mem, txn, target, mode) {
             LockOutcome::Granted => Ok(()),
-            LockOutcome::Conflict => Err(OltpError::Conflict { table: t, key }),
+            LockOutcome::Conflict => {
+                self.shared.metrics.conflicts.inc(self.core);
+                Err(OltpError::Conflict { table: t, key })
+            }
         }
     }
 
@@ -405,6 +411,7 @@ impl Session for DbmsDSession {
         }
         self.mem(self.shared.m.net).exec(cost::NET_REPLY);
         self.cur = None;
+        self.shared.metrics.commits.inc(self.core);
         Ok(())
     }
 
@@ -425,6 +432,7 @@ impl Session for DbmsDSession {
                 inner.locks.release_all(&mem, txn);
             }
             self.mem(self.shared.m.net).exec(cost::NET_REPLY);
+            self.shared.metrics.aborts.inc(self.core);
         }
     }
 

@@ -154,6 +154,7 @@ struct Shared {
     inner: Mutex<Inner>,
     /// Open sessions; >1 means the engine's internal latches are contended.
     open_sessions: AtomicUsize,
+    metrics: obs::metrics::EngineMetrics,
 }
 
 /// The DBMS M engine. See the module docs.
@@ -243,6 +244,7 @@ impl DbmsM {
                 inner: Mutex::new(inner),
                 sim: sim.clone(),
                 open_sessions: AtomicUsize::new(0),
+                metrics: obs::metrics::EngineMetrics::new(ENGINE),
             }),
         }
     }
@@ -287,6 +289,7 @@ impl DbmsMSession {
             .saturating_sub(1);
         if others > 0 {
             mem.exec(cost::LATCH_SPIN * others as u64);
+            self.shared.metrics.latch_waits.inc(self.core);
         }
     }
 
@@ -533,6 +536,7 @@ impl Session for DbmsMSession {
                     if !inserted {
                         // Duplicate created since our check: validation abort.
                         inner.validation_aborts += 1;
+                        self.shared.metrics.conflicts.inc(self.core);
                         return Err(OltpError::Conflict {
                             table: TableId(w.table as u32),
                             key: w.key,
@@ -551,6 +555,7 @@ impl Session for DbmsMSession {
                         InstallOutcome::Installed => {}
                         InstallOutcome::WriteConflict => {
                             inner.validation_aborts += 1;
+                            self.shared.metrics.conflicts.inc(self.core);
                             return Err(OltpError::Conflict {
                                 table: TableId(w.table as u32),
                                 key: w.key,
@@ -570,6 +575,7 @@ impl Session for DbmsMSession {
                         }
                         InstallOutcome::WriteConflict => {
                             inner.validation_aborts += 1;
+                            self.shared.metrics.conflicts.inc(self.core);
                             return Err(OltpError::Conflict {
                                 table: TableId(w.table as u32),
                                 key: w.key,
@@ -588,6 +594,7 @@ impl Session for DbmsMSession {
                 .append(&mem, txn.id, LogKind::Commit, 24 + log_bytes);
         }
         self.mem(self.shared.m.txn).exec(cost::TXN_END);
+        self.shared.metrics.commits.inc(self.core);
         Ok(())
     }
 
@@ -595,6 +602,7 @@ impl Session for DbmsMSession {
         if self.cur.take().is_some() {
             let _c = obs::span(ENGINE, Phase::Commit, self.core);
             self.mem(self.shared.m.txn).exec(cost::ABORT);
+            self.shared.metrics.aborts.inc(self.core);
         }
     }
 

@@ -69,6 +69,7 @@ struct Shared {
     defs: RwLock<Vec<TableDef>>,
     parts: Vec<Mutex<PartState>>,
     tm: Mutex<TxnManager>,
+    metrics: obs::metrics::EngineMetrics,
 }
 
 /// The HyPer engine. See the module docs.
@@ -127,6 +128,7 @@ impl HyPer {
                     })
                     .collect(),
                 tm: Mutex::new(TxnManager::new()),
+                metrics: obs::metrics::EngineMetrics::new(ENGINE),
                 sim: sim.clone(),
             }),
         }
@@ -168,7 +170,10 @@ impl HyPerSession {
                 Ok(())
             }
             Some(o) if o == txn => Ok(()),
-            Some(_) => Err(OltpError::Conflict { table: t, key }),
+            Some(_) => {
+                self.shared.metrics.conflicts.inc(self.core);
+                Err(OltpError::Conflict { table: t, key })
+            }
         }
     }
 
@@ -277,6 +282,7 @@ impl Session for HyPerSession {
             }
         }
         self.cur = None;
+        self.shared.metrics.commits.inc(self.core);
         Ok(())
     }
 
@@ -288,6 +294,7 @@ impl Session for HyPerSession {
             if part.owner == Some(txn) {
                 part.owner = None;
             }
+            self.shared.metrics.aborts.inc(self.core);
         }
     }
 

@@ -85,6 +85,7 @@ struct Shared {
     inner: Mutex<Inner>,
     /// Open sessions; >1 means the engine's internal latches are contended.
     open_sessions: AtomicUsize,
+    metrics: obs::metrics::EngineMetrics,
 }
 
 /// The Shore-MT engine. See the module docs.
@@ -168,6 +169,7 @@ impl ShoreMt {
                 m,
                 inner: Mutex::new(inner),
                 open_sessions: AtomicUsize::new(0),
+                metrics: obs::metrics::EngineMetrics::new(ENGINE),
             }),
         }
     }
@@ -217,6 +219,7 @@ impl ShoreMtSession {
             .saturating_sub(1);
         if others > 0 {
             mem.exec(cost::LATCH_SPIN * others as u64);
+            self.shared.metrics.latch_waits.inc(self.core);
         }
     }
 
@@ -258,7 +261,10 @@ impl ShoreMtSession {
         );
         match inner.locks.lock(&mem, txn, target, mode) {
             LockOutcome::Granted => Ok(()),
-            LockOutcome::Conflict => Err(OltpError::Conflict { table: t, key }),
+            LockOutcome::Conflict => {
+                self.shared.metrics.conflicts.inc(self.core);
+                Err(OltpError::Conflict { table: t, key })
+            }
         }
     }
 
@@ -369,6 +375,7 @@ impl Session for ShoreMtSession {
         mem.exec(cost::RELEASE);
         inner.locks.release_all(&mem, txn);
         self.cur = None;
+        self.shared.metrics.commits.inc(self.core);
         Ok(())
     }
 
@@ -386,6 +393,7 @@ impl Session for ShoreMtSession {
             let _cc = obs::span(ENGINE, Phase::Cc, self.core);
             let mem = self.mem(self.shared.m.lock);
             inner.locks.release_all(&mem, txn);
+            self.shared.metrics.aborts.inc(self.core);
         }
     }
 

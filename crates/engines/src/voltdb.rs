@@ -91,6 +91,7 @@ struct Shared {
     parts: Vec<Mutex<PartState>>,
     tm: Mutex<TxnManager>,
     single_sited: AtomicBool,
+    metrics: obs::metrics::EngineMetrics,
 }
 
 /// The VoltDB engine. See the module docs.
@@ -183,6 +184,7 @@ impl VoltDb {
                     .collect(),
                 tm: Mutex::new(TxnManager::new()),
                 single_sited: AtomicBool::new(true),
+                metrics: obs::metrics::EngineMetrics::new(ENGINE),
                 sim: sim.clone(),
             }),
         }
@@ -235,7 +237,10 @@ impl VoltDbSession {
                 Ok(())
             }
             Some(o) if o == txn => Ok(()),
-            Some(_) => Err(OltpError::Conflict { table: t, key }),
+            Some(_) => {
+                self.shared.metrics.conflicts.inc(self.core);
+                Err(OltpError::Conflict { table: t, key })
+            }
         }
     }
 
@@ -378,6 +383,7 @@ impl Session for VoltDbSession {
             part.owner = None;
         }
         self.cur = None;
+        self.shared.metrics.commits.inc(self.core);
         Ok(())
     }
 
@@ -389,6 +395,7 @@ impl Session for VoltDbSession {
             if part.owner == Some(txn) {
                 part.owner = None;
             }
+            self.shared.metrics.aborts.inc(self.core);
         }
     }
 
@@ -687,5 +694,30 @@ mod tests {
         s1.insert(t, 2, &[Value::Long(2), Value::Long(0)]).unwrap();
         s1.commit().unwrap();
         assert_eq!(db.row_count(t), 2);
+    }
+
+    #[test]
+    fn txn_outcomes_mirror_into_the_metrics_registry() {
+        // Delta discipline: other tests share the process-global registry
+        // (and the "VoltDB" label), so assert the window grew by at least
+        // what this test did, never on absolute values.
+        let base = obs::metrics::registry().snapshot();
+        let sim = Sim::new(MachineConfig::ivy_bridge(2));
+        let mut db = VoltDb::new(&sim, 1);
+        let t = db.create_table(table_def());
+        let mut s0 = db.session(0);
+        let mut s1 = db.session(1);
+        s0.begin();
+        s0.insert(t, 1, &[Value::Long(1), Value::Long(0)]).unwrap();
+        s1.begin();
+        s1.insert(t, 2, &[Value::Long(2), Value::Long(0)])
+            .unwrap_err();
+        s1.abort();
+        s0.commit().unwrap();
+        let win = obs::metrics::registry().snapshot().delta(&base);
+        let l = [("engine", ENGINE)];
+        assert!(win.counter_value("txn_commits_total", &l) >= 1);
+        assert!(win.counter_value("txn_conflicts_total", &l) >= 1);
+        assert!(win.counter_value("txn_aborts_total", &l) >= 1);
     }
 }

@@ -168,6 +168,12 @@ pub fn fire(site: &'static str, core: usize) -> bool {
                 core,
                 ordinal,
             });
+            // Always-on metric mirror: one counter per site. Registered
+            // lazily (fires are rare — the registry lookup is off the
+            // no-fault path entirely) and inert to the simulation.
+            obs::metrics::registry()
+                .counter("fault_fires_total", &[("site", site)])
+                .inc(core);
         }
         fired
     })
@@ -179,6 +185,9 @@ pub fn fire(site: &'static str, core: usize) -> bool {
 pub fn poison(core: usize) {
     with_active(|a| {
         a.state.lock().unwrap().poisoned.insert(core);
+        obs::metrics::registry()
+            .counter("fault_poisons_total", &[])
+            .inc(core);
     });
 }
 
@@ -237,6 +246,7 @@ mod tests {
     fn installed_plan_follows_schedule_and_logs() {
         let plan = FaultPlan::uniform(99, 0.5);
         let expect: Vec<bool> = (0..64).map(|n| plan.fires("t/site", 2, n)).collect();
+        let metrics_base = obs::metrics::registry().snapshot();
         let g = install(plan);
         let got: Vec<bool> = (0..64).map(|_| fire("t/site", 2)).collect();
         assert_eq!(got, expect, "probe stream must match the pure schedule");
@@ -248,6 +258,12 @@ mod tests {
             "log records exactly the fired ordinals"
         );
         assert!(fired.iter().all(|f| f.site == "t/site" && f.core == 2));
+        // Every fired fault is mirrored into the per-site metric.
+        let win = obs::metrics::registry().snapshot().delta(&metrics_base);
+        assert_eq!(
+            win.counter_value("fault_fires_total", &[("site", "t/site")]),
+            fired.len() as u64
+        );
     }
 
     #[test]

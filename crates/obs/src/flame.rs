@@ -1,0 +1,256 @@
+//! Stall-weighted flamegraphs: fold a span stream into Brendan Gregg's
+//! collapsed-stack format, where each sample's weight is the *stall
+//! cycles* its span's own work (self counts) charged — for a selectable
+//! component: all six classes, the instruction side, the data side, or
+//! one cache level.
+//!
+//! Per core, the span records of one tracer are replayed in open (`seq`)
+//! order; each record's `depth` reconstructs its ancestor stack exactly,
+//! so a folded line reads `core0;VoltDB:txn;VoltDB:index 1234`. Because
+//! self deltas partition every root span, the folded weights plus the
+//! per-core untraced residual sum *exactly* to the stall cycles the
+//! machine counted over the traced window — the invariant
+//! `bench trace --flame` asserts.
+
+use std::collections::BTreeMap;
+
+use uarch_sim::config::MachineConfig;
+use uarch_sim::counters::{EventCounts, StallEvent};
+
+use crate::SpanRecord;
+
+/// Frame name for stall cycles charged outside every span (driver glue,
+/// warmup before the first span, harness overhead).
+pub const UNTRACED: &str = "(untraced)";
+
+/// Which stall component weights the flamegraph samples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallComponent {
+    /// All six miss classes.
+    Total,
+    /// Instruction-side misses (L1I + L2I + LLC-I).
+    Instruction,
+    /// Data-side misses (L1D + L2D + LLC-D).
+    Data,
+    /// One specific class.
+    Class(StallEvent),
+}
+
+impl StallComponent {
+    /// Parse a CLI name: `total`, `instr`, `data`, or a class name
+    /// (`l1i`, `l2i`, `llc-i`, `l1d`, `l2d`, `llc-d`).
+    pub fn parse(s: &str) -> Option<StallComponent> {
+        match s.to_ascii_lowercase().replace(['_', ' '], "-").as_str() {
+            "total" | "all" => Some(StallComponent::Total),
+            "instr" | "instruction" | "icache" | "i" => Some(StallComponent::Instruction),
+            "data" | "dcache" | "d" => Some(StallComponent::Data),
+            "l1i" => Some(StallComponent::Class(StallEvent::L1i)),
+            "l2i" => Some(StallComponent::Class(StallEvent::L2i)),
+            "llc-i" | "llci" => Some(StallComponent::Class(StallEvent::LlcI)),
+            "l1d" => Some(StallComponent::Class(StallEvent::L1d)),
+            "l2d" => Some(StallComponent::Class(StallEvent::L2d)),
+            "llc-d" | "llcd" => Some(StallComponent::Class(StallEvent::LlcD)),
+            _ => None,
+        }
+    }
+
+    /// Stable name for file suffixes and report headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallComponent::Total => "total",
+            StallComponent::Instruction => "instr",
+            StallComponent::Data => "data",
+            StallComponent::Class(StallEvent::L1i) => "l1i",
+            StallComponent::Class(StallEvent::L2i) => "l2i",
+            StallComponent::Class(StallEvent::LlcI) => "llc-i",
+            StallComponent::Class(StallEvent::L1d) => "l1d",
+            StallComponent::Class(StallEvent::L2d) => "l2d",
+            StallComponent::Class(StallEvent::LlcD) => "llc-d",
+        }
+    }
+
+    /// Whether miss class `e` contributes to this component.
+    pub fn includes(self, e: StallEvent) -> bool {
+        match self {
+            StallComponent::Total => true,
+            StallComponent::Instruction => e.is_instruction(),
+            StallComponent::Data => !e.is_instruction(),
+            StallComponent::Class(c) => c == e,
+        }
+    }
+
+    /// Raw stall cycles (`misses x penalty`, the paper's bar quantity) of
+    /// this component for a counter delta. Exact: both factors are
+    /// integers.
+    pub fn weight(self, cfg: &MachineConfig, c: &EventCounts) -> u64 {
+        StallEvent::ALL
+            .iter()
+            .filter(|&&e| self.includes(e))
+            .map(|&e| c.miss(e) * u64::from(cfg.penalty(e)))
+            .sum()
+    }
+}
+
+/// Fold span records into collapsed stacks: path -> summed self weight.
+/// Records may mix cores (each core is an independent stack rooted at
+/// `core<N>`); within a core they must come from one tracer so `seq`
+/// reflects open order (true for both the single-worker path and the
+/// per-worker-tracer merge, where each worker owns its core).
+pub fn fold(
+    records: &[SpanRecord],
+    cfg: &MachineConfig,
+    component: StallComponent,
+) -> BTreeMap<String, u64> {
+    let mut by_core: BTreeMap<usize, Vec<&SpanRecord>> = BTreeMap::new();
+    for rec in records {
+        by_core.entry(rec.core).or_default().push(rec);
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (core, mut recs) in by_core {
+        recs.sort_by_key(|r| r.seq);
+        let mut stack: Vec<String> = Vec::new();
+        for rec in recs {
+            stack.truncate(rec.depth as usize);
+            stack.push(format!("{}:{}", rec.engine, rec.phase.label()));
+            let w = component.weight(cfg, &rec.self_counts);
+            if w > 0 {
+                let mut path = format!("core{core}");
+                for frame in &stack {
+                    path.push(';');
+                    path.push_str(frame);
+                }
+                *folded.entry(path).or_insert(0) += w;
+            }
+        }
+    }
+    folded
+}
+
+/// Add per-core `(untraced)` entries so the folded total matches the
+/// machine's counted stalls: for each core, `residual = component weight
+/// of (end - start counters) - folded span weight`. Residuals are
+/// non-negative because span self deltas partition the root spans, which
+/// are contained in the window.
+pub fn add_untraced(
+    folded: &mut BTreeMap<String, u64>,
+    cfg: &MachineConfig,
+    component: StallComponent,
+    window_by_core: &[(usize, EventCounts)],
+) {
+    for (core, delta) in window_by_core {
+        let total = component.weight(cfg, delta);
+        let prefix = format!("core{core};");
+        let root = format!("core{core}");
+        let spanned: u64 = folded
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix) || **k == root)
+            .map(|(_, v)| v)
+            .sum();
+        debug_assert!(
+            spanned <= total,
+            "core {core}: span stalls {spanned} exceed window {total}"
+        );
+        let residual = total.saturating_sub(spanned);
+        if residual > 0 {
+            *folded.entry(format!("core{core};{UNTRACED}")).or_insert(0) += residual;
+        }
+    }
+}
+
+/// Render folded stacks as collapsed-stack lines (`path weight\n`),
+/// deterministically ordered. Feed to any flamegraph renderer
+/// (`flamegraph.pl`, speedscope, inferno).
+pub fn render(folded: &BTreeMap<String, u64>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (path, w) in folded {
+        let _ = writeln!(out, "{path} {w}");
+    }
+    out
+}
+
+/// Total weight across all folded stacks.
+pub fn total_weight(folded: &BTreeMap<String, u64>) -> u64 {
+    folded.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::VecSink;
+    use crate::{install, span, uninstall, Phase, Tracer};
+    use uarch_sim::Sim;
+
+    #[test]
+    fn component_parse_and_membership() {
+        assert_eq!(StallComponent::parse("total"), Some(StallComponent::Total));
+        assert_eq!(
+            StallComponent::parse("LLC_D"),
+            Some(StallComponent::Class(StallEvent::LlcD))
+        );
+        assert!(StallComponent::parse("bogus").is_none());
+        assert!(StallComponent::Instruction.includes(StallEvent::L2i));
+        assert!(!StallComponent::Instruction.includes(StallEvent::L1d));
+        assert!(StallComponent::Data.includes(StallEvent::LlcD));
+    }
+
+    #[test]
+    fn weight_is_misses_times_penalty() {
+        let cfg = MachineConfig::ivy_bridge(1);
+        let mut c = EventCounts::default();
+        c.misses[StallEvent::L1i as usize] = 3; // 3 * 8
+        c.misses[StallEvent::LlcD as usize] = 2; // 2 * 167
+        assert_eq!(StallComponent::Total.weight(&cfg, &c), 24 + 334);
+        assert_eq!(StallComponent::Instruction.weight(&cfg, &c), 24);
+        assert_eq!(
+            StallComponent::Class(StallEvent::LlcD).weight(&cfg, &c),
+            334
+        );
+    }
+
+    #[test]
+    fn folded_stacks_plus_untraced_match_window_counters() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let cfg = sim.config();
+        let mem = sim.mem(0);
+        let start = sim.counters(0);
+        let tracer = Tracer::new(&sim);
+        let sink = VecSink::new();
+        tracer.add_sink(Box::new(sink.clone()));
+        install(tracer.clone());
+        for _ in 0..4 {
+            let _t = span("E", Phase::Txn, 0);
+            mem.exec(500);
+            {
+                let _i = span("E", Phase::Index, 0);
+                mem.exec(2000);
+            }
+        }
+        uninstall();
+        tracer.finish();
+        // Work outside any span — must land in (untraced).
+        mem.exec(1000);
+        let end = sim.counters(0);
+
+        let records = sink.take();
+        assert_eq!(records.len(), 8);
+        let comp = StallComponent::Total;
+        let mut folded = fold(&records, &cfg, comp);
+        // Nested paths carry the parent frame.
+        assert!(folded.keys().any(|k| k == "core0;E:txn;E:index"));
+        let window = end.delta(&start);
+        add_untraced(&mut folded, &cfg, comp, &[(0, window.clone())]);
+        assert_eq!(
+            total_weight(&folded),
+            comp.weight(&cfg, &window),
+            "folded weights + untraced must equal the window's stalls"
+        );
+        // Rendered lines parse back to the same total.
+        let text = render(&folded);
+        let parsed: u64 = text
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(parsed, total_weight(&folded));
+    }
+}

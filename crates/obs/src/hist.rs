@@ -75,6 +75,12 @@ impl Histogram {
         self.total
     }
 
+    /// Exact sum of all recorded values (drives the Prometheus `_sum`
+    /// series).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
             0.0
@@ -312,6 +318,89 @@ mod tests {
         assert!(win.max() >= 1792); // 2000's bucket low
         let mean = win.mean();
         assert!((mean - (7.0 + 7.0 + 2000.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_width_window_is_empty_and_unpoisoned() {
+        // delta(self) — a window in which nothing was recorded — must
+        // behave like a fresh histogram, not carry sentinel min/max.
+        let mut h = Histogram::new();
+        h.record(9);
+        h.record(5000);
+        let win = h.delta(&h.clone());
+        assert_eq!(win.count(), 0);
+        assert_eq!(win.mean(), 0.0);
+        assert_eq!(win.min(), 0, "empty window min must not leak u64::MAX");
+        assert_eq!(win.max(), 0);
+        assert_eq!(win.quantile(0.5), 0);
+        assert_eq!(win.buckets().count(), 0);
+        assert_eq!(win.sum(), 0);
+    }
+
+    #[test]
+    fn bucket_boundary_values_land_in_their_own_bucket() {
+        // Exact powers of two and the values one below them straddle
+        // bucket edges; each must map into the bucket whose low bound it
+        // is (or the one just before).
+        for v in [8u64, 16, 64, 1024, 1 << 20, 1 << 40] {
+            assert_eq!(
+                bucket_low(bucket_index(v)),
+                v,
+                "power of two {v} is a bucket low"
+            );
+            let below = v - 1;
+            assert!(bucket_low(bucket_index(below)) <= below);
+            assert!(
+                bucket_index(below) < bucket_index(v),
+                "{below} and {v} share a bucket"
+            );
+        }
+        // Recording a boundary value is recovered exactly by quantile.
+        let mut h = Histogram::new();
+        h.record(1024);
+        assert_eq!(h.quantile(0.5), 1024);
+        assert_eq!(h.min(), 1024);
+        assert_eq!(h.max(), 1024);
+    }
+
+    #[test]
+    fn merge_of_disjoint_shards_preserves_totals_and_quantiles() {
+        // Two shards covering disjoint value ranges (as per-worker metric
+        // shards do) merge into the union distribution.
+        let mut low = Histogram::new();
+        for v in 1..=100u64 {
+            low.record(v);
+        }
+        let mut high = Histogram::new();
+        for v in 10_001..=10_100u64 {
+            high.record(v);
+        }
+        let mut merged = low.clone();
+        merged.merge(&high);
+        assert_eq!(merged.count(), 200);
+        assert_eq!(merged.sum(), low.sum() + high.sum());
+        assert_eq!(merged.min(), 1);
+        assert_eq!(merged.max(), 10_100);
+        // The median sits at the top of the low shard, p75+ in the high
+        // shard — within the 12.5% bucket error.
+        assert!(merged.quantile(0.25) <= 100);
+        let p75 = merged.quantile(0.75) as f64;
+        assert!((10_001.0 * 0.875..=10_100.0).contains(&p75), "{p75}");
+        // Merge is symmetric.
+        let mut other = high.clone();
+        other.merge(&low);
+        assert_eq!(other, merged);
+    }
+
+    #[test]
+    fn percentile_queries_on_empty_histogram_are_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 1.0, -1.0, 2.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
     }
 
     #[test]

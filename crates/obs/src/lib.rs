@@ -23,9 +23,17 @@
 //! - [`hist::Histogram`] — log-bucketed per-transaction distributions
 //!   (instructions, cycles, misses per level), maintained on `Txn` span
 //!   close and windowed via snapshot/delta like the raw counters.
+//! - [`metrics`] — the always-on, sharded metrics registry (counters,
+//!   gauges, histograms by name+labels) with Prometheus-text and JSON
+//!   exporters; engines, the retry layer and the fault injector publish
+//!   into it unconditionally.
+//! - [`flame`] — folds a span stream into stall-weighted collapsed-stack
+//!   flamegraphs (`bench trace --flame`).
 
+pub mod flame;
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod sink;
 
 use std::cell::RefCell;

@@ -1,0 +1,597 @@
+//! Always-on, sharded metrics registry.
+//!
+//! The span tracer answers "where did the cycles of one traced run go";
+//! this registry answers "how often did events happen", process-wide and
+//! *always on* — engines, the retry layer and the fault injector publish
+//! into it unconditionally, and `bench metrics` (or any harness) reads it
+//! out. Design constraints, matching the rest of the observability layer:
+//!
+//! * **Cheap when nobody reads.** A counter increment is one relaxed
+//!   atomic add on a per-worker shard (shards are cache-line padded, so
+//!   workers on different cores never bounce a line). Histogram records
+//!   take an uncontended per-shard mutex. Registration (name lookup)
+//!   happens once per handle, not per event.
+//! * **Deterministic.** No wall clock, no background threads. Metrics are
+//!   cumulative and monotone; two [`Snapshot`]s subtract to a window —
+//!   the same snapshot/delta discipline the span counters use — so
+//!   reports are pure functions of the work performed.
+//! * **Inert to the simulation.** Publishing a metric never touches the
+//!   simulated machine, so runs are bit-identical with or without anyone
+//!   snapshotting the registry.
+//!
+//! Metrics are identified by `name` plus a (sorted) label set, Prometheus
+//! style. [`Snapshot::prometheus`] renders the text exposition format;
+//! [`Snapshot::to_json`] the JSON equivalent for manifests.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::Histogram;
+use crate::json::Json;
+
+/// Number of per-worker shards (power of two; indexed by `core & mask`).
+/// 16 shards keep simultaneous workers on distinct cache lines without
+/// bloating snapshot cost.
+pub const SHARDS: usize = 16;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+struct CounterCore {
+    shards: [PaddedU64; SHARDS],
+}
+
+/// A monotone counter handle. Cloning shares the underlying storage.
+#[derive(Clone)]
+pub struct Counter {
+    core: Arc<CounterCore>,
+}
+
+impl Counter {
+    /// Add `v`, attributed to shard `shard & (SHARDS-1)` (pass the worker
+    /// core id; any value is safe — shards only spread contention).
+    #[inline]
+    pub fn add(&self, shard: usize, v: u64) {
+        self.core.shards[shard & (SHARDS - 1)]
+            .0
+            .fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self, shard: usize) {
+        self.add(shard, 1);
+    }
+
+    /// Current value, merged across shards.
+    pub fn value(&self) -> u64 {
+        self.core
+            .shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A last-writer-wins gauge handle (unsharded: `set` has no meaningful
+/// shard merge).
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+struct HistCore {
+    shards: [Mutex<Histogram>; SHARDS],
+}
+
+/// A log-bucketed histogram handle (same buckets as [`crate::hist`]).
+#[derive(Clone)]
+pub struct HistHandle {
+    core: Arc<HistCore>,
+}
+
+impl HistHandle {
+    /// Record one observation on the given shard.
+    #[inline]
+    pub fn record(&self, shard: usize, v: u64) {
+        self.core.shards[shard & (SHARDS - 1)]
+            .lock()
+            .unwrap()
+            .record(v);
+    }
+
+    /// Merge all shards into one histogram.
+    pub fn merged(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for s in &self.core.shards {
+            out.merge(&s.lock().unwrap());
+        }
+        out
+    }
+}
+
+/// Canonical metric identity: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+enum Entry {
+    Counter(Arc<CounterCore>),
+    Gauge(Arc<AtomicU64>),
+    Hist(Arc<HistCore>),
+}
+
+/// The registry: a process-global name -> metric map. Use [`registry`]
+/// for the shared instance (tests may build private ones).
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricKey, Entry>>,
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(Registry::default)
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register (or look up) a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.metrics.lock().unwrap();
+        match map.entry(key).or_insert_with(|| {
+            Entry::Counter(Arc::new(CounterCore {
+                shards: std::array::from_fn(|_| PaddedU64::default()),
+            }))
+        }) {
+            Entry::Counter(core) => Counter {
+                core: Arc::clone(core),
+            },
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Entry::Gauge(Arc::new(AtomicU64::new(0))))
+        {
+            Entry::Gauge(cell) => Gauge {
+                cell: Arc::clone(cell),
+            },
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Register (or look up) a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> HistHandle {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.metrics.lock().unwrap();
+        match map.entry(key).or_insert_with(|| {
+            Entry::Hist(Arc::new(HistCore {
+                shards: std::array::from_fn(|_| Mutex::new(Histogram::new())),
+            }))
+        }) {
+            Entry::Hist(core) => HistHandle {
+                core: Arc::clone(core),
+            },
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Snapshot every registered metric, shards merged. Deterministic
+    /// (sorted by key) given quiesced writers.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.lock().unwrap();
+        let metrics = map
+            .iter()
+            .map(|(k, e)| {
+                let v = match e {
+                    Entry::Counter(c) => {
+                        Value::Counter(c.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum())
+                    }
+                    Entry::Gauge(g) => Value::Gauge(g.load(Ordering::Relaxed)),
+                    Entry::Hist(h) => {
+                        let mut out = Histogram::new();
+                        for s in &h.shards {
+                            out.merge(&s.lock().unwrap());
+                        }
+                        Value::Hist(out)
+                    }
+                };
+                (k.clone(), v)
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+}
+
+/// A metric value at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Counter(u64),
+    Gauge(u64),
+    Hist(Histogram),
+}
+
+impl Value {
+    /// Counter or gauge scalar value (`None` for histograms).
+    pub fn scalar(&self) -> Option<u64> {
+        match self {
+            Value::Counter(v) | Value::Gauge(v) => Some(*v),
+            Value::Hist(_) => None,
+        }
+    }
+}
+
+/// A point-in-time view of the registry. Cumulative and monotone, so two
+/// snapshots subtract to a window.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub metrics: BTreeMap<MetricKey, Value>,
+}
+
+impl Snapshot {
+    /// `self - earlier`: counters and histograms subtract (keys absent
+    /// from `earlier` delta against zero); gauges keep their current
+    /// value. Metrics whose window is entirely empty are dropped.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let metrics = self
+            .metrics
+            .iter()
+            .filter_map(|(k, v)| {
+                let w = match (v, earlier.metrics.get(k)) {
+                    (Value::Counter(now), Some(Value::Counter(then))) => {
+                        Value::Counter(now.saturating_sub(*then))
+                    }
+                    (Value::Hist(now), Some(Value::Hist(then))) => Value::Hist(now.delta(then)),
+                    (v, _) => v.clone(),
+                };
+                match &w {
+                    Value::Counter(0) => None,
+                    Value::Hist(h) if h.count() == 0 => None,
+                    _ => Some((k.clone(), w)),
+                }
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+
+    /// Look up one metric by name and exact label set.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Value> {
+        self.metrics.get(&MetricKey::new(name, labels))
+    }
+
+    /// Counter value by name+labels, 0 when absent.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get(name, labels) {
+            Some(Value::Counter(v)) | Some(Value::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Render the Prometheus text exposition format.
+    pub fn prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for (key, value) in &self.metrics {
+            if last_name != Some(key.name.as_str()) {
+                let ty = match value {
+                    Value::Counter(_) => "counter",
+                    Value::Gauge(_) => "gauge",
+                    Value::Hist(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {}", key.name, ty);
+                last_name = Some(key.name.as_str());
+            }
+            match value {
+                Value::Counter(v) | Value::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", key.name, label_set(&key.labels, &[]), v);
+                }
+                Value::Hist(h) => {
+                    let mut cum = 0u64;
+                    for (low, c) in h.buckets() {
+                        cum += c;
+                        // `le` is the *exclusive* upper edge of our
+                        // [low, next_low) buckets, rendered as the next
+                        // bucket's low value.
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            key.name,
+                            label_set(&key.labels, &[("le", &format!("{}", low))]),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        key.name,
+                        label_set(&key.labels, &[("le", "+Inf")]),
+                        h.count()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        key.name,
+                        label_set(&key.labels, &[]),
+                        h.sum()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        key.name,
+                        label_set(&key.labels, &[]),
+                        h.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON array of `{name, labels, type, ...}` objects.
+    pub fn to_json(&self) -> Json {
+        let items = self
+            .metrics
+            .iter()
+            .map(|(key, value)| {
+                let labels = Json::Obj(
+                    key.labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v)))
+                        .collect(),
+                );
+                let mut fields = vec![("name", Json::str(&key.name)), ("labels", labels)];
+                match value {
+                    Value::Counter(v) => {
+                        fields.push(("type", Json::str("counter")));
+                        fields.push(("value", Json::u64(*v)));
+                    }
+                    Value::Gauge(v) => {
+                        fields.push(("type", Json::str("gauge")));
+                        fields.push(("value", Json::u64(*v)));
+                    }
+                    Value::Hist(h) => {
+                        fields.push(("type", Json::str("histogram")));
+                        fields.push(("value", h.to_json()));
+                    }
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        Json::Arr(items)
+    }
+}
+
+fn label_set(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape_label(v)))
+        .collect();
+    parts.extend(
+        extra
+            .iter()
+            .map(|(k, v)| format!("{}=\"{}\"", k, escape_label(v))),
+    );
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// The per-engine counter set every engine publishes into: transaction
+/// outcomes, no-wait conflicts, and latch waits. Handles are registered
+/// once at engine construction and shared by all sessions.
+#[derive(Clone)]
+pub struct EngineMetrics {
+    pub commits: Counter,
+    pub aborts: Counter,
+    pub conflicts: Counter,
+    pub latch_waits: Counter,
+}
+
+impl EngineMetrics {
+    /// Register the engine's counters in the global registry.
+    pub fn new(engine: &str) -> EngineMetrics {
+        let reg = registry();
+        let l = [("engine", engine)];
+        EngineMetrics {
+            commits: reg.counter("txn_commits_total", &l),
+            aborts: reg.counter("txn_aborts_total", &l),
+            conflicts: reg.counter("txn_conflicts_total", &l),
+            latch_waits: reg.counter("latch_waits_total", &l),
+        }
+    }
+}
+
+/// Mirror the simulator's per-core counters into gauges
+/// (`sim_instructions`, `sim_misses{class}`, `sim_invalidations`).
+/// Reading the counters never disturbs the simulation, so this is safe to
+/// call mid-run from a reporter.
+pub fn publish_sim(sim: &uarch_sim::Sim) {
+    use uarch_sim::StallEvent;
+    let reg = registry();
+    for (core, c) in sim.counters_all().iter().enumerate() {
+        let core_s = core.to_string();
+        reg.gauge("sim_instructions", &[("core", &core_s)])
+            .set(c.instructions);
+        reg.gauge("sim_loads", &[("core", &core_s)]).set(c.loads);
+        reg.gauge("sim_stores", &[("core", &core_s)]).set(c.stores);
+        for e in StallEvent::ALL {
+            reg.gauge("sim_misses", &[("core", &core_s), ("class", e.label())])
+                .set(c.miss(e));
+        }
+        reg.gauge("sim_invalidations", &[("core", &core_s)])
+            .set(c.invalidations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shards_merge_on_snapshot() {
+        let reg = Registry::new();
+        let c = reg.counter("requests_total", &[("engine", "X")]);
+        for shard in 0..SHARDS * 2 {
+            c.add(shard, 2);
+        }
+        assert_eq!(c.value(), SHARDS as u64 * 4);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_value("requests_total", &[("engine", "X")]),
+            SHARDS as u64 * 4
+        );
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_label_order_insensitive() {
+        let reg = Registry::new();
+        let a = reg.counter("m", &[("b", "2"), ("a", "1")]);
+        let b = reg.counter("m", &[("a", "1"), ("b", "2")]);
+        a.inc(0);
+        b.inc(1);
+        assert_eq!(a.value(), 2, "both handles share storage");
+    }
+
+    #[test]
+    #[should_panic(expected = "another type")]
+    fn type_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("m", &[]);
+        let _ = reg.gauge("m", &[]);
+    }
+
+    #[test]
+    fn snapshot_delta_windows_counters_and_hists() {
+        let reg = Registry::new();
+        let c = reg.counter("ops_total", &[]);
+        let h = reg.histogram("latency", &[]);
+        c.add(0, 5);
+        h.record(0, 100);
+        let base = reg.snapshot();
+        c.add(1, 7);
+        h.record(1, 200);
+        h.record(2, 300);
+        let win = reg.snapshot().delta(&base);
+        assert_eq!(win.counter_value("ops_total", &[]), 7);
+        match win.get("latency", &[]) {
+            Some(Value::Hist(hist)) => assert_eq!(hist.count(), 2),
+            other => panic!("expected hist, got {other:?}"),
+        }
+        // A metric untouched in the window is dropped from the delta.
+        let empty = reg.snapshot().delta(&reg.snapshot());
+        assert!(empty.metrics.is_empty());
+    }
+
+    #[test]
+    fn gauges_report_current_value_in_delta() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth", &[]);
+        g.set(3);
+        let base = reg.snapshot();
+        g.set(9);
+        let win = reg.snapshot().delta(&base);
+        assert_eq!(win.counter_value("depth", &[]), 9);
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("c_total", &[("engine", "Shore-MT")]).add(0, 3);
+        reg.gauge("g", &[]).set(7);
+        let h = reg.histogram("h", &[]);
+        h.record(0, 1);
+        h.record(0, 100);
+        let text = reg.snapshot().prometheus();
+        assert!(text.contains("# TYPE c_total counter"));
+        assert!(text.contains("c_total{engine=\"Shore-MT\"} 3"));
+        assert!(text.contains("# TYPE g gauge"));
+        assert!(text.contains("g 7"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("h_sum 101"));
+        assert!(text.contains("h_count 2"));
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let reg = Registry::new();
+        reg.counter("c_total", &[("site", "a/b")]).inc(0);
+        reg.histogram("h", &[]).record(0, 42);
+        let text = reg.snapshot().to_json().render();
+        let doc = crate::json::parse(&text).expect("metrics JSON parses");
+        let items = doc.as_arr().unwrap();
+        assert_eq!(items.len(), 2);
+        assert!(items.iter().any(|i| {
+            i.get("name").and_then(|n| n.as_str()) == Some("c_total")
+                && i.get("value").and_then(|v| v.as_f64()) == Some(1.0)
+        }));
+    }
+
+    #[test]
+    fn engine_metrics_register_in_global_registry() {
+        let em = EngineMetrics::new("TestEngine-metrics-test");
+        em.commits.add(0, 2);
+        em.latch_waits.inc(1);
+        let snap = registry().snapshot();
+        assert_eq!(
+            snap.counter_value(
+                "txn_commits_total",
+                &[("engine", "TestEngine-metrics-test")]
+            ),
+            2
+        );
+        assert_eq!(
+            snap.counter_value(
+                "latch_waits_total",
+                &[("engine", "TestEngine-metrics-test")]
+            ),
+            1
+        );
+    }
+}

@@ -104,7 +104,10 @@ pub struct PerfettoSink {
     /// (ts_us, seq, event) — buffered so the document can be emitted in
     /// non-decreasing timestamp order.
     events: Vec<(f64, u64, Json)>,
-    cores_seen: Vec<usize>,
+    /// Core -> engine that first opened a span on it, driving the
+    /// Perfetto thread-name metadata (ui.perfetto.dev shows
+    /// "VoltDB worker (core 1)" instead of a bare tid).
+    cores_seen: Vec<(usize, &'static str)>,
 }
 
 impl PerfettoSink {
@@ -125,8 +128,8 @@ impl PerfettoSink {
 
 impl TraceSink for PerfettoSink {
     fn record(&mut self, rec: &SpanRecord) {
-        if !self.cores_seen.contains(&rec.core) {
-            self.cores_seen.push(rec.core);
+        if !self.cores_seen.iter().any(|(c, _)| *c == rec.core) {
+            self.cores_seen.push((rec.core, rec.engine));
         }
         let ts = self.us(rec.start_cycles);
         let dur = self.us(rec.end_cycles) - ts;
@@ -187,7 +190,7 @@ impl TraceSink for PerfettoSink {
         ]));
         let mut cores = std::mem::take(&mut self.cores_seen);
         cores.sort_unstable();
-        for core in cores {
+        for (core, engine) in cores {
             items.push(Json::obj(vec![
                 ("name", Json::str("thread_name")),
                 ("ph", Json::str("M")),
@@ -195,7 +198,10 @@ impl TraceSink for PerfettoSink {
                 ("tid", Json::u64(core as u64)),
                 (
                     "args",
-                    Json::obj(vec![("name", Json::str(&format!("core {core}")))]),
+                    Json::obj(vec![(
+                        "name",
+                        Json::str(&format!("{engine} worker (core {core})")),
+                    )]),
                 ),
             ]));
         }
@@ -345,6 +351,15 @@ mod tests {
         let doc = json::parse(&buf.contents()).unwrap();
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
         assert!(!events.is_empty());
+        // Thread metadata names the worker after its engine, not a bare
+        // core number.
+        assert!(events.iter().any(|e| {
+            e.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                    == Some("X worker (core 0)")
+        }));
         let mut last_ts = f64::NEG_INFINITY;
         for e in events {
             if let Some(ts) = e.get("ts").and_then(|t| t.as_f64()) {

@@ -21,7 +21,48 @@
 //! simulated instructions, so backoff shows up in the counter profile the
 //! way PAUSE loops do on real hardware).
 
+use std::sync::OnceLock;
+
 use crate::engine::{OltpError, OltpResult, Session};
+
+/// Global-registry mirrors of [`RetryStats`]: every retry-layer event is
+/// also published as an always-on metric, so `bench metrics` and the
+/// chaos manifest see retry behaviour without plumbing stats structs
+/// around. Handles are registered once, on first use.
+struct RetryMetrics {
+    commits: obs::metrics::Counter,
+    gave_up: obs::metrics::Counter,
+    conflict_retries: obs::metrics::Counter,
+    abort_retries: obs::metrics::Counter,
+    latch_timeouts: obs::metrics::Counter,
+    log_failures: obs::metrics::Counter,
+    backoff_units: obs::metrics::Counter,
+    attempts: obs::metrics::HistHandle,
+}
+
+fn retry_metrics() -> &'static RetryMetrics {
+    static M: OnceLock<RetryMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = obs::metrics::registry();
+        RetryMetrics {
+            commits: r.counter("retry_commits_total", &[]),
+            gave_up: r.counter("retry_give_ups_total", &[]),
+            conflict_retries: r.counter("retry_retries_total", &[("class", "conflict")]),
+            abort_retries: r.counter("retry_retries_total", &[("class", "abort")]),
+            latch_timeouts: r.counter("retry_errors_total", &[("kind", "latch_timeout")]),
+            log_failures: r.counter("retry_errors_total", &[("kind", "log_write_failed")]),
+            backoff_units: r.counter("retry_backoff_units_total", &[]),
+            attempts: r.histogram("retry_txn_attempts", &[]),
+        }
+    })
+}
+
+/// Shard hint for the metric increments: workers each own a `RetryStats`,
+/// so its address spreads concurrent workers over shards (the value only
+/// affects contention, never totals).
+fn shard_of(stats: &RetryStats) -> usize {
+    (stats as *const RetryStats as usize) >> 6
+}
 
 /// How an error should be handled by the retry layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -195,19 +236,25 @@ pub fn retry_txn(
     mut pause: impl FnMut(u64),
 ) -> TxnOutcome {
     let max = policy.max_attempts.max(1);
+    let m = retry_metrics();
+    let shard = shard_of(stats);
     let mut retry_no = 0u32;
     for k in 0..max {
         match attempt(k) {
             Ok(()) => {
                 stats.commits += 1;
+                m.commits.inc(shard);
+                m.attempts.record(shard, u64::from(k + 1));
                 return TxnOutcome::Committed { attempts: k + 1 };
             }
             Err(e) => {
                 if let OltpError::LatchTimeout(_) = e {
                     stats.latch_timeouts += 1;
+                    m.latch_timeouts.inc(shard);
                 }
                 if let OltpError::LogWriteFailed(_) = e {
                     stats.log_failures += 1;
+                    m.log_failures.inc(shard);
                 }
                 let class = classify(&e);
                 let last = k + 1 == max;
@@ -215,16 +262,21 @@ pub fn retry_txn(
                     ErrorClass::Backoff | ErrorClass::Retry if !last => {
                         if class == ErrorClass::Backoff {
                             stats.conflict_retries += 1;
+                            m.conflict_retries.inc(shard);
                             let units = backoff.units(retry_no);
                             stats.backoff_units += units;
+                            m.backoff_units.add(shard, units);
                             pause(units);
                             retry_no += 1;
                         } else {
                             stats.abort_retries += 1;
+                            m.abort_retries.inc(shard);
                         }
                     }
                     _ => {
                         stats.gave_up += 1;
+                        m.gave_up.inc(shard);
+                        m.attempts.record(shard, u64::from(k + 1));
                         return TxnOutcome::GaveUp {
                             attempts: k + 1,
                             error: e,
@@ -379,6 +431,36 @@ mod tests {
         assert_eq!(stats.gave_up, 1);
         assert_eq!(stats.commits, 0);
         assert_eq!(stats.conflict_retries, 2, "backoff between attempts only");
+    }
+
+    #[test]
+    fn retry_events_mirror_into_the_metrics_registry() {
+        let base = obs::metrics::registry().snapshot();
+        let mut stats = RetryStats::default();
+        let policy = RetryPolicy::default();
+        let mut backoff = Backoff::new(policy, 11);
+        let mut failures = 2;
+        let out = retry_txn(
+            &policy,
+            &mut backoff,
+            &mut stats,
+            |_| {
+                if failures > 0 {
+                    failures -= 1;
+                    Err(conflict())
+                } else {
+                    Ok(())
+                }
+            },
+            |_| {},
+        );
+        assert_eq!(out, TxnOutcome::Committed { attempts: 3 });
+        // Delta discipline (other tests may run concurrently): at least
+        // this call's events are in the window.
+        let win = obs::metrics::registry().snapshot().delta(&base);
+        assert!(win.counter_value("retry_commits_total", &[]) >= 1);
+        assert!(win.counter_value("retry_retries_total", &[("class", "conflict")]) >= 2);
+        assert!(win.counter_value("retry_backoff_units_total", &[]) >= stats.backoff_units);
     }
 
     #[test]

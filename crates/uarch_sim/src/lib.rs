@@ -119,6 +119,13 @@ impl Sim {
         self.0.counters(core)
     }
 
+    /// Snapshot of every core's aggregate counters, in core order — the
+    /// export hook metric reporters use to mirror the machine state
+    /// without touching it (reads never charge the simulation).
+    pub fn counters_all(&self) -> Vec<EventCounts> {
+        (0..self.cores()).map(|c| self.counters(c)).collect()
+    }
+
     /// Snapshot of per-module counters of `core` (index = `ModuleId.0`).
     pub fn module_counters(&self, core: usize) -> Vec<EventCounts> {
         self.0.module_counters(core)
