@@ -10,6 +10,7 @@
 //! bench chaos <system> <workload> [--seed N] [--fault-rate R] [--workers W]
 //!             [--smoke] [--plan <manifest.json>] [--out <dir>]
 //!                                             # fault-injection run + replayable manifest
+//! bench cc-grid [--smoke] [--out <path>]      # CC protocol x contention sweep -> CSV
 //! ```
 //!
 //! Systems: shore-mt, dbmsd, voltdb, hyper, dbmsm, dbmsm-interp,
@@ -156,6 +157,50 @@ fn main() {
             }
         }
         Some("chaos") => run_chaos(&args),
+        Some("cc-grid") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            // Without --out, smoke runs write beside the exemplar rather
+            // than over it: the committed cc_grid.csv is the full grid.
+            let default_name = if smoke {
+                "cc_grid_smoke.csv"
+            } else {
+                "cc_grid.csv"
+            };
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from)
+                .unwrap_or_else(|| repo_root().join("results").join(default_name));
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--smoke" => i += 1,
+                    "--out" => i += 2,
+                    other => {
+                        eprintln!("unknown cc-grid argument: {other}");
+                        usage(2);
+                    }
+                }
+            }
+            let cfg = if smoke {
+                bench::ccgrid::CcGridCfg::smoke()
+            } else {
+                bench::ccgrid::CcGridCfg::full()
+            };
+            let rows = bench::ccgrid::run(&cfg);
+            print!("{}", bench::ccgrid::render(&rows));
+            if let Some(dir) = out.parent() {
+                std::fs::create_dir_all(dir).expect("create results dir");
+            }
+            std::fs::write(&out, bench::ccgrid::to_csv(&rows)).expect("write cc_grid.csv");
+            println!("wrote {}", out.display());
+            if let Err(e) = bench::ccgrid::smoke_check(&rows) {
+                eprintln!("FAIL: {e}");
+                std::process::exit(1);
+            }
+            println!("cc-grid OK ({} cells)", rows.len());
+        }
         Some("help") | None => usage(0),
         Some(other) => {
             eprintln!("unknown subcommand: {other}");
@@ -213,7 +258,7 @@ fn run_chaos(args: &[String]) -> ! {
     let mut i = 2;
     while let Some(a) = args.get(i) {
         match a.as_str() {
-            "--seed" | "--fault-rate" | "--workers" | "--plan" | "--out" => i += 2,
+            "--seed" | "--fault-rate" | "--workers" | "--plan" | "--out" | "--cc" => i += 2,
             _ if a.starts_with("--") => i += 1,
             _ => {
                 positionals.push(a.clone());
@@ -241,6 +286,12 @@ fn run_chaos(args: &[String]) -> ! {
     };
 
     let mut cfg = bench::chaos::ChaosCfg::new(system, workload, &wl_arg);
+    if let Some(label) = rstr("cc") {
+        cfg.cc = engines::CcPolicy::parse(&label).unwrap_or_else(|| {
+            eprintln!("bad cc protocol in plan: {label}");
+            usage(2);
+        });
+    }
     if let Some(m) = &replay {
         cfg.plan_override = Some(faults::FaultPlan::from_json(m).unwrap_or_else(|e| {
             eprintln!("bad fault plan: {e}");
@@ -281,6 +332,14 @@ fn run_chaos(args: &[String]) -> ! {
             usage(2);
         }
         cfg.workers = w as usize;
+    }
+    if let Some(label) = flag("--cc") {
+        cfg.cc = engines::CcPolicy::parse(label).unwrap_or_else(|| {
+            eprintln!(
+                "bad cc protocol: {label} (default|2pl-nowait|2pl-waitdie|part-serial|occ|mvto)"
+            );
+            usage(2);
+        });
     }
     if args.iter().any(|a| a == "--smoke") {
         cfg.window = Some(microarch::WindowSpec {
@@ -387,7 +446,10 @@ fn usage(code: i32) -> ! {
     eprintln!("usage: bench trace <shore-mt|dbmsd|voltdb|hyper|dbmsm|dbmsm-interp|dbmsm-btree> <micro|micro-rw|tpcb|tpcc|tpce> [workers] [--flame [total|instr|data|l1i|l2i|llc-i|l1d|l2d|llc-d]]");
     eprintln!("       bench metrics [system] [workload] [--smoke]");
     eprintln!("       bench perf [--smoke] [--check <baseline.json>] [--out <path>]");
-    eprintln!("       bench chaos <system> <workload> [--seed N] [--fault-rate R] [--workers W] [--smoke] [--plan <manifest.json>] [--out <dir>]");
+    eprintln!("       bench chaos <system> <workload> [--seed N] [--fault-rate R] [--workers W] [--cc <protocol>] [--smoke] [--plan <manifest.json>] [--out <dir>]");
+    eprintln!(
+        "       bench cc-grid [--smoke] [--out <path>]     # CC protocol x contention sweep -> CSV"
+    );
     std::process::exit(code);
 }
 

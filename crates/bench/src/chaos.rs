@@ -45,7 +45,7 @@ use std::io::BufWriter;
 use std::path::Path;
 use std::sync::Mutex;
 
-use engines::{build_system, SystemKind};
+use engines::{build_system_cc, CcPolicy, SystemKind};
 use faults::FaultPlan;
 use microarch::{measure_workers, Measurement, Pacing, WindowSpec};
 use obs::json::Json;
@@ -88,6 +88,9 @@ pub struct ChaosCfg {
     /// `seed`/`fault_rate` — used when replaying a manifest whose plan may
     /// carry site rules this builder doesn't produce.
     pub plan_override: Option<FaultPlan>,
+    /// Concurrency-control protocol under test
+    /// ([`CcPolicy::EngineDefault`] = the engine's historical protocol).
+    pub cc: CcPolicy,
 }
 
 impl ChaosCfg {
@@ -103,6 +106,7 @@ impl ChaosCfg {
             window: None,
             policy: RetryPolicy::default(),
             plan_override: None,
+            cc: CcPolicy::EngineDefault,
         }
     }
 
@@ -262,7 +266,7 @@ pub fn run(cfg: &ChaosCfg) -> ChaosReport {
     let quiesced = faults::quiesce();
 
     let sim = Sim::new(MachineConfig::ivy_bridge(workers));
-    let mut db = build_system(cfg.system, &sim, workers);
+    let mut db = build_system_cc(cfg.system, &sim, workers, cfg.cc);
 
     // The oracle table: KEYS_PER_WORKER rows per worker, inserted through
     // that worker's session so partitioned engines keep them single-site.
@@ -632,6 +636,7 @@ fn manifest_json(
         ("kind", Json::str("chaos-manifest")),
         ("system", Json::str(cfg.system.label())),
         ("system_cli", Json::str(system_cli(cfg.system))),
+        ("cc", Json::str(cfg.cc.label())),
         ("workload", Json::str(&cfg.workload_name)),
         ("workers", Json::u64(cfg.workers as u64)),
         (
@@ -652,6 +657,8 @@ fn manifest_json(
                 ("conflict_retries", Json::u64(r.conflict_retries)),
                 ("abort_retries", Json::u64(r.abort_retries)),
                 ("latch_timeouts", Json::u64(r.latch_timeouts)),
+                ("validation_aborts", Json::u64(r.validation_aborts)),
+                ("deadlock_victims", Json::u64(r.deadlock_victims)),
                 ("log_failures", Json::u64(r.log_failures)),
                 ("backoff_units", Json::u64(r.backoff_units)),
                 ("driver_conflicts", Json::u64(outcomes.driver_conflicts)),

@@ -17,6 +17,7 @@ use workloads::tpce::TpcEScale;
 use workloads::{DbSize, MicroBench, TpcB, TpcC, TpcE, Workload};
 
 pub mod ablations;
+pub mod ccgrid;
 pub mod chaos;
 pub mod diff;
 pub mod figures;

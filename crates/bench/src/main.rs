@@ -4,6 +4,7 @@
 //! figures all            # every figure + results/*.csv + EXPERIMENTS.md
 //! figures fig1 ... fig27 # one figure as a text table
 //! figures scaling        # worker-count scaling grid + results/scaling.csv
+//! figures cc [--smoke]   # CC protocol x contention grid + results/cc_grid.csv
 //! figures calibrate      # quick per-(system,size) metric dump
 //! figures record <system> <workload> <out.json>
 //!                        # record one traced run for differential analysis
@@ -125,6 +126,28 @@ fn main() {
             diff(&std::env::args().collect::<Vec<_>>());
             return;
         }
+        "cc" => {
+            let smoke = std::env::args().any(|a| a == "--smoke");
+            let cfg = if smoke {
+                bench::ccgrid::CcGridCfg::smoke()
+            } else {
+                bench::ccgrid::CcGridCfg::full()
+            };
+            let rows = bench::ccgrid::run(&cfg);
+            print!("{}", bench::ccgrid::render(&rows));
+            // Smoke runs land beside the exemplar, never over it: the
+            // committed cc_grid.csv is the full-grid reference.
+            let name = if smoke {
+                "cc_grid_smoke.csv"
+            } else {
+                "cc_grid.csv"
+            };
+            let out = repo_root().join("results").join(name);
+            std::fs::create_dir_all(out.parent().unwrap()).expect("create results dir");
+            std::fs::write(&out, bench::ccgrid::to_csv(&rows)).expect("write cc_grid.csv");
+            println!("wrote {}", out.display());
+            return;
+        }
         "checks" => {
             for c in f.checks() {
                 println!(
@@ -142,7 +165,7 @@ fn main() {
                 eprintln!("unknown subcommand: {other}");
             }
             eprintln!(
-                "usage: figures <all|fig1..fig27|scaling [--smoke]|checks|calibrate|phases [micro|tpcb|tpcc]|modules [micro|tpcb|tpcc]|tpce|ablations|ablation-{{llc,prefetch,simplecore,voltdb-mp,overlap}}|record <system> <workload> <out.json>|diff <a.json> <b.json> [--threshold PCT]>"
+                "usage: figures <all|fig1..fig27|scaling [--smoke]|cc [--smoke]|checks|calibrate|phases [micro|tpcb|tpcc]|modules [micro|tpcb|tpcc]|tpce|ablations|ablation-{{llc,prefetch,simplecore,voltdb-mp,overlap}}|record <system> <workload> <out.json>|diff <a.json> <b.json> [--threshold PCT]>"
             );
             std::process::exit(if other == "help" { 0 } else { 2 });
         }

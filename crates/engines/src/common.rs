@@ -1,6 +1,6 @@
 //! Engine factory and shared helpers.
 
-use oltp::Db;
+use oltp::{CcPolicy, Db};
 use uarch_sim::Sim;
 
 use crate::dbms_d::DbmsD;
@@ -89,14 +89,29 @@ impl SystemKind {
 /// Build a system on `sim` with `partitions` data partitions (partitioned
 /// engines route by core; the others ignore the count beyond sizing).
 pub fn build_system(kind: SystemKind, sim: &Sim, partitions: usize) -> Box<dyn Db> {
+    build_system_cc(kind, sim, partitions, CcPolicy::EngineDefault)
+}
+
+/// Build a system with an explicit concurrency-control protocol.
+/// [`CcPolicy::EngineDefault`] reproduces each engine's historical
+/// protocol bit-for-bit; any other policy swaps in the pluggable
+/// [`oltp::cc`] implementation on every engine.
+pub fn build_system_cc(
+    kind: SystemKind,
+    sim: &Sim,
+    partitions: usize,
+    policy: CcPolicy,
+) -> Box<dyn Db> {
     match kind {
-        SystemKind::ShoreMt => Box::new(ShoreMt::new(sim)),
-        SystemKind::DbmsD => Box::new(DbmsD::new(sim)),
-        SystemKind::VoltDb => Box::new(VoltDb::new(sim, partitions)),
-        SystemKind::HyPer => Box::new(HyPer::new(sim, partitions)),
-        SystemKind::DbmsM { index, compiled } => {
-            Box::new(DbmsM::new(sim, DbmsMOptions { index, compiled }))
-        }
+        SystemKind::ShoreMt => Box::new(ShoreMt::with_cc(sim, policy)),
+        SystemKind::DbmsD => Box::new(DbmsD::with_cc(sim, policy)),
+        SystemKind::VoltDb => Box::new(VoltDb::with_cc(sim, partitions, policy)),
+        SystemKind::HyPer => Box::new(HyPer::with_cc(sim, partitions, policy)),
+        SystemKind::DbmsM { index, compiled } => Box::new(DbmsM::with_cc(
+            sim,
+            DbmsMOptions { index, compiled },
+            policy,
+        )),
     }
 }
 
@@ -126,6 +141,53 @@ mod tests {
         for kind in SystemKind::ALL {
             let db = build_system(kind, &sim, 1);
             assert_eq!(db.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn factory_builds_every_system_under_every_protocol() {
+        for policy in CcPolicy::ALL {
+            let sim = Sim::new(MachineConfig::ivy_bridge(1));
+            for kind in SystemKind::ALL {
+                let db = build_system_cc(kind, &sim, 1, policy);
+                assert_eq!(db.name(), kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn crud_round_trip_under_every_protocol() {
+        use oltp::{run_txn, Column, DataType, Schema, TableDef, Value};
+        for policy in CcPolicy::ALL {
+            for kind in SystemKind::ALL {
+                let sim = Sim::new(MachineConfig::ivy_bridge(1));
+                let mut db = build_system_cc(kind, &sim, 1, policy);
+                let t = db.create_table(TableDef::new(
+                    "t",
+                    Schema::new(vec![
+                        Column::new("key", DataType::Long),
+                        Column::new("val", DataType::Long),
+                    ]),
+                    64,
+                ));
+                let mut s = db.session(0);
+                let ctx = format!("{} under {}", kind.label(), policy.label());
+                run_txn(&mut *s, |s| {
+                    for k in 0..8u64 {
+                        s.insert(t, k, &[Value::Long(k as i64), Value::Long(0)])?;
+                    }
+                    Ok(())
+                })
+                .unwrap_or_else(|e| panic!("{ctx}: load failed: {e}"));
+                run_txn(&mut *s, |s| {
+                    assert!(s.update(t, 3, &mut |r| r[1] = Value::Long(7))?, "{ctx}");
+                    assert_eq!(s.read(t, 3)?.unwrap()[1], Value::Long(7), "{ctx}");
+                    assert!(s.delete(t, 5)?, "{ctx}");
+                    Ok(())
+                })
+                .unwrap_or_else(|e| panic!("{ctx}: rw txn failed: {e}"));
+                assert_eq!(db.row_count(t), 7, "{ctx}");
+            }
         }
     }
 }

@@ -26,7 +26,10 @@ use std::sync::{Arc, Mutex};
 use bytes::Bytes;
 use indexes::{CcBTree, HashIndex, Index};
 use obs::Phase;
-use oltp::{tuple, Db, OltpError, OltpResult, Row, Session, TableDef, TableId, Value};
+use oltp::{
+    tuple, CcPolicy, ConcurrencyControl, Db, OltpError, OltpResult, Row, Session, TableDef,
+    TableId, Value,
+};
 use storage::{mvcc::InstallOutcome, LogKind, RowId, TxnId, TxnManager, VersionStore, Wal};
 use uarch_sim::{CorePort, Mem, ModuleId, ModuleSpec, Sim};
 
@@ -155,6 +158,9 @@ struct Shared {
     /// Open sessions; >1 means the engine's internal latches are contended.
     open_sessions: AtomicUsize,
     metrics: obs::metrics::EngineMetrics,
+    /// Pluggable protocol; `None` = the historical first-writer-wins
+    /// snapshot validation (bit-identical to pre-refactor builds).
+    cc: Option<Arc<dyn ConcurrencyControl>>,
 }
 
 /// The DBMS M engine. See the module docs.
@@ -177,6 +183,13 @@ pub struct DbmsMSession {
 impl DbmsM {
     /// Build the engine.
     pub fn new(sim: &Sim, opts: DbmsMOptions) -> Self {
+        Self::with_cc(sim, opts, CcPolicy::EngineDefault)
+    }
+
+    /// Build the engine with a pluggable CC protocol.
+    /// [`CcPolicy::EngineDefault`] keeps the historical OCC snapshot
+    /// validation through the [`VersionStore`].
+    pub fn with_cc(sim: &Sim, opts: DbmsMOptions, policy: CcPolicy) -> Self {
         let m = Mods {
             net: sim.register_module(
                 ModuleSpec::new("dbmsm/network", 36 << 10)
@@ -245,6 +258,7 @@ impl DbmsM {
                 sim: sim.clone(),
                 open_sessions: AtomicUsize::new(0),
                 metrics: obs::metrics::EngineMetrics::new(ENGINE),
+                cc: oltp::cc::build(policy, sim.cores()),
             }),
         }
     }
@@ -342,6 +356,26 @@ impl DbmsMSession {
             .exec(levels * cost::STR_CMP_PER_LEVEL);
     }
 
+    /// Consult the pluggable CC layer for one key access. No-op when the
+    /// engine runs its historical OCC path (`cc` is `None`).
+    fn cc_access(&self, t: TableId, key: u64, write: bool) -> OltpResult<()> {
+        let Some(cc) = &self.shared.cc else {
+            return Ok(());
+        };
+        let id = self.active()?.id;
+        let _v = obs::span(ENGINE, Phase::Cc, self.core);
+        let mem = self.mem(self.shared.m.txn);
+        let r = if write {
+            cc.on_write(id.0, t, key, self.core, &mem)
+        } else {
+            cc.on_read(id.0, t, key, self.core, &mem)
+        };
+        r.map_err(|v| {
+            self.shared.metrics.conflicts.inc(self.core);
+            v.into_error()
+        })
+    }
+
     /// Read-your-writes: check the transaction's own write set first.
     fn own_write(&self, ti: usize, key: u64) -> Option<Option<&Bytes>> {
         let txn = self.cur.as_ref()?;
@@ -360,6 +394,42 @@ impl Drop for DbmsMSession {
     fn drop(&mut self) {
         self.shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
     }
+}
+
+/// The commit-prologue fault sites, separated out so `commit()` can drop
+/// pluggable-protocol state before surfacing the error (`txn` is already
+/// taken from the session there, making the caller's abort() a no-op).
+fn commit_injects(_core: usize) -> OltpResult<()> {
+    faults::inject!(
+        "dbms_m/latch",
+        _core,
+        OltpError::LatchTimeout("dbms_m/latch")
+    );
+    // Forced OCC validation failure; the txn's buffered writes are simply
+    // discarded — exactly the clean-abort path. The victim table/key are
+    // synthetic (there is no real conflicting row).
+    faults::inject!(
+        "dbms_m/validate",
+        _core,
+        OltpError::ValidationFailed {
+            table: TableId(0),
+            key: 0,
+        }
+    );
+    Ok(())
+}
+
+/// Forced pluggable-protocol validation failure (see [`commit_injects`]).
+fn cc_validate_inject(_core: usize) -> OltpResult<()> {
+    faults::inject!(
+        "cc/validate",
+        _core,
+        OltpError::ValidationFailed {
+            table: TableId(0),
+            key: 0,
+        }
+    );
+    Ok(())
 }
 
 impl Db for DbmsM {
@@ -434,6 +504,9 @@ impl Session for DbmsMSession {
         let inner = &mut *shared.inner.lock().unwrap();
         let (id, snapshot) = inner.tm.begin();
         self.latch_contention(&self.mem(self.shared.m.txn));
+        if let Some(cc) = &self.shared.cc {
+            cc.begin(id.0, self.core, &self.mem(self.shared.m.txn));
+        }
         self.ops_in_txn = 0;
         let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.shared.m.log);
@@ -455,23 +528,32 @@ impl Session for DbmsMSession {
             let mem = self.mem(self.shared.m.txn);
             mem.exec(cost::VALIDATE);
             self.latch_contention(&mem);
-            faults::inject!(
-                "dbms_m/latch",
-                self.core,
-                OltpError::LatchTimeout("dbms_m/latch")
-            );
-            // Forced OCC validation failure; `txn` was already taken from
-            // the session, so its buffered writes are simply discarded —
-            // exactly the clean-abort path. The victim table/key are
-            // synthetic (there is no real conflicting row).
-            faults::inject!(
-                "dbms_m/validate",
-                self.core,
-                OltpError::Conflict {
-                    table: TableId(0),
-                    key: 0,
+            if let Err(e) = commit_injects(self.core) {
+                // The caller's abort() is a no-op once the txn is taken:
+                // drop any pluggable-protocol state (e.g. 2PL locks) here.
+                if let Some(cc) = &shared.cc {
+                    cc.abort(txn.id.0, self.core, &mem);
                 }
-            );
+                return Err(e);
+            }
+        }
+        if let Some(cc) = &shared.cc {
+            let _v = obs::span(ENGINE, Phase::Cc, self.core);
+            let mem = self.mem(self.shared.m.txn);
+            if let Err(e) = cc_validate_inject(self.core) {
+                inner.validation_aborts += 1;
+                self.shared.metrics.conflicts.inc(self.core);
+                cc.abort(txn.id.0, self.core, &mem);
+                return Err(e);
+            }
+            if let Err(v) = cc.validate(txn.id.0, self.core, &mem) {
+                inner.validation_aborts += 1;
+                self.shared.metrics.conflicts.inc(self.core);
+                // `txn` was already taken from the session, so the caller's
+                // abort() is a no-op — drop protocol state here.
+                cc.abort(txn.id.0, self.core, &mem);
+                return Err(v.into_error());
+            }
         }
         let commit_ts = inner.tm.commit_ts();
         let mem_mvcc = self.mem(self.shared.m.mvcc);
@@ -537,7 +619,10 @@ impl Session for DbmsMSession {
                         // Duplicate created since our check: validation abort.
                         inner.validation_aborts += 1;
                         self.shared.metrics.conflicts.inc(self.core);
-                        return Err(OltpError::Conflict {
+                        if let Some(cc) = &shared.cc {
+                            cc.abort(txn.id.0, self.core, &mem_mvcc);
+                        }
+                        return Err(OltpError::ValidationFailed {
                             table: TableId(w.table as u32),
                             key: w.key,
                         });
@@ -556,7 +641,10 @@ impl Session for DbmsMSession {
                         InstallOutcome::WriteConflict => {
                             inner.validation_aborts += 1;
                             self.shared.metrics.conflicts.inc(self.core);
-                            return Err(OltpError::Conflict {
+                            if let Some(cc) = &shared.cc {
+                                cc.abort(txn.id.0, self.core, &mem_mvcc);
+                            }
+                            return Err(OltpError::ValidationFailed {
                                 table: TableId(w.table as u32),
                                 key: w.key,
                             });
@@ -576,7 +664,10 @@ impl Session for DbmsMSession {
                         InstallOutcome::WriteConflict => {
                             inner.validation_aborts += 1;
                             self.shared.metrics.conflicts.inc(self.core);
-                            return Err(OltpError::Conflict {
+                            if let Some(cc) = &shared.cc {
+                                cc.abort(txn.id.0, self.core, &mem_mvcc);
+                            }
+                            return Err(OltpError::ValidationFailed {
                                 table: TableId(w.table as u32),
                                 key: w.key,
                             });
@@ -594,14 +685,20 @@ impl Session for DbmsMSession {
                 .append(&mem, txn.id, LogKind::Commit, 24 + log_bytes);
         }
         self.mem(self.shared.m.txn).exec(cost::TXN_END);
+        if let Some(cc) = &shared.cc {
+            cc.commit(txn.id.0, self.core, &self.mem(self.shared.m.txn));
+        }
         self.shared.metrics.commits.inc(self.core);
         Ok(())
     }
 
     fn abort(&mut self) {
-        if self.cur.take().is_some() {
+        if let Some(txn) = self.cur.take() {
             let _c = obs::span(ENGINE, Phase::Commit, self.core);
             self.mem(self.shared.m.txn).exec(cost::ABORT);
+            if let Some(cc) = &self.shared.cc {
+                cc.abort(txn.id.0, self.core, &self.mem(self.shared.m.txn));
+            }
             self.shared.metrics.aborts.inc(self.core);
         }
     }
@@ -616,6 +713,7 @@ impl Session for DbmsMSession {
             "row/schema mismatch"
         );
         self.op_overhead();
+        self.cc_access(t, key, true)?;
         // Duplicate check against the committed index + own writes.
         let mem_index = self.mem(self.shared.m.index);
         if let Some(own) = self.own_write(ti, key) {
@@ -665,6 +763,7 @@ impl Session for DbmsMSession {
         let ti = table(inner, t)?;
         let snapshot = self.active()?.snapshot;
         self.op_overhead();
+        self.cc_access(t, key, false)?;
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             self.key_work(inner, ti);
@@ -716,6 +815,7 @@ impl Session for DbmsMSession {
         let ti = table(inner, t)?;
         let snapshot = self.active()?.snapshot;
         self.op_overhead();
+        self.cc_access(t, key, true)?;
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             self.key_work(inner, ti);
@@ -792,6 +892,7 @@ impl Session for DbmsMSession {
         let ti = table(inner, t)?;
         let snapshot = self.active()?.snapshot;
         self.op_overhead();
+        self.cc_access(t, lo, false)?;
         let mem_index = self.mem(self.shared.m.index);
         let mut pairs: Vec<(u64, u64)> = Vec::new();
         let supported = {
@@ -843,6 +944,7 @@ impl Session for DbmsMSession {
         let ti = table(inner, t)?;
         let snapshot = self.active()?.snapshot;
         self.op_overhead();
+        self.cc_access(t, key, true)?;
         if let Some(own) = self.own_write(ti, key) {
             if own.is_none() {
                 return Ok(false);
@@ -1095,7 +1197,7 @@ mod tests {
         // T1's commit must now fail first-writer-wins validation.
         assert_eq!(
             s1.commit().unwrap_err(),
-            OltpError::Conflict { table: t, key: 1 }
+            OltpError::ValidationFailed { table: t, key: 1 }
         );
         assert_eq!(db.validation_aborts(), 1);
     }

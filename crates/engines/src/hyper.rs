@@ -20,7 +20,10 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use indexes::{Art, Index};
 use obs::Phase;
-use oltp::{tuple, Db, OltpError, OltpResult, Row, Session, TableDef, TableId, Value};
+use oltp::{
+    tuple, CcPolicy, ConcurrencyControl, Db, OltpError, OltpResult, Row, Session, TableDef,
+    TableId, Value,
+};
 use storage::{LogKind, MemStore, RowId, TxnId, TxnManager, Wal};
 use uarch_sim::{CorePort, Mem, ModuleId, ModuleSpec, Sim};
 
@@ -70,6 +73,9 @@ struct Shared {
     parts: Vec<Mutex<PartState>>,
     tm: Mutex<TxnManager>,
     metrics: obs::metrics::EngineMetrics,
+    /// Pluggable protocol; `None` = the historical owner-claim path
+    /// (bit-identical to pre-refactor builds).
+    cc: Option<Arc<dyn ConcurrencyControl>>,
 }
 
 /// The HyPer engine. See the module docs.
@@ -92,6 +98,13 @@ pub struct HyPerSession {
 impl HyPer {
     /// Build the engine with `partitions` partitions.
     pub fn new(sim: &Sim, partitions: usize) -> Self {
+        Self::with_cc(sim, partitions, CcPolicy::EngineDefault)
+    }
+
+    /// Build the engine with a pluggable CC protocol.
+    /// [`CcPolicy::EngineDefault`] keeps the historical no-wait
+    /// partition-owner claim.
+    pub fn with_cc(sim: &Sim, partitions: usize, policy: CcPolicy) -> Self {
         assert!(partitions >= 1);
         let m = Mods {
             runtime: sim.register_module(
@@ -129,6 +142,7 @@ impl HyPer {
                     .collect(),
                 tm: Mutex::new(TxnManager::new()),
                 metrics: obs::metrics::EngineMetrics::new(ENGINE),
+                cc: oltp::cc::build(policy, partitions),
                 sim: sim.clone(),
             }),
         }
@@ -156,14 +170,27 @@ impl HyPerSession {
         }
     }
 
-    /// No-wait serial-execution claim (see [`crate::voltdb`]).
-    fn claim(&self, part: &mut PartState, t: TableId, key: u64) -> OltpResult<()> {
+    /// No-wait serial-execution claim (see [`crate::voltdb`]); delegated
+    /// to the CC layer's read/write hooks under a pluggable protocol.
+    fn claim(&self, part: &mut PartState, t: TableId, key: u64, write: bool) -> OltpResult<()> {
         let Some(txn) = self.cur else { return Ok(()) };
         faults::inject!(
             "hyper/claim",
             self.core,
             OltpError::Conflict { table: t, key }
         );
+        if let Some(cc) = &self.shared.cc {
+            let mem = self.mem(self.shared.m.proc);
+            let r = if write {
+                cc.on_write(txn.0, t, key, self.core, &mem)
+            } else {
+                cc.on_read(txn.0, t, key, self.core, &mem)
+            };
+            return r.map_err(|v| {
+                self.shared.metrics.conflicts.inc(self.core);
+                v.into_error()
+            });
+        }
         match part.owner {
             None => {
                 part.owner = Some(txn);
@@ -259,12 +286,32 @@ impl Session for HyPerSession {
         let (txn, _) = self.shared.tm.lock().unwrap().begin();
         self.cur = Some(txn);
         self.mem(self.shared.m.runtime).exec(cost::RT_BEGIN);
+        if let Some(cc) = &self.shared.cc {
+            cc.begin(txn.0, self.core, &self.mem(self.shared.m.runtime));
+        }
     }
 
     fn commit(&mut self) -> OltpResult<()> {
         let txn = self.txn()?;
         let _c = obs::span(ENGINE, Phase::Commit, self.core);
         self.mem(self.shared.m.runtime).exec(cost::COMMIT);
+        if let Some(cc) = &self.shared.cc {
+            // Validation failure leaves the txn open (writes may have
+            // applied in place); the caller aborts, dropping CC state.
+            faults::inject!(
+                "cc/validate",
+                self.core,
+                OltpError::ValidationFailed {
+                    table: TableId(0),
+                    key: 0
+                }
+            );
+            let _v = obs::span(ENGINE, Phase::Cc, self.core);
+            if let Err(v) = cc.validate(txn.0, self.core, &self.mem(self.shared.m.runtime)) {
+                self.shared.metrics.conflicts.inc(self.core);
+                return Err(v.into_error());
+            }
+        }
         {
             let _l = obs::span(ENGINE, Phase::Log, self.core);
             let mem = self.mem(self.shared.m.log);
@@ -281,6 +328,9 @@ impl Session for HyPerSession {
                 part.owner = None;
             }
         }
+        if let Some(cc) = &self.shared.cc {
+            cc.commit(txn.0, self.core, &self.mem(self.shared.m.runtime));
+        }
         self.cur = None;
         self.shared.metrics.commits.inc(self.core);
         Ok(())
@@ -293,6 +343,9 @@ impl Session for HyPerSession {
             let part = &mut *self.shared.parts[self.part()].lock().unwrap();
             if part.owner == Some(txn) {
                 part.owner = None;
+            }
+            if let Some(cc) = &self.shared.cc {
+                cc.abort(txn.0, self.core, &self.mem(self.shared.m.runtime));
             }
             self.shared.metrics.aborts.inc(self.core);
         }
@@ -313,7 +366,7 @@ impl Session for HyPerSession {
         }
         let p = self.part();
         let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, key)?;
+        self.claim(part, t, key, true)?;
         let encoded = tuple::encode(row);
         let id = {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
@@ -343,7 +396,7 @@ impl Session for HyPerSession {
         }
         let p = self.part();
         let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, key)?;
+        self.claim(part, t, key, false)?;
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             part.tables[ti].index.get(&mem, key)
@@ -381,7 +434,7 @@ impl Session for HyPerSession {
         }
         let p = self.part();
         let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, key)?;
+        self.claim(part, t, key, true)?;
         let probe = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             part.tables[ti].index.get(&mem, key)
@@ -427,7 +480,7 @@ impl Session for HyPerSession {
         }
         let p = self.part();
         let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, lo)?;
+        self.claim(part, t, lo, false)?;
         let table = &mut part.tables[ti];
         let mut pairs: Vec<(u64, u64)> = Vec::new();
         {
@@ -474,7 +527,7 @@ impl Session for HyPerSession {
         }
         let p = self.part();
         let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, key)?;
+        self.claim(part, t, key, true)?;
         let table = &mut part.tables[ti];
         let removed = {
             let _i = obs::span(ENGINE, Phase::Index, self.core);

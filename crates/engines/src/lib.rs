@@ -52,9 +52,10 @@ pub mod hyper;
 pub mod shore_mt;
 pub mod voltdb;
 
-pub use common::{build_system, DbmsMIndex, SystemKind};
+pub use common::{build_system, build_system_cc, DbmsMIndex, SystemKind};
 pub use dbms_d::DbmsD;
 pub use dbms_m::{DbmsM, DbmsMOptions};
 pub use hyper::HyPer;
+pub use oltp::cc::CcPolicy;
 pub use shore_mt::ShoreMt;
 pub use voltdb::VoltDb;

@@ -21,7 +21,10 @@ use std::sync::{Arc, Mutex};
 
 use indexes::{DiskBTree, Index};
 use obs::Phase;
-use oltp::{tuple, Db, OltpError, OltpResult, Row, Session, TableDef, TableId, Value};
+use oltp::{
+    tuple, CcPolicy, ConcurrencyControl, Db, OltpError, OltpResult, Row, Session, TableDef,
+    TableId, Value,
+};
 use storage::{
     lock::LockOutcome, BufferPool, HeapFile, LockManager, LockMode, LockTarget, LogKind, Rid,
     TxnId, TxnManager, Wal,
@@ -86,6 +89,9 @@ struct Shared {
     /// Open sessions; >1 means the engine's internal latches are contended.
     open_sessions: AtomicUsize,
     metrics: obs::metrics::EngineMetrics,
+    /// Pluggable protocol; `None` = the historical hierarchical-2PL path
+    /// through [`LockManager`] (bit-identical to pre-refactor builds).
+    cc: Option<Arc<dyn ConcurrencyControl>>,
 }
 
 /// The Shore-MT engine. See the module docs.
@@ -112,6 +118,13 @@ const POOL_FRAMES: usize = 96 * 1024;
 impl ShoreMt {
     /// Build the engine on a simulator.
     pub fn new(sim: &Sim) -> Self {
+        Self::with_cc(sim, CcPolicy::EngineDefault)
+    }
+
+    /// Build the engine with a pluggable CC protocol.
+    /// [`CcPolicy::EngineDefault`] keeps the historical hierarchical 2PL
+    /// (no-wait) through the storage [`LockManager`].
+    pub fn with_cc(sim: &Sim, policy: CcPolicy) -> Self {
         let m = Mods {
             kits: sim.register_module(
                 ModuleSpec::new("shore/kits-plans", 40 << 10)
@@ -170,6 +183,7 @@ impl ShoreMt {
                 inner: Mutex::new(inner),
                 open_sessions: AtomicUsize::new(0),
                 metrics: obs::metrics::EngineMetrics::new(ENGINE),
+                cc: oltp::cc::build(policy, sim.cores()),
             }),
         }
     }
@@ -259,6 +273,18 @@ impl ShoreMtSession {
             self.core,
             OltpError::LatchTimeout("shore_mt/latch")
         );
+        if let Some(cc) = &self.shared.cc {
+            let write = matches!(mode, LockMode::X | LockMode::Ix);
+            let r = if write {
+                cc.on_write(txn.0, t, key, self.core, &mem)
+            } else {
+                cc.on_read(txn.0, t, key, self.core, &mem)
+            };
+            return r.map_err(|v| {
+                self.shared.metrics.conflicts.inc(self.core);
+                v.into_error()
+            });
+        }
         match inner.locks.lock(&mem, txn, target, mode) {
             LockOutcome::Granted => Ok(()),
             LockOutcome::Conflict => {
@@ -274,7 +300,11 @@ impl ShoreMtSession {
         } else {
             (LockMode::Is, LockMode::S)
         };
-        self.acquire(inner, t, key, LockTarget::Table(t.0), tm)?;
+        // Under a pluggable protocol the table-intent level collapses into
+        // the per-key hook, so each operation consults the CC layer once.
+        if self.shared.cc.is_none() {
+            self.acquire(inner, t, key, LockTarget::Table(t.0), tm)?;
+        }
         self.acquire(inner, t, key, LockTarget::Row(t.0, key), rm)
     }
 }
@@ -345,6 +375,9 @@ impl Session for ShoreMtSession {
         let mem = self.mem(self.shared.m.txn);
         mem.exec(cost::BEGIN);
         self.latch_contention(&mem);
+        if let Some(cc) = &self.shared.cc {
+            cc.begin(txn.0, self.core, &self.mem(self.shared.m.lock));
+        }
         let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.shared.m.log);
         inner.wal.append(&mem, txn, LogKind::Begin, 0);
@@ -356,6 +389,23 @@ impl Session for ShoreMtSession {
         let inner = &mut *shared.inner.lock().unwrap();
         let _c = obs::span(ENGINE, Phase::Commit, self.core);
         self.mem(self.shared.m.txn).exec(cost::COMMIT);
+        if let Some(cc) = &shared.cc {
+            // Validation precedes durability; on failure the txn stays
+            // open and the caller aborts, dropping CC state.
+            faults::inject!(
+                "cc/validate",
+                self.core,
+                OltpError::ValidationFailed {
+                    table: TableId(0),
+                    key: 0
+                }
+            );
+            let _v = obs::span(ENGINE, Phase::Cc, self.core);
+            if let Err(v) = cc.validate(txn.0, self.core, &self.mem(self.shared.m.lock)) {
+                self.shared.metrics.conflicts.inc(self.core);
+                return Err(v.into_error());
+            }
+        }
         {
             let _l = obs::span(ENGINE, Phase::Log, self.core);
             let mem = self.mem(self.shared.m.log);
@@ -373,7 +423,10 @@ impl Session for ShoreMtSession {
         let _cc = obs::span(ENGINE, Phase::Cc, self.core);
         let mem = self.mem(self.shared.m.lock);
         mem.exec(cost::RELEASE);
-        inner.locks.release_all(&mem, txn);
+        match &shared.cc {
+            Some(cc) => cc.commit(txn.0, self.core, &mem),
+            None => inner.locks.release_all(&mem, txn),
+        }
         self.cur = None;
         self.shared.metrics.commits.inc(self.core);
         Ok(())
@@ -392,7 +445,10 @@ impl Session for ShoreMtSession {
             }
             let _cc = obs::span(ENGINE, Phase::Cc, self.core);
             let mem = self.mem(self.shared.m.lock);
-            inner.locks.release_all(&mem, txn);
+            match &shared.cc {
+                Some(cc) => cc.abort(txn.0, self.core, &mem),
+                None => inner.locks.release_all(&mem, txn),
+            }
             self.shared.metrics.aborts.inc(self.core);
         }
     }

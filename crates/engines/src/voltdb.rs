@@ -23,7 +23,10 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use indexes::{CcBTree, Index};
 use obs::Phase;
-use oltp::{tuple, Db, OltpError, OltpResult, Row, Session, TableDef, TableId, Value};
+use oltp::{
+    tuple, CcPolicy, ConcurrencyControl, Db, OltpError, OltpResult, Row, Session, TableDef,
+    TableId, Value,
+};
 use storage::{LogKind, MemStore, RowId, TxnId, TxnManager, Wal};
 use uarch_sim::{CorePort, Mem, ModuleId, ModuleSpec, Sim};
 
@@ -92,6 +95,9 @@ struct Shared {
     tm: Mutex<TxnManager>,
     single_sited: AtomicBool,
     metrics: obs::metrics::EngineMetrics,
+    /// Pluggable protocol; `None` = the historical owner-claim path
+    /// (bit-identical to pre-refactor builds).
+    cc: Option<Arc<dyn ConcurrencyControl>>,
 }
 
 /// The VoltDB engine. See the module docs.
@@ -117,6 +123,13 @@ impl VoltDb {
     /// (the paper configures one partition in single-threaded runs and one
     /// per worker otherwise, with all transactions single-sited).
     pub fn new(sim: &Sim, partitions: usize) -> Self {
+        Self::with_cc(sim, partitions, CcPolicy::EngineDefault)
+    }
+
+    /// Build the engine with a pluggable CC protocol.
+    /// [`CcPolicy::EngineDefault`] keeps the historical no-wait
+    /// partition-owner claim.
+    pub fn with_cc(sim: &Sim, partitions: usize, policy: CcPolicy) -> Self {
         assert!(partitions >= 1);
         let m = Mods {
             java_rt: sim.register_module(
@@ -185,6 +198,7 @@ impl VoltDb {
                 tm: Mutex::new(TxnManager::new()),
                 single_sited: AtomicBool::new(true),
                 metrics: obs::metrics::EngineMetrics::new(ENGINE),
+                cc: oltp::cc::build(policy, partitions),
                 sim: sim.clone(),
             }),
         }
@@ -223,14 +237,27 @@ impl VoltDbSession {
     /// Serial-execution claim: the first transaction to touch a partition
     /// owns it until commit/abort; any other transaction's operation is a
     /// no-wait [`OltpError::Conflict`]. Never fires in the paper's
-    /// one-worker-per-partition deployment.
-    fn claim(&self, part: &mut PartState, t: TableId, key: u64) -> OltpResult<()> {
+    /// one-worker-per-partition deployment. Under a pluggable protocol the
+    /// claim is delegated to the CC layer's read/write hooks instead.
+    fn claim(&self, part: &mut PartState, t: TableId, key: u64, write: bool) -> OltpResult<()> {
         let Some(txn) = self.cur else { return Ok(()) };
         faults::inject!(
             "voltdb/claim",
             self.core,
             OltpError::Conflict { table: t, key }
         );
+        if let Some(cc) = &self.shared.cc {
+            let mem = self.mem(self.shared.m.ee);
+            let r = if write {
+                cc.on_write(txn.0, t, key, self.core, &mem)
+            } else {
+                cc.on_read(txn.0, t, key, self.core, &mem)
+            };
+            return r.map_err(|v| {
+                self.shared.metrics.conflicts.inc(self.core);
+                v.into_error()
+            });
+        }
         match part.owner {
             None => {
                 part.owner = Some(txn);
@@ -357,6 +384,9 @@ impl Session for VoltDbSession {
         if !self.shared.single_sited.load(Ordering::Relaxed) {
             self.mem(self.shared.m.mp_coord).exec(cost::MP_COORD);
         }
+        if let Some(cc) = &self.shared.cc {
+            cc.begin(txn.0, self.core, &self.mem(self.shared.m.ee));
+        }
     }
 
     fn commit(&mut self) -> OltpResult<()> {
@@ -366,6 +396,23 @@ impl Session for VoltDbSession {
         self.mem(self.shared.m.java_rt).exec(cost::COMMIT);
         if !self.shared.single_sited.load(Ordering::Relaxed) {
             self.mem(self.shared.m.mp_coord).exec(cost::MP_COMMIT);
+        }
+        if let Some(cc) = &shared.cc {
+            // Validation failure leaves the txn open (writes may have
+            // applied in place); the caller aborts, dropping CC state.
+            faults::inject!(
+                "cc/validate",
+                self.core,
+                OltpError::ValidationFailed {
+                    table: TableId(0),
+                    key: 0
+                }
+            );
+            let _v = obs::span(ENGINE, Phase::Cc, self.core);
+            if let Err(v) = cc.validate(txn.0, self.core, &self.mem(shared.m.ee)) {
+                self.shared.metrics.conflicts.inc(self.core);
+                return Err(v.into_error());
+            }
         }
         let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.shared.m.clog);
@@ -382,6 +429,9 @@ impl Session for VoltDbSession {
         if part.owner == Some(txn) {
             part.owner = None;
         }
+        if let Some(cc) = &shared.cc {
+            cc.commit(txn.0, self.core, &self.mem(shared.m.ee));
+        }
         self.cur = None;
         self.shared.metrics.commits.inc(self.core);
         Ok(())
@@ -394,6 +444,9 @@ impl Session for VoltDbSession {
             let part = &mut *self.shared.parts[self.part()].lock().unwrap();
             if part.owner == Some(txn) {
                 part.owner = None;
+            }
+            if let Some(cc) = &self.shared.cc {
+                cc.abort(txn.0, self.core, &self.mem(self.shared.m.ee));
             }
             self.shared.metrics.aborts.inc(self.core);
         }
@@ -410,7 +463,7 @@ impl Session for VoltDbSession {
         self.op_overhead();
         let p = self.part();
         let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, key)?;
+        self.claim(part, t, key, true)?;
         let encoded = tuple::encode(row);
         {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
@@ -445,7 +498,7 @@ impl Session for VoltDbSession {
         self.op_overhead();
         let p = self.part();
         let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, key)?;
+        self.claim(part, t, key, false)?;
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             self.key_work(part, ti);
@@ -486,7 +539,7 @@ impl Session for VoltDbSession {
         self.op_overhead();
         let p = self.part();
         let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, key)?;
+        self.claim(part, t, key, true)?;
         {
             let _i = obs::span(ENGINE, Phase::Index, self.core);
             self.key_work(part, ti);
@@ -535,7 +588,7 @@ impl Session for VoltDbSession {
         self.op_overhead();
         let p = self.part();
         let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, lo)?;
+        self.claim(part, t, lo, false)?;
         let mem_index = self.mem(self.shared.m.index);
         let mem_store = self.mem(self.shared.m.store);
         let table = &mut part.tables[ti];
@@ -581,7 +634,7 @@ impl Session for VoltDbSession {
         self.op_overhead();
         let p = self.part();
         let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, key)?;
+        self.claim(part, t, key, true)?;
         let mem_index = self.mem(self.shared.m.index);
         let mem_store = self.mem(self.shared.m.store);
         let table = &mut part.tables[ti];

@@ -39,9 +39,18 @@ pub enum OltpError {
     /// engine-internal policy).
     Aborted(&'static str),
     /// The transaction lost a concurrency-control race on `key`: a lock
-    /// held by another transaction, an OCC validation failure, or a
-    /// partition owned by another single-sited transaction. Retryable.
+    /// held by another transaction or a partition owned by another
+    /// single-sited transaction. Retryable.
     Conflict { table: TableId, key: u64 },
+    /// The transaction was chosen as the deadlock-avoidance victim (e.g.
+    /// the younger side of a wait-die collision on `key`). Retryable with
+    /// backoff, like [`OltpError::Conflict`], but counted separately so
+    /// protocol comparisons can tell victims from plain lock losses.
+    DeadlockVictim { table: TableId, key: u64 },
+    /// OCC/timestamp validation failed at commit: another transaction
+    /// wrote `key` after this one read it (or out of timestamp order).
+    /// Retryable with backoff; counted separately from lock conflicts.
+    ValidationFailed { table: TableId, key: u64 },
     /// The engine does not support the operation (e.g. range scan on a
     /// hash index).
     Unsupported(&'static str),
@@ -69,6 +78,12 @@ impl std::fmt::Display for OltpError {
             OltpError::Aborted(why) => write!(f, "transaction aborted: {why}"),
             OltpError::Conflict { table, key } => {
                 write!(f, "conflict on key {key} in table {}", table.0)
+            }
+            OltpError::DeadlockVictim { table, key } => {
+                write!(f, "deadlock victim on key {key} in table {}", table.0)
+            }
+            OltpError::ValidationFailed { table, key } => {
+                write!(f, "validation failed on key {key} in table {}", table.0)
             }
             OltpError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             OltpError::LatchTimeout(site) => write!(f, "latch acquire timed out at {site}"),
@@ -229,5 +244,15 @@ mod tests {
             key: 7,
         };
         assert_eq!(c.to_string(), "conflict on key 7 in table 1");
+        let v = OltpError::DeadlockVictim {
+            table: TableId(2),
+            key: 5,
+        };
+        assert_eq!(v.to_string(), "deadlock victim on key 5 in table 2");
+        let vf = OltpError::ValidationFailed {
+            table: TableId(2),
+            key: 5,
+        };
+        assert_eq!(vf.to_string(), "validation failed on key 5 in table 2");
     }
 }

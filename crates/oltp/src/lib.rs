@@ -24,6 +24,7 @@
 //! assert!(lo <= k && k <= hi);
 //! ```
 
+pub mod cc;
 pub mod engine;
 pub mod keys;
 pub mod retry;
@@ -31,6 +32,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use cc::{CcPolicy, CcResult, CcViolation, ConcurrencyControl};
 pub use engine::{run_txn, Db, OltpError, OltpResult, Row, Session, TableId};
 pub use keys::KeyPack;
 pub use retry::{Backoff, ErrorClass, RetryPolicy, RetryStats, TxnOutcome};

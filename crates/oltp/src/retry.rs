@@ -34,6 +34,8 @@ struct RetryMetrics {
     gave_up: obs::metrics::Counter,
     conflict_retries: obs::metrics::Counter,
     abort_retries: obs::metrics::Counter,
+    validation_aborts: obs::metrics::Counter,
+    deadlock_victims: obs::metrics::Counter,
     latch_timeouts: obs::metrics::Counter,
     log_failures: obs::metrics::Counter,
     backoff_units: obs::metrics::Counter,
@@ -49,6 +51,8 @@ fn retry_metrics() -> &'static RetryMetrics {
             gave_up: r.counter("retry_give_ups_total", &[]),
             conflict_retries: r.counter("retry_retries_total", &[("class", "conflict")]),
             abort_retries: r.counter("retry_retries_total", &[("class", "abort")]),
+            validation_aborts: r.counter("retry_errors_total", &[("kind", "validation_failed")]),
+            deadlock_victims: r.counter("retry_errors_total", &[("kind", "deadlock_victim")]),
             latch_timeouts: r.counter("retry_errors_total", &[("kind", "latch_timeout")]),
             log_failures: r.counter("retry_errors_total", &[("kind", "log_write_failed")]),
             backoff_units: r.counter("retry_backoff_units_total", &[]),
@@ -80,7 +84,10 @@ pub enum ErrorClass {
 /// Classify an engine error for the retry layer.
 pub fn classify(e: &OltpError) -> ErrorClass {
     match e {
-        OltpError::Conflict { .. } | OltpError::LatchTimeout(_) => ErrorClass::Backoff,
+        OltpError::Conflict { .. }
+        | OltpError::DeadlockVictim { .. }
+        | OltpError::ValidationFailed { .. }
+        | OltpError::LatchTimeout(_) => ErrorClass::Backoff,
         OltpError::Aborted(_) | OltpError::LogWriteFailed(_) => ErrorClass::Retry,
         OltpError::SessionPoisoned => ErrorClass::Reopen,
         _ => ErrorClass::Fatal,
@@ -167,6 +174,12 @@ pub struct RetryStats {
     pub conflict_retries: u64,
     /// Abort-class retries (no backoff).
     pub abort_retries: u64,
+    /// OCC/timestamp validation failures observed (subset of
+    /// conflict-class; distinct from lock-conflict aborts).
+    pub validation_aborts: u64,
+    /// Deadlock-avoidance victim aborts observed (subset of
+    /// conflict-class; wait-die and friends).
+    pub deadlock_victims: u64,
     /// Latch-timeout errors observed (subset of conflict-class).
     pub latch_timeouts: u64,
     /// Log-write failures observed (subset of abort-class).
@@ -182,6 +195,8 @@ impl RetryStats {
         self.gave_up += other.gave_up;
         self.conflict_retries += other.conflict_retries;
         self.abort_retries += other.abort_retries;
+        self.validation_aborts += other.validation_aborts;
+        self.deadlock_victims += other.deadlock_victims;
         self.latch_timeouts += other.latch_timeouts;
         self.log_failures += other.log_failures;
         self.backoff_units += other.backoff_units;
@@ -251,6 +266,14 @@ pub fn retry_txn(
                 if let OltpError::LatchTimeout(_) = e {
                     stats.latch_timeouts += 1;
                     m.latch_timeouts.inc(shard);
+                }
+                if let OltpError::ValidationFailed { .. } = e {
+                    stats.validation_aborts += 1;
+                    m.validation_aborts.inc(shard);
+                }
+                if let OltpError::DeadlockVictim { .. } = e {
+                    stats.deadlock_victims += 1;
+                    m.deadlock_victims.inc(shard);
                 }
                 if let OltpError::LogWriteFailed(_) = e {
                     stats.log_failures += 1;
@@ -323,6 +346,20 @@ mod tests {
     #[test]
     fn classes() {
         assert_eq!(classify(&conflict()), ErrorClass::Backoff);
+        assert_eq!(
+            classify(&OltpError::DeadlockVictim {
+                table: TableId(0),
+                key: 1
+            }),
+            ErrorClass::Backoff
+        );
+        assert_eq!(
+            classify(&OltpError::ValidationFailed {
+                table: TableId(0),
+                key: 1
+            }),
+            ErrorClass::Backoff
+        );
         assert_eq!(classify(&OltpError::LatchTimeout("x")), ErrorClass::Backoff);
         assert_eq!(classify(&OltpError::Aborted("x")), ErrorClass::Retry);
         assert_eq!(classify(&OltpError::LogWriteFailed("x")), ErrorClass::Retry);
@@ -461,6 +498,42 @@ mod tests {
         assert!(win.counter_value("retry_commits_total", &[]) >= 1);
         assert!(win.counter_value("retry_retries_total", &[("class", "conflict")]) >= 2);
         assert!(win.counter_value("retry_backoff_units_total", &[]) >= stats.backoff_units);
+    }
+
+    #[test]
+    fn validation_aborts_counted_apart_from_lock_conflicts() {
+        let mut stats = RetryStats::default();
+        let policy = RetryPolicy::default();
+        let mut backoff = Backoff::new(policy, 9);
+        let mut step = 0u32;
+        let out = retry_txn(
+            &policy,
+            &mut backoff,
+            &mut stats,
+            |_| {
+                step += 1;
+                match step {
+                    1 => Err(OltpError::ValidationFailed {
+                        table: TableId(0),
+                        key: 3,
+                    }),
+                    2 => Err(OltpError::DeadlockVictim {
+                        table: TableId(0),
+                        key: 3,
+                    }),
+                    3 => Err(conflict()),
+                    _ => Ok(()),
+                }
+            },
+            |_| {},
+        );
+        assert_eq!(out, TxnOutcome::Committed { attempts: 4 });
+        // All three are conflict-class (backoff applied)...
+        assert_eq!(stats.conflict_retries, 3);
+        // ...but validation and victim aborts are distinguishable from the
+        // plain lock conflict.
+        assert_eq!(stats.validation_aborts, 1);
+        assert_eq!(stats.deadlock_victims, 1);
     }
 
     #[test]

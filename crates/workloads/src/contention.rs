@@ -1,0 +1,365 @@
+//! CCBench-style contention micro-benchmark for the pluggable CC layer.
+//!
+//! One table, keys drawn from a Zipfian distribution (Gray et al.,
+//! "Quickly Generating Billion-Record Synthetic Databases", SIGMOD '94)
+//! shared by **all** workers — unlike [`crate::micro`], keys are not
+//! striped per worker, so workers collide on the hot head of the
+//! distribution and the concurrency-control protocol decides who wins.
+//! Knobs mirror the CCBench axes: skew `theta`, read ratio, payload
+//! size, operations per transaction, and a "flash sale" mode that funnels
+//! a fixed share of the writes onto one hot row.
+
+use oltp::{Column, DataType, Db, OltpResult, Schema, Session, TableDef, TableId, Value};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::driver::Workload;
+use crate::micro::KEY_STRIDE;
+
+/// Fraction of "flash sale" transactions whose first write hits the hot
+/// row (the remainder follow the Zipfian draw).
+const FLASH_SALE_SHARE: f64 = 0.5;
+
+/// Zipfian key sampler over `0..n` with skew `theta` (0 = uniform).
+///
+/// The standard incremental method: precompute `zeta(n, theta)` once, then
+/// each draw costs O(1). `theta` in `[0, 1)`; CCBench sweeps typically use
+/// 0, 0.4, 0.8, 0.99.
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Sampler over `0..n`. `theta == 0` degenerates to uniform.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "empty key space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draw one rank in `0..n`; rank 0 is the hottest key.
+    pub fn sample(&self, rng: &mut impl RngCore) -> u64 {
+        // 53 uniformly-random mantissa bits -> u in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if self.theta == 0.0 {
+            return (u * self.n as f64) as u64;
+        }
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// The contention micro-benchmark. See the module docs.
+pub struct Contention {
+    rows: u64,
+    theta: f64,
+    read_ratio: f64,
+    payload: usize,
+    ops_per_txn: u32,
+    flash_sale: bool,
+    seed: u64,
+    table: Option<TableId>,
+    zipf: Option<Zipf>,
+    rngs: Vec<StdRng>,
+}
+
+/// One planned operation (`write == false` is a read; `tag` is the value
+/// an update writes).
+#[derive(Clone, Copy, Debug)]
+pub struct CcOp {
+    /// Key accessed (already strided).
+    pub key: u64,
+    /// Update (`true`) or read (`false`).
+    pub write: bool,
+    /// Payload tag written by an update.
+    pub tag: u64,
+}
+
+impl Contention {
+    /// Default grid cell: 64 Ki rows, moderate skew, half reads, 8-byte
+    /// payload, 4 operations per transaction.
+    pub fn new() -> Self {
+        Contention {
+            rows: 64 * 1024,
+            theta: 0.8,
+            read_ratio: 0.5,
+            payload: 8,
+            ops_per_txn: 4,
+            flash_sale: false,
+            seed: 0xCCBE,
+            table: None,
+            zipf: None,
+            rngs: Vec::new(),
+        }
+    }
+
+    /// Number of rows in the table.
+    pub fn rows(mut self, rows: u64) -> Self {
+        self.rows = rows.max(16);
+        self
+    }
+
+    /// Zipfian skew `theta` in `[0, 1)`; 0 = uniform.
+    pub fn theta(mut self, theta: f64) -> Self {
+        assert!((0.0..1.0).contains(&theta));
+        self.theta = theta;
+        self
+    }
+
+    /// Fraction of operations that are reads (the rest are updates).
+    pub fn read_ratio(mut self, r: f64) -> Self {
+        assert!((0.0..=1.0).contains(&r));
+        self.read_ratio = r;
+        self
+    }
+
+    /// Payload bytes per row value (8 = a Long column; larger = a string
+    /// column of that many bytes).
+    pub fn payload(mut self, bytes: usize) -> Self {
+        assert!(bytes >= 8);
+        self.payload = bytes;
+        self
+    }
+
+    /// Operations per transaction.
+    pub fn ops_per_txn(mut self, n: u32) -> Self {
+        assert!(n >= 1);
+        self.ops_per_txn = n;
+        self
+    }
+
+    /// Flash-sale mode: half of all writing transactions open with an
+    /// update of row 0 (one product everyone wants).
+    pub fn flash_sale(mut self, on: bool) -> Self {
+        self.flash_sale = on;
+        self
+    }
+
+    /// Set the RNG seed (determinism across repetitions).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn long_payload(&self) -> bool {
+        self.payload == 8
+    }
+
+    fn make_value(&self, tag: u64) -> Value {
+        if self.long_payload() {
+            Value::Long(tag as i64)
+        } else {
+            Value::Str(format!("{tag:0>width$}", width = self.payload))
+        }
+    }
+
+    fn uniform_f64(rng: &mut impl RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The loaded table.
+    ///
+    /// # Panics
+    ///
+    /// Panics before [`Workload::setup`] has run.
+    pub fn table(&self) -> TableId {
+        self.table.expect("setup not called")
+    }
+
+    /// Plan one transaction's operations for `worker` — the same request
+    /// stream [`Workload::exec`] runs. Callers that interleave operations
+    /// across workers (the cc-grid runner) use this to drive each
+    /// operation on its own turn.
+    pub fn plan_txn(&mut self, worker: usize) -> Vec<CcOp> {
+        let zipf = self.zipf.as_ref().expect("setup not called");
+        let flash = self.flash_sale;
+        let read_ratio = self.read_ratio;
+        let rng = &mut self.rngs[worker];
+        (0..self.ops_per_txn)
+            .map(|op| {
+                let write = Self::uniform_f64(rng) >= read_ratio;
+                let hot = flash && write && op == 0 && Self::uniform_f64(rng) < FLASH_SALE_SHARE;
+                let key = if hot {
+                    0
+                } else {
+                    zipf.sample(rng) * KEY_STRIDE
+                };
+                let tag = rng.next_u64() % 1_000_000;
+                CcOp { key, write, tag }
+            })
+            .collect()
+    }
+
+    /// Apply one planned operation on `s` (inside an open transaction).
+    pub fn apply(&self, s: &mut dyn Session, op: &CcOp) -> OltpResult<()> {
+        let t = self.table();
+        if op.write {
+            let long_payload = self.long_payload();
+            let payload = self.payload;
+            let tag = op.tag;
+            s.update(t, op.key, &mut |row| {
+                row[1] = if long_payload {
+                    Value::Long(tag as i64)
+                } else {
+                    Value::Str(format!("{tag:0>payload$}"))
+                };
+            })?;
+        } else {
+            let mut sink = 0u64;
+            s.read_with(t, op.key, &mut |row| {
+                sink = sink.wrapping_add(row.len() as u64);
+            })?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Contention {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for Contention {
+    fn name(&self) -> &'static str {
+        "contention"
+    }
+
+    fn setup(&mut self, db: &mut dyn Db, workers: usize) {
+        assert!(self.table.is_none(), "setup called twice");
+        assert!(workers >= 1);
+        self.rngs = (0..workers)
+            .map(|w| StdRng::seed_from_u64(self.seed ^ (w as u64).wrapping_mul(0xC0FFEE)))
+            .collect();
+        let vty = if self.long_payload() {
+            DataType::Long
+        } else {
+            DataType::Str
+        };
+        let t = db.create_table(TableDef::new(
+            "contention",
+            Schema::new(vec![
+                Column::new("key", DataType::Long),
+                Column::new("value", vty),
+            ]),
+            self.rows,
+        ));
+        self.table = Some(t);
+        self.zipf = Some(Zipf::new(self.rows, self.theta));
+        // All rows are loaded through session 0: the key space is shared,
+        // not partitioned — the grid runs partitioned engines with a
+        // single partition so every worker can reach every row.
+        let mut s = db.session(0);
+        for k in 0..self.rows {
+            s.begin();
+            s.insert(
+                t,
+                k * KEY_STRIDE,
+                &[Value::Long(k as i64), self.make_value(0)],
+            )
+            .expect("load insert");
+            s.commit().expect("load commit");
+        }
+        drop(s);
+        db.finish_load();
+    }
+
+    fn exec(&mut self, s: &mut dyn Session, worker: usize) -> OltpResult<()> {
+        let plan = self.plan_txn(worker);
+        s.begin();
+        for op in &plan {
+            self.apply(s, op)?;
+        }
+        s.commit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engines::{build_system_cc, CcPolicy, SystemKind};
+    use uarch_sim::{MachineConfig, Sim};
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let z = Zipf::new(1000, 0.99);
+        let mut head = 0u64;
+        for _ in 0..2000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 1000);
+            if r < 10 {
+                head += 1;
+            }
+        }
+        // With theta 0.99 the top 1% of keys take well over a third of
+        // the draws (uniform would give ~1%).
+        assert!(head > 600, "head draws: {head}");
+        // Uniform stays spread out.
+        let z0 = Zipf::new(1000, 0.0);
+        let mut head0 = 0u64;
+        for _ in 0..2000 {
+            if z0.sample(&mut rng) < 10 {
+                head0 += 1;
+            }
+        }
+        assert!(head0 < 100, "uniform head draws: {head0}");
+    }
+
+    #[test]
+    fn runs_on_every_engine_and_protocol() {
+        for policy in [CcPolicy::EngineDefault, CcPolicy::Occ] {
+            for kind in SystemKind::ALL {
+                let sim = Sim::new(MachineConfig::ivy_bridge(1));
+                let mut db = build_system_cc(kind, &sim, 1, policy);
+                let mut w = Contention::new().rows(256).theta(0.9).seed(3);
+                sim.offline(|| w.setup(db.as_mut(), 1));
+                let mut s = db.session(0);
+                for i in 0..20 {
+                    w.exec(s.as_mut(), 0)
+                        .unwrap_or_else(|e| panic!("{kind:?}/{}: txn {i}: {e}", policy.label()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_sizes_round_trip() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(1));
+        let mut db = build_system_cc(SystemKind::HyPer, &sim, 1, CcPolicy::TwoPlNoWait);
+        let mut w = Contention::new().rows(64).payload(64).read_ratio(0.0);
+        sim.offline(|| w.setup(db.as_mut(), 1));
+        let mut s = db.session(0);
+        for _ in 0..10 {
+            w.exec(s.as_mut(), 0).unwrap();
+        }
+        let t = w.table.unwrap();
+        s.begin();
+        let row = s.read(t, 0).unwrap().unwrap();
+        assert_eq!(row[1].as_str().unwrap().len(), 64);
+        s.commit().unwrap();
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`tpce`] — a TPC-E-like brokerage mix (extension): verifies the
 //!   claim, cited by the paper, that TPC-E behaves like TPC-B/C
 //!   micro-architecturally;
+//! * [`contention`] — a CCBench-style skewed read/write mix over a shared
+//!   (un-partitioned) key space, used by the `bench cc-grid` sweep of the
+//!   pluggable concurrency-control layer;
 //! * [`driver`] — the [`driver::Workload`] abstraction the figure harness
 //!   runs: partition-aware loading (one data partition per worker, all
 //!   transactions single-sited, exactly as the paper configures VoltDB)
@@ -21,6 +24,7 @@
 //! labels match the paper (1 MB / 10 MB / 10 GB / 100 GB); simulated row
 //! counts preserve each label's relationship to the 20 MB LLC.
 
+pub mod contention;
 pub mod driver;
 pub mod micro;
 pub mod names;
@@ -28,6 +32,7 @@ pub mod tpcb;
 pub mod tpcc;
 pub mod tpce;
 
+pub use contention::{CcOp, Contention, Zipf};
 pub use driver::{run_txns, Workload};
 pub use micro::{DbSize, MicroBench};
 pub use tpcb::TpcB;

@@ -154,6 +154,39 @@ fn poison_and_offline_recovery_keeps_the_oracle() {
     assert_eq!(r.phantom_updates, 0);
 }
 
+/// The lost-update oracle holds for every (engine, CC protocol) pair at
+/// one smoke seed: the pluggable protocols recover through the same
+/// retry/backoff layer as the engine defaults, with nothing lost and
+/// nothing phantom. The manifest records which protocol ran.
+#[test]
+fn every_engine_and_protocol_keeps_the_oracle() {
+    use imoltp::systems::CcPolicy;
+    let mut policies = vec![CcPolicy::EngineDefault];
+    policies.extend(CcPolicy::ALL);
+    for system in SystemKind::ALL {
+        for &cc in &policies {
+            let mut cfg = small_cfg(system, 9, 0.12);
+            cfg.cc = cc;
+            cfg.window = Some(imoltp::analysis::WindowSpec {
+                warmup: 10,
+                measured: 30,
+                reps: 1,
+            });
+            let label = format!("{system:?} under {}", cc.label());
+            let r = chaos::run(&cfg);
+            assert!(r.faults_fired > 0, "{label}: plan must fire");
+            assert!(r.outcomes.retry.commits > 0, "{label}: must commit");
+            assert_eq!(r.lost_updates, 0, "{label}: lost updates");
+            assert_eq!(r.phantom_updates, 0, "{label}: phantom updates");
+            assert_eq!(
+                r.manifest.get("cc").and_then(|v| v.as_str()),
+                Some(cc.label()),
+                "{label}: manifest records the protocol"
+            );
+        }
+    }
+}
+
 /// Engine-internal sites only exist when the consumer is built with
 /// `--features faults`; this asserts the deep hooks (latch/WAL/validate)
 /// actually fire there and stay recoverable.

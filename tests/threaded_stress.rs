@@ -2,8 +2,9 @@
 //! no lockstep pacing, hammering the engines' shared state. The invariants
 //! the session API must uphold under true parallelism: no lost updates
 //! (every committed increment is visible), row counts preserved, and
-//! concurrency-control losers surfacing as retryable
-//! [`OltpError::Conflict`]s rather than corruption.
+//! concurrency-control losers surfacing as retryable errors
+//! ([`OltpError::Conflict`] under locking, [`OltpError::ValidationFailed`]
+//! under OCC) rather than corruption.
 
 use std::sync::Mutex;
 
@@ -36,7 +37,11 @@ fn increment_until_committed(s: &mut dyn Session, t: imoltp::db::TableId, key: u
             });
         match attempt {
             Ok(()) => return retries,
-            Err(OltpError::Conflict { .. }) => {
+            Err(
+                OltpError::Conflict { .. }
+                | OltpError::ValidationFailed { .. }
+                | OltpError::DeadlockVictim { .. },
+            ) => {
                 s.abort();
                 retries += 1;
                 assert!(retries < 1_000_000, "livelock on key {key}");
