@@ -1,0 +1,191 @@
+//! Shared CLI argument parsing for the bench binaries.
+//!
+//! Every subcommand used to hand-roll its own flag loop, and most of
+//! them silently skipped flags they did not recognize — a typo like
+//! `--smoek` ran the full (hour-long) window instead of failing fast.
+//! This module is the one parser they all share now: a subcommand
+//! declares its flags as [`Spec`]s, and anything unrecognized is a hard
+//! error the binary turns into usage + exit 2.
+
+use std::str::FromStr;
+
+/// How many tokens a flag consumes after its own name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arity {
+    /// Boolean flag, e.g. `--smoke`.
+    Flag,
+    /// Requires a value, e.g. `--out results/x.csv`.
+    Value,
+    /// Optional value: consumes the next token only if it is not a
+    /// flag, e.g. `--flame [component]`.
+    OptValue,
+}
+
+/// One accepted flag.
+#[derive(Clone, Copy, Debug)]
+pub struct Spec {
+    /// Flag name including the leading dashes (`"--smoke"`).
+    pub name: &'static str,
+    /// Whether/how it takes a value.
+    pub arity: Arity,
+}
+
+impl Spec {
+    /// A boolean flag.
+    pub const fn flag(name: &'static str) -> Spec {
+        Spec {
+            name,
+            arity: Arity::Flag,
+        }
+    }
+
+    /// A flag with a required value.
+    pub const fn value(name: &'static str) -> Spec {
+        Spec {
+            name,
+            arity: Arity::Value,
+        }
+    }
+
+    /// A flag with an optional value.
+    pub const fn opt_value(name: &'static str) -> Spec {
+        Spec {
+            name,
+            arity: Arity::OptValue,
+        }
+    }
+}
+
+/// Parsed arguments: positionals in order plus flag occurrences.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Non-flag tokens, in order.
+    pub positionals: Vec<String>,
+    flags: Vec<(&'static str, Option<String>)>,
+}
+
+impl Parsed {
+    /// Whether `name` was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| *n == name)
+    }
+
+    /// The (last) value given for `name`, if any.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Parse the value of `name` as `T`; `what` names the quantity in
+    /// the error message. `Ok(None)` when the flag was absent.
+    pub fn parsed<T: FromStr>(&self, name: &str, what: &str) -> Result<Option<T>, String> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("bad {what}: {v}")),
+        }
+    }
+
+    /// The nth positional.
+    pub fn pos(&self, n: usize) -> Option<&str> {
+        self.positionals.get(n).map(String::as_str)
+    }
+}
+
+/// Parse `args` (everything after the subcommand) against `specs`.
+/// Unknown `--flags` and missing required values are errors; the caller
+/// prints the message and exits via its usage text. `cmd` is the full
+/// command name for the error message (e.g. `"bench trace"`).
+pub fn parse(cmd: &str, args: &[String], specs: &[Spec]) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(spec) = specs.iter().find(|s| s.name == a) {
+            let value = match spec.arity {
+                Arity::Flag => None,
+                Arity::Value => {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("{} requires a value", spec.name))?;
+                    i += 1;
+                    Some(v.clone())
+                }
+                Arity::OptValue => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(v) => {
+                        i += 1;
+                        Some(v.clone())
+                    }
+                    None => None,
+                },
+            };
+            out.flags.push((spec.name, value));
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag for `{cmd}`: {a}"));
+        } else {
+            out.positionals.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_flags_and_values() {
+        let p = parse(
+            "bench chaos",
+            &argv(&["voltdb", "micro", "--seed", "7", "--smoke"]),
+            &[Spec::value("--seed"), Spec::flag("--smoke")],
+        )
+        .unwrap();
+        assert_eq!(p.positionals, vec!["voltdb", "micro"]);
+        assert!(p.has("--smoke"));
+        assert_eq!(p.parsed::<u64>("--seed", "seed").unwrap(), Some(7));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = parse(
+            "bench metrics",
+            &argv(&["--smoek"]),
+            &[Spec::flag("--smoke")],
+        )
+        .unwrap_err();
+        assert!(err.contains("--smoek"), "{err}");
+        assert!(err.contains("bench metrics"), "{err}");
+    }
+
+    #[test]
+    fn missing_required_value_is_an_error() {
+        let err = parse("perf", &argv(&["--out"]), &[Spec::value("--out")]).unwrap_err();
+        assert!(err.contains("--out requires a value"), "{err}");
+    }
+
+    #[test]
+    fn optional_value_takes_a_word_but_not_a_flag() {
+        let specs = [Spec::opt_value("--flame"), Spec::flag("--smoke")];
+        let p = parse("trace", &argv(&["--flame", "l1i"]), &specs).unwrap();
+        assert_eq!(p.value("--flame"), Some("l1i"));
+        let p = parse("trace", &argv(&["--flame", "--smoke"]), &specs).unwrap();
+        assert!(p.has("--flame"));
+        assert_eq!(p.value("--flame"), None);
+        assert!(p.has("--smoke"));
+    }
+
+    #[test]
+    fn bad_numeric_value_reports_the_quantity() {
+        let p = parse("chaos", &argv(&["--seed", "abc"]), &[Spec::value("--seed")]).unwrap();
+        let err = p.parsed::<u64>("--seed", "seed").unwrap_err();
+        assert_eq!(err, "bad seed: abc");
+    }
+}

@@ -11,196 +11,67 @@
 //!             [--smoke] [--plan <manifest.json>] [--out <dir>]
 //!                                             # fault-injection run + replayable manifest
 //! bench cc-grid [--smoke] [--out <path>]      # CC protocol x contention sweep -> CSV
+//! bench serve [system] [workload] [--connections N] [--pool P] [--queue-cap Q]
+//!             [--batch B] [--intake I] [--seed S] [--smoke] [--out <csv>]
+//!                                             # wire-protocol service front end run
 //! ```
 //!
 //! Systems: shore-mt, dbmsd, voltdb, hyper, dbmsm, dbmsm-interp,
 //! dbmsm-btree. Workloads: micro, micro-rw, tpcb, tpcc, tpce.
 //! Set `IMOLTP_SCALE=<f64>` to scale measurement windows (e.g. `0.2`).
+//!
+//! All subcommands share one flag parser: an unrecognized `--flag`
+//! prints the usage text and exits 2 instead of being silently ignored.
 
 use std::path::PathBuf;
 
+use bench::args::{self, Parsed, Spec};
 use bench::trace;
+
+/// Parse the subcommand's arguments or die with usage.
+fn parse_or_usage(cmd: &str, argv: &[String], specs: &[Spec]) -> Parsed {
+    args::parse(&format!("bench {cmd}"), argv, specs).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage(2);
+    })
+}
+
+/// Reject positionals beyond the first `max` (typos like a misspelled
+/// flag without dashes would otherwise vanish silently).
+fn limit_positionals(p: &Parsed, max: usize, cmd: &str) {
+    if p.positionals.len() > max {
+        eprintln!(
+            "unexpected argument for `bench {cmd}`: {}",
+            p.positionals[max]
+        );
+        usage(2);
+    }
+}
+
+fn parse_system_or_die(s: &str) -> engines::SystemKind {
+    trace::parse_system(s).unwrap_or_else(|| {
+        eprintln!("unknown system: {s}");
+        usage(2);
+    })
+}
+
+fn parse_workload_or_die(s: &str) -> bench::WorkloadCfg {
+    trace::parse_workload(s).unwrap_or_else(|| {
+        eprintln!("unknown workload: {s}");
+        usage(2);
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let rest = if args.len() > 2 { &args[2..] } else { &[] };
     match args.get(1).map(String::as_str) {
-        Some("trace") => {
-            let (Some(sys_arg), Some(wl_arg)) = (args.get(2), args.get(3)) else {
-                usage(2);
-            };
-            let Some(system) = trace::parse_system(sys_arg) else {
-                eprintln!("unknown system: {sys_arg}");
-                usage(2);
-            };
-            let Some(workload) = trace::parse_workload(wl_arg) else {
-                eprintln!("unknown workload: {wl_arg}");
-                usage(2);
-            };
-            let workers: usize = match args.get(4).filter(|a| !a.starts_with("--")) {
-                Some(n) => match n.parse() {
-                    // The simulated machine models at most 64 cores.
-                    Ok(w) if (1..=64).contains(&w) => w,
-                    _ => {
-                        eprintln!("bad worker count: {n} (expected 1..=64)");
-                        usage(2);
-                    }
-                },
-                None => 1,
-            };
-            let flame = args.iter().position(|a| a == "--flame").map(|i| {
-                // Optional component argument after the flag.
-                match args.get(i + 1).filter(|a| !a.starts_with("--")) {
-                    Some(name) => obs::flame::StallComponent::parse(name).unwrap_or_else(|| {
-                        eprintln!("bad stall component: {name} (total|instr|data|l1i|l2i|llc-i|l1d|l2d|llc-d)");
-                        usage(2);
-                    }),
-                    None => obs::flame::StallComponent::Total,
-                }
-            });
-            let out_dir = repo_root().join("results");
-            let art = trace::run_trace_flame(system, &workload, wl_arg, &out_dir, workers, flame);
-            print!(
-                "{}",
-                trace::render(
-                    &art.measurement,
-                    &format!("{} / {} / {workers} worker(s)", system.label(), wl_arg)
-                )
-            );
-            println!(
-                "perfetto: {} (load in ui.perfetto.dev)",
-                art.perfetto.display()
-            );
-            println!("jsonl:    {}", art.jsonl.display());
-            if let (Some(folded), Some(total)) = (&art.folded, art.flame_total) {
-                println!(
-                    "folded:   {} ({} stall cycles; feed to flamegraph.pl/inferno/speedscope)",
-                    folded.display(),
-                    total
-                );
-            }
-        }
-        Some("metrics") => {
-            let positionals: Vec<&String> =
-                args[2..].iter().filter(|a| !a.starts_with("--")).collect();
-            let system = match positionals.first() {
-                Some(s) => trace::parse_system(s).unwrap_or_else(|| {
-                    eprintln!("unknown system: {s}");
-                    usage(2);
-                }),
-                None => engines::SystemKind::VoltDb,
-            };
-            let workload = match positionals.get(1) {
-                Some(w) => trace::parse_workload(w).unwrap_or_else(|| {
-                    eprintln!("unknown workload: {w}");
-                    usage(2);
-                }),
-                None => trace::parse_workload("micro").unwrap(),
-            };
-            let mut cfg = bench::metrics_report::MetricsCfg::new(system, workload);
-            cfg.smoke = args.iter().any(|a| a == "--smoke");
-            if cfg.smoke {
-                cfg.report_every = 64;
-            }
-            let r = bench::metrics_report::run(&cfg);
-            for line in &r.periodic {
-                println!("{line}");
-            }
-            let out_dir = repo_root().join("results");
-            std::fs::create_dir_all(&out_dir).expect("create results dir");
-            let prom = out_dir.join("metrics.prom");
-            let json = out_dir.join("metrics.json");
-            std::fs::write(&prom, &r.prometheus).expect("write metrics.prom");
-            std::fs::write(&json, &r.json).expect("write metrics.json");
-            println!(
-                "txns {}  tps {:.0}  ipc {:.2}",
-                r.measurement.txns, r.measurement.tps, r.measurement.ipc
-            );
-            println!("prometheus: {}", prom.display());
-            println!("json:       {}", json.display());
-            if let Err(e) = bench::metrics_report::smoke_check(&r, system.label()) {
-                eprintln!("FAIL: {e}");
-                std::process::exit(1);
-            }
-            println!("metrics smoke OK");
-        }
-        Some("perf") => {
-            let smoke = args.iter().any(|a| a == "--smoke");
-            let check = args
-                .iter()
-                .position(|a| a == "--check")
-                .and_then(|i| args.get(i + 1))
-                .map(PathBuf::from);
-            let out = args
-                .iter()
-                .position(|a| a == "--out")
-                .and_then(|i| args.get(i + 1))
-                .map(PathBuf::from)
-                .unwrap_or_else(|| repo_root().join("results").join("perf.json"));
-            let report = bench::perf::run(smoke);
-            print!("{}", report.render());
-            if let Some(dir) = out.parent() {
-                std::fs::create_dir_all(dir).expect("create results dir");
-            }
-            std::fs::write(&out, report.to_json()).expect("write perf.json");
-            println!("wrote {}", out.display());
-            if let Some(baseline) = check {
-                // CI gate: fail on a >30% throughput regression vs the
-                // checked-in baseline.
-                let bad = bench::perf::regressions(&report, &baseline, 0.7);
-                if !bad.is_empty() {
-                    for b in &bad {
-                        eprintln!("perf regression: {b}");
-                    }
-                    std::process::exit(1);
-                }
-                println!("no perf regressions vs {}", baseline.display());
-            }
-        }
-        Some("chaos") => run_chaos(&args),
-        Some("cc-grid") => {
-            let smoke = args.iter().any(|a| a == "--smoke");
-            // Without --out, smoke runs write beside the exemplar rather
-            // than over it: the committed cc_grid.csv is the full grid.
-            let default_name = if smoke {
-                "cc_grid_smoke.csv"
-            } else {
-                "cc_grid.csv"
-            };
-            let out = args
-                .iter()
-                .position(|a| a == "--out")
-                .and_then(|i| args.get(i + 1))
-                .map(PathBuf::from)
-                .unwrap_or_else(|| repo_root().join("results").join(default_name));
-            let mut i = 2;
-            while i < args.len() {
-                match args[i].as_str() {
-                    "--smoke" => i += 1,
-                    "--out" => i += 2,
-                    other => {
-                        eprintln!("unknown cc-grid argument: {other}");
-                        usage(2);
-                    }
-                }
-            }
-            let cfg = if smoke {
-                bench::ccgrid::CcGridCfg::smoke()
-            } else {
-                bench::ccgrid::CcGridCfg::full()
-            };
-            let rows = bench::ccgrid::run(&cfg);
-            print!("{}", bench::ccgrid::render(&rows));
-            if let Some(dir) = out.parent() {
-                std::fs::create_dir_all(dir).expect("create results dir");
-            }
-            std::fs::write(&out, bench::ccgrid::to_csv(&rows)).expect("write cc_grid.csv");
-            println!("wrote {}", out.display());
-            if let Err(e) = bench::ccgrid::smoke_check(&rows) {
-                eprintln!("FAIL: {e}");
-                std::process::exit(1);
-            }
-            println!("cc-grid OK ({} cells)", rows.len());
-        }
+        Some("trace") => run_trace(rest),
+        Some("metrics") => run_metrics(rest),
+        Some("perf") => run_perf(rest),
+        Some("chaos") => run_chaos(rest),
+        Some("cc-grid") => run_ccgrid(rest),
+        Some("serve") => run_serve(rest),
         Some("help") | None => usage(0),
         Some(other) => {
             eprintln!("unknown subcommand: {other}");
@@ -209,32 +80,290 @@ fn main() {
     }
 }
 
+fn run_trace(argv: &[String]) {
+    let p = parse_or_usage("trace", argv, &[Spec::opt_value("--flame")]);
+    limit_positionals(&p, 3, "trace");
+    let (Some(sys_arg), Some(wl_arg)) = (p.pos(0), p.pos(1)) else {
+        usage(2);
+    };
+    let system = parse_system_or_die(sys_arg);
+    let workload = parse_workload_or_die(wl_arg);
+    let workers: usize = match p.pos(2) {
+        Some(n) => match n.parse() {
+            // The simulated machine models at most 64 cores.
+            Ok(w) if (1..=64).contains(&w) => w,
+            _ => {
+                eprintln!("bad worker count: {n} (expected 1..=64)");
+                usage(2);
+            }
+        },
+        None => 1,
+    };
+    let flame = p.has("--flame").then(|| match p.value("--flame") {
+        Some(name) => obs::flame::StallComponent::parse(name).unwrap_or_else(|| {
+            eprintln!("bad stall component: {name} (total|instr|data|l1i|l2i|llc-i|l1d|l2d|llc-d)");
+            usage(2);
+        }),
+        None => obs::flame::StallComponent::Total,
+    });
+    let out_dir = repo_root().join("results");
+    let art = trace::run_trace_flame(system, &workload, wl_arg, &out_dir, workers, flame);
+    print!(
+        "{}",
+        trace::render(
+            &art.measurement,
+            &format!("{} / {} / {workers} worker(s)", system.label(), wl_arg)
+        )
+    );
+    println!(
+        "perfetto: {} (load in ui.perfetto.dev)",
+        art.perfetto.display()
+    );
+    println!("jsonl:    {}", art.jsonl.display());
+    if let (Some(folded), Some(total)) = (&art.folded, art.flame_total) {
+        println!(
+            "folded:   {} ({} stall cycles; feed to flamegraph.pl/inferno/speedscope)",
+            folded.display(),
+            total
+        );
+    }
+}
+
+fn run_metrics(argv: &[String]) {
+    let p = parse_or_usage("metrics", argv, &[Spec::flag("--smoke")]);
+    limit_positionals(&p, 2, "metrics");
+    let system = match p.pos(0) {
+        Some(s) => parse_system_or_die(s),
+        None => engines::SystemKind::VoltDb,
+    };
+    let workload = match p.pos(1) {
+        Some(w) => parse_workload_or_die(w),
+        None => trace::parse_workload("micro").unwrap(),
+    };
+    let mut cfg = bench::metrics_report::MetricsCfg::new(system, workload);
+    cfg.smoke = p.has("--smoke");
+    if cfg.smoke {
+        cfg.report_every = 64;
+    }
+    let r = bench::metrics_report::run(&cfg);
+    for line in &r.periodic {
+        println!("{line}");
+    }
+    let out_dir = repo_root().join("results");
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let prom = out_dir.join("metrics.prom");
+    let json = out_dir.join("metrics.json");
+    std::fs::write(&prom, &r.prometheus).expect("write metrics.prom");
+    std::fs::write(&json, &r.json).expect("write metrics.json");
+    println!(
+        "txns {}  tps {:.0}  ipc {:.2}",
+        r.measurement.txns, r.measurement.tps, r.measurement.ipc
+    );
+    println!("prometheus: {}", prom.display());
+    println!("json:       {}", json.display());
+    if let Err(e) = bench::metrics_report::smoke_check(&r, system.label()) {
+        eprintln!("FAIL: {e}");
+        std::process::exit(1);
+    }
+    println!("metrics smoke OK");
+}
+
+fn run_perf(argv: &[String]) {
+    let p = parse_or_usage(
+        "perf",
+        argv,
+        &[
+            Spec::flag("--smoke"),
+            Spec::value("--check"),
+            Spec::value("--out"),
+        ],
+    );
+    limit_positionals(&p, 0, "perf");
+    let smoke = p.has("--smoke");
+    let check = p.value("--check").map(PathBuf::from);
+    let out = p
+        .value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("results").join("perf.json"));
+    let report = bench::perf::run(smoke);
+    print!("{}", report.render());
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, report.to_json()).expect("write perf.json");
+    println!("wrote {}", out.display());
+    if let Some(baseline) = check {
+        // CI gate: fail on a >30% throughput regression vs the
+        // checked-in baseline.
+        let bad = bench::perf::regressions(&report, &baseline, 0.7);
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!("perf regression: {b}");
+            }
+            std::process::exit(1);
+        }
+        println!("no perf regressions vs {}", baseline.display());
+    }
+}
+
+fn run_ccgrid(argv: &[String]) {
+    let p = parse_or_usage(
+        "cc-grid",
+        argv,
+        &[Spec::flag("--smoke"), Spec::value("--out")],
+    );
+    limit_positionals(&p, 0, "cc-grid");
+    let smoke = p.has("--smoke");
+    // Without --out, smoke runs write beside the exemplar rather than
+    // over it: the committed cc_grid.csv is the full grid.
+    let default_name = if smoke {
+        "cc_grid_smoke.csv"
+    } else {
+        "cc_grid.csv"
+    };
+    let out = p
+        .value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("results").join(default_name));
+    let cfg = if smoke {
+        bench::ccgrid::CcGridCfg::smoke()
+    } else {
+        bench::ccgrid::CcGridCfg::full()
+    };
+    let rows = bench::ccgrid::run(&cfg);
+    print!("{}", bench::ccgrid::render(&rows));
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, bench::ccgrid::to_csv(&rows)).expect("write cc_grid.csv");
+    println!("wrote {}", out.display());
+    if let Err(e) = bench::ccgrid::smoke_check(&rows) {
+        eprintln!("FAIL: {e}");
+        std::process::exit(1);
+    }
+    println!("cc-grid OK ({} cells)", rows.len());
+}
+
+/// `bench serve`: drive the wire-protocol service front end and report
+/// the service-path breakdown vs the direct driver. `--smoke` pins the
+/// acceptance configuration (>= 10k connections on <= 8 sessions) and
+/// exits nonzero if any gate fails.
+fn run_serve(argv: &[String]) {
+    let p = parse_or_usage(
+        "serve",
+        argv,
+        &[
+            Spec::value("--connections"),
+            Spec::value("--pool"),
+            Spec::value("--queue-cap"),
+            Spec::value("--batch"),
+            Spec::value("--intake"),
+            Spec::value("--seed"),
+            Spec::flag("--smoke"),
+            Spec::value("--out"),
+        ],
+    );
+    limit_positionals(&p, 2, "serve");
+    let system = match p.pos(0) {
+        Some(s) => parse_system_or_die(s),
+        None => engines::SystemKind::VoltDb,
+    };
+    let wl_name = p.pos(1).unwrap_or("micro").to_string();
+    let workload = parse_workload_or_die(&wl_name);
+
+    let numeric = |name: &str, what: &str| {
+        p.parsed::<usize>(name, what).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage(2);
+        })
+    };
+    let mut cfg = bench::serve::ServeCfg::new(system, workload, &wl_name);
+    cfg.smoke = p.has("--smoke");
+    if let Some(n) = numeric("--connections", "connection count") {
+        cfg.connections = n;
+    }
+    if let Some(n) = numeric("--pool", "pool size") {
+        if !(1..=64).contains(&n) {
+            eprintln!("bad pool size: {n} (expected 1..=64)");
+            usage(2);
+        }
+        cfg.pool = n;
+    }
+    if let Some(n) = numeric("--queue-cap", "queue cap") {
+        cfg.queue_cap = n.max(1);
+    }
+    if let Some(n) = numeric("--batch", "batch size") {
+        cfg.batch = n.max(1);
+    }
+    if let Some(n) = numeric("--intake", "intake") {
+        cfg.intake = n.max(1);
+    }
+    if let Some(seed) = p.parsed::<u64>("--seed", "seed").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage(2);
+    }) {
+        cfg.seed = seed;
+    }
+    if cfg.smoke {
+        // The acceptance gate is defined at exactly this scale; honor
+        // explicit overrides only if they stay inside it.
+        cfg.connections = cfg.connections.max(10_000);
+        if cfg.pool > 8 {
+            eprintln!(
+                "--smoke requires a pool of <= 8 sessions (got {})",
+                cfg.pool
+            );
+            usage(2);
+        }
+    }
+
+    let report = bench::serve::run(&cfg);
+    print!("{}", bench::serve::render(&report));
+    let out = p
+        .value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("results").join("serve_breakdown.csv"));
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, bench::serve::to_csv(&report)).expect("write serve_breakdown.csv");
+    println!("wrote {}", out.display());
+    if cfg.smoke {
+        if let Err(e) = bench::serve::smoke_check(&report) {
+            eprintln!("FAIL: {e}");
+            std::process::exit(1);
+        }
+        println!("serve smoke OK");
+    }
+}
+
 /// `bench chaos`: one fault-injection run under the retry/backoff policy,
 /// verified against the lost-update oracle; exits nonzero on any oracle
 /// violation (or digest mismatch when replaying a manifest).
-fn run_chaos(args: &[String]) -> ! {
-    let flag = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-    };
-    let parse_or = |name: &str, bad: &str| {
-        flag(name).map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("bad {bad}: {v}");
-                usage(2);
-            })
-        })
-    };
+fn run_chaos(argv: &[String]) -> ! {
+    let p = parse_or_usage(
+        "chaos",
+        argv,
+        &[
+            Spec::value("--seed"),
+            Spec::value("--fault-rate"),
+            Spec::value("--workers"),
+            Spec::value("--cc"),
+            Spec::value("--plan"),
+            Spec::value("--out"),
+            Spec::flag("--smoke"),
+        ],
+    );
+    limit_positionals(&p, 2, "chaos");
 
     // A replayed manifest supplies every knob; explicit CLI args win.
-    let replay = flag("--plan").map(|p| {
-        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
-            eprintln!("cannot read plan {p}: {e}");
+    let replay = p.value("--plan").map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read plan {path}: {e}");
             usage(2);
         });
         obs::json::parse(&text).unwrap_or_else(|e| {
-            eprintln!("bad plan JSON in {p}: {e}");
+            eprintln!("bad plan JSON in {path}: {e}");
             usage(2);
         })
     });
@@ -252,38 +381,18 @@ fn run_chaos(args: &[String]) -> ! {
             .and_then(|v| v.as_f64())
     };
 
-    // Positionals: everything after `chaos` that is neither a flag nor a
-    // flag's value.
-    let mut positionals = Vec::new();
-    let mut i = 2;
-    while let Some(a) = args.get(i) {
-        match a.as_str() {
-            "--seed" | "--fault-rate" | "--workers" | "--plan" | "--out" | "--cc" => i += 2,
-            _ if a.starts_with("--") => i += 1,
-            _ => {
-                positionals.push(a.clone());
-                i += 1;
-            }
-        }
-    }
-    let sys_arg = positionals
-        .first()
-        .cloned()
+    let sys_arg = p
+        .pos(0)
+        .map(String::from)
         .or_else(|| rstr("system_cli").or_else(|| rstr("system")))
         .unwrap_or_else(|| usage(2));
-    let wl_arg = positionals
-        .get(1)
-        .cloned()
+    let wl_arg = p
+        .pos(1)
+        .map(String::from)
         .or_else(|| rstr("workload"))
         .unwrap_or_else(|| usage(2));
-    let Some(system) = trace::parse_system(&sys_arg) else {
-        eprintln!("unknown system: {sys_arg}");
-        usage(2);
-    };
-    let Some(workload) = trace::parse_workload(&wl_arg) else {
-        eprintln!("unknown workload: {wl_arg}");
-        usage(2);
-    };
+    let system = parse_system_or_die(&sys_arg);
+    let workload = parse_workload_or_die(&wl_arg);
 
     let mut cfg = bench::chaos::ChaosCfg::new(system, workload, &wl_arg);
     if let Some(label) = rstr("cc") {
@@ -311,11 +420,14 @@ fn run_chaos(args: &[String]) -> ! {
             });
         }
     }
-    if let Some(seed) = parse_or("--seed", "seed") {
+    if let Some(seed) = p.parsed::<u64>("--seed", "seed").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage(2);
+    }) {
         cfg.seed = seed;
         cfg.plan_override = None; // explicit knobs rebuild the plan
     }
-    if let Some(rate) = flag("--fault-rate") {
+    if let Some(rate) = p.value("--fault-rate") {
         cfg.fault_rate = rate.parse().unwrap_or_else(|_| {
             eprintln!("bad fault rate: {rate}");
             usage(2);
@@ -326,14 +438,20 @@ fn run_chaos(args: &[String]) -> ! {
         }
         cfg.plan_override = None;
     }
-    if let Some(w) = parse_or("--workers", "worker count") {
+    if let Some(w) = p
+        .parsed::<u64>("--workers", "worker count")
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage(2);
+        })
+    {
         if !(1..=64).contains(&w) {
             eprintln!("bad worker count: {w} (expected 1..=64)");
             usage(2);
         }
         cfg.workers = w as usize;
     }
-    if let Some(label) = flag("--cc") {
+    if let Some(label) = p.value("--cc") {
         cfg.cc = engines::CcPolicy::parse(label).unwrap_or_else(|| {
             eprintln!(
                 "bad cc protocol: {label} (default|2pl-nowait|2pl-waitdie|part-serial|occ|mvto)"
@@ -341,7 +459,7 @@ fn run_chaos(args: &[String]) -> ! {
             usage(2);
         });
     }
-    if args.iter().any(|a| a == "--smoke") {
+    if p.has("--smoke") {
         cfg.window = Some(microarch::WindowSpec {
             warmup: 40,
             measured: 120,
@@ -350,7 +468,8 @@ fn run_chaos(args: &[String]) -> ! {
     }
 
     let report = bench::chaos::run(&cfg);
-    let out_dir = flag("--out")
+    let out_dir = p
+        .value("--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| repo_root().join("results"));
     let art = bench::chaos::write_artifacts(&report, &cfg, &out_dir);
@@ -450,6 +569,7 @@ fn usage(code: i32) -> ! {
     eprintln!(
         "       bench cc-grid [--smoke] [--out <path>]     # CC protocol x contention sweep -> CSV"
     );
+    eprintln!("       bench serve [system] [workload] [--connections N] [--pool P] [--queue-cap Q] [--batch B] [--intake I] [--seed S] [--smoke] [--out <csv>]");
     std::process::exit(code);
 }
 

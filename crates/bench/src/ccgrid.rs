@@ -14,7 +14,7 @@
 
 use std::sync::Mutex;
 
-use engines::{build_system_cc, SystemKind};
+use engines::{SystemBuilder, SystemKind};
 use microarch::{measure_workers, Measurement, Pacing, WindowSpec};
 use oltp::cc::CcPolicy;
 use oltp::retry::{classify, Backoff, ErrorClass, RetryPolicy};
@@ -262,7 +262,11 @@ pub fn run_cell(
         .ops_per_txn(cfg.ops_per_txn)
         .flash_sale(cell.flash_sale)
         .seed(cfg.seed);
-    let mut db = build_system_cc(system, &sim, 1, policy);
+    let mut db = SystemBuilder::new(system)
+        .cores(workers)
+        .partitions(1)
+        .cc(policy)
+        .build(&sim);
     sim.offline(|| w.setup(&mut *db, workers));
     sim.warm_data();
 

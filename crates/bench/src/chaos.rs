@@ -45,7 +45,7 @@ use std::io::BufWriter;
 use std::path::Path;
 use std::sync::Mutex;
 
-use engines::{build_system_cc, CcPolicy, SystemKind};
+use engines::{CcPolicy, SystemBuilder, SystemKind};
 use faults::FaultPlan;
 use microarch::{measure_workers, Measurement, Pacing, WindowSpec};
 use obs::json::Json;
@@ -266,7 +266,11 @@ pub fn run(cfg: &ChaosCfg) -> ChaosReport {
     let quiesced = faults::quiesce();
 
     let sim = Sim::new(MachineConfig::ivy_bridge(workers));
-    let mut db = build_system_cc(cfg.system, &sim, workers, cfg.cc);
+    let mut db = SystemBuilder::new(cfg.system)
+        .cores(workers)
+        .partitions(workers)
+        .cc(cfg.cc)
+        .build(&sim);
 
     // The oracle table: KEYS_PER_WORKER rows per worker, inserted through
     // that worker's session so partitioned engines keep them single-site.

@@ -17,6 +17,7 @@ use workloads::tpce::TpcEScale;
 use workloads::{DbSize, MicroBench, TpcB, TpcC, TpcE, Workload};
 
 pub mod ablations;
+pub mod args;
 pub mod ccgrid;
 pub mod chaos;
 pub mod diff;
@@ -25,6 +26,7 @@ pub mod metrics_report;
 pub mod modules_report;
 pub mod perf;
 pub mod scaling;
+pub mod serve;
 pub mod suite;
 pub mod trace;
 

@@ -18,8 +18,19 @@
 
 use std::path::PathBuf;
 
+use bench::args::{self, Parsed, Spec};
 use bench::figures::{Fig, Figures};
 use bench::suite;
+
+/// Parse this subcommand's trailing arguments with the shared parser;
+/// unknown flags exit 2 instead of being silently ignored.
+fn parse_figures_args(cmd: &str, specs: &[Spec]) -> Parsed {
+    let argv: Vec<String> = std::env::args().skip(2).collect();
+    args::parse(&format!("figures {cmd}"), &argv, specs).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "help".into());
@@ -35,8 +46,8 @@ fn main() {
             return;
         }
         "scaling" => {
-            let smoke = std::env::args().any(|a| a == "--smoke");
-            print!("{}", bench::scaling::run(&repo_root(), smoke));
+            let p = parse_figures_args("scaling", &[Spec::flag("--smoke")]);
+            print!("{}", bench::scaling::run(&repo_root(), p.has("--smoke")));
             return;
         }
         "fig1" => Some(Fig::Scalar(f.fig_ipc_vs_size(true))),
@@ -119,15 +130,16 @@ fn main() {
             return;
         }
         "record" => {
-            record(&std::env::args().collect::<Vec<_>>());
+            record();
             return;
         }
         "diff" => {
-            diff(&std::env::args().collect::<Vec<_>>());
+            diff();
             return;
         }
         "cc" => {
-            let smoke = std::env::args().any(|a| a == "--smoke");
+            let p = parse_figures_args("cc", &[Spec::flag("--smoke")]);
+            let smoke = p.has("--smoke");
             let cfg = if smoke {
                 bench::ccgrid::CcGridCfg::smoke()
             } else {
@@ -177,8 +189,9 @@ fn main() {
 
 /// `figures record <system> <workload> <out.json>` — run one traced point
 /// and persist it as a [`bench::diff::RunRecord`].
-fn record(args: &[String]) {
-    let (Some(sys_arg), Some(wl_arg), Some(out)) = (args.get(2), args.get(3), args.get(4)) else {
+fn record() {
+    let p = parse_figures_args("record", &[]);
+    let (Some(sys_arg), Some(wl_arg), Some(out)) = (p.pos(0), p.pos(1), p.pos(2)) else {
         eprintln!("usage: figures record <system> <workload> <out.json>");
         std::process::exit(2);
     };
@@ -210,23 +223,20 @@ fn record(args: &[String]) {
 
 /// `figures diff <a.json> <b.json> [--threshold PCT]` — differential
 /// top-down decomposition, with a CI regression gate on throughput.
-fn diff(args: &[String]) {
-    let (Some(a_path), Some(b_path)) = (args.get(2), args.get(3)) else {
+fn diff() {
+    let p = parse_figures_args("diff", &[Spec::value("--threshold")]);
+    let (Some(a_path), Some(b_path)) = (p.pos(0), p.pos(1)) else {
         eprintln!("usage: figures diff <a.json> <b.json> [--threshold PCT]");
         std::process::exit(2);
     };
-    let threshold: f64 = args
-        .iter()
-        .position(|a| a == "--threshold")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("bad threshold: {v}");
-                std::process::exit(2);
-            })
+    let threshold: f64 = p
+        .parsed("--threshold", "threshold")
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
         })
         .unwrap_or(10.0);
-    let load = |p: &String| {
+    let load = |p: &str| {
         bench::diff::RunRecord::load(&PathBuf::from(p)).unwrap_or_else(|e| {
             eprintln!("cannot load run record: {e}");
             std::process::exit(2);

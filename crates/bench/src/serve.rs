@@ -1,0 +1,260 @@
+//! `bench serve` — drive an engine through the wire-protocol service
+//! front end and report the service-path stall breakdown next to the
+//! paper's direct-driver numbers.
+//!
+//! The smoke configuration is the acceptance gate for the service
+//! layer: ten thousand simulated client connections multiplexed onto at
+//! most eight engine sessions, every front-end stage accounted for by
+//! `obs` spans (the per-phase self counts must sum exactly to the
+//! measured window), admission control observably shedding, and
+//! throughput within 25% of the matched direct-session driver.
+
+use std::fmt::Write as _;
+
+use service::{AdmissionPolicy, ServeReport, ServiceBuilder, WorkloadFactory};
+
+use crate::WorkloadCfg;
+use engines::SystemKind;
+use microarch::WindowSpec;
+
+/// Configuration for one serve run.
+#[derive(Clone, Debug)]
+pub struct ServeCfg {
+    /// Engine under service.
+    pub system: SystemKind,
+    /// Workload executed per admitted request.
+    pub workload: WorkloadCfg,
+    /// Workload CLI name; doubles as the prepared-statement name the
+    /// clients Parse.
+    pub workload_name: String,
+    /// Simulated client connections.
+    pub connections: usize,
+    /// Engine sessions in the pool (== simulated cores).
+    pub pool: usize,
+    /// Admission queue cap per core.
+    pub queue_cap: usize,
+    /// Executions coalesced per core per turn.
+    pub batch: usize,
+    /// Connections polled per core per turn.
+    pub intake: usize,
+    /// Client jitter seed.
+    pub seed: u64,
+    /// Pinned smoke window + acceptance thresholds.
+    pub smoke: bool,
+}
+
+impl ServeCfg {
+    /// Defaults matching the service builder's.
+    pub fn new(system: SystemKind, workload: WorkloadCfg, name: &str) -> Self {
+        ServeCfg {
+            system,
+            workload,
+            workload_name: name.to_string(),
+            connections: 10_000,
+            pool: 4,
+            queue_cap: 64,
+            batch: 4,
+            intake: 8,
+            seed: 0xC0FFEE,
+            smoke: false,
+        }
+    }
+}
+
+/// Execute the run. Smoke pins the window (ignoring `IMOLTP_SCALE`) so
+/// the ≥10k-connection coverage guarantee holds regardless of CI's
+/// scale-down; normal runs scale like every other bench command.
+pub fn run(cfg: &ServeCfg) -> ServeReport {
+    let wl = cfg.workload.clone();
+    let factory: WorkloadFactory = Box::new(move || wl.build());
+    let (window, intake) = if cfg.smoke {
+        (
+            WindowSpec {
+                warmup: 300,
+                measured: 600,
+                reps: 1,
+            },
+            cfg.intake.max(12),
+        )
+    } else {
+        (
+            WindowSpec {
+                warmup: 400,
+                measured: 800,
+                reps: 2,
+            }
+            .scaled(crate::scale_factor()),
+            cfg.intake,
+        )
+    };
+    ServiceBuilder::new(cfg.system, cfg.workload_name.as_str(), factory)
+        .connections(cfg.connections)
+        .pool(cfg.pool)
+        .admission(AdmissionPolicy {
+            queue_cap: cfg.queue_cap,
+        })
+        .batch(cfg.batch)
+        .intake(intake)
+        .seed(cfg.seed)
+        .window(window)
+        .build()
+        .run()
+}
+
+/// Human-readable report: run summary, the per-stage breakdown, and the
+/// direct-driver comparison.
+pub fn render(r: &ServeReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== service path: {} / {} / {} connections on {} session(s) ==",
+        r.system.label(),
+        r.stmt,
+        r.connections,
+        r.sessions
+    );
+    let _ = writeln!(
+        out,
+        "turns {}  tps(served) {:.0}  ipc {:.2}  frontend {:.1}%",
+        r.measurement.txns,
+        r.tps_served,
+        r.measurement.ipc,
+        frontend_pct(r)
+    );
+    let _ = writeln!(
+        out,
+        "executed {}  committed {}  errors {}  starved turns {}",
+        r.executed, r.committed, r.exec_errors, r.starved_turns
+    );
+    let _ = writeln!(
+        out,
+        "admitted {}  shed {}  queue high-water {}/{}",
+        r.admitted, r.shed, r.queue_high_water, r.queue_cap
+    );
+    let _ = writeln!(
+        out,
+        "pool: checkouts {}  busy {}  reopens {}",
+        r.pool.checkouts, r.pool.busy, r.pool.reopens
+    );
+    let _ = writeln!(
+        out,
+        "conns served {}  conns committed {}  digest {:#018x}",
+        r.conns_served, r.conns_committed, r.digest
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>9} {:>12} {:>13} {:>7}",
+        "stage", "spans", "instr", "cycles", "share"
+    );
+    for s in r.stage_rows() {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>9} {:>12} {:>13.0} {:>6.1}%",
+            format!("{}:{}", s.engine, s.phase),
+            s.count,
+            s.instructions,
+            s.cycles,
+            s.share * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "unattributed instructions: {}",
+        r.unattributed_instructions
+    );
+    if let (Some(d), Some(ratio)) = (&r.direct, r.tps_ratio()) {
+        let _ = writeln!(
+            out,
+            "direct driver: tps {:.0}  ipc {:.2}  -> service at {:.0}% of direct",
+            d.tps,
+            d.ipc,
+            ratio * 100.0
+        );
+    }
+    out
+}
+
+/// The per-stage breakdown as CSV (one row per span phase, plus the
+/// direct-driver total for context).
+pub fn to_csv(r: &ServeReport) -> String {
+    let mut out = String::from("engine,phase,spans,instructions,cycles,share\n");
+    for s in r.stage_rows() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.0},{:.4}",
+            s.engine, s.phase, s.count, s.instructions, s.cycles, s.share
+        );
+    }
+    if let Some(d) = &r.direct {
+        let _ = writeln!(
+            out,
+            "direct,total,{},{},{:.0},1.0000",
+            d.txns, d.counts.instructions, d.cycles
+        );
+    }
+    out
+}
+
+fn frontend_pct(r: &ServeReport) -> f64 {
+    r.frontend_share() * 100.0
+}
+
+/// The acceptance gate behind `bench serve --smoke`.
+pub fn smoke_check(r: &ServeReport) -> Result<(), String> {
+    if r.connections < 10_000 {
+        return Err(format!(
+            "smoke must drive >= 10000 connections, got {}",
+            r.connections
+        ));
+    }
+    if r.sessions > 8 {
+        return Err(format!(
+            "smoke must stay on <= 8 engine sessions, got {}",
+            r.sessions
+        ));
+    }
+    if r.unattributed_instructions != 0 {
+        return Err(format!(
+            "exactness violated: {} instructions outside all service-path spans",
+            r.unattributed_instructions
+        ));
+    }
+    if r.conns_served < r.connections as u64 {
+        return Err(format!(
+            "only {}/{} connections were ever served",
+            r.conns_served, r.connections
+        ));
+    }
+    if r.committed == 0 {
+        return Err("no transaction committed through the service path".into());
+    }
+    if r.shed == 0 {
+        return Err("admission control never shed; the smoke is not loading the queue".into());
+    }
+    if r.starved_turns != 0 {
+        return Err(format!(
+            "{} measured turns ran under-batch; throughput comparison is invalid",
+            r.starved_turns
+        ));
+    }
+    for phase in ["parse", "dispatch", "respond"] {
+        if !r
+            .stage_rows()
+            .iter()
+            .any(|s| s.engine == "svc" && s.phase == phase)
+        {
+            return Err(format!("missing svc/{phase} stage in the breakdown"));
+        }
+    }
+    match r.tps_ratio() {
+        None => return Err("smoke requires the direct-driver comparison".into()),
+        Some(ratio) if ratio < 0.75 => {
+            return Err(format!(
+                "service path at {:.0}% of the direct driver (needs >= 75%)",
+                ratio * 100.0
+            ));
+        }
+        Some(_) => {}
+    }
+    Ok(())
+}

@@ -45,6 +45,7 @@
 //! assert!(sim.counters(0).instructions > 0);
 //! ```
 
+pub mod builder;
 pub mod common;
 pub mod dbms_d;
 pub mod dbms_m;
@@ -52,7 +53,10 @@ pub mod hyper;
 pub mod shore_mt;
 pub mod voltdb;
 
-pub use common::{build_system, build_system_cc, DbmsMIndex, SystemKind};
+pub use builder::SystemBuilder;
+#[allow(deprecated)]
+pub use common::build_system_cc;
+pub use common::{build_system, DbmsMIndex, SystemKind};
 pub use dbms_d::DbmsD;
 pub use dbms_m::{DbmsM, DbmsMOptions};
 pub use hyper::HyPer;

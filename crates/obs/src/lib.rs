@@ -50,6 +50,9 @@ use uarch_sim::Sim;
 /// The transaction phases the paper's breakdown distinguishes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
+    /// Wire-frame decode and request validation in the service front end
+    /// (before a transaction exists).
+    Parse,
     /// Whole transaction (opened by the driver around each `exec`).
     Txn,
     /// Network receive, parsing, planning, transaction begin — everything
@@ -65,11 +68,15 @@ pub enum Phase {
     Log,
     /// Commit protocol: log flush decision, lock release, cleanup.
     Commit,
+    /// Response-frame encode and delivery in the service front end (after
+    /// the transaction has committed or aborted).
+    Respond,
 }
 
 impl Phase {
     /// All phases in display order.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 9] = [
+        Phase::Parse,
         Phase::Txn,
         Phase::Dispatch,
         Phase::Index,
@@ -77,11 +84,13 @@ impl Phase {
         Phase::Storage,
         Phase::Log,
         Phase::Commit,
+        Phase::Respond,
     ];
 
     /// Stable lowercase identifier (JSON field values, CLI args).
     pub fn label(self) -> &'static str {
         match self {
+            Phase::Parse => "parse",
             Phase::Txn => "txn",
             Phase::Dispatch => "dispatch",
             Phase::Index => "index",
@@ -89,6 +98,7 @@ impl Phase {
             Phase::Storage => "storage",
             Phase::Log => "log",
             Phase::Commit => "commit",
+            Phase::Respond => "respond",
         }
     }
 }

@@ -95,6 +95,55 @@ impl std::fmt::Display for OltpError {
 
 impl std::error::Error for OltpError {}
 
+impl OltpError {
+    /// Stable five-character error code, SQLSTATE-style. This is the
+    /// wire-protocol contract: codes never change across releases even if
+    /// variant names or payloads do, so clients may match on them. Codes
+    /// follow the PostgreSQL classes where one fits (`40001` is the
+    /// standard serialization failure, `40P01` the deadlock victim,
+    /// `08006` the broken connection); repo-specific conditions use the
+    /// implementation-defined `58xxx`/`0Axxx` space.
+    pub fn code(&self) -> &'static str {
+        match self {
+            OltpError::DuplicateKey { .. } => "23505",
+            OltpError::NoSuchTable(_) => "42P01",
+            OltpError::NoActiveTxn => "25P01",
+            OltpError::Aborted(_) => "40000",
+            OltpError::Conflict { .. } => "40001",
+            OltpError::DeadlockVictim { .. } => "40P01",
+            OltpError::ValidationFailed { .. } => "40002",
+            OltpError::Unsupported(_) => "0A000",
+            OltpError::LatchTimeout(_) => "55P03",
+            OltpError::LogWriteFailed(_) => "58030",
+            OltpError::SessionPoisoned => "08006",
+        }
+    }
+
+    /// Inverse of [`OltpError::code`] for the client side of the wire
+    /// protocol: reconstruct a canonical error from a received code so
+    /// `retry::classify` sees the same retryability the server intended.
+    /// Key/table payloads are not carried by the code; reconstructed
+    /// variants use zeroed keys and a `"remote"` site. Unknown codes map
+    /// to `None` (callers should treat them as fatal).
+    pub fn from_code(code: &str) -> Option<OltpError> {
+        let t = TableId(0);
+        Some(match code {
+            "23505" => OltpError::DuplicateKey { table: t, key: 0 },
+            "42P01" => OltpError::NoSuchTable(t),
+            "25P01" => OltpError::NoActiveTxn,
+            "40000" => OltpError::Aborted("remote"),
+            "40001" => OltpError::Conflict { table: t, key: 0 },
+            "40P01" => OltpError::DeadlockVictim { table: t, key: 0 },
+            "40002" => OltpError::ValidationFailed { table: t, key: 0 },
+            "0A000" => OltpError::Unsupported("remote"),
+            "55P03" => OltpError::LatchTimeout("remote"),
+            "58030" => OltpError::LogWriteFailed("remote"),
+            "08006" => OltpError::SessionPoisoned,
+            _ => return None,
+        })
+    }
+}
+
 /// Engine result type.
 pub type OltpResult<T> = Result<T, OltpError>;
 
@@ -254,5 +303,67 @@ mod tests {
             key: 5,
         };
         assert_eq!(vf.to_string(), "validation failed on key 5 in table 2");
+    }
+
+    /// One instance of every variant, for exhaustive code-mapping checks.
+    fn all_variants() -> Vec<OltpError> {
+        let t = TableId(1);
+        vec![
+            OltpError::DuplicateKey { table: t, key: 1 },
+            OltpError::NoSuchTable(t),
+            OltpError::NoActiveTxn,
+            OltpError::Aborted("x"),
+            OltpError::Conflict { table: t, key: 1 },
+            OltpError::DeadlockVictim { table: t, key: 1 },
+            OltpError::ValidationFailed { table: t, key: 1 },
+            OltpError::Unsupported("x"),
+            OltpError::LatchTimeout("x"),
+            OltpError::LogWriteFailed("x"),
+            OltpError::SessionPoisoned,
+        ]
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_unique() {
+        // Pinned: these exact strings are the wire contract.
+        assert_eq!(OltpError::SessionPoisoned.code(), "08006");
+        assert_eq!(
+            OltpError::Conflict {
+                table: TableId(0),
+                key: 0
+            }
+            .code(),
+            "40001"
+        );
+        let codes: Vec<_> = all_variants().iter().map(|e| e.code()).collect();
+        let mut uniq = codes.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), codes.len(), "codes must be unique: {codes:?}");
+    }
+
+    #[test]
+    fn from_code_round_trips_every_variant() {
+        for e in all_variants() {
+            let back = OltpError::from_code(e.code()).expect("known code");
+            // The reconstructed error must map back to the same code (the
+            // payloads are lossy by design).
+            assert_eq!(back.code(), e.code(), "{e:?} -> {back:?}");
+            assert_eq!(
+                std::mem::discriminant(&back),
+                std::mem::discriminant(&e),
+                "{e:?} -> {back:?}"
+            );
+        }
+        assert_eq!(OltpError::from_code("99999"), None);
+    }
+
+    #[test]
+    fn error_codes_preserve_retry_class_through_the_wire() {
+        use crate::retry::classify;
+        for e in all_variants() {
+            let back = OltpError::from_code(e.code()).unwrap();
+            assert_eq!(classify(&back), classify(&e), "{e:?}");
+        }
     }
 }

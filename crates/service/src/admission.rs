@@ -1,0 +1,118 @@
+//! Admission control: the bounded per-core execute queue.
+//!
+//! Between parse and execute sits one FIFO per core. `try_enqueue`
+//! refuses work once the queue holds `cap` tickets — the caller answers
+//! [`crate::Response::Busy`] (retryable on the client, see
+//! [`crate::wire::busy_error`]) instead of letting latency grow without
+//! bound. The queue is owned by its core's dispatch loop, so it needs no
+//! lock; the loop mirrors the counters into `obs::metrics` gauges.
+
+/// Admission policy for one service instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Maximum queued execute tickets per core before load-shedding.
+    pub queue_cap: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy { queue_cap: 64 }
+    }
+}
+
+/// Rejection marker: the queue was full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shed {
+    /// Queue depth observed at rejection.
+    pub depth: u32,
+}
+
+/// A bounded FIFO of admitted work for one core.
+#[derive(Debug)]
+pub struct CoreQueue<T> {
+    q: std::collections::VecDeque<T>,
+    cap: usize,
+    admitted: u64,
+    shed: u64,
+    high_water: usize,
+}
+
+impl<T> CoreQueue<T> {
+    /// An empty queue bounded by `policy.queue_cap`.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        assert!(policy.queue_cap >= 1, "queue cap must be >= 1");
+        CoreQueue {
+            q: std::collections::VecDeque::with_capacity(policy.queue_cap),
+            cap: policy.queue_cap,
+            admitted: 0,
+            shed: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Admit `item`, or shed it if the queue is at capacity.
+    pub fn try_enqueue(&mut self, item: T) -> Result<(), Shed> {
+        if self.q.len() >= self.cap {
+            self.shed += 1;
+            return Err(Shed {
+                depth: self.q.len() as u32,
+            });
+        }
+        self.q.push_back(item);
+        self.admitted += 1;
+        self.high_water = self.high_water.max(self.q.len());
+        Ok(())
+    }
+
+    /// Pop the oldest admitted item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.q.pop_front()
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Items admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Items shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Deepest the queue has been.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// The configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_past_capacity_and_drains_fifo() {
+        let mut q = CoreQueue::new(AdmissionPolicy { queue_cap: 2 });
+        q.try_enqueue(1).unwrap();
+        q.try_enqueue(2).unwrap();
+        assert_eq!(q.try_enqueue(3), Err(Shed { depth: 2 }));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_enqueue(4).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.admitted(), 3);
+        assert_eq!(q.shed(), 1);
+        assert_eq!(q.high_water(), 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! Wire-protocol service front end for the simulated OLTP engines.
+//!
+//! The paper's measurements drive engine sessions directly from the
+//! benchmark harness — the deployment a real system never gets. This
+//! crate adds the missing layer: a pgwire-shaped framed protocol
+//! ([`wire`]), a typed request/response API ([`request`]), a bounded
+//! per-core session pool ([`pool`]), admission control with load
+//! shedding ([`admission`]), simulated client connections ([`client`]),
+//! and the dispatch loop that multiplexes tens of thousands of those
+//! connections onto a handful of engine sessions ([`service`]) — all
+//! under the same deterministic micro-architectural harness, so `bench
+//! serve` can report exactly what the service path costs relative to
+//! the paper's direct-driver numbers.
+//!
+//! Quick start:
+//!
+//! ```no_run
+//! use service::ServiceBuilder;
+//! use engines::SystemKind;
+//! use workloads::{DbSize, MicroBench, Workload};
+//!
+//! let report = ServiceBuilder::new(
+//!     SystemKind::VoltDb,
+//!     "micro",
+//!     Box::new(|| Box::new(MicroBench::new(DbSize::Mb1)) as Box<dyn Workload>),
+//! )
+//! .connections(10_000)
+//! .pool(4)
+//! .build()
+//! .run();
+//! assert_eq!(report.unattributed_instructions, 0);
+//! ```
+
+pub mod admission;
+pub mod client;
+pub mod pool;
+pub mod request;
+pub mod service;
+pub mod wire;
+
+pub use admission::{AdmissionPolicy, CoreQueue, Shed};
+pub use client::ClientConn;
+pub use pool::{PoolStats, PooledSession, SessionPool};
+pub use request::{Request, Response};
+pub use service::{ServeReport, Service, ServiceBuilder, StageRow, WorkloadFactory};
+pub use wire::{busy_error, error_frame, frame_to_error, Frame, WireError, MAX_FRAME};

@@ -1,0 +1,380 @@
+//! Length-prefixed wire protocol — a pgwire-shaped simple-query subset.
+//!
+//! Every frame is `[tag: u8][len: u32 LE][payload: len bytes]`. Tags are
+//! single ASCII bytes in the spirit of the PostgreSQL protocol, but the
+//! client and server tag spaces are disjoint here so a single decoder
+//! serves both directions:
+//!
+//! | dir | tag | frame |
+//! |---|---|---|
+//! | C→S | `U` | [`Frame::Startup`] — open connection `conn` |
+//! | C→S | `P` | [`Frame::Parse`] — name a stored procedure |
+//! | C→S | `B` | [`Frame::Bind`] — bind integer arguments |
+//! | C→S | `X` | [`Frame::Execute`] — run the bound procedure |
+//! | C→S | `S` | [`Frame::Sync`] — end of pipeline, ask for Ready |
+//! | C→S | `T` | [`Frame::Terminate`] — close the connection |
+//! | S→C | `Z` | [`Frame::Ready`] — ready for a new pipeline |
+//! | S→C | `1` | [`Frame::ParseComplete`] |
+//! | S→C | `2` | [`Frame::BindComplete`] |
+//! | S→C | `C` | [`Frame::Complete`] — execute finished, `rows` touched |
+//! | S→C | `O` | [`Frame::Busy`] — load shed; retry after backoff |
+//! | S→C | `E` | [`Frame::Error`] — stable code + human detail |
+//!
+//! Integers are little-endian fixed width; strings are `u16`
+//! length-prefixed UTF-8. [`Frame::Error`] carries the stable
+//! [`OltpError::code`] so the client side can reconstruct a canonical
+//! error (`OltpError::from_code`) and feed it to `oltp::retry::classify`
+//! — retryability survives the wire.
+
+use oltp::OltpError;
+
+/// Upper bound on a single frame's payload; decode rejects larger claims
+/// before allocating.
+pub const MAX_FRAME: u32 = 64 * 1024;
+
+/// One protocol frame, either direction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Open simulated connection `conn` (client hello).
+    Startup { conn: u64 },
+    /// Name the stored procedure to run.
+    Parse { stmt: String },
+    /// Bind integer arguments for the parsed statement.
+    Bind { args: Vec<i64> },
+    /// Execute the bound statement.
+    Execute,
+    /// End of a pipelined batch; server answers [`Frame::Ready`].
+    Sync,
+    /// Close the connection.
+    Terminate,
+    /// Server is ready for the next pipeline.
+    Ready,
+    /// Parse accepted.
+    ParseComplete,
+    /// Bind accepted.
+    BindComplete,
+    /// Execute finished; `rows` rows were touched.
+    Complete { rows: u64 },
+    /// Admission control shed the request at queue depth `depth`.
+    /// Retryable: the client should back off and resubmit.
+    Busy { depth: u32 },
+    /// Execution failed. `code` is the stable [`OltpError::code`];
+    /// `detail` is the human-readable rendering.
+    Error { code: String, detail: String },
+}
+
+/// Decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the header or the claimed payload length.
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+    /// Payload did not match the tag's layout.
+    BadPayload(&'static str),
+    /// Claimed payload length exceeds [`MAX_FRAME`].
+    Oversize(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            WireError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+            WireError::Oversize(n) => write!(f, "frame payload {n} exceeds {MAX_FRAME}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let b = s.as_bytes();
+    put_u16(out, b.len() as u16);
+    out.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::BadPayload("non-UTF-8 string"))
+    }
+}
+
+impl Frame {
+    /// The frame's tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Startup { .. } => b'U',
+            Frame::Parse { .. } => b'P',
+            Frame::Bind { .. } => b'B',
+            Frame::Execute => b'X',
+            Frame::Sync => b'S',
+            Frame::Terminate => b'T',
+            Frame::Ready => b'Z',
+            Frame::ParseComplete => b'1',
+            Frame::BindComplete => b'2',
+            Frame::Complete { .. } => b'C',
+            Frame::Busy { .. } => b'O',
+            Frame::Error { .. } => b'E',
+        }
+    }
+
+    /// Append the encoded frame to `out`; returns the encoded length.
+    pub fn encode(&self, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        out.push(self.tag());
+        let len_at = out.len();
+        put_u32(out, 0); // patched below
+        match self {
+            Frame::Startup { conn } => put_u64(out, *conn),
+            Frame::Parse { stmt } => put_str(out, stmt),
+            Frame::Bind { args } => {
+                put_u16(out, args.len() as u16);
+                for a in args {
+                    put_u64(out, *a as u64);
+                }
+            }
+            Frame::Execute | Frame::Sync | Frame::Terminate => {}
+            Frame::Ready | Frame::ParseComplete | Frame::BindComplete => {}
+            Frame::Complete { rows } => put_u64(out, *rows),
+            Frame::Busy { depth } => put_u32(out, *depth),
+            Frame::Error { code, detail } => {
+                put_str(out, code);
+                put_str(out, detail);
+            }
+        }
+        let payload = (out.len() - len_at - 4) as u32;
+        out[len_at..len_at + 4].copy_from_slice(&payload.to_le_bytes());
+        out.len() - start
+    }
+
+    /// Decode one frame from the front of `buf`; returns the frame and
+    /// the bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+        if buf.len() < 5 {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf[0];
+        let len = u32::from_le_bytes(buf[1..5].try_into().unwrap());
+        if len > MAX_FRAME {
+            return Err(WireError::Oversize(len));
+        }
+        let total = 5 + len as usize;
+        if buf.len() < total {
+            return Err(WireError::Truncated);
+        }
+        let mut c = Cursor {
+            buf: &buf[5..total],
+            pos: 0,
+        };
+        let frame = match tag {
+            b'U' => Frame::Startup { conn: c.u64()? },
+            b'P' => Frame::Parse { stmt: c.str()? },
+            b'B' => {
+                let n = c.u16()? as usize;
+                let mut args = Vec::with_capacity(n);
+                for _ in 0..n {
+                    args.push(c.u64()? as i64);
+                }
+                Frame::Bind { args }
+            }
+            b'X' => Frame::Execute,
+            b'S' => Frame::Sync,
+            b'T' => Frame::Terminate,
+            b'Z' => Frame::Ready,
+            b'1' => Frame::ParseComplete,
+            b'2' => Frame::BindComplete,
+            b'C' => Frame::Complete { rows: c.u64()? },
+            b'O' => Frame::Busy { depth: c.u32()? },
+            b'E' => Frame::Error {
+                code: c.str()?,
+                detail: c.str()?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        if c.pos != c.buf.len() {
+            return Err(WireError::BadPayload("trailing bytes"));
+        }
+        Ok((frame, total))
+    }
+}
+
+/// Build the error frame for an engine error (stable code + rendering).
+pub fn error_frame(e: &OltpError) -> Frame {
+    Frame::Error {
+        code: e.code().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// The canonical client-side error for a load-shed [`Frame::Busy`]. Maps
+/// to `ErrorClass::Retry` under `oltp::retry::classify`, so `retry_txn`
+/// resubmits after backoff rather than giving up.
+pub fn busy_error() -> OltpError {
+    OltpError::Aborted("server busy: admission queue full")
+}
+
+/// Reconstruct the engine error a server-side frame reports, if any.
+/// [`Frame::Busy`] maps to [`busy_error`]; [`Frame::Error`] maps through
+/// [`OltpError::from_code`] (unknown codes become `Unsupported`, which
+/// classifies fatal).
+pub fn frame_to_error(frame: &Frame) -> Option<OltpError> {
+    match frame {
+        Frame::Busy { .. } => Some(busy_error()),
+        Frame::Error { code, .. } => {
+            Some(OltpError::from_code(code).unwrap_or(OltpError::Unsupported("unknown error code")))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oltp::retry::{classify, ErrorClass};
+    use oltp::TableId;
+
+    fn round_trip(f: Frame) {
+        let mut buf = Vec::new();
+        let n = f.encode(&mut buf);
+        assert_eq!(n, buf.len());
+        let (back, used) = Frame::decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        round_trip(Frame::Startup { conn: 987654321 });
+        round_trip(Frame::Parse {
+            stmt: "micro".into(),
+        });
+        round_trip(Frame::Bind {
+            args: vec![1, -5, i64::MAX],
+        });
+        round_trip(Frame::Execute);
+        round_trip(Frame::Sync);
+        round_trip(Frame::Terminate);
+        round_trip(Frame::Ready);
+        round_trip(Frame::ParseComplete);
+        round_trip(Frame::BindComplete);
+        round_trip(Frame::Complete { rows: 42 });
+        round_trip(Frame::Busy { depth: 64 });
+        round_trip(Frame::Error {
+            code: "40001".into(),
+            detail: "conflict on key 7 in table 1".into(),
+        });
+    }
+
+    #[test]
+    fn frames_decode_back_to_back() {
+        let mut buf = Vec::new();
+        Frame::Parse {
+            stmt: "micro".into(),
+        }
+        .encode(&mut buf);
+        Frame::Bind { args: vec![] }.encode(&mut buf);
+        Frame::Execute.encode(&mut buf);
+        Frame::Sync.encode(&mut buf);
+        let mut at = 0;
+        let mut tags = Vec::new();
+        while at < buf.len() {
+            let (f, used) = Frame::decode(&buf[at..]).unwrap();
+            tags.push(f.tag());
+            at += used;
+        }
+        assert_eq!(tags, [b'P', b'B', b'X', b'S']);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Frame::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(Frame::decode(&[b'Z', 0, 0]), Err(WireError::Truncated));
+        assert_eq!(
+            Frame::decode(&[b'?', 0, 0, 0, 0]),
+            Err(WireError::BadTag(b'?'))
+        );
+        // Oversize claim rejected before any allocation.
+        let mut huge = vec![b'P'];
+        huge.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(
+            Frame::decode(&huge),
+            Err(WireError::Oversize(MAX_FRAME + 1))
+        );
+        // Trailing bytes in a fixed-layout payload.
+        let mut pad = vec![b'X'];
+        pad.extend_from_slice(&2u32.to_le_bytes());
+        pad.extend_from_slice(&[0, 0]);
+        assert_eq!(
+            Frame::decode(&pad),
+            Err(WireError::BadPayload("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn error_frames_preserve_retry_class() {
+        let conflict = OltpError::Conflict {
+            table: TableId(1),
+            key: 7,
+        };
+        let f = error_frame(&conflict);
+        let back = frame_to_error(&f).unwrap();
+        assert_eq!(classify(&back), classify(&conflict));
+        assert_eq!(back.code(), "40001");
+
+        let poisoned = error_frame(&OltpError::SessionPoisoned);
+        assert_eq!(
+            classify(&frame_to_error(&poisoned).unwrap()),
+            ErrorClass::Reopen
+        );
+    }
+
+    #[test]
+    fn busy_is_retryable() {
+        assert_eq!(classify(&busy_error()), ErrorClass::Retry);
+        let f = Frame::Busy { depth: 9 };
+        assert_eq!(classify(&frame_to_error(&f).unwrap()), ErrorClass::Retry);
+    }
+}

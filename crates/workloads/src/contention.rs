@@ -300,7 +300,7 @@ impl Workload for Contention {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use engines::{build_system_cc, CcPolicy, SystemKind};
+    use engines::{CcPolicy, SystemBuilder, SystemKind};
     use uarch_sim::{MachineConfig, Sim};
 
     #[test]
@@ -334,7 +334,7 @@ mod tests {
         for policy in [CcPolicy::EngineDefault, CcPolicy::Occ] {
             for kind in SystemKind::ALL {
                 let sim = Sim::new(MachineConfig::ivy_bridge(1));
-                let mut db = build_system_cc(kind, &sim, 1, policy);
+                let mut db = SystemBuilder::new(kind).cc(policy).build(&sim);
                 let mut w = Contention::new().rows(256).theta(0.9).seed(3);
                 sim.offline(|| w.setup(db.as_mut(), 1));
                 let mut s = db.session(0);
@@ -349,7 +349,9 @@ mod tests {
     #[test]
     fn payload_sizes_round_trip() {
         let sim = Sim::new(MachineConfig::ivy_bridge(1));
-        let mut db = build_system_cc(SystemKind::HyPer, &sim, 1, CcPolicy::TwoPlNoWait);
+        let mut db = SystemBuilder::new(SystemKind::HyPer)
+            .cc(CcPolicy::TwoPlNoWait)
+            .build(&sim);
         let mut w = Contention::new().rows(64).payload(64).read_ratio(0.0);
         sim.offline(|| w.setup(db.as_mut(), 1));
         let mut s = db.session(0);
