@@ -7,10 +7,11 @@
 //!                                             # file (component: total|instr|data|l1i|...)
 //! bench metrics [system] [workload] [--smoke] # metrics-registry run + Prometheus/JSON export
 //! bench perf [--smoke] [--check <baseline>]   # simulator micro-benchmark -> results/perf.json
-//! bench chaos <system> <workload> [--seed N] [--fault-rate R] [--workers W]
+//! bench chaos <system> <workload> [--seed N] [--fault-rate R] [--workers W] [--sockets S]
 //!             [--smoke] [--plan <manifest.json>] [--out <dir>]
 //!                                             # fault-injection run + replayable manifest
 //! bench cc-grid [--smoke] [--out <path>]      # CC protocol x contention sweep -> CSV
+//! bench islands [--smoke] [--out <path>]      # NUMA placement x cross-socket mix grid -> CSV
 //! bench serve [system] [workload] [--connections N] [--pool P] [--queue-cap Q]
 //!             [--batch B] [--intake I] [--seed S] [--smoke] [--out <csv>]
 //!                                             # wire-protocol service front end run
@@ -71,6 +72,7 @@ fn main() {
         Some("perf") => run_perf(rest),
         Some("chaos") => run_chaos(rest),
         Some("cc-grid") => run_ccgrid(rest),
+        Some("islands") => run_islands(rest),
         Some("serve") => run_serve(rest),
         Some("help") | None => usage(0),
         Some(other) => {
@@ -244,6 +246,42 @@ fn run_ccgrid(argv: &[String]) {
     println!("cc-grid OK ({} cells)", rows.len());
 }
 
+/// `bench islands`: the multi-socket deployment grid (placement x
+/// local/cross-socket mix x engine). Writes the CSV and exits nonzero if
+/// the Hardware Islands ordering does not hold.
+fn run_islands(argv: &[String]) {
+    let p = parse_or_usage(
+        "islands",
+        argv,
+        &[Spec::flag("--smoke"), Spec::value("--out")],
+    );
+    limit_positionals(&p, 0, "islands");
+    let smoke = p.has("--smoke");
+    let rows = bench::islands::islands_grid(smoke);
+    print!("{}", bench::islands::render(&rows));
+    // Without --out, smoke runs write beside the exemplar rather than
+    // over it: the committed islands.csv is the full grid.
+    let default_name = if smoke {
+        "islands_smoke.csv"
+    } else {
+        "islands.csv"
+    };
+    let out = p
+        .value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("results").join(default_name));
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, bench::islands::render_csv(&rows)).expect("write islands csv");
+    println!("wrote {}", out.display());
+    if let Err(e) = bench::islands::smoke_check(&rows) {
+        eprintln!("FAIL: {e}");
+        std::process::exit(1);
+    }
+    println!("islands OK ({} cells)", rows.len());
+}
+
 /// `bench serve`: drive the wire-protocol service front end and report
 /// the service-path breakdown vs the direct driver. `--smoke` pins the
 /// acceptance configuration (>= 10k connections on <= 8 sessions) and
@@ -348,6 +386,7 @@ fn run_chaos(argv: &[String]) -> ! {
             Spec::value("--seed"),
             Spec::value("--fault-rate"),
             Spec::value("--workers"),
+            Spec::value("--sockets"),
             Spec::value("--cc"),
             Spec::value("--plan"),
             Spec::value("--out"),
@@ -411,6 +450,11 @@ fn run_chaos(argv: &[String]) -> ! {
         if let Some(w) = rnum("workers") {
             cfg.workers = w as usize;
         }
+        // Tolerant parse: manifests recorded before the multi-socket
+        // harness have no "sockets" field and replay on one socket.
+        if let Some(s) = rnum("sockets") {
+            cfg.sockets = (s as usize).max(1);
+        }
         if let Some(win) = m.get("window") {
             let f = |k: &str| win.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
             cfg.window = Some(microarch::WindowSpec {
@@ -450,6 +494,26 @@ fn run_chaos(argv: &[String]) -> ! {
             usage(2);
         }
         cfg.workers = w as usize;
+    }
+    if let Some(s) = p
+        .parsed::<u64>("--sockets", "socket count")
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage(2);
+        })
+    {
+        if !(1..=8).contains(&s) {
+            eprintln!("bad socket count: {s} (expected 1..=8)");
+            usage(2);
+        }
+        cfg.sockets = s as usize;
+    }
+    if !cfg.workers.is_multiple_of(cfg.sockets) {
+        eprintln!(
+            "worker count ({}) must divide evenly across {} socket(s)",
+            cfg.workers, cfg.sockets
+        );
+        usage(2);
     }
     if let Some(label) = p.value("--cc") {
         cfg.cc = engines::CcPolicy::parse(label).unwrap_or_else(|| {
@@ -568,6 +632,9 @@ fn usage(code: i32) -> ! {
     eprintln!("       bench chaos <system> <workload> [--seed N] [--fault-rate R] [--workers W] [--cc <protocol>] [--smoke] [--plan <manifest.json>] [--out <dir>]");
     eprintln!(
         "       bench cc-grid [--smoke] [--out <path>]     # CC protocol x contention sweep -> CSV"
+    );
+    eprintln!(
+        "       bench islands [--smoke] [--out <path>]     # NUMA placement x cross-socket mix grid -> CSV"
     );
     eprintln!("       bench serve [system] [workload] [--connections N] [--pool P] [--queue-cap Q] [--batch B] [--intake I] [--seed S] [--smoke] [--out <csv>]");
     std::process::exit(code);

@@ -79,6 +79,12 @@ pub struct ChaosCfg {
     pub fault_rate: f64,
     /// Worker threads (= simulated cores = partitions).
     pub workers: usize,
+    /// Sockets of the simulated machine (`workers` must divide evenly
+    /// across them). 1 — the default — is bit-identical to the historical
+    /// single-socket harness; more sockets deploy the engine island-style
+    /// (each partition homed with its worker), so `core/offline` faults on
+    /// the upper worker range hit a remote socket.
+    pub sockets: usize,
     /// Measurement window; `None` uses the chaos default scaled by
     /// `IMOLTP_SCALE`.
     pub window: Option<WindowSpec>,
@@ -103,6 +109,7 @@ impl ChaosCfg {
             seed: 1,
             fault_rate: 0.05,
             workers: 2,
+            sockets: 1,
             window: None,
             policy: RetryPolicy::default(),
             plan_override: None,
@@ -265,11 +272,20 @@ pub fn run(cfg: &ChaosCfg) -> ChaosReport {
     // traffic passes the (feature-gated) engine hooks.
     let quiesced = faults::quiesce();
 
-    let sim = Sim::new(MachineConfig::ivy_bridge(workers));
+    let sockets = cfg.sockets.max(1);
+    assert!(
+        workers.is_multiple_of(sockets),
+        "chaos workers ({workers}) must divide evenly across {sockets} socket(s)"
+    );
+    // numa(1, n) is bit-identical to ivy_bridge(n), and Island placement
+    // is a no-op on one socket, so the default configuration reproduces
+    // every historical manifest digest exactly.
+    let sim = Sim::new(MachineConfig::numa(sockets, workers / sockets));
     let mut db = SystemBuilder::new(cfg.system)
         .cores(workers)
         .partitions(workers)
         .cc(cfg.cc)
+        .placement(engines::Placement::Island)
         .build(&sim);
 
     // The oracle table: KEYS_PER_WORKER rows per worker, inserted through
@@ -643,6 +659,7 @@ fn manifest_json(
         ("cc", Json::str(cfg.cc.label())),
         ("workload", Json::str(&cfg.workload_name)),
         ("workers", Json::u64(cfg.workers as u64)),
+        ("sockets", Json::u64(cfg.sockets.max(1) as u64)),
         (
             "window",
             Json::obj(vec![

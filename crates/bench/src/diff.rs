@@ -268,6 +268,9 @@ impl RunRecord {
                 mispredicts: u("mispredicts")?,
                 store_misses: u("store_misses")?,
                 invalidations: u("invalidations")?,
+                // Absent from records written before the NUMA topology
+                // landed; default to zero so old runs keep loading.
+                remote_accesses: u("remote_accesses").unwrap_or(0),
             })
         };
         let phases_v = v

@@ -22,6 +22,7 @@ pub mod ccgrid;
 pub mod chaos;
 pub mod diff;
 pub mod figures;
+pub mod islands;
 pub mod metrics_report;
 pub mod modules_report;
 pub mod perf;

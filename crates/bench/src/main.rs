@@ -4,6 +4,8 @@
 //! figures all            # every figure + results/*.csv + EXPERIMENTS.md
 //! figures fig1 ... fig27 # one figure as a text table
 //! figures scaling        # worker-count scaling grid + results/scaling.csv
+//! figures islands [--smoke]
+//!                        # NUMA placement x cross-socket mix grid + results/islands.csv
 //! figures cc [--smoke]   # CC protocol x contention grid + results/cc_grid.csv
 //! figures calibrate      # quick per-(system,size) metric dump
 //! figures record <system> <workload> <out.json>
@@ -49,6 +51,12 @@ fn main() {
             let p = parse_figures_args("scaling", &[Spec::flag("--smoke")]);
             print!("{}", bench::scaling::run(&repo_root(), p.has("--smoke")));
             return;
+        }
+        "islands" => {
+            let p = parse_figures_args("islands", &[Spec::flag("--smoke")]);
+            let out = bench::islands::run(&repo_root(), p.has("--smoke"));
+            print!("{out}");
+            std::process::exit(if out.contains("FAIL:") { 1 } else { 0 });
         }
         "fig1" => Some(Fig::Scalar(f.fig_ipc_vs_size(true))),
         "fig2" => Some(Fig::Stall(f.fig_spki_vs_size(true))),
@@ -177,7 +185,7 @@ fn main() {
                 eprintln!("unknown subcommand: {other}");
             }
             eprintln!(
-                "usage: figures <all|fig1..fig27|scaling [--smoke]|cc [--smoke]|checks|calibrate|phases [micro|tpcb|tpcc]|modules [micro|tpcb|tpcc]|tpce|ablations|ablation-{{llc,prefetch,simplecore,voltdb-mp,overlap}}|record <system> <workload> <out.json>|diff <a.json> <b.json> [--threshold PCT]>"
+                "usage: figures <all|fig1..fig27|scaling [--smoke]|islands [--smoke]|cc [--smoke]|checks|calibrate|phases [micro|tpcb|tpcc]|modules [micro|tpcb|tpcc]|tpce|ablations|ablation-{{llc,prefetch,simplecore,voltdb-mp,overlap}}|record <system> <workload> <out.json>|diff <a.json> <b.json> [--threshold PCT]>"
             );
             std::process::exit(if other == "help" { 0 } else { 2 });
         }

@@ -224,6 +224,34 @@ fn mixed_multi(iters_per_core: u64) -> Section {
     }
 }
 
+/// The mixed shape on a two-socket machine ([`MULTI_CORES`] cores split
+/// across two LLCs), with every allocation homed on socket 0 so socket 1's
+/// cores take the cross-socket fill path on each LLC miss: times the NUMA
+/// home classification and remote-access charging on top of the coherence
+/// machinery `mixed_multicore` already covers.
+fn mixed_numa(iters_per_core: u64) -> Section {
+    let sim = Sim::new(MachineConfig::numa(2, MULTI_CORES / 2));
+    // First-touch everything on socket 0 (the worst half-remote case).
+    sim.set_default_home(Some(0));
+    let t0 = Instant::now();
+    let per_core: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..MULTI_CORES)
+            .map(|core| {
+                let sim = sim.clone();
+                scope.spawn(move || mixed_shape(&sim, core, iters_per_core, 0x5EED + core as u64))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    Section {
+        name: "mixed_numa",
+        accesses: per_core.iter().map(|w| w.0).sum(),
+        instructions: per_core.iter().map(|w| w.1).sum(),
+        wall_secs: wall,
+    }
+}
+
 /// Run the benchmark. Smoke mode shrinks every section ~20x so CI finishes
 /// in well under a second.
 pub fn run(smoke: bool) -> PerfReport {
@@ -232,6 +260,7 @@ pub fn run(smoke: bool) -> PerfReport {
         l1_hit_loads(20_000_000 / scale),
         mixed_single(1_500_000 / scale),
         mixed_multi(600_000 / scale),
+        mixed_numa(600_000 / scale),
     ];
     PerfReport { sections }
 }
@@ -309,6 +338,7 @@ mod tests {
         assert!(r.section("l1_hit_loads").is_some());
         assert!(r.section("mixed_1core").is_some());
         assert!(r.section("mixed_multicore").is_some());
+        assert!(r.section("mixed_numa").is_some());
         for s in &r.sections {
             assert!(s.accesses_per_sec() > 0.0);
         }

@@ -166,6 +166,7 @@ impl Measurement {
             mispredicts: t.mispredicts.saturating_sub(attributed.mispredicts),
             store_misses: t.store_misses.saturating_sub(attributed.store_misses),
             invalidations: t.invalidations.saturating_sub(attributed.invalidations),
+            remote_accesses: t.remote_accesses.saturating_sub(attributed.remote_accesses),
         }
     }
 

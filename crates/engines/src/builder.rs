@@ -17,26 +17,29 @@
 //! assert_eq!(db.name(), "VoltDB");
 //! ```
 //!
-//! The old free functions remain as thin shims (`build_system_cc` is
-//! deprecated for one release) so golden-digest tests and external
-//! callers keep compiling unchanged.
+//! The plain `build_system` free function remains for the default
+//! configuration; the deprecated `build_system_cc` shim was removed once
+//! every call site migrated to the builder.
 
 use faults::FaultPlan;
 use oltp::{CcPolicy, Db};
 use uarch_sim::Sim;
 
 use crate::common::{build_system_cc_inner, SystemKind};
+use crate::placement::Placement;
 
 /// Configures and builds one engine instance on a simulator.
 ///
 /// Defaults: 1 core, one partition per core for partitioned engines
-/// (1 otherwise), [`CcPolicy::EngineDefault`], no fault plan.
+/// (1 otherwise), [`CcPolicy::EngineDefault`], [`Placement::Spread`], no
+/// fault plan.
 #[derive(Clone, Debug)]
 pub struct SystemBuilder {
     kind: SystemKind,
     cores: usize,
     partitions: Option<usize>,
     cc: CcPolicy,
+    placement: Placement,
     fault_plan: Option<FaultPlan>,
 }
 
@@ -48,6 +51,7 @@ impl SystemBuilder {
             cores: 1,
             partitions: None,
             cc: CcPolicy::EngineDefault,
+            placement: Placement::Spread,
             fault_plan: None,
         }
     }
@@ -76,6 +80,14 @@ impl SystemBuilder {
         self
     }
 
+    /// NUMA placement policy for workers and partition data (see
+    /// [`Placement`]); meaningful on multi-socket simulators, ignored on
+    /// one socket.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
     /// Attach a fault plan; [`SystemBuilder::install_faults`] arms it.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
@@ -98,7 +110,13 @@ impl SystemBuilder {
 
     /// Build the engine on `sim`.
     pub fn build(&self, sim: &Sim) -> Box<dyn Db> {
-        build_system_cc_inner(self.kind, sim, self.effective_partitions(), self.cc)
+        build_system_cc_inner(
+            self.kind,
+            sim,
+            self.effective_partitions(),
+            self.cc,
+            self.placement,
+        )
     }
 
     /// Arm the configured fault plan (if any) via the process-global

@@ -3,6 +3,8 @@
 use oltp::{CcPolicy, Db};
 use uarch_sim::Sim;
 
+use crate::placement::Placement;
+
 use crate::dbms_d::DbmsD;
 use crate::dbms_m::{DbmsM, DbmsMOptions};
 use crate::hyper::HyPer;
@@ -89,39 +91,34 @@ impl SystemKind {
 /// Build a system on `sim` with `partitions` data partitions (partitioned
 /// engines route by core; the others ignore the count beyond sizing).
 pub fn build_system(kind: SystemKind, sim: &Sim, partitions: usize) -> Box<dyn Db> {
-    build_system_cc_inner(kind, sim, partitions, CcPolicy::EngineDefault)
-}
-
-/// Build a system with an explicit concurrency-control protocol.
-/// [`CcPolicy::EngineDefault`] reproduces each engine's historical
-/// protocol bit-for-bit; any other policy swaps in the pluggable
-/// [`oltp::cc`] implementation on every engine.
-#[deprecated(
-    since = "0.8.0",
-    note = "use engines::SystemBuilder::new(kind).partitions(n).cc(policy).build(&sim)"
-)]
-pub fn build_system_cc(
-    kind: SystemKind,
-    sim: &Sim,
-    partitions: usize,
-    policy: CcPolicy,
-) -> Box<dyn Db> {
-    build_system_cc_inner(kind, sim, partitions, policy)
+    build_system_cc_inner(
+        kind,
+        sim,
+        partitions,
+        CcPolicy::EngineDefault,
+        Placement::Spread,
+    )
 }
 
 /// Shared factory body behind both [`build_system`] and
-/// [`crate::SystemBuilder`].
+/// [`crate::SystemBuilder`]. Installs the placement policy's data homes on
+/// the simulator, then hands the partitioned engines their placement so
+/// partition allocations carry the right home tag.
 pub(crate) fn build_system_cc_inner(
     kind: SystemKind,
     sim: &Sim,
     partitions: usize,
     policy: CcPolicy,
+    placement: Placement,
 ) -> Box<dyn Db> {
+    if kind.partitioned() {
+        placement.install(sim, partitions);
+    }
     match kind {
         SystemKind::ShoreMt => Box::new(ShoreMt::with_cc(sim, policy)),
         SystemKind::DbmsD => Box::new(DbmsD::with_cc(sim, policy)),
-        SystemKind::VoltDb => Box::new(VoltDb::with_cc(sim, partitions, policy)),
-        SystemKind::HyPer => Box::new(HyPer::with_cc(sim, partitions, policy)),
+        SystemKind::VoltDb => Box::new(VoltDb::with_cc_placed(sim, partitions, policy, placement)),
+        SystemKind::HyPer => Box::new(HyPer::with_cc_placed(sim, partitions, policy, placement)),
         SystemKind::DbmsM { index, compiled } => Box::new(DbmsM::with_cc(
             sim,
             DbmsMOptions { index, compiled },
@@ -160,25 +157,31 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the shim stays covered until it is removed
     fn factory_builds_every_system_under_every_protocol() {
+        use crate::SystemBuilder;
         for policy in CcPolicy::ALL {
             let sim = Sim::new(MachineConfig::ivy_bridge(1));
             for kind in SystemKind::ALL {
-                let db = build_system_cc(kind, &sim, 1, policy);
+                let db = SystemBuilder::new(kind)
+                    .partitions(1)
+                    .cc(policy)
+                    .build(&sim);
                 assert_eq!(db.name(), kind.label());
             }
         }
     }
 
     #[test]
-    #[allow(deprecated)] // the shim stays covered until it is removed
     fn crud_round_trip_under_every_protocol() {
+        use crate::SystemBuilder;
         use oltp::{run_txn, Column, DataType, Schema, TableDef, Value};
         for policy in CcPolicy::ALL {
             for kind in SystemKind::ALL {
                 let sim = Sim::new(MachineConfig::ivy_bridge(1));
-                let mut db = build_system_cc(kind, &sim, 1, policy);
+                let mut db = SystemBuilder::new(kind)
+                    .partitions(1)
+                    .cc(policy)
+                    .build(&sim);
                 let t = db.create_table(TableDef::new(
                     "t",
                     Schema::new(vec![

@@ -25,7 +25,9 @@ use oltp::{
     TableId, Value,
 };
 use storage::{LogKind, MemStore, RowId, TxnId, TxnManager, Wal};
-use uarch_sim::{CorePort, Mem, ModuleId, ModuleSpec, Sim};
+use uarch_sim::{AllocHomeGuard, CorePort, Mem, ModuleId, ModuleSpec, Sim};
+
+use crate::placement::Placement;
 
 /// Engine label on trace spans.
 const ENGINE: &str = "HyPer";
@@ -38,6 +40,10 @@ mod cost {
     pub const REDO: u64 = 200; // asynchronous redo-log append
     pub const ABORT: u64 = 110;
     pub const SCAN_NEXT: u64 = 14;
+    /// Cross-partition dispatch when the own-partition probe misses: even
+    /// compiled code pays a runtime hop to hand the fragment to another
+    /// partition (HyPer's coordination is far leaner than VoltDB's 2PC).
+    pub const MP_COORD: u64 = 900;
     /// Compiled value processing per row byte (tight generated loops).
     pub const VALUE_PER_BYTE: u64 = 2;
     /// Full-key string comparison at the ART leaf.
@@ -73,9 +79,25 @@ struct Shared {
     parts: Vec<Mutex<PartState>>,
     tm: Mutex<TxnManager>,
     metrics: obs::metrics::EngineMetrics,
+    /// NUMA placement: decides which home tag each partition's
+    /// allocations carry (no effect on single-socket machines).
+    placement: Placement,
     /// Pluggable protocol; `None` = the historical owner-claim path
     /// (bit-identical to pre-refactor builds).
     cc: Option<Arc<dyn ConcurrencyControl>>,
+}
+
+impl Shared {
+    /// Scope partition `p`'s allocations to its home-tag arena (NUMA
+    /// machines with a tagging placement only).
+    fn home_guard(&self, p: usize) -> Option<AllocHomeGuard> {
+        if self.sim.sockets() <= 1 {
+            return None;
+        }
+        self.placement
+            .partition_tag(p)
+            .map(|t| self.sim.alloc_home_guard(t))
+    }
 }
 
 /// The HyPer engine. See the module docs.
@@ -105,6 +127,18 @@ impl HyPer {
     /// [`CcPolicy::EngineDefault`] keeps the historical no-wait
     /// partition-owner claim.
     pub fn with_cc(sim: &Sim, partitions: usize, policy: CcPolicy) -> Self {
+        Self::with_cc_placed(sim, partitions, policy, Placement::Spread)
+    }
+
+    /// [`HyPer::with_cc`] with an explicit NUMA placement: partition
+    /// allocations carry the placement's home tag so a multi-socket
+    /// simulator can charge remote accesses by partition home.
+    pub fn with_cc_placed(
+        sim: &Sim,
+        partitions: usize,
+        policy: CcPolicy,
+        placement: Placement,
+    ) -> Self {
         assert!(partitions >= 1);
         let m = Mods {
             runtime: sim.register_module(
@@ -132,7 +166,12 @@ impl HyPer {
                 m,
                 defs: RwLock::new(Vec::new()),
                 parts: (0..partitions)
-                    .map(|_| {
+                    .map(|p| {
+                        // Home each partition's redo log with its data.
+                        let _h = (sim.sockets() > 1)
+                            .then(|| placement.partition_tag(p))
+                            .flatten()
+                            .map(|t| sim.alloc_home_guard(t));
                         Mutex::new(PartState {
                             tables: Vec::new(),
                             wal: Wal::new(&mem, 1 << 20, 32),
@@ -142,6 +181,7 @@ impl HyPer {
                     .collect(),
                 tm: Mutex::new(TxnManager::new()),
                 metrics: obs::metrics::EngineMetrics::new(ENGINE),
+                placement,
                 cc: oltp::cc::build(policy, partitions),
                 sim: sim.clone(),
             }),
@@ -212,6 +252,110 @@ impl HyPerSession {
             mem.exec(cost::STR_CMP);
         }
     }
+
+    /// Own-partition probe missed on a multi-socket machine: hand the
+    /// compiled fragment to the other partitions via the runtime (see
+    /// [`crate::voltdb::VoltDbSession::mp_read`] for the claim rules —
+    /// remote partitions are probed, never claimed). Single-socket
+    /// machines return `Ok(false)` untouched.
+    fn mp_read(
+        &mut self,
+        ti: usize,
+        key: u64,
+        skip: usize,
+        f: &mut dyn FnMut(&[Value]),
+    ) -> OltpResult<bool> {
+        let shared = Arc::clone(&self.shared);
+        if shared.sim.sockets() <= 1 || shared.parts.len() <= 1 {
+            return Ok(false);
+        }
+        {
+            let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
+            self.mem(shared.m.runtime).exec(cost::MP_COORD);
+        }
+        let mem = self.mem(shared.m.proc);
+        for q in 0..shared.parts.len() {
+            if q == skip {
+                continue;
+            }
+            let part = &mut *shared.parts[q].lock().unwrap();
+            mem.exec(cost::PROC_OP);
+            let probe = {
+                let _i = obs::span(ENGINE, Phase::Index, self.core);
+                part.tables[ti].index.get(&mem, key)
+            };
+            let Some(payload) = probe else { continue };
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            let mut decoded: Option<Row> = None;
+            let mut bytes = 0;
+            part.tables[ti]
+                .store
+                .read(&mem, RowId::from_u64(payload), &mut |d| {
+                    bytes = d.len();
+                    decoded = tuple::decode(d).ok();
+                });
+            self.value_work(part, ti, bytes);
+            return match decoded {
+                Some(row) => {
+                    f(&row);
+                    Ok(true)
+                }
+                None => Ok(false),
+            };
+        }
+        Ok(false)
+    }
+
+    /// [`HyPerSession::mp_read`]'s write-side twin.
+    fn mp_update(
+        &mut self,
+        ti: usize,
+        key: u64,
+        skip: usize,
+        f: &mut dyn FnMut(&mut Row),
+    ) -> OltpResult<bool> {
+        let shared = Arc::clone(&self.shared);
+        if shared.sim.sockets() <= 1 || shared.parts.len() <= 1 {
+            return Ok(false);
+        }
+        {
+            let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
+            self.mem(shared.m.runtime).exec(cost::MP_COORD);
+        }
+        let mem = self.mem(shared.m.proc);
+        for q in 0..shared.parts.len() {
+            if q == skip {
+                continue;
+            }
+            let part = &mut *shared.parts[q].lock().unwrap();
+            mem.exec(cost::PROC_OP);
+            let probe = {
+                let _i = obs::span(ENGINE, Phase::Index, self.core);
+                part.tables[ti].index.get(&mem, key)
+            };
+            let Some(payload) = probe else { continue };
+            let id = RowId::from_u64(payload);
+            let mut row: Option<Row> = None;
+            {
+                let _s = obs::span(ENGINE, Phase::Storage, self.core);
+                part.tables[ti]
+                    .store
+                    .read(&mem, id, &mut |d| row = tuple::decode(d).ok());
+            }
+            let Some(mut row) = row else { return Ok(false) };
+            f(&mut row);
+            debug_assert!(
+                shared.defs.read().unwrap()[ti].schema.check(&row),
+                "row/schema mismatch"
+            );
+            let encoded = tuple::encode(&row);
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            self.value_work(part, ti, encoded.len() * 2);
+            part.tables[ti].store.update(&mem, id, encoded);
+            return Ok(true);
+        }
+        Ok(false)
+    }
 }
 
 impl Db for HyPer {
@@ -232,6 +376,7 @@ impl Db for HyPer {
             Some(oltp::DataType::Str)
         );
         for (p, part) in self.shared.parts.iter().enumerate() {
+            let _h = self.shared.home_guard(p);
             let mem = self
                 .shared
                 .sim
@@ -365,6 +510,8 @@ impl Session for HyPerSession {
             mem.exec(cost::PROC_OP);
         }
         let p = self.part();
+        // Rows and index nodes land in the partition's home-tag arena.
+        let _h = shared.home_guard(p);
         let part = &mut *shared.parts[p].lock().unwrap();
         self.claim(part, t, key, true)?;
         let encoded = tuple::encode(row);
@@ -395,32 +542,34 @@ impl Session for HyPerSession {
             mem.exec(cost::PROC_OP);
         }
         let p = self.part();
-        let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, key, false)?;
-        let probe = {
-            let _i = obs::span(ENGINE, Phase::Index, self.core);
-            part.tables[ti].index.get(&mem, key)
-        };
-        let Some(payload) = probe else {
-            return Ok(false);
-        };
-        let _s = obs::span(ENGINE, Phase::Storage, self.core);
-        let mut decoded: Option<Row> = None;
-        let mut bytes = 0;
-        part.tables[ti]
-            .store
-            .read(&mem, RowId::from_u64(payload), &mut |d| {
-                bytes = d.len();
-                decoded = tuple::decode(d).ok();
-            });
-        self.value_work(part, ti, bytes);
-        match decoded {
-            Some(row) => {
-                f(&row);
-                Ok(true)
+        {
+            let part = &mut *shared.parts[p].lock().unwrap();
+            self.claim(part, t, key, false)?;
+            let probe = {
+                let _i = obs::span(ENGINE, Phase::Index, self.core);
+                part.tables[ti].index.get(&mem, key)
+            };
+            if let Some(payload) = probe {
+                let _s = obs::span(ENGINE, Phase::Storage, self.core);
+                let mut decoded: Option<Row> = None;
+                let mut bytes = 0;
+                part.tables[ti]
+                    .store
+                    .read(&mem, RowId::from_u64(payload), &mut |d| {
+                        bytes = d.len();
+                        decoded = tuple::decode(d).ok();
+                    });
+                self.value_work(part, ti, bytes);
+                return match decoded {
+                    Some(row) => {
+                        f(&row);
+                        Ok(true)
+                    }
+                    None => Ok(false),
+                };
             }
-            None => Ok(false),
         }
+        self.mp_read(ti, key, p, f)
     }
 
     fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
@@ -433,35 +582,37 @@ impl Session for HyPerSession {
             mem.exec(cost::PROC_OP);
         }
         let p = self.part();
-        let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, key, true)?;
-        let probe = {
-            let _i = obs::span(ENGINE, Phase::Index, self.core);
-            part.tables[ti].index.get(&mem, key)
-        };
-        let Some(payload) = probe else {
-            return Ok(false);
-        };
-        let id = RowId::from_u64(payload);
-        let mut row: Option<Row> = None;
         {
-            let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            part.tables[ti]
-                .store
-                .read(&mem, id, &mut |d| row = tuple::decode(d).ok());
+            let part = &mut *shared.parts[p].lock().unwrap();
+            self.claim(part, t, key, true)?;
+            let probe = {
+                let _i = obs::span(ENGINE, Phase::Index, self.core);
+                part.tables[ti].index.get(&mem, key)
+            };
+            if let Some(payload) = probe {
+                let id = RowId::from_u64(payload);
+                let mut row: Option<Row> = None;
+                {
+                    let _s = obs::span(ENGINE, Phase::Storage, self.core);
+                    part.tables[ti]
+                        .store
+                        .read(&mem, id, &mut |d| row = tuple::decode(d).ok());
+                }
+                let Some(mut row) = row else { return Ok(false) };
+                f(&mut row);
+                debug_assert!(
+                    shared.defs.read().unwrap()[ti].schema.check(&row),
+                    "row/schema mismatch"
+                );
+                let encoded = tuple::encode(&row);
+                let _s = obs::span(ENGINE, Phase::Storage, self.core);
+                self.value_work(part, ti, encoded.len() * 2);
+                let table = &mut part.tables[ti];
+                table.store.update(&mem, id, encoded);
+                return Ok(true);
+            }
         }
-        let Some(mut row) = row else { return Ok(false) };
-        f(&mut row);
-        debug_assert!(
-            shared.defs.read().unwrap()[ti].schema.check(&row),
-            "row/schema mismatch"
-        );
-        let encoded = tuple::encode(&row);
-        let _s = obs::span(ENGINE, Phase::Storage, self.core);
-        self.value_work(part, ti, encoded.len() * 2);
-        let table = &mut part.tables[ti];
-        table.store.update(&mem, id, encoded);
-        Ok(true)
+        self.mp_update(ti, key, p, f)
     }
 
     fn scan(

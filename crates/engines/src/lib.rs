@@ -50,16 +50,16 @@ pub mod common;
 pub mod dbms_d;
 pub mod dbms_m;
 pub mod hyper;
+pub mod placement;
 pub mod shore_mt;
 pub mod voltdb;
 
 pub use builder::SystemBuilder;
-#[allow(deprecated)]
-pub use common::build_system_cc;
 pub use common::{build_system, DbmsMIndex, SystemKind};
 pub use dbms_d::DbmsD;
 pub use dbms_m::{DbmsM, DbmsMOptions};
 pub use hyper::HyPer;
 pub use oltp::cc::CcPolicy;
+pub use placement::Placement;
 pub use shore_mt::ShoreMt;
 pub use voltdb::VoltDb;

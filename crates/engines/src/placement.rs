@@ -1,0 +1,181 @@
+//! NUMA placement policies — where workers run and where partition data
+//! lives on a multi-socket machine.
+//!
+//! Porobic et al. (*OLTP on Hardware Islands*, VLDB'12) compare deploying
+//! an OLTP system **spread** across all sockets of a multi-socket box
+//! against **island** deployments aligned with the hardware topology, and
+//! find topology-aware placement worth multiples of throughput when
+//! transactions stay island-local. This module reproduces those deployment
+//! shapes on the simulated machine:
+//!
+//! * [`Placement::Spread`] — workers round-robin across sockets and
+//!   partition data stays OS-interleaved across all sockets' memory.
+//!   Every DRAM fill is a coin flip between local and remote.
+//! * [`Placement::Island`] — workers fill one socket before spilling to
+//!   the next, and each partition's data is homed on the socket of the
+//!   core that serves it. Partition-local transactions never cross QPI.
+//! * [`Placement::OsManaged`] — workers fill sockets in order but data is
+//!   homed wherever the OS first-touch policy put it (socket 0, where the
+//!   loader ran). The [`rebalance`] hook then migrates hot partitions
+//!   toward their dominant-access socket, which is what a NUMA-aware
+//!   runtime daemon (or `numad`) would do.
+//!
+//! The partitioned engines ([`crate::VoltDb`], [`crate::HyPer`]) tag each
+//! partition's allocations with a home tag (see
+//! [`uarch_sim::Sim::alloc_home_guard`]); the shared-everything engines
+//! allocate untagged and follow the machine's default policy.
+
+use uarch_sim::{Sim, MAX_HOME_TAGS};
+
+/// Where workers and partition data land on a multi-socket machine; a
+/// no-op on single-socket machines. See the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Placement {
+    /// Workers round-robin across sockets; data interleaved (default —
+    /// matches the pre-NUMA behaviour on one socket).
+    #[default]
+    Spread,
+    /// Workers packed per socket; each partition homed with its core.
+    Island,
+    /// Workers packed per socket; data homed by OS first-touch (socket 0)
+    /// until [`rebalance`] migrates it.
+    OsManaged,
+}
+
+impl Placement {
+    /// All policies in display order.
+    pub const ALL: [Placement; 3] = [Placement::Spread, Placement::Island, Placement::OsManaged];
+
+    /// Short label used in benchmark tables and CSV.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::Spread => "spread",
+            Placement::Island => "island",
+            Placement::OsManaged => "os",
+        }
+    }
+
+    /// The simulated core each of `workers` workers should drive.
+    /// Island/OS-managed placements fill socket 0's cores first (cores are
+    /// socket-major); spread round-robins workers across sockets.
+    pub fn worker_cores(self, workers: usize, sim: &Sim) -> Vec<usize> {
+        let sockets = sim.sockets();
+        let per = sim.cores() / sockets;
+        assert!(workers <= sim.cores(), "more workers than cores");
+        (0..workers)
+            .map(|w| match self {
+                Placement::Spread => (w % sockets) * per + w / sockets,
+                Placement::Island | Placement::OsManaged => w,
+            })
+            .collect()
+    }
+
+    /// Home tag for `partition`'s allocations, or `None` when the policy
+    /// leaves data untagged (interleaved).
+    pub fn partition_tag(self, partition: usize) -> Option<usize> {
+        match self {
+            Placement::Spread => None,
+            Placement::Island | Placement::OsManaged => Some(partition % MAX_HOME_TAGS),
+        }
+    }
+
+    /// Install the policy's data-placement side on the simulator: the
+    /// default (untagged) home policy plus one home per partition tag.
+    /// Partition `p` is served by core `p % cores` (the engines' routing
+    /// rule), so island homes its tag on that core's socket; OS-managed
+    /// homes everything on socket 0, where the loader first touched it.
+    pub fn install(self, sim: &Sim, partitions: usize) {
+        if sim.sockets() <= 1 {
+            return;
+        }
+        sim.set_default_home(match self {
+            Placement::OsManaged => Some(0),
+            _ => None,
+        });
+        for p in 0..partitions.min(MAX_HOME_TAGS) {
+            let home = match self {
+                Placement::Spread => continue,
+                Placement::Island => sim.socket_of(p % sim.cores()),
+                Placement::OsManaged => 0,
+            };
+            sim.set_tag_home(p, home);
+        }
+    }
+}
+
+/// Migrate partitions whose miss traffic is dominated by a non-home socket
+/// (the OS-managed policy's correction loop). Thin wrapper over
+/// [`Sim::rehome_hot_tags`] that mirrors the migration count into the
+/// metrics registry (`numa_rehome_total{engine=...}`). Returns the number
+/// of partitions moved.
+pub fn rebalance(sim: &Sim, engine: &str, min_hits: u64, margin: f64) -> usize {
+    let moved = sim.rehome_hot_tags(min_hits, margin);
+    if moved > 0 {
+        obs::metrics::registry()
+            .counter("numa_rehome_total", &[("engine", engine)])
+            .add(0, moved as u64);
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_sim::MachineConfig;
+
+    #[test]
+    fn spread_round_robins_and_island_packs() {
+        let sim = Sim::new(MachineConfig::numa(2, 4));
+        assert_eq!(
+            Placement::Spread.worker_cores(8, &sim),
+            vec![0, 4, 1, 5, 2, 6, 3, 7]
+        );
+        assert_eq!(
+            Placement::Island.worker_cores(8, &sim),
+            vec![0, 1, 2, 3, 4, 5, 6, 7]
+        );
+        // Half occupancy: spread uses both sockets, island only socket 0.
+        assert_eq!(Placement::Spread.worker_cores(4, &sim), vec![0, 4, 1, 5]);
+        assert_eq!(Placement::Island.worker_cores(4, &sim), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn install_homes_tags_by_policy() {
+        let sim = Sim::new(MachineConfig::numa(2, 2));
+        Placement::Island.install(&sim, 4);
+        assert_eq!(sim.tag_home(0), 0);
+        assert_eq!(sim.tag_home(1), 0);
+        assert_eq!(sim.tag_home(2), 1);
+        assert_eq!(sim.tag_home(3), 1);
+        Placement::OsManaged.install(&sim, 4);
+        for p in 0..4 {
+            assert_eq!(sim.tag_home(p), 0);
+        }
+    }
+
+    #[test]
+    fn single_socket_install_is_a_no_op() {
+        let sim = Sim::new(MachineConfig::ivy_bridge(2));
+        for p in Placement::ALL {
+            p.install(&sim, 2);
+        }
+    }
+
+    #[test]
+    fn rebalance_mirrors_into_metrics() {
+        let base = obs::metrics::registry().snapshot();
+        let sim = Sim::new(MachineConfig::numa(2, 1));
+        Placement::OsManaged.install(&sim, 2);
+        // Partition 1's data, homed on socket 0, hammered from socket 1.
+        let _g = sim.alloc_home_guard(1);
+        let buf = sim.alloc(1 << 20, 64);
+        drop(_g);
+        for i in 0..4096u64 {
+            sim.mem(1).read(buf + i * 64, 8);
+        }
+        assert_eq!(rebalance(&sim, "test-engine", 100, 0.6), 1);
+        assert_eq!(sim.tag_home(1), 1);
+        let win = obs::metrics::registry().snapshot().delta(&base);
+        assert!(win.counter_value("numa_rehome_total", &[("engine", "test-engine")]) >= 1);
+    }
+}

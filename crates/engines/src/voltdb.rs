@@ -28,7 +28,9 @@ use oltp::{
     TableId, Value,
 };
 use storage::{LogKind, MemStore, RowId, TxnId, TxnManager, Wal};
-use uarch_sim::{CorePort, Mem, ModuleId, ModuleSpec, Sim};
+use uarch_sim::{AllocHomeGuard, CorePort, Mem, ModuleId, ModuleSpec, Sim};
+
+use crate::placement::Placement;
 
 /// Engine name used for span attribution (matches [`Db::name`]).
 const ENGINE: &str = "VoltDB";
@@ -95,9 +97,25 @@ struct Shared {
     tm: Mutex<TxnManager>,
     single_sited: AtomicBool,
     metrics: obs::metrics::EngineMetrics,
+    /// NUMA placement: decides which home tag each partition's
+    /// allocations carry (no effect on single-socket machines).
+    placement: Placement,
     /// Pluggable protocol; `None` = the historical owner-claim path
     /// (bit-identical to pre-refactor builds).
     cc: Option<Arc<dyn ConcurrencyControl>>,
+}
+
+impl Shared {
+    /// Scope partition `p`'s allocations to its home-tag arena (NUMA
+    /// machines with a tagging placement only).
+    fn home_guard(&self, p: usize) -> Option<AllocHomeGuard> {
+        if self.sim.sockets() <= 1 {
+            return None;
+        }
+        self.placement
+            .partition_tag(p)
+            .map(|t| self.sim.alloc_home_guard(t))
+    }
 }
 
 /// The VoltDB engine. See the module docs.
@@ -130,6 +148,18 @@ impl VoltDb {
     /// [`CcPolicy::EngineDefault`] keeps the historical no-wait
     /// partition-owner claim.
     pub fn with_cc(sim: &Sim, partitions: usize, policy: CcPolicy) -> Self {
+        Self::with_cc_placed(sim, partitions, policy, Placement::Spread)
+    }
+
+    /// [`VoltDb::with_cc`] with an explicit NUMA placement: partition
+    /// allocations carry the placement's home tag so a multi-socket
+    /// simulator can charge remote accesses by partition home.
+    pub fn with_cc_placed(
+        sim: &Sim,
+        partitions: usize,
+        policy: CcPolicy,
+        placement: Placement,
+    ) -> Self {
         assert!(partitions >= 1);
         let m = Mods {
             java_rt: sim.register_module(
@@ -187,7 +217,12 @@ impl VoltDb {
                 m,
                 defs: RwLock::new(Vec::new()),
                 parts: (0..partitions)
-                    .map(|_| {
+                    .map(|p| {
+                        // Home each partition's command log with its data.
+                        let _h = (sim.sockets() > 1)
+                            .then(|| placement.partition_tag(p))
+                            .flatten()
+                            .map(|t| sim.alloc_home_guard(t));
                         Mutex::new(PartState {
                             tables: Vec::new(),
                             wal: Wal::new(&mem, 1 << 20, 16),
@@ -198,6 +233,7 @@ impl VoltDb {
                 tm: Mutex::new(TxnManager::new()),
                 single_sited: AtomicBool::new(true),
                 metrics: obs::metrics::EngineMetrics::new(ENGINE),
+                placement,
                 cc: oltp::cc::build(policy, partitions),
                 sim: sim.clone(),
             }),
@@ -303,6 +339,117 @@ impl VoltDbSession {
                 .exec(h * cost::STR_CMP_PER_LEVEL);
         }
     }
+
+    /// Own-partition probe missed on a multi-socket machine: the key may
+    /// belong to another partition (a cross-socket request in the islands
+    /// workload). Route through the multi-partition coordinator and probe
+    /// the remaining partitions. The remote partition is *not* claimed —
+    /// the coordinator serializes the fragment, and commit only releases
+    /// this session's own partition. Single-socket machines return
+    /// `Ok(false)` before touching anything, keeping the historical
+    /// single-partition behaviour bit-identical.
+    fn mp_read(
+        &mut self,
+        ti: usize,
+        key: u64,
+        skip: usize,
+        f: &mut dyn FnMut(&[Value]),
+    ) -> OltpResult<bool> {
+        let shared = Arc::clone(&self.shared);
+        if shared.sim.sockets() <= 1 || shared.parts.len() <= 1 {
+            return Ok(false);
+        }
+        {
+            let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
+            self.mem(shared.m.mp_coord).exec(cost::MP_COORD);
+        }
+        let mem_index = self.mem(shared.m.index);
+        let mem_store = self.mem(shared.m.store);
+        for q in 0..shared.parts.len() {
+            if q == skip {
+                continue;
+            }
+            let part = &mut *shared.parts[q].lock().unwrap();
+            self.mem(shared.m.ee).exec(cost::EE_OP);
+            let table = &mut part.tables[ti];
+            let probe = {
+                let _i = obs::span(ENGINE, Phase::Index, self.core);
+                table.index.get(&mem_index, key)
+            };
+            let Some(payload) = probe else { continue };
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            let mut decoded: Option<Row> = None;
+            let mut bytes = 0;
+            table
+                .store
+                .read(&mem_store, RowId::from_u64(payload), &mut |d| {
+                    bytes = d.len();
+                    decoded = tuple::decode(d).ok();
+                });
+            self.value_work(bytes);
+            return match decoded {
+                Some(row) => {
+                    f(&row);
+                    Ok(true)
+                }
+                None => Ok(false),
+            };
+        }
+        Ok(false)
+    }
+
+    /// [`VoltDbSession::mp_read`]'s write-side twin.
+    fn mp_update(
+        &mut self,
+        ti: usize,
+        key: u64,
+        skip: usize,
+        f: &mut dyn FnMut(&mut Row),
+    ) -> OltpResult<bool> {
+        let shared = Arc::clone(&self.shared);
+        if shared.sim.sockets() <= 1 || shared.parts.len() <= 1 {
+            return Ok(false);
+        }
+        {
+            let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
+            self.mem(shared.m.mp_coord).exec(cost::MP_COORD);
+        }
+        let mem_index = self.mem(shared.m.index);
+        let mem_store = self.mem(shared.m.store);
+        for q in 0..shared.parts.len() {
+            if q == skip {
+                continue;
+            }
+            let part = &mut *shared.parts[q].lock().unwrap();
+            self.mem(shared.m.ee).exec(cost::EE_OP);
+            let table = &mut part.tables[ti];
+            let probe = {
+                let _i = obs::span(ENGINE, Phase::Index, self.core);
+                table.index.get(&mem_index, key)
+            };
+            let Some(payload) = probe else { continue };
+            let id = RowId::from_u64(payload);
+            let mut row: Option<Row> = None;
+            {
+                let _s = obs::span(ENGINE, Phase::Storage, self.core);
+                table
+                    .store
+                    .read(&mem_store, id, &mut |d| row = tuple::decode(d).ok());
+            }
+            let Some(mut row) = row else { return Ok(false) };
+            f(&mut row);
+            debug_assert!(
+                shared.defs.read().unwrap()[ti].schema.check(&row),
+                "row/schema mismatch"
+            );
+            let encoded = tuple::encode(&row);
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            self.value_work(encoded.len() * 2);
+            table.store.update(&mem_store, id, encoded);
+            return Ok(true);
+        }
+        Ok(false)
+    }
 }
 
 impl Db for VoltDb {
@@ -323,6 +470,7 @@ impl Db for VoltDb {
             Some(oltp::DataType::Str)
         );
         for (p, part) in self.shared.parts.iter().enumerate() {
+            let _h = self.shared.home_guard(p);
             let mem = self
                 .shared
                 .sim
@@ -462,6 +610,8 @@ impl Session for VoltDbSession {
         );
         self.op_overhead();
         let p = self.part();
+        // Rows and index nodes land in the partition's home-tag arena.
+        let _h = shared.home_guard(p);
         let part = &mut *shared.parts[p].lock().unwrap();
         self.claim(part, t, key, true)?;
         let encoded = tuple::encode(row);
@@ -497,39 +647,41 @@ impl Session for VoltDbSession {
         let ti = self.table(t)?;
         self.op_overhead();
         let p = self.part();
-        let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, key, false)?;
         {
-            let _i = obs::span(ENGINE, Phase::Index, self.core);
-            self.key_work(part, ti);
-        }
-        let mem_index = self.mem(self.shared.m.index);
-        let mem_store = self.mem(self.shared.m.store);
-        let table = &mut part.tables[ti];
-        let probe = {
-            let _i = obs::span(ENGINE, Phase::Index, self.core);
-            table.index.get(&mem_index, key)
-        };
-        let Some(payload) = probe else {
-            return Ok(false);
-        };
-        let _s = obs::span(ENGINE, Phase::Storage, self.core);
-        let mut decoded: Option<Row> = None;
-        let mut bytes = 0;
-        table
-            .store
-            .read(&mem_store, RowId::from_u64(payload), &mut |d| {
-                bytes = d.len();
-                decoded = tuple::decode(d).ok();
-            });
-        self.value_work(bytes);
-        match decoded {
-            Some(row) => {
-                f(&row);
-                Ok(true)
+            let part = &mut *shared.parts[p].lock().unwrap();
+            self.claim(part, t, key, false)?;
+            {
+                let _i = obs::span(ENGINE, Phase::Index, self.core);
+                self.key_work(part, ti);
             }
-            None => Ok(false),
+            let mem_index = self.mem(self.shared.m.index);
+            let mem_store = self.mem(self.shared.m.store);
+            let table = &mut part.tables[ti];
+            let probe = {
+                let _i = obs::span(ENGINE, Phase::Index, self.core);
+                table.index.get(&mem_index, key)
+            };
+            if let Some(payload) = probe {
+                let _s = obs::span(ENGINE, Phase::Storage, self.core);
+                let mut decoded: Option<Row> = None;
+                let mut bytes = 0;
+                table
+                    .store
+                    .read(&mem_store, RowId::from_u64(payload), &mut |d| {
+                        bytes = d.len();
+                        decoded = tuple::decode(d).ok();
+                    });
+                self.value_work(bytes);
+                return match decoded {
+                    Some(row) => {
+                        f(&row);
+                        Ok(true)
+                    }
+                    None => Ok(false),
+                };
+            }
         }
+        self.mp_read(ti, key, p, f)
     }
 
     fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
@@ -538,42 +690,44 @@ impl Session for VoltDbSession {
         self.txn()?;
         self.op_overhead();
         let p = self.part();
-        let part = &mut *shared.parts[p].lock().unwrap();
-        self.claim(part, t, key, true)?;
         {
-            let _i = obs::span(ENGINE, Phase::Index, self.core);
-            self.key_work(part, ti);
+            let part = &mut *shared.parts[p].lock().unwrap();
+            self.claim(part, t, key, true)?;
+            {
+                let _i = obs::span(ENGINE, Phase::Index, self.core);
+                self.key_work(part, ti);
+            }
+            let mem_index = self.mem(self.shared.m.index);
+            let mem_store = self.mem(self.shared.m.store);
+            let table = &mut part.tables[ti];
+            let probe = {
+                let _i = obs::span(ENGINE, Phase::Index, self.core);
+                table.index.get(&mem_index, key)
+            };
+            if let Some(payload) = probe {
+                let id = RowId::from_u64(payload);
+                let mut row: Option<Row> = None;
+                {
+                    let _s = obs::span(ENGINE, Phase::Storage, self.core);
+                    table
+                        .store
+                        .read(&mem_store, id, &mut |d| row = tuple::decode(d).ok());
+                }
+                let Some(mut row) = row else { return Ok(false) };
+                f(&mut row);
+                debug_assert!(
+                    shared.defs.read().unwrap()[ti].schema.check(&row),
+                    "row/schema mismatch"
+                );
+                let encoded = tuple::encode(&row);
+                let _s = obs::span(ENGINE, Phase::Storage, self.core);
+                self.value_work(encoded.len() * 2);
+                let table = &mut part.tables[ti];
+                table.store.update(&mem_store, id, encoded);
+                return Ok(true);
+            }
         }
-        let mem_index = self.mem(self.shared.m.index);
-        let mem_store = self.mem(self.shared.m.store);
-        let table = &mut part.tables[ti];
-        let probe = {
-            let _i = obs::span(ENGINE, Phase::Index, self.core);
-            table.index.get(&mem_index, key)
-        };
-        let Some(payload) = probe else {
-            return Ok(false);
-        };
-        let id = RowId::from_u64(payload);
-        let mut row: Option<Row> = None;
-        {
-            let _s = obs::span(ENGINE, Phase::Storage, self.core);
-            table
-                .store
-                .read(&mem_store, id, &mut |d| row = tuple::decode(d).ok());
-        }
-        let Some(mut row) = row else { return Ok(false) };
-        f(&mut row);
-        debug_assert!(
-            shared.defs.read().unwrap()[ti].schema.check(&row),
-            "row/schema mismatch"
-        );
-        let encoded = tuple::encode(&row);
-        let _s = obs::span(ENGINE, Phase::Storage, self.core);
-        self.value_work(encoded.len() * 2);
-        let table = &mut part.tables[ti];
-        table.store.update(&mem_store, id, encoded);
-        Ok(true)
+        self.mp_update(ti, key, p, f)
     }
 
     fn scan(

@@ -483,6 +483,7 @@ pub fn counts_json(c: &EventCounts) -> Json {
         ("mispredicts", Json::u64(c.mispredicts)),
         ("store_misses", Json::u64(c.store_misses)),
         ("invalidations", Json::u64(c.invalidations)),
+        ("remote_accesses", Json::u64(c.remote_accesses)),
     ])
 }
 

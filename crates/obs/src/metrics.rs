@@ -449,12 +449,17 @@ impl EngineMetrics {
 }
 
 /// Mirror the simulator's per-core counters into gauges
-/// (`sim_instructions`, `sim_misses{class}`, `sim_invalidations`).
-/// Reading the counters never disturbs the simulation, so this is safe to
-/// call mid-run from a reporter.
+/// (`sim_instructions`, `sim_misses{class}`, `sim_invalidations`,
+/// `sim_remote_accesses`), plus per-socket aggregates
+/// (`sim_socket_remote_accesses`, `sim_socket_llc_data_misses`) on
+/// multi-socket machines. Reading the counters never disturbs the
+/// simulation, so this is safe to call mid-run from a reporter.
 pub fn publish_sim(sim: &uarch_sim::Sim) {
     use uarch_sim::StallEvent;
     let reg = registry();
+    let sockets = sim.sockets();
+    let mut socket_remote = vec![0u64; sockets];
+    let mut socket_llcd = vec![0u64; sockets];
     for (core, c) in sim.counters_all().iter().enumerate() {
         let core_s = core.to_string();
         reg.gauge("sim_instructions", &[("core", &core_s)])
@@ -467,6 +472,20 @@ pub fn publish_sim(sim: &uarch_sim::Sim) {
         }
         reg.gauge("sim_invalidations", &[("core", &core_s)])
             .set(c.invalidations);
+        reg.gauge("sim_remote_accesses", &[("core", &core_s)])
+            .set(c.remote_accesses);
+        let sk = sim.socket_of(core);
+        socket_remote[sk] += c.remote_accesses;
+        socket_llcd[sk] += c.miss(StallEvent::LlcD);
+    }
+    if sockets > 1 {
+        for sk in 0..sockets {
+            let sk_s = sk.to_string();
+            reg.gauge("sim_socket_remote_accesses", &[("socket", &sk_s)])
+                .set(socket_remote[sk]);
+            reg.gauge("sim_socket_llc_data_misses", &[("socket", &sk_s)])
+                .set(socket_llcd[sk]);
+        }
     }
 }
 

@@ -130,6 +130,27 @@ pub struct MachineConfig {
     pub inclusive_llc: bool,
     /// Number of simulated cores sharing the LLC.
     pub cores: usize,
+    /// Number of sockets. Cores are laid out socket-major (core `c` lives
+    /// on socket `c / (cores / sockets)`); each socket gets its own LLC
+    /// instance. 1 (the default) reproduces the paper's single-socket
+    /// machine bit for bit.
+    #[serde(default = "default_sockets")]
+    pub sockets: usize,
+    /// Extra cycles charged per cross-socket (QPI-like) access: a demand
+    /// fill whose home memory is on another socket, or a coherence
+    /// invalidation arriving from a remote socket. The paper's E5-2640 v2
+    /// pair shows remote DRAM ~1.7x local; 110 cycles on top of the
+    /// 167-cycle local penalty matches that ratio.
+    #[serde(default = "default_remote_penalty")]
+    pub remote_penalty: u32,
+}
+
+fn default_sockets() -> usize {
+    1
+}
+
+fn default_remote_penalty() -> u32 {
+    110
 }
 
 impl MachineConfig {
@@ -157,7 +178,32 @@ impl MachineConfig {
             i_prefetch_next_line: false,
             inclusive_llc: false,
             cores,
+            sockets: default_sockets(),
+            remote_penalty: default_remote_penalty(),
         }
+    }
+
+    /// A multi-socket machine: `sockets` Table-1 sockets of
+    /// `cores_per_socket` cores each, one LLC per socket, linked by a
+    /// QPI-like remote-access penalty. `numa(1, n)` is exactly
+    /// [`MachineConfig::ivy_bridge`]`(n)`.
+    pub fn numa(sockets: usize, cores_per_socket: usize) -> Self {
+        assert!(sockets >= 1, "at least one socket");
+        assert!(cores_per_socket >= 1, "at least one core per socket");
+        let mut cfg = Self::ivy_bridge(sockets * cores_per_socket);
+        cfg.sockets = sockets;
+        cfg
+    }
+
+    /// Cores per socket (cores are laid out socket-major).
+    pub fn cores_per_socket(&self) -> usize {
+        debug_assert!(self.cores.is_multiple_of(self.sockets));
+        self.cores / self.sockets
+    }
+
+    /// The socket a core belongs to.
+    pub fn socket_of(&self, core: usize) -> usize {
+        core / self.cores_per_socket()
     }
 
     /// Penalty (cycles) charged for one miss of class `e`, as the paper
@@ -193,6 +239,9 @@ impl MachineConfig {
         for e in StallEvent::ALL {
             cy += c.misses[e as usize] as f64 * f64::from(self.penalty(e)) * self.overlap.get(e);
         }
+        // QPI hop on top of the local miss penalty already charged above.
+        // Zero on single-socket machines (no remote accesses are counted).
+        cy += c.remote_accesses as f64 * f64::from(self.remote_penalty);
         cy
     }
 
@@ -264,6 +313,42 @@ mod tests {
         assert!(cfg.ipc(&c) < 1.0);
         let stalls = cfg.stall_cycles(&c);
         assert_eq!(stalls[StallEvent::LlcD as usize], 1670.0);
+    }
+
+    #[test]
+    fn numa_layout_is_socket_major() {
+        let cfg = MachineConfig::numa(2, 4);
+        assert_eq!(cfg.cores, 8);
+        assert_eq!(cfg.sockets, 2);
+        assert_eq!(cfg.cores_per_socket(), 4);
+        assert_eq!(cfg.socket_of(0), 0);
+        assert_eq!(cfg.socket_of(3), 0);
+        assert_eq!(cfg.socket_of(4), 1);
+        assert_eq!(cfg.socket_of(7), 1);
+    }
+
+    #[test]
+    fn single_socket_numa_matches_ivy_bridge() {
+        let a = MachineConfig::numa(1, 2);
+        let b = MachineConfig::ivy_bridge(2);
+        assert_eq!(a.sockets, b.sockets);
+        assert_eq!(a.cores, b.cores);
+        assert_eq!(a.llc, b.llc);
+        assert_eq!(a.remote_penalty, b.remote_penalty);
+    }
+
+    #[test]
+    fn remote_accesses_add_cycles() {
+        let cfg = MachineConfig::numa(2, 1);
+        let local = EventCounts {
+            instructions: 3000,
+            ..Default::default()
+        };
+        let mut remote = local.clone();
+        remote.remote_accesses = 10;
+        let delta = cfg.cycles(&remote) - cfg.cycles(&local);
+        assert_eq!(delta, 10.0 * f64::from(cfg.remote_penalty));
+        assert!(cfg.ipc(&remote) < cfg.ipc(&local));
     }
 
     #[test]

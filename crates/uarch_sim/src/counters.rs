@@ -76,6 +76,12 @@ pub struct EventCounts {
     pub store_misses: u64,
     /// Coherence invalidations received from other cores' writes.
     pub invalidations: u64,
+    /// Cross-socket (QPI-like) accesses: demand fills whose home memory is
+    /// on another socket plus coherence invalidations arriving from a
+    /// remote socket. Always zero on a single-socket machine, so all
+    /// single-socket baselines and digests are unaffected.
+    #[serde(default)]
+    pub remote_accesses: u64,
 }
 
 impl EventCounts {
@@ -91,6 +97,7 @@ impl EventCounts {
         self.mispredicts += other.mispredicts;
         self.store_misses += other.store_misses;
         self.invalidations += other.invalidations;
+        self.remote_accesses += other.remote_accesses;
     }
 
     /// `self - earlier`, for window deltas. Panics (in debug builds) if the
@@ -110,6 +117,7 @@ impl EventCounts {
             mispredicts: self.mispredicts - earlier.mispredicts,
             store_misses: self.store_misses - earlier.store_misses,
             invalidations: self.invalidations - earlier.invalidations,
+            remote_accesses: self.remote_accesses - earlier.remote_accesses,
         }
     }
 

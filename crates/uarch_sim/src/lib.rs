@@ -51,7 +51,7 @@ use std::sync::Arc;
 pub use code::{ModuleId, ModuleSpec};
 pub use config::MachineConfig;
 pub use counters::{EventCounts, StallEvent};
-pub use machine::{BatchOp, CodeDesc, Machine};
+pub use machine::{BatchOp, CodeDesc, Machine, MAX_HOME_TAGS};
 pub use port::CorePort;
 
 /// Cache-line size used throughout the simulator (bytes). Ivy Bridge uses
@@ -196,6 +196,73 @@ impl Sim {
     /// see [`Machine::warm_data`]).
     pub fn warm_data(&self) {
         self.0.warm_data();
+    }
+
+    /// Number of sockets (1 unless built from [`MachineConfig::numa`]).
+    pub fn sockets(&self) -> usize {
+        self.0.sockets()
+    }
+
+    /// Socket of `core` (socket-major layout).
+    pub fn socket_of(&self, core: usize) -> usize {
+        self.0.socket_of(core)
+    }
+
+    /// Scope the ambient allocation home tag: until the guard drops,
+    /// [`Sim::alloc`] places data in `tag`'s arena, whose home socket is
+    /// set with [`Sim::set_tag_home`]. Placement code wraps a partition's
+    /// table creation / bulk load in one guard. Tags are machine-global, so
+    /// guards must not be nested across threads (engine loads are
+    /// single-threaded).
+    pub fn alloc_home_guard(&self, tag: usize) -> AllocHomeGuard {
+        let prev = self.0.set_alloc_home(Some(tag));
+        AllocHomeGuard {
+            sim: self.clone(),
+            prev,
+        }
+    }
+
+    /// Home socket of untagged data, or `None` for the default 4 KB
+    /// interleave (models the OS page policy).
+    pub fn set_default_home(&self, socket: Option<usize>) {
+        self.0.set_default_home(socket);
+    }
+
+    /// Re-home all data tagged `tag` to `socket` (O(1); the simulated
+    /// `move_pages`).
+    pub fn set_tag_home(&self, tag: usize, socket: usize) {
+        self.0.set_tag_home(tag, socket);
+    }
+
+    /// Current home socket of `tag`.
+    pub fn tag_home(&self, tag: usize) -> usize {
+        self.0.tag_home(tag)
+    }
+
+    /// Migrate tags whose LLC-fill traffic is dominated by a non-home
+    /// socket (see [`Machine::rehome_hot_tags`]); returns tags moved.
+    pub fn rehome_hot_tags(&self, min_hits: u64, margin: f64) -> usize {
+        self.0.rehome_hot_tags(min_hits, margin)
+    }
+
+    /// Check out any free core port on `socket`, scanning that socket's
+    /// cores in order. `None` when every port on the socket is out.
+    pub fn try_checkout_on_socket(&self, socket: usize) -> Option<CorePort> {
+        let per = self.cores() / self.sockets();
+        (socket * per..(socket + 1) * per).find_map(|c| self.try_checkout(c))
+    }
+}
+
+/// RAII scope for the ambient allocation home tag; see
+/// [`Sim::alloc_home_guard`]. Restores the previous tag on drop.
+pub struct AllocHomeGuard {
+    sim: Sim,
+    prev: Option<usize>,
+}
+
+impl Drop for AllocHomeGuard {
+    fn drop(&mut self) {
+        self.sim.0.set_alloc_home(self.prev);
     }
 }
 

@@ -31,7 +31,9 @@
 //! order are per-set properties, and each set maps to exactly one stripe.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{
+    AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+};
 use std::sync::{Mutex, OnceLock, RwLock};
 
 use crate::addr::AddressSpace;
@@ -49,6 +51,8 @@ struct Core {
     l1i: Cache,
     l1d: Cache,
     l2: Cache,
+    /// The socket this core sits on (socket-major layout, fixed at build).
+    socket: usize,
     counts: EventCounts,
     /// Counters per module id (grown lazily; see [`Machine::module_counters`]).
     module_counts: Vec<EventCounts>,
@@ -63,6 +67,7 @@ impl Core {
             l1i: Cache::new(cfg.l1i),
             l1d: Cache::new(cfg.l1d),
             l2: Cache::new(cfg.l2),
+            socket: id / cfg.cores_per_socket(),
             counts: EventCounts::default(),
             module_counts: vec![EventCounts::default(); modules],
             cursors: vec![0; modules],
@@ -230,6 +235,20 @@ pub const DATA_REGION_BASE: u64 = 0x0100_0000_0000;
 /// Size of the simulated data region (enough for any experiment).
 pub const DATA_REGION_SIZE: u64 = 0x0F00_0000_0000;
 
+/// Home tags a multi-socket machine can track. On a NUMA machine the data
+/// region is carved into one bump arena per tag (plus a default arena), so
+/// an allocation's home socket is an O(1) address-range lookup on the miss
+/// path — no per-allocation table. Engines typically tag one partition per
+/// tag (`partition % MAX_HOME_TAGS`).
+pub const MAX_HOME_TAGS: usize = 64;
+
+/// Origin-socket bits packed into queued invalidation entries (below the
+/// [`BACK_INVALIDATE`] flag; simulated line numbers stay < 2^44). Zero for
+/// socket 0, so single-socket queue entries are bit-identical to the
+/// pre-NUMA encoding.
+const ORIGIN_SHIFT: u32 = 56;
+const ORIGIN_MASK: u64 = 0x7F << ORIGIN_SHIFT;
+
 /// Maximum LLC lock stripes (power of two; reduced until it divides the
 /// LLC set count).
 const MAX_LLC_STRIPES: usize = 64;
@@ -306,8 +325,10 @@ pub enum BatchOp {
 pub struct Machine {
     cfg: MachineConfig,
     cores: Vec<CoreSlot>,
-    /// LLC lock stripes. Stripe of global set `s` is `s % stripes`; the
-    /// local set index within the stripe is `s / stripes`.
+    /// LLC lock stripes, one full stripe set per socket: stripes of socket
+    /// `k` occupy `llc[k * stripes_per_socket ..]`. Within a socket, the
+    /// stripe of global set `s` is `s % stripes`; the local set index
+    /// within the stripe is `s / stripes`.
     llc: Vec<LlcStripe>,
     llc_sets: u64,
     /// `llc_sets - 1` when the set count is a power of two (the Table 1
@@ -315,9 +336,27 @@ pub struct Machine {
     llc_set_mask: u64,
     llc_stripe_mask: usize,
     llc_stripe_shift: u32,
+    llc_stripes_per_socket: usize,
+    /// `cfg.cores / cfg.sockets` (socket-major core layout).
+    cores_per_socket: usize,
+    /// `sockets > 1` — gates every NUMA-only branch off the fast path.
+    numa: bool,
     modules: RwLock<ModuleRegistry>,
     descs: DescTable,
-    data: Mutex<AddressSpace>,
+    /// Data arenas: one bump allocator on a single-socket machine, one per
+    /// home tag (plus the untagged arena 0) on a NUMA machine.
+    data: Mutex<Vec<AddressSpace>>,
+    /// Bytes covered by each arena (`DATA_REGION_SIZE / arena count`).
+    arena_size: u64,
+    /// Ambient home tag applied to allocations (-1 = untagged / arena 0).
+    alloc_home: AtomicI64,
+    /// Home socket for untagged data (-1 = 4 KB-chunk interleave).
+    default_home: AtomicI64,
+    /// Home socket per tag (index = tag).
+    tag_home: Box<[AtomicU32]>,
+    /// LLC-fill accesses per (tag, socket) — `tag * sockets + socket` —
+    /// feeding [`Machine::rehome_hot_tags`].
+    tag_hits: Box<[AtomicU64]>,
     offline: AtomicBool,
     /// Per-core offline flags (simulated core failure / parked core):
     /// suppresses that core's traffic only, unlike the machine-wide
@@ -334,12 +373,19 @@ unsafe impl Sync for Machine {}
 impl Machine {
     /// Build a machine with cold caches.
     pub fn new(cfg: MachineConfig) -> Self {
+        assert!(cfg.sockets >= 1, "at least one socket");
+        assert!(
+            cfg.cores.is_multiple_of(cfg.sockets),
+            "cores ({}) must divide evenly across sockets ({})",
+            cfg.cores,
+            cfg.sockets
+        );
         let modules = ModuleRegistry::new();
         let descs = DescTable::new();
         for (id, m) in modules.iter() {
             descs.publish(id, CodeDesc::of(m));
         }
-        let cores = (0..cfg.cores)
+        let cores: Vec<CoreSlot> = (0..cfg.cores)
             .map(|i| CoreSlot::new(&cfg, i, modules.len()))
             .collect();
         let llc_sets = cfg.llc.sets();
@@ -347,13 +393,30 @@ impl Machine {
         while stripes > 1 && !llc_sets.is_multiple_of(stripes as u64) {
             stripes /= 2;
         }
-        let llc = (0..stripes)
+        // One LLC per socket, each sharded into the same stripe layout.
+        let llc = (0..cfg.sockets * stripes)
             .map(|_| {
                 LlcStripe::new(Cache::with_sets(
                     llc_sets / stripes as u64,
                     cfg.llc.ways as usize,
                 ))
             })
+            .collect();
+        // Single-socket machines keep the whole region in one arena, so
+        // allocation addresses (and everything downstream — warm-up walks,
+        // counter streams, digests) are bit-identical to the pre-NUMA
+        // simulator. NUMA machines carve one arena per home tag.
+        let arenas = if cfg.sockets > 1 {
+            MAX_HOME_TAGS + 1
+        } else {
+            1
+        };
+        // Rounded down to a 4 KB boundary so every arena starts page- (and
+        // line-) aligned; the single-arena size is unchanged
+        // (`DATA_REGION_SIZE` is page-aligned).
+        let arena_size = (DATA_REGION_SIZE / arenas as u64) & !4095;
+        let data = (0..arenas as u64)
+            .map(|i| AddressSpace::new(DATA_REGION_BASE + i * arena_size, arena_size))
             .collect();
         Machine {
             llc,
@@ -365,10 +428,20 @@ impl Machine {
             },
             llc_stripe_mask: stripes - 1,
             llc_stripe_shift: stripes.trailing_zeros(),
+            llc_stripes_per_socket: stripes,
+            cores_per_socket: cfg.cores_per_socket(),
+            numa: cfg.sockets > 1,
             cores,
             modules: RwLock::new(modules),
             descs,
-            data: Mutex::new(AddressSpace::new(DATA_REGION_BASE, DATA_REGION_SIZE)),
+            data: Mutex::new(data),
+            arena_size,
+            alloc_home: AtomicI64::new(-1),
+            default_home: AtomicI64::new(-1),
+            tag_home: (0..MAX_HOME_TAGS).map(|_| AtomicU32::new(0)).collect(),
+            tag_hits: (0..MAX_HOME_TAGS * cfg.sockets)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             offline: AtomicBool::new(false),
             core_offline: (0..cfg.cores).map(|_| AtomicBool::new(false)).collect(),
             cfg,
@@ -454,9 +527,148 @@ impl Machine {
             .collect()
     }
 
-    /// Allocate simulated data memory.
+    /// Allocate simulated data memory. On a NUMA machine the allocation
+    /// lands in the arena of the ambient home tag (see
+    /// [`Machine::set_alloc_home`]), or the untagged arena when none is set.
     pub fn alloc_data(&self, size: u64, align: u64) -> u64 {
-        self.data.lock().unwrap().alloc(size, align)
+        let arena = if self.numa {
+            match self.alloc_home.load(Ordering::Relaxed) {
+                t if t >= 0 => 1 + t as usize,
+                _ => 0,
+            }
+        } else {
+            0
+        };
+        self.data.lock().unwrap()[arena].alloc(size, align)
+    }
+
+    /// Number of sockets.
+    pub fn sockets(&self) -> usize {
+        self.cfg.sockets
+    }
+
+    /// Socket of `core` (socket-major: cores `[k*C, (k+1)*C)` sit on
+    /// socket `k`).
+    #[inline]
+    pub fn socket_of(&self, core: usize) -> usize {
+        if self.numa {
+            core / self.cores_per_socket
+        } else {
+            0
+        }
+    }
+
+    /// Set (or clear) the ambient home tag applied to subsequent
+    /// [`Machine::alloc_data`] calls, returning the previous value so
+    /// callers can scope it. No-op signal on a single-socket machine
+    /// (allocations always go to the one arena). Tags are machine-global:
+    /// placement code sets one around a partition's bulk load, which is
+    /// single-threaded in every engine.
+    pub fn set_alloc_home(&self, tag: Option<usize>) -> Option<usize> {
+        if let Some(t) = tag {
+            assert!(t < MAX_HOME_TAGS, "home tag {t} out of range");
+        }
+        let prev = self
+            .alloc_home
+            .swap(tag.map_or(-1, |t| t as i64), Ordering::Relaxed);
+        (prev >= 0).then_some(prev as usize)
+    }
+
+    /// Set the home socket of untagged data, or `None` to restore the
+    /// default 4 KB-chunk interleave. Models the OS page policy
+    /// (first-touch-on-one-socket vs interleaved).
+    pub fn set_default_home(&self, socket: Option<usize>) {
+        if let Some(s) = socket {
+            assert!(s < self.cfg.sockets, "socket {s} out of range");
+        }
+        self.default_home
+            .store(socket.map_or(-1, |s| s as i64), Ordering::Relaxed);
+    }
+
+    /// Re-home all data allocated under `tag` to `socket`. O(1): homes are
+    /// looked up per miss, so migration is an atomic store (the simulated
+    /// analogue of `move_pages` on a partition's arena).
+    pub fn set_tag_home(&self, tag: usize, socket: usize) {
+        assert!(tag < MAX_HOME_TAGS, "home tag {tag} out of range");
+        assert!(socket < self.cfg.sockets, "socket {socket} out of range");
+        self.tag_home[tag].store(socket as u32, Ordering::Relaxed);
+    }
+
+    /// Current home socket of `tag`.
+    pub fn tag_home(&self, tag: usize) -> usize {
+        self.tag_home[tag].load(Ordering::Relaxed) as usize
+    }
+
+    /// Migrate every tag whose observed LLC-fill traffic since the last
+    /// call is dominated by a socket other than its current home: at least
+    /// `min_hits` fills total and a `margin` fraction (e.g. `0.6`) of them
+    /// from the winning socket. Returns the number of tags moved and
+    /// resets the observation window of every tag that reached `min_hits`.
+    pub fn rehome_hot_tags(&self, min_hits: u64, margin: f64) -> usize {
+        if !self.numa {
+            return 0;
+        }
+        let sockets = self.cfg.sockets;
+        let mut moved = 0;
+        for tag in 0..MAX_HOME_TAGS {
+            let row = &self.tag_hits[tag * sockets..(tag + 1) * sockets];
+            let mut total = 0u64;
+            let (mut best, mut best_hits) = (0usize, 0u64);
+            for (s, h) in row.iter().enumerate() {
+                let v = h.load(Ordering::Relaxed);
+                total += v;
+                if v > best_hits {
+                    best_hits = v;
+                    best = s;
+                }
+            }
+            if total < min_hits {
+                continue;
+            }
+            let cur = self.tag_home[tag].load(Ordering::Relaxed) as usize;
+            if best != cur && best_hits as f64 >= margin * total as f64 {
+                self.tag_home[tag].store(best as u32, Ordering::Relaxed);
+                moved += 1;
+            }
+            for h in row {
+                h.store(0, Ordering::Relaxed);
+            }
+        }
+        moved
+    }
+
+    /// Home socket of a data line, bumping the (tag, socket) observation
+    /// counter for tagged data. Only called on the LLC-miss path of a NUMA
+    /// machine.
+    #[inline]
+    fn classify_home(&self, line: u64, socket: usize) -> usize {
+        let addr = line * LINE;
+        if addr >= DATA_REGION_BASE {
+            let arena = ((addr - DATA_REGION_BASE) / self.arena_size) as usize;
+            if (1..=MAX_HOME_TAGS).contains(&arena) {
+                let tag = arena - 1;
+                self.tag_hits[tag * self.cfg.sockets + socket].fetch_add(1, Ordering::Relaxed);
+                return self.tag_home[tag].load(Ordering::Relaxed) as usize;
+            }
+        }
+        let d = self.default_home.load(Ordering::Relaxed);
+        if d >= 0 {
+            d as usize
+        } else {
+            // Interleave by 4 KB chunk (64 lines), like an OS interleaved
+            // page policy.
+            ((line >> 6) as usize) % self.cfg.sockets
+        }
+    }
+
+    /// Charge a cross-socket access if the demand LLC fill of `line` on
+    /// `socket` is homed remotely.
+    #[inline]
+    fn note_llc_fill(&self, c: &mut Core, mi: usize, socket: usize, line: u64) {
+        if self.classify_home(line, socket) != socket {
+            c.counts.remote_accesses += 1;
+            c.module_counts[mi].remote_accesses += 1;
+        }
     }
 
     /// Check out core `core`'s port: flips the slot to ported with no
@@ -565,7 +777,7 @@ impl Machine {
         }
         unsafe {
             slot.queue.drain(|v| {
-                let line = v & !BACK_INVALIDATE;
+                let line = v & !(BACK_INVALIDATE | ORIGIN_MASK);
                 if v & BACK_INVALIDATE != 0 {
                     // Inclusive-LLC back-invalidation: drop everywhere,
                     // charge nothing.
@@ -575,6 +787,16 @@ impl Machine {
                 } else if c.l1d.invalidate(line) | c.l2.invalidate(line) {
                     // MESI write-invalidation: count only if resident.
                     c.counts.invalidations += 1;
+                    // A resident line invalidated by a writer on another
+                    // socket crossed the interconnect (snoop + later
+                    // cache-to-cache refill); charge the receiver one
+                    // remote access. Zero on single-socket machines.
+                    if self.numa {
+                        let origin = ((v & ORIGIN_MASK) >> ORIGIN_SHIFT) as usize;
+                        if origin != c.socket {
+                            c.counts.remote_accesses += 1;
+                        }
+                    }
                 }
             });
         }
@@ -589,10 +811,10 @@ impl Machine {
         }
     }
 
-    /// Access the striped LLC: one spinlock per stripe, stripe keyed by the
-    /// global set index so each set lives in exactly one stripe.
+    /// Access `socket`'s striped LLC: one spinlock per stripe, stripe keyed
+    /// by the global set index so each set lives in exactly one stripe.
     #[inline]
-    fn llc_access(&self, line: u64) -> AccessOutcome {
+    fn llc_access(&self, socket: usize, line: u64) -> AccessOutcome {
         let set = if self.llc_set_mask != u64::MAX {
             (line & self.llc_set_mask) as usize
         } else {
@@ -600,7 +822,10 @@ impl Machine {
         };
         let stripe = set & self.llc_stripe_mask;
         let local = set >> self.llc_stripe_shift;
-        self.llc[stripe].lock().cache().access_at(local, line)
+        self.llc[socket * self.llc_stripes_per_socket + stripe]
+            .lock()
+            .cache()
+            .access_at(local, line)
     }
 
     /// Aggregate counters of `core` (snapshot; applies pending queued
@@ -691,7 +916,7 @@ impl Machine {
                 Self::bump(c, module, StallEvent::L1i);
                 if !c.l2.access(line).hit {
                     Self::bump(c, module, StallEvent::L2i);
-                    if !self.llc_access(line).hit {
+                    if !self.llc_access(c.socket, line).hit {
                         Self::bump(c, module, StallEvent::LlcI);
                     }
                 }
@@ -700,7 +925,7 @@ impl Machine {
                     // stall is charged for the prefetch itself.
                     c.l1i.access(line + 1);
                     c.l2.access(line + 1);
-                    self.llc_access(line + 1);
+                    self.llc_access(c.socket, line + 1);
                 }
             }
             if d.branchiness > 0.0 && c.rng.chance(d.branchiness) {
@@ -809,7 +1034,11 @@ impl Machine {
             if !c.l1d.access(line).hit {
                 missed = true;
                 if !c.l2.access(line).hit {
-                    self.llc_access(line);
+                    let out = self.llc_access(c.socket, line);
+                    if self.numa && !out.hit {
+                        // Remote-homed write-allocate fill: one QPI hop.
+                        self.note_llc_fill(c, mi, c.socket, line);
+                    }
                 }
             }
             if missed {
@@ -830,9 +1059,14 @@ impl Machine {
                 Self::bump(c, module, StallEvent::L1d);
                 if !c.l2.access(line).hit {
                     Self::bump(c, module, StallEvent::L2d);
-                    let out = self.llc_access(line);
+                    let out = self.llc_access(c.socket, line);
                     if !out.hit {
                         Self::bump(c, module, StallEvent::LlcD);
+                        if self.numa {
+                            // DRAM fill from a remote socket's memory:
+                            // one QPI hop on top of the local miss.
+                            self.note_llc_fill(c, mi, c.socket, line);
+                        }
                         if self.cfg.inclusive_llc {
                             if let Some(v) = out.evicted {
                                 // Inclusive-LLC back-invalidation: this
@@ -863,18 +1097,21 @@ impl Machine {
         }
         if !c.l1d.access(line).hit {
             c.l2.access(line);
-            self.llc_access(line);
+            self.llc_access(c.socket, line);
         }
         if store && self.cores.len() > 1 {
             self.publish_invalidate(core, line);
         }
     }
 
-    /// Publish a store invalidation to every other *active* core's queue.
+    /// Publish a store invalidation to every other *active* core's queue,
+    /// tagged with the writer's socket (zero bits on a single-socket
+    /// machine, so queue entries are unchanged from the pre-NUMA encoding).
     fn publish_invalidate(&self, from: usize, line: u64) {
+        let tagged = line | ((self.socket_of(from) as u64) << ORIGIN_SHIFT);
         for slot in &self.cores {
             if slot.id != from && slot.active.load(Ordering::Acquire) {
-                slot.queue.push(line);
+                slot.queue.push(tagged);
             }
         }
     }
@@ -902,30 +1139,49 @@ impl Machine {
     /// For working sets beyond LLC capacity only the most recently
     /// touched tail stays resident, as it would on real hardware.
     pub fn warm_data(&self) {
-        let used = self.data.lock().unwrap().used();
-        let base = DATA_REGION_BASE / crate::LINE;
-        let end = (DATA_REGION_BASE + used).div_ceil(crate::LINE);
+        // Line spans of every arena with allocations (one span on a
+        // single-socket machine — identical to the pre-NUMA walk).
+        let spans: Vec<(u64, u64)> = self
+            .data
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|a| a.used() > 0)
+            .map(|a| {
+                (
+                    a.base() / crate::LINE,
+                    (a.base() + a.used()).div_ceil(crate::LINE),
+                )
+            })
+            .collect();
         // Walk stripe by stripe instead of line by line: one lock
         // acquisition per stripe and a sequential sweep of that stripe's
         // sets, instead of bouncing across all stripes every line. The
         // lines of stripe `s` are exactly those with `line % stripes == s`
         // (stripes divides the set count), and stepping by `stripes`
         // preserves the within-set access order, so the resulting
-        // residency and LRU state are identical to the flat walk.
-        let stripes = self.llc.len() as u64;
-        for s in 0..stripes {
-            let mut guard = self.llc[s as usize].lock();
-            let cache = guard.cache();
-            let mut line = base + (s + stripes - base % stripes) % stripes;
-            while line < end {
-                let set = if self.llc_set_mask != u64::MAX {
-                    (line & self.llc_set_mask) as usize
-                } else {
-                    (line % self.llc_sets) as usize
-                };
-                debug_assert_eq!(set & self.llc_stripe_mask, s as usize);
-                cache.access_at(set >> self.llc_stripe_shift, line);
-                line += stripes;
+        // residency and LRU state are identical to the flat walk. Every
+        // socket's LLC is warmed the same way: after a bulk load any
+        // socket may serve the first reads, and warm-up windows converge
+        // residency to steady state anyway.
+        let stripes = self.llc_stripes_per_socket as u64;
+        for socket in 0..self.cfg.sockets {
+            for s in 0..stripes {
+                let mut guard = self.llc[socket * self.llc_stripes_per_socket + s as usize].lock();
+                let cache = guard.cache();
+                for &(base, end) in &spans {
+                    let mut line = base + (s + stripes - base % stripes) % stripes;
+                    while line < end {
+                        let set = if self.llc_set_mask != u64::MAX {
+                            (line & self.llc_set_mask) as usize
+                        } else {
+                            (line % self.llc_sets) as usize
+                        };
+                        debug_assert_eq!(set & self.llc_stripe_mask, s as usize);
+                        cache.access_at(set >> self.llc_stripe_shift, line);
+                        line += stripes;
+                    }
+                }
             }
         }
     }
@@ -1303,6 +1559,118 @@ mod tests {
     }
 
     #[test]
+    fn single_socket_numa_config_is_bit_identical() {
+        // `numa(1, n)` must behave exactly like `ivy_bridge(n)`: same
+        // allocation addresses, same counters, zero remote accesses.
+        let run = |cfg: MachineConfig| {
+            let m = Machine::new(cfg);
+            let id = m.register_module(ModuleSpec::new("w", 64 << 10).reuse(2.0));
+            let buf = m.alloc_data(1 << 20, 64);
+            for i in 0..20_000u64 {
+                m.fetch_code(0, id, 40);
+                m.data_access(0, id, buf + (i % 8192) * 64, 16, false);
+                m.data_access(1, id, buf + (i % 64) * 64, 8, true);
+            }
+            (buf, m.counters(0), m.counters(1), m.module_counters(0))
+        };
+        let a = run(MachineConfig::ivy_bridge(2));
+        let b = run(MachineConfig::numa(1, 2));
+        assert_eq!(a, b);
+        assert_eq!(a.1.remote_accesses, 0);
+        assert_eq!(a.2.remote_accesses, 0);
+    }
+
+    #[test]
+    fn alloc_home_routes_allocations_to_tag_arenas() {
+        let m = Machine::new(MachineConfig::numa(2, 1));
+        let arena = (DATA_REGION_SIZE / (MAX_HOME_TAGS as u64 + 1)) & !4095;
+        let untagged = m.alloc_data(64, 64);
+        assert!(untagged < DATA_REGION_BASE + arena);
+        assert_eq!(m.set_alloc_home(Some(3)), None);
+        let tagged = m.alloc_data(64, 64);
+        assert_eq!(m.set_alloc_home(None), Some(3));
+        assert_eq!((tagged - DATA_REGION_BASE) / arena, 4, "arena 1 + tag");
+    }
+
+    #[test]
+    fn remote_homed_fills_charge_remote_accesses() {
+        // Two sockets, one core each. Tag 0 homed on socket 0, tag 1 on
+        // socket 1; each core reads both regions cold (compulsory LLC
+        // misses) and must be charged only for the remote-homed one.
+        let m = Machine::new(MachineConfig::numa(2, 1));
+        m.set_alloc_home(Some(0));
+        let on0 = m.alloc_data(64 << 10, 64);
+        m.set_alloc_home(Some(1));
+        let on1 = m.alloc_data(64 << 10, 64);
+        m.set_alloc_home(None);
+        m.set_tag_home(0, 0);
+        m.set_tag_home(1, 1);
+        for i in 0..1024u64 {
+            m.data_access(0, ModuleId::UNATTRIBUTED, on0 + i * 64, 8, false);
+            m.data_access(1, ModuleId::UNATTRIBUTED, on1 + i * 64, 8, false);
+        }
+        assert_eq!(m.counters(0).remote_accesses, 0, "local reads stay local");
+        assert_eq!(m.counters(1).remote_accesses, 0);
+        for i in 0..1024u64 {
+            m.data_access(0, ModuleId::UNATTRIBUTED, on1 + i * 64, 8, false);
+        }
+        let c0 = m.counters(0);
+        assert_eq!(c0.remote_accesses, 1024, "every cold fill crossed QPI");
+        assert_eq!(c0.miss(StallEvent::LlcD), 2048);
+    }
+
+    #[test]
+    fn remote_invalidations_charge_the_receiver() {
+        // Writer on the other socket: the receiver's resident line was
+        // downgraded across the interconnect.
+        let m = Machine::new(MachineConfig::numa(2, 1));
+        // Home the data on the reader's socket so the only cross-socket
+        // event is the invalidation itself.
+        m.set_default_home(Some(1));
+        let addr = m.alloc_data(64, 64);
+        m.data_access(1, ModuleId::UNATTRIBUTED, addr, 8, false);
+        m.data_access(0, ModuleId::UNATTRIBUTED, addr, 8, true);
+        let c1 = m.counters(1);
+        assert_eq!(c1.invalidations, 1);
+        assert_eq!(c1.remote_accesses, 1);
+
+        // Writer on the same socket: an invalidation but no QPI crossing.
+        let m = Machine::new(MachineConfig::numa(2, 2));
+        let addr = m.alloc_data(64, 64);
+        m.data_access(1, ModuleId::UNATTRIBUTED, addr, 8, false);
+        m.data_access(0, ModuleId::UNATTRIBUTED, addr, 8, true);
+        let c1 = m.counters(1);
+        assert_eq!(c1.invalidations, 1);
+        assert_eq!(c1.remote_accesses, 0);
+    }
+
+    #[test]
+    fn rehome_hot_tags_follows_dominant_socket() {
+        let m = Machine::new(MachineConfig::numa(2, 1));
+        m.set_alloc_home(Some(5));
+        let buf = m.alloc_data(1 << 20, 64);
+        m.set_alloc_home(None);
+        m.set_tag_home(5, 0);
+        // Socket 1 does all the (cold, LLC-missing) traffic on tag 5.
+        for i in 0..4096u64 {
+            m.data_access(1, ModuleId::UNATTRIBUTED, buf + i * 64, 8, false);
+        }
+        let before = m.counters(1);
+        assert_eq!(before.remote_accesses, 4096);
+        assert_eq!(m.rehome_hot_tags(100, 0.6), 1, "tag 5 migrates");
+        assert_eq!(m.tag_home(5), 1);
+        // After migration, fresh cold fills on socket 1 are local. Flush
+        // so the same lines miss the LLC again.
+        m.flush_caches();
+        for i in 0..4096u64 {
+            m.data_access(1, ModuleId::UNATTRIBUTED, buf + i * 64, 8, false);
+        }
+        assert_eq!(m.counters(1).delta(&before).remote_accesses, 0);
+        // The observation window was reset: no further migration.
+        assert_eq!(m.rehome_hot_tags(100, 0.6), 0);
+    }
+
+    #[test]
     fn llc_striping_is_observation_equivalent_to_single_lock() {
         // The striped LLC must hit/miss/evict exactly like one monolithic
         // cache: sets are independent, and each maps to one stripe.
@@ -1314,7 +1682,7 @@ mod tests {
             // Random lines over 64 MB: deep LLC pressure with evictions.
             let line = (DATA_REGION_BASE / 64) + rng.next_below(1 << 20);
             let a = mono.access(line);
-            let b = m.llc_access(line);
+            let b = m.llc_access(0, line);
             assert_eq!(a, b);
         }
         assert_eq!(mono.misses(), {

@@ -67,6 +67,7 @@ pub struct MicroBench {
     read_only: bool,
     string_cols: bool,
     seed: u64,
+    cross_frac: f64,
     table: Option<TableId>,
     workers: usize,
     rngs: Vec<StdRng>,
@@ -81,6 +82,7 @@ impl MicroBench {
             read_only: true,
             string_cols: false,
             seed: 0x5EED,
+            cross_frac: 0.0,
             table: None,
             workers: 1,
             rngs: Vec::new(),
@@ -118,6 +120,19 @@ impl MicroBench {
         self
     }
 
+    /// Fraction of probes that target the *partner* worker's key slice —
+    /// the worker halfway across the worker array (Porobic et al.'s
+    /// local/cross-island transaction mix). With socket-major worker
+    /// placement the partner sits on the other socket, so these probes
+    /// become multi-partition, cross-socket operations on partitioned
+    /// engines. `0.0` (the default) is bit-identical to the historical
+    /// fully-local benchmark.
+    pub fn cross_frac(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "cross fraction must be in 0..=1");
+        self.cross_frac = f;
+        self
+    }
+
     /// Number of rows in the table.
     pub fn rows_total(&self) -> u64 {
         self.rows
@@ -134,11 +149,22 @@ impl MicroBench {
         }
     }
 
-    /// A random key belonging to `worker`'s partition slice.
+    /// A random key belonging to `worker`'s partition slice — or, with
+    /// probability [`MicroBench::cross_frac`], the partner worker's slice.
+    /// The extra RNG draw only happens when the knob is on, keeping the
+    /// default key stream bit-identical.
     fn pick_key(&mut self, worker: usize) -> u64 {
+        let mut owner = worker as u64;
+        if self.cross_frac > 0.0
+            && self.workers > 1
+            && (self.rngs[worker].random_range(0u64..1_000_000) as f64)
+                < self.cross_frac * 1_000_000.0
+        {
+            owner = ((worker + self.workers / 2) % self.workers) as u64;
+        }
         let per = self.rows / self.workers as u64;
         let r = self.rngs[worker].random_range(0..per);
-        (r * self.workers as u64 + worker as u64) * KEY_STRIDE
+        (r * self.workers as u64 + owner) * KEY_STRIDE
     }
 }
 
@@ -282,6 +308,34 @@ mod tests {
         assert_eq!(row[0].as_str().unwrap().len(), 50);
         assert_eq!(row[1].as_str().unwrap().len(), 50);
         s.commit().unwrap();
+    }
+
+    #[test]
+    fn cross_partition_probes_resolve_via_mp_fallback() {
+        use engines::{Placement, SystemBuilder};
+        // Island placement on 2x2: partitions 0,1 homed on socket 0 and
+        // 2,3 on socket 1. Every probe targets the partner worker two
+        // slots away — always the other socket — so the engines' multi-
+        // partition fallback must find the row and the fills must be
+        // charged as remote accesses.
+        for kind in [SystemKind::VoltDb, SystemKind::HyPer] {
+            let sim = Sim::new(MachineConfig::numa(2, 2));
+            let mut db = SystemBuilder::new(kind)
+                .cores(4)
+                .placement(Placement::Island)
+                .build(&sim);
+            let mut w = small().read_write().cross_frac(1.0);
+            sim.offline(|| w.setup(db.as_mut(), 4));
+            for worker in 0..4 {
+                let mut s = db.session(worker);
+                for _ in 0..10 {
+                    w.exec(s.as_mut(), worker)
+                        .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+                }
+            }
+            let remote: u64 = (0..4).map(|c| sim.counters(c).remote_accesses).sum();
+            assert!(remote > 0, "{kind:?}: cross probes must charge remote");
+        }
     }
 
     #[test]

@@ -2,16 +2,18 @@
 //!
 //! The shim's `Serialize`/`Deserialize` traits are blanket-implemented for
 //! every type, so the derives have nothing to generate — they only need to
-//! exist so `#[derive(Serialize, Deserialize)]` parses.
+//! exist so `#[derive(Serialize, Deserialize)]` parses. Both accept the
+//! `#[serde(...)]` helper attribute (field defaults, renames, …) and ignore
+//! it, so annotated types keep compiling against the real crate too.
 
 use proc_macro::TokenStream;
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }

@@ -54,7 +54,11 @@ fn digest(sim: &Sim, core: usize) -> u64 {
 }
 
 fn micro_digest(kind: SystemKind) -> u64 {
-    let sim = Sim::new(MachineConfig::ivy_bridge(1));
+    micro_digest_on(kind, MachineConfig::ivy_bridge(1))
+}
+
+fn micro_digest_on(kind: SystemKind, machine: MachineConfig) -> u64 {
+    let sim = Sim::new(machine);
     let mut db = build_system(kind, &sim, 1);
     let mut w = MicroBench::new(DbSize::Mb1).with_rows(30_000).seed(4242);
     sim.offline(|| w.setup(db.as_mut(), 1));
@@ -85,6 +89,53 @@ fn tpcb_digest(kind: SystemKind) -> u64 {
     let _ = measure(&sim, 0, spec, |_| w.exec(s.as_mut(), 0).unwrap());
     drop(s);
     digest(&sim, 0)
+}
+
+/// Same fixed-seed micro run on two cores, driven from one thread by
+/// alternating the two sessions so the interleaving is deterministic,
+/// folding both cores' counter state into one digest.
+fn micro_digest_two_cores(kind: SystemKind, machine: MachineConfig) -> u64 {
+    let sim = Sim::new(machine);
+    let mut db = build_system(kind, &sim, 2);
+    let mut w = MicroBench::new(DbSize::Mb1).with_rows(30_000).seed(4242);
+    sim.offline(|| w.setup(db.as_mut(), 2));
+    sim.warm_data();
+    let mut s0 = db.session(0);
+    let mut s1 = db.session(1);
+    for _ in 0..400 {
+        w.exec(s0.as_mut(), 0).unwrap();
+        w.exec(s1.as_mut(), 1).unwrap();
+    }
+    drop(s0);
+    drop(s1);
+    let mut h = Fnv::new();
+    h.word(digest(&sim, 0));
+    h.word(digest(&sim, 1));
+    h.0
+}
+
+/// A one-socket NUMA machine must be *bit-identical* to the flat machine it
+/// degenerates to: `numa(1, n)` shares ivy_bridge's LLC geometry, every
+/// home classification resolves to socket 0, and no remote penalty can
+/// fire. Anything less means the multi-socket extension perturbed the
+/// single-socket fast path, which the absolute goldens above would also
+/// catch — this test localizes the blame to the topology change.
+#[test]
+fn numa_single_socket_digests_match_flat_machine() {
+    for kind in [SystemKind::VoltDb, SystemKind::HyPer, SystemKind::ShoreMt] {
+        assert_eq!(
+            micro_digest_on(kind, MachineConfig::numa(1, 1)),
+            micro_digest(kind),
+            "{kind:?}: numa(1,1) digest diverged from ivy_bridge(1)"
+        );
+    }
+    for kind in [SystemKind::VoltDb, SystemKind::HyPer] {
+        assert_eq!(
+            micro_digest_two_cores(kind, MachineConfig::numa(1, 2)),
+            micro_digest_two_cores(kind, MachineConfig::ivy_bridge(2)),
+            "{kind:?}: numa(1,2) digest diverged from ivy_bridge(2)"
+        );
+    }
 }
 
 #[test]
