@@ -10,6 +10,11 @@
 //! bench chaos <system> <workload> [--seed N] [--fault-rate R] [--workers W] [--sockets S]
 //!             [--smoke] [--plan <manifest.json>] [--out <dir>]
 //!                                             # fault-injection run + replayable manifest
+//! bench recover <system> <workload> [--seed N] [--kill-at SLOT] [--ckpt-start SLOT]
+//!             [--epoch E] [--workers W] [--smoke] [--plan <manifest.json>] [--out <dir>]
+//!                                             # durable run + deterministic kill + crash recovery
+//! bench recover --sweep [--smoke] [--out <path>]
+//!                                             # engines x kill points x epochs -> CSV
 //! bench cc-grid [--smoke] [--out <path>]      # CC protocol x contention sweep -> CSV
 //! bench islands [--smoke] [--out <path>]      # NUMA placement x cross-socket mix grid -> CSV
 //! bench serve [system] [workload] [--connections N] [--pool P] [--queue-cap Q]
@@ -71,6 +76,7 @@ fn main() {
         Some("metrics") => run_metrics(rest),
         Some("perf") => run_perf(rest),
         Some("chaos") => run_chaos(rest),
+        Some("recover") => run_recover(rest),
         Some("cc-grid") => run_ccgrid(rest),
         Some("islands") => run_islands(rest),
         Some("serve") => run_serve(rest),
@@ -625,11 +631,264 @@ fn run_chaos(argv: &[String]) -> ! {
     std::process::exit(i32::from(failed));
 }
 
+/// `bench recover`: one durable run with a deterministic kill, crash
+/// recovery from fuzzy checkpoint + durable log tail, and verification
+/// that exactly the acknowledged work survives. `--sweep` runs the
+/// nightly engines x kill-points x epochs grid to a CSV. Exits nonzero
+/// on any durability-invariant violation (or digest mismatch when
+/// replaying a manifest).
+fn run_recover(argv: &[String]) -> ! {
+    let p = parse_or_usage(
+        "recover",
+        argv,
+        &[
+            Spec::value("--seed"),
+            Spec::value("--kill-at"),
+            Spec::value("--ckpt-start"),
+            Spec::value("--epoch"),
+            Spec::value("--workers"),
+            Spec::value("--plan"),
+            Spec::value("--out"),
+            Spec::flag("--smoke"),
+            Spec::flag("--sweep"),
+        ],
+    );
+    limit_positionals(&p, 2, "recover");
+
+    if p.has("--sweep") {
+        let smoke = p.has("--smoke");
+        let rows = bench::recover::sweep(smoke);
+        print!("{}", bench::recover::render(&rows));
+        let default_name = if smoke {
+            "recover_smoke.csv"
+        } else {
+            "recover.csv"
+        };
+        let out = p
+            .value("--out")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| repo_root().join("results").join(default_name));
+        if let Some(dir) = out.parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        std::fs::write(&out, bench::recover::to_csv(&rows)).expect("write recover csv");
+        println!("wrote {}", out.display());
+        if let Err(e) = bench::recover::smoke_check(&rows) {
+            eprintln!("FAIL: {e}");
+            std::process::exit(1);
+        }
+        println!("recover sweep OK ({} cells)", rows.len());
+        std::process::exit(0);
+    }
+
+    // A replayed manifest supplies every knob; explicit CLI args win.
+    let replay = p.value("--plan").map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read plan {path}: {e}");
+            usage(2);
+        });
+        obs::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad plan JSON in {path}: {e}");
+            usage(2);
+        })
+    });
+    let rstr = |key: &str| {
+        replay
+            .as_ref()
+            .and_then(|m| m.get(key))
+            .and_then(|v| v.as_str())
+            .map(String::from)
+    };
+    let rnum = |key: &str| {
+        replay
+            .as_ref()
+            .and_then(|m| m.get(key))
+            .and_then(|v| v.as_f64())
+    };
+
+    let sys_arg = p
+        .pos(0)
+        .map(String::from)
+        .or_else(|| rstr("system_cli").or_else(|| rstr("system")))
+        .unwrap_or_else(|| usage(2));
+    let wl_arg = p
+        .pos(1)
+        .map(String::from)
+        .or_else(|| rstr("workload"))
+        .unwrap_or_else(|| usage(2));
+    let system = parse_system_or_die(&sys_arg);
+    let workload = parse_workload_or_die(&wl_arg);
+
+    let mut cfg = bench::recover::RecoverCfg::new(system, workload, &wl_arg);
+    if let Some(m) = &replay {
+        cfg.plan_override = Some(faults::FaultPlan::from_json(m).unwrap_or_else(|e| {
+            eprintln!("bad fault plan: {e}");
+            usage(2);
+        }));
+        cfg.seed = cfg.plan_override.as_ref().unwrap().seed;
+        if let Some(w) = rnum("workers") {
+            cfg.workers = w as usize;
+        }
+        if let Some(e) = rnum("epoch") {
+            cfg.epoch = e as u32;
+        }
+        if let Some(k) = rnum("kill_at") {
+            cfg.kill_at = Some(k as u64);
+        }
+        if let Some(c) = rnum("ckpt_start") {
+            cfg.ckpt_start = Some(c as u64);
+        }
+        if let Some(win) = m.get("window") {
+            let f = |k: &str| win.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+            cfg.window = Some(microarch::WindowSpec {
+                warmup: f("warmup"),
+                measured: f("measured"),
+                reps: 1,
+            });
+        }
+    }
+    let numeric = |name: &str, what: &str| {
+        p.parsed::<u64>(name, what).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage(2);
+        })
+    };
+    if let Some(seed) = numeric("--seed", "seed") {
+        cfg.seed = seed;
+        cfg.plan_override = None; // explicit knobs rebuild the plan
+    }
+    if let Some(k) = numeric("--kill-at", "kill slot") {
+        cfg.kill_at = Some(k);
+        cfg.plan_override = None;
+    }
+    if let Some(c) = numeric("--ckpt-start", "checkpoint start slot") {
+        cfg.ckpt_start = Some(c);
+    }
+    if let Some(e) = numeric("--epoch", "group-commit epoch") {
+        if !(1..=4096).contains(&e) {
+            eprintln!("bad epoch: {e} (expected 1..=4096)");
+            usage(2);
+        }
+        cfg.epoch = e as u32;
+    }
+    if let Some(w) = numeric("--workers", "worker count") {
+        if !(1..=64).contains(&w) {
+            eprintln!("bad worker count: {w} (expected 1..=64)");
+            usage(2);
+        }
+        cfg.workers = w as usize;
+    }
+    if p.has("--smoke") {
+        cfg.window = Some(microarch::WindowSpec {
+            warmup: 30,
+            measured: 90,
+            reps: 1,
+        });
+    }
+
+    let report = bench::recover::run(&cfg);
+    let out_dir = p
+        .value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("results"));
+    let manifest = bench::recover::write_manifest(&report, &cfg, &out_dir);
+
+    println!(
+        "recover: {} / {} / {} worker(s), epoch {}, kill slot {} of {}",
+        system.label(),
+        wl_arg,
+        cfg.workers,
+        cfg.epoch,
+        report.schedule.kill_at,
+        report.schedule.slots
+    );
+    println!(
+        "  crashed {}  confirmed {}  committed {}  winners {}  unfinished {}  aborted {}",
+        report.crashed,
+        report.confirmed,
+        report.committed,
+        report.recovery.winners,
+        report.recovery.unfinished,
+        report.recovery.aborted
+    );
+    for (i, c) in report.checkpoints.iter().enumerate() {
+        println!(
+            "  checkpoint[{i}]: complete {}  image_rows {}",
+            c.complete, c.image_rows
+        );
+    }
+    println!(
+        "  redo {} (skipped {})  undo {} (skipped {})  image rows {}",
+        report.recovery.redo_applied,
+        report.recovery.redo_skipped,
+        report.recovery.undo_applied,
+        report.recovery.undo_skipped,
+        report.recovery.image_rows
+    );
+    println!(
+        "  commit latency p50/p99 {:.0}/{:.0} cycles over {} samples",
+        report.latency_quantile(0.5),
+        report.latency_quantile(0.99),
+        report.commit_latencies.len()
+    );
+    for (t, d) in &report.digests {
+        println!("  table {t} digest {d:#018x}");
+    }
+    println!(
+        "  lost {}  phantom {}  aborted effects {}  digests match {}  re-recovery identical {}",
+        report.lost_updates,
+        report.phantom_updates,
+        report.aborted_effects,
+        report.digests_match,
+        report.second_match
+    );
+    println!("manifest: {}", manifest.display());
+
+    let mut failed = !report.consistent();
+    if failed {
+        eprintln!("FAIL: durability invariant violated");
+    }
+    // Digest comparison only applies to a faithful replay.
+    if let Some(m) = replay.as_ref().filter(|_| cfg.plan_override.is_some()) {
+        let want: Vec<(u64, String)> = m
+            .get("digests")
+            .and_then(|v| v.as_arr())
+            .map(|a| {
+                a.iter()
+                    .filter_map(|d| {
+                        Some((
+                            d.get("table").and_then(|v| v.as_f64())? as u64,
+                            d.get("digest").and_then(|v| v.as_str())?.to_string(),
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let got: Vec<(u64, String)> = report
+            .digests
+            .iter()
+            .map(|(t, d)| (u64::from(*t), format!("{d:#018x}")))
+            .collect();
+        if !want.is_empty() && want != got {
+            eprintln!("FAIL: recovered digests differ from the replayed manifest");
+            failed = true;
+        }
+        if !failed {
+            println!("replay matches the manifest");
+        }
+    }
+    std::process::exit(i32::from(failed));
+}
+
 fn usage(code: i32) -> ! {
     eprintln!("usage: bench trace <shore-mt|dbmsd|voltdb|hyper|dbmsm|dbmsm-interp|dbmsm-btree> <micro|micro-rw|tpcb|tpcc|tpce> [workers] [--flame [total|instr|data|l1i|l2i|llc-i|l1d|l2d|llc-d]]");
     eprintln!("       bench metrics [system] [workload] [--smoke]");
     eprintln!("       bench perf [--smoke] [--check <baseline.json>] [--out <path>]");
     eprintln!("       bench chaos <system> <workload> [--seed N] [--fault-rate R] [--workers W] [--cc <protocol>] [--smoke] [--plan <manifest.json>] [--out <dir>]");
+    eprintln!("       bench recover <system> <workload> [--seed N] [--kill-at SLOT] [--ckpt-start SLOT] [--epoch E] [--workers W] [--smoke] [--plan <manifest.json>] [--out <dir>]");
+    eprintln!(
+        "       bench recover --sweep [--smoke] [--out <path>]  # engines x kill points x epochs -> CSV"
+    );
     eprintln!(
         "       bench cc-grid [--smoke] [--out <path>]     # CC protocol x contention sweep -> CSV"
     );

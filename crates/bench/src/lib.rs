@@ -26,6 +26,7 @@ pub mod islands;
 pub mod metrics_report;
 pub mod modules_report;
 pub mod perf;
+pub mod recover;
 pub mod scaling;
 pub mod serve;
 pub mod suite;

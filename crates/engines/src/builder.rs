@@ -25,7 +25,7 @@ use faults::FaultPlan;
 use oltp::{CcPolicy, Db};
 use uarch_sim::Sim;
 
-use crate::common::{build_system_cc_inner, SystemKind};
+use crate::common::{build_system_cc_inner, build_system_durable_inner, SystemKind};
 use crate::placement::Placement;
 
 /// Configures and builds one engine instance on a simulator.
@@ -111,6 +111,20 @@ impl SystemBuilder {
     /// Build the engine on `sim`.
     pub fn build(&self, sim: &Sim) -> Box<dyn Db> {
         build_system_cc_inner(
+            self.kind,
+            sim,
+            self.effective_partitions(),
+            self.cc,
+            self.placement,
+        )
+    }
+
+    /// Build the engine on `sim`, typed for durability: the caller can
+    /// switch the log(s) into durable mode with
+    /// [`crate::durability::DurableDb::enable_durability`] and later
+    /// harvest the retained streams for crash recovery.
+    pub fn build_durable(&self, sim: &Sim) -> Box<dyn crate::durability::DurableDb> {
+        build_system_durable_inner(
             self.kind,
             sim,
             self.effective_partitions(),

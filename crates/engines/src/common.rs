@@ -127,6 +127,32 @@ pub(crate) fn build_system_cc_inner(
     }
 }
 
+/// [`build_system_cc_inner`]'s durable twin: the same construction, typed
+/// as [`crate::durability::DurableDb`] so callers can switch the log(s)
+/// into durable mode and harvest them for recovery.
+pub(crate) fn build_system_durable_inner(
+    kind: SystemKind,
+    sim: &Sim,
+    partitions: usize,
+    policy: CcPolicy,
+    placement: Placement,
+) -> Box<dyn crate::durability::DurableDb> {
+    if kind.partitioned() {
+        placement.install(sim, partitions);
+    }
+    match kind {
+        SystemKind::ShoreMt => Box::new(ShoreMt::with_cc(sim, policy)),
+        SystemKind::DbmsD => Box::new(DbmsD::with_cc(sim, policy)),
+        SystemKind::VoltDb => Box::new(VoltDb::with_cc_placed(sim, partitions, policy, placement)),
+        SystemKind::HyPer => Box::new(HyPer::with_cc_placed(sim, partitions, policy, placement)),
+        SystemKind::DbmsM { index, compiled } => Box::new(DbmsM::with_cc(
+            sim,
+            DbmsMOptions { index, compiled },
+            policy,
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -279,6 +279,42 @@ impl DbmsM {
     }
 }
 
+impl crate::durability::DurableDb for DbmsM {
+    fn enable_durability(&mut self, cfg: &crate::durability::DurabilityCfg) {
+        let mem = self.shared.sim.mem(0).with_module(self.shared.m.log);
+        let inner = &mut *self.shared.inner.lock().unwrap();
+        crate::durability::configure_wal(&mut inner.wal, &mem, cfg);
+    }
+
+    fn log_streams(&self) -> Vec<Vec<storage::wal::LogRecord>> {
+        vec![self.shared.inner.lock().unwrap().wal.records().to_vec()]
+    }
+
+    fn log_status(&self) -> Vec<crate::durability::LogStatus> {
+        vec![crate::durability::wal_status(
+            0,
+            &self.shared.inner.lock().unwrap().wal,
+        )]
+    }
+
+    fn flush_all(&mut self) {
+        let mem = self.shared.sim.mem(0).with_module(self.shared.m.log);
+        let inner = &mut *self.shared.inner.lock().unwrap();
+        if inner.wal.flushed() < inner.wal.horizon() {
+            inner.wal.flush(&mem);
+        }
+    }
+
+    fn take_commit_latencies(&mut self) -> Vec<f64> {
+        self.shared
+            .inner
+            .lock()
+            .unwrap()
+            .wal
+            .take_commit_latencies()
+    }
+}
+
 fn table(inner: &Inner, t: TableId) -> OltpResult<usize> {
     if (t.0 as usize) < inner.tables.len() {
         Ok(t.0 as usize)
@@ -544,6 +580,10 @@ impl Session for DbmsMSession {
                 inner.validation_aborts += 1;
                 self.shared.metrics.conflicts.inc(self.core);
                 cc.abort(txn.id.0, self.core, &mem);
+                if inner.wal.retaining() {
+                    let mem_log = self.mem(self.shared.m.log);
+                    inner.wal.append(&mem_log, txn.id, LogKind::Abort, 0);
+                }
                 return Err(e);
             }
             if let Err(v) = cc.validate(txn.id.0, self.core, &mem) {
@@ -552,6 +592,10 @@ impl Session for DbmsMSession {
                 // `txn` was already taken from the session, so the caller's
                 // abort() is a no-op — drop protocol state here.
                 cc.abort(txn.id.0, self.core, &mem);
+                if inner.wal.retaining() {
+                    let mem_log = self.mem(self.shared.m.log);
+                    inner.wal.append(&mem_log, txn.id, LogKind::Abort, 0);
+                }
                 return Err(v.into_error());
             }
         }
@@ -574,9 +618,13 @@ impl Session for DbmsMSession {
                             w.table as u32,
                             w.key,
                             Some(data),
+                            None,
                             data.len() as u32,
                         );
                     }
+                    // No before-images: uncommitted MVCC writes are never
+                    // visible outside the transaction, so recovery has
+                    // nothing to roll back (undo stays `None`).
                     WriteKind::Update(_, data) => {
                         inner.wal.append_data(
                             &mem_log,
@@ -585,6 +633,7 @@ impl Session for DbmsMSession {
                             w.table as u32,
                             w.key,
                             Some(data),
+                            None,
                             data.len() as u32,
                         );
                     }
@@ -595,6 +644,7 @@ impl Session for DbmsMSession {
                             LogKind::Delete,
                             w.table as u32,
                             w.key,
+                            None,
                             None,
                             16,
                         );
@@ -622,6 +672,11 @@ impl Session for DbmsMSession {
                         if let Some(cc) = &shared.cc {
                             cc.abort(txn.id.0, self.core, &mem_mvcc);
                         }
+                        if inner.wal.retaining() {
+                            // Durable mode: mark the rollback so recovery
+                            // classifies this txn aborted, not crashed.
+                            inner.wal.append(&mem_log, txn.id, LogKind::Abort, 0);
+                        }
                         return Err(OltpError::ValidationFailed {
                             table: TableId(w.table as u32),
                             key: w.key,
@@ -643,6 +698,9 @@ impl Session for DbmsMSession {
                             self.shared.metrics.conflicts.inc(self.core);
                             if let Some(cc) = &shared.cc {
                                 cc.abort(txn.id.0, self.core, &mem_mvcc);
+                            }
+                            if inner.wal.retaining() {
+                                inner.wal.append(&mem_log, txn.id, LogKind::Abort, 0);
                             }
                             return Err(OltpError::ValidationFailed {
                                 table: TableId(w.table as u32),
@@ -666,6 +724,9 @@ impl Session for DbmsMSession {
                             self.shared.metrics.conflicts.inc(self.core);
                             if let Some(cc) = &shared.cc {
                                 cc.abort(txn.id.0, self.core, &mem_mvcc);
+                            }
+                            if inner.wal.retaining() {
+                                inner.wal.append(&mem_log, txn.id, LogKind::Abort, 0);
                             }
                             return Err(OltpError::ValidationFailed {
                                 table: TableId(w.table as u32),

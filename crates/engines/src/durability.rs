@@ -1,0 +1,116 @@
+//! Durable mode: the cross-engine surface of the durability tier.
+//!
+//! Default builds keep the paper's configuration — asynchronous logging,
+//! Commit-only command logs on the partitioned engines, no device model —
+//! so every historical digest stays bit-identical. Enabling durability
+//! switches an engine's WAL(s) into a recoverable regime:
+//!
+//! * **record retention** with redo *and* undo payloads (the in-place 2PL
+//!   engines capture before-images; the partitioned engines start logging
+//!   data records alongside their Commit markers);
+//! * **epoch group commit** — the group-flush size becomes the epoch, the
+//!   knob the `bench recover` CSV sweeps against p99 commit latency;
+//! * an optional **NVMe-like log device** ([`uarch_sim::LogDevice`]) so
+//!   each group flush pays an fsync-equivalent cost in simulated cycles
+//!   and commit latencies become measurable;
+//! * an optional **high-water mark** bounding the unflushed tail.
+//!
+//! [`DurableDb`] exposes the log streams (one per partition on VoltDB /
+//! HyPer, one engine-wide otherwise) for the crash-recovery harness:
+//! truncate at the flushed horizon, feed [`storage::recovery::recover`].
+
+use oltp::Db;
+use storage::wal::{LogRecord, Lsn, Wal, WalStats};
+use uarch_sim::{DeviceStats, Mem, NvmeProfile};
+
+/// Configuration for [`DurableDb::enable_durability`].
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityCfg {
+    /// Group-commit epoch: commits per group flush.
+    pub epoch: u32,
+    /// Log-device latency profile (used when `device` is set).
+    pub profile: NvmeProfile,
+    /// Attach the simulated NVMe log device so flushes are charged.
+    pub device: bool,
+    /// Unflushed-tail bound in bytes. `None` bounds at the log buffer's
+    /// capacity — durable mode always has *some* mark, unlike the
+    /// asynchronous default where the tail may wrap the ring unbounded.
+    pub high_water: Option<u64>,
+}
+
+impl Default for DurabilityCfg {
+    fn default() -> Self {
+        DurabilityCfg {
+            epoch: 8,
+            profile: NvmeProfile::datacenter(),
+            device: true,
+            high_water: None,
+        }
+    }
+}
+
+/// One log stream's durability coordinates at a point in time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LogStatus {
+    /// Stream index (partition id, or 0 on engine-wide logs).
+    pub stream: usize,
+    /// LSN of the last appended record.
+    pub horizon: Lsn,
+    /// LSN up to which the log is durable.
+    pub flushed: Lsn,
+    /// Append/flush counters.
+    pub stats: WalStats,
+    /// Device counters, if a device is attached.
+    pub device: Option<DeviceStats>,
+}
+
+/// A [`Db`] whose log(s) can be made durable and harvested for recovery.
+pub trait DurableDb: Db {
+    /// Switch the engine's log(s) into durable mode. Call before loading
+    /// or running transactions (records appended earlier are not
+    /// retained). Calling again re-applies the configuration and
+    /// attaches a *fresh* device — an empty queue — without discarding
+    /// retained records; harnesses use this to shed the device backlog
+    /// an offline bulk load accumulates while the cycle clock stands
+    /// still.
+    fn enable_durability(&mut self, cfg: &DurabilityCfg);
+
+    /// The retained records of every log stream, in stream order
+    /// (partitioned engines: index = partition). Includes unflushed
+    /// records — the harness truncates at [`LogStatus::flushed`] to model
+    /// what survives a crash.
+    fn log_streams(&self) -> Vec<Vec<LogRecord>>;
+
+    /// Current horizon/flushed coordinates of every stream.
+    fn log_status(&self) -> Vec<LogStatus>;
+
+    /// Force a group flush on every stream (the checkpoint-complete
+    /// barrier and the end-of-run drain).
+    fn flush_all(&mut self);
+
+    /// Drain the per-commit latency samples (simulated cycles between a
+    /// Commit append and its group's device completion) from every
+    /// stream. Empty unless a device is attached.
+    fn take_commit_latencies(&mut self) -> Vec<f64>;
+}
+
+/// Apply `cfg` to one WAL (shared by every engine's implementation).
+pub(crate) fn configure_wal(wal: &mut Wal, mem: &Mem, cfg: &DurabilityCfg) {
+    wal.retain_records(true);
+    wal.set_group_size(cfg.epoch);
+    wal.set_high_water(cfg.high_water.unwrap_or_else(|| wal.buf_size()));
+    if cfg.device {
+        wal.attach_device(mem, cfg.profile);
+    }
+}
+
+/// Snapshot one WAL's durability coordinates.
+pub(crate) fn wal_status(stream: usize, wal: &Wal) -> LogStatus {
+    LogStatus {
+        stream,
+        horizon: wal.horizon(),
+        flushed: wal.flushed(),
+        stats: wal.stats(),
+        device: wal.device_stats(),
+    }
+}

@@ -189,6 +189,58 @@ impl HyPer {
     }
 }
 
+impl crate::durability::DurableDb for HyPer {
+    fn enable_durability(&mut self, cfg: &crate::durability::DurabilityCfg) {
+        for (p, part) in self.shared.parts.iter().enumerate() {
+            let mem = self
+                .shared
+                .sim
+                .mem(p % self.shared.sim.cores())
+                .with_module(self.shared.m.log);
+            crate::durability::configure_wal(&mut part.lock().unwrap().wal, &mem, cfg);
+        }
+    }
+
+    fn log_streams(&self) -> Vec<Vec<storage::wal::LogRecord>> {
+        self.shared
+            .parts
+            .iter()
+            .map(|p| p.lock().unwrap().wal.records().to_vec())
+            .collect()
+    }
+
+    fn log_status(&self) -> Vec<crate::durability::LogStatus> {
+        self.shared
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| crate::durability::wal_status(i, &p.lock().unwrap().wal))
+            .collect()
+    }
+
+    fn flush_all(&mut self) {
+        for (p, part) in self.shared.parts.iter().enumerate() {
+            let mem = self
+                .shared
+                .sim
+                .mem(p % self.shared.sim.cores())
+                .with_module(self.shared.m.log);
+            let part = &mut *part.lock().unwrap();
+            if part.wal.flushed() < part.wal.horizon() {
+                part.wal.flush(&mem);
+            }
+        }
+    }
+
+    fn take_commit_latencies(&mut self) -> Vec<f64> {
+        self.shared
+            .parts
+            .iter()
+            .flat_map(|p| p.lock().unwrap().wal.take_commit_latencies())
+            .collect()
+    }
+}
+
 impl HyPerSession {
     fn mem(&self, module: ModuleId) -> Mem {
         self.shared.sim.mem(self.core).with_module(module)
@@ -489,6 +541,12 @@ impl Session for HyPerSession {
             if part.owner == Some(txn) {
                 part.owner = None;
             }
+            if part.wal.retaining() {
+                // Durable mode: mark the rollback so recovery classifies
+                // this txn aborted, not crashed mid-flight.
+                let mem = self.mem(self.shared.m.log);
+                part.wal.append(&mem, txn, LogKind::Abort, 0);
+            }
             if let Some(cc) = &self.shared.cc {
                 cc.abort(txn.0, self.core, &self.mem(self.shared.m.runtime));
             }
@@ -499,7 +557,7 @@ impl Session for HyPerSession {
     fn insert(&mut self, t: TableId, key: u64, row: &[Value]) -> OltpResult<()> {
         let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
-        self.txn()?;
+        let txn = self.txn()?;
         debug_assert!(
             shared.defs.read().unwrap()[ti].schema.check(row),
             "row/schema mismatch"
@@ -515,6 +573,9 @@ impl Session for HyPerSession {
         let part = &mut *shared.parts[p].lock().unwrap();
         self.claim(part, t, key, true)?;
         let encoded = tuple::encode(row);
+        // Durable mode: the redo log carries data records too (the
+        // default log appends only Commit markers).
+        let redo = part.wal.retaining().then(|| encoded.clone());
         let id = {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
             self.value_work(part, ti, encoded.len());
@@ -529,6 +590,21 @@ impl Session for HyPerSession {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
             table.store.delete(&mem, id);
             return Err(OltpError::DuplicateKey { table: t, key });
+        }
+        if let Some(redo) = redo {
+            let _l = obs::span(ENGINE, Phase::Log, self.core);
+            let mem_log = self.mem(self.shared.m.log);
+            let len = redo.len() as u32;
+            part.wal.append_data(
+                &mem_log,
+                txn,
+                LogKind::Insert,
+                t.0,
+                key,
+                Some(&redo),
+                None,
+                len,
+            );
         }
         Ok(())
     }
@@ -575,7 +651,7 @@ impl Session for HyPerSession {
     fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
         let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
-        self.txn()?;
+        let txn = self.txn()?;
         let mem = self.mem(self.shared.m.proc);
         {
             let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
@@ -599,16 +675,35 @@ impl Session for HyPerSession {
                         .read(&mem, id, &mut |d| row = tuple::decode(d).ok());
                 }
                 let Some(mut row) = row else { return Ok(false) };
+                // Before-image for undo-capable recovery (durable mode).
+                let undo = part.wal.retaining().then(|| tuple::encode(&row));
                 f(&mut row);
                 debug_assert!(
                     shared.defs.read().unwrap()[ti].schema.check(&row),
                     "row/schema mismatch"
                 );
                 let encoded = tuple::encode(&row);
-                let _s = obs::span(ENGINE, Phase::Storage, self.core);
-                self.value_work(part, ti, encoded.len() * 2);
-                let table = &mut part.tables[ti];
-                table.store.update(&mem, id, encoded);
+                {
+                    let _s = obs::span(ENGINE, Phase::Storage, self.core);
+                    self.value_work(part, ti, encoded.len() * 2);
+                    let table = &mut part.tables[ti];
+                    table.store.update(&mem, id, encoded.clone());
+                }
+                if part.wal.retaining() {
+                    let _l = obs::span(ENGINE, Phase::Log, self.core);
+                    let mem_log = self.mem(self.shared.m.log);
+                    let len = encoded.len() as u32;
+                    part.wal.append_data(
+                        &mem_log,
+                        txn,
+                        LogKind::Update,
+                        t.0,
+                        key,
+                        Some(&encoded),
+                        undo.as_ref(),
+                        len * 2,
+                    );
+                }
                 return Ok(true);
             }
         }
@@ -670,7 +765,7 @@ impl Session for HyPerSession {
     fn delete(&mut self, t: TableId, key: u64) -> OltpResult<bool> {
         let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
-        self.txn()?;
+        let txn = self.txn()?;
         let mem = self.mem(self.shared.m.proc);
         {
             let _d = obs::span(ENGINE, Phase::Dispatch, self.core);
@@ -687,8 +782,32 @@ impl Session for HyPerSession {
         let Some(payload) = removed else {
             return Ok(false);
         };
-        let _s = obs::span(ENGINE, Phase::Storage, self.core);
-        table.store.delete(&mem, RowId::from_u64(payload));
+        let mut undo: Option<bytes::Bytes> = None;
+        {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            if part.wal.retaining() {
+                // Before-image read so recovery can restore the row if
+                // this transaction never commits (durable mode only).
+                table.store.read(&mem, RowId::from_u64(payload), &mut |d| {
+                    undo = Some(d.clone());
+                });
+            }
+            table.store.delete(&mem, RowId::from_u64(payload));
+        }
+        if part.wal.retaining() {
+            let _l = obs::span(ENGINE, Phase::Log, self.core);
+            let mem_log = self.mem(self.shared.m.log);
+            part.wal.append_data(
+                &mem_log,
+                txn,
+                LogKind::Delete,
+                t.0,
+                key,
+                None,
+                undo.as_ref(),
+                16,
+            );
+        }
         Ok(true)
     }
 }

@@ -49,6 +49,7 @@ pub mod builder;
 pub mod common;
 pub mod dbms_d;
 pub mod dbms_m;
+pub mod durability;
 pub mod hyper;
 pub mod placement;
 pub mod shore_mt;
@@ -58,6 +59,7 @@ pub use builder::SystemBuilder;
 pub use common::{build_system, DbmsMIndex, SystemKind};
 pub use dbms_d::DbmsD;
 pub use dbms_m::{DbmsM, DbmsMOptions};
+pub use durability::{DurabilityCfg, DurableDb, LogStatus};
 pub use hyper::HyPer;
 pub use oltp::cc::CcPolicy;
 pub use placement::Placement;

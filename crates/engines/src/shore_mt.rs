@@ -204,6 +204,42 @@ impl ShoreMt {
     }
 }
 
+impl crate::durability::DurableDb for ShoreMt {
+    fn enable_durability(&mut self, cfg: &crate::durability::DurabilityCfg) {
+        let mem = self.shared.sim.mem(0).with_module(self.shared.m.log);
+        let inner = &mut *self.shared.inner.lock().unwrap();
+        crate::durability::configure_wal(&mut inner.wal, &mem, cfg);
+    }
+
+    fn log_streams(&self) -> Vec<Vec<storage::wal::LogRecord>> {
+        vec![self.shared.inner.lock().unwrap().wal.records().to_vec()]
+    }
+
+    fn log_status(&self) -> Vec<crate::durability::LogStatus> {
+        vec![crate::durability::wal_status(
+            0,
+            &self.shared.inner.lock().unwrap().wal,
+        )]
+    }
+
+    fn flush_all(&mut self) {
+        let mem = self.shared.sim.mem(0).with_module(self.shared.m.log);
+        let inner = &mut *self.shared.inner.lock().unwrap();
+        if inner.wal.flushed() < inner.wal.horizon() {
+            inner.wal.flush(&mem);
+        }
+    }
+
+    fn take_commit_latencies(&mut self) -> Vec<f64> {
+        self.shared
+            .inner
+            .lock()
+            .unwrap()
+            .wal
+            .take_commit_latencies()
+    }
+}
+
 fn table(inner: &Inner, t: TableId) -> OltpResult<usize> {
     if (t.0 as usize) < inner.tables.len() {
         Ok(t.0 as usize)
@@ -494,7 +530,7 @@ impl Session for ShoreMtSession {
         mem.exec(cost::LOG_UPDATE);
         inner
             .wal
-            .append_data(&mem, txn, LogKind::Insert, t.0, key, Some(&redo), len);
+            .append_data(&mem, txn, LogKind::Insert, t.0, key, Some(&redo), None, len);
         Ok(())
     }
 
@@ -560,6 +596,8 @@ impl Session for ShoreMtSession {
             });
         }
         let Some(mut row) = row else { return Ok(false) };
+        // Before-image for undo-capable recovery (durable mode only).
+        let undo = inner.wal.retaining().then(|| tuple::encode(&row));
         f(&mut row);
         debug_assert!(
             inner.tables[ti].def.schema.check(&row),
@@ -585,9 +623,16 @@ impl Session for ShoreMtSession {
         let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.shared.m.log);
         mem.exec(cost::LOG_UPDATE);
-        inner
-            .wal
-            .append_data(&mem, txn, LogKind::Update, t.0, key, Some(&redo), len * 2);
+        inner.wal.append_data(
+            &mem,
+            txn,
+            LogKind::Update,
+            t.0,
+            key,
+            Some(&redo),
+            undo.as_ref(),
+            len * 2,
+        );
         Ok(true)
     }
 
@@ -657,19 +702,36 @@ impl Session for ShoreMtSession {
         let Some(payload) = removed else {
             return Ok(false);
         };
+        let mut undo: Option<bytes::Bytes> = None;
         {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
             let mem = self.mem(self.shared.m.heap);
             mem.exec(cost::HEAP_WRAP);
             let (tables, pool) = (&mut inner.tables, &mut inner.pool);
+            if inner.wal.retaining() {
+                // Before-image read so recovery can restore the row if
+                // this transaction never commits (durable mode only).
+                tables[ti]
+                    .heap
+                    .read(pool, &mem, Rid::from_u64(payload), &mut |d| {
+                        undo = Some(d.clone());
+                    });
+            }
             tables[ti].heap.delete(pool, &mem, Rid::from_u64(payload));
         }
         let _l = obs::span(ENGINE, Phase::Log, self.core);
         let mem = self.mem(self.shared.m.log);
         mem.exec(cost::LOG_UPDATE);
-        inner
-            .wal
-            .append_data(&mem, txn, LogKind::Delete, t.0, key, None, 16);
+        inner.wal.append_data(
+            &mem,
+            txn,
+            LogKind::Delete,
+            t.0,
+            key,
+            None,
+            undo.as_ref(),
+            16,
+        );
         Ok(true)
     }
 }

@@ -30,6 +30,7 @@ use oltp::{
 use storage::{LogKind, MemStore, RowId, TxnId, TxnManager, Wal};
 use uarch_sim::{AllocHomeGuard, CorePort, Mem, ModuleId, ModuleSpec, Sim};
 
+use crate::durability::{configure_wal, wal_status};
 use crate::placement::Placement;
 
 /// Engine name used for span attribution (matches [`Db::name`]).
@@ -246,6 +247,58 @@ impl VoltDb {
     /// ablation-voltdb-mp` reproduces it.
     pub fn set_single_sited(&mut self, yes: bool) {
         self.shared.single_sited.store(yes, Ordering::Relaxed);
+    }
+}
+
+impl crate::durability::DurableDb for VoltDb {
+    fn enable_durability(&mut self, cfg: &crate::durability::DurabilityCfg) {
+        for (p, part) in self.shared.parts.iter().enumerate() {
+            let mem = self
+                .shared
+                .sim
+                .mem(p % self.shared.sim.cores())
+                .with_module(self.shared.m.clog);
+            configure_wal(&mut part.lock().unwrap().wal, &mem, cfg);
+        }
+    }
+
+    fn log_streams(&self) -> Vec<Vec<storage::wal::LogRecord>> {
+        self.shared
+            .parts
+            .iter()
+            .map(|p| p.lock().unwrap().wal.records().to_vec())
+            .collect()
+    }
+
+    fn log_status(&self) -> Vec<crate::durability::LogStatus> {
+        self.shared
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| wal_status(i, &p.lock().unwrap().wal))
+            .collect()
+    }
+
+    fn flush_all(&mut self) {
+        for (p, part) in self.shared.parts.iter().enumerate() {
+            let mem = self
+                .shared
+                .sim
+                .mem(p % self.shared.sim.cores())
+                .with_module(self.shared.m.clog);
+            let part = &mut *part.lock().unwrap();
+            if part.wal.flushed() < part.wal.horizon() {
+                part.wal.flush(&mem);
+            }
+        }
+    }
+
+    fn take_commit_latencies(&mut self) -> Vec<f64> {
+        self.shared
+            .parts
+            .iter()
+            .flat_map(|p| p.lock().unwrap().wal.take_commit_latencies())
+            .collect()
     }
 }
 
@@ -593,6 +646,12 @@ impl Session for VoltDbSession {
             if part.owner == Some(txn) {
                 part.owner = None;
             }
+            if part.wal.retaining() {
+                // Durable mode: mark the rollback so recovery classifies
+                // this txn aborted, not crashed mid-flight.
+                let mem = self.mem(self.shared.m.clog);
+                part.wal.append(&mem, txn, LogKind::Abort, 0);
+            }
             if let Some(cc) = &self.shared.cc {
                 cc.abort(txn.0, self.core, &self.mem(self.shared.m.ee));
             }
@@ -603,7 +662,7 @@ impl Session for VoltDbSession {
     fn insert(&mut self, t: TableId, key: u64, row: &[Value]) -> OltpResult<()> {
         let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
-        self.txn()?;
+        let txn = self.txn()?;
         debug_assert!(
             shared.defs.read().unwrap()[ti].schema.check(row),
             "row/schema mismatch"
@@ -615,6 +674,9 @@ impl Session for VoltDbSession {
         let part = &mut *shared.parts[p].lock().unwrap();
         self.claim(part, t, key, true)?;
         let encoded = tuple::encode(row);
+        // Durable mode: the command log carries data records too (the
+        // default command log appends only Commit markers).
+        let redo = part.wal.retaining().then(|| encoded.clone());
         {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
             self.value_work(encoded.len());
@@ -638,6 +700,13 @@ impl Session for VoltDbSession {
             let _s = obs::span(ENGINE, Phase::Storage, self.core);
             table.store.delete(&mem_store, id);
             return Err(OltpError::DuplicateKey { table: t, key });
+        }
+        if let Some(redo) = redo {
+            let _l = obs::span(ENGINE, Phase::Log, self.core);
+            let mem = self.mem(self.shared.m.clog);
+            let len = redo.len() as u32;
+            part.wal
+                .append_data(&mem, txn, LogKind::Insert, t.0, key, Some(&redo), None, len);
         }
         Ok(())
     }
@@ -687,7 +756,7 @@ impl Session for VoltDbSession {
     fn update(&mut self, t: TableId, key: u64, f: &mut dyn FnMut(&mut Row)) -> OltpResult<bool> {
         let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
-        self.txn()?;
+        let txn = self.txn()?;
         self.op_overhead();
         let p = self.part();
         {
@@ -714,16 +783,35 @@ impl Session for VoltDbSession {
                         .read(&mem_store, id, &mut |d| row = tuple::decode(d).ok());
                 }
                 let Some(mut row) = row else { return Ok(false) };
+                // Before-image for undo-capable recovery (durable mode).
+                let undo = part.wal.retaining().then(|| tuple::encode(&row));
                 f(&mut row);
                 debug_assert!(
                     shared.defs.read().unwrap()[ti].schema.check(&row),
                     "row/schema mismatch"
                 );
                 let encoded = tuple::encode(&row);
-                let _s = obs::span(ENGINE, Phase::Storage, self.core);
-                self.value_work(encoded.len() * 2);
-                let table = &mut part.tables[ti];
-                table.store.update(&mem_store, id, encoded);
+                {
+                    let _s = obs::span(ENGINE, Phase::Storage, self.core);
+                    self.value_work(encoded.len() * 2);
+                    let table = &mut part.tables[ti];
+                    table.store.update(&mem_store, id, encoded.clone());
+                }
+                if part.wal.retaining() {
+                    let _l = obs::span(ENGINE, Phase::Log, self.core);
+                    let mem = self.mem(self.shared.m.clog);
+                    let len = encoded.len() as u32;
+                    part.wal.append_data(
+                        &mem,
+                        txn,
+                        LogKind::Update,
+                        t.0,
+                        key,
+                        Some(&encoded),
+                        undo.as_ref(),
+                        len * 2,
+                    );
+                }
                 return Ok(true);
             }
         }
@@ -784,7 +872,7 @@ impl Session for VoltDbSession {
     fn delete(&mut self, t: TableId, key: u64) -> OltpResult<bool> {
         let shared = Arc::clone(&self.shared);
         let ti = self.table(t)?;
-        self.txn()?;
+        let txn = self.txn()?;
         self.op_overhead();
         let p = self.part();
         let part = &mut *shared.parts[p].lock().unwrap();
@@ -799,8 +887,34 @@ impl Session for VoltDbSession {
         let Some(payload) = removed else {
             return Ok(false);
         };
-        let _s = obs::span(ENGINE, Phase::Storage, self.core);
-        table.store.delete(&mem_store, RowId::from_u64(payload));
+        let mut undo: Option<bytes::Bytes> = None;
+        {
+            let _s = obs::span(ENGINE, Phase::Storage, self.core);
+            if part.wal.retaining() {
+                // Before-image read so recovery can restore the row if
+                // this transaction never commits (durable mode only).
+                table
+                    .store
+                    .read(&mem_store, RowId::from_u64(payload), &mut |d| {
+                        undo = Some(d.clone());
+                    });
+            }
+            table.store.delete(&mem_store, RowId::from_u64(payload));
+        }
+        if part.wal.retaining() {
+            let _l = obs::span(ENGINE, Phase::Log, self.core);
+            let mem = self.mem(self.shared.m.clog);
+            part.wal.append_data(
+                &mem,
+                txn,
+                LogKind::Delete,
+                t.0,
+                key,
+                None,
+                undo.as_ref(),
+                16,
+            );
+        }
         Ok(true)
     }
 }

@@ -37,6 +37,11 @@ pub struct SiteRule {
     /// Firing probability in `[0, 1]` for this site, replacing the plan's
     /// default rate.
     pub rate: f64,
+    /// One-shot trigger: when set, the site fires on exactly the `at`-th
+    /// evaluation (per core) and never otherwise — `rate` is ignored. This
+    /// is how a crash-recovery run kills the process at a deterministic
+    /// point in the schedule.
+    pub at: Option<u64>,
 }
 
 /// A deterministic, serializable fault schedule.
@@ -66,6 +71,19 @@ impl FaultPlan {
         self.sites.push(SiteRule {
             site: site.to_string(),
             rate: rate.clamp(0.0, 1.0),
+            at: None,
+        });
+        self
+    }
+
+    /// Arm a one-shot trigger: `site` fires on exactly its `at`-th
+    /// evaluation (per core) and never otherwise (builder style).
+    #[must_use]
+    pub fn site_at(mut self, site: &str, at: u64) -> Self {
+        self.sites.push(SiteRule {
+            site: site.to_string(),
+            rate: 0.0,
+            at: Some(at),
         });
         self
     }
@@ -81,6 +99,11 @@ impl FaultPlan {
     /// Whether the `n`-th evaluation of `site` on `core` fires. Pure:
     /// depends only on `(seed, site, core, n)` and the site's rate.
     pub fn fires(&self, site: &str, core: usize, n: u64) -> bool {
+        if let Some(rule) = self.sites.iter().find(|r| r.site == site) {
+            if let Some(at) = rule.at {
+                return n == at;
+            }
+        }
         let rate = self.rate_at(site);
         if rate <= 0.0 {
             return false;
@@ -110,10 +133,12 @@ impl FaultPlan {
                     self.sites
                         .iter()
                         .map(|r| {
-                            Json::obj(vec![
-                                ("site", Json::str(&r.site)),
-                                ("rate", Json::Num(r.rate)),
-                            ])
+                            let mut fields =
+                                vec![("site", Json::str(&r.site)), ("rate", Json::Num(r.rate))];
+                            if let Some(at) = r.at {
+                                fields.push(("at", Json::u64(at)));
+                            }
+                            Json::obj(fields)
                         })
                         .collect(),
                 ),
@@ -145,9 +170,13 @@ impl FaultPlan {
                     .get("rate")
                     .and_then(Json::as_f64)
                     .ok_or("fault plan: site rule without \"rate\"")?;
+                // `at` is absent in manifests written before one-shot
+                // triggers existed; treat missing as None so they replay.
+                let at = s.get("at").and_then(Json::as_f64).map(|v| v as u64);
                 sites.push(SiteRule {
                     site: site.to_string(),
                     rate: r,
+                    at,
                 });
             }
         }
@@ -206,5 +235,28 @@ mod tests {
         // A manifest wrapping the plan replays identically.
         let manifest = Json::obj(vec![("plan", p.to_json()), ("other", Json::u64(1))]);
         assert_eq!(FaultPlan::parse(&manifest.render()).unwrap(), p);
+    }
+
+    #[test]
+    fn one_shot_fires_exactly_once() {
+        let p = FaultPlan::uniform(3, 0.0).site_at("recover/kill", 17);
+        let hits: Vec<u64> = (0..100)
+            .filter(|&n| p.fires("recover/kill", 0, n))
+            .collect();
+        assert_eq!(hits, [17]);
+        // Other sites stay governed by the base rate.
+        assert!((0..100).all(|n| !p.fires("other", 0, n)));
+    }
+
+    #[test]
+    fn one_shot_round_trips_and_old_manifests_still_parse() {
+        let p = FaultPlan::uniform(9, 0.0).site_at("recover/kill", 5);
+        let back = FaultPlan::parse(&p.to_json().render()).unwrap();
+        assert_eq!(p, back);
+        // A manifest written before `at` existed parses with at=None.
+        let old = r#"{"seed": 1, "rate": 0.1, "sites": [{"site": "x", "rate": 0.5}]}"#;
+        let plan = FaultPlan::parse(old).unwrap();
+        assert_eq!(plan.sites[0].at, None);
+        assert_eq!(plan.sites[0].rate, 0.5);
     }
 }

@@ -71,11 +71,15 @@ pub enum Phase {
     /// Response-frame encode and delivery in the service front end (after
     /// the transaction has committed or aborted).
     Respond,
+    /// Fuzzy-checkpoint capture running alongside the workload.
+    Checkpoint,
+    /// Crash-recovery replay (checkpoint load, redo, undo).
+    Recovery,
 }
 
 impl Phase {
     /// All phases in display order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Parse,
         Phase::Txn,
         Phase::Dispatch,
@@ -85,6 +89,8 @@ impl Phase {
         Phase::Log,
         Phase::Commit,
         Phase::Respond,
+        Phase::Checkpoint,
+        Phase::Recovery,
     ];
 
     /// Stable lowercase identifier (JSON field values, CLI args).
@@ -99,6 +105,8 @@ impl Phase {
             Phase::Log => "log",
             Phase::Commit => "commit",
             Phase::Respond => "respond",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Recovery => "recovery",
         }
     }
 }

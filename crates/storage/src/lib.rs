@@ -29,6 +29,7 @@
 //! memory, because those touches are precisely what the paper measures.
 
 pub mod bufferpool;
+pub mod checkpoint;
 pub mod heap;
 pub mod lock;
 pub mod memstore;
@@ -39,10 +40,12 @@ pub mod txn;
 pub mod wal;
 
 pub use bufferpool::BufferPool;
+pub use checkpoint::{Checkpoint, Checkpointer, TableImage};
 pub use heap::{HeapFile, Rid};
 pub use lock::{LockManager, LockMode, LockTarget};
 pub use memstore::{MemStore, RowId, ROW_READ_INSTRS};
 pub use mvcc::VersionStore;
 pub use page::{Page, PageId, SlotId, PAGE_SIZE};
+pub use recovery::{recover, replay, RecoveryStats, ReplayError, ReplayStats};
 pub use txn::{TxnId, TxnManager};
-pub use wal::{LogKind, Lsn, Wal};
+pub use wal::{LogKind, LogRecord, Lsn, Wal, WalStats};

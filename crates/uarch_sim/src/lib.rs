@@ -42,6 +42,7 @@ pub mod code;
 pub mod coherence;
 pub mod config;
 pub mod counters;
+pub mod iodev;
 pub mod machine;
 pub mod port;
 pub mod rng;
@@ -51,6 +52,7 @@ use std::sync::Arc;
 pub use code::{ModuleId, ModuleSpec};
 pub use config::MachineConfig;
 pub use counters::{EventCounts, StallEvent};
+pub use iodev::{DeviceStats, LogDevice, NvmeProfile};
 pub use machine::{BatchOp, CodeDesc, Machine, MAX_HOME_TAGS};
 pub use port::CorePort;
 
